@@ -1,0 +1,51 @@
+//! Micro-benchmarks for the sendbox control plane: congestion-ACK
+//! processing and control ticks.
+
+use bundler_core::feedback::BundleId;
+use bundler_core::{BundlerConfig, Receivebox, Sendbox};
+use bundler_types::{flow::ipv4, FlowId, FlowKey, Nanos, Packet};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn packet(i: u16) -> Packet {
+    Packet::data(
+        FlowId(1),
+        FlowKey::tcp(ipv4(10, 0, 0, 1), 7000, ipv4(10, 1, 0, 1), 443),
+        0,
+        1460,
+        Nanos::ZERO,
+    )
+    .with_ip_id(i)
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    c.bench_function("sendbox_on_packet_forwarded", |b| {
+        let mut sb = Sendbox::new(BundleId(0), BundlerConfig::default()).unwrap();
+        let mut i: u16 = 0;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            sb.on_packet_forwarded(black_box(&packet(i)), Nanos(i as u64 * 10_000))
+        })
+    });
+
+    c.bench_function("ack_round_trip_and_tick", |b| {
+        let config = BundlerConfig { initial_epoch_size: 1, ..Default::default() };
+        let mut sb = Sendbox::new(BundleId(0), config).unwrap();
+        let mut rb = Receivebox::new(BundleId(0), 1);
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i += 1;
+            let pkt = packet(i as u16);
+            let now = Nanos(i * 125_000);
+            sb.on_packet_forwarded(&pkt, now);
+            if let Some(ack) = rb.on_packet(&pkt, Nanos(i * 125_000 + 25_000_000)) {
+                sb.on_congestion_ack(&ack, Nanos(i * 125_000 + 50_000_000));
+            }
+            if i % 80 == 0 {
+                black_box(sb.on_tick(0, Nanos(i * 125_000 + 50_000_000)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_control_plane);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the per-packet datapath work Bundler adds:
+//! the FNV epoch hash (the paper notes this is the only extra per-packet
+//! work, "4 integer multiplications"), the boundary test, and token-bucket
+//! accounting.
+
+use bundler_core::epoch::{epoch_hash, is_boundary};
+use bundler_core::fnv::fnv1a;
+use bundler_sched::tbf::TokenBucket;
+use bundler_types::{flow::ipv4, FlowId, FlowKey, Nanos, Packet, Rate};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn packet(i: u16) -> Packet {
+    Packet::data(
+        FlowId(7),
+        FlowKey::tcp(ipv4(10, 0, 0, 3), 5555, ipv4(10, 1, 0, 9), 443),
+        0,
+        1460,
+        Nanos::ZERO,
+    )
+    .with_ip_id(i)
+}
+
+fn bench_epoch_hash(c: &mut Criterion) {
+    let pkt = packet(12_345);
+    c.bench_function("fnv1a_8_bytes", |b| {
+        b.iter(|| fnv1a(black_box(&pkt.epoch_header_bytes())))
+    });
+    c.bench_function("epoch_hash_packet", |b| b.iter(|| epoch_hash(black_box(&pkt))));
+    c.bench_function("epoch_boundary_check", |b| {
+        let h = epoch_hash(&pkt);
+        b.iter(|| is_boundary(black_box(h), black_box(64)))
+    });
+}
+
+fn bench_token_bucket(c: &mut Criterion) {
+    c.bench_function("token_bucket_consume", |b| {
+        let mut tb = TokenBucket::new(Rate::from_gbps(10), 1_000_000, Nanos::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            tb.try_consume(black_box(1500), Nanos(t))
+        })
+    });
+}
+
+criterion_group!(benches, bench_epoch_hash, bench_token_bucket);
+criterion_main!(benches);

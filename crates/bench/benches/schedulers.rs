@@ -1,0 +1,43 @@
+//! Enqueue/dequeue micro-benchmarks for the sendbox schedulers.
+
+use bundler_sched::Policy;
+use bundler_types::{flow::ipv4, FlowId, FlowKey, Nanos, Packet};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn packet(flow: u64, i: u16) -> Packet {
+    Packet::data(
+        FlowId(flow),
+        FlowKey::tcp(
+            ipv4(10, 0, (flow % 200) as u8, 1),
+            (2000 + flow % 10_000) as u16,
+            ipv4(10, 1, 0, 9),
+            443,
+        ),
+        0,
+        1460,
+        Nanos::ZERO,
+    )
+    .with_ip_id(i)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    for &policy in Policy::all() {
+        c.bench_function(&format!("enqueue_dequeue_{policy}"), |b| {
+            let mut s = policy.build(4096);
+            let mut i: u64 = 0;
+            b.iter(|| {
+                i += 1;
+                s.enqueue(black_box(packet(i % 64, i as u16)), Nanos(i * 1000));
+                if i % 2 == 0 {
+                    black_box(s.dequeue(Nanos(i * 1000)));
+                }
+                if s.len_packets() > 2048 {
+                    while s.dequeue(Nanos(i * 1000)).is_some() {}
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 2: Bundler shifts the queue from the bottleneck to the sendbox.
+//!
+//! Prints the queue-delay time series at the bottleneck and at the edge for
+//! the status-quo and Bundler configurations, plus summary means.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::queue_shift::QueueShiftScenario;
+use bundler_types::{Duration, Rate};
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenario = QueueShiftScenario {
+        bottleneck: Rate::from_mbps(96),
+        rtt: Duration::from_millis(50),
+        duration: scale.pick(Duration::from_secs(15), Duration::from_secs(60)),
+    };
+    println!("# Figure 2: queue shift (single backlogged flow, 96 Mbit/s, 50 ms RTT)\n");
+    let result = scenario.run();
+
+    header(&["time_s", "statusquo_bottleneck_ms", "bundler_bottleneck_ms", "bundler_sendbox_ms"]);
+    let n = result
+        .status_quo_bottleneck_ms
+        .samples
+        .len()
+        .min(result.bundler_bottleneck_ms.samples.len())
+        .min(result.bundler_sendbox_ms.samples.len());
+    // Print one row per second of simulated time.
+    let stride = (n / scenario.duration.as_secs_f64() as usize).max(1);
+    for i in (0..n).step_by(stride) {
+        let (t, quo) = result.status_quo_bottleneck_ms.samples[i];
+        let (_, bb) = result.bundler_bottleneck_ms.samples[i];
+        let (_, bs) = result.bundler_sendbox_ms.samples[i];
+        println!("{:.1} | {} | {} | {}", t.as_secs_f64(), fmt(quo), fmt(bb), fmt(bs));
+    }
+
+    println!();
+    println!("mean status-quo bottleneck queue delay: {} ms", fmt(result.mean_status_quo_bottleneck_ms()));
+    println!("mean Bundler bottleneck queue delay:    {} ms", fmt(result.mean_bundler_bottleneck_ms()));
+    println!("mean Bundler sendbox queue delay:       {} ms", fmt(result.mean_bundler_sendbox_ms()));
+    println!("throughput: status quo {} Mbit/s, Bundler {} Mbit/s",
+        fmt(result.status_quo_throughput_mbps), fmt(result.bundler_throughput_mbps));
+    println!("queue shifted to the sendbox: {}", result.queue_shifted());
+}

@@ -1,0 +1,41 @@
+//! Figure 5: accuracy of Bundler's receive-rate estimate.
+//!
+//! The paper reports that 80 % of receive-rate estimates are within
+//! 4 Mbit/s of the value measured at the bottleneck router, across traces
+//! spanning {20, 50, 100} ms delays and {24, 48, 96} Mbit/s rates.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::estimation::{summarize_errors, EstimationScenario};
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenario = match scale {
+        Scale::Quick => EstimationScenario::quick(),
+        Scale::Paper => EstimationScenario::default(),
+    };
+    println!("# Figure 5: receive-rate estimation accuracy\n");
+    let results = scenario.run();
+
+    header(&["rtt_ms", "rate_mbps", "samples", "median_abs_err_mbps", "p90_abs_err_mbps", "frac_within_4mbps"]);
+    let mut all_errors = Vec::new();
+    for r in &results {
+        let s = summarize_errors(&r.rate_error_mbps, 4.0);
+        println!(
+            "{} | {} | {} | {} | {} | {}",
+            fmt(r.rtt.as_millis_f64()),
+            fmt(r.rate.as_mbps_f64()),
+            s.samples,
+            fmt(s.median_abs),
+            fmt(s.p90_abs),
+            fmt(s.within_tolerance)
+        );
+        all_errors.extend_from_slice(&r.rate_error_mbps);
+    }
+    let overall = summarize_errors(&all_errors, 4.0);
+    println!();
+    println!(
+        "overall: {} samples, {}% within 4 Mbit/s (paper: 80% within 4 Mbit/s)",
+        overall.samples,
+        fmt(overall.within_tolerance * 100.0)
+    );
+}

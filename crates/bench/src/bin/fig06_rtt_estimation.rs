@@ -1,0 +1,42 @@
+//! Figure 6: accuracy of Bundler's RTT estimate.
+//!
+//! The paper reports that 80 % of RTT estimates are within 1.2 ms of the
+//! value measured at the bottleneck router.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::estimation::{summarize_errors, EstimationScenario};
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenario = match scale {
+        Scale::Quick => EstimationScenario::quick(),
+        Scale::Paper => EstimationScenario::default(),
+    };
+    println!("# Figure 6: RTT estimation accuracy\n");
+    let results = scenario.run();
+
+    header(&["rtt_ms", "rate_mbps", "samples", "median_abs_err_ms", "p90_abs_err_ms", "frac_within_1.2ms", "frac_within_5ms"]);
+    let mut all_errors = Vec::new();
+    for r in &results {
+        let tight = summarize_errors(&r.rtt_error_ms, 1.2);
+        let loose = summarize_errors(&r.rtt_error_ms, 5.0);
+        println!(
+            "{} | {} | {} | {} | {} | {} | {}",
+            fmt(r.rtt.as_millis_f64()),
+            fmt(r.rate.as_mbps_f64()),
+            tight.samples,
+            fmt(tight.median_abs),
+            fmt(tight.p90_abs),
+            fmt(tight.within_tolerance),
+            fmt(loose.within_tolerance)
+        );
+        all_errors.extend_from_slice(&r.rtt_error_ms);
+    }
+    let overall = summarize_errors(&all_errors, 1.2);
+    println!();
+    println!(
+        "overall: {} samples, {}% within 1.2 ms (paper: 80% within 1.2 ms)",
+        overall.samples,
+        fmt(overall.within_tolerance * 100.0)
+    );
+}

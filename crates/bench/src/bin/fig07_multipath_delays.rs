@@ -1,0 +1,38 @@
+//! Figure 7: out-of-order measurements reveal imbalanced multipathing.
+//!
+//! Four load-balanced paths with different delays carry the bundle's flows.
+//! Bundler cannot tell how many paths there are, but the out-of-order
+//! fraction of its epoch measurements clearly separates this case from a
+//! single path.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::multipath::MultipathScenario;
+use bundler_types::{Duration, Rate};
+
+fn main() {
+    let scale = Scale::from_env();
+    let duration = scale.pick(Duration::from_secs(15), Duration::from_secs(60));
+    println!("# Figure 7: imbalanced multipath detection (4 paths with different delays)\n");
+
+    header(&["paths", "delay_spread_ms", "out_of_order_fraction", "bundler_disabled"]);
+    for (paths, spread_ms) in [(1usize, 0u64), (4, 40)] {
+        let point = MultipathScenario {
+            rate: Rate::from_mbps(96),
+            rtt: Duration::from_millis(50),
+            paths,
+            delay_spread: Duration::from_millis(spread_ms),
+            flows: 24,
+            duration,
+        }
+        .run();
+        println!(
+            "{} | {} | {} | {}",
+            paths,
+            spread_ms,
+            fmt(point.out_of_order_fraction),
+            point.disabled
+        );
+    }
+    println!();
+    println!("paper: single-path runs stay below 0.4% out-of-order; 4 imbalanced paths exceed 20%.");
+}

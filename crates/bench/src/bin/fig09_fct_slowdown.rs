@@ -1,0 +1,68 @@
+//! Figure 9: flow-completion-time slowdowns of the four configurations.
+//!
+//! The paper's headline numbers: median slowdown 1.76 (Status Quo) → 1.26
+//! (Bundler + SFQ), a 28 % reduction; In-Network fair queueing reaches 1.07;
+//! Bundler with FIFO is slightly worse than the status quo; the 99th
+//! percentile improves by 48 %.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
+use bundler_sim::stats::{quantile, SizeClass};
+
+fn main() {
+    let scale = Scale::from_env();
+    let requests = scale.pick(2_000, 20_000);
+    println!("# Figure 9: FCT slowdown by configuration ({requests} requests, 96 Mbit/s, 50 ms RTT, 84 Mbit/s offered)\n");
+
+    let modes = [
+        SendboxMode::StatusQuo,
+        SendboxMode::BundlerSfq,
+        SendboxMode::BundlerFifo,
+        SendboxMode::InNetwork,
+    ];
+    header(&[
+        "configuration",
+        "completed",
+        "median_slowdown",
+        "p90_slowdown",
+        "p99_slowdown",
+        "small_median",
+        "medium_median",
+        "large_median",
+    ]);
+    let mut medians = Vec::new();
+    for mode in modes {
+        let report = FctScenario::builder().requests(requests).seed(42).mode(mode).build().run();
+        let class_median = |c: SizeClass| {
+            let mut v = report.slowdowns_in_class(c);
+            quantile(&mut v, 0.5).unwrap_or(f64::NAN)
+        };
+        let median = report.median_slowdown().unwrap_or(f64::NAN);
+        medians.push((mode.label(), median));
+        println!(
+            "{} | {} | {} | {} | {} | {} | {} | {}",
+            mode.label(),
+            report.completed,
+            fmt(median),
+            fmt(report.slowdown_quantile(0.9).unwrap_or(f64::NAN)),
+            fmt(report.slowdown_quantile(0.99).unwrap_or(f64::NAN)),
+            fmt(class_median(SizeClass::Small)),
+            fmt(class_median(SizeClass::Medium)),
+            fmt(class_median(SizeClass::Large)),
+        );
+    }
+
+    println!();
+    let get = |label: &str| medians.iter().find(|(l, _)| l == label).map(|(_, m)| *m).unwrap_or(f64::NAN);
+    let quo = get("status-quo");
+    let sfq = get("bundler-sfq");
+    let innet = get("in-network");
+    println!(
+        "Bundler(SFQ) vs Status Quo median reduction: {}% (paper: 28%)",
+        fmt((quo - sfq) / quo * 100.0)
+    );
+    println!(
+        "In-Network vs Bundler(SFQ) additional reduction: {}% (paper: ~15%)",
+        fmt((sfq - innet) / sfq * 100.0)
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 10: Bundler's behaviour as cross traffic comes and goes.
+//!
+//! Three equal phases: no cross traffic, buffer-filling cross traffic,
+//! non-buffer-filling cross traffic. Bundler should provide scheduling
+//! benefits in phases 1 and 3 and detect the buffer-filling competitor in
+//! phase 2, letting traffic pass until it leaves.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::cross_traffic::CrossTrafficTimeline;
+use bundler_types::{Duration, Nanos, Rate};
+
+fn main() {
+    let scale = Scale::from_env();
+    let phase = scale.pick(Duration::from_secs(20), Duration::from_secs(60));
+    let timeline = CrossTrafficTimeline {
+        phase,
+        bottleneck: Rate::from_mbps(96),
+        bundle_load: Rate::from_mbps(60),
+        inelastic_cross_load: Rate::from_mbps(24),
+        ..Default::default()
+    };
+    println!("# Figure 10: three-phase cross-traffic timeline (phase length {phase})\n");
+    let result = timeline.run();
+    let (p1, p2, p3) = result.phase_ends;
+
+    header(&["phase", "window", "modes_active", "short_flow_median_fct_ms"]);
+    let phases = [
+        ("1: no cross traffic", Nanos::ZERO, p1),
+        ("2: buffer-filling", p1, p2),
+        ("3: non-buffer-filling", p2, p3),
+    ];
+    for (label, from, to) in phases {
+        let modes = result.modes_during(from, to).join(",");
+        let fct = result.short_flow_median_fct_ms(from, to).unwrap_or(f64::NAN);
+        println!(
+            "{} | {:.0}-{:.0}s | {} | {}",
+            label,
+            from.as_secs_f64(),
+            to.as_secs_f64(),
+            modes,
+            fmt(fct)
+        );
+    }
+
+    println!();
+    println!("mode transitions:");
+    for (t, mode) in &result.report.mode_timeline[0] {
+        println!("  {:.1}s -> {}", t.as_secs_f64(), mode);
+    }
+    println!();
+    println!("bundle throughput (Mbit/s) per phase:");
+    for (label, from, to) in phases {
+        let tput = result.report.bundle_throughput_mbps[0].mean_between(from, to).unwrap_or(0.0);
+        let cross = result.report.cross_throughput_mbps.mean_between(from, to).unwrap_or(0.0);
+        println!("  {label}: bundle {} / cross {}", fmt(tput), fmt(cross));
+    }
+}

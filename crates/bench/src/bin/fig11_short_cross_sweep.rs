@@ -1,0 +1,30 @@
+//! Figure 11: cross traffic made of short-lived flows.
+//!
+//! The bundle offers a fixed 48 Mbit/s; the short-flow cross traffic's
+//! offered load sweeps from 6 to 42 Mbit/s. The paper shows that the status
+//! quo's FCTs rise steadily with cross load while Bundler keeps the
+//! bundle's flows fast.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_sim::scenario::cross_traffic::ShortCrossSweep;
+use bundler_types::{Duration, Rate};
+
+fn main() {
+    let scale = Scale::from_env();
+    let duration = scale.pick(Duration::from_secs(20), Duration::from_secs(60));
+    println!("# Figure 11: short-flow cross traffic sweep (bundle fixed at 48 Mbit/s)\n");
+
+    header(&["cross_load_mbps", "statusquo_median_slowdown", "bundler_median_slowdown"]);
+    for cross_mbps in [6u64, 12, 18, 24, 30, 36, 42] {
+        let cross = Rate::from_mbps(cross_mbps);
+        let quo = ShortCrossSweep { with_bundler: false, duration, ..Default::default() }
+            .run_point(cross)
+            .0;
+        let bun = ShortCrossSweep { with_bundler: true, duration, ..Default::default() }
+            .run_point(cross)
+            .0;
+        println!("{cross_mbps} | {} | {}", fmt(quo), fmt(bun));
+    }
+    println!();
+    println!("paper: Status Quo FCTs grow with cross load; Bundler's stay low (both Copa and Nimbus variants).");
+}

@@ -1,0 +1,41 @@
+//! Figure 14: the choice of congestion-control algorithm at the sendbox.
+//!
+//! Copa and Nimbus BasicDelay (delay-controlling) provide similar benefits;
+//! BBR performs slightly worse than the status quo because it keeps a larger
+//! in-network queue.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_cc::BundleAlg;
+use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
+use bundler_sim::stats::{quantile, SizeClass};
+
+fn main() {
+    let scale = Scale::from_env();
+    let requests = scale.pick(2_000, 15_000);
+    println!("# Figure 14: sendbox congestion-control algorithm ({requests} requests)\n");
+
+    header(&["configuration", "median_slowdown", "p99_slowdown", "small_median", "large_median"]);
+    let modes = [
+        SendboxMode::StatusQuo,
+        SendboxMode::BundlerAlg(BundleAlg::Copa),
+        SendboxMode::BundlerAlg(BundleAlg::NimbusBasicDelay),
+        SendboxMode::BundlerAlg(BundleAlg::Bbr),
+    ];
+    for mode in modes {
+        let report = FctScenario::builder().requests(requests).seed(14).mode(mode).build().run();
+        let class_median = |c: SizeClass| {
+            let mut v = report.slowdowns_in_class(c);
+            quantile(&mut v, 0.5).unwrap_or(f64::NAN)
+        };
+        println!(
+            "{} | {} | {} | {} | {}",
+            mode.label(),
+            fmt(report.median_slowdown().unwrap_or(f64::NAN)),
+            fmt(report.slowdown_quantile(0.99).unwrap_or(f64::NAN)),
+            fmt(class_median(SizeClass::Small)),
+            fmt(class_median(SizeClass::Large)),
+        );
+    }
+    println!();
+    println!("paper: Copa ~= BasicDelay (both beat the status quo); BBR slightly worse than status quo.");
+}

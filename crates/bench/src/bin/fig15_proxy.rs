@@ -1,0 +1,45 @@
+//! Figure 15: what an idealized TCP proxy would add.
+//!
+//! §7.5 emulates connection termination at the sendbox by giving endhosts a
+//! fixed 450-packet congestion window (slightly above the path BDP), so
+//! medium and long flows skip window growth entirely. Short flows see no
+//! change; medium flows benefit.
+
+use bundler_bench::{fmt, header, Scale};
+use bundler_cc::EndhostAlg;
+use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
+use bundler_sim::stats::{quantile, SizeClass};
+
+fn main() {
+    let scale = Scale::from_env();
+    let requests = scale.pick(2_000, 15_000);
+    println!("# Figure 15: idealized TCP proxy (fixed 450-packet endhost windows), {requests} requests\n");
+
+    header(&["configuration", "small_median", "medium_median", "large_median", "overall_median"]);
+    let configs: [(&str, EndhostAlg); 2] = [
+        ("bundler-sfq (normal endhosts)", EndhostAlg::Cubic),
+        ("bundler-sfq + idealized proxy", EndhostAlg::FixedWindow(450)),
+    ];
+    for (label, alg) in configs {
+        let report = FctScenario::builder()
+            .requests(requests)
+            .seed(15)
+            .mode(SendboxMode::BundlerSfq)
+            .endhost_alg(alg)
+            .build()
+            .run();
+        let class_median = |c: SizeClass| {
+            let mut v = report.slowdowns_in_class(c);
+            quantile(&mut v, 0.5).unwrap_or(f64::NAN)
+        };
+        println!(
+            "{label} | {} | {} | {} | {}",
+            fmt(class_median(SizeClass::Small)),
+            fmt(class_median(SizeClass::Medium)),
+            fmt(class_median(SizeClass::Large)),
+            fmt(report.median_slowdown().unwrap_or(f64::NAN)),
+        );
+    }
+    println!();
+    println!("paper: termination does not help short flows but speeds up medium-to-long flows (no more window growth).");
+}

@@ -1,0 +1,213 @@
+//! A small radix-2 FFT used by Nimbus' elasticity detector.
+//!
+//! Nimbus (Goyal et al.) superimposes a sinusoidal pulse on the sending rate
+//! and looks for that pulse frequency in the *cross traffic's* rate: elastic
+//! (buffer-filling) cross traffic reacts to the pulses, inelastic traffic
+//! does not. The detector therefore needs the magnitude spectrum of a short
+//! real-valued signal; this module provides exactly that, avoiding an
+//! external FFT dependency.
+
+use core::f64::consts::PI;
+
+/// A complex number, kept minimal for FFT use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Magnitude (absolute value).
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2].mul(w);
+                data[i + j] = u.add(v);
+                data[i + j + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Computes the single-sided magnitude spectrum of a real signal sampled at
+/// `sample_rate_hz`. Returns `(frequencies, magnitudes)`; the DC bin is
+/// included at index 0. The input is zero-padded to the next power of two.
+pub fn magnitude_spectrum(signal: &[f64], sample_rate_hz: f64) -> (Vec<f64>, Vec<f64>) {
+    if signal.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    buf.resize(n, Complex::new(0.0, 0.0));
+    fft_in_place(&mut buf);
+    let half = n / 2;
+    let freqs: Vec<f64> = (0..half).map(|k| k as f64 * sample_rate_hz / n as f64).collect();
+    let mags: Vec<f64> = buf[..half].iter().map(|c| c.abs() / n as f64).collect();
+    (freqs, mags)
+}
+
+/// Returns the ratio of spectral magnitude at `target_hz` (within ±`tol_hz`)
+/// to the mean magnitude over `band` (excluding the target neighbourhood and
+/// DC). This is the "is there unexpected energy at the pulse frequency?"
+/// question Nimbus' elasticity detector asks. Returns 0.0 if the spectrum is
+/// degenerate.
+pub fn peak_to_band_ratio(
+    signal: &[f64],
+    sample_rate_hz: f64,
+    target_hz: f64,
+    tol_hz: f64,
+    band: (f64, f64),
+) -> f64 {
+    let (freqs, mags) = magnitude_spectrum(signal, sample_rate_hz);
+    if freqs.len() < 4 {
+        return 0.0;
+    }
+    let mut peak: f64 = 0.0;
+    let mut band_sum = 0.0;
+    let mut band_n = 0usize;
+    for (f, m) in freqs.iter().zip(mags.iter()).skip(1) {
+        if (f - target_hz).abs() <= tol_hz {
+            peak = peak.max(*m);
+        } else if *f >= band.0 && *f <= band.1 {
+            band_sum += m;
+            band_n += 1;
+        }
+    }
+    if band_n == 0 || band_sum <= f64::EPSILON {
+        return 0.0;
+    }
+    let band_mean = band_sum / band_n as f64;
+    peak / band_mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, sample_rate: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sample_rate).sin()).collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::new(0.0, 0.0); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data);
+        for c in &data {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_has_only_dc() {
+        let mut data = vec![Complex::new(1.0, 0.0); 16];
+        fft_in_place(&mut data);
+        assert!((data[0].abs() - 16.0).abs() < 1e-9);
+        for c in &data[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::new(0.0, 0.0); 12];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn spectrum_finds_sine_frequency() {
+        let sample_rate = 100.0;
+        let signal = sine(5.0, sample_rate, 512);
+        let (freqs, mags) = magnitude_spectrum(&signal, sample_rate);
+        let (argmax, _) = mags
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((freqs[argmax] - 5.0).abs() < 0.5, "peak at {} Hz", freqs[argmax]);
+    }
+
+    #[test]
+    fn peak_ratio_high_for_pure_tone_low_for_noise() {
+        let sample_rate = 100.0;
+        let tone = sine(5.0, sample_rate, 512);
+        let ratio_tone = peak_to_band_ratio(&tone, sample_rate, 5.0, 0.5, (1.0, 20.0));
+        assert!(ratio_tone > 5.0, "tone ratio {ratio_tone}");
+
+        // A deterministic pseudo-noise signal with no 5 Hz component.
+        let noise: Vec<f64> = (0..512)
+            .map(|i| {
+                let x = (i as f64 * 12.9898).sin() * 43758.5453;
+                x - x.floor() - 0.5
+            })
+            .collect();
+        let ratio_noise = peak_to_band_ratio(&noise, sample_rate, 5.0, 0.5, (1.0, 20.0));
+        assert!(ratio_noise < 4.0, "noise ratio {ratio_noise}");
+        assert!(ratio_tone > 2.0 * ratio_noise);
+    }
+
+    #[test]
+    fn empty_signal_is_handled() {
+        let (f, m) = magnitude_spectrum(&[], 100.0);
+        assert!(f.is_empty() && m.is_empty());
+        assert_eq!(peak_to_band_ratio(&[], 100.0, 5.0, 0.5, (1.0, 20.0)), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Real-Internet-path experiments (§8 of the paper), reproduced over
+//! emulated WAN paths.
+//!
+//! The paper deploys a sendbox in a GCP datacenter in Iowa and receiveboxes
+//! in five other regions (Belgium, Frankfurt, Oregon, South Carolina,
+//! Tokyo), routing over the public Internet. Each bundle carries ten
+//! closed-loop 40-byte UDP request/response "ping" streams plus twenty
+//! backlogged bulk flows. The finding: queues build somewhere outside
+//! either site (most plausibly the provider's egress rate limiter), the
+//! status-quo request RTTs inflate far above the base RTT, and Bundler with
+//! SFQ brings them back down (57 % lower at the median) without hurting
+//! bulk throughput (within 1 %).
+//!
+//! GCP is not available here, so this crate substitutes a WAN path model:
+//! each region is an emulated path whose base RTT matches the real
+//! inter-region latency and whose bottleneck is a cloud-style egress rate
+//! limiter outside the "site". The rates are scaled down from the multi-
+//! gigabit real paths so packet-level simulation stays tractable; the
+//! structure of the experiment (who competes with whom, and where the queue
+//! lives) is unchanged. DESIGN.md records this substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paths;
+pub mod workload;
+
+pub use paths::{Region, WanPath};
+pub use workload::{WanExperiment, WanPathResult, WanWorkload};

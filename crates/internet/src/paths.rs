@@ -1,0 +1,128 @@
+//! WAN path profiles for the five destination regions of the paper's §8
+//! deployment.
+
+use bundler_types::{Duration, Rate};
+
+/// A destination region, paired with the Iowa source site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// europe-west1 (St. Ghislain, Belgium).
+    Belgium,
+    /// europe-west3 (Frankfurt, Germany).
+    Frankfurt,
+    /// us-west1 (The Dalles, Oregon).
+    Oregon,
+    /// us-east1 (Moncks Corner, South Carolina).
+    SouthCarolina,
+    /// asia-northeast1 (Tokyo, Japan).
+    Tokyo,
+}
+
+impl Region {
+    /// All five regions, in the order the paper's Figure 16 presents them.
+    pub fn all() -> [Region; 5] {
+        [Region::Belgium, Region::Frankfurt, Region::Oregon, Region::SouthCarolina, Region::Tokyo]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::Belgium => "belgium",
+            Region::Frankfurt => "frankfurt",
+            Region::Oregon => "oregon",
+            Region::SouthCarolina => "south-carolina",
+            Region::Tokyo => "tokyo",
+        }
+    }
+
+    /// Typical base round-trip time from Iowa over the public Internet.
+    /// These are representative published inter-region latencies, not
+    /// measurements from the paper (which does not tabulate them).
+    pub fn base_rtt(&self) -> Duration {
+        match self {
+            Region::Belgium => Duration::from_millis(100),
+            Region::Frankfurt => Duration::from_millis(110),
+            Region::Oregon => Duration::from_millis(36),
+            Region::SouthCarolina => Duration::from_millis(30),
+            Region::Tokyo => Duration::from_millis(130),
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The modelled WAN path from the source site to one region.
+#[derive(Debug, Clone, Copy)]
+pub struct WanPath {
+    /// Destination region.
+    pub region: Region,
+    /// Base round-trip time.
+    pub base_rtt: Duration,
+    /// The egress rate limit applied outside the source site (the
+    /// suspected bottleneck in the paper's deployment). Scaled down from
+    /// the multi-gigabit real limit so packet-level simulation is
+    /// tractable.
+    pub egress_limit: Rate,
+    /// Bottleneck buffer, in packets.
+    pub buffer_pkts: usize,
+}
+
+impl WanPath {
+    /// The default scaled-down model of a region's path.
+    pub fn for_region(region: Region) -> Self {
+        WanPath {
+            region,
+            base_rtt: region.base_rtt(),
+            egress_limit: Rate::from_mbps(200),
+            // Roughly 70 ms of buffering at the egress limit — deep enough
+            // for the status quo to visibly inflate request latencies, as
+            // observed on the real paths.
+            buffer_pkts: 1200,
+        }
+    }
+
+    /// All five default paths.
+    pub fn all() -> Vec<WanPath> {
+        Region::all().into_iter().map(WanPath::for_region).collect()
+    }
+
+    /// Overrides the egress limit (useful for scaling experiments).
+    pub fn with_egress_limit(mut self, limit: Rate) -> Self {
+        self.egress_limit = limit;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_regions_with_distinct_latencies() {
+        let all = Region::all();
+        assert_eq!(all.len(), 5);
+        let mut rtts: Vec<u64> = all.iter().map(|r| r.base_rtt().as_nanos()).collect();
+        rtts.dedup();
+        assert_eq!(rtts.len(), 5, "each region should have a distinct base RTT");
+        // Sanity: nearby regions are faster than Tokyo.
+        assert!(Region::SouthCarolina.base_rtt() < Region::Tokyo.base_rtt());
+        assert_eq!(Region::Oregon.to_string(), "oregon");
+    }
+
+    #[test]
+    fn default_paths_cover_all_regions() {
+        let paths = WanPath::all();
+        assert_eq!(paths.len(), 5);
+        for p in &paths {
+            assert!(p.egress_limit > Rate::from_mbps(10));
+            assert!(p.buffer_pkts > 0);
+            assert_eq!(p.base_rtt, p.region.base_rtt());
+        }
+        let scaled = WanPath::for_region(Region::Tokyo).with_egress_limit(Rate::from_mbps(50));
+        assert_eq!(scaled.egress_limit, Rate::from_mbps(50));
+    }
+}

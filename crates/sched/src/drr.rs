@@ -1,0 +1,242 @@
+//! Deficit Round Robin (Shreedhar & Varghese, SIGCOMM 1995).
+//!
+//! DRR keeps an exact per-flow queue (keyed on the five-tuple digest rather
+//! than a fixed bucket array) and serves backlogged flows round-robin, each
+//! receiving a byte quantum per round. It is the building block for the
+//! "ideal" fair queue used by the In-Network baseline and is exposed as a
+//! sendbox policy in its own right.
+
+use std::collections::{HashMap, VecDeque};
+
+use bundler_types::{Nanos, Packet};
+
+use crate::{Enqueued, SchedStats, Scheduler};
+
+/// Configuration for [`Drr`].
+#[derive(Debug, Clone, Copy)]
+pub struct DrrConfig {
+    /// Bytes a flow may send per round.
+    pub quantum_bytes: u32,
+    /// Total packet capacity; overflow drops from the longest flow queue.
+    pub total_capacity_pkts: usize,
+}
+
+impl Default for DrrConfig {
+    fn default() -> Self {
+        DrrConfig { quantum_bytes: 1514, total_capacity_pkts: 4096 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlowQueue {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    deficit: i64,
+}
+
+/// Deficit Round Robin scheduler with exact per-flow queues.
+#[derive(Debug)]
+pub struct Drr {
+    config: DrrConfig,
+    flows: HashMap<u64, FlowQueue>,
+    active: VecDeque<u64>,
+    total_pkts: usize,
+    total_bytes: u64,
+    stats: SchedStats,
+}
+
+impl Drr {
+    /// Creates a DRR scheduler.
+    pub fn new(config: DrrConfig) -> Self {
+        Drr {
+            config,
+            flows: HashMap::new(),
+            active: VecDeque::new(),
+            total_pkts: 0,
+            total_bytes: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Number of distinct flows currently backlogged.
+    pub fn backlogged_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    fn drop_from_longest(&mut self) -> Option<Packet> {
+        let longest = self
+            .active
+            .iter()
+            .copied()
+            .max_by_key(|k| self.flows.get(k).map(|f| f.queue.len()).unwrap_or(0))?;
+        let fq = self.flows.get_mut(&longest)?;
+        let pkt = fq.queue.pop_back()?;
+        fq.bytes -= pkt.size as u64;
+        self.total_pkts -= 1;
+        self.total_bytes -= pkt.size as u64;
+        if fq.queue.is_empty() {
+            self.active.retain(|&k| k != longest);
+        }
+        Some(pkt)
+    }
+}
+
+impl Scheduler for Drr {
+    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
+        pkt.enqueued_at = now;
+        let key = pkt.key.digest();
+        let fq = self.flows.entry(key).or_default();
+        let newly_active = fq.queue.is_empty();
+        fq.bytes += pkt.size as u64;
+        fq.queue.push_back(pkt);
+        self.total_pkts += 1;
+        self.total_bytes += fq.queue.back().map(|p| p.size as u64).unwrap_or(0);
+        self.stats.enqueued += 1;
+        if newly_active {
+            fq.deficit = self.config.quantum_bytes as i64;
+            self.active.push_back(key);
+        }
+        if self.total_pkts > self.config.total_capacity_pkts {
+            if let Some(dropped) = self.drop_from_longest() {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += dropped.size as u64;
+                return Enqueued::Dropped(Box::new(dropped));
+            }
+        }
+        Enqueued::Queued
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let mut rotations = 0usize;
+        let max_rotations = self.active.len().saturating_mul(2).max(2);
+        while let Some(&key) = self.active.front() {
+            rotations += 1;
+            if rotations > max_rotations && self.total_pkts > 0 {
+                break;
+            }
+            let fq = self.flows.get_mut(&key).expect("active flow exists");
+            match fq.queue.front() {
+                None => {
+                    self.active.pop_front();
+                }
+                Some(head) if fq.deficit >= head.size as i64 => {
+                    let pkt = fq.queue.pop_front().expect("head exists");
+                    fq.deficit -= pkt.size as i64;
+                    fq.bytes -= pkt.size as u64;
+                    self.total_pkts -= 1;
+                    self.total_bytes -= pkt.size as u64;
+                    if fq.queue.is_empty() {
+                        self.active.pop_front();
+                        self.flows.remove(&key);
+                    }
+                    self.stats.dequeued += 1;
+                    return Some(pkt);
+                }
+                Some(_) => {
+                    fq.deficit += self.config.quantum_bytes as i64;
+                    self.active.rotate_left(1);
+                }
+            }
+        }
+        None
+    }
+
+    fn len_packets(&self) -> usize {
+        self.total_pkts
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "drr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+
+    fn pkt(flow: u64, size: u32) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 2000 + flow as u16, ipv4(10, 0, 1, 1), 80),
+            0,
+            size,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn equal_share_between_two_backlogged_flows() {
+        let mut d = Drr::new(DrrConfig::default());
+        for _ in 0..50 {
+            d.enqueue(pkt(0, 1460), Nanos::ZERO);
+            d.enqueue(pkt(1, 1460), Nanos::ZERO);
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..40 {
+            let p = d.dequeue(Nanos::ZERO).unwrap();
+            counts[p.flow.0 as usize] += 1;
+        }
+        assert_eq!(counts[0] + counts[1], 40);
+        let diff = counts[0].abs_diff(counts[1]);
+        assert!(diff <= 1, "counts {counts:?} should be nearly equal");
+    }
+
+    #[test]
+    fn byte_fairness_with_unequal_packet_sizes() {
+        // Flow 0 sends 1460-byte packets, flow 1 sends 292-byte packets.
+        // After many rounds, bytes served should be roughly equal even though
+        // packet counts differ by ~5x.
+        let mut d = Drr::new(DrrConfig { quantum_bytes: 1500, total_capacity_pkts: 100_000 });
+        for _ in 0..200 {
+            d.enqueue(pkt(0, 1460), Nanos::ZERO);
+        }
+        for _ in 0..1000 {
+            d.enqueue(pkt(1, 292 - 40), Nanos::ZERO);
+        }
+        let mut bytes = [0u64; 2];
+        for _ in 0..600 {
+            if let Some(p) = d.dequeue(Nanos::ZERO) {
+                bytes[p.flow.0 as usize] += p.size as u64;
+            }
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!((0.7..1.4).contains(&ratio), "byte ratio {ratio} not near 1 ({bytes:?})");
+    }
+
+    #[test]
+    fn flow_state_is_cleaned_up() {
+        let mut d = Drr::new(DrrConfig::default());
+        d.enqueue(pkt(0, 100), Nanos::ZERO);
+        assert_eq!(d.backlogged_flows(), 1);
+        d.dequeue(Nanos::ZERO);
+        assert_eq!(d.backlogged_flows(), 0);
+        assert!(d.flows.is_empty(), "idle flow queues must be removed");
+    }
+
+    #[test]
+    fn capacity_drop_comes_from_longest_flow() {
+        let mut d = Drr::new(DrrConfig { total_capacity_pkts: 5, ..Default::default() });
+        for _ in 0..5 {
+            d.enqueue(pkt(0, 1000), Nanos::ZERO);
+        }
+        match d.enqueue(pkt(1, 1000), Nanos::ZERO) {
+            Enqueued::Dropped(p) => assert_eq!(p.flow.0, 0),
+            _ => panic!("expected drop"),
+        }
+    }
+
+    #[test]
+    fn dequeue_on_empty_is_none() {
+        let mut d = Drr::new(DrrConfig::default());
+        assert!(d.dequeue(Nanos::ZERO).is_none());
+    }
+}

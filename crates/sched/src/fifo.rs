@@ -1,0 +1,190 @@
+//! Drop-tail FIFO queue.
+//!
+//! This is the "status quo" queue discipline: a single queue with a finite
+//! capacity that drops arriving packets when full. Both the emulated
+//! bottleneck router and the Bundler-with-FIFO configuration in Figure 9 use
+//! it.
+
+use std::collections::VecDeque;
+
+use bundler_types::{Nanos, Packet};
+
+use crate::{Enqueued, SchedStats, Scheduler};
+
+/// How the FIFO capacity is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capacity {
+    /// Maximum number of packets.
+    Packets(usize),
+    /// Maximum number of bytes.
+    Bytes(u64),
+    /// No limit (used for the sendbox queue, which Bundler wants to absorb
+    /// arbitrarily large standing queues shifted from the network).
+    Unbounded,
+}
+
+/// A drop-tail FIFO queue.
+#[derive(Debug)]
+pub struct DropTailFifo {
+    queue: VecDeque<Packet>,
+    capacity: Capacity,
+    bytes: u64,
+    stats: SchedStats,
+}
+
+impl DropTailFifo {
+    /// Creates a FIFO with the given capacity.
+    pub fn new(capacity: Capacity) -> Self {
+        DropTailFifo { queue: VecDeque::new(), capacity, bytes: 0, stats: SchedStats::default() }
+    }
+
+    /// Creates a FIFO bounded by a packet count.
+    pub fn with_packet_capacity(pkts: usize) -> Self {
+        Self::new(Capacity::Packets(pkts))
+    }
+
+    /// Creates a FIFO bounded by a byte count.
+    pub fn with_byte_capacity(bytes: u64) -> Self {
+        Self::new(Capacity::Bytes(bytes))
+    }
+
+    /// Creates a FIFO with no capacity limit.
+    pub fn unbounded() -> Self {
+        Self::new(Capacity::Unbounded)
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Peeks at the head-of-line packet without removing it.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    fn would_overflow(&self, pkt: &Packet) -> bool {
+        match self.capacity {
+            Capacity::Packets(max) => self.queue.len() + 1 > max,
+            Capacity::Bytes(max) => self.bytes + pkt.size as u64 > max,
+            Capacity::Unbounded => false,
+        }
+    }
+}
+
+impl Scheduler for DropTailFifo {
+    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
+        if self.would_overflow(&pkt) {
+            self.stats.dropped += 1;
+            self.stats.dropped_bytes += pkt.size as u64;
+            return Enqueued::Dropped(Box::new(pkt));
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.stats.enqueued += 1;
+        self.queue.push_back(pkt);
+        Enqueued::Queued
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        self.stats.dequeued += 1;
+        Some(pkt)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+
+    fn pkt(flow: u64, size: u32) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 1000, ipv4(10, 0, 1, 1), 80),
+            0,
+            size,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = DropTailFifo::with_packet_capacity(10);
+        for i in 0..5 {
+            assert!(!q.enqueue(pkt(i, 100), Nanos::ZERO).is_drop());
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO)).map(|p| p.flow.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn packet_capacity_drops_tail() {
+        let mut q = DropTailFifo::with_packet_capacity(2);
+        assert!(!q.enqueue(pkt(0, 100), Nanos::ZERO).is_drop());
+        assert!(!q.enqueue(pkt(1, 100), Nanos::ZERO).is_drop());
+        let third = q.enqueue(pkt(2, 100), Nanos::ZERO);
+        match third {
+            Enqueued::Dropped(p) => assert_eq!(p.flow.0, 2),
+            _ => panic!("expected drop"),
+        }
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.len_packets(), 2);
+    }
+
+    #[test]
+    fn byte_capacity_enforced() {
+        let mut q = DropTailFifo::with_byte_capacity(300);
+        // Each packet is payload + 40 header bytes = 140.
+        assert!(!q.enqueue(pkt(0, 100), Nanos::ZERO).is_drop());
+        assert!(!q.enqueue(pkt(1, 100), Nanos::ZERO).is_drop());
+        assert!(q.enqueue(pkt(2, 100), Nanos::ZERO).is_drop());
+        assert_eq!(q.len_bytes(), 280);
+    }
+
+    #[test]
+    fn unbounded_never_drops() {
+        let mut q = DropTailFifo::unbounded();
+        for i in 0..10_000 {
+            assert!(!q.enqueue(pkt(i, 1460), Nanos::ZERO).is_drop());
+        }
+        assert_eq!(q.len_packets(), 10_000);
+    }
+
+    #[test]
+    fn enqueue_stamps_enqueued_at() {
+        let mut q = DropTailFifo::unbounded();
+        q.enqueue(pkt(0, 100), Nanos::from_millis(7));
+        assert_eq!(q.peek().unwrap().enqueued_at, Nanos::from_millis(7));
+    }
+
+    #[test]
+    fn bytes_tracks_dequeues() {
+        let mut q = DropTailFifo::unbounded();
+        q.enqueue(pkt(0, 100), Nanos::ZERO);
+        q.enqueue(pkt(1, 200), Nanos::ZERO);
+        assert_eq!(q.len_bytes(), 140 + 240);
+        q.dequeue(Nanos::ZERO);
+        assert_eq!(q.len_bytes(), 240);
+        q.dequeue(Nanos::ZERO);
+        assert_eq!(q.len_bytes(), 0);
+        assert!(q.dequeue(Nanos::ZERO).is_none());
+    }
+}

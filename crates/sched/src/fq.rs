@@ -1,0 +1,211 @@
+//! Ideal per-flow fair queueing.
+//!
+//! This scheduler keeps one queue per flow id (not per hash bucket) and
+//! serves them with a byte-accurate round-robin. It is the scheduler used by
+//! the paper's "In-Network" baseline, which deploys fair queueing directly at
+//! the (emulated) bottleneck router — the configuration that is *not*
+//! deployable in practice but bounds how much of the possible benefit
+//! Bundler captures (Figure 9: Bundler is within 15 % of it).
+
+use std::collections::{HashMap, VecDeque};
+
+use bundler_types::{FlowId, Nanos, Packet};
+
+use crate::{Enqueued, SchedStats, Scheduler};
+
+#[derive(Debug, Default)]
+struct FlowQueue {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    deficit: i64,
+}
+
+/// Ideal per-flow fair queueing scheduler.
+#[derive(Debug)]
+pub struct FairQueue {
+    quantum: u32,
+    capacity_pkts: usize,
+    flows: HashMap<FlowId, FlowQueue>,
+    active: VecDeque<FlowId>,
+    total_pkts: usize,
+    total_bytes: u64,
+    stats: SchedStats,
+}
+
+impl FairQueue {
+    /// Creates a fair queue with the given total packet capacity.
+    pub fn new(capacity_pkts: usize) -> Self {
+        FairQueue {
+            quantum: 1514,
+            capacity_pkts,
+            flows: HashMap::new(),
+            active: VecDeque::new(),
+            total_pkts: 0,
+            total_bytes: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Number of distinct backlogged flows.
+    pub fn backlogged_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    fn drop_from_longest(&mut self) -> Option<Packet> {
+        let longest = self
+            .active
+            .iter()
+            .copied()
+            .max_by_key(|k| self.flows.get(k).map(|f| f.queue.len()).unwrap_or(0))?;
+        let fq = self.flows.get_mut(&longest)?;
+        let pkt = fq.queue.pop_back()?;
+        fq.bytes -= pkt.size as u64;
+        self.total_pkts -= 1;
+        self.total_bytes -= pkt.size as u64;
+        if fq.queue.is_empty() {
+            self.active.retain(|&k| k != longest);
+        }
+        Some(pkt)
+    }
+}
+
+impl Scheduler for FairQueue {
+    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
+        pkt.enqueued_at = now;
+        let key = pkt.flow;
+        let size = pkt.size as u64;
+        let fq = self.flows.entry(key).or_default();
+        let newly_active = fq.queue.is_empty();
+        fq.bytes += size;
+        fq.queue.push_back(pkt);
+        self.total_pkts += 1;
+        self.total_bytes += size;
+        self.stats.enqueued += 1;
+        if newly_active {
+            fq.deficit = self.quantum as i64;
+            self.active.push_back(key);
+        }
+        if self.total_pkts > self.capacity_pkts {
+            if let Some(dropped) = self.drop_from_longest() {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += dropped.size as u64;
+                return Enqueued::Dropped(Box::new(dropped));
+            }
+        }
+        Enqueued::Queued
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let mut rotations = 0usize;
+        let max_rotations = self.active.len().saturating_mul(2).max(2);
+        while let Some(&key) = self.active.front() {
+            rotations += 1;
+            if rotations > max_rotations && self.total_pkts > 0 {
+                break;
+            }
+            let fq = self.flows.get_mut(&key).expect("active flow exists");
+            match fq.queue.front() {
+                None => {
+                    self.active.pop_front();
+                }
+                Some(head) if fq.deficit >= head.size as i64 => {
+                    let pkt = fq.queue.pop_front().expect("head exists");
+                    fq.deficit -= pkt.size as i64;
+                    fq.bytes -= pkt.size as u64;
+                    self.total_pkts -= 1;
+                    self.total_bytes -= pkt.size as u64;
+                    if fq.queue.is_empty() {
+                        self.active.pop_front();
+                        self.flows.remove(&key);
+                    }
+                    self.stats.dequeued += 1;
+                    return Some(pkt);
+                }
+                Some(_) => {
+                    fq.deficit += self.quantum as i64;
+                    self.active.rotate_left(1);
+                }
+            }
+        }
+        None
+    }
+
+    fn len_packets(&self) -> usize {
+        self.total_pkts
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowKey};
+
+    fn pkt(flow: u64, size: u32) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 3000, ipv4(10, 0, 1, 1), 80),
+            0,
+            size,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn no_hash_collisions_between_flows() {
+        // Unlike SFQ, flows with the same five-tuple hash are still isolated
+        // because the queue is keyed on FlowId.
+        let mut fq = FairQueue::new(1000);
+        for _ in 0..10 {
+            fq.enqueue(pkt(0, 1000), Nanos::ZERO);
+            fq.enqueue(pkt(1, 1000), Nanos::ZERO);
+        }
+        assert_eq!(fq.backlogged_flows(), 2);
+        let mut counts = [0usize; 2];
+        for _ in 0..10 {
+            counts[fq.dequeue(Nanos::ZERO).unwrap().flow.0 as usize] += 1;
+        }
+        assert_eq!(counts[0], 5);
+        assert_eq!(counts[1], 5);
+    }
+
+    #[test]
+    fn short_flow_bypasses_long_flow() {
+        let mut fq = FairQueue::new(10_000);
+        for _ in 0..500 {
+            fq.enqueue(pkt(0, 1460), Nanos::ZERO);
+        }
+        fq.enqueue(pkt(7, 100), Nanos::ZERO);
+        let mut pos = None;
+        for i in 0..502 {
+            if fq.dequeue(Nanos::ZERO).unwrap().flow.0 == 7 {
+                pos = Some(i);
+                break;
+            }
+        }
+        assert!(pos.unwrap() <= 2);
+    }
+
+    #[test]
+    fn capacity_and_cleanup() {
+        let mut fq = FairQueue::new(4);
+        for _ in 0..4 {
+            assert!(!fq.enqueue(pkt(0, 500), Nanos::ZERO).is_drop());
+        }
+        assert!(fq.enqueue(pkt(1, 500), Nanos::ZERO).is_drop());
+        while fq.dequeue(Nanos::ZERO).is_some() {}
+        assert_eq!(fq.backlogged_flows(), 0);
+        assert_eq!(fq.len_bytes(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! FQ-CoDel: fair queueing with per-queue CoDel (RFC 8290).
+//!
+//! Flows are hashed into buckets (like SFQ), buckets are served with deficit
+//! round robin, and each bucket runs its own CoDel drop state machine. New
+//! flows get a scheduling boost (the "new flow" list is served before the
+//! "old flow" list), which is what gives sparse latency-sensitive flows very
+//! low delay. The paper reports that Bundler with FQ-CoDel cuts median
+//! end-to-end RTTs by 97 %.
+
+use std::collections::VecDeque;
+
+use bundler_types::{Duration, Nanos, Packet};
+
+use crate::codel::{CodelState, CodelVerdict};
+use crate::{Enqueued, SchedStats, Scheduler};
+
+/// Configuration for [`FqCodel`].
+#[derive(Debug, Clone, Copy)]
+pub struct FqCodelConfig {
+    /// Number of hash buckets. RFC 8290 default is 1024.
+    pub buckets: usize,
+    /// DRR quantum in bytes.
+    pub quantum_bytes: u32,
+    /// CoDel target delay.
+    pub target: Duration,
+    /// CoDel interval.
+    pub interval: Duration,
+    /// Total packet capacity across all buckets.
+    pub total_capacity_pkts: usize,
+    /// Hash seed.
+    pub hash_seed: u64,
+}
+
+impl Default for FqCodelConfig {
+    fn default() -> Self {
+        FqCodelConfig {
+            buckets: 1024,
+            quantum_bytes: 1514,
+            target: Duration::from_millis(5),
+            interval: Duration::from_millis(100),
+            total_capacity_pkts: 10240,
+            hash_seed: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    deficit: i64,
+    codel: CodelState,
+    /// Whether this bucket is currently on the new-flows or old-flows list
+    /// (or neither).
+    membership: Membership,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Membership {
+    None,
+    New,
+    Old,
+}
+
+/// FQ-CoDel scheduler.
+#[derive(Debug)]
+pub struct FqCodel {
+    config: FqCodelConfig,
+    buckets: Vec<Bucket>,
+    new_flows: VecDeque<usize>,
+    old_flows: VecDeque<usize>,
+    total_pkts: usize,
+    total_bytes: u64,
+    stats: SchedStats,
+}
+
+impl FqCodel {
+    /// Creates an FQ-CoDel scheduler.
+    pub fn new(config: FqCodelConfig) -> Self {
+        assert!(config.buckets > 0);
+        let buckets = (0..config.buckets)
+            .map(|_| Bucket {
+                queue: VecDeque::new(),
+                bytes: 0,
+                deficit: 0,
+                codel: CodelState::new(config.target, config.interval),
+                membership: Membership::None,
+            })
+            .collect();
+        FqCodel {
+            config,
+            buckets,
+            new_flows: VecDeque::new(),
+            old_flows: VecDeque::new(),
+            total_pkts: 0,
+            total_bytes: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Creates an FQ-CoDel scheduler with RFC-default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(FqCodelConfig::default())
+    }
+
+    /// Total packets dropped by per-bucket CoDel (not tail overflow).
+    pub fn aqm_drops(&self) -> u64 {
+        self.buckets.iter().map(|b| b.codel.total_drops).sum()
+    }
+
+    fn bucket_of(&self, pkt: &Packet) -> usize {
+        let h = pkt.key.digest() ^ self.config.hash_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h % self.config.buckets as u64) as usize
+    }
+
+    fn drop_from_longest(&mut self) -> Option<Packet> {
+        let longest = (0..self.buckets.len()).max_by_key(|&i| self.buckets[i].bytes)?;
+        let b = &mut self.buckets[longest];
+        let pkt = b.queue.pop_back()?;
+        b.bytes -= pkt.size as u64;
+        self.total_pkts -= 1;
+        self.total_bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    /// Serves one packet from the bucket at the head of `list`, applying
+    /// CoDel. Returns the packet, or None if the head bucket needs rotation
+    /// or removal (caller loops).
+    fn serve_head(&mut self, from_new: bool, now: Nanos) -> HeadOutcome {
+        let idx = {
+            let list = if from_new { &self.new_flows } else { &self.old_flows };
+            match list.front() {
+                Some(&i) => i,
+                None => return HeadOutcome::ListEmpty,
+            }
+        };
+        let quantum = self.config.quantum_bytes as i64;
+        let bucket = &mut self.buckets[idx];
+
+        if bucket.deficit <= 0 {
+            // Out of deficit: add a quantum and move to the end of the old
+            // list (new flows that exhaust their quantum become old flows).
+            bucket.deficit += quantum;
+            if from_new {
+                self.new_flows.pop_front();
+            } else {
+                self.old_flows.pop_front();
+            }
+            bucket.membership = Membership::Old;
+            self.old_flows.push_back(idx);
+            return HeadOutcome::Rotated;
+        }
+
+        loop {
+            match bucket.queue.pop_front() {
+                None => {
+                    // Bucket empty: remove from its list. An empty new flow
+                    // moves to the old list once (per RFC) so it keeps its
+                    // quantum priority briefly; we simplify by removing it.
+                    if from_new {
+                        self.new_flows.pop_front();
+                    } else {
+                        self.old_flows.pop_front();
+                    }
+                    bucket.membership = Membership::None;
+                    return HeadOutcome::Rotated;
+                }
+                Some(pkt) => {
+                    bucket.bytes -= pkt.size as u64;
+                    self.total_pkts -= 1;
+                    self.total_bytes -= pkt.size as u64;
+                    let sojourn = now.saturating_since(pkt.enqueued_at);
+                    match bucket.codel.on_dequeue(sojourn, bucket.bytes, now) {
+                        CodelVerdict::Drop => {
+                            self.stats.dropped += 1;
+                            self.stats.dropped_bytes += pkt.size as u64;
+                            continue;
+                        }
+                        CodelVerdict::Deliver => {
+                            bucket.deficit -= pkt.size as i64;
+                            self.stats.dequeued += 1;
+                            return HeadOutcome::Packet(pkt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum HeadOutcome {
+    Packet(Packet),
+    Rotated,
+    ListEmpty,
+}
+
+impl Scheduler for FqCodel {
+    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
+        pkt.enqueued_at = now;
+        let idx = self.bucket_of(&pkt);
+        let size = pkt.size as u64;
+        let bucket = &mut self.buckets[idx];
+        bucket.bytes += size;
+        bucket.queue.push_back(pkt);
+        self.total_pkts += 1;
+        self.total_bytes += size;
+        self.stats.enqueued += 1;
+        if bucket.membership == Membership::None {
+            bucket.membership = Membership::New;
+            bucket.deficit = self.config.quantum_bytes as i64;
+            self.new_flows.push_back(idx);
+        }
+        if self.total_pkts > self.config.total_capacity_pkts {
+            if let Some(dropped) = self.drop_from_longest() {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += dropped.size as u64;
+                return Enqueued::Dropped(Box::new(dropped));
+            }
+        }
+        Enqueued::Queued
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        let mut guard = 0usize;
+        let max_iter = (self.new_flows.len() + self.old_flows.len()).saturating_mul(3) + 4;
+        loop {
+            guard += 1;
+            if guard > max_iter {
+                return None;
+            }
+            // New flows are always served before old flows.
+            let outcome = if !self.new_flows.is_empty() {
+                self.serve_head(true, now)
+            } else if !self.old_flows.is_empty() {
+                self.serve_head(false, now)
+            } else {
+                return None;
+            };
+            match outcome {
+                HeadOutcome::Packet(p) => return Some(p),
+                HeadOutcome::Rotated | HeadOutcome::ListEmpty => continue,
+            }
+        }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.total_pkts
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fq_codel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+
+    fn pkt(flow: u64, size: u32) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 1000 + flow as u16, ipv4(10, 0, 1, (flow % 200) as u8 + 1), 80),
+            0,
+            size,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn sparse_flow_gets_priority_over_bulk_flow() {
+        let mut s = FqCodel::with_defaults();
+        for _ in 0..200 {
+            s.enqueue(pkt(0, 1460), Nanos::ZERO);
+        }
+        // Drain a bit so flow 0 becomes an "old" flow.
+        for _ in 0..5 {
+            s.dequeue(Nanos::from_millis(1));
+        }
+        // A sparse flow's packet arrives; it lands on the new-flows list and
+        // must be served next.
+        s.enqueue(pkt(1, 100), Nanos::from_millis(2));
+        let next = s.dequeue(Nanos::from_millis(2)).unwrap();
+        assert_eq!(next.flow.0, 1, "sparse flow should be served immediately");
+    }
+
+    #[test]
+    fn codel_drops_under_standing_queue() {
+        let mut s = FqCodel::with_defaults();
+        for _ in 0..500 {
+            s.enqueue(pkt(0, 1460), Nanos::ZERO);
+        }
+        let mut now = Nanos::ZERO;
+        let mut delivered = 0;
+        while !s.is_empty() {
+            now += Duration::from_millis(2);
+            if s.dequeue(now).is_some() {
+                delivered += 1;
+            }
+        }
+        assert!(s.aqm_drops() > 0);
+        assert!(delivered > 0);
+        assert_eq!(delivered + s.aqm_drops() as usize, 500);
+    }
+
+    #[test]
+    fn fair_between_two_bulk_flows() {
+        let mut s = FqCodel::with_defaults();
+        for _ in 0..100 {
+            s.enqueue(pkt(0, 1460), Nanos::ZERO);
+            s.enqueue(pkt(1, 1460), Nanos::ZERO);
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..50 {
+            let p = s.dequeue(Nanos::ZERO).unwrap();
+            counts[p.flow.0 as usize] += 1;
+        }
+        assert!(counts[0] > 15 && counts[1] > 15, "both flows should be served: {counts:?}");
+    }
+
+    #[test]
+    fn total_capacity_enforced() {
+        let mut s = FqCodel::new(FqCodelConfig { total_capacity_pkts: 10, ..Default::default() });
+        let mut drops = 0;
+        for i in 0..20 {
+            if s.enqueue(pkt(i % 3, 1000), Nanos::ZERO).is_drop() {
+                drops += 1;
+            }
+        }
+        assert_eq!(s.len_packets(), 10);
+        assert_eq!(drops, 10);
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut s = FqCodel::with_defaults();
+        assert!(s.dequeue(Nanos::ZERO).is_none());
+        s.enqueue(pkt(0, 100), Nanos::ZERO);
+        assert!(s.dequeue(Nanos::ZERO).is_some());
+        assert!(s.dequeue(Nanos::ZERO).is_none());
+    }
+}

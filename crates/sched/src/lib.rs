@@ -1,0 +1,191 @@
+//! Packet schedulers and rate limiters for the Bundler sendbox datapath.
+//!
+//! The paper's prototype patches the Linux TBF qdisc so that any child qdisc
+//! can be attached below the rate limiter. This crate reproduces that
+//! structure in a datapath-agnostic way:
+//!
+//! * [`Scheduler`] is the qdisc interface (enqueue / dequeue / occupancy).
+//! * Work-conserving schedulers: [`fifo::DropTailFifo`], [`sfq::Sfq`],
+//!   [`drr::Drr`], [`fq::FairQueue`], [`fq_codel::FqCodel`],
+//!   [`prio::StrictPriority`].
+//! * AQM: [`codel::Codel`] (used standalone or inside FQ-CoDel).
+//! * Rate enforcement: [`tbf::TokenBucket`] and [`tbf::Tbf`], the token
+//!   bucket filter with a pluggable inner scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codel;
+pub mod drr;
+pub mod fifo;
+pub mod fq;
+pub mod fq_codel;
+pub mod prio;
+pub mod sfq;
+pub mod tbf;
+
+use bundler_types::{Nanos, Packet};
+
+/// Outcome of handing a packet to a scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Enqueued {
+    /// The packet was accepted and queued.
+    Queued,
+    /// A packet was dropped to make room (either the arriving packet or, for
+    /// schedulers like SFQ, a packet from the longest queue).
+    Dropped(Box<Packet>),
+}
+
+impl Enqueued {
+    /// True if the enqueue resulted in a drop.
+    pub fn is_drop(&self) -> bool {
+        matches!(self, Enqueued::Dropped(_))
+    }
+}
+
+/// Aggregate counters every scheduler maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Packets accepted into the scheduler.
+    pub enqueued: u64,
+    /// Packets handed back out of the scheduler.
+    pub dequeued: u64,
+    /// Packets dropped (at enqueue or, for AQMs, at dequeue).
+    pub dropped: u64,
+    /// Bytes dropped.
+    pub dropped_bytes: u64,
+}
+
+/// A packet scheduler (qdisc).
+///
+/// All schedulers are driven by caller-supplied timestamps so the same code
+/// runs inside the discrete-event simulator and on a real datapath.
+pub trait Scheduler: Send {
+    /// Offers a packet to the scheduler.
+    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> Enqueued;
+
+    /// Removes and returns the next packet to transmit, if any.
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
+
+    /// Number of packets currently queued.
+    fn len_packets(&self) -> usize;
+
+    /// Number of bytes currently queued.
+    fn len_bytes(&self) -> u64;
+
+    /// True if no packets are queued.
+    fn is_empty(&self) -> bool {
+        self.len_packets() == 0
+    }
+
+    /// Lifetime counters.
+    fn stats(&self) -> SchedStats;
+
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The scheduling policies Bundler experiments select between, used by the
+/// simulator and the experiment harness to construct a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Single drop-tail FIFO queue (no scheduling benefit).
+    Fifo,
+    /// Stochastic Fairness Queueing, the paper's default sendbox policy.
+    Sfq,
+    /// FQ-CoDel: per-flow queues with CoDel AQM in each.
+    FqCodel,
+    /// Ideal per-flow fair queueing (used for the "In-Network" baseline).
+    FairQueue,
+    /// Deficit Round Robin across flow queues.
+    Drr,
+    /// Strict priority across traffic classes.
+    StrictPriority,
+}
+
+impl Policy {
+    /// Instantiates the scheduler for this policy with a total capacity of
+    /// `capacity_pkts` packets.
+    pub fn build(self, capacity_pkts: usize) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Fifo => Box::new(fifo::DropTailFifo::with_packet_capacity(capacity_pkts)),
+            Policy::Sfq => Box::new(sfq::Sfq::new(sfq::SfqConfig {
+                total_capacity_pkts: capacity_pkts,
+                ..Default::default()
+            })),
+            Policy::FqCodel => Box::new(fq_codel::FqCodel::new(fq_codel::FqCodelConfig {
+                total_capacity_pkts: capacity_pkts,
+                ..Default::default()
+            })),
+            Policy::FairQueue => Box::new(fq::FairQueue::new(capacity_pkts)),
+            Policy::Drr => Box::new(drr::Drr::new(drr::DrrConfig {
+                total_capacity_pkts: capacity_pkts,
+                ..Default::default()
+            })),
+            Policy::StrictPriority => Box::new(prio::StrictPriority::new(capacity_pkts)),
+        }
+    }
+
+    /// All policies, useful for sweeps.
+    pub fn all() -> &'static [Policy] {
+        &[
+            Policy::Fifo,
+            Policy::Sfq,
+            Policy::FqCodel,
+            Policy::FairQueue,
+            Policy::Drr,
+            Policy::StrictPriority,
+        ]
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Policy::Fifo => "fifo",
+            Policy::Sfq => "sfq",
+            Policy::FqCodel => "fq_codel",
+            Policy::FairQueue => "fq",
+            Policy::Drr => "drr",
+            Policy::StrictPriority => "prio",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+
+    fn pkt(flow: u64) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 1000 + flow as u16, ipv4(10, 0, 1, 1), 80),
+            0,
+            1460,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn policy_builders_produce_working_schedulers() {
+        for &policy in Policy::all() {
+            let mut s = policy.build(100);
+            assert!(s.is_empty(), "{policy} should start empty");
+            assert!(!s.enqueue(pkt(1), Nanos::ZERO).is_drop());
+            assert_eq!(s.len_packets(), 1);
+            let out = s.dequeue(Nanos::from_millis(1));
+            assert!(out.is_some(), "{policy} should dequeue the packet");
+            assert!(s.is_empty());
+            assert_eq!(s.stats().enqueued, 1);
+            assert_eq!(s.stats().dequeued, 1);
+        }
+    }
+
+    #[test]
+    fn policy_display_names_are_stable() {
+        let names: Vec<String> = Policy::all().iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["fifo", "sfq", "fq_codel", "fq", "drr", "prio"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Strict priority scheduling across operator-assigned traffic classes.
+//!
+//! The paper (§7.2) notes that by strictly prioritizing one traffic class
+//! over another at the sendbox, Bundler achieves 65 % lower median FCTs for
+//! the higher-priority class. Each [`TrafficClass`] gets its own FIFO; lower
+//! class numbers are always served first.
+
+use std::collections::VecDeque;
+
+use bundler_types::{Nanos, Packet, TrafficClass};
+
+use crate::{Enqueued, SchedStats, Scheduler};
+
+/// Number of distinct priority levels supported.
+pub const NUM_CLASSES: usize = 8;
+
+/// Strict-priority scheduler.
+#[derive(Debug)]
+pub struct StrictPriority {
+    queues: Vec<VecDeque<Packet>>,
+    capacity_pkts: usize,
+    total_pkts: usize,
+    total_bytes: u64,
+    stats: SchedStats,
+}
+
+impl StrictPriority {
+    /// Creates a strict-priority scheduler with a shared packet capacity.
+    pub fn new(capacity_pkts: usize) -> Self {
+        StrictPriority {
+            queues: (0..NUM_CLASSES).map(|_| VecDeque::new()).collect(),
+            capacity_pkts,
+            total_pkts: 0,
+            total_bytes: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Packets queued in a particular class.
+    pub fn class_len(&self, class: TrafficClass) -> usize {
+        self.queues.get(class.0 as usize % NUM_CLASSES).map(|q| q.len()).unwrap_or(0)
+    }
+
+    fn drop_from_lowest_priority(&mut self) -> Option<Packet> {
+        for q in self.queues.iter_mut().rev() {
+            if let Some(pkt) = q.pop_back() {
+                self.total_pkts -= 1;
+                self.total_bytes -= pkt.size as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for StrictPriority {
+    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
+        pkt.enqueued_at = now;
+        let class = (pkt.class.0 as usize) % NUM_CLASSES;
+        self.total_pkts += 1;
+        self.total_bytes += pkt.size as u64;
+        self.stats.enqueued += 1;
+        self.queues[class].push_back(pkt);
+        if self.total_pkts > self.capacity_pkts {
+            if let Some(dropped) = self.drop_from_lowest_priority() {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += dropped.size as u64;
+                return Enqueued::Dropped(Box::new(dropped));
+            }
+        }
+        Enqueued::Queued
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        for q in self.queues.iter_mut() {
+            if let Some(pkt) = q.pop_front() {
+                self.total_pkts -= 1;
+                self.total_bytes -= pkt.size as u64;
+                self.stats.dequeued += 1;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    fn len_packets(&self) -> usize {
+        self.total_pkts
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "prio"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+
+    fn pkt(flow: u64, class: TrafficClass) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 1000, ipv4(10, 0, 1, 1), 80),
+            0,
+            1000,
+            Nanos::ZERO,
+        )
+        .with_class(class)
+    }
+
+    #[test]
+    fn high_class_always_served_first() {
+        let mut s = StrictPriority::new(1000);
+        for _ in 0..10 {
+            s.enqueue(pkt(0, TrafficClass::BULK), Nanos::ZERO);
+        }
+        s.enqueue(pkt(1, TrafficClass::HIGH), Nanos::ZERO);
+        s.enqueue(pkt(2, TrafficClass::BEST_EFFORT), Nanos::ZERO);
+        assert_eq!(s.dequeue(Nanos::ZERO).unwrap().flow.0, 1);
+        assert_eq!(s.dequeue(Nanos::ZERO).unwrap().flow.0, 2);
+        assert_eq!(s.dequeue(Nanos::ZERO).unwrap().flow.0, 0);
+    }
+
+    #[test]
+    fn fifo_within_a_class() {
+        let mut s = StrictPriority::new(1000);
+        for i in 0..5 {
+            s.enqueue(pkt(i, TrafficClass::BEST_EFFORT), Nanos::ZERO);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO)).map(|p| p.flow.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_lowest_priority_first() {
+        let mut s = StrictPriority::new(3);
+        s.enqueue(pkt(0, TrafficClass::HIGH), Nanos::ZERO);
+        s.enqueue(pkt(1, TrafficClass::BULK), Nanos::ZERO);
+        s.enqueue(pkt(2, TrafficClass::HIGH), Nanos::ZERO);
+        // Fourth packet overflows; the BULK packet must be the victim even
+        // though the arriving packet is HIGH.
+        match s.enqueue(pkt(3, TrafficClass::HIGH), Nanos::ZERO) {
+            Enqueued::Dropped(p) => assert_eq!(p.class, TrafficClass::BULK),
+            _ => panic!("expected drop"),
+        }
+        assert_eq!(s.class_len(TrafficClass::HIGH), 3);
+        assert_eq!(s.class_len(TrafficClass::BULK), 0);
+    }
+
+    #[test]
+    fn class_len_and_counters() {
+        let mut s = StrictPriority::new(10);
+        s.enqueue(pkt(0, TrafficClass::HIGH), Nanos::ZERO);
+        s.enqueue(pkt(1, TrafficClass::BULK), Nanos::ZERO);
+        assert_eq!(s.class_len(TrafficClass::HIGH), 1);
+        assert_eq!(s.class_len(TrafficClass::BULK), 1);
+        assert_eq!(s.len_packets(), 2);
+        s.dequeue(Nanos::ZERO);
+        s.dequeue(Nanos::ZERO);
+        assert!(s.is_empty());
+        assert_eq!(s.len_bytes(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The site edge: either a transparent pass-through (status quo) or a
+//! Bundler sendbox (token-bucket rate limiter + scheduler + control plane)
+//! paired with a receivebox at the destination site.
+
+use bundler_core::feedback::{BundleId, CongestionAck, EpochSizeUpdate};
+use bundler_core::{BundlerConfig, Mode, Receivebox, Sendbox};
+use bundler_sched::tbf::{Release, Tbf};
+use bundler_types::{Nanos, Packet, Rate};
+
+use crate::stats::TimeSeries;
+
+/// How a bundle's traffic is treated at the source site edge.
+#[derive(Debug, Clone, Copy)]
+pub enum BundleMode {
+    /// No Bundler: packets pass straight through to the network (the
+    /// paper's "Status Quo" configuration). Flows are still attributed to
+    /// the bundle for statistics.
+    StatusQuo,
+    /// A Bundler sendbox/receivebox pair manages the bundle.
+    Bundler(BundlerConfig),
+}
+
+/// A deployed bundle: sendbox datapath + control plane + receivebox.
+pub struct Bundle {
+    /// Index of this bundle within the simulation.
+    pub index: usize,
+    /// The sendbox datapath: token bucket + configured scheduler.
+    pub tbf: Tbf,
+    /// The sendbox control plane.
+    pub control: Sendbox,
+    /// The receivebox at the destination site.
+    pub receivebox: Receivebox,
+    /// Whether a release event is currently scheduled (prevents duplicate
+    /// scheduling in the event loop).
+    pub release_scheduled: bool,
+    /// Sendbox queue delay samples in milliseconds.
+    pub queue_delay_ms: TimeSeries,
+    /// Mode changes observed: (time, mode name).
+    pub mode_timeline: Vec<(Nanos, String)>,
+    last_mode: Mode,
+}
+
+impl std::fmt::Debug for Bundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bundle")
+            .field("index", &self.index)
+            .field("rate", &self.tbf.rate())
+            .field("queued", &self.tbf.len_packets())
+            .field("mode", &self.control.mode())
+            .finish()
+    }
+}
+
+impl Bundle {
+    /// Creates a bundle instance from a Bundler configuration.
+    pub fn new(index: usize, config: BundlerConfig, now: Nanos) -> Result<Self, String> {
+        config.validate()?;
+        let scheduler = config.policy.build(config.sendbox_queue_capacity_pkts);
+        let tbf = Tbf::new(config.initial_rate, 3 * 1514, scheduler, now);
+        let control = Sendbox::new(BundleId(index as u32), config)?;
+        let receivebox = Receivebox::new(BundleId(index as u32), config.initial_epoch_size);
+        Ok(Bundle {
+            index,
+            tbf,
+            control,
+            receivebox,
+            release_scheduled: false,
+            queue_delay_ms: TimeSeries::new(),
+            mode_timeline: vec![(now, Mode::DelayControl.to_string())],
+            last_mode: Mode::DelayControl,
+        })
+    }
+
+    /// Offers a packet from a bundled flow to the sendbox scheduler.
+    /// Returns `false` if the scheduler dropped a packet to make room.
+    pub fn enqueue(&mut self, pkt: Packet, now: Nanos) -> bool {
+        !self.tbf.enqueue(pkt, now).is_drop()
+    }
+
+    /// Attempts to release the next packet under the current pacing rate.
+    /// On success the control plane is notified so it can record epoch
+    /// boundaries.
+    pub fn try_release(&mut self, now: Nanos) -> Release {
+        let release = self.tbf.try_dequeue(now);
+        if let Release::Packet(ref pkt) = release {
+            self.control.on_packet_forwarded(pkt, now);
+        }
+        release
+    }
+
+    /// Runs one control tick: invokes the control plane, applies the new
+    /// rate to the token bucket, and returns any epoch-size update that must
+    /// be delivered to the receivebox.
+    pub fn tick(&mut self, now: Nanos) -> Option<EpochSizeUpdate> {
+        let queue_bytes = self.tbf.len_bytes();
+        let out = self.control.on_tick(queue_bytes, now);
+        self.tbf.set_rate(out.rate, now);
+        if out.mode != self.last_mode {
+            self.last_mode = out.mode;
+            self.mode_timeline.push((now, out.mode.to_string()));
+        }
+        out.epoch_update
+    }
+
+    /// Delivers a congestion ACK from the receivebox to the control plane.
+    pub fn on_congestion_ack(&mut self, ack: &CongestionAck, now: Nanos) {
+        self.control.on_congestion_ack(ack, now);
+    }
+
+    /// Current pacing rate.
+    pub fn rate(&self) -> Rate {
+        self.tbf.rate()
+    }
+
+    /// Bytes queued at the sendbox.
+    pub fn queue_bytes(&self) -> u64 {
+        self.tbf.len_bytes()
+    }
+
+    /// Records a queue-delay sample (delay a packet arriving now would
+    /// experience at the current pacing rate).
+    pub fn sample_queue_delay(&mut self, now: Nanos) {
+        let rate = self.tbf.rate();
+        let delay_ms = if rate.is_zero() {
+            0.0
+        } else {
+            rate.transmit_time(self.tbf.len_bytes()).as_millis_f64()
+        };
+        self.queue_delay_ms.push(now, delay_ms.min(30_000.0));
+    }
+
+    /// Current operating mode of the control plane.
+    pub fn mode(&self) -> Mode {
+        self.control.mode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+
+    fn pkt(i: u16) -> Packet {
+        Packet::data(
+            FlowId(1),
+            FlowKey::tcp(ipv4(10, 0, 0, 2), 5555, ipv4(10, 0, 7, 7), 443),
+            0,
+            1460,
+            Nanos::ZERO,
+        )
+        .with_ip_id(i)
+    }
+
+    #[test]
+    fn bundle_construction_validates_config() {
+        let bad = BundlerConfig { initial_epoch_size: 5, ..Default::default() };
+        assert!(Bundle::new(0, bad, Nanos::ZERO).is_err());
+        assert!(Bundle::new(0, BundlerConfig::default(), Nanos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn release_notifies_control_plane_of_boundaries() {
+        let config = BundlerConfig { initial_epoch_size: 1, ..Default::default() };
+        let mut b = Bundle::new(0, config, Nanos::ZERO).unwrap();
+        for i in 0..10 {
+            assert!(b.enqueue(pkt(i), Nanos::ZERO));
+        }
+        let mut released = 0;
+        let mut now = Nanos::ZERO;
+        for _ in 0..100 {
+            match b.try_release(now) {
+                Release::Packet(_) => released += 1,
+                Release::Wait(d) => now = now + d,
+                Release::Empty => break,
+            }
+        }
+        assert_eq!(released, 10);
+        // With epoch size 1, every forwarded packet is a boundary.
+        assert_eq!(b.control.stats().boundaries, 10);
+    }
+
+    #[test]
+    fn tick_applies_rate_to_token_bucket() {
+        let mut b = Bundle::new(0, BundlerConfig::default(), Nanos::ZERO).unwrap();
+        let r0 = b.rate();
+        // Without feedback the rate stays at the initial value.
+        b.tick(Nanos::from_millis(10));
+        assert_eq!(b.rate(), r0);
+        assert_eq!(b.mode(), Mode::DelayControl);
+    }
+
+    #[test]
+    fn queue_delay_sampling() {
+        let mut b = Bundle::new(0, BundlerConfig::default(), Nanos::ZERO).unwrap();
+        for i in 0..100 {
+            b.enqueue(pkt(i), Nanos::ZERO);
+        }
+        b.sample_queue_delay(Nanos::from_millis(1));
+        assert_eq!(b.queue_delay_ms.len(), 1);
+        assert!(b.queue_delay_ms.samples[0].1 > 0.0);
+        assert!(b.queue_bytes() > 0);
+    }
+}

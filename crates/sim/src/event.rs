@@ -1,0 +1,207 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion sequence so
+//! that the simulation is fully deterministic regardless of how the standard
+//! library's binary heap breaks ties.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bundler_core::feedback::{CongestionAck, EpochSizeUpdate};
+use bundler_types::{FlowId, Nanos, Packet};
+
+use crate::workload::FlowSpec;
+
+/// Everything that can happen in the simulated network.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A new application flow starts at its sender.
+    FlowArrival(FlowSpec),
+    /// A data or ACK packet reaches the bottleneck stage and is offered to
+    /// the path with the given index.
+    ArriveBottleneck {
+        /// Index of the bottleneck sub-path chosen by the load balancer.
+        path: usize,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// The given path finished serializing its current packet and should
+    /// pick the next one.
+    PathDequeue {
+        /// Index of the path.
+        path: usize,
+    },
+    /// A packet arrives at the destination site (after the bottleneck and
+    /// forward propagation delay).
+    ArriveDestination {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A transport ACK (or response packet) arrives back at the source site.
+    ArriveSource {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A Bundler congestion ACK reaches the sendbox.
+    CongestionAckArrive {
+        /// Index of the bundle it belongs to.
+        bundle: usize,
+        /// The ACK.
+        ack: CongestionAck,
+    },
+    /// A Bundler epoch-size update reaches the receivebox.
+    EpochUpdateArrive {
+        /// Index of the bundle it belongs to.
+        bundle: usize,
+        /// The update.
+        update: EpochSizeUpdate,
+    },
+    /// Periodic control-plane tick for the given bundle's sendbox.
+    SendboxTick {
+        /// Index of the bundle.
+        bundle: usize,
+    },
+    /// The given bundle's token bucket may have tokens to release another
+    /// packet.
+    SendboxRelease {
+        /// Index of the bundle.
+        bundle: usize,
+    },
+    /// Retransmission-timeout check for a flow.
+    RtoCheck {
+        /// The flow to check.
+        flow: FlowId,
+    },
+    /// Periodic statistics sample.
+    Sample,
+    /// End of the simulation.
+    End,
+}
+
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+        // event first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue.
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: Nanos,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: Nanos::ZERO }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`. Events scheduled in the past
+    /// are clamped to the current time (they run "immediately").
+    pub fn schedule(&mut self, at: Nanos, event: Event) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq: self.seq, event });
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(5), Event::Sample);
+        q.schedule(Nanos::from_millis(1), Event::End);
+        q.schedule(Nanos::from_millis(3), Event::Sample);
+        let times: Vec<u64> =
+            std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos() / 1_000_000).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 0 });
+        q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 1 });
+        q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::SendboxTick { bundle } => bundle,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clock_advances_and_past_events_clamp() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), Event::Sample);
+        assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
+        assert_eq!(q.now(), Nanos::from_millis(10));
+        // Scheduling "in the past" runs at the current time, never earlier.
+        q.schedule(Nanos::from_millis(1), Event::End);
+        assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos::ZERO, Event::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

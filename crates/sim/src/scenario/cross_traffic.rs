@@ -1,0 +1,505 @@
+//! Figures 10–13: Bundler under cross traffic and competing bundles.
+//!
+//! * [`CrossTrafficTimeline`] (Figure 10): three 60-second phases — no cross
+//!   traffic, buffer-filling cross traffic, non-buffer-filling cross traffic
+//!   — showing the mode switches and their effect on short-flow FCTs.
+//! * [`ShortCrossSweep`] (Figure 11): finite-size cross traffic whose
+//!   offered load sweeps from 6 to 42 Mbit/s against a fixed 48 Mbit/s
+//!   bundle.
+//! * [`ElasticCrossSweep`] (Figure 12): 10–50 persistent elastic cross flows
+//!   against a bundle of 20 backlogged flows; measures the bundle's
+//!   throughput loss.
+//! * [`CompetingBundles`] (Figure 13): two bundles sharing the bottleneck at
+//!   1:1 and 2:1 offered-load ratios.
+
+use bundler_core::BundlerConfig;
+use bundler_types::{Duration, Nanos, Rate};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::edge::BundleMode;
+use crate::sim::{Simulation, SimulationConfig};
+use crate::stats::{quantile, SimReport};
+use crate::workload::{FlowSizeDist, FlowSpec, PoissonArrivals};
+
+fn request_workload(
+    rng: &mut SmallRng,
+    dist: &FlowSizeDist,
+    load: Rate,
+    from: Duration,
+    until: Duration,
+    bundle: Option<usize>,
+    first_id: u64,
+) -> (Vec<FlowSpec>, u64) {
+    let arrivals = PoissonArrivals::for_load(load, dist);
+    let mut specs = Vec::new();
+    let mut t = Nanos::ZERO + from;
+    let mut id = first_id;
+    while t < Nanos::ZERO + until {
+        t = t + arrivals.next_gap(rng);
+        let size = dist.sample(rng);
+        let spec = match bundle {
+            Some(b) => FlowSpec::bundled(id, size, t, b),
+            None => FlowSpec::direct(id, size, t),
+        };
+        specs.push(spec);
+        id += 1;
+    }
+    (specs, id)
+}
+
+/// Figure 10: the three-phase cross-traffic timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossTrafficTimeline {
+    /// Bottleneck rate (paper: 96 Mbit/s).
+    pub bottleneck: Rate,
+    /// Base RTT (paper: 50 ms).
+    pub rtt: Duration,
+    /// Length of each of the three phases (paper: 60 s).
+    pub phase: Duration,
+    /// Offered load of the bundle's request traffic.
+    pub bundle_load: Rate,
+    /// Offered load of the phase-3 (non-buffer-filling) cross traffic.
+    pub inelastic_cross_load: Rate,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for CrossTrafficTimeline {
+    fn default() -> Self {
+        CrossTrafficTimeline {
+            bottleneck: Rate::from_mbps(96),
+            rtt: Duration::from_millis(50),
+            phase: Duration::from_secs(60),
+            bundle_load: Rate::from_mbps(60),
+            inelastic_cross_load: Rate::from_mbps(24),
+            seed: 1,
+        }
+    }
+}
+
+/// Result of the timeline experiment.
+#[derive(Debug, Clone)]
+pub struct TimelineResult {
+    /// The raw simulation report.
+    pub report: SimReport,
+    /// Phase boundaries: (end of phase 1, end of phase 2, end of phase 3).
+    pub phase_ends: (Nanos, Nanos, Nanos),
+}
+
+impl CrossTrafficTimeline {
+    /// Runs the three-phase experiment with Bundler (SFQ + Copa) deployed.
+    pub fn run(&self) -> TimelineResult {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let dist = FlowSizeDist::caida_like();
+        let p1_end = self.phase;
+        let p2_end = self.phase * 2;
+        let p3_end = self.phase * 3;
+
+        // Bundle request traffic runs for all three phases.
+        let (mut specs, mut next_id) = request_workload(
+            &mut rng,
+            &dist,
+            self.bundle_load,
+            Duration::ZERO,
+            p3_end,
+            Some(0),
+            0,
+        );
+        // Phase 2: one backlogged (buffer-filling) cross flow.
+        specs.push(FlowSpec::direct(next_id, FlowSpec::BACKLOGGED, Nanos::ZERO + p1_end));
+        next_id += 1;
+        // Phase 3: the backlogged flow stops (we model this by giving it a
+        // finite size equal to one phase of full-rate transfer is not
+        // possible mid-simulation, so instead the backlogged flow is sized
+        // to finish right at the end of phase 2) and request-driven cross
+        // traffic starts.
+        let (cross_specs, _) = request_workload(
+            &mut rng,
+            &dist,
+            self.inelastic_cross_load,
+            p2_end,
+            p3_end,
+            None,
+            next_id,
+        );
+        specs.extend(cross_specs);
+
+        // Replace the infinite backlogged flow with one sized to occupy
+        // phase 2 only (roughly its fair share of the phase).
+        let phase2_bytes =
+            (self.bottleneck.as_bytes_per_sec() * self.phase.as_secs_f64() * 0.6) as u64;
+        for s in specs.iter_mut() {
+            if s.is_backlogged() {
+                s.size_bytes = phase2_bytes;
+            }
+        }
+
+        let config = SimulationConfig {
+            duration: p3_end + Duration::from_secs(5),
+            bottleneck_rate: self.bottleneck,
+            rtt: self.rtt,
+            bundles: vec![BundleMode::Bundler(BundlerConfig::default())],
+            sample_interval: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let report = Simulation::new(config, specs).run();
+        TimelineResult {
+            report,
+            phase_ends: (Nanos::ZERO + p1_end, Nanos::ZERO + p2_end, Nanos::ZERO + p3_end),
+        }
+    }
+}
+
+impl TimelineResult {
+    /// Mode names that were active at any point during `[from, to)`.
+    pub fn modes_during(&self, from: Nanos, to: Nanos) -> Vec<String> {
+        let timeline = &self.report.mode_timeline[0];
+        let mut active = Vec::new();
+        let mut current = "delay-control".to_string();
+        for &(t, ref mode) in timeline {
+            if t < from {
+                current = mode.clone();
+            } else if t < to {
+                if active.is_empty() {
+                    active.push(current.clone());
+                }
+                active.push(mode.clone());
+            }
+        }
+        if active.is_empty() {
+            active.push(current);
+        }
+        active.dedup();
+        active
+    }
+
+    /// Median FCT (ms) of short (≤10 KB) bundled flows completing in the
+    /// given window.
+    pub fn short_flow_median_fct_ms(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        let mut fcts: Vec<f64> = self
+            .report
+            .fcts
+            .iter()
+            .filter(|r| {
+                r.bundle == Some(0)
+                    && r.size_bytes <= 10_000
+                    && r.start >= from
+                    && r.start < to
+            })
+            .map(|r| r.fct.as_millis_f64())
+            .collect();
+        quantile(&mut fcts, 0.5)
+    }
+}
+
+/// Figure 11: short-flow cross traffic of increasing offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct ShortCrossSweep {
+    /// Bottleneck rate.
+    pub bottleneck: Rate,
+    /// Base RTT.
+    pub rtt: Duration,
+    /// The bundle's fixed offered load (paper: 48 Mbit/s).
+    pub bundle_load: Rate,
+    /// Run length per sweep point.
+    pub duration: Duration,
+    /// Random seed.
+    pub seed: u64,
+    /// Whether Bundler is deployed (true) or status quo (false).
+    pub with_bundler: bool,
+}
+
+impl Default for ShortCrossSweep {
+    fn default() -> Self {
+        ShortCrossSweep {
+            bottleneck: Rate::from_mbps(96),
+            rtt: Duration::from_millis(50),
+            bundle_load: Rate::from_mbps(48),
+            duration: Duration::from_secs(40),
+            seed: 3,
+            with_bundler: true,
+        }
+    }
+}
+
+impl ShortCrossSweep {
+    /// Runs one sweep point at the given cross-traffic offered load and
+    /// returns the median slowdown of the bundle's flows.
+    pub fn run_point(&self, cross_load: Rate) -> (f64, SimReport) {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let dist = FlowSizeDist::caida_like();
+        let cross_dist = FlowSizeDist::short_flows_only();
+        let (mut specs, next_id) = request_workload(
+            &mut rng,
+            &dist,
+            self.bundle_load,
+            Duration::ZERO,
+            self.duration,
+            Some(0),
+            0,
+        );
+        let (cross, _) = request_workload(
+            &mut rng,
+            &cross_dist,
+            cross_load,
+            Duration::ZERO,
+            self.duration,
+            None,
+            next_id,
+        );
+        specs.extend(cross);
+        let mode = if self.with_bundler {
+            BundleMode::Bundler(BundlerConfig::default())
+        } else {
+            BundleMode::StatusQuo
+        };
+        let config = SimulationConfig {
+            duration: self.duration + Duration::from_secs(15),
+            bottleneck_rate: self.bottleneck,
+            rtt: self.rtt,
+            bundles: vec![mode],
+            ..Default::default()
+        };
+        let report = Simulation::new(config, specs).run();
+        (report.median_slowdown().unwrap_or(f64::NAN), report)
+    }
+}
+
+/// Figure 12: persistent elastic cross flows against a bundle of backlogged
+/// flows.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticCrossSweep {
+    /// Bottleneck rate.
+    pub bottleneck: Rate,
+    /// Base RTT.
+    pub rtt: Duration,
+    /// Number of backlogged flows inside the bundle (paper: 20).
+    pub bundle_flows: usize,
+    /// Run length per point.
+    pub duration: Duration,
+}
+
+impl Default for ElasticCrossSweep {
+    fn default() -> Self {
+        ElasticCrossSweep {
+            bottleneck: Rate::from_mbps(96),
+            rtt: Duration::from_millis(50),
+            bundle_flows: 20,
+            duration: Duration::from_secs(40),
+        }
+    }
+}
+
+impl ElasticCrossSweep {
+    /// Runs one point with `cross_flows` competing backlogged flows and
+    /// returns `(bundle throughput, fair share)` in Mbit/s, measured after
+    /// warm-up. `with_bundler` selects Bundler vs. status quo.
+    pub fn run_point(&self, cross_flows: usize, with_bundler: bool) -> (f64, f64) {
+        let mut specs = Vec::new();
+        for i in 0..self.bundle_flows as u64 {
+            specs.push(FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 10), 0));
+        }
+        for j in 0..cross_flows as u64 {
+            specs.push(FlowSpec::direct(
+                1000 + j,
+                FlowSpec::BACKLOGGED,
+                Nanos::from_millis(j * 10),
+            ));
+        }
+        let mode = if with_bundler {
+            BundleMode::Bundler(BundlerConfig::default())
+        } else {
+            BundleMode::StatusQuo
+        };
+        let config = SimulationConfig {
+            duration: self.duration,
+            bottleneck_rate: self.bottleneck,
+            rtt: self.rtt,
+            bundles: vec![mode],
+            ..Default::default()
+        };
+        let report = Simulation::new(config, specs).run();
+        let warmup = Nanos::ZERO + Duration::from_secs(10);
+        let tput = report.bundle_throughput_mbps[0]
+            .mean_between(warmup, Nanos::MAX)
+            .unwrap_or(0.0);
+        let fair_share = self.bottleneck.as_mbps_f64() * self.bundle_flows as f64
+            / (self.bundle_flows + cross_flows) as f64;
+        (tput, fair_share)
+    }
+}
+
+/// Figure 13: two bundles competing at the same bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct CompetingBundles {
+    /// Bottleneck rate.
+    pub bottleneck: Rate,
+    /// Base RTT.
+    pub rtt: Duration,
+    /// Aggregate offered load across both bundles (paper: 84 Mbit/s).
+    pub total_load: Rate,
+    /// Fraction of the load offered by bundle 0 (0.5 = "1:1", 2/3 = "2:1").
+    pub bundle0_share: f64,
+    /// Run length.
+    pub duration: Duration,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for CompetingBundles {
+    fn default() -> Self {
+        CompetingBundles {
+            bottleneck: Rate::from_mbps(96),
+            rtt: Duration::from_millis(50),
+            total_load: Rate::from_mbps(84),
+            bundle0_share: 0.5,
+            duration: Duration::from_secs(40),
+            seed: 5,
+        }
+    }
+}
+
+/// Per-bundle median slowdowns from a competing-bundles run.
+#[derive(Debug, Clone, Copy)]
+pub struct CompetingResult {
+    /// Median slowdown of bundle 0's requests.
+    pub bundle0_median_slowdown: f64,
+    /// Median slowdown of bundle 1's requests.
+    pub bundle1_median_slowdown: f64,
+}
+
+impl CompetingBundles {
+    /// Runs the experiment; both bundles get a backlogged flow plus request
+    /// traffic, mirroring the paper's setup.
+    pub fn run(&self, with_bundler: bool) -> CompetingResult {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let dist = FlowSizeDist::caida_like();
+        let load0 = self.total_load.mul_f64(self.bundle0_share);
+        let load1 = self.total_load.saturating_sub(load0);
+        let (mut specs, next) = request_workload(
+            &mut rng,
+            &dist,
+            load0,
+            Duration::ZERO,
+            self.duration,
+            Some(0),
+            0,
+        );
+        let (s1, next2) = request_workload(
+            &mut rng,
+            &dist,
+            load1,
+            Duration::ZERO,
+            self.duration,
+            Some(1),
+            next,
+        );
+        specs.extend(s1);
+        // A backlogged flow per bundle, as in the paper.
+        specs.push(FlowSpec::bundled(next2, FlowSpec::BACKLOGGED, Nanos::ZERO, 0));
+        specs.push(FlowSpec::bundled(next2 + 1, FlowSpec::BACKLOGGED, Nanos::ZERO, 1));
+
+        let mode = |_: usize| {
+            if with_bundler {
+                BundleMode::Bundler(BundlerConfig::default())
+            } else {
+                BundleMode::StatusQuo
+            }
+        };
+        let config = SimulationConfig {
+            duration: self.duration + Duration::from_secs(15),
+            bottleneck_rate: self.bottleneck,
+            rtt: self.rtt,
+            bundles: vec![mode(0), mode(1)],
+            ..Default::default()
+        };
+        let report = Simulation::new(config, specs).run();
+        let median_of = |bundle: usize| {
+            let mut s: Vec<f64> = report
+                .fcts
+                .iter()
+                .filter(|r| r.bundle == Some(bundle))
+                .map(|r| r.slowdown())
+                .collect();
+            quantile(&mut s, 0.5).unwrap_or(f64::NAN)
+        };
+        CompetingResult {
+            bundle0_median_slowdown: median_of(0),
+            bundle1_median_slowdown: median_of(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_detects_buffer_filling_phase() {
+        // Scaled-down Figure 10: 20-second phases.
+        let timeline = CrossTrafficTimeline {
+            phase: Duration::from_secs(20),
+            bundle_load: Rate::from_mbps(40),
+            bottleneck: Rate::from_mbps(48),
+            inelastic_cross_load: Rate::from_mbps(10),
+            ..Default::default()
+        }
+        .run();
+        let (p1, p2, _p3) = timeline.phase_ends;
+        // During phase 1 (alone) Bundler stays in delay control.
+        let phase1_modes = timeline.modes_during(Nanos::ZERO + Duration::from_secs(5), p1);
+        assert!(
+            phase1_modes.iter().all(|m| m == "delay-control"),
+            "phase 1 should be pure delay control, got {phase1_modes:?}"
+        );
+        // During phase 2 (buffer-filling competitor) it must switch to
+        // pass-through at some point.
+        let phase2_modes = timeline.modes_during(p1, p2);
+        assert!(
+            phase2_modes.iter().any(|m| m == "pass-through"),
+            "phase 2 should trigger pass-through, got {phase2_modes:?}"
+        );
+        // And it must come back to delay control after the competitor
+        // leaves (by the end of phase 3).
+        let end_modes = timeline.modes_during(
+            timeline.phase_ends.2 - Duration::from_secs(5),
+            timeline.phase_ends.2,
+        );
+        assert!(
+            end_modes.last().map(|m| m == "delay-control").unwrap_or(false),
+            "should return to delay control by the end, got {end_modes:?}"
+        );
+    }
+
+    #[test]
+    fn elastic_cross_costs_some_throughput_but_not_collapse() {
+        let sweep = ElasticCrossSweep {
+            bottleneck: Rate::from_mbps(48),
+            bundle_flows: 5,
+            duration: Duration::from_secs(25),
+            ..Default::default()
+        };
+        let (tput, fair) = sweep.run_point(5, true);
+        // The paper reports 12–22 % below fair share; we only require the
+        // qualitative property that throughput is in the right ballpark:
+        // clearly non-zero, and not more than the fair share by much.
+        assert!(tput > 0.4 * fair, "bundle throughput {tput:.1} collapsed (fair {fair:.1})");
+        assert!(tput < 1.3 * fair, "bundle throughput {tput:.1} implausibly high (fair {fair:.1})");
+    }
+
+    #[test]
+    fn competing_bundles_both_make_progress() {
+        let result = CompetingBundles {
+            total_load: Rate::from_mbps(40),
+            bottleneck: Rate::from_mbps(48),
+            duration: Duration::from_secs(20),
+            ..Default::default()
+        }
+        .run(true);
+        assert!(result.bundle0_median_slowdown.is_finite());
+        assert!(result.bundle1_median_slowdown.is_finite());
+        assert!(result.bundle0_median_slowdown >= 1.0);
+        assert!(result.bundle1_median_slowdown >= 1.0);
+    }
+}

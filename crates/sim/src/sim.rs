@@ -1,0 +1,800 @@
+//! The simulation engine: wires endhosts, site edges, the bottleneck and
+//! the Bundler control loop together and runs the event loop.
+
+use std::collections::HashMap;
+
+use bundler_core::feedback::BundleId;
+use bundler_sched::tbf::Release;
+use bundler_sched::Policy;
+use bundler_types::{flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketKind, Rate};
+
+use crate::edge::{Bundle, BundleMode};
+use crate::event::{Event, EventQueue};
+use crate::path::{Balancing, BottleneckPath, LoadBalancer};
+use crate::stats::{FctRecord, SimReport, TimeSeries};
+use crate::tcp::{PingClient, TcpReceiver, TcpSender};
+use crate::workload::{FlowSpec, Origin};
+
+/// Static configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Total simulated time.
+    pub duration: Duration,
+    /// Aggregate bottleneck rate (split evenly across `num_paths`).
+    pub bottleneck_rate: Rate,
+    /// Base round-trip propagation delay (no queueing).
+    pub rtt: Duration,
+    /// Bottleneck buffer size in packets per sub-path. `0` means "2 × BDP".
+    pub buffer_pkts: usize,
+    /// Number of load-balanced bottleneck sub-paths.
+    pub num_paths: usize,
+    /// Additional one-way delay added to sub-path `i` (`i × spread`); a
+    /// non-zero value creates the imbalanced-multipath scenarios of §5.2.
+    pub path_delay_spread: Duration,
+    /// Per-packet (rather than per-flow) load balancing; off by default.
+    pub packet_spraying: bool,
+    /// Use the ideal fair queue at the bottleneck instead of drop-tail FIFO
+    /// (the paper's undeployable "In-Network" baseline).
+    pub in_network_fq: bool,
+    /// One entry per bundle index used by the workload.
+    pub bundles: Vec<BundleMode>,
+    /// Interval between statistics samples.
+    pub sample_interval: Duration,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            duration: Duration::from_secs(30),
+            bottleneck_rate: Rate::from_mbps(96),
+            rtt: Duration::from_millis(50),
+            buffer_pkts: 0,
+            num_paths: 1,
+            path_delay_spread: Duration::ZERO,
+            packet_spraying: false,
+            in_network_fq: false,
+            bundles: vec![BundleMode::StatusQuo],
+            sample_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.bottleneck_rate.as_bytes_per_sec() * self.rtt.as_secs_f64()) as u64
+    }
+
+    fn effective_buffer_pkts(&self) -> usize {
+        if self.buffer_pkts > 0 {
+            self.buffer_pkts
+        } else {
+            ((2 * self.bdp_bytes()) / 1500).max(40) as usize
+        }
+    }
+}
+
+struct FlowState {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    origin: Origin,
+    size_bytes: u64,
+    recorded: bool,
+}
+
+/// The simulator.
+pub struct Simulation {
+    config: SimulationConfig,
+    queue: EventQueue,
+    paths: Vec<BottleneckPath>,
+    lb: LoadBalancer,
+    bundles: Vec<Option<Bundle>>,
+    flows: HashMap<FlowId, FlowState>,
+    pings: HashMap<FlowId, PingClient>,
+    ping_origin: HashMap<FlowId, Origin>,
+    report: SimReport,
+    /// Delivered payload bytes per bundle since the last sample.
+    bundle_delivered: Vec<u64>,
+    /// Delivered payload bytes of direct (cross) traffic since the last
+    /// sample.
+    cross_delivered: u64,
+    forward_delay: Duration,
+    reverse_delay: Duration,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration and a workload (flow
+    /// arrivals). Panics if a bundle configuration is invalid.
+    pub fn new(config: SimulationConfig, workload: Vec<FlowSpec>) -> Self {
+        let per_path_rate =
+            Rate::from_bps(config.bottleneck_rate.as_bps() / config.num_paths.max(1) as u64);
+        let buffer = config.effective_buffer_pkts();
+        let forward_delay = Duration(config.rtt.as_nanos() / 2);
+        let reverse_delay = config.rtt - forward_delay;
+        let mut paths = Vec::new();
+        for i in 0..config.num_paths.max(1) {
+            let extra = Duration(config.path_delay_spread.as_nanos() * i as u64);
+            let delay = forward_delay + extra;
+            let path = if config.in_network_fq {
+                BottleneckPath::with_queue(
+                    per_path_rate,
+                    delay,
+                    Policy::FairQueue.build(buffer),
+                )
+            } else {
+                BottleneckPath::drop_tail(per_path_rate, delay, buffer)
+            };
+            paths.push(path);
+        }
+        let balancing =
+            if config.packet_spraying { Balancing::PacketRoundRobin } else { Balancing::FlowHash };
+        let lb = LoadBalancer::new(config.num_paths.max(1), balancing);
+
+        let mut bundles = Vec::new();
+        for (i, mode) in config.bundles.iter().enumerate() {
+            match mode {
+                BundleMode::StatusQuo => bundles.push(None),
+                BundleMode::Bundler(cfg) => bundles.push(Some(
+                    Bundle::new(i, *cfg, Nanos::ZERO).expect("invalid bundler config"),
+                )),
+            }
+        }
+
+        let mut queue = EventQueue::new();
+        for spec in workload {
+            queue.schedule(spec.start, Event::FlowArrival(spec));
+        }
+        // Control ticks for each active bundle.
+        for (i, b) in bundles.iter().enumerate() {
+            if let Some(bundle) = b {
+                queue.schedule(
+                    Nanos::ZERO + bundle.control.config().control_interval,
+                    Event::SendboxTick { bundle: i },
+                );
+            }
+        }
+        queue.schedule(Nanos::ZERO + config.sample_interval, Event::Sample);
+        queue.schedule(Nanos::ZERO + config.duration, Event::End);
+
+        let n_bundles = bundles.len();
+        let mut report = SimReport::default();
+        report.sendbox_queue_delay_ms = vec![TimeSeries::new(); n_bundles];
+        report.bundle_throughput_mbps = vec![TimeSeries::new(); n_bundles];
+        report.bundle_rtt_estimate_ms = vec![TimeSeries::new(); n_bundles];
+        report.bundle_recv_rate_estimate_mbps = vec![TimeSeries::new(); n_bundles];
+        report.bundle_pacing_rate_mbps = vec![TimeSeries::new(); n_bundles];
+        report.mode_timeline = vec![Vec::new(); n_bundles];
+        report.out_of_order_fraction = vec![0.0; n_bundles];
+        report.ping_rtts_ms = vec![Vec::new(); n_bundles];
+
+        Simulation {
+            bundle_delivered: vec![0; n_bundles],
+            cross_delivered: 0,
+            config,
+            queue,
+            paths,
+            lb,
+            bundles,
+            flows: HashMap::new(),
+            pings: HashMap::new(),
+            ping_origin: HashMap::new(),
+            report,
+            forward_delay,
+            reverse_delay,
+        }
+    }
+
+    /// The configuration this simulation was built with.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::End => break,
+                other => self.handle(other, now),
+            }
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> SimReport {
+        let mut unfinished = 0;
+        for (_, f) in self.flows.iter() {
+            if !f.sender.is_complete() && f.size_bytes != FlowSpec::BACKLOGGED {
+                unfinished += 1;
+            }
+        }
+        self.report.unfinished = unfinished;
+        self.report.completed = self.report.fcts.len();
+        self.report.bottleneck_drops = self.paths.iter().map(|p| p.drops).sum();
+        self.report.bytes_delivered = self.paths.iter().map(|p| p.bytes_delivered).sum();
+        // Aggregate bottleneck queue delay: merge per-path series by
+        // averaging samples taken at the same instant.
+        let mut merged = TimeSeries::new();
+        if let Some(first) = self.paths.first() {
+            for (i, &(t, _)) in first.queue_delay_ms.samples.iter().enumerate() {
+                let mut total = 0.0;
+                let mut n: f64 = 0.0;
+                for p in &self.paths {
+                    if let Some(&(_, v)) = p.queue_delay_ms.samples.get(i) {
+                        total += v;
+                        n += 1.0;
+                    }
+                }
+                merged.push(t, total / n.max(1.0));
+            }
+        }
+        self.report.bottleneck_queue_delay_ms = merged;
+        for (i, b) in self.bundles.iter().enumerate() {
+            if let Some(bundle) = b {
+                self.report.sendbox_queue_delay_ms[i] = bundle.queue_delay_ms.clone();
+                self.report.mode_timeline[i] = bundle.mode_timeline.clone();
+                self.report.out_of_order_fraction[i] =
+                    bundle.control.out_of_order_fraction();
+            }
+        }
+        for (id, ping) in &self.pings {
+            if let Some(Origin::Bundle(b)) = self.ping_origin.get(id) {
+                self.report.ping_rtts_ms[*b]
+                    .extend(ping.rtts.iter().map(|d| d.as_millis_f64()));
+            }
+        }
+        self.report
+    }
+
+    fn handle(&mut self, event: Event, now: Nanos) {
+        match event {
+            Event::FlowArrival(spec) => self.on_flow_arrival(spec, now),
+            Event::ArriveBottleneck { path, pkt } => {
+                if self.paths[path].enqueue(pkt, now) {
+                    self.kick_path(path, now);
+                }
+            }
+            Event::PathDequeue { path } => self.on_path_dequeue(path, now),
+            Event::ArriveDestination { pkt } => self.on_arrive_destination(pkt, now),
+            Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now),
+            Event::CongestionAckArrive { bundle, ack } => {
+                if let Some(Some(b)) = self.bundles.get_mut(bundle) {
+                    b.on_congestion_ack(&ack, now);
+                }
+            }
+            Event::EpochUpdateArrive { bundle, update } => {
+                if let Some(Some(b)) = self.bundles.get_mut(bundle) {
+                    b.receivebox.on_epoch_update(&update);
+                }
+            }
+            Event::SendboxTick { bundle } => self.on_sendbox_tick(bundle, now),
+            Event::SendboxRelease { bundle } => self.on_sendbox_release(bundle, now),
+            Event::RtoCheck { flow } => self.on_rto_check(flow, now),
+            Event::Sample => self.on_sample(now),
+            Event::End => {}
+        }
+    }
+
+    fn flow_key(flow_id: u64, origin: Origin) -> FlowKey {
+        // Source site 10.0.x.x, destination site 10.1.x.x; cross traffic
+        // comes from 10.2.x.x. Ports spread flows for hashing schedulers.
+        let (src_base, dst_base) = match origin {
+            Origin::Bundle(b) => (ipv4(10, 0, b as u8, 1), ipv4(10, 1, b as u8, 1)),
+            Origin::Direct => (ipv4(10, 2, 0, 1), ipv4(10, 3, 0, 1)),
+        };
+        let src = src_base + ((flow_id * 7) % 200) as u32;
+        let dst = dst_base + ((flow_id * 13) % 200) as u32;
+        FlowKey::tcp(src, (10_000 + (flow_id * 31) % 50_000) as u16, dst, 443)
+    }
+
+    fn on_flow_arrival(&mut self, spec: FlowSpec, now: Nanos) {
+        let key = Self::flow_key(spec.id.0, spec.origin);
+        if spec.is_ping {
+            let mut client = PingClient::new(spec.id, key, spec.size_bytes.max(40) as u32);
+            if let Some(req) = client.maybe_request(now) {
+                self.route_forward(req, now);
+            }
+            self.ping_origin.insert(spec.id, spec.origin);
+            self.pings.insert(spec.id, client);
+            return;
+        }
+        let sender = TcpSender::new(spec.id, key, spec.size_bytes, spec.alg, spec.class, now);
+        let state = FlowState {
+            sender,
+            receiver: TcpReceiver::new(),
+            origin: spec.origin,
+            size_bytes: spec.size_bytes,
+            recorded: false,
+        };
+        self.flows.insert(spec.id, state);
+        let pkts = self.flows.get_mut(&spec.id).expect("just inserted").sender.maybe_send(now);
+        for p in pkts {
+            self.route_forward(p, now);
+        }
+        self.queue
+            .schedule(now + Duration::from_millis(1000), Event::RtoCheck { flow: spec.id });
+    }
+
+    /// Routes a forward-direction (source-site to destination-site) packet:
+    /// through the bundle's sendbox if one is deployed, else directly to the
+    /// bottleneck.
+    fn route_forward(&mut self, pkt: Packet, now: Nanos) {
+        let origin = self
+            .flows
+            .get(&pkt.flow)
+            .map(|f| f.origin)
+            .or_else(|| self.ping_origin.get(&pkt.flow).copied())
+            .unwrap_or(Origin::Direct);
+        match origin {
+            Origin::Bundle(b) if self.bundles.get(b).map(|x| x.is_some()).unwrap_or(false) => {
+                let bundle = self.bundles[b].as_mut().expect("checked above");
+                bundle.enqueue(pkt, now);
+                if !bundle.release_scheduled {
+                    bundle.release_scheduled = true;
+                    self.queue.schedule(now, Event::SendboxRelease { bundle: b });
+                }
+            }
+            _ => self.send_to_bottleneck(pkt, now),
+        }
+    }
+
+    fn send_to_bottleneck(&mut self, pkt: Packet, now: Nanos) {
+        let path = self.lb.pick(&pkt);
+        self.queue.schedule(now, Event::ArriveBottleneck { path, pkt });
+    }
+
+    fn kick_path(&mut self, path: usize, now: Nanos) {
+        let p = &mut self.paths[path];
+        if p.dequeue_scheduled || p.queue_len() == 0 {
+            return;
+        }
+        let at = now.max(p.busy_until());
+        p.dequeue_scheduled = true;
+        self.queue.schedule(at, Event::PathDequeue { path });
+    }
+
+    fn on_path_dequeue(&mut self, path: usize, now: Nanos) {
+        self.paths[path].dequeue_scheduled = false;
+        if let Some((pkt, delivered_at, link_free)) = self.paths[path].try_transmit(now) {
+            self.queue.schedule(delivered_at, Event::ArriveDestination { pkt });
+            if self.paths[path].queue_len() > 0 {
+                self.paths[path].dequeue_scheduled = true;
+                self.queue.schedule(link_free, Event::PathDequeue { path });
+            }
+        } else if self.paths[path].queue_len() > 0 {
+            // Link was still busy: try again when it frees up.
+            let at = self.paths[path].busy_until();
+            self.paths[path].dequeue_scheduled = true;
+            self.queue.schedule(at, Event::PathDequeue { path });
+        }
+    }
+
+    fn on_arrive_destination(&mut self, pkt: Packet, now: Nanos) {
+        let origin = self
+            .flows
+            .get(&pkt.flow)
+            .map(|f| f.origin)
+            .or_else(|| self.ping_origin.get(&pkt.flow).copied())
+            .unwrap_or(Origin::Direct);
+
+        // The receivebox observes every bundled data packet arriving at the
+        // destination site.
+        if let Origin::Bundle(b) = origin {
+            if let Some(Some(bundle)) = self.bundles.get_mut(b) {
+                if let Some(ack) = bundle.receivebox.on_packet(&pkt, now) {
+                    self.queue.schedule(
+                        now + self.reverse_delay,
+                        Event::CongestionAckArrive { bundle: b, ack },
+                    );
+                }
+            }
+            if let Some(acc) = self.bundle_delivered.get_mut(b) {
+                *acc += pkt.payload as u64;
+            }
+        } else {
+            self.cross_delivered += pkt.payload as u64;
+        }
+
+        // Application processing.
+        if self.pings.contains_key(&pkt.flow) {
+            // The "server" echoes the request; the response returns over the
+            // (uncongested) reverse path.
+            let response = Packet {
+                kind: PacketKind::Ack,
+                ..pkt
+            };
+            self.queue.schedule(now + self.reverse_delay, Event::ArriveSource { pkt: response });
+            return;
+        }
+        if let Some(flow) = self.flows.get_mut(&pkt.flow) {
+            let ack_seq = flow.receiver.on_data(pkt.seq, pkt.payload);
+            // The SACK information must be a snapshot taken together with
+            // the cumulative ACK; mixing a stale cumulative value with newer
+            // receiver state would make ordinary pipelining look like loss.
+            let ack = Packet::ack(pkt.flow, pkt.key.reversed(), ack_seq, now)
+                .with_sack_highest(flow.receiver.highest_received());
+            self.queue.schedule(now + self.reverse_delay, Event::ArriveSource { pkt: ack });
+        }
+    }
+
+    fn on_arrive_source(&mut self, pkt: Packet, now: Nanos) {
+        if let Some(ping) = self.pings.get_mut(&pkt.flow) {
+            if let Some(next) = ping.on_response(pkt.seq, now) {
+                self.route_forward(next, now);
+            }
+            return;
+        }
+        let (new_pkts, completed, origin, size, started) = match self.flows.get_mut(&pkt.flow) {
+            Some(flow) => {
+                let highest = pkt.sack_highest.max(pkt.seq);
+                let pkts = flow.sender.on_ack_sack(pkt.seq, highest, now);
+                let completed = flow.sender.is_complete() && !flow.recorded;
+                if completed {
+                    flow.recorded = true;
+                }
+                (pkts, completed, flow.origin, flow.size_bytes, flow.sender.started)
+            }
+            None => return,
+        };
+        for p in new_pkts {
+            self.route_forward(p, now);
+        }
+        if completed {
+            let fct = now.saturating_since(started);
+            let unloaded = self.unloaded_fct(size);
+            let bundle = match origin {
+                Origin::Bundle(b) => Some(b),
+                Origin::Direct => None,
+            };
+            self.report.fcts.push(FctRecord {
+                size_bytes: size,
+                start: started,
+                fct,
+                unloaded_fct: unloaded,
+                bundle,
+            });
+        }
+    }
+
+    /// Completion time of a flow of `size` bytes on an unloaded network:
+    /// one RTT of latency plus serialization at the full bottleneck rate.
+    fn unloaded_fct(&self, size: u64) -> Duration {
+        let wire_bytes = size + (size / 1460 + 1) * 40;
+        self.config.rtt + self.config.bottleneck_rate.transmit_time(wire_bytes)
+    }
+
+    fn on_sendbox_tick(&mut self, bundle: usize, now: Nanos) {
+        let interval = {
+            let b = match self.bundles.get_mut(bundle) {
+                Some(Some(b)) => b,
+                _ => return,
+            };
+            if let Some(update) = b.tick(now) {
+                self.queue.schedule(
+                    now + self.forward_delay,
+                    Event::EpochUpdateArrive { bundle, update },
+                );
+            }
+            b.control.config().control_interval
+        };
+        // The new rate may allow more packets out immediately.
+        let b = self.bundles[bundle].as_mut().expect("checked above");
+        if !b.release_scheduled && !b.tbf.is_empty() {
+            b.release_scheduled = true;
+            self.queue.schedule(now, Event::SendboxRelease { bundle });
+        }
+        self.queue.schedule(now + interval, Event::SendboxTick { bundle });
+    }
+
+    fn on_sendbox_release(&mut self, bundle: usize, now: Nanos) {
+        let mut released = Vec::new();
+        let reschedule;
+        {
+            let b = match self.bundles.get_mut(bundle) {
+                Some(Some(b)) => b,
+                _ => return,
+            };
+            b.release_scheduled = false;
+            loop {
+                match b.try_release(now) {
+                    Release::Packet(pkt) => {
+                        released.push(pkt);
+                        // Release in bursts of at most 64 packets per event
+                        // to keep single events bounded.
+                        if released.len() >= 64 {
+                            reschedule = Some(Duration::ZERO);
+                            break;
+                        }
+                    }
+                    Release::Wait(d) => {
+                        reschedule = Some(d.max(Duration::from_micros(10)));
+                        break;
+                    }
+                    Release::Empty => {
+                        reschedule = None;
+                        break;
+                    }
+                }
+            }
+            if reschedule.is_some() {
+                b.release_scheduled = true;
+            }
+        }
+        for pkt in released {
+            self.send_to_bottleneck(pkt, now);
+        }
+        if let Some(d) = reschedule {
+            self.queue.schedule(now + d, Event::SendboxRelease { bundle });
+        }
+    }
+
+    fn on_rto_check(&mut self, flow: FlowId, now: Nanos) {
+        let (next, pkts) = match self.flows.get_mut(&flow) {
+            Some(f) => f.sender.on_rto_check(now),
+            None => return,
+        };
+        for p in pkts {
+            self.route_forward(p, now);
+        }
+        match next {
+            Some(at) => self.queue.schedule(at, Event::RtoCheck { flow }),
+            None => {
+                // Flow idle or complete: poll again later in case new data
+                // appears (cheap: one event per second per flow).
+                if let Some(f) = self.flows.get(&flow) {
+                    if !f.sender.is_complete() {
+                        self.queue
+                            .schedule(now + Duration::from_secs(1), Event::RtoCheck { flow });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self, now: Nanos) {
+        for p in &mut self.paths {
+            p.sample_queue_delay(now);
+        }
+        let interval = self.config.sample_interval.as_secs_f64();
+        for (i, acc) in self.bundle_delivered.iter_mut().enumerate() {
+            let mbps = (*acc as f64 * 8.0) / interval / 1e6;
+            self.report.bundle_throughput_mbps[i].push(now, mbps);
+            *acc = 0;
+        }
+        let cross_mbps = (self.cross_delivered as f64 * 8.0) / interval / 1e6;
+        self.report.cross_throughput_mbps.push(now, cross_mbps);
+        self.cross_delivered = 0;
+        // Ground-truth RTT: base propagation plus current bottleneck
+        // queueing delay (averaged across sub-paths).
+        let queue_delay_ms: f64 = self
+            .paths
+            .iter()
+            .map(|p| p.queue_delay().as_millis_f64())
+            .sum::<f64>()
+            / self.paths.len().max(1) as f64;
+        self.report.actual_rtt_ms.push(now, self.config.rtt.as_millis_f64() + queue_delay_ms);
+        for (i, b) in self.bundles.iter_mut().enumerate() {
+            if let Some(bundle) = b {
+                bundle.sample_queue_delay(now);
+                self.report.bundle_pacing_rate_mbps[i].push(now, bundle.rate().as_mbps_f64());
+                if let Some(m) = bundle.control.last_measurement() {
+                    self.report.bundle_rtt_estimate_ms[i].push(now, m.rtt.as_millis_f64());
+                    self.report.bundle_recv_rate_estimate_mbps[i]
+                        .push(now, m.recv_rate.as_mbps_f64());
+                }
+            }
+        }
+        self.queue.schedule(now + self.config.sample_interval, Event::Sample);
+    }
+
+    /// Convenience accessor used by tests: the sendbox control plane of a
+    /// bundle, if it is deployed.
+    pub fn bundle_control(&self, bundle: usize) -> Option<&bundler_core::Sendbox> {
+        self.bundles.get(bundle).and_then(|b| b.as_ref()).map(|b| &b.control)
+    }
+
+    /// Convenience accessor: the receivebox of a bundle, if deployed.
+    pub fn bundle_receivebox(&self, bundle: usize) -> Option<&bundler_core::Receivebox> {
+        self.bundles.get(bundle).and_then(|b| b.as_ref()).map(|b| &b.receivebox)
+    }
+
+    /// Bundle id type helper (exposed for integration tests).
+    pub fn bundle_id(index: usize) -> BundleId {
+        BundleId(index as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FlowSpec;
+    use bundler_core::BundlerConfig;
+
+    fn single_flow_config(bundler: bool) -> SimulationConfig {
+        SimulationConfig {
+            duration: Duration::from_secs(12),
+            bottleneck_rate: Rate::from_mbps(24),
+            rtt: Duration::from_millis(50),
+            bundles: vec![if bundler {
+                BundleMode::Bundler(BundlerConfig::default())
+            } else {
+                BundleMode::StatusQuo
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_and_uses_most_of_the_link() {
+        // A 6 MB transfer over a 24 Mbit/s, 50 ms path takes ~2.2 s of pure
+        // serialization; allow generous slack for slow start and recovery.
+        let workload = vec![FlowSpec::bundled(1, 6_000_000, Nanos::ZERO, 0)];
+        let report = Simulation::new(single_flow_config(false), workload).run();
+        assert_eq!(report.completed, 1, "flow must finish (unfinished={})", report.unfinished);
+        let fct = report.fcts[0].fct;
+        assert!(fct >= Duration::from_secs(2), "fct {fct} suspiciously fast");
+        assert!(fct <= Duration::from_secs(10), "fct {fct} too slow");
+    }
+
+    #[test]
+    fn single_flow_with_bundler_also_completes() {
+        let workload = vec![FlowSpec::bundled(1, 6_000_000, Nanos::ZERO, 0)];
+        let report = Simulation::new(single_flow_config(true), workload).run();
+        assert_eq!(report.completed, 1, "flow must finish under Bundler");
+        let fct = report.fcts[0].fct;
+        assert!(fct <= Duration::from_secs(11), "fct {fct} too slow under Bundler");
+    }
+
+    #[test]
+    fn bundler_shifts_queue_from_bottleneck_to_sendbox() {
+        // One backlogged flow. Without Bundler the bottleneck FIFO holds the
+        // queue; with Bundler the sendbox does.
+        let mk_workload = || vec![FlowSpec::bundled(1, FlowSpec::BACKLOGGED, Nanos::ZERO, 0)];
+        let mut quo_cfg = single_flow_config(false);
+        quo_cfg.duration = Duration::from_secs(20);
+        let quo = Simulation::new(quo_cfg, mk_workload()).run();
+        let mut bundler_cfg = single_flow_config(true);
+        bundler_cfg.duration = Duration::from_secs(20);
+        let bun = Simulation::new(bundler_cfg, mk_workload()).run();
+
+        let late = Nanos::from_secs(10);
+        let quo_bottleneck =
+            quo.bottleneck_queue_delay_ms.mean_between(late, Nanos::MAX).unwrap_or(0.0);
+        let bun_bottleneck =
+            bun.bottleneck_queue_delay_ms.mean_between(late, Nanos::MAX).unwrap_or(0.0);
+        let bun_sendbox =
+            bun.sendbox_queue_delay_ms[0].mean_between(late, Nanos::MAX).unwrap_or(0.0);
+        assert!(
+            quo_bottleneck > 20.0,
+            "status quo should build a large bottleneck queue, got {quo_bottleneck:.1} ms"
+        );
+        assert!(
+            bun_bottleneck < quo_bottleneck / 2.0,
+            "Bundler should shrink the bottleneck queue: {bun_bottleneck:.1} vs {quo_bottleneck:.1} ms"
+        );
+        assert!(
+            bun_sendbox > bun_bottleneck,
+            "the queue should now live at the sendbox ({bun_sendbox:.1} ms vs {bun_bottleneck:.1} ms)"
+        );
+        // Throughput must not collapse: the backlogged flow should still get
+        // the majority of the 24 Mbit/s link.
+        let tput = bun.mean_bundle_throughput_mbps(0).unwrap_or(0.0);
+        assert!(tput > 12.0, "bundle throughput {tput:.1} Mbit/s too low");
+    }
+
+    #[test]
+    fn ping_flows_record_rtts() {
+        let mut cfg = single_flow_config(false);
+        cfg.duration = Duration::from_secs(2);
+        let workload = vec![FlowSpec::bundled(7, 40, Nanos::ZERO, 0).as_ping()];
+        let report = Simulation::new(cfg, workload).run();
+        let rtts = &report.ping_rtts_ms[0];
+        assert!(rtts.len() > 10, "closed-loop pings should cycle many times, got {}", rtts.len());
+        // Base RTT is 50 ms plus a tiny serialization delay.
+        assert!(rtts.iter().all(|&r| r >= 49.0), "RTT below propagation delay?");
+        assert!(rtts[0] < 60.0);
+    }
+
+    #[test]
+    fn cross_traffic_is_not_attributed_to_bundles() {
+        let mut cfg = single_flow_config(false);
+        cfg.duration = Duration::from_secs(5);
+        let workload = vec![
+            FlowSpec::bundled(1, 100_000, Nanos::ZERO, 0),
+            FlowSpec::direct(2, 100_000, Nanos::ZERO),
+        ];
+        let report = Simulation::new(cfg, workload).run();
+        assert_eq!(report.completed, 2);
+        let bundled: Vec<_> = report.fcts.iter().filter(|f| f.bundle.is_some()).collect();
+        assert_eq!(bundled.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let workload = || {
+            vec![
+                FlowSpec::bundled(1, 500_000, Nanos::ZERO, 0),
+                FlowSpec::bundled(2, 20_000, Nanos::from_millis(100), 0),
+                FlowSpec::direct(3, 200_000, Nanos::from_millis(50)),
+            ]
+        };
+        let mut cfg = single_flow_config(true);
+        cfg.duration = Duration::from_secs(5);
+        let a = Simulation::new(cfg.clone(), workload()).run();
+        let b = Simulation::new(cfg, workload()).run();
+        assert_eq!(a.completed, b.completed);
+        let fct_a: Vec<u64> = a.fcts.iter().map(|f| f.fct.as_nanos()).collect();
+        let fct_b: Vec<u64> = b.fcts.iter().map(|f| f.fct.as_nanos()).collect();
+        assert_eq!(fct_a, fct_b, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn multipath_spread_produces_out_of_order_measurements() {
+        let mut cfg = single_flow_config(true);
+        cfg.duration = Duration::from_secs(15);
+        cfg.num_paths = 4;
+        cfg.path_delay_spread = Duration::from_millis(30);
+        // Many flows so the load balancer actually uses several paths.
+        let workload: Vec<FlowSpec> = (0..24)
+            .map(|i| FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 10), 0))
+            .collect();
+        let report = Simulation::new(cfg, workload).run();
+        assert!(
+            report.out_of_order_fraction[0] > 0.05,
+            "imbalanced paths should cause out-of-order measurements, got {}",
+            report.out_of_order_fraction[0]
+        );
+    }
+}
+
+impl Simulation {
+    /// Test-only instrumentation helpers.
+    #[doc(hidden)]
+    pub fn queue_pop_dbg(&mut self) -> Option<(Nanos, crate::event::Event)> {
+        self.queue.pop()
+    }
+    #[doc(hidden)]
+    pub fn handle_dbg(&mut self, e: crate::event::Event, now: Nanos) {
+        self.handle(e, now)
+    }
+    #[doc(hidden)]
+    pub fn debug_flow_state(&self, id: FlowId) -> String {
+        match self.flows.get(&id) {
+            Some(f) => format!(
+                "complete={} snd_una_done? sent={} retx={} cwnd={} inflight={} recv_bytes={} srtt={:?} rto={}",
+                f.sender.is_complete(), f.sender.packets_sent, f.sender.retransmits,
+                f.sender.cwnd(), f.sender.bytes_in_flight(), f.receiver.bytes_received, f.sender.srtt(), f.sender.rto()
+            ),
+            None => "missing".into(),
+        }
+    }
+}
+
+impl Simulation {
+    #[doc(hidden)]
+    pub fn debug_flow_detail(&self, id: FlowId) -> String {
+        match self.flows.get(&id) {
+            Some(f) => f.sender.debug_detail(&f.receiver),
+            None => "missing".into(),
+        }
+    }
+}
+
+impl Simulation {
+    #[doc(hidden)]
+    pub fn debug_paths(&self) -> String {
+        self.paths
+            .iter()
+            .map(|p| {
+                format!(
+                    "queue_len={} drops={} busy_until={} dequeue_scheduled={} delivered={}",
+                    p.queue_len(),
+                    p.drops,
+                    p.busy_until(),
+                    p.dequeue_scheduled,
+                    p.bytes_delivered
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ; ")
+    }
+}

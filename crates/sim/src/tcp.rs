@@ -1,0 +1,667 @@
+//! Endhost transport model: TCP-like senders and receivers, plus the
+//! closed-loop UDP request/response ("ping") application used by the
+//! real-Internet experiments.
+//!
+//! The senders implement the pieces that matter to Bundler's evaluation:
+//! window-limited transmission governed by a pluggable [`WindowCc`]
+//! congestion controller (Cubic by default), cumulative ACKs, duplicate-ACK
+//! fast retransmit, retransmission timeouts with exponential backoff, and
+//! RTT estimation. Endhosts are completely unaware of Bundler — exactly the
+//! deployment model of the paper.
+
+use std::collections::BTreeMap;
+
+use bundler_cc::{AckEvent, EndhostAlg, LossEvent, WindowCc};
+use bundler_types::{Duration, FlowId, FlowKey, Nanos, Packet, TrafficClass};
+
+/// Maximum segment size used by the simulated endhosts (bytes of payload).
+pub const MSS: u64 = 1460;
+
+/// Initial retransmission timeout.
+const INITIAL_RTO: Duration = Duration::from_millis(1000);
+/// Lower bound on the RTO (Linux uses 200 ms).
+const MIN_RTO: Duration = Duration::from_millis(200);
+/// Upper bound on the RTO after backoff.
+const MAX_RTO: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    len: u32,
+    sent_at: Nanos,
+    retransmitted: bool,
+}
+
+/// A TCP-like sender for one application flow.
+pub struct TcpSender {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Five-tuple of the forward direction.
+    pub key: FlowKey,
+    /// Operator traffic class stamped on every packet.
+    pub class: TrafficClass,
+    /// Bytes the application wants delivered (`u64::MAX` = backlogged).
+    pub size_bytes: u64,
+    /// Time the flow started.
+    pub started: Nanos,
+    /// Time the last byte was acknowledged, if the flow has finished.
+    pub completed: Option<Nanos>,
+
+    cc: Box<dyn WindowCc>,
+    next_seq: u64,
+    snd_una: u64,
+    inflight: BTreeMap<u64, Segment>,
+    bytes_in_flight: u64,
+    dup_acks: u32,
+    recovery_point: Option<u64>,
+    /// Highest byte known to have reached the receiver (cumulative ACK or
+    /// out-of-order data the receiver has buffered). Plays the role of SACK
+    /// information for loss detection.
+    highest_sacked: u64,
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    min_rtt: Duration,
+    rto: Duration,
+    rto_backoff: u32,
+    last_activity: Nanos,
+    ip_id_counter: u16,
+    /// Counters.
+    pub packets_sent: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender")
+            .field("id", &self.id)
+            .field("size", &self.size_bytes)
+            .field("snd_una", &self.snd_una)
+            .field("cwnd", &self.cc.cwnd())
+            .field("done", &self.completed.is_some())
+            .finish()
+    }
+}
+
+impl TcpSender {
+    /// Creates a sender for a flow of `size_bytes` using the given endhost
+    /// congestion-control algorithm.
+    pub fn new(
+        id: FlowId,
+        key: FlowKey,
+        size_bytes: u64,
+        alg: EndhostAlg,
+        class: TrafficClass,
+        now: Nanos,
+    ) -> Self {
+        TcpSender {
+            id,
+            key,
+            class,
+            size_bytes,
+            started: now,
+            completed: None,
+            cc: alg.build(MSS),
+            next_seq: 0,
+            snd_una: 0,
+            inflight: BTreeMap::new(),
+            bytes_in_flight: 0,
+            dup_acks: 0,
+            recovery_point: None,
+            highest_sacked: 0,
+            srtt: None,
+            rttvar: Duration::ZERO,
+            min_rtt: Duration::MAX,
+            rto: INITIAL_RTO,
+            rto_backoff: 0,
+            last_activity: now,
+            // Spread IP-ID sequences across flows so epoch hashes differ
+            // between flows even at the same per-flow packet index.
+            ip_id_counter: (id.0.wrapping_mul(0x9e37) & 0xffff) as u16,
+            packets_sent: 0,
+            retransmits: 0,
+        }
+    }
+
+    /// True once every byte has been acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.completed.is_some()
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// Bytes currently unacknowledged.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.bytes_in_flight
+    }
+
+    /// The sender's smoothed RTT estimate, if any ACKs carried a sample.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        self.rto
+    }
+
+    /// Time of the most recent send or ACK, used by the RTO timer.
+    pub fn last_activity(&self) -> Nanos {
+        self.last_activity
+    }
+
+    fn remaining(&self) -> u64 {
+        self.size_bytes.saturating_sub(self.next_seq)
+    }
+
+    fn build_packet(&mut self, seq: u64, len: u32, now: Nanos, retransmit: bool) -> Packet {
+        self.ip_id_counter = self.ip_id_counter.wrapping_add(1);
+        self.packets_sent += 1;
+        if retransmit {
+            self.retransmits += 1;
+        }
+        let mut p = Packet::data(self.id, self.key, seq, len, now)
+            .with_ip_id(self.ip_id_counter)
+            .with_class(self.class);
+        if retransmit {
+            p = p.retransmitted();
+        }
+        p
+    }
+
+    /// Sends as much new data as the congestion window allows.
+    pub fn maybe_send(&mut self, now: Nanos) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let cwnd = self.cc.cwnd();
+        while self.remaining() > 0 {
+            let len = self.remaining().min(MSS) as u32;
+            if self.bytes_in_flight > 0 && self.bytes_in_flight + len as u64 > cwnd {
+                break;
+            }
+            let seq = self.next_seq;
+            self.next_seq += len as u64;
+            self.inflight
+                .insert(seq, Segment { len, sent_at: now, retransmitted: false });
+            self.bytes_in_flight += len as u64;
+            self.last_activity = now;
+            out.push(self.build_packet(seq, len, now, false));
+            if self.bytes_in_flight >= cwnd {
+                break;
+            }
+        }
+        out
+    }
+
+    fn retransmit_first_unacked(&mut self, now: Nanos) -> Option<Packet> {
+        let (&seq, seg) = self.inflight.iter_mut().next()?;
+        seg.retransmitted = true;
+        seg.sent_at = now;
+        let len = seg.len;
+        self.last_activity = now;
+        Some(self.build_packet(seq, len, now, true))
+    }
+
+    /// Processes a cumulative ACK for byte `ack_seq`, returning any packets
+    /// to transmit (retransmissions and newly allowed data). Equivalent to
+    /// [`TcpSender::on_ack_sack`] with no selective-acknowledgement
+    /// information.
+    pub fn on_ack(&mut self, ack_seq: u64, now: Nanos) -> Vec<Packet> {
+        self.on_ack_sack(ack_seq, ack_seq, now)
+    }
+
+    /// Processes a cumulative ACK for byte `ack_seq`, where the receiver is
+    /// additionally known to have buffered data up to `highest_received`
+    /// (SACK-style information). Segments more than three segments below
+    /// `highest_received` that are still unacknowledged are treated as lost
+    /// and retransmitted, which is what lets the sender recover from large
+    /// burst losses without waiting out one RTO per segment.
+    pub fn on_ack_sack(&mut self, ack_seq: u64, highest_received: u64, now: Nanos) -> Vec<Packet> {
+        let mut out = Vec::new();
+        if self.completed.is_some() {
+            return out;
+        }
+        self.last_activity = now;
+        self.highest_sacked = self.highest_sacked.max(highest_received).max(ack_seq);
+        if ack_seq > self.snd_una {
+            let newly_acked = ack_seq - self.snd_una;
+            // Remove covered segments, picking up an RTT sample from a
+            // never-retransmitted segment (Karn's algorithm).
+            let mut rtt_sample = None;
+            let covered: Vec<u64> = self
+                .inflight
+                .range(..ack_seq)
+                .filter(|(&seq, seg)| seq + seg.len as u64 <= ack_seq)
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in covered {
+                if let Some(seg) = self.inflight.remove(&seq) {
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.len as u64);
+                    if !seg.retransmitted {
+                        rtt_sample = Some(now.saturating_since(seg.sent_at));
+                    }
+                }
+            }
+            self.snd_una = ack_seq;
+            self.dup_acks = 0;
+            self.rto_backoff = 0;
+            if let Some(rtt) = rtt_sample {
+                self.update_rtt(rtt);
+            }
+            if let Some(point) = self.recovery_point {
+                if ack_seq >= point {
+                    self.recovery_point = None;
+                }
+            }
+            self.cc.on_ack(&AckEvent {
+                now,
+                acked_bytes: newly_acked,
+                rtt_sample,
+                min_rtt: if self.min_rtt == Duration::MAX { Duration::ZERO } else { self.min_rtt },
+                inflight_bytes: self.bytes_in_flight,
+            });
+            if self.snd_una >= self.size_bytes {
+                self.completed = Some(now);
+                return out;
+            }
+            out.extend(self.maybe_send(now));
+        } else if !self.inflight.is_empty() {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && self.recovery_point.is_none() {
+                self.recovery_point = Some(self.next_seq);
+                self.cc.on_loss(&LossEvent { now, lost_bytes: MSS, is_timeout: false });
+                if let Some(p) = self.retransmit_first_unacked(now) {
+                    out.push(p);
+                }
+            }
+        }
+
+        // SACK-style burst-loss repair: any unacknowledged segment more than
+        // three segments below the highest data the receiver is known to
+        // hold is presumed lost. Repair a few per ACK so recovery stays
+        // ACK-clocked rather than dumping the whole hole at once.
+        if self.completed.is_none() && !self.inflight.is_empty() {
+            let threshold = self.highest_sacked.saturating_sub(3 * MSS);
+            if threshold > self.snd_una {
+                let candidates: Vec<u64> = self
+                    .inflight
+                    .iter()
+                    .filter(|&(&seq, seg)| {
+                        seq + seg.len as u64 <= threshold && !seg.retransmitted
+                    })
+                    .map(|(&seq, _)| seq)
+                    .take(3)
+                    .collect();
+                if !candidates.is_empty() && self.recovery_point.is_none() {
+                    self.recovery_point = Some(self.next_seq);
+                    self.cc.on_loss(&LossEvent { now, lost_bytes: MSS, is_timeout: false });
+                }
+                for seq in candidates {
+                    if let Some(seg) = self.inflight.get_mut(&seq) {
+                        seg.retransmitted = true;
+                        seg.sent_at = now;
+                        let len = seg.len;
+                        out.push(self.build_packet(seq, len, now, true));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn update_rtt(&mut self, rtt: Duration) {
+        self.min_rtt = self.min_rtt.min(rtt);
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Duration(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                let delta = if rtt > srtt { rtt - srtt } else { srtt - rtt };
+                self.rttvar = Duration(
+                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
+                );
+                self.srtt = Some(Duration(
+                    (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + self.rttvar * 4).max(MIN_RTO).min(MAX_RTO);
+    }
+
+    /// Periodic retransmission-timeout check. Returns the time at which the
+    /// next check should run (if any data is outstanding) and any packets to
+    /// transmit now.
+    pub fn on_rto_check(&mut self, now: Nanos) -> (Option<Nanos>, Vec<Packet>) {
+        if self.completed.is_some() || self.inflight.is_empty() {
+            return (None, Vec::new());
+        }
+        let effective_rto = self.rto * (1u64 << self.rto_backoff.min(5));
+        let deadline = self.last_activity + effective_rto;
+        if now >= deadline {
+            // Timeout: back off, collapse the window and retransmit. All
+            // outstanding segments are presumed lost again, so clear their
+            // "already retransmitted" marks — the SACK-repair path will
+            // resend them ACK-clocked as the retransmissions are
+            // acknowledged (go-back-N driven by slow start).
+            self.rto_backoff = (self.rto_backoff + 1).min(6);
+            self.dup_acks = 0;
+            self.recovery_point = None;
+            for seg in self.inflight.values_mut() {
+                seg.retransmitted = false;
+            }
+            self.cc.on_loss(&LossEvent { now, lost_bytes: MSS, is_timeout: true });
+            let mut out = Vec::new();
+            if let Some(p) = self.retransmit_first_unacked(now) {
+                out.push(p);
+            }
+            let next = now + (self.rto * (1u64 << self.rto_backoff.min(5))).min(MAX_RTO);
+            (Some(next), out)
+        } else {
+            (Some(deadline), Vec::new())
+        }
+    }
+}
+
+/// Receiver-side reassembly state for one flow: produces cumulative ACKs.
+#[derive(Debug, Default)]
+pub struct TcpReceiver {
+    recv_next: u64,
+    out_of_order: BTreeMap<u64, u32>,
+    /// Total payload bytes received (including duplicates).
+    pub bytes_received: u64,
+}
+
+impl TcpReceiver {
+    /// Creates an empty receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next byte the receiver expects (the cumulative ACK value).
+    pub fn recv_next(&self) -> u64 {
+        self.recv_next
+    }
+
+    /// The highest byte the receiver holds, counting out-of-order buffered
+    /// data: the information a SACK-capable receiver would report.
+    pub fn highest_received(&self) -> u64 {
+        let ooo_max = self
+            .out_of_order
+            .iter()
+            .map(|(&seq, &len)| seq + len as u64)
+            .max()
+            .unwrap_or(0);
+        self.recv_next.max(ooo_max)
+    }
+
+    /// Processes an arriving data segment and returns the cumulative ACK to
+    /// send back.
+    pub fn on_data(&mut self, seq: u64, len: u32) -> u64 {
+        self.bytes_received += len as u64;
+        if seq <= self.recv_next {
+            // In-order (or duplicate/overlapping) data.
+            self.recv_next = self.recv_next.max(seq + len as u64);
+            // Drain any now-contiguous buffered segments.
+            while let Some((&s, &l)) = self.out_of_order.iter().next() {
+                if s <= self.recv_next {
+                    self.recv_next = self.recv_next.max(s + l as u64);
+                    self.out_of_order.remove(&s);
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.out_of_order.insert(seq, len);
+        }
+        self.recv_next
+    }
+}
+
+/// A closed-loop request/response client: it keeps exactly one small request
+/// outstanding and records the response latency of each exchange. This
+/// models the 40-byte UDP request/response loops of the paper's §8
+/// experiments.
+#[derive(Debug)]
+pub struct PingClient {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Five-tuple of the request direction.
+    pub key: FlowKey,
+    /// Request (and response) payload size in bytes.
+    pub payload: u32,
+    /// Completed request-response RTT samples.
+    pub rtts: Vec<Duration>,
+    outstanding: Option<(u64, Nanos)>,
+    seq: u64,
+    ip_id: u16,
+}
+
+impl PingClient {
+    /// Creates a ping client.
+    pub fn new(id: FlowId, key: FlowKey, payload: u32) -> Self {
+        PingClient {
+            id,
+            key,
+            payload,
+            rtts: Vec::new(),
+            outstanding: None,
+            seq: 0,
+            ip_id: (id.0.wrapping_mul(0x5bd1) & 0xffff) as u16,
+        }
+    }
+
+    /// Issues the next request if none is outstanding.
+    pub fn maybe_request(&mut self, now: Nanos) -> Option<Packet> {
+        if self.outstanding.is_some() {
+            return None;
+        }
+        self.seq += 1;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        self.outstanding = Some((self.seq, now));
+        let mut key = self.key;
+        key.protocol = bundler_types::Protocol::Udp;
+        Some(
+            Packet::data(self.id, key, self.seq, self.payload, now)
+                .with_ip_id(self.ip_id)
+                .with_class(TrafficClass::HIGH),
+        )
+    }
+
+    /// Processes the response to request `seq`, recording its RTT, and
+    /// issues the next request.
+    pub fn on_response(&mut self, seq: u64, now: Nanos) -> Option<Packet> {
+        match self.outstanding {
+            Some((out_seq, sent_at)) if out_seq == seq => {
+                self.rtts.push(now.saturating_since(sent_at));
+                self.outstanding = None;
+                self.maybe_request(now)
+            }
+            _ => None,
+        }
+    }
+
+    /// Completed round trips so far.
+    pub fn completed(&self) -> usize {
+        self.rtts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_types::flow::ipv4;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(ipv4(10, 0, 0, 1), 40_000, ipv4(10, 1, 0, 1), 80)
+    }
+
+    fn sender(size: u64) -> TcpSender {
+        TcpSender::new(FlowId(1), key(), size, EndhostAlg::Cubic, TrafficClass::BEST_EFFORT, Nanos::ZERO)
+    }
+
+    #[test]
+    fn initial_window_limits_first_burst() {
+        let mut s = sender(1_000_000);
+        let pkts = s.maybe_send(Nanos::ZERO);
+        // Cubic starts with a 10-packet initial window.
+        assert_eq!(pkts.len(), 10);
+        assert_eq!(s.bytes_in_flight(), 10 * MSS);
+        // No more until ACKs arrive.
+        assert!(s.maybe_send(Nanos::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn short_flow_completes_after_acks() {
+        let mut s = sender(3000);
+        let pkts = s.maybe_send(Nanos::ZERO);
+        assert_eq!(pkts.len(), 3, "3000 bytes = 3 segments");
+        assert!(!s.is_complete());
+        s.on_ack(3000, Nanos::from_millis(50));
+        assert!(s.is_complete());
+        assert_eq!(s.completed, Some(Nanos::from_millis(50)));
+    }
+
+    #[test]
+    fn window_grows_and_more_data_flows() {
+        let mut s = sender(10_000_000);
+        let first = s.maybe_send(Nanos::ZERO);
+        let mut acked = 0;
+        let mut sent = first.len();
+        // ACK everything we have sent, one RTT later, a few times.
+        for round in 1..=5u64 {
+            acked += sent as u64 * MSS;
+            let more = s.on_ack(acked.min(10_000_000), Nanos::from_millis(round * 50));
+            sent = more.len();
+            assert!(sent > 0, "window should keep the flow sending");
+        }
+        assert!(s.cwnd() > 10 * MSS, "cwnd should have grown: {}", s.cwnd());
+        assert!(s.srtt().is_some());
+    }
+
+    #[test]
+    fn triple_duplicate_ack_triggers_one_fast_retransmit() {
+        let mut s = sender(1_000_000);
+        let pkts = s.maybe_send(Nanos::ZERO);
+        assert!(pkts.len() >= 4);
+        // First segment is lost; receiver keeps acking 0... wait, receiver
+        // acks the highest contiguous byte, which is 0 until seg 0 arrives.
+        // Duplicate ACKs for byte 0:
+        let r1 = s.on_ack(0, Nanos::from_millis(51));
+        let r2 = s.on_ack(0, Nanos::from_millis(52));
+        assert!(r1.is_empty() && r2.is_empty());
+        let r3 = s.on_ack(0, Nanos::from_millis(53));
+        assert_eq!(r3.len(), 1, "third duplicate ACK triggers fast retransmit");
+        assert!(r3[0].retransmit);
+        assert_eq!(r3[0].seq, 0);
+        // Further dup ACKs do not retransmit again.
+        let r4 = s.on_ack(0, Nanos::from_millis(54));
+        assert!(r4.is_empty());
+        assert_eq!(s.retransmits, 1);
+    }
+
+    #[test]
+    fn rto_fires_and_backs_off() {
+        let mut s = sender(100_000);
+        s.maybe_send(Nanos::ZERO);
+        let cwnd_before = s.cwnd();
+        // First check before the timeout: nothing happens.
+        let (next, pkts) = s.on_rto_check(Nanos::from_millis(100));
+        assert!(pkts.is_empty());
+        let deadline = next.unwrap();
+        // At the deadline the sender times out and retransmits.
+        let (next2, pkts2) = s.on_rto_check(deadline);
+        assert_eq!(pkts2.len(), 1);
+        assert!(pkts2[0].retransmit);
+        assert!(s.cwnd() < cwnd_before, "timeout collapses the window");
+        // The next deadline is further away (exponential backoff).
+        assert!(next2.unwrap().saturating_since(deadline) >= s.rto());
+    }
+
+    #[test]
+    fn rto_check_idle_flow_returns_none() {
+        let mut s = sender(1000);
+        s.maybe_send(Nanos::ZERO);
+        s.on_ack(1000, Nanos::from_millis(10));
+        assert!(s.is_complete());
+        let (next, pkts) = s.on_rto_check(Nanos::from_millis(500));
+        assert!(next.is_none() && pkts.is_empty());
+    }
+
+    #[test]
+    fn backlogged_flow_never_completes() {
+        let mut s = sender(u64::MAX);
+        // Acknowledge everything outstanding each round; the flow must keep
+        // producing data forever and grow its window.
+        let mut sent_pkts = s.maybe_send(Nanos::ZERO).len() as u64;
+        // Only a handful of rounds: the window doubles every round (no
+        // losses), so long loops would ask for absurdly large bursts.
+        for round in 1..=8u64 {
+            let acked = sent_pkts * MSS;
+            let more = s.on_ack(acked, Nanos::from_millis(round * 50));
+            sent_pkts += more.len() as u64;
+            sent_pkts += s.maybe_send(Nanos::from_millis(round * 50)).len() as u64;
+        }
+        assert!(!s.is_complete());
+        assert!(s.packets_sent > 100, "packets_sent = {}", s.packets_sent);
+    }
+
+    #[test]
+    fn packets_get_distinct_ip_ids() {
+        let mut s = sender(100_000);
+        let pkts = s.maybe_send(Nanos::ZERO);
+        let mut ids: Vec<u16> = pkts.iter().map(|p| p.ip_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), pkts.len(), "consecutive packets must have distinct IP IDs");
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order_data() {
+        let mut r = TcpReceiver::new();
+        assert_eq!(r.on_data(0, 1000), 1000);
+        // A gap: segment at 2000 arrives before 1000.
+        assert_eq!(r.on_data(2000, 1000), 1000, "cumulative ACK stays at the gap");
+        assert_eq!(r.on_data(1000, 1000), 3000, "gap filled, ACK jumps");
+        // Duplicate data does not regress.
+        assert_eq!(r.on_data(0, 1000), 3000);
+        assert_eq!(r.bytes_received, 4000);
+    }
+
+    #[test]
+    fn ping_client_round_trips() {
+        let mut p = PingClient::new(FlowId(9), key(), 40);
+        let req = p.maybe_request(Nanos::ZERO).unwrap();
+        assert_eq!(req.payload, 40);
+        // Second request refused while one is outstanding.
+        assert!(p.maybe_request(Nanos::from_millis(1)).is_none());
+        let next = p.on_response(req.seq, Nanos::from_millis(30));
+        assert!(next.is_some(), "next request issued immediately");
+        assert_eq!(p.completed(), 1);
+        assert_eq!(p.rtts[0], Duration::from_millis(30));
+        // Response to a stale sequence number is ignored.
+        assert!(p.on_response(999, Nanos::from_millis(40)).is_none());
+    }
+}
+
+impl TcpSender {
+    /// Test-only detailed state dump.
+    #[doc(hidden)]
+    pub fn debug_detail(&self, receiver: &TcpReceiver) -> String {
+        format!(
+            "snd_una={} next_seq={} inflight_first={:?} inflight_n={} dup_acks={} recovery={:?} highest_sacked={} recv_next={} rto_backoff={} last_activity={}",
+            self.snd_una,
+            self.next_seq,
+            self.inflight.keys().next(),
+            self.inflight.len(),
+            self.dup_acks,
+            self.recovery_point,
+            self.highest_sacked,
+            receiver.recv_next(),
+            self.rto_backoff,
+            self.last_activity,
+        )
+    }
+}

@@ -1,0 +1,147 @@
+//! Byte-count helpers.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A cumulative or per-object byte count.
+///
+/// Both the sendbox and the receivebox maintain running byte counters
+/// (`bytes_sent`, `bytes_received`); receive-rate estimation is a difference
+/// of two such counters divided by an epoch duration.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteCount(pub u64);
+
+impl ByteCount {
+    /// Zero bytes.
+    pub const ZERO: ByteCount = ByteCount(0);
+
+    /// Builds a byte count from kilobytes (10^3 bytes).
+    pub const fn from_kb(kb: u64) -> Self {
+        ByteCount(kb * 1_000)
+    }
+
+    /// Builds a byte count from megabytes (10^6 bytes).
+    pub const fn from_mb(mb: u64) -> Self {
+        ByteCount(mb * 1_000_000)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as a floating point number of bytes.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns the count in bits.
+    pub const fn as_bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteCount) -> ByteCount {
+        ByteCount(self.0.saturating_sub(other.0))
+    }
+
+    /// Number of maximum-size packets (of `mtu` bytes) needed to carry this
+    /// many bytes, rounding up.
+    pub fn packets(self, mtu: u64) -> u64 {
+        if mtu == 0 {
+            return 0;
+        }
+        self.0.div_ceil(mtu)
+    }
+}
+
+impl Add for ByteCount {
+    type Output = ByteCount;
+    fn add(self, rhs: ByteCount) -> ByteCount {
+        ByteCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteCount {
+    fn add_assign(&mut self, rhs: ByteCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for ByteCount {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for ByteCount {
+    type Output = ByteCount;
+    fn sub(self, rhs: ByteCount) -> ByteCount {
+        ByteCount(self.0 - rhs.0)
+    }
+}
+
+impl Sum for ByteCount {
+    fn sum<I: Iterator<Item = ByteCount>>(iter: I) -> ByteCount {
+        ByteCount(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for ByteCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}GB", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}KB", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_conversions() {
+        assert_eq!(ByteCount::from_kb(10).as_u64(), 10_000);
+        assert_eq!(ByteCount::from_mb(5).as_u64(), 5_000_000);
+        assert_eq!(ByteCount(100).as_bits(), 800);
+    }
+
+    #[test]
+    fn packet_count_rounds_up() {
+        assert_eq!(ByteCount(1500).packets(1500), 1);
+        assert_eq!(ByteCount(1501).packets(1500), 2);
+        assert_eq!(ByteCount(0).packets(1500), 0);
+        assert_eq!(ByteCount(100).packets(0), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut b = ByteCount(10);
+        b += 5;
+        b += ByteCount(5);
+        assert_eq!(b, ByteCount(20));
+        assert_eq!(b - ByteCount(5), ByteCount(15));
+        assert_eq!(ByteCount(5).saturating_sub(ByteCount(10)), ByteCount::ZERO);
+        let s: ByteCount = [ByteCount(1), ByteCount(2)].into_iter().sum();
+        assert_eq!(s, ByteCount(3));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", ByteCount(10)), "10B");
+        assert_eq!(format!("{}", ByteCount::from_kb(2)), "2.00KB");
+        assert_eq!(format!("{}", ByteCount::from_mb(3)), "3.00MB");
+        assert_eq!(format!("{}", ByteCount(2_500_000_000)), "2.50GB");
+    }
+}

@@ -1,0 +1,181 @@
+//! Flow identification: five-tuples and flow ids.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol carried by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+}
+
+impl Protocol {
+    /// The IANA protocol number, as it would appear in the IPv4 header.
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => write!(f, "tcp"),
+            Protocol::Udp => write!(f, "udp"),
+        }
+    }
+}
+
+/// Simulator-internal flow identifier.
+///
+/// Flows also carry a [`FlowKey`] (the five-tuple visible on the wire); the
+/// `FlowId` is a dense integer used by workload generation and statistics.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// The classic five-tuple identifying a transport connection.
+///
+/// Bundler's datapath never keeps per-flow state keyed on this tuple (that is
+/// one of the paper's design goals), but schedulers such as SFQ and FQ-CoDel
+/// hash it to pick a queue, and the epoch-boundary hash includes the
+/// destination address and port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl FlowKey {
+    /// Builds a TCP five-tuple.
+    pub const fn tcp(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Tcp }
+    }
+
+    /// Builds a UDP five-tuple.
+    pub const fn udp(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Udp }
+    }
+
+    /// The five-tuple of the reverse direction (for ACK traffic).
+    pub const fn reversed(self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A stable 64-bit digest of the tuple, used by hashing schedulers.
+    ///
+    /// This is a simple FNV-1a over the tuple fields; it is *not* the
+    /// epoch-boundary hash (which lives in `bundler-core` and covers a
+    /// different header subset).
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut step = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in self.src_ip.to_be_bytes() {
+            step(b);
+        }
+        for b in self.dst_ip.to_be_bytes() {
+            step(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            step(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            step(b);
+        }
+        step(self.protocol.number());
+        h
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}.{} -> {}.{}",
+            self.protocol,
+            ipv4_str(self.src_ip),
+            self.src_port,
+            ipv4_str(self.dst_ip),
+            self.dst_port
+        )
+    }
+}
+
+fn ipv4_str(ip: u32) -> String {
+    let b = ip.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Packs dotted-quad octets into a `u32` IPv4 address.
+pub const fn ipv4(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from_be_bytes([a, b, c, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(Protocol::Tcp.number(), 6);
+        assert_eq!(Protocol::Udp.number(), 17);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = FlowKey::tcp(ipv4(10, 0, 0, 1), 1234, ipv4(10, 0, 0, 2), 80);
+        let r = k.reversed();
+        assert_eq!(r.src_ip, k.dst_ip);
+        assert_eq!(r.dst_port, k.src_port);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn digest_distinguishes_flows() {
+        let a = FlowKey::tcp(ipv4(10, 0, 0, 1), 1234, ipv4(10, 0, 0, 2), 80);
+        let b = FlowKey::tcp(ipv4(10, 0, 0, 1), 1235, ipv4(10, 0, 0, 2), 80);
+        let c = FlowKey::udp(ipv4(10, 0, 0, 1), 1234, ipv4(10, 0, 0, 2), 80);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest(), a.digest());
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = FlowKey::tcp(ipv4(10, 0, 0, 1), 1234, ipv4(192, 168, 1, 9), 80);
+        assert_eq!(format!("{k}"), "tcp:10.0.0.1.1234 -> 192.168.1.9.80");
+        assert_eq!(format!("{}", FlowId(3)), "flow#3");
+    }
+}

@@ -1,0 +1,37 @@
+//! Multipath-imbalance detection from out-of-order measurements.
+//!
+//! ```text
+//! cargo run --release --example multipath_probe
+//! ```
+//!
+//! Runs the same bundle over one path and over four load-balanced paths with
+//! unequal delays, printing the out-of-order measurement fraction and
+//! whether Bundler disabled itself (§5.2 / §7.6).
+
+use bundler::sim::scenario::multipath::MultipathScenario;
+use bundler::types::{Duration, Rate};
+
+fn main() {
+    println!("Out-of-order congestion-ACK fraction (threshold for disabling: 5%)\n");
+    for (label, paths, spread_ms) in [
+        ("single path", 1usize, 0u64),
+        ("4 balanced-delay paths", 4, 0),
+        ("4 imbalanced paths", 4, 40),
+    ] {
+        let point = MultipathScenario {
+            rate: Rate::from_mbps(48),
+            rtt: Duration::from_millis(50),
+            paths,
+            delay_spread: Duration::from_millis(spread_ms),
+            flows: 16,
+            duration: Duration::from_secs(12),
+        }
+        .run();
+        println!(
+            "{:<24} out-of-order fraction {:6.3} | bundler disabled: {}",
+            label, point.out_of_order_fraction, point.disabled
+        );
+    }
+    println!("\nOnly the imbalanced configuration pushes the fraction past the 5% threshold,");
+    println!("at which point the sendbox falls back to status-quo forwarding.");
+}

@@ -1,0 +1,40 @@
+//! Bundler: site-to-site Internet traffic control.
+//!
+//! This facade crate re-exports the workspace libraries that together
+//! reproduce the EuroSys '21 paper *Site-to-Site Internet Traffic Control*:
+//!
+//! * [`types`] — packets, flow keys, time and rate units.
+//! * [`sched`] — packet schedulers and rate limiters (FIFO, SFQ, FQ-CoDel,
+//!   DRR, strict priority, token bucket).
+//! * [`cc`] — congestion-control algorithms (Copa, Nimbus, BBR, Cubic,
+//!   NewReno, Vegas).
+//! * [`core`] — the Bundler sendbox/receivebox control loop: epoch-based
+//!   measurement, congestion ACKs, cross-traffic mode switching and
+//!   multipath imbalance detection.
+//! * [`sim`] — a deterministic packet-level network simulator used for the
+//!   paper's emulation experiments.
+//! * [`internet`] — WAN path profiles and workloads for the real-Internet
+//!   experiments (§8 of the paper).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bundler::sim::scenario::fct::{FctScenario, SendboxMode};
+//!
+//! // A tiny version of the paper's Figure 9 experiment: heavy-tailed
+//! // request workload over a 96 Mbit/s, 50 ms bottleneck.
+//! let report = FctScenario::builder()
+//!     .requests(200)
+//!     .seed(7)
+//!     .mode(SendboxMode::BundlerSfq)
+//!     .build()
+//!     .run();
+//! assert!(report.completed > 0);
+//! ```
+
+pub use bundler_cc as cc;
+pub use bundler_core as core;
+pub use bundler_internet as internet;
+pub use bundler_sched as sched;
+pub use bundler_sim as sim;
+pub use bundler_types as types;

@@ -1,0 +1,130 @@
+//! Property-based tests over the core data structures and invariants.
+
+use bundler::core::epoch::{epoch_hash, is_boundary, target_epoch_size};
+use bundler::core::feedback::{BundleId, CongestionAck, EpochSizeUpdate};
+use bundler::sched::Policy;
+use bundler::sched::Scheduler as _;
+use bundler::sim::stats::quantile;
+use bundler::sim::workload::FlowSizeDist;
+use bundler::types::{flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, Rate};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (any::<u16>(), any::<u16>(), 1u32..1460, any::<u64>(), 0u8..4).prop_map(
+        |(ip_id, dst_port, payload, flow, class)| {
+            let key = FlowKey::tcp(
+                ipv4(10, 0, (flow % 200) as u8, 1),
+                (1000 + flow % 40_000) as u16,
+                ipv4(10, 1, (flow % 100) as u8, 1),
+                dst_port.max(1),
+            );
+            Packet::data(FlowId(flow), key, 0, payload, Nanos::ZERO)
+                .with_ip_id(ip_id)
+                .with_class(bundler::types::TrafficClass(class))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Epoch boundaries sampled at a larger power-of-two epoch size are
+    /// always a subset of those sampled at a smaller one — the property that
+    /// makes epoch-size updates loss-tolerant (§4.5).
+    #[test]
+    fn epoch_boundaries_nest(pkt in arb_packet(), shift_small in 0u32..6, extra in 1u32..6) {
+        let small = 1u32 << shift_small;
+        let large = small << extra;
+        let h = epoch_hash(&pkt);
+        if is_boundary(h, large) {
+            prop_assert!(is_boundary(h, small));
+        }
+    }
+
+    /// The computed epoch size is always a power of two within bounds.
+    #[test]
+    fn epoch_size_is_power_of_two(
+        rtt_ms in 1u64..400,
+        rate_mbps in 1u64..1000,
+        frac in 0.05f64..1.0,
+    ) {
+        let n = target_epoch_size(
+            frac,
+            Duration::from_millis(rtt_ms),
+            Rate::from_mbps(rate_mbps),
+            1500,
+            1 << 14,
+        );
+        prop_assert!(n.is_power_of_two());
+        prop_assert!(n >= 1 && n <= (1 << 14));
+    }
+
+    /// Congestion ACKs and epoch updates survive a wire round trip.
+    #[test]
+    fn feedback_round_trips(
+        bundle in any::<u32>(),
+        hash in any::<u64>(),
+        bytes in any::<u64>(),
+        pkts in any::<u64>(),
+        t in any::<u64>(),
+        epoch_shift in 0u32..15,
+    ) {
+        let ack = CongestionAck {
+            bundle: BundleId(bundle),
+            packet_hash: hash,
+            bytes_received: bytes,
+            packets_received: pkts,
+            observed_at: Nanos(t),
+        };
+        prop_assert_eq!(CongestionAck::from_wire(&ack.to_wire()), Some(ack));
+        let upd = EpochSizeUpdate { bundle: BundleId(bundle), epoch_size: 1 << epoch_shift };
+        prop_assert_eq!(EpochSizeUpdate::from_wire(&upd.to_wire()), Some(upd));
+    }
+
+    /// Every scheduler conserves packets: whatever is enqueued is either
+    /// dropped (reported) or eventually dequeued, and byte counters stay
+    /// consistent.
+    #[test]
+    fn schedulers_conserve_packets(pkts in proptest::collection::vec(arb_packet(), 1..120)) {
+        for &policy in Policy::all() {
+            let mut s = policy.build(64);
+            let mut accepted = 0u64;
+            let mut dropped = 0u64;
+            for p in &pkts {
+                if s.enqueue(p.clone(), Nanos::ZERO).is_drop() {
+                    dropped += 1;
+                } else {
+                    accepted += 1;
+                }
+            }
+            // Note: a drop may evict a previously accepted packet (e.g. SFQ
+            // drops from the longest queue), so compare totals, not order.
+            let mut dequeued = 0u64;
+            while s.dequeue(Nanos::from_millis(1)).is_some() {
+                dequeued += 1;
+            }
+            prop_assert_eq!(accepted + dropped, pkts.len() as u64);
+            prop_assert_eq!(dequeued + dropped, pkts.len() as u64, "policy {}", policy);
+            prop_assert_eq!(s.len_packets(), 0);
+            prop_assert_eq!(s.len_bytes(), 0);
+        }
+    }
+
+    /// The flow-size distribution's quantile function is monotone and its
+    /// samples respect the declared CDF point at 10 KB.
+    #[test]
+    fn flow_size_quantiles_are_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let dist = FlowSizeDist::caida_like();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(dist.quantile(lo) <= dist.quantile(hi));
+    }
+
+    /// quantile() is bounded by the min and max of its inputs.
+    #[test]
+    fn quantile_is_bounded(mut values in proptest::collection::vec(0.0f64..1e6, 1..200), q in 0.0f64..1.0) {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let result = quantile(&mut values, q).unwrap();
+        prop_assert!(result >= min - 1e-9 && result <= max + 1e-9);
+    }
+}

@@ -1,0 +1,464 @@
+//! The site agent: N bundle control planes behind one classifier and one
+//! timer wheel.
+//!
+//! The paper's sendbox manages a single site pair; a deployed site edge
+//! manages one bundle per remote site. The agent owns the *control planes*
+//! only — datapaths (queues, pacing) stay with the caller, exactly as
+//! [`Sendbox`] itself is split — and provides the three things a real edge
+//! needs on top of the per-bundle logic:
+//!
+//! * **Classification**: a longest-prefix-match table from destination
+//!   prefixes to bundles, consulted once per packet.
+//! * **Tick batching**: a hierarchical timer wheel fires each bundle's
+//!   control tick at its own cadence; one [`SiteAgent::advance`] call ticks
+//!   exactly the due bundles, not all N.
+//! * **Telemetry**: uniform per-bundle snapshots for export.
+
+use bundler_core::feedback::{BundleId, CongestionAck};
+use bundler_core::{BundlerConfig, Sendbox, SendboxOutput, SendboxTelemetry};
+use bundler_types::{Duration, FlowKey, IpPrefix, Nanos, Packet};
+
+use crate::classifier::PrefixClassifier;
+use crate::telemetry::{AgentTelemetry, BundleTelemetry};
+use crate::wheel::TimerWheel;
+
+/// Agent-wide tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// Finest slot width of the tick wheel. Control ticks quantize to this,
+    /// so it should be well below the smallest `control_interval` in use
+    /// (the default 1 ms is a tenth of the paper's 10 ms interval).
+    pub tick_quantum: Duration,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            tick_quantum: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Counters describing the agent's own work (not any one bundle's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Packets successfully classified to a bundle.
+    pub packets_classified: u64,
+    /// Packets that matched no installed prefix.
+    pub packets_unclassified: u64,
+    /// Congestion ACKs delivered to a bundle.
+    pub acks_delivered: u64,
+    /// Congestion ACKs for unknown bundles.
+    pub acks_unknown: u64,
+    /// Control ticks executed across all bundles.
+    pub ticks_run: u64,
+    /// Calls to [`SiteAgent::advance`].
+    pub advances: u64,
+}
+
+/// The result of one due control tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BundleTick {
+    /// Which bundle ticked.
+    pub bundle: usize,
+    /// The control plane's instructions for the datapath (new pacing rate,
+    /// optional epoch update, current mode).
+    pub output: SendboxOutput,
+}
+
+struct ManagedBundle {
+    control: Sendbox,
+    prefixes: Vec<IpPrefix>,
+}
+
+/// A site-edge agent managing one [`Sendbox`] control plane per remote
+/// site.
+pub struct SiteAgent {
+    config: AgentConfig,
+    classifier: PrefixClassifier<usize>,
+    bundles: Vec<ManagedBundle>,
+    wheel: TimerWheel<usize>,
+    stats: AgentStats,
+}
+
+impl std::fmt::Debug for SiteAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteAgent")
+            .field("bundles", &self.bundles.len())
+            .field("prefixes", &self.classifier.len())
+            .field("pending_ticks", &self.wheel.pending())
+            .finish()
+    }
+}
+
+impl Default for SiteAgent {
+    fn default() -> Self {
+        Self::new(AgentConfig::default())
+    }
+}
+
+impl SiteAgent {
+    /// Creates an empty agent.
+    pub fn new(config: AgentConfig) -> Self {
+        SiteAgent {
+            classifier: PrefixClassifier::new(),
+            bundles: Vec::new(),
+            wheel: TimerWheel::new(config.tick_quantum),
+            stats: AgentStats::default(),
+            config,
+        }
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// Number of managed bundles.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// True if no bundles are managed.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// The agent's own counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// Adds a bundle for the remote site announcing `prefixes`, returning
+    /// its handle. The bundle's first control tick is scheduled one
+    /// `control_interval` after `now`.
+    ///
+    /// Fails if the Bundler configuration is invalid, if no prefix is
+    /// given, or if any prefix is already routed to another bundle.
+    pub fn add_bundle(
+        &mut self,
+        prefixes: &[IpPrefix],
+        config: BundlerConfig,
+        now: Nanos,
+    ) -> Result<usize, String> {
+        if prefixes.is_empty() {
+            return Err("a bundle needs at least one destination prefix".into());
+        }
+        for p in prefixes {
+            // Exact match, not LPM: a duplicate must be caught even when a
+            // more-specific prefix would shadow it in a lookup.
+            if let Some(&owner) = self.classifier.get(*p) {
+                return Err(format!("prefix {p} is already routed to bundle {owner}"));
+            }
+        }
+        let index = self.bundles.len();
+        let control = Sendbox::new(BundleId(index as u32), config)?;
+        for p in prefixes {
+            self.classifier.insert(*p, index);
+        }
+        self.bundles.push(ManagedBundle {
+            control,
+            prefixes: prefixes.to_vec(),
+        });
+        self.wheel.schedule(now + config.control_interval, index);
+        Ok(index)
+    }
+
+    /// Longest-prefix-match classification of a destination address.
+    pub fn classify_dst(&self, dst_ip: u32) -> Option<usize> {
+        self.classifier.lookup(dst_ip).copied()
+    }
+
+    /// Classifies a flow to its bundle by destination address.
+    pub fn classify(&self, key: &FlowKey) -> Option<usize> {
+        self.classifier.classify(key).copied()
+    }
+
+    /// Classifies a packet and counts the outcome. Datapaths call this once
+    /// per packet to pick the queue to enqueue into.
+    pub fn classify_packet(&mut self, pkt: &Packet) -> Option<usize> {
+        let bundle = self.classifier.classify(&pkt.key).copied();
+        match bundle {
+            Some(_) => self.stats.packets_classified += 1,
+            None => self.stats.packets_unclassified += 1,
+        }
+        bundle
+    }
+
+    /// Notifies bundle `bundle`'s control plane that the datapath forwarded
+    /// `pkt` at `now`. Returns `true` if the packet was an epoch boundary.
+    pub fn on_packet_forwarded(&mut self, bundle: usize, pkt: &Packet, now: Nanos) -> bool {
+        match self.bundles.get_mut(bundle) {
+            Some(b) => b.control.on_packet_forwarded(pkt, now),
+            None => false,
+        }
+    }
+
+    /// Delivers a congestion ACK, routed by the bundle id it carries.
+    pub fn on_congestion_ack(&mut self, ack: &CongestionAck, now: Nanos) {
+        match self.bundles.get_mut(ack.bundle.0 as usize) {
+            Some(b) => {
+                b.control.on_congestion_ack(ack, now);
+                self.stats.acks_delivered += 1;
+            }
+            None => self.stats.acks_unknown += 1,
+        }
+    }
+
+    /// Advances the tick wheel to `now` and runs the control tick of every
+    /// due bundle — O(due bundles), not O(managed bundles). Each ticked
+    /// bundle's next tick is scheduled one `control_interval` after its
+    /// *deadline*, so tick trains stay on their own drift-free grids.
+    ///
+    /// `queue_bytes(bundle)` must report the current occupancy of that
+    /// bundle's datapath queue (the pass-through PI controller needs it).
+    /// Returns the due bundles' datapath instructions in deadline order.
+    pub fn advance(
+        &mut self,
+        now: Nanos,
+        mut queue_bytes: impl FnMut(usize) -> u64,
+    ) -> Vec<BundleTick> {
+        self.stats.advances += 1;
+        let due = self.wheel.advance(now);
+        let mut out = Vec::with_capacity(due.len());
+        for (deadline, index) in due {
+            let b = &mut self.bundles[index];
+            let output = b.control.on_tick(queue_bytes(index), now);
+            self.wheel
+                .schedule(deadline + b.control.config().control_interval, index);
+            self.stats.ticks_run += 1;
+            out.push(BundleTick {
+                bundle: index,
+                output,
+            });
+        }
+        out
+    }
+
+    /// The earliest scheduled control-tick deadline, if any bundles exist.
+    /// Event-driven hosts use this to decide when to call
+    /// [`SiteAgent::advance`] next.
+    pub fn next_tick_at(&self) -> Option<Nanos> {
+        self.wheel.next_due()
+    }
+
+    /// Read access to a bundle's control plane.
+    pub fn sendbox(&self, bundle: usize) -> Option<&Sendbox> {
+        self.bundles.get(bundle).map(|b| &b.control)
+    }
+
+    /// The prefixes routed to a bundle.
+    pub fn prefixes(&self, bundle: usize) -> Option<&[IpPrefix]> {
+        self.bundles.get(bundle).map(|b| b.prefixes.as_slice())
+    }
+
+    /// Telemetry snapshot of one bundle.
+    pub fn telemetry(&self, bundle: usize) -> Option<SendboxTelemetry> {
+        self.bundles.get(bundle).map(|b| b.control.telemetry())
+    }
+
+    /// Telemetry snapshot of every bundle, ordered by handle.
+    pub fn snapshots(&self) -> AgentTelemetry {
+        AgentTelemetry {
+            bundles: self
+                .bundles
+                .iter()
+                .enumerate()
+                .map(|(index, b)| BundleTelemetry {
+                    index,
+                    prefixes: b.prefixes.clone(),
+                    snapshot: b.control.telemetry(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_core::Mode;
+    use bundler_types::{flow::ipv4, FlowId, Rate};
+
+    fn prefix(site: u8) -> IpPrefix {
+        IpPrefix::new(ipv4(10, 1, site, 0), 24).unwrap()
+    }
+
+    fn agent_with_sites(n: u8) -> SiteAgent {
+        let mut agent = SiteAgent::default();
+        for site in 0..n {
+            let idx = agent
+                .add_bundle(&[prefix(site)], BundlerConfig::default(), Nanos::ZERO)
+                .unwrap();
+            assert_eq!(idx, site as usize);
+        }
+        agent
+    }
+
+    fn pkt_to(site: u8, ip_id: u16) -> Packet {
+        Packet::data(
+            FlowId(site as u64),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 4000, ipv4(10, 1, site, 7), 443),
+            0,
+            1460,
+            Nanos::ZERO,
+        )
+        .with_ip_id(ip_id)
+    }
+
+    #[test]
+    fn classifies_to_the_right_bundle() {
+        let mut agent = agent_with_sites(4);
+        for site in 0..4u8 {
+            let pkt = pkt_to(site, 0);
+            assert_eq!(agent.classify_packet(&pkt), Some(site as usize));
+        }
+        let stray = pkt_to(99, 0);
+        assert_eq!(agent.classify_packet(&stray), None);
+        assert_eq!(agent.stats().packets_classified, 4);
+        assert_eq!(agent.stats().packets_unclassified, 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_prefixes_and_empty_bundles() {
+        let mut agent = agent_with_sites(1);
+        let err = agent
+            .add_bundle(&[prefix(0)], BundlerConfig::default(), Nanos::ZERO)
+            .unwrap_err();
+        assert!(err.contains("already routed"), "{err}");
+        assert!(agent
+            .add_bundle(&[], BundlerConfig::default(), Nanos::ZERO)
+            .is_err());
+        // A more specific prefix for the same space is a different route and
+        // is allowed.
+        let narrower = IpPrefix::new(ipv4(10, 1, 0, 0), 28).unwrap();
+        let idx = agent
+            .add_bundle(&[narrower], BundlerConfig::default(), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(
+            agent.classify_dst(ipv4(10, 1, 0, 5)),
+            Some(idx),
+            "longest prefix wins"
+        );
+        assert_eq!(agent.classify_dst(ipv4(10, 1, 0, 200)), Some(0));
+        // The original /24 is still taken even though the narrower /28 now
+        // shadows it in LPM lookups: duplicate detection must be exact-match.
+        let err = agent
+            .add_bundle(&[prefix(0)], BundlerConfig::default(), Nanos::ZERO)
+            .unwrap_err();
+        assert!(err.contains("already routed to bundle 0"), "{err}");
+        assert_eq!(
+            agent.classify_dst(ipv4(10, 1, 0, 200)),
+            Some(0),
+            "route must be unchanged"
+        );
+    }
+
+    #[test]
+    fn ticks_only_due_bundles_and_stays_periodic() {
+        // Two bundles with different control intervals.
+        let mut agent = SiteAgent::default();
+        let fast = BundlerConfig {
+            control_interval: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let slow = BundlerConfig {
+            control_interval: Duration::from_millis(40),
+            ..Default::default()
+        };
+        agent.add_bundle(&[prefix(0)], fast, Nanos::ZERO).unwrap();
+        agent.add_bundle(&[prefix(1)], slow, Nanos::ZERO).unwrap();
+
+        let mut fast_ticks = 0;
+        let mut slow_ticks = 0;
+        for ms in 1..=400u64 {
+            for t in agent.advance(Nanos::from_millis(ms), |_| 0) {
+                match t.bundle {
+                    0 => fast_ticks += 1,
+                    1 => slow_ticks += 1,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        assert_eq!(fast_ticks, 40);
+        assert_eq!(slow_ticks, 10);
+        assert_eq!(agent.stats().ticks_run, 50);
+        assert_eq!(agent.sendbox(0).unwrap().stats().ticks, 40);
+        assert_eq!(agent.sendbox(1).unwrap().stats().ticks, 10);
+    }
+
+    #[test]
+    fn next_tick_at_tracks_the_earliest_deadline() {
+        let mut agent = agent_with_sites(3);
+        assert_eq!(agent.next_tick_at(), Some(Nanos::from_millis(10)));
+        let due = agent.advance(Nanos::from_millis(10), |_| 0);
+        assert_eq!(due.len(), 3, "all bundles share the 10 ms grid");
+        assert_eq!(agent.next_tick_at(), Some(Nanos::from_millis(20)));
+    }
+
+    #[test]
+    fn acks_route_by_bundle_id() {
+        let mut agent = agent_with_sites(2);
+        // Drive bundle 1 with a forwarded boundary + matching ACK.
+        let cfg = BundlerConfig::default();
+        let mut found = None;
+        for i in 0..200u16 {
+            let pkt = pkt_to(1, i);
+            if agent.on_packet_forwarded(1, &pkt, Nanos::from_millis(i as u64)) {
+                found = Some((pkt, Nanos::from_millis(i as u64)));
+                break;
+            }
+        }
+        let (pkt, sent_at) = found.expect("some packet must be a boundary");
+        let mut rb = bundler_core::Receivebox::new(BundleId(1), cfg.initial_epoch_size);
+        let ack = rb.on_packet(&pkt, sent_at + Duration::from_millis(25));
+        // The receivebox samples the same boundary the sendbox did.
+        let ack = ack.expect("same packet must be a boundary at the receivebox");
+        agent.on_congestion_ack(&ack, sent_at + Duration::from_millis(50));
+        assert_eq!(agent.sendbox(1).unwrap().stats().acks_received, 1);
+        assert_eq!(agent.sendbox(0).unwrap().stats().acks_received, 0);
+        // Unknown bundle id is counted, not panicked on.
+        let bogus = CongestionAck {
+            bundle: BundleId(99),
+            ..ack
+        };
+        agent.on_congestion_ack(&bogus, Nanos::from_secs(1));
+        assert_eq!(agent.stats().acks_unknown, 1);
+    }
+
+    #[test]
+    fn telemetry_totals_match_per_sendbox_stats() {
+        let mut agent = agent_with_sites(4);
+        for i in 0..500u16 {
+            let site = (i % 4) as u8;
+            let pkt = pkt_to(site, i);
+            if let Some(b) = agent.classify_packet(&pkt) {
+                agent.on_packet_forwarded(b, &pkt, Nanos::from_millis(i as u64));
+            }
+        }
+        for ms in [10u64, 20, 30] {
+            agent.advance(Nanos::from_millis(ms), |_| 0);
+        }
+        let telemetry = agent.snapshots();
+        assert_eq!(telemetry.bundles.len(), 4);
+        let totals = telemetry.totals();
+        let mut expect = bundler_core::sendbox::SendboxStats::default();
+        for i in 0..4 {
+            let s = agent.sendbox(i).unwrap().stats();
+            expect.packets_sent += s.packets_sent;
+            expect.bytes_sent += s.bytes_sent;
+            expect.boundaries += s.boundaries;
+            expect.acks_received += s.acks_received;
+            expect.ticks += s.ticks;
+            expect.epoch_changes += s.epoch_changes;
+            expect.feedback_timeouts += s.feedback_timeouts;
+        }
+        assert_eq!(totals, expect);
+        assert_eq!(totals.packets_sent, 500);
+        assert_eq!(totals.ticks, 12);
+        // Snapshot contents are live control-plane state.
+        let snap = agent.telemetry(0).unwrap();
+        assert_eq!(snap.mode, Mode::DelayControl);
+        assert!(snap.rate > Rate::ZERO);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-bundle telemetry export for the site agent.
+//!
+//! The agent snapshots every bundle's control plane into plain data that an
+//! exporter (Prometheus endpoint, logging, the simulator's report) can
+//! consume without holding any lock on the datapath. Aggregate totals are
+//! derived from the same snapshots, so exported totals always equal the sum
+//! of the exported per-bundle rows.
+
+use bundler_core::sendbox::SendboxStats;
+use bundler_core::SendboxTelemetry;
+use bundler_types::IpPrefix;
+
+/// One bundle's row in an agent telemetry export.
+#[derive(Debug, Clone)]
+pub struct BundleTelemetry {
+    /// The agent-local bundle handle (index).
+    pub index: usize,
+    /// The destination prefixes routed to this bundle.
+    pub prefixes: Vec<IpPrefix>,
+    /// The control-plane snapshot (rate, mode, RTT, epoch and counter
+    /// state).
+    pub snapshot: SendboxTelemetry,
+}
+
+/// A complete agent telemetry export: one row per bundle.
+#[derive(Debug, Clone, Default)]
+pub struct AgentTelemetry {
+    /// Per-bundle rows, ordered by bundle index.
+    pub bundles: Vec<BundleTelemetry>,
+}
+
+impl AgentTelemetry {
+    /// Sums the lifetime counters across all bundles. `SendboxStats`'
+    /// `AddAssign` destructures exhaustively, so a counter added to the
+    /// struct can never be silently dropped from the totals.
+    pub fn totals(&self) -> SendboxStats {
+        let mut t = SendboxStats::default();
+        for b in &self.bundles {
+            t += b.snapshot.stats;
+        }
+        t
+    }
+
+    /// Renders a compact one-line-per-bundle table (for examples and
+    /// debugging; structured exporters should read the fields directly).
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "bundle  mode           rate        min-rtt    epoch  pkts-sent    acks   ticks  prefixes\n",
+        );
+        for b in &self.bundles {
+            let s = &b.snapshot;
+            let prefixes = b
+                .prefixes
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let min_rtt = match s.min_rtt {
+                Some(r) => format!("{:.1} ms", r.as_millis_f64()),
+                None => "-".into(),
+            };
+            out.push_str(&format!(
+                "{:<7} {:<14} {:<11} {:<10} {:<6} {:<12} {:<7} {:<7} {}\n",
+                b.index,
+                s.mode.to_string(),
+                s.rate.to_string(),
+                min_rtt,
+                s.epoch_size,
+                s.stats.packets_sent,
+                s.stats.acks_received,
+                s.stats.ticks,
+                prefixes,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_core::feedback::BundleId;
+    use bundler_core::{BundlerConfig, Sendbox};
+
+    #[test]
+    fn totals_sum_per_bundle_counters() {
+        let mk = |id: u32| Sendbox::new(BundleId(id), BundlerConfig::default()).unwrap();
+        let a = mk(0);
+        let b = mk(1);
+        let telemetry = AgentTelemetry {
+            bundles: vec![
+                BundleTelemetry {
+                    index: 0,
+                    prefixes: vec![],
+                    snapshot: a.telemetry(),
+                },
+                BundleTelemetry {
+                    index: 1,
+                    prefixes: vec![],
+                    snapshot: b.telemetry(),
+                },
+            ],
+        };
+        let totals = telemetry.totals();
+        assert_eq!(
+            totals.packets_sent,
+            a.stats().packets_sent + b.stats().packets_sent
+        );
+        assert_eq!(
+            totals,
+            SendboxStats::default(),
+            "fresh sendboxes have zero counters"
+        );
+    }
+
+    #[test]
+    fn table_has_one_row_per_bundle() {
+        let sb = Sendbox::new(BundleId(0), BundlerConfig::default()).unwrap();
+        let telemetry = AgentTelemetry {
+            bundles: vec![BundleTelemetry {
+                index: 0,
+                prefixes: vec!["10.1.0.0/24".parse().unwrap()],
+                snapshot: sb.telemetry(),
+            }],
+        };
+        let table = telemetry.to_table();
+        assert_eq!(table.lines().count(), 2, "header plus one row:\n{table}");
+        assert!(table.contains("10.1.0.0/24"));
+        assert!(table.contains("delay-control"));
+    }
+}

@@ -28,7 +28,10 @@ fn bench_control_plane(c: &mut Criterion) {
     });
 
     c.bench_function("ack_round_trip_and_tick", |b| {
-        let config = BundlerConfig { initial_epoch_size: 1, ..Default::default() };
+        let config = BundlerConfig {
+            initial_epoch_size: 1,
+            ..Default::default()
+        };
         let mut sb = Sendbox::new(BundleId(0), config).unwrap();
         let mut rb = Receivebox::new(BundleId(0), 1);
         let mut i: u64 = 0;
@@ -40,7 +43,7 @@ fn bench_control_plane(c: &mut Criterion) {
             if let Some(ack) = rb.on_packet(&pkt, Nanos(i * 125_000 + 25_000_000)) {
                 sb.on_congestion_ack(&ack, Nanos(i * 125_000 + 50_000_000));
             }
-            if i % 80 == 0 {
+            if i.is_multiple_of(80) {
                 black_box(sb.on_tick(0, Nanos(i * 125_000 + 50_000_000)));
             }
         })

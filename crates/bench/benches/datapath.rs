@@ -25,7 +25,9 @@ fn bench_epoch_hash(c: &mut Criterion) {
     c.bench_function("fnv1a_8_bytes", |b| {
         b.iter(|| fnv1a(black_box(&pkt.epoch_header_bytes())))
     });
-    c.bench_function("epoch_hash_packet", |b| b.iter(|| epoch_hash(black_box(&pkt))));
+    c.bench_function("epoch_hash_packet", |b| {
+        b.iter(|| epoch_hash(black_box(&pkt)))
+    });
     c.bench_function("epoch_boundary_check", |b| {
         let h = epoch_hash(&pkt);
         b.iter(|| is_boundary(black_box(h), black_box(64)))

@@ -28,7 +28,7 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 s.enqueue(black_box(packet(i % 64, i as u16)), Nanos(i * 1000));
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     black_box(s.dequeue(Nanos(i * 1000)));
                 }
                 if s.len_packets() > 2048 {

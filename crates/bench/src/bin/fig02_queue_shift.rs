@@ -17,7 +17,12 @@ fn main() {
     println!("# Figure 2: queue shift (single backlogged flow, 96 Mbit/s, 50 ms RTT)\n");
     let result = scenario.run();
 
-    header(&["time_s", "statusquo_bottleneck_ms", "bundler_bottleneck_ms", "bundler_sendbox_ms"]);
+    header(&[
+        "time_s",
+        "statusquo_bottleneck_ms",
+        "bundler_bottleneck_ms",
+        "bundler_sendbox_ms",
+    ]);
     let n = result
         .status_quo_bottleneck_ms
         .samples
@@ -30,14 +35,32 @@ fn main() {
         let (t, quo) = result.status_quo_bottleneck_ms.samples[i];
         let (_, bb) = result.bundler_bottleneck_ms.samples[i];
         let (_, bs) = result.bundler_sendbox_ms.samples[i];
-        println!("{:.1} | {} | {} | {}", t.as_secs_f64(), fmt(quo), fmt(bb), fmt(bs));
+        println!(
+            "{:.1} | {} | {} | {}",
+            t.as_secs_f64(),
+            fmt(quo),
+            fmt(bb),
+            fmt(bs)
+        );
     }
 
     println!();
-    println!("mean status-quo bottleneck queue delay: {} ms", fmt(result.mean_status_quo_bottleneck_ms()));
-    println!("mean Bundler bottleneck queue delay:    {} ms", fmt(result.mean_bundler_bottleneck_ms()));
-    println!("mean Bundler sendbox queue delay:       {} ms", fmt(result.mean_bundler_sendbox_ms()));
-    println!("throughput: status quo {} Mbit/s, Bundler {} Mbit/s",
-        fmt(result.status_quo_throughput_mbps), fmt(result.bundler_throughput_mbps));
+    println!(
+        "mean status-quo bottleneck queue delay: {} ms",
+        fmt(result.mean_status_quo_bottleneck_ms())
+    );
+    println!(
+        "mean Bundler bottleneck queue delay:    {} ms",
+        fmt(result.mean_bundler_bottleneck_ms())
+    );
+    println!(
+        "mean Bundler sendbox queue delay:       {} ms",
+        fmt(result.mean_bundler_sendbox_ms())
+    );
+    println!(
+        "throughput: status quo {} Mbit/s, Bundler {} Mbit/s",
+        fmt(result.status_quo_throughput_mbps),
+        fmt(result.bundler_throughput_mbps)
+    );
     println!("queue shifted to the sendbox: {}", result.queue_shifted());
 }

@@ -16,7 +16,14 @@ fn main() {
     println!("# Figure 5: receive-rate estimation accuracy\n");
     let results = scenario.run();
 
-    header(&["rtt_ms", "rate_mbps", "samples", "median_abs_err_mbps", "p90_abs_err_mbps", "frac_within_4mbps"]);
+    header(&[
+        "rtt_ms",
+        "rate_mbps",
+        "samples",
+        "median_abs_err_mbps",
+        "p90_abs_err_mbps",
+        "frac_within_4mbps",
+    ]);
     let mut all_errors = Vec::new();
     for r in &results {
         let s = summarize_errors(&r.rate_error_mbps, 4.0);

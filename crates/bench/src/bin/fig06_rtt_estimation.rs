@@ -15,7 +15,15 @@ fn main() {
     println!("# Figure 6: RTT estimation accuracy\n");
     let results = scenario.run();
 
-    header(&["rtt_ms", "rate_mbps", "samples", "median_abs_err_ms", "p90_abs_err_ms", "frac_within_1.2ms", "frac_within_5ms"]);
+    header(&[
+        "rtt_ms",
+        "rate_mbps",
+        "samples",
+        "median_abs_err_ms",
+        "p90_abs_err_ms",
+        "frac_within_1.2ms",
+        "frac_within_5ms",
+    ]);
     let mut all_errors = Vec::new();
     for r in &results {
         let tight = summarize_errors(&r.rtt_error_ms, 1.2);

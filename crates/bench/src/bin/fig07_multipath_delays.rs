@@ -14,7 +14,12 @@ fn main() {
     let duration = scale.pick(Duration::from_secs(15), Duration::from_secs(60));
     println!("# Figure 7: imbalanced multipath detection (4 paths with different delays)\n");
 
-    header(&["paths", "delay_spread_ms", "out_of_order_fraction", "bundler_disabled"]);
+    header(&[
+        "paths",
+        "delay_spread_ms",
+        "out_of_order_fraction",
+        "bundler_disabled",
+    ]);
     for (paths, spread_ms) in [(1usize, 0u64), (4, 40)] {
         let point = MultipathScenario {
             rate: Rate::from_mbps(96),
@@ -34,5 +39,7 @@ fn main() {
         );
     }
     println!();
-    println!("paper: single-path runs stay below 0.4% out-of-order; 4 imbalanced paths exceed 20%.");
+    println!(
+        "paper: single-path runs stay below 0.4% out-of-order; 4 imbalanced paths exceed 20%."
+    );
 }

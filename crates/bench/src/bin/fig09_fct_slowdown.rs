@@ -32,7 +32,12 @@ fn main() {
     ]);
     let mut medians = Vec::new();
     for mode in modes {
-        let report = FctScenario::builder().requests(requests).seed(42).mode(mode).build().run();
+        let report = FctScenario::builder()
+            .requests(requests)
+            .seed(42)
+            .mode(mode)
+            .build()
+            .run();
         let class_median = |c: SizeClass| {
             let mut v = report.slowdowns_in_class(c);
             quantile(&mut v, 0.5).unwrap_or(f64::NAN)
@@ -53,7 +58,13 @@ fn main() {
     }
 
     println!();
-    let get = |label: &str| medians.iter().find(|(l, _)| l == label).map(|(_, m)| *m).unwrap_or(f64::NAN);
+    let get = |label: &str| {
+        medians
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| *m)
+            .unwrap_or(f64::NAN)
+    };
     let quo = get("status-quo");
     let sfq = get("bundler-sfq");
     let innet = get("in-network");

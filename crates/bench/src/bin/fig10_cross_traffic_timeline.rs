@@ -23,7 +23,12 @@ fn main() {
     let result = timeline.run();
     let (p1, p2, p3) = result.phase_ends;
 
-    header(&["phase", "window", "modes_active", "short_flow_median_fct_ms"]);
+    header(&[
+        "phase",
+        "window",
+        "modes_active",
+        "short_flow_median_fct_ms",
+    ]);
     let phases = [
         ("1: no cross traffic", Nanos::ZERO, p1),
         ("2: buffer-filling", p1, p2),
@@ -31,7 +36,9 @@ fn main() {
     ];
     for (label, from, to) in phases {
         let modes = result.modes_during(from, to).join(",");
-        let fct = result.short_flow_median_fct_ms(from, to).unwrap_or(f64::NAN);
+        let fct = result
+            .short_flow_median_fct_ms(from, to)
+            .unwrap_or(f64::NAN);
         println!(
             "{} | {:.0}-{:.0}s | {} | {}",
             label,
@@ -50,8 +57,14 @@ fn main() {
     println!();
     println!("bundle throughput (Mbit/s) per phase:");
     for (label, from, to) in phases {
-        let tput = result.report.bundle_throughput_mbps[0].mean_between(from, to).unwrap_or(0.0);
-        let cross = result.report.cross_throughput_mbps.mean_between(from, to).unwrap_or(0.0);
+        let tput = result.report.bundle_throughput_mbps[0]
+            .mean_between(from, to)
+            .unwrap_or(0.0);
+        let cross = result
+            .report
+            .cross_throughput_mbps
+            .mean_between(from, to)
+            .unwrap_or(0.0);
         println!("  {label}: bundle {} / cross {}", fmt(tput), fmt(cross));
     }
 }

@@ -14,15 +14,27 @@ fn main() {
     let duration = scale.pick(Duration::from_secs(20), Duration::from_secs(60));
     println!("# Figure 11: short-flow cross traffic sweep (bundle fixed at 48 Mbit/s)\n");
 
-    header(&["cross_load_mbps", "statusquo_median_slowdown", "bundler_median_slowdown"]);
+    header(&[
+        "cross_load_mbps",
+        "statusquo_median_slowdown",
+        "bundler_median_slowdown",
+    ]);
     for cross_mbps in [6u64, 12, 18, 24, 30, 36, 42] {
         let cross = Rate::from_mbps(cross_mbps);
-        let quo = ShortCrossSweep { with_bundler: false, duration, ..Default::default() }
-            .run_point(cross)
-            .0;
-        let bun = ShortCrossSweep { with_bundler: true, duration, ..Default::default() }
-            .run_point(cross)
-            .0;
+        let quo = ShortCrossSweep {
+            with_bundler: false,
+            duration,
+            ..Default::default()
+        }
+        .run_point(cross)
+        .0;
+        let bun = ShortCrossSweep {
+            with_bundler: true,
+            duration,
+            ..Default::default()
+        }
+        .run_point(cross)
+        .0;
         println!("{cross_mbps} | {} | {}", fmt(quo), fmt(bun));
     }
     println!();

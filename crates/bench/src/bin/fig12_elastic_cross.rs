@@ -12,7 +12,10 @@ use bundler_types::Duration;
 fn main() {
     let scale = Scale::from_env();
     let duration = scale.pick(Duration::from_secs(25), Duration::from_secs(60));
-    let sweep = ElasticCrossSweep { duration, ..Default::default() };
+    let sweep = ElasticCrossSweep {
+        duration,
+        ..Default::default()
+    };
     println!("# Figure 12: persistent elastic cross flows vs a 20-flow bundle\n");
 
     header(&[
@@ -35,5 +38,7 @@ fn main() {
         );
     }
     println!();
-    println!("paper: bundle throughput 12% (10 cross flows) to 22% (50 cross flows) below fair share.");
+    println!(
+        "paper: bundle throughput 12% (10 cross flows) to 22% (50 cross flows) below fair share."
+    );
 }

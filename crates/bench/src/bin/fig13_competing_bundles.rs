@@ -21,7 +21,11 @@ fn main() {
         "statusquo_b1",
     ]);
     for (label, share) in [("1:1", 0.5f64), ("2:1", 2.0 / 3.0)] {
-        let scenario = CompetingBundles { bundle0_share: share, duration, ..Default::default() };
+        let scenario = CompetingBundles {
+            bundle0_share: share,
+            duration,
+            ..Default::default()
+        };
         let with = scenario.run(true);
         let without = scenario.run(false);
         println!(
@@ -33,5 +37,7 @@ fn main() {
         );
     }
     println!();
-    println!("paper: each bundle observes improved median FCT compared to the status-quo baseline.");
+    println!(
+        "paper: each bundle observes improved median FCT compared to the status-quo baseline."
+    );
 }

@@ -14,7 +14,13 @@ fn main() {
     let requests = scale.pick(2_000, 15_000);
     println!("# Figure 14: sendbox congestion-control algorithm ({requests} requests)\n");
 
-    header(&["configuration", "median_slowdown", "p99_slowdown", "small_median", "large_median"]);
+    header(&[
+        "configuration",
+        "median_slowdown",
+        "p99_slowdown",
+        "small_median",
+        "large_median",
+    ]);
     let modes = [
         SendboxMode::StatusQuo,
         SendboxMode::BundlerAlg(BundleAlg::Copa),
@@ -22,7 +28,12 @@ fn main() {
         SendboxMode::BundlerAlg(BundleAlg::Bbr),
     ];
     for mode in modes {
-        let report = FctScenario::builder().requests(requests).seed(14).mode(mode).build().run();
+        let report = FctScenario::builder()
+            .requests(requests)
+            .seed(14)
+            .mode(mode)
+            .build()
+            .run();
         let class_median = |c: SizeClass| {
             let mut v = report.slowdowns_in_class(c);
             quantile(&mut v, 0.5).unwrap_or(f64::NAN)
@@ -37,5 +48,7 @@ fn main() {
         );
     }
     println!();
-    println!("paper: Copa ~= BasicDelay (both beat the status quo); BBR slightly worse than status quo.");
+    println!(
+        "paper: Copa ~= BasicDelay (both beat the status quo); BBR slightly worse than status quo."
+    );
 }

@@ -15,10 +15,19 @@ fn main() {
     let requests = scale.pick(2_000, 15_000);
     println!("# Figure 15: idealized TCP proxy (fixed 450-packet endhost windows), {requests} requests\n");
 
-    header(&["configuration", "small_median", "medium_median", "large_median", "overall_median"]);
+    header(&[
+        "configuration",
+        "small_median",
+        "medium_median",
+        "large_median",
+        "overall_median",
+    ]);
     let configs: [(&str, EndhostAlg); 2] = [
         ("bundler-sfq (normal endhosts)", EndhostAlg::Cubic),
-        ("bundler-sfq + idealized proxy", EndhostAlg::FixedWindow(450)),
+        (
+            "bundler-sfq + idealized proxy",
+            EndhostAlg::FixedWindow(450),
+        ),
     ];
     for (label, alg) in configs {
         let report = FctScenario::builder()

@@ -10,7 +10,12 @@ fn main() {
     let requests = scale.pick(1_500, 10_000);
     println!("# Section 7.4 table: endhost congestion-control algorithm ({requests} requests)\n");
 
-    header(&["endhost_cc", "statusquo_median", "bundler_sfq_median", "reduction_%"]);
+    header(&[
+        "endhost_cc",
+        "statusquo_median",
+        "bundler_sfq_median",
+        "reduction_%",
+    ]);
     for alg in [EndhostAlg::Cubic, EndhostAlg::NewReno, EndhostAlg::Bbr] {
         let run = |mode| {
             FctScenario::builder()

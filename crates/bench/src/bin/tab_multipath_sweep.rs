@@ -12,12 +12,26 @@ use bundler_types::{Duration, Rate};
 fn main() {
     let scale = Scale::from_env();
     let duration = scale.pick(Duration::from_secs(10), Duration::from_secs(30));
-    let rates = [Rate::from_mbps(12), Rate::from_mbps(48), Rate::from_mbps(96)];
-    let rtts = [Duration::from_millis(10), Duration::from_millis(50), Duration::from_millis(150)];
+    let rates = [
+        Rate::from_mbps(12),
+        Rate::from_mbps(48),
+        Rate::from_mbps(96),
+    ];
+    let rtts = [
+        Duration::from_millis(10),
+        Duration::from_millis(50),
+        Duration::from_millis(150),
+    ];
     let paths = [1usize, 2, 4, 8];
 
     println!("# Section 7.6 table: out-of-order fraction vs paths/bandwidth/RTT\n");
-    header(&["rate_mbps", "rtt_ms", "paths", "out_of_order_fraction", "disabled"]);
+    header(&[
+        "rate_mbps",
+        "rtt_ms",
+        "paths",
+        "out_of_order_fraction",
+        "disabled",
+    ]);
     let mut single_max: f64 = 0.0;
     let mut multi_min: f64 = 1.0;
     for &rate in &rates {

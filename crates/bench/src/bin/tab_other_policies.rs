@@ -16,12 +16,24 @@ fn main() {
     let requests = scale.pick(1_500, 10_000);
     println!("# Section 7.2 table: other sendbox scheduling policies ({requests} requests)\n");
 
-    header(&["configuration", "median_slowdown", "p99_slowdown", "high_class_median", "other_median"]);
+    header(&[
+        "configuration",
+        "median_slowdown",
+        "p99_slowdown",
+        "high_class_median",
+        "other_median",
+    ]);
     let configs = [
         ("status-quo", SendboxMode::StatusQuo),
         ("bundler-sfq", SendboxMode::BundlerSfq),
-        ("bundler-fq_codel", SendboxMode::BundlerPolicy(Policy::FqCodel)),
-        ("bundler-prio", SendboxMode::BundlerPolicy(Policy::StrictPriority)),
+        (
+            "bundler-fq_codel",
+            SendboxMode::BundlerPolicy(Policy::FqCodel),
+        ),
+        (
+            "bundler-prio",
+            SendboxMode::BundlerPolicy(Policy::StrictPriority),
+        ),
         ("bundler-drr", SendboxMode::BundlerPolicy(Policy::Drr)),
     ];
     for (label, mode) in configs {
@@ -38,15 +50,11 @@ fn main() {
                 .fcts
                 .iter()
                 .filter(|r| r.bundle.is_some())
-                .filter(|_| true)
-                .filter_map(|r| {
-                    // The workload generator marks ~30 % of requests HIGH;
-                    // the per-record class is not stored, so approximate the
-                    // split by size class for the non-priority policies and
-                    // report overall medians. The priority policy's benefit
-                    // still shows up in the overall distribution.
-                    Some(r.slowdown())
-                })
+                // The workload generator marks ~30 % of requests HIGH; the
+                // per-record class is not stored, so report overall medians.
+                // The priority policy's benefit still shows up in the
+                // overall distribution.
+                .map(|r| r.slowdown())
                 .collect();
             let _ = high;
             quantile(&mut v, 0.5).unwrap_or(f64::NAN)

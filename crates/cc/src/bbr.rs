@@ -82,7 +82,10 @@ impl Bbr {
 impl BundleCc for Bbr {
     fn on_measurement(&mut self, m: &Measurement) -> RateUpdate {
         if m.rtt.is_zero() {
-            return RateUpdate { rate: self.last_rate, bottleneck_estimate: None };
+            return RateUpdate {
+                rate: self.last_rate,
+                bottleneck_estimate: None,
+            };
         }
         self.max_bw.update(m.recv_rate.as_bps(), m.now);
         self.min_rtt.update(m.rtt.as_nanos(), m.now);
@@ -124,15 +127,24 @@ impl BundleCc for Bbr {
             }
         }
         self.last_rate = self.last_rate.clamp(self.min_rate, self.max_rate);
-        RateUpdate { rate: self.last_rate, bottleneck_estimate: Some(bw) }
+        RateUpdate {
+            rate: self.last_rate,
+            bottleneck_estimate: Some(bw),
+        }
     }
 
     fn on_feedback_timeout(&mut self, _now: Nanos) -> RateUpdate {
-        self.last_rate = self.last_rate.mul_f64(0.5).clamp(self.min_rate, self.max_rate);
+        self.last_rate = self
+            .last_rate
+            .mul_f64(0.5)
+            .clamp(self.min_rate, self.max_rate);
         self.phase = Phase::Startup;
         self.full_bw = Rate::ZERO;
         self.full_bw_rounds = 0;
-        RateUpdate { rate: self.last_rate, bottleneck_estimate: None }
+        RateUpdate {
+            rate: self.last_rate,
+            bottleneck_estimate: None,
+        }
     }
 
     fn current_rate(&self) -> Rate {
@@ -205,7 +217,8 @@ impl WindowCc for BbrWindow {
                 // is large; scale by inflight/acked to approximate the true
                 // delivery rate of the whole window.
                 let scale = (ev.inflight_bytes.max(ev.acked_bytes) / ev.acked_bytes.max(1)).max(1);
-                self.max_bw.update(rate.as_bps().saturating_mul(scale), ev.now);
+                self.max_bw
+                    .update(rate.as_bps().saturating_mul(scale), ev.now);
                 self.min_rtt.update(rtt.as_nanos(), ev.now);
             }
         }
@@ -298,7 +311,10 @@ mod tests {
         }
         assert_eq!(bbr.phase_name(), "probe_bw");
         let rate = bbr.current_rate().as_mbps_f64();
-        assert!((70.0..125.0).contains(&rate), "probe_bw rate {rate} should hover near 96");
+        assert!(
+            (70.0..125.0).contains(&rate),
+            "probe_bw rate {rate} should hover near 96"
+        );
         assert!((bbr.bottleneck_bw().as_mbps_f64() - 96.0).abs() < 1.0);
     }
 
@@ -359,9 +375,17 @@ mod tests {
             });
         }
         let w = bbr.cwnd();
-        bbr.on_loss(&LossEvent { now: Nanos::from_secs(1), lost_bytes: 1460, is_timeout: false });
+        bbr.on_loss(&LossEvent {
+            now: Nanos::from_secs(1),
+            lost_bytes: 1460,
+            is_timeout: false,
+        });
         assert_eq!(bbr.cwnd(), w, "fast retransmit ignored");
-        bbr.on_loss(&LossEvent { now: Nanos::from_secs(1), lost_bytes: 1460, is_timeout: true });
+        bbr.on_loss(&LossEvent {
+            now: Nanos::from_secs(1),
+            lost_bytes: 1460,
+            is_timeout: true,
+        });
         assert_eq!(bbr.cwnd(), 4 * 1460);
         assert_eq!(bbr.name(), "bbr");
     }

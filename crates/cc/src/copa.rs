@@ -117,9 +117,13 @@ impl BundleCc for Copa {
     fn on_measurement(&mut self, m: &Measurement) -> RateUpdate {
         let now = m.now;
         if m.rtt.is_zero() {
-            return RateUpdate { rate: self.last_rate, bottleneck_estimate: None };
+            return RateUpdate {
+                rate: self.last_rate,
+                bottleneck_estimate: None,
+            };
         }
-        self.min_rtt.update(m.min_rtt.as_nanos().min(m.rtt.as_nanos()), now);
+        self.min_rtt
+            .update(m.min_rtt.as_nanos().min(m.rtt.as_nanos()), now);
         self.standing_rtt.update(m.rtt.as_nanos(), now);
 
         let base_rtt = Duration(self.min_rtt.get().unwrap_or(m.rtt.as_nanos()));
@@ -136,7 +140,11 @@ impl BundleCc for Copa {
         };
         let current_rate_bytes = self.cwnd_bytes / m.rtt.as_secs_f64();
 
-        let dir = if current_rate_bytes <= target_rate_bytes { Direction::Up } else { Direction::Down };
+        let dir = if current_rate_bytes <= target_rate_bytes {
+            Direction::Up
+        } else {
+            Direction::Down
+        };
 
         // Velocity update, at RTT granularity: double after the direction
         // has been consistent for 3 RTTs; reset on a direction change. The
@@ -171,7 +179,8 @@ impl BundleCc for Copa {
         // Apply the per-ACK rule `cwnd ± v·mss/(δ·cwnd)` once per acked
         // packet in this measurement interval.
         let acked_pkts = (m.acked_bytes as f64 / mss).max(1.0);
-        let change = self.velocity * mss * acked_pkts / (self.config.delta * (self.cwnd_bytes / mss));
+        let change =
+            self.velocity * mss * acked_pkts / (self.config.delta * (self.cwnd_bytes / mss));
         match dir {
             Direction::Up => self.cwnd_bytes += change,
             Direction::Down => self.cwnd_bytes -= change,
@@ -196,7 +205,10 @@ impl BundleCc for Copa {
         let rate = self.clamp_rate(rate);
         self.last_rate = rate;
         self.last_update = Some(now);
-        RateUpdate { rate, bottleneck_estimate: Some(m.recv_rate.max(rate)) }
+        RateUpdate {
+            rate,
+            bottleneck_estimate: Some(m.recv_rate.max(rate)),
+        }
     }
 
     fn on_feedback_timeout(&mut self, _now: Nanos) -> RateUpdate {
@@ -207,7 +219,10 @@ impl BundleCc for Copa {
         self.velocity = 1.0;
         self.direction = None;
         self.last_rate = self.clamp_rate(self.last_rate.mul_f64(0.5));
-        RateUpdate { rate: self.last_rate, bottleneck_estimate: None }
+        RateUpdate {
+            rate: self.last_rate,
+            bottleneck_estimate: None,
+        }
     }
 
     fn current_rate(&self) -> Rate {
@@ -245,7 +260,10 @@ mod tests {
             let u = copa.on_measurement(&measurement(i * 10, 50, 50, rate.as_bps() / 1_000_000));
             rate = u.rate;
         }
-        assert!(rate > initial, "rate should grow from {initial} (got {rate})");
+        assert!(
+            rate > initial,
+            "rate should grow from {initial} (got {rate})"
+        );
         assert!(rate > Rate::from_mbps(50));
     }
 
@@ -258,7 +276,10 @@ mod tests {
             let u = copa.on_measurement(&measurement(i * 10, 150, 50, 96));
             rate = u.rate;
         }
-        assert!(rate < Rate::from_mbps(96), "rate should shrink (got {rate})");
+        assert!(
+            rate < Rate::from_mbps(96),
+            "rate should shrink (got {rate})"
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ mod tests {
     }
 
     fn loss(now_ms: u64, timeout: bool) -> LossEvent {
-        LossEvent { now: Nanos::from_millis(now_ms), lost_bytes: 1460, is_timeout: timeout }
+        LossEvent {
+            now: Nanos::from_millis(now_ms),
+            lost_bytes: 1460,
+            is_timeout: timeout,
+        }
     }
 
     #[test]
@@ -172,7 +176,11 @@ mod tests {
         c.on_loss(&loss(20, false));
         let after_first = c.cwnd_packets();
         c.on_loss(&loss(25, false));
-        assert_eq!(c.cwnd_packets(), after_first, "second loss in same window ignored");
+        assert_eq!(
+            c.cwnd_packets(),
+            after_first,
+            "second loss in same window ignored"
+        );
         // After the recovery period, a loss is honored again.
         c.on_loss(&loss(200, false));
         assert!(c.cwnd_packets() < after_first);
@@ -206,7 +214,12 @@ mod tests {
             c.on_ack(&ack(now_ms, 1460));
         }
         assert!(c.cwnd_packets() > after_loss);
-        assert!(c.cwnd_packets() > 0.9 * w_max, "cwnd {} should approach w_max {}", c.cwnd_packets(), w_max);
+        assert!(
+            c.cwnd_packets() > 0.9 * w_max,
+            "cwnd {} should approach w_max {}",
+            c.cwnd_packets(),
+            w_max
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl Complex {
     }
 
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -49,7 +52,10 @@ impl Complex {
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -97,7 +103,9 @@ pub fn magnitude_spectrum(signal: &[f64], sample_rate_hz: f64) -> (Vec<f64>, Vec
     buf.resize(n, Complex::new(0.0, 0.0));
     fft_in_place(&mut buf);
     let half = n / 2;
-    let freqs: Vec<f64> = (0..half).map(|k| k as f64 * sample_rate_hz / n as f64).collect();
+    let freqs: Vec<f64> = (0..half)
+        .map(|k| k as f64 * sample_rate_hz / n as f64)
+        .collect();
     let mags: Vec<f64> = buf[..half].iter().map(|c| c.abs() / n as f64).collect();
     (freqs, mags)
 }
@@ -141,7 +149,9 @@ mod tests {
     use super::*;
 
     fn sine(freq: f64, sample_rate: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sample_rate).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sample_rate).sin())
+            .collect()
     }
 
     #[test]
@@ -182,7 +192,11 @@ mod tests {
             .skip(1)
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
-        assert!((freqs[argmax] - 5.0).abs() < 0.5, "peak at {} Hz", freqs[argmax]);
+        assert!(
+            (freqs[argmax] - 5.0).abs() < 0.5,
+            "peak at {} Hz",
+            freqs[argmax]
+        );
     }
 
     #[test]

@@ -202,7 +202,10 @@ impl BundleAlg {
                 // When BasicDelay runs under Bundler's mode controller, the
                 // controller superimposes the Nimbus probe pulses itself, so
                 // the algorithm's own pulsing is disabled here.
-                let config = nimbus::NimbusConfig { enable_pulses: false, ..Default::default() };
+                let config = nimbus::NimbusConfig {
+                    enable_pulses: false,
+                    ..Default::default()
+                };
                 Box::new(nimbus::Nimbus::new(config, initial_rate))
             }
             BundleAlg::Bbr => Box::new(bbr::Bbr::new(initial_rate)),
@@ -275,7 +278,10 @@ mod tests {
     fn bundle_alg_builders() {
         for alg in [BundleAlg::Copa, BundleAlg::NimbusBasicDelay, BundleAlg::Bbr] {
             let cc = alg.build(Rate::from_mbps(10));
-            assert!(!cc.current_rate().is_zero(), "{alg} should start at a non-zero rate");
+            assert!(
+                !cc.current_rate().is_zero(),
+                "{alg} should start at a non-zero rate"
+            );
         }
     }
 

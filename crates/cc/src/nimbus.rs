@@ -46,7 +46,10 @@ pub struct Pulser {
 
 impl Default for Pulser {
     fn default() -> Self {
-        Pulser { period: Duration::from_millis(200), amplitude_frac: 0.25 }
+        Pulser {
+            period: Duration::from_millis(200),
+            amplitude_frac: 0.25,
+        }
     }
 }
 
@@ -84,8 +87,7 @@ impl Pulser {
     /// area under the up-pulse curve is `A·T/(2π)`, which at `A = μ/4` is
     /// `μ·T/(8π)` — about 8 ms of queueing for `T = 0.2 s` (paper §5.1).
     pub fn required_queue_delay(&self) -> Duration {
-        let secs =
-            self.amplitude_frac * self.period.as_secs_f64() / (2.0 * core::f64::consts::PI);
+        let secs = self.amplitude_frac * self.period.as_secs_f64() / (2.0 * core::f64::consts::PI);
         Duration::from_secs_f64(secs)
     }
 }
@@ -227,7 +229,8 @@ impl ElasticityDetector {
         }
 
         let z = self.cross_rate(m.send_rate, m.recv_rate);
-        self.cross_samples.push_back((m.now, z.as_bps() as f64, m.queue_delay()));
+        self.cross_samples
+            .push_back((m.now, z.as_bps() as f64, m.queue_delay()));
         while self.cross_samples.len() > self.config.fft_window {
             self.cross_samples.pop_front();
         }
@@ -264,15 +267,14 @@ impl ElasticityDetector {
         }
         let mean: f64 = self.cross_samples.iter().map(|&(_, z, _)| z).sum::<f64>()
             / self.cross_samples.len() as f64;
-        let signal: Vec<f64> = self.cross_samples.iter().map(|&(_, z, _)| z - mean).collect();
+        let signal: Vec<f64> = self
+            .cross_samples
+            .iter()
+            .map(|&(_, z, _)| z - mean)
+            .collect();
         let sample_rate = 1.0 / self.config.sample_interval.as_secs_f64();
-        let ratio = peak_to_band_ratio(
-            &signal,
-            sample_rate,
-            self.config.pulse_hz,
-            0.6,
-            (1.0, 20.0),
-        );
+        let ratio =
+            peak_to_band_ratio(&signal, sample_rate, self.config.pulse_hz, 0.6, (1.0, 20.0));
         self.last_fft_ratio = ratio;
         let mu = self.mu().as_bps() as f64;
         if mu > 0.0 && mean > 0.05 * mu && ratio > self.config.fft_threshold {
@@ -291,7 +293,9 @@ impl ElasticityDetector {
         if mu <= 0.0 {
             return CrossTrafficVerdict::Inelastic;
         }
-        let window_start = now.saturating_since(Nanos::ZERO).as_nanos()
+        let window_start = now
+            .saturating_since(Nanos::ZERO)
+            .as_nanos()
             .saturating_sub(self.config.persistence_window.as_nanos());
         let recent: Vec<(f64, Duration)> = self
             .cross_samples
@@ -300,14 +304,16 @@ impl ElasticityDetector {
             .map(|&(_, z, dq)| (z, dq))
             .collect();
         // Require the window to be reasonably full before declaring.
-        let expected =
-            (self.config.persistence_window.as_nanos() / self.config.sample_interval.as_nanos().max(1)) as usize;
+        let expected = (self.config.persistence_window.as_nanos()
+            / self.config.sample_interval.as_nanos().max(1)) as usize;
         if recent.len() < expected / 2 {
             return self.last_verdict;
         }
         let min_frac = recent.iter().map(|&(z, _)| z).fold(f64::INFINITY, f64::min) / mu;
-        let min_queue_delay =
-            recent.iter().map(|&(_, dq)| dq).fold(Duration::MAX, |a, b| a.min(b));
+        let min_queue_delay = recent
+            .iter()
+            .map(|&(_, dq)| dq)
+            .fold(Duration::MAX, |a, b| a.min(b));
         if min_frac > self.config.persistence_min_frac
             && min_queue_delay >= self.config.persistence_min_queue_delay
         {
@@ -382,7 +388,10 @@ impl Nimbus {
 impl BundleCc for Nimbus {
     fn on_measurement(&mut self, m: &Measurement) -> RateUpdate {
         if m.rtt.is_zero() {
-            return RateUpdate { rate: self.last_rate, bottleneck_estimate: None };
+            return RateUpdate {
+                rate: self.last_rate,
+                bottleneck_estimate: None,
+            };
         }
         self.mu_filter.update(m.recv_rate.as_bps(), m.now);
         let mu = self.mu();
@@ -396,8 +405,8 @@ impl BundleCc for Nimbus {
         // slams between zero and 2µ instead of settling at the target.
         let err = (target - dq) / m.min_rtt.as_secs_f64().max(1e-3);
         let base = m.recv_rate.as_bps() as f64 + self.config.alpha * mu.as_bps() as f64 * err;
-        let base = Rate::from_bps(base.max(0.0) as u64)
-            .clamp(self.config.min_rate, self.config.max_rate);
+        let base =
+            Rate::from_bps(base.max(0.0) as u64).clamp(self.config.min_rate, self.config.max_rate);
         let rate = if self.config.enable_pulses {
             self.config.pulser.apply(base, m.now, mu)
         } else {
@@ -405,7 +414,10 @@ impl BundleCc for Nimbus {
         };
         let rate = rate.clamp(self.config.min_rate, self.config.max_rate);
         self.last_rate = rate;
-        RateUpdate { rate, bottleneck_estimate: Some(mu) }
+        RateUpdate {
+            rate,
+            bottleneck_estimate: Some(mu),
+        }
     }
 
     fn on_feedback_timeout(&mut self, _now: Nanos) -> RateUpdate {
@@ -413,7 +425,10 @@ impl BundleCc for Nimbus {
             .last_rate
             .mul_f64(0.5)
             .clamp(self.config.min_rate, self.config.max_rate);
-        RateUpdate { rate: self.last_rate, bottleneck_estimate: None }
+        RateUpdate {
+            rate: self.last_rate,
+            bottleneck_estimate: None,
+        }
     }
 
     fn current_rate(&self) -> Rate {
@@ -452,7 +467,10 @@ mod tests {
             sum += p.offset(t, mu);
         }
         let mean = sum / steps as f64;
-        assert!(mean.abs() < 0.01 * mu.as_bps() as f64, "pulse mean {mean} should be ~0");
+        assert!(
+            mean.abs() < 0.01 * mu.as_bps() as f64,
+            "pulse mean {mean} should be ~0"
+        );
     }
 
     #[test]
@@ -480,20 +498,31 @@ mod tests {
     fn basic_delay_probes_up_when_queue_empty() {
         let mut nimbus = Nimbus::new(NimbusConfig::default(), Rate::from_mbps(10));
         let u = nimbus.on_measurement(&m(0, 50.0, 50, 10.0, 10.0));
-        assert!(u.rate > Rate::from_mbps(10), "should probe above receive rate, got {}", u.rate);
+        assert!(
+            u.rate > Rate::from_mbps(10),
+            "should probe above receive rate, got {}",
+            u.rate
+        );
     }
 
     #[test]
     fn basic_delay_backs_off_when_queue_large() {
         let mut nimbus = Nimbus::new(
-            NimbusConfig { enable_pulses: false, ..Default::default() },
+            NimbusConfig {
+                enable_pulses: false,
+                ..Default::default()
+            },
             Rate::from_mbps(96),
         );
         // Warm the μ estimate.
         nimbus.on_measurement(&m(0, 50.0, 50, 96.0, 96.0));
         // 40 ms of queueing on a 50 ms path: far above the 5 ms target.
         let u = nimbus.on_measurement(&m(10, 90.0, 50, 96.0, 96.0));
-        assert!(u.rate < Rate::from_mbps(96), "should back off, got {}", u.rate);
+        assert!(
+            u.rate < Rate::from_mbps(96),
+            "should back off, got {}",
+            u.rate
+        );
     }
 
     #[test]
@@ -541,7 +570,10 @@ mod tests {
 
     #[test]
     fn fft_decision_detects_pulse_correlated_cross_traffic() {
-        let config = ElasticityConfig { use_fft_decision: true, ..Default::default() };
+        let config = ElasticityConfig {
+            use_fft_decision: true,
+            ..Default::default()
+        };
         let mut det = ElasticityDetector::new(config);
         let mu = Rate::from_mbps(96);
         let mut verdict = CrossTrafficVerdict::Inelastic;
@@ -551,7 +583,7 @@ mod tests {
             // up it yields, when we pulse down it grabs.
             let wiggle = 12.0 * (2.0 * core::f64::consts::PI * 5.0 * t).sin();
             let send = 48.0;
-            let recv = 48.0 + wiggle.min(0.0).max(-20.0) * 0.5 - wiggle.max(0.0) * 0.25;
+            let recv = 48.0 + wiggle.clamp(-20.0, 0.0) * 0.5 - wiggle.max(0.0) * 0.25;
             verdict = det.on_measurement(&m(i * 10, 60.0, 50, send, recv.max(5.0)), Some(mu));
         }
         assert_eq!(verdict, CrossTrafficVerdict::Elastic);

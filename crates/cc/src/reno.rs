@@ -20,7 +20,12 @@ pub struct NewReno {
 impl NewReno {
     /// Creates a NewReno controller with an initial window of 10 segments.
     pub fn new(mss: u64) -> Self {
-        NewReno { mss, cwnd: 10.0, ssthresh: f64::INFINITY, in_recovery_until: None }
+        NewReno {
+            mss,
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            in_recovery_until: None,
+        }
     }
 
     /// Congestion window in packets.
@@ -96,7 +101,11 @@ mod tests {
         for _ in 0..22 {
             r.on_ack(&ack(1, 1460));
         }
-        r.on_loss(&LossEvent { now: Nanos::from_millis(2), lost_bytes: 1460, is_timeout: false });
+        r.on_loss(&LossEvent {
+            now: Nanos::from_millis(2),
+            lost_bytes: 1460,
+            is_timeout: false,
+        });
         let ssthresh = r.ssthresh_packets();
         assert!((r.cwnd_packets() - ssthresh).abs() < 1e-9);
         // In congestion avoidance a full window of ACKs adds ~1 packet.
@@ -115,7 +124,11 @@ mod tests {
             r.on_ack(&ack(1, 1460));
         }
         let before = r.cwnd_packets();
-        r.on_loss(&LossEvent { now: Nanos::from_millis(5), lost_bytes: 1460, is_timeout: false });
+        r.on_loss(&LossEvent {
+            now: Nanos::from_millis(5),
+            lost_bytes: 1460,
+            is_timeout: false,
+        });
         assert!((r.cwnd_packets() - before / 2.0).abs() < 1e-9);
     }
 
@@ -125,7 +138,11 @@ mod tests {
         for _ in 0..100 {
             r.on_ack(&ack(1, 1460));
         }
-        r.on_loss(&LossEvent { now: Nanos::from_millis(5), lost_bytes: 1460, is_timeout: true });
+        r.on_loss(&LossEvent {
+            now: Nanos::from_millis(5),
+            lost_bytes: 1460,
+            is_timeout: true,
+        });
         assert!((r.cwnd_packets() - 2.0).abs() < 1e-9);
         assert_eq!(r.name(), "newreno");
     }
@@ -136,9 +153,17 @@ mod tests {
         for _ in 0..100 {
             r.on_ack(&ack(1, 1460));
         }
-        r.on_loss(&LossEvent { now: Nanos::from_millis(5), lost_bytes: 1460, is_timeout: false });
+        r.on_loss(&LossEvent {
+            now: Nanos::from_millis(5),
+            lost_bytes: 1460,
+            is_timeout: false,
+        });
         let w = r.cwnd_packets();
-        r.on_loss(&LossEvent { now: Nanos::from_millis(6), lost_bytes: 1460, is_timeout: false });
+        r.on_loss(&LossEvent {
+            now: Nanos::from_millis(6),
+            lost_bytes: 1460,
+            is_timeout: false,
+        });
         assert_eq!(r.cwnd_packets(), w);
     }
 }

@@ -24,7 +24,13 @@ pub struct Vegas {
 impl Vegas {
     /// Creates a Vegas controller with the conventional α = 2, β = 4.
     pub fn new(mss: u64) -> Self {
-        Vegas { mss, cwnd: 10.0, ssthresh: f64::INFINITY, alpha: 2.0, beta: 4.0 }
+        Vegas {
+            mss,
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            alpha: 2.0,
+            beta: 4.0,
+        }
     }
 
     /// Congestion window in packets.
@@ -146,9 +152,17 @@ mod tests {
             v.on_ack(&ack(50, 50));
         }
         let before = v.cwnd_packets();
-        v.on_loss(&LossEvent { now: Nanos::from_millis(2), lost_bytes: 1460, is_timeout: false });
+        v.on_loss(&LossEvent {
+            now: Nanos::from_millis(2),
+            lost_bytes: 1460,
+            is_timeout: false,
+        });
         assert!(v.cwnd_packets() < before);
-        v.on_loss(&LossEvent { now: Nanos::from_millis(3), lost_bytes: 1460, is_timeout: true });
+        v.on_loss(&LossEvent {
+            now: Nanos::from_millis(3),
+            lost_bytes: 1460,
+            is_timeout: true,
+        });
         assert!((v.cwnd_packets() - 2.0).abs() < 1e-9);
         assert_eq!(v.name(), "vegas");
     }

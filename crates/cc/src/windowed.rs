@@ -20,12 +20,20 @@ pub struct WindowedFilter<T> {
 impl<T: PartialOrd + Copy> WindowedFilter<T> {
     /// Creates a windowed-maximum filter.
     pub fn new_max(window: Duration) -> Self {
-        WindowedFilter { window, samples: VecDeque::new(), keep_max: true }
+        WindowedFilter {
+            window,
+            samples: VecDeque::new(),
+            keep_max: true,
+        }
     }
 
     /// Creates a windowed-minimum filter.
     pub fn new_min(window: Duration) -> Self {
-        WindowedFilter { window, samples: VecDeque::new(), keep_max: false }
+        WindowedFilter {
+            window,
+            samples: VecDeque::new(),
+            keep_max: false,
+        }
     }
 
     /// Changes the window length (existing samples are re-expired lazily).

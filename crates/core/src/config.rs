@@ -115,7 +115,10 @@ impl BundlerConfig {
             ));
         }
         if self.epoch_fraction <= 0.0 || self.epoch_fraction > 1.0 {
-            return Err(format!("epoch_fraction must be in (0, 1], got {}", self.epoch_fraction));
+            return Err(format!(
+                "epoch_fraction must be in (0, 1], got {}",
+                self.epoch_fraction
+            ));
         }
         if self.min_rate > self.max_rate {
             return Err("min_rate exceeds max_rate".to_string());
@@ -131,12 +134,18 @@ impl BundlerConfig {
 
     /// Convenience constructor: defaults with a given scheduling policy.
     pub fn with_policy(policy: Policy) -> Self {
-        BundlerConfig { policy, ..Default::default() }
+        BundlerConfig {
+            policy,
+            ..Default::default()
+        }
     }
 
     /// Convenience constructor: defaults with a given bundle algorithm.
     pub fn with_algorithm(algorithm: BundleAlg) -> Self {
-        BundlerConfig { algorithm, ..Default::default() }
+        BundlerConfig {
+            algorithm,
+            ..Default::default()
+        }
     }
 }
 
@@ -160,9 +169,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = BundlerConfig { initial_epoch_size: 3, ..Default::default() };
+        let mut c = BundlerConfig {
+            initial_epoch_size: 3,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = BundlerConfig { epoch_fraction: 0.0, ..Default::default() };
+        c = BundlerConfig {
+            epoch_fraction: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c = BundlerConfig {
             min_rate: Rate::from_mbps(100),
@@ -170,17 +185,29 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
-        c = BundlerConfig { multipath_threshold: 1.5, ..Default::default() };
+        c = BundlerConfig {
+            multipath_threshold: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = BundlerConfig { control_interval: Duration::ZERO, ..Default::default() };
+        c = BundlerConfig {
+            control_interval: Duration::ZERO,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = BundlerConfig { max_epoch_size: 1000, ..Default::default() };
+        c = BundlerConfig {
+            max_epoch_size: 1000,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn convenience_constructors() {
-        assert_eq!(BundlerConfig::with_policy(Policy::Fifo).policy, Policy::Fifo);
+        assert_eq!(
+            BundlerConfig::with_policy(Policy::Fifo).policy,
+            Policy::Fifo
+        );
         assert_eq!(
             BundlerConfig::with_algorithm(BundleAlg::Bbr).algorithm,
             BundleAlg::Bbr

@@ -47,8 +47,7 @@ pub fn target_epoch_size(
     if min_rtt.is_zero() || send_rate.is_zero() || avg_packet_bytes == 0 {
         return 1;
     }
-    let bytes_per_epoch =
-        epoch_fraction * min_rtt.as_secs_f64() * send_rate.as_bytes_per_sec();
+    let bytes_per_epoch = epoch_fraction * min_rtt.as_secs_f64() * send_rate.as_bytes_per_sec();
     let packets = (bytes_per_epoch / avg_packet_bytes as f64).floor();
     if packets < 2.0 {
         return 1;
@@ -101,9 +100,14 @@ mod tests {
         // With N = 8, roughly 1/8 of packets should be boundaries.
         let n = 8u32;
         let total = 8192;
-        let matches = (0..total).filter(|&i| packet_is_boundary(&pkt(i as u16, 443), n)).count();
+        let matches = (0..total)
+            .filter(|&i| packet_is_boundary(&pkt(i as u16, 443), n))
+            .count();
         let frac = matches as f64 / total as f64;
-        assert!((0.06..0.2).contains(&frac), "boundary fraction {frac} far from 1/8");
+        assert!(
+            (0.06..0.2).contains(&frac),
+            "boundary fraction {frac} far from 1/8"
+        );
     }
 
     #[test]
@@ -171,12 +175,24 @@ mod tests {
         );
         // Very slow link: fewer than 2 packets per quarter RTT → 1.
         assert_eq!(
-            target_epoch_size(0.25, Duration::from_millis(10), Rate::from_kbps(64), 1500, 1 << 14),
+            target_epoch_size(
+                0.25,
+                Duration::from_millis(10),
+                Rate::from_kbps(64),
+                1500,
+                1 << 14
+            ),
             1
         );
         // Huge product is clamped to the maximum.
         assert_eq!(
-            target_epoch_size(0.25, Duration::from_secs(10), Rate::from_gbps(100), 1500, 1 << 10),
+            target_epoch_size(
+                0.25,
+                Duration::from_secs(10),
+                Rate::from_gbps(100),
+                1500,
+                1 << 10
+            ),
             1 << 10
         );
         // Result is always a power of two.

@@ -77,7 +77,13 @@ impl CongestionAck {
         let bytes_received = u64::from_be_bytes(bytes[12..20].try_into().ok()?);
         let packets_received = u64::from_be_bytes(bytes[20..28].try_into().ok()?);
         let observed_at = Nanos(u64::from_be_bytes(bytes[28..36].try_into().ok()?));
-        Some(CongestionAck { bundle, packet_hash, bytes_received, packets_received, observed_at })
+        Some(CongestionAck {
+            bundle,
+            packet_hash,
+            bytes_received,
+            packets_received,
+            observed_at,
+        })
     }
 }
 
@@ -120,7 +126,10 @@ mod tests {
 
     #[test]
     fn epoch_update_round_trips() {
-        let upd = EpochSizeUpdate { bundle: BundleId(3), epoch_size: 64 };
+        let upd = EpochSizeUpdate {
+            bundle: BundleId(3),
+            epoch_size: 64,
+        };
         assert_eq!(EpochSizeUpdate::from_wire(&upd.to_wire()), Some(upd));
     }
 
@@ -140,7 +149,10 @@ mod tests {
             observed_at: Nanos::ZERO,
         };
         assert!(ack.to_wire().len() <= CONGESTION_ACK_WIRE_SIZE as usize);
-        let upd = EpochSizeUpdate { bundle: BundleId(0), epoch_size: 1 };
+        let upd = EpochSizeUpdate {
+            bundle: BundleId(0),
+            epoch_size: 1,
+        };
         assert!(upd.to_wire().len() <= EPOCH_UPDATE_WIRE_SIZE as usize);
     }
 }

@@ -38,7 +38,9 @@ impl Default for Fnv1a {
 impl Fnv1a {
     /// Creates a hasher at the offset basis.
     pub const fn new() -> Self {
-        Fnv1a { state: FNV64_OFFSET }
+        Fnv1a {
+            state: FNV64_OFFSET,
+        }
     }
 
     /// Feeds bytes into the hash.
@@ -104,11 +106,14 @@ mod tests {
         for i in 0u32..4096 {
             let mut h = Fnv1a::new();
             h.write_u16(i as u16).write_u32(0x0a00_0001).write_u16(443);
-            if h.finish() % 16 == 0 {
+            if h.finish().is_multiple_of(16) {
                 matches += 1;
             }
         }
         let frac = matches as f64 / 4096.0;
-        assert!((0.03..0.1).contains(&frac), "sampling fraction {frac} far from 1/16");
+        assert!(
+            (0.03..0.1).contains(&frac),
+            "sampling fraction {frac} far from 1/16"
+        );
     }
 }

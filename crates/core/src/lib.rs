@@ -41,4 +41,4 @@ pub use config::BundlerConfig;
 pub use feedback::{CongestionAck, EpochSizeUpdate};
 pub use modes::{Mode, ModeController};
 pub use receivebox::Receivebox;
-pub use sendbox::{Sendbox, SendboxOutput};
+pub use sendbox::{Sendbox, SendboxOutput, SendboxStats, SendboxTelemetry};

@@ -151,14 +151,21 @@ impl MeasurementEngine {
         self.last_ack_at = Some(now);
         // Find the matching outstanding record (linear scan: only a handful
         // of boundaries are ever outstanding).
-        let pos = match self.outstanding.iter().position(|r| r.hash == ack.packet_hash) {
+        let pos = match self
+            .outstanding
+            .iter()
+            .position(|r| r.hash == ack.packet_hash)
+        {
             Some(p) => p,
             None => {
                 self.stats.acks_unmatched += 1;
                 return AckOutcome::Unmatched;
             }
         };
-        let record = self.outstanding.remove(pos).expect("position came from scan");
+        let record = self
+            .outstanding
+            .remove(pos)
+            .expect("position came from scan");
         self.stats.acks_matched += 1;
 
         let rtt = now.saturating_since(record.sent_at);
@@ -209,7 +216,13 @@ impl MeasurementEngine {
             self.last_acked_sent_at = Some(record.sent_at);
         }
 
-        let sample = EpochSample { at: now, rtt, send_rate, recv_rate, acked_bytes };
+        let sample = EpochSample {
+            at: now,
+            rtt,
+            send_rate,
+            recv_rate,
+            acked_bytes,
+        };
         self.samples.push_back(sample);
         // Bound memory: keep at most a few hundred samples.
         while self.samples.len() > 512 {
@@ -284,10 +297,16 @@ impl MeasurementEngine {
         let rtt = Duration::from_secs_f64(
             use_samples.iter().map(|s| s.rtt.as_secs_f64()).sum::<f64>() / n,
         );
-        let send_rates: Vec<f64> =
-            use_samples.iter().filter_map(|s| s.send_rate).map(|r| r.as_bps() as f64).collect();
-        let recv_rates: Vec<f64> =
-            use_samples.iter().filter_map(|s| s.recv_rate).map(|r| r.as_bps() as f64).collect();
+        let send_rates: Vec<f64> = use_samples
+            .iter()
+            .filter_map(|s| s.send_rate)
+            .map(|r| r.as_bps() as f64)
+            .collect();
+        let recv_rates: Vec<f64> = use_samples
+            .iter()
+            .filter_map(|s| s.recv_rate)
+            .map(|r| r.as_bps() as f64)
+            .collect();
         if recv_rates.is_empty() && send_rates.is_empty() {
             return None;
         }
@@ -449,9 +468,14 @@ mod tests {
         let mut rbytes = 0u64;
         for i in 0..10u64 {
             rbytes += 120_000;
-            eng.on_congestion_ack(&ack(i, rbytes, i * 10 + 50), Nanos::from_millis(i * 10 + 50));
+            eng.on_congestion_ack(
+                &ack(i, rbytes, i * 10 + 50),
+                Nanos::from_millis(i * 10 + 50),
+            );
         }
-        let m = eng.measurement(Nanos::from_millis(145)).expect("measurement available");
+        let m = eng
+            .measurement(Nanos::from_millis(145))
+            .expect("measurement available");
         assert_eq!(m.min_rtt, Duration::from_millis(50));
         assert!((m.rtt.as_millis_f64() - 50.0).abs() < 1.0);
         // 120 KB per 10 ms = 96 Mbit/s.

@@ -163,7 +163,9 @@ impl ModeController {
     pub fn on_feedback_timeout(&mut self, now: Nanos) -> Rate {
         let update = self.cc.on_feedback_timeout(now);
         if self.mode == Mode::DelayControl {
-            self.current_rate = update.rate.clamp(self.config.min_rate, self.config.max_rate);
+            self.current_rate = update
+                .rate
+                .clamp(self.config.min_rate, self.config.max_rate);
         }
         self.current_rate
     }
@@ -224,8 +226,7 @@ impl ModeController {
                     } else {
                         base
                     };
-                    self.current_rate =
-                        rate.clamp(self.config.min_rate, self.config.max_rate);
+                    self.current_rate = rate.clamp(self.config.min_rate, self.config.max_rate);
                 }
                 Mode::PassThrough => {
                     // Keep the congestion controller's internal state warm
@@ -233,8 +234,7 @@ impl ModeController {
                     let _ = self.cc.on_measurement(m);
                     let base = self.pi.update(sendbox_queue_bytes, self.mu(), now);
                     let rate = self.pulser.apply(base, now, self.mu());
-                    self.current_rate =
-                        rate.clamp(self.config.min_rate, self.config.max_rate);
+                    self.current_rate = rate.clamp(self.config.min_rate, self.config.max_rate);
                 }
                 Mode::Disabled => unreachable!("handled above"),
             }
@@ -276,7 +276,13 @@ impl ModeController {
 mod tests {
     use super::*;
 
-    fn measurement(now: Nanos, rtt_ms: u64, min_rtt_ms: u64, send_mbps: f64, recv_mbps: f64) -> Measurement {
+    fn measurement(
+        now: Nanos,
+        rtt_ms: u64,
+        min_rtt_ms: u64,
+        send_mbps: f64,
+        recv_mbps: f64,
+    ) -> Measurement {
         Measurement {
             now,
             rtt: Duration::from_millis(rtt_ms),
@@ -330,7 +336,11 @@ mod tests {
             let m = measurement(now, 90, 50, 48.0, 46.0);
             mc.on_tick(Some(&m), 50_000, now);
         }
-        assert_eq!(mc.mode(), Mode::PassThrough, "should detect buffer-filling cross traffic");
+        assert_eq!(
+            mc.mode(),
+            Mode::PassThrough,
+            "should detect buffer-filling cross traffic"
+        );
 
         // Phase 3: the cross traffic leaves; full rate returns, queue drains.
         for i in 1000..1700u64 {
@@ -349,8 +359,11 @@ mod tests {
         let mut mc = controller();
         // Feed mostly out-of-order ACK orderings.
         for i in 0..200u64 {
-            let ordering =
-                if i % 3 == 0 { AckOrdering::OutOfOrder } else { AckOrdering::InOrder };
+            let ordering = if i % 3 == 0 {
+                AckOrdering::OutOfOrder
+            } else {
+                AckOrdering::InOrder
+            };
             mc.on_ack_ordering(ordering, Nanos::from_millis(i));
         }
         let now = Nanos::from_millis(2000);
@@ -370,8 +383,10 @@ mod tests {
 
     #[test]
     fn pass_through_rate_tracks_queue_target() {
-        let mut config = BundlerConfig::default();
-        config.elastic_hold = Duration::from_millis(100);
+        let config = BundlerConfig {
+            elastic_hold: Duration::from_millis(100),
+            ..Default::default()
+        };
         let mut mc = ModeController::new(config);
         // Learn μ, then force elastic conditions to enter pass-through.
         for i in 0..200u64 {
@@ -422,7 +437,11 @@ mod tests {
             let now = Nanos::from_millis(i * 10);
             mc.on_tick(Some(&measurement(now, 90, 50, 48.0, 46.0)), 50_000, now);
         }
-        assert_eq!(mc.mode(), Mode::DelayControl, "detection disabled: never leaves delay control");
+        assert_eq!(
+            mc.mode(),
+            Mode::DelayControl,
+            "detection disabled: never leaves delay control"
+        );
     }
 
     #[test]

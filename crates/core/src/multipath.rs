@@ -29,7 +29,11 @@ pub struct MultipathConfig {
 
 impl Default for MultipathConfig {
     fn default() -> Self {
-        MultipathConfig { threshold: 0.05, window: 500, min_samples: 100 }
+        MultipathConfig {
+            threshold: 0.05,
+            window: 500,
+            min_samples: 100,
+        }
     }
 }
 
@@ -102,8 +106,7 @@ impl MultipathDetector {
     /// True once enough measurements exist and the windowed fraction exceeds
     /// the threshold.
     pub fn imbalanced(&self) -> bool {
-        self.total_seen >= self.config.min_samples
-            && self.window_fraction() > self.config.threshold
+        self.total_seen >= self.config.min_samples && self.window_fraction() > self.config.threshold
     }
 
     /// Total measurements observed.
@@ -118,7 +121,11 @@ mod tests {
 
     fn feed(det: &mut MultipathDetector, pattern: &[bool]) {
         for (i, &ooo) in pattern.iter().enumerate() {
-            let ordering = if ooo { AckOrdering::OutOfOrder } else { AckOrdering::InOrder };
+            let ordering = if ooo {
+                AckOrdering::OutOfOrder
+            } else {
+                AckOrdering::InOrder
+            };
             det.on_ack(ordering, Nanos::from_millis(i as u64));
         }
     }
@@ -155,9 +162,9 @@ mod tests {
     #[test]
     fn does_not_trigger_before_min_samples() {
         let mut det = MultipathDetector::with_defaults();
-        feed(&mut det, &vec![true; 50]);
+        feed(&mut det, &[true; 50]);
         assert!(!det.imbalanced(), "needs min_samples before a verdict");
-        feed(&mut det, &vec![true; 60]);
+        feed(&mut det, &[true; 60]);
         assert!(det.imbalanced());
     }
 
@@ -168,11 +175,11 @@ mod tests {
             window: 100,
             min_samples: 10,
         });
-        feed(&mut det, &vec![true; 100]);
+        feed(&mut det, &[true; 100]);
         assert!(det.imbalanced());
         // A long run of in-order ACKs pushes the bad period out of the
         // window and the detector clears.
-        feed(&mut det, &vec![false; 200]);
+        feed(&mut det, &[false; 200]);
         assert!(!det.imbalanced());
         assert_eq!(det.window_fraction(), 0.0);
         assert!(det.lifetime_fraction() > 0.0);

@@ -80,7 +80,11 @@ impl PiController {
     /// delay: `queue_bytes / reference_rate`. `reference_rate` should be the
     /// bottleneck estimate (μ) when known, else the current rate.
     pub fn update(&mut self, queue_bytes: u64, reference_rate: Rate, now: Nanos) -> Rate {
-        let reference = if reference_rate.is_zero() { self.rate } else { reference_rate };
+        let reference = if reference_rate.is_zero() {
+            self.rate
+        } else {
+            reference_rate
+        };
         let queue_delay = if reference.is_zero() {
             Duration::ZERO
         } else {
@@ -127,7 +131,10 @@ mod tests {
         pi.update(q, mu, Nanos::from_millis(0));
         let r1 = pi.update(q, mu, Nanos::from_millis(10));
         let r2 = pi.update(q, mu, Nanos::from_millis(20));
-        assert!(r2 > r1 || r2 == PiConfig::default().max_rate, "rate should rise to drain queue");
+        assert!(
+            r2 > r1 || r2 == PiConfig::default().max_rate,
+            "rate should rise to drain queue"
+        );
     }
 
     #[test]
@@ -178,7 +185,11 @@ mod tests {
         assert!(pi.rate() <= Rate::from_mbps(100));
         // Huge queue for a long time: must cap at max_rate.
         for step in 0..100 {
-            pi.update(100_000_000, Rate::from_mbps(96), Nanos::from_millis(step * 10));
+            pi.update(
+                100_000_000,
+                Rate::from_mbps(96),
+                Nanos::from_millis(step * 10),
+            );
         }
         assert_eq!(pi.rate(), Rate::from_mbps(100));
         // Empty queue forever: must floor at min_rate.

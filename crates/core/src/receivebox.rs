@@ -41,7 +41,11 @@ impl Receivebox {
             initial_epoch_size.is_power_of_two(),
             "epoch size must be a power of two, got {initial_epoch_size}"
         );
-        Receivebox { bundle, epoch_size: initial_epoch_size, stats: ReceiveboxStats::default() }
+        Receivebox {
+            bundle,
+            epoch_size: initial_epoch_size,
+            stats: ReceiveboxStats::default(),
+        }
     }
 
     /// The bundle this receivebox serves.
@@ -119,7 +123,10 @@ mod tests {
         let mut rb = Receivebox::new(BundleId(1), 8);
         let mut acks = 0;
         for i in 0..1000u16 {
-            if rb.on_packet(&pkt(i), Nanos::from_millis(i as u64)).is_some() {
+            if rb
+                .on_packet(&pkt(i), Nanos::from_millis(i as u64))
+                .is_some()
+            {
                 acks += 1;
             }
         }
@@ -127,7 +134,10 @@ mod tests {
         assert_eq!(rb.bytes_received(), 1000 * 1500);
         assert_eq!(rb.stats().acks_sent, acks as u64);
         assert!(acks > 0, "some packets must be boundaries");
-        assert!(acks < 1000 / 2, "not every packet should be a boundary with N=8");
+        assert!(
+            acks < 1000 / 2,
+            "not every packet should be a boundary with N=8"
+        );
     }
 
     #[test]
@@ -166,13 +176,22 @@ mod tests {
     #[test]
     fn epoch_updates_are_validated() {
         let mut rb = Receivebox::new(BundleId(1), 4);
-        rb.on_epoch_update(&EpochSizeUpdate { bundle: BundleId(1), epoch_size: 32 });
+        rb.on_epoch_update(&EpochSizeUpdate {
+            bundle: BundleId(1),
+            epoch_size: 32,
+        });
         assert_eq!(rb.epoch_size(), 32);
         // Wrong bundle: ignored.
-        rb.on_epoch_update(&EpochSizeUpdate { bundle: BundleId(9), epoch_size: 64 });
+        rb.on_epoch_update(&EpochSizeUpdate {
+            bundle: BundleId(9),
+            epoch_size: 64,
+        });
         assert_eq!(rb.epoch_size(), 32);
         // Not a power of two: ignored.
-        rb.on_epoch_update(&EpochSizeUpdate { bundle: BundleId(1), epoch_size: 33 });
+        rb.on_epoch_update(&EpochSizeUpdate {
+            bundle: BundleId(1),
+            epoch_size: 33,
+        });
         assert_eq!(rb.epoch_size(), 32);
         assert_eq!(rb.stats().epoch_updates, 1);
     }

@@ -53,6 +53,62 @@ pub struct SendboxStats {
     pub feedback_timeouts: u64,
 }
 
+impl std::ops::AddAssign for SendboxStats {
+    fn add_assign(&mut self, rhs: SendboxStats) {
+        // Exhaustive destructuring: adding a counter to the struct without
+        // summing it here is a compile error, so aggregate totals (e.g. the
+        // site agent's telemetry export) can never silently drop a field.
+        let SendboxStats {
+            packets_sent,
+            bytes_sent,
+            boundaries,
+            acks_received,
+            ticks,
+            epoch_changes,
+            feedback_timeouts,
+        } = rhs;
+        self.packets_sent += packets_sent;
+        self.bytes_sent += bytes_sent;
+        self.boundaries += boundaries;
+        self.acks_received += acks_received;
+        self.ticks += ticks;
+        self.epoch_changes += epoch_changes;
+        self.feedback_timeouts += feedback_timeouts;
+    }
+}
+
+/// A point-in-time snapshot of one sendbox's control-plane state, taken by
+/// [`Sendbox::telemetry`].
+///
+/// This is the per-bundle record a site agent exports: everything an
+/// operator dashboard needs to answer "how is traffic to that site doing",
+/// without reaching into the control plane's internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendboxTelemetry {
+    /// The bundle this snapshot describes.
+    pub bundle: BundleId,
+    /// Operating mode at snapshot time.
+    pub mode: Mode,
+    /// Pacing rate at snapshot time.
+    pub rate: Rate,
+    /// Current epoch size (packets between boundary samples).
+    pub epoch_size: u32,
+    /// Minimum RTT observed, if any feedback has arrived.
+    pub min_rtt: Option<Duration>,
+    /// Smoothed RTT from the most recent measurement window, if any.
+    pub rtt: Option<Duration>,
+    /// Receive-rate estimate from the most recent measurement window.
+    pub recv_rate: Option<Rate>,
+    /// Fraction of measurements that arrived out of order (§5.2).
+    pub out_of_order_fraction: f64,
+    /// Lifetime datapath/control counters.
+    pub stats: SendboxStats,
+    /// Measurement-plane health counters.
+    pub measurement: crate::measurement::MeasurementStats,
+    /// Number of mode transitions since the bundle started.
+    pub mode_transitions: usize,
+}
+
 /// The sendbox control plane for a single bundle.
 pub struct Sendbox {
     config: BundlerConfig,
@@ -154,6 +210,25 @@ impl Sendbox {
         self.engine.stats()
     }
 
+    /// Takes a point-in-time telemetry snapshot of this bundle's control
+    /// plane. Cheap (a handful of copies), so an agent can snapshot every
+    /// bundle it manages at export time.
+    pub fn telemetry(&self) -> SendboxTelemetry {
+        SendboxTelemetry {
+            bundle: self.bundle,
+            mode: self.modes.mode(),
+            rate: self.modes.rate(),
+            epoch_size: self.epoch_size,
+            min_rtt: self.engine.min_rtt(),
+            rtt: self.last_measurement.map(|m| m.rtt),
+            recv_rate: self.last_measurement.map(|m| m.recv_rate),
+            out_of_order_fraction: self.engine.out_of_order_fraction(),
+            stats: self.stats,
+            measurement: self.engine.stats(),
+            mode_transitions: self.modes.transitions().len(),
+        }
+    }
+
     /// Notifies the control plane that the datapath forwarded `pkt` at time
     /// `now`. Returns `true` if the packet was an epoch boundary (useful for
     /// datapaths that want to log or test the sampling).
@@ -215,12 +290,18 @@ impl Sendbox {
         if measurement.is_some() {
             self.last_measurement = measurement;
         }
-        let rate = self.modes.on_tick(measurement.as_ref(), sendbox_queue_bytes, now);
+        let rate = self
+            .modes
+            .on_tick(measurement.as_ref(), sendbox_queue_bytes, now);
 
         // Epoch-size control: keep boundaries roughly a quarter RTT apart.
         let epoch_update = self.maybe_update_epoch_size(rate);
 
-        SendboxOutput { rate, epoch_update, mode: self.modes.mode() }
+        SendboxOutput {
+            rate,
+            epoch_update,
+            mode: self.modes.mode(),
+        }
     }
 
     fn maybe_update_epoch_size(&mut self, rate: Rate) -> Option<EpochSizeUpdate> {
@@ -238,7 +319,10 @@ impl Sendbox {
         }
         self.epoch_size = target;
         self.stats.epoch_changes += 1;
-        Some(EpochSizeUpdate { bundle: self.bundle, epoch_size: target })
+        Some(EpochSizeUpdate {
+            bundle: self.bundle,
+            epoch_size: target,
+        })
     }
 }
 
@@ -265,7 +349,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let bad = BundlerConfig { initial_epoch_size: 3, ..Default::default() };
+        let bad = BundlerConfig {
+            initial_epoch_size: 3,
+            ..Default::default()
+        };
         assert!(Sendbox::new(BundleId(0), bad).is_err());
         assert!(Sendbox::new(BundleId(0), config()).is_ok());
     }
@@ -283,7 +370,10 @@ mod tests {
             if sb.on_packet_forwarded(&p, Nanos::from_millis(i as u64)) {
                 sb_boundaries.push(i);
             }
-            if rb.on_packet(&p, Nanos::from_millis(i as u64 + 25)).is_some() {
+            if rb
+                .on_packet(&p, Nanos::from_millis(i as u64 + 25))
+                .is_some()
+            {
                 rb_boundaries.push(i);
             }
         }
@@ -321,13 +411,20 @@ mod tests {
             }
         }
         let min_rtt = sb.min_rtt().expect("feedback should have produced an RTT");
-        assert!((min_rtt.as_millis_f64() - 50.0).abs() < 1.0, "min RTT {min_rtt}");
+        assert!(
+            (min_rtt.as_millis_f64() - 50.0).abs() < 1.0,
+            "min RTT {min_rtt}"
+        );
         assert!(sb.stats().boundaries > 0);
         assert!(sb.stats().acks_received > 0);
         assert_eq!(sb.mode(), Mode::DelayControl);
         // With a 50 ms RTT at ~96 Mbit/s the epoch size should have been
         // raised above its initial value of 4.
-        assert!(sb.epoch_size() > config().initial_epoch_size, "epoch size {}", sb.epoch_size());
+        assert!(
+            sb.epoch_size() > config().initial_epoch_size,
+            "epoch size {}",
+            sb.epoch_size()
+        );
         // Receivebox followed the updates.
         assert_eq!(rb.epoch_size(), sb.epoch_size());
         assert_eq!(sb.out_of_order_fraction(), 0.0);
@@ -365,7 +462,10 @@ mod tests {
         }
         let timeouts = sb.stats().feedback_timeouts;
         assert!(timeouts >= 1, "at least one feedback timeout");
-        assert!(timeouts <= 6, "timeouts must be rate-limited, got {timeouts}");
+        assert!(
+            timeouts <= 6,
+            "timeouts must be rate-limited, got {timeouts}"
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub enum Region {
 impl Region {
     /// All five regions, in the order the paper's Figure 16 presents them.
     pub fn all() -> [Region; 5] {
-        [Region::Belgium, Region::Frankfurt, Region::Oregon, Region::SouthCarolina, Region::Tokyo]
+        [
+            Region::Belgium,
+            Region::Frankfurt,
+            Region::Oregon,
+            Region::SouthCarolina,
+            Region::Tokyo,
+        ]
     }
 
     /// Human-readable name.

@@ -119,7 +119,10 @@ pub struct WanExperiment {
 
 impl Default for WanExperiment {
     fn default() -> Self {
-        WanExperiment { paths: WanPath::all(), workload: WanWorkload::default() }
+        WanExperiment {
+            paths: WanPath::all(),
+            workload: WanWorkload::default(),
+        }
     }
 }
 
@@ -146,8 +149,7 @@ impl WanExperiment {
         let mut id = 0u64;
         for _ in 0..self.workload.ping_streams {
             specs.push(
-                FlowSpec::bundled(id, self.workload.ping_payload as u64, Nanos::ZERO, 0)
-                    .as_ping(),
+                FlowSpec::bundled(id, self.workload.ping_payload as u64, Nanos::ZERO, 0).as_ping(),
             );
             id += 1;
         }
@@ -236,14 +238,20 @@ mod tests {
         let base = result.median_base_ms();
         let quo = result.median_status_quo_ms();
         let bun = result.median_bundler_ms();
-        assert!(base > 30.0 && base < 50.0, "base RTT {base:.1} ms should be near propagation");
+        assert!(
+            base > 30.0 && base < 50.0,
+            "base RTT {base:.1} ms should be near propagation"
+        );
         // The quick, scaled-down run only checks the robust invariants: the
         // status quo is never better than the base RTT, Bundler never makes
         // request latency worse than the status quo, and bulk throughput
         // stays comparable. The full inflation/57%-reduction shape is
         // demonstrated by the fig16_internet_paths bench binary at paper
         // scale (longer runs, deeper buffers).
-        assert!(quo >= base - 1.0, "status quo {quo:.1} ms cannot beat the base RTT {base:.1} ms");
+        assert!(
+            quo >= base - 1.0,
+            "status quo {quo:.1} ms cannot beat the base RTT {base:.1} ms"
+        );
         assert!(
             bun <= quo + 2.0,
             "Bundler must not increase request latency ({bun:.1} vs {quo:.1} ms)"

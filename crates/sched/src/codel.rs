@@ -278,7 +278,10 @@ mod tests {
                 break;
             }
         }
-        assert!(q.aqm_drops() > 0, "CoDel should have dropped under sustained delay");
+        assert!(
+            q.aqm_drops() > 0,
+            "CoDel should have dropped under sustained delay"
+        );
         assert!(delivered > 0);
     }
 
@@ -300,7 +303,10 @@ mod tests {
                 }
             }
         }
-        assert!(drops_second_half > drops_first_half, "drop rate should escalate: {drops_first_half} vs {drops_second_half}");
+        assert!(
+            drops_second_half > drops_first_half,
+            "drop rate should escalate: {drops_first_half} vs {drops_second_half}"
+        );
     }
 
     #[test]
@@ -333,7 +339,10 @@ mod tests {
 
     #[test]
     fn tail_drop_when_capacity_exceeded() {
-        let mut q = Codel::new(CodelConfig { capacity_pkts: 3, ..Default::default() });
+        let mut q = Codel::new(CodelConfig {
+            capacity_pkts: 3,
+            ..Default::default()
+        });
         for _ in 0..3 {
             assert!(!q.enqueue(pkt(100), Nanos::ZERO).is_drop());
         }

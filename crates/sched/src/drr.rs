@@ -23,7 +23,10 @@ pub struct DrrConfig {
 
 impl Default for DrrConfig {
     fn default() -> Self {
-        DrrConfig { quantum_bytes: 1514, total_capacity_pkts: 4096 }
+        DrrConfig {
+            quantum_bytes: 1514,
+            total_capacity_pkts: 4096,
+        }
     }
 }
 
@@ -195,7 +198,10 @@ mod tests {
         // Flow 0 sends 1460-byte packets, flow 1 sends 292-byte packets.
         // After many rounds, bytes served should be roughly equal even though
         // packet counts differ by ~5x.
-        let mut d = Drr::new(DrrConfig { quantum_bytes: 1500, total_capacity_pkts: 100_000 });
+        let mut d = Drr::new(DrrConfig {
+            quantum_bytes: 1500,
+            total_capacity_pkts: 100_000,
+        });
         for _ in 0..200 {
             d.enqueue(pkt(0, 1460), Nanos::ZERO);
         }
@@ -209,7 +215,10 @@ mod tests {
             }
         }
         let ratio = bytes[0] as f64 / bytes[1] as f64;
-        assert!((0.7..1.4).contains(&ratio), "byte ratio {ratio} not near 1 ({bytes:?})");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "byte ratio {ratio} not near 1 ({bytes:?})"
+        );
     }
 
     #[test]
@@ -224,7 +233,10 @@ mod tests {
 
     #[test]
     fn capacity_drop_comes_from_longest_flow() {
-        let mut d = Drr::new(DrrConfig { total_capacity_pkts: 5, ..Default::default() });
+        let mut d = Drr::new(DrrConfig {
+            total_capacity_pkts: 5,
+            ..Default::default()
+        });
         for _ in 0..5 {
             d.enqueue(pkt(0, 1000), Nanos::ZERO);
         }

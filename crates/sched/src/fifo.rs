@@ -35,7 +35,12 @@ pub struct DropTailFifo {
 impl DropTailFifo {
     /// Creates a FIFO with the given capacity.
     pub fn new(capacity: Capacity) -> Self {
-        DropTailFifo { queue: VecDeque::new(), capacity, bytes: 0, stats: SchedStats::default() }
+        DropTailFifo {
+            queue: VecDeque::new(),
+            capacity,
+            bytes: 0,
+            stats: SchedStats::default(),
+        }
     }
 
     /// Creates a FIFO bounded by a packet count.
@@ -131,7 +136,9 @@ mod tests {
         for i in 0..5 {
             assert!(!q.enqueue(pkt(i, 100), Nanos::ZERO).is_drop());
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO)).map(|p| p.flow.0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO))
+            .map(|p| p.flow.0)
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 

@@ -128,7 +128,11 @@ impl FqCodel {
     /// or removal (caller loops).
     fn serve_head(&mut self, from_new: bool, now: Nanos) -> HeadOutcome {
         let idx = {
-            let list = if from_new { &self.new_flows } else { &self.old_flows };
+            let list = if from_new {
+                &self.new_flows
+            } else {
+                &self.old_flows
+            };
             match list.front() {
                 Some(&i) => i,
                 None => return HeadOutcome::ListEmpty,
@@ -268,7 +272,12 @@ mod tests {
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
             FlowId(flow),
-            FlowKey::tcp(ipv4(10, 0, 0, 1), 1000 + flow as u16, ipv4(10, 0, 1, (flow % 200) as u8 + 1), 80),
+            FlowKey::tcp(
+                ipv4(10, 0, 0, 1),
+                1000 + flow as u16,
+                ipv4(10, 0, 1, (flow % 200) as u8 + 1),
+                80,
+            ),
             0,
             size,
             Nanos::ZERO,
@@ -323,12 +332,18 @@ mod tests {
             let p = s.dequeue(Nanos::ZERO).unwrap();
             counts[p.flow.0 as usize] += 1;
         }
-        assert!(counts[0] > 15 && counts[1] > 15, "both flows should be served: {counts:?}");
+        assert!(
+            counts[0] > 15 && counts[1] > 15,
+            "both flows should be served: {counts:?}"
+        );
     }
 
     #[test]
     fn total_capacity_enforced() {
-        let mut s = FqCodel::new(FqCodelConfig { total_capacity_pkts: 10, ..Default::default() });
+        let mut s = FqCodel::new(FqCodelConfig {
+            total_capacity_pkts: 10,
+            ..Default::default()
+        });
         let mut drops = 0;
         for i in 0..20 {
             if s.enqueue(pkt(i % 3, 1000), Nanos::ZERO).is_drop() {

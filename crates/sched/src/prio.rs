@@ -38,7 +38,10 @@ impl StrictPriority {
 
     /// Packets queued in a particular class.
     pub fn class_len(&self, class: TrafficClass) -> usize {
-        self.queues.get(class.0 as usize % NUM_CLASSES).map(|q| q.len()).unwrap_or(0)
+        self.queues
+            .get(class.0 as usize % NUM_CLASSES)
+            .map(|q| q.len())
+            .unwrap_or(0)
     }
 
     fn drop_from_lowest_priority(&mut self) -> Option<Packet> {
@@ -135,7 +138,9 @@ mod tests {
         for i in 0..5 {
             s.enqueue(pkt(i, TrafficClass::BEST_EFFORT), Nanos::ZERO);
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO)).map(|p| p.flow.0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO))
+            .map(|p| p.flow.0)
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 

@@ -30,7 +30,12 @@ pub struct SfqConfig {
 
 impl Default for SfqConfig {
     fn default() -> Self {
-        SfqConfig { buckets: 128, quantum_bytes: 1514, total_capacity_pkts: 1024, hash_seed: 0 }
+        SfqConfig {
+            buckets: 128,
+            quantum_bytes: 1514,
+            total_capacity_pkts: 1024,
+            hash_seed: 0,
+        }
     }
 }
 
@@ -195,7 +200,12 @@ mod tests {
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
             FlowId(flow),
-            FlowKey::tcp(ipv4(10, 0, 0, 1), 1000 + flow as u16, ipv4(10, 0, 1, (flow % 250) as u8 + 1), 80),
+            FlowKey::tcp(
+                ipv4(10, 0, 0, 1),
+                1000 + flow as u16,
+                ipv4(10, 0, 1, (flow % 250) as u8 + 1),
+                80,
+            ),
             0,
             size,
             Nanos::ZERO,
@@ -212,7 +222,9 @@ mod tests {
         for _ in 0..10 {
             s.enqueue(pkt(1, 1000), Nanos::ZERO);
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO)).map(|p| p.flow.0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO))
+            .map(|p| p.flow.0)
+            .collect();
         assert_eq!(order.len(), 20);
         // In the first 10 dequeues both flows must appear (fair interleaving),
         // unlike FIFO where flow 0 would fully drain first.
@@ -240,12 +252,18 @@ mod tests {
                 }
             }
         }
-        assert!(position.expect("short flow served") <= 2, "short flow served at {position:?}");
+        assert!(
+            position.expect("short flow served") <= 2,
+            "short flow served at {position:?}"
+        );
     }
 
     #[test]
     fn drops_from_longest_bucket_when_full() {
-        let mut s = Sfq::new(SfqConfig { total_capacity_pkts: 10, ..Default::default() });
+        let mut s = Sfq::new(SfqConfig {
+            total_capacity_pkts: 10,
+            ..Default::default()
+        });
         for _ in 0..10 {
             assert!(!s.enqueue(pkt(0, 1000), Nanos::ZERO).is_drop());
         }
@@ -277,7 +295,10 @@ mod tests {
             counts[p.flow.0 as usize] += 1;
         }
         let served: usize = counts.iter().filter(|&&c| c > 0).count();
-        assert!(served >= (FLOWS as usize) / 2, "only {served} distinct flows served in first round");
+        assert!(
+            served >= (FLOWS as usize) / 2,
+            "only {served} distinct flows served in first round"
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl std::fmt::Debug for Tbf {
 impl Tbf {
     /// Creates a TBF with the given rate, burst and inner scheduler.
     pub fn new(rate: Rate, burst_bytes: u64, inner: Box<dyn Scheduler>, now: Nanos) -> Self {
-        Tbf { bucket: TokenBucket::new(rate, burst_bytes, now), inner }
+        Tbf {
+            bucket: TokenBucket::new(rate, burst_bytes, now),
+            inner,
+        }
     }
 
     /// Updates the shaping rate (tokens are preserved; see [`TokenBucket::set_rate`]).
@@ -159,8 +162,7 @@ impl Tbf {
                     if actual > pkt_estimate {
                         self.bucket.tokens -= (actual - pkt_estimate) as f64;
                     } else {
-                        self.bucket.tokens = (self.bucket.tokens
-                            + (pkt_estimate - actual) as f64)
+                        self.bucket.tokens = (self.bucket.tokens + (pkt_estimate - actual) as f64)
                             .min(self.bucket.burst_bytes);
                     }
                     Release::Packet(pkt)
@@ -262,7 +264,10 @@ mod tests {
     fn zero_rate_never_becomes_available() {
         let mut tb = TokenBucket::new(Rate::ZERO, 100, Nanos::ZERO);
         assert!(tb.try_consume(100, Nanos::ZERO));
-        assert_eq!(tb.time_until_available(1, Nanos::from_secs(100)), Duration::MAX);
+        assert_eq!(
+            tb.time_until_available(1, Nanos::from_secs(100)),
+            Duration::MAX
+        );
     }
 
     #[test]
@@ -272,7 +277,11 @@ mod tests {
         // At t=1ms we have ~1000 tokens. Updating the rate must not refill
         // the bucket to the full burst.
         tb.set_rate(Rate::from_mbps(80), Nanos::from_millis(1));
-        assert!(tb.available() < 1100.0, "tokens {} should not jump to burst", tb.available());
+        assert!(
+            tb.available() < 1100.0,
+            "tokens {} should not jump to burst",
+            tb.available()
+        );
     }
 
     #[test]
@@ -294,7 +303,10 @@ mod tests {
             }
         }
         // 50 ms at 1 pkt/ms plus the initial burst packet.
-        assert!((45..=55).contains(&released), "released {released} packets in 50ms");
+        assert!(
+            (45..=55).contains(&released),
+            "released {released} packets in 50ms"
+        );
     }
 
     #[test]

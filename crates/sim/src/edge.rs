@@ -1,11 +1,14 @@
-//! The site edge: either a transparent pass-through (status quo) or a
+//! The site edge: either a transparent pass-through (status quo), a
 //! Bundler sendbox (token-bucket rate limiter + scheduler + control plane)
-//! paired with a receivebox at the destination site.
+//! paired with a receivebox at the destination site, or — for the
+//! multi-site experiments — a [`MultiBundle`] edge where one
+//! [`SiteAgent`] manages many bundles behind a prefix classifier.
 
+use bundler_agent::{AgentConfig, SiteAgent};
 use bundler_core::feedback::{BundleId, CongestionAck, EpochSizeUpdate};
 use bundler_core::{BundlerConfig, Mode, Receivebox, Sendbox};
 use bundler_sched::tbf::{Release, Tbf};
-use bundler_types::{Nanos, Packet, Rate};
+use bundler_types::{IpPrefix, Nanos, Packet, Rate};
 
 use crate::stats::TimeSeries;
 
@@ -135,10 +138,205 @@ impl Bundle {
     }
 }
 
+/// One bundle of a [`MultiBundle`] edge: the destination prefixes it
+/// serves and its Bundler configuration.
+#[derive(Debug, Clone)]
+pub struct MultiBundleSpec {
+    /// Destination prefixes routed to this bundle (the remote site's
+    /// announced address space).
+    pub prefixes: Vec<IpPrefix>,
+    /// The bundle's Bundler configuration.
+    pub config: BundlerConfig,
+}
+
+/// A site edge managing many bundles through one [`SiteAgent`]: per-packet
+/// classification picks the bundle, the agent's timer wheel drives every
+/// bundle's control tick, and each bundle keeps its own token-bucket
+/// datapath and (remote) receivebox.
+pub struct MultiBundle {
+    /// The agent owning every bundle's control plane.
+    pub agent: SiteAgent,
+    datapaths: Vec<Tbf>,
+    receiveboxes: Vec<Receivebox>,
+    /// Whether a release event is scheduled per bundle (prevents duplicate
+    /// scheduling in the event loop).
+    pub release_scheduled: Vec<bool>,
+    /// Sendbox queue delay samples in milliseconds, per bundle.
+    pub queue_delay_ms: Vec<TimeSeries>,
+    /// Mode changes observed per bundle: (time, mode name).
+    pub mode_timeline: Vec<Vec<(Nanos, String)>>,
+    last_modes: Vec<Mode>,
+}
+
+impl std::fmt::Debug for MultiBundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiBundle")
+            .field("agent", &self.agent)
+            .finish()
+    }
+}
+
+impl MultiBundle {
+    /// Builds the edge: one bundle per spec, registered with the agent in
+    /// order (bundle `i` is `specs[i]`).
+    pub fn new(
+        agent_config: AgentConfig,
+        specs: &[MultiBundleSpec],
+        now: Nanos,
+    ) -> Result<Self, String> {
+        let mut agent = SiteAgent::new(agent_config);
+        let mut datapaths = Vec::with_capacity(specs.len());
+        let mut receiveboxes = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let index = agent.add_bundle(&spec.prefixes, spec.config, now)?;
+            debug_assert_eq!(index, i);
+            let scheduler = spec
+                .config
+                .policy
+                .build(spec.config.sendbox_queue_capacity_pkts);
+            datapaths.push(Tbf::new(spec.config.initial_rate, 3 * 1514, scheduler, now));
+            receiveboxes.push(Receivebox::new(
+                BundleId(i as u32),
+                spec.config.initial_epoch_size,
+            ));
+        }
+        let n = specs.len();
+        Ok(MultiBundle {
+            agent,
+            datapaths,
+            receiveboxes,
+            release_scheduled: vec![false; n],
+            queue_delay_ms: vec![TimeSeries::new(); n],
+            mode_timeline: (0..n)
+                .map(|_| vec![(now, Mode::DelayControl.to_string())])
+                .collect(),
+            last_modes: vec![Mode::DelayControl; n],
+        })
+    }
+
+    /// Number of bundles at this edge.
+    pub fn len(&self) -> usize {
+        self.datapaths.len()
+    }
+
+    /// True if the edge manages no bundles.
+    pub fn is_empty(&self) -> bool {
+        self.datapaths.is_empty()
+    }
+
+    /// Classifies a packet to its bundle by destination prefix.
+    pub fn classify(&mut self, pkt: &Packet) -> Option<usize> {
+        self.agent.classify_packet(pkt)
+    }
+
+    /// Offers a packet to bundle `bundle`'s sendbox scheduler. Returns
+    /// `false` if the scheduler dropped a packet to make room.
+    pub fn enqueue(&mut self, bundle: usize, pkt: Packet, now: Nanos) -> bool {
+        !self.datapaths[bundle].enqueue(pkt, now).is_drop()
+    }
+
+    /// Attempts to release bundle `bundle`'s next packet under its pacing
+    /// rate, notifying the control plane on success.
+    pub fn try_release(&mut self, bundle: usize, now: Nanos) -> Release {
+        let release = self.datapaths[bundle].try_dequeue(now);
+        if let Release::Packet(ref pkt) = release {
+            self.agent.on_packet_forwarded(bundle, pkt, now);
+        }
+        release
+    }
+
+    /// Advances the agent's tick wheel to `now`: every due bundle runs its
+    /// control tick, its new pacing rate is applied to its token bucket and
+    /// its mode timeline is updated. Returns `(bundle, epoch update)` for
+    /// each tick that produced an epoch-size update to deliver.
+    pub fn advance(&mut self, now: Nanos) -> Vec<(usize, Option<EpochSizeUpdate>)> {
+        let datapaths = &self.datapaths;
+        let ticks = self.agent.advance(now, |i| datapaths[i].len_bytes());
+        let mut out = Vec::with_capacity(ticks.len());
+        for tick in ticks {
+            let b = tick.bundle;
+            self.datapaths[b].set_rate(tick.output.rate, now);
+            if tick.output.mode != self.last_modes[b] {
+                self.last_modes[b] = tick.output.mode;
+                self.mode_timeline[b].push((now, tick.output.mode.to_string()));
+            }
+            out.push((b, tick.output.epoch_update));
+        }
+        out
+    }
+
+    /// When the next control tick is due (drives event scheduling).
+    pub fn next_tick_at(&self) -> Option<Nanos> {
+        self.agent.next_tick_at()
+    }
+
+    /// The destination-site receivebox observes an arriving packet.
+    pub fn receivebox_on_packet(
+        &mut self,
+        bundle: usize,
+        pkt: &Packet,
+        now: Nanos,
+    ) -> Option<CongestionAck> {
+        self.receiveboxes
+            .get_mut(bundle)
+            .and_then(|rb| rb.on_packet(pkt, now))
+    }
+
+    /// Delivers an epoch-size update to bundle `bundle`'s receivebox.
+    pub fn on_epoch_update(&mut self, bundle: usize, update: &EpochSizeUpdate) {
+        if let Some(rb) = self.receiveboxes.get_mut(bundle) {
+            rb.on_epoch_update(update);
+        }
+    }
+
+    /// Delivers a congestion ACK to the agent (routed by its bundle id).
+    pub fn on_congestion_ack(&mut self, ack: &CongestionAck, now: Nanos) {
+        self.agent.on_congestion_ack(ack, now);
+    }
+
+    /// Bundle `bundle`'s current pacing rate.
+    pub fn rate(&self, bundle: usize) -> Rate {
+        self.datapaths[bundle].rate()
+    }
+
+    /// Bytes queued at bundle `bundle`'s sendbox.
+    pub fn queue_bytes(&self, bundle: usize) -> u64 {
+        self.datapaths[bundle].len_bytes()
+    }
+
+    /// True if bundle `bundle`'s sendbox queue is empty.
+    pub fn queue_is_empty(&self, bundle: usize) -> bool {
+        self.datapaths[bundle].is_empty()
+    }
+
+    /// Records a queue-delay sample for every bundle.
+    pub fn sample_queue_delays(&mut self, now: Nanos) {
+        for (i, tbf) in self.datapaths.iter().enumerate() {
+            let rate = tbf.rate();
+            let delay_ms = if rate.is_zero() {
+                0.0
+            } else {
+                rate.transmit_time(tbf.len_bytes()).as_millis_f64()
+            };
+            self.queue_delay_ms[i].push(now, delay_ms.min(30_000.0));
+        }
+    }
+
+    /// Read access to bundle `bundle`'s control plane.
+    pub fn sendbox(&self, bundle: usize) -> Option<&Sendbox> {
+        self.agent.sendbox(bundle)
+    }
+
+    /// Read access to bundle `bundle`'s receivebox.
+    pub fn receivebox(&self, bundle: usize) -> Option<&Receivebox> {
+        self.receiveboxes.get(bundle)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, Duration, FlowId, FlowKey};
 
     fn pkt(i: u16) -> Packet {
         Packet::data(
@@ -153,14 +351,20 @@ mod tests {
 
     #[test]
     fn bundle_construction_validates_config() {
-        let bad = BundlerConfig { initial_epoch_size: 5, ..Default::default() };
+        let bad = BundlerConfig {
+            initial_epoch_size: 5,
+            ..Default::default()
+        };
         assert!(Bundle::new(0, bad, Nanos::ZERO).is_err());
         assert!(Bundle::new(0, BundlerConfig::default(), Nanos::ZERO).is_ok());
     }
 
     #[test]
     fn release_notifies_control_plane_of_boundaries() {
-        let config = BundlerConfig { initial_epoch_size: 1, ..Default::default() };
+        let config = BundlerConfig {
+            initial_epoch_size: 1,
+            ..Default::default()
+        };
         let mut b = Bundle::new(0, config, Nanos::ZERO).unwrap();
         for i in 0..10 {
             assert!(b.enqueue(pkt(i), Nanos::ZERO));
@@ -170,7 +374,7 @@ mod tests {
         for _ in 0..100 {
             match b.try_release(now) {
                 Release::Packet(_) => released += 1,
-                Release::Wait(d) => now = now + d,
+                Release::Wait(d) => now += d,
                 Release::Empty => break,
             }
         }
@@ -199,5 +403,131 @@ mod tests {
         assert_eq!(b.queue_delay_ms.len(), 1);
         assert!(b.queue_delay_ms.samples[0].1 > 0.0);
         assert!(b.queue_bytes() > 0);
+    }
+
+    fn multi_specs(n: u8) -> Vec<MultiBundleSpec> {
+        (0..n)
+            .map(|site| MultiBundleSpec {
+                prefixes: vec![IpPrefix::new(ipv4(10, 1, site, 0), 24).unwrap()],
+                config: BundlerConfig::default(),
+            })
+            .collect()
+    }
+
+    fn pkt_to_site(site: u8, i: u16) -> Packet {
+        Packet::data(
+            FlowId(site as u64),
+            FlowKey::tcp(ipv4(10, 0, 0, 2), 5555, ipv4(10, 1, site, 7), 443),
+            0,
+            1460,
+            Nanos::ZERO,
+        )
+        .with_ip_id(i)
+    }
+
+    #[test]
+    fn multi_bundle_classifies_and_releases_per_bundle() {
+        let mut edge = MultiBundle::new(AgentConfig::default(), &multi_specs(3), Nanos::ZERO)
+            .expect("valid specs");
+        assert_eq!(edge.len(), 3);
+        for site in 0..3u8 {
+            for i in 0..5 {
+                let p = pkt_to_site(site, i);
+                let b = edge.classify(&p).expect("prefix installed");
+                assert_eq!(b, site as usize);
+                assert!(edge.enqueue(b, p, Nanos::ZERO));
+            }
+        }
+        // Releasing drains each bundle's own queue and notifies its control
+        // plane.
+        let mut now = Nanos::ZERO;
+        let mut released = 0;
+        for _ in 0..1000 {
+            let mut progress = false;
+            for b in 0..3 {
+                match edge.try_release(b, now) {
+                    Release::Packet(_) => {
+                        released += 1;
+                        progress = true;
+                    }
+                    Release::Wait(d) => now += d,
+                    Release::Empty => {}
+                }
+            }
+            if !progress && (0..3).all(|b| edge.queue_is_empty(b)) {
+                break;
+            }
+        }
+        assert_eq!(released, 15);
+        let total: u64 = (0..3)
+            .map(|b| edge.sendbox(b).unwrap().stats().packets_sent)
+            .sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn multi_bundle_advance_applies_rates_and_tracks_modes() {
+        let mut edge = MultiBundle::new(AgentConfig::default(), &multi_specs(2), Nanos::ZERO)
+            .expect("valid specs");
+        assert_eq!(edge.next_tick_at(), Some(Nanos::from_millis(10)));
+        let ticks = edge.advance(Nanos::from_millis(10));
+        assert_eq!(
+            ticks.len(),
+            2,
+            "both bundles share the default 10 ms interval"
+        );
+        for b in 0..2 {
+            assert_eq!(edge.rate(b), BundlerConfig::default().initial_rate);
+            assert_eq!(
+                edge.mode_timeline[b].len(),
+                1,
+                "no mode change without feedback"
+            );
+        }
+        assert_eq!(edge.next_tick_at(), Some(Nanos::from_millis(20)));
+        edge.sample_queue_delays(Nanos::from_millis(11));
+        assert_eq!(edge.queue_delay_ms[0].len(), 1);
+    }
+
+    #[test]
+    fn multi_bundle_feedback_round_trip() {
+        let specs = multi_specs(2);
+        let mut edge =
+            MultiBundle::new(AgentConfig::default(), &specs, Nanos::ZERO).expect("valid specs");
+        // Push traffic through bundle 1 and let its receivebox answer.
+        let mut now = Nanos::ZERO;
+        for i in 0..400u16 {
+            let p = pkt_to_site(1, i);
+            assert!(edge.enqueue(1, p, now));
+            loop {
+                match edge.try_release(1, now) {
+                    Release::Packet(pkt) => {
+                        if let Some(ack) =
+                            edge.receivebox_on_packet(1, &pkt, now + Duration::from_millis(25))
+                        {
+                            edge.on_congestion_ack(&ack, now + Duration::from_millis(50));
+                        }
+                        break;
+                    }
+                    Release::Wait(d) => now += d,
+                    Release::Empty => break,
+                }
+            }
+        }
+        let sb = edge.sendbox(1).unwrap();
+        assert!(sb.stats().acks_received > 0, "feedback must have flowed");
+        assert_eq!(sb.min_rtt(), Some(Duration::from_millis(50)));
+        assert_eq!(edge.sendbox(0).unwrap().stats().acks_received, 0);
+        assert!(edge.receivebox(1).unwrap().stats().acks_sent > 0);
+    }
+
+    #[test]
+    fn multi_bundle_rejects_invalid_specs() {
+        let mut specs = multi_specs(2);
+        specs[1].config.initial_epoch_size = 3;
+        assert!(MultiBundle::new(AgentConfig::default(), &specs, Nanos::ZERO).is_err());
+        let mut dup = multi_specs(1);
+        dup.push(dup[0].clone());
+        assert!(MultiBundle::new(AgentConfig::default(), &dup, Nanos::ZERO).is_err());
     }
 }

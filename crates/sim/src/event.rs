@@ -61,6 +61,9 @@ pub enum Event {
         /// Index of the bundle.
         bundle: usize,
     },
+    /// The site agent's timer wheel has a due control tick (multi-bundle
+    /// edges only; ticks every due bundle in one event).
+    AgentTick,
     /// The given bundle's token bucket may have tokens to release another
     /// packet.
     SendboxRelease {
@@ -99,7 +102,10 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
         // event first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -119,7 +125,11 @@ impl Default for EventQueue {
 impl EventQueue {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: Nanos::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+        }
     }
 
     /// The current simulation time (the timestamp of the last popped event).
@@ -132,7 +142,11 @@ impl EventQueue {
     pub fn schedule(&mut self, at: Nanos, event: Event) {
         let at = at.max(self.now);
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -163,8 +177,9 @@ mod tests {
         q.schedule(Nanos::from_millis(5), Event::Sample);
         q.schedule(Nanos::from_millis(1), Event::End);
         q.schedule(Nanos::from_millis(3), Event::Sample);
-        let times: Vec<u64> =
-            std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos() / 1_000_000).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos() / 1_000_000)
+            .collect();
         assert_eq!(times, vec![1, 3, 5]);
     }
 

@@ -49,7 +49,11 @@ impl std::fmt::Debug for BottleneckPath {
 impl BottleneckPath {
     /// Creates a path with a drop-tail FIFO of `buffer_pkts` packets.
     pub fn drop_tail(rate: Rate, one_way_delay: Duration, buffer_pkts: usize) -> Self {
-        Self::with_queue(rate, one_way_delay, Box::new(DropTailFifo::with_packet_capacity(buffer_pkts)))
+        Self::with_queue(
+            rate,
+            one_way_delay,
+            Box::new(DropTailFifo::with_packet_capacity(buffer_pkts)),
+        )
     }
 
     /// Creates a path with an arbitrary queue discipline (e.g. the ideal
@@ -89,7 +93,9 @@ impl BottleneckPath {
 
     /// Queueing delay currently implied by the backlog at the link rate.
     pub fn queue_delay(&self) -> Duration {
-        self.rate.transmit_time(self.queue.len_bytes()).min(Duration::from_secs(30))
+        self.rate
+            .transmit_time(self.queue.len_bytes())
+            .min(Duration::from_secs(30))
     }
 
     /// Offers a packet to the path's queue. Returns `true` if it was
@@ -155,7 +161,11 @@ impl LoadBalancer {
     /// Creates a load balancer over `paths` sub-paths.
     pub fn new(paths: usize, balancing: Balancing) -> Self {
         assert!(paths > 0, "need at least one path");
-        LoadBalancer { paths, balancing, counter: 0 }
+        LoadBalancer {
+            paths,
+            balancing,
+            counter: 0,
+        }
     }
 
     /// Number of sub-paths.
@@ -196,7 +206,8 @@ mod tests {
     #[test]
     fn serialization_and_propagation_delay() {
         // 12 Mbit/s: a 1500-byte packet takes exactly 1 ms to serialize.
-        let mut path = BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::from_millis(25), 100);
+        let mut path =
+            BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::from_millis(25), 100);
         assert!(path.enqueue(pkt(1, 1460), Nanos::ZERO));
         let (p, delivered_at, link_free) = path.try_transmit(Nanos::ZERO).unwrap();
         assert_eq!(p.flow.0, 1);

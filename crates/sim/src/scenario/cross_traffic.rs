@@ -36,7 +36,7 @@ fn request_workload(
     let mut t = Nanos::ZERO + from;
     let mut id = first_id;
     while t < Nanos::ZERO + until {
-        t = t + arrivals.next_gap(rng);
+        t += arrivals.next_gap(rng);
         let size = dist.sample(rng);
         let spec = match bundle {
             Some(b) => FlowSpec::bundled(id, size, t, b),
@@ -107,7 +107,11 @@ impl CrossTrafficTimeline {
             0,
         );
         // Phase 2: one backlogged (buffer-filling) cross flow.
-        specs.push(FlowSpec::direct(next_id, FlowSpec::BACKLOGGED, Nanos::ZERO + p1_end));
+        specs.push(FlowSpec::direct(
+            next_id,
+            FlowSpec::BACKLOGGED,
+            Nanos::ZERO + p1_end,
+        ));
         next_id += 1;
         // Phase 3: the backlogged flow stops (we model this by giving it a
         // finite size equal to one phase of full-rate transfer is not
@@ -146,7 +150,11 @@ impl CrossTrafficTimeline {
         let report = Simulation::new(config, specs).run();
         TimelineResult {
             report,
-            phase_ends: (Nanos::ZERO + p1_end, Nanos::ZERO + p2_end, Nanos::ZERO + p3_end),
+            phase_ends: (
+                Nanos::ZERO + p1_end,
+                Nanos::ZERO + p2_end,
+                Nanos::ZERO + p3_end,
+            ),
         }
     }
 }
@@ -182,10 +190,7 @@ impl TimelineResult {
             .fcts
             .iter()
             .filter(|r| {
-                r.bundle == Some(0)
-                    && r.size_bytes <= 10_000
-                    && r.start >= from
-                    && r.start < to
+                r.bundle == Some(0) && r.size_bytes <= 10_000 && r.start >= from && r.start < to
             })
             .map(|r| r.fct.as_millis_f64())
             .collect();
@@ -298,7 +303,12 @@ impl ElasticCrossSweep {
     pub fn run_point(&self, cross_flows: usize, with_bundler: bool) -> (f64, f64) {
         let mut specs = Vec::new();
         for i in 0..self.bundle_flows as u64 {
-            specs.push(FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 10), 0));
+            specs.push(FlowSpec::bundled(
+                i,
+                FlowSpec::BACKLOGGED,
+                Nanos::from_millis(i * 10),
+                0,
+            ));
         }
         for j in 0..cross_flows as u64 {
             specs.push(FlowSpec::direct(
@@ -397,8 +407,18 @@ impl CompetingBundles {
         );
         specs.extend(s1);
         // A backlogged flow per bundle, as in the paper.
-        specs.push(FlowSpec::bundled(next2, FlowSpec::BACKLOGGED, Nanos::ZERO, 0));
-        specs.push(FlowSpec::bundled(next2 + 1, FlowSpec::BACKLOGGED, Nanos::ZERO, 1));
+        specs.push(FlowSpec::bundled(
+            next2,
+            FlowSpec::BACKLOGGED,
+            Nanos::ZERO,
+            0,
+        ));
+        specs.push(FlowSpec::bundled(
+            next2 + 1,
+            FlowSpec::BACKLOGGED,
+            Nanos::ZERO,
+            1,
+        ));
 
         let mode = |_: usize| {
             if with_bundler {
@@ -467,7 +487,10 @@ mod tests {
             timeline.phase_ends.2,
         );
         assert!(
-            end_modes.last().map(|m| m == "delay-control").unwrap_or(false),
+            end_modes
+                .last()
+                .map(|m| m == "delay-control")
+                .unwrap_or(false),
             "should return to delay control by the end, got {end_modes:?}"
         );
     }
@@ -484,8 +507,14 @@ mod tests {
         // The paper reports 12–22 % below fair share; we only require the
         // qualitative property that throughput is in the right ballpark:
         // clearly non-zero, and not more than the fair share by much.
-        assert!(tput > 0.4 * fair, "bundle throughput {tput:.1} collapsed (fair {fair:.1})");
-        assert!(tput < 1.3 * fair, "bundle throughput {tput:.1} implausibly high (fair {fair:.1})");
+        assert!(
+            tput > 0.4 * fair,
+            "bundle throughput {tput:.1} collapsed (fair {fair:.1})"
+        );
+        assert!(
+            tput < 1.3 * fair,
+            "bundle throughput {tput:.1} implausibly high (fair {fair:.1})"
+        );
     }
 
     #[test]

@@ -50,8 +50,16 @@ pub struct EstimationScenario {
 impl Default for EstimationScenario {
     fn default() -> Self {
         EstimationScenario {
-            rtts: vec![Duration::from_millis(20), Duration::from_millis(50), Duration::from_millis(100)],
-            rates: vec![Rate::from_mbps(24), Rate::from_mbps(48), Rate::from_mbps(96)],
+            rtts: vec![
+                Duration::from_millis(20),
+                Duration::from_millis(50),
+                Duration::from_millis(100),
+            ],
+            rates: vec![
+                Rate::from_mbps(24),
+                Rate::from_mbps(48),
+                Rate::from_mbps(96),
+            ],
             seeds_per_combination: 2,
             duration: Duration::from_secs(20),
         }
@@ -89,7 +97,7 @@ impl EstimationScenario {
         let mut t = Nanos::ZERO;
         let mut id = 0u64;
         while t < Nanos::ZERO + self.duration {
-            t = t + arrivals.next_gap(&mut rng);
+            t += arrivals.next_gap(&mut rng);
             specs.push(FlowSpec::bundled(id, dist.sample(&mut rng), t, 0));
             id += 1;
         }
@@ -111,8 +119,10 @@ impl EstimationScenario {
             }
         }
         let mut rate_error_mbps = Vec::new();
-        for (i, &(t, est)) in
-            report.bundle_recv_rate_estimate_mbps[0].samples.iter().enumerate()
+        for (i, &(t, est)) in report.bundle_recv_rate_estimate_mbps[0]
+            .samples
+            .iter()
+            .enumerate()
         {
             if t < warmup {
                 continue;
@@ -121,7 +131,12 @@ impl EstimationScenario {
                 rate_error_mbps.push(est - actual);
             }
         }
-        EstimationErrors { rtt, rate, rtt_error_ms, rate_error_mbps }
+        EstimationErrors {
+            rtt,
+            rate,
+            rtt_error_ms,
+            rate_error_mbps,
+        }
     }
 
     /// Runs the whole sweep.
@@ -155,13 +170,23 @@ pub struct ErrorSummary {
 /// Summarizes a set of signed errors against a tolerance on |error|.
 pub fn summarize_errors(errors: &[f64], tolerance: f64) -> ErrorSummary {
     if errors.is_empty() {
-        return ErrorSummary { samples: 0, within_tolerance: 0.0, median_abs: 0.0, p90_abs: 0.0 };
+        return ErrorSummary {
+            samples: 0,
+            within_tolerance: 0.0,
+            median_abs: 0.0,
+            p90_abs: 0.0,
+        };
     }
     let mut abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
     let within = abs.iter().filter(|&&e| e <= tolerance).count() as f64 / abs.len() as f64;
     let median = quantile(&mut abs, 0.5).unwrap_or(0.0);
     let p90 = quantile(&mut abs, 0.9).unwrap_or(0.0);
-    ErrorSummary { samples: errors.len(), within_tolerance: within, median_abs: median, p90_abs: p90 }
+    ErrorSummary {
+        samples: errors.len(),
+        within_tolerance: within,
+        median_abs: median,
+        p90_abs: p90,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +211,11 @@ mod tests {
         let errors = EstimationScenario::quick().run();
         assert_eq!(errors.len(), 1);
         let e = &errors[0];
-        assert!(e.rtt_error_ms.len() > 100, "need many RTT samples, got {}", e.rtt_error_ms.len());
+        assert!(
+            e.rtt_error_ms.len() > 100,
+            "need many RTT samples, got {}",
+            e.rtt_error_ms.len()
+        );
         assert!(e.rate_error_mbps.len() > 100);
         let rtt_summary = summarize_errors(&e.rtt_error_ms, 5.0);
         assert!(

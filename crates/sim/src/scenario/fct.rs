@@ -182,7 +182,7 @@ impl FctScenario {
         let mut specs = Vec::with_capacity(b.requests);
         let mut t = Nanos::ZERO;
         for i in 0..b.requests {
-            t = t + arrivals.next_gap(&mut rng);
+            t += arrivals.next_gap(&mut rng);
             let size = b.dist.sample(&mut rng);
             let class = if rng.gen::<f64>() < b.high_priority_fraction {
                 TrafficClass::HIGH
@@ -229,12 +229,14 @@ impl FctScenario {
         let (bundle_mode, in_network) = match b.mode {
             SendboxMode::StatusQuo => (BundleMode::StatusQuo, false),
             SendboxMode::InNetwork => (BundleMode::StatusQuo, true),
-            SendboxMode::BundlerSfq => {
-                (BundleMode::Bundler(bundler_cfg(Policy::Sfq, default_alg)), false)
-            }
-            SendboxMode::BundlerFifo => {
-                (BundleMode::Bundler(bundler_cfg(Policy::Fifo, default_alg)), false)
-            }
+            SendboxMode::BundlerSfq => (
+                BundleMode::Bundler(bundler_cfg(Policy::Sfq, default_alg)),
+                false,
+            ),
+            SendboxMode::BundlerFifo => (
+                BundleMode::Bundler(bundler_cfg(Policy::Fifo, default_alg)),
+                false,
+            ),
             SendboxMode::BundlerPolicy(p) => {
                 (BundleMode::Bundler(bundler_cfg(p, default_alg)), false)
             }
@@ -284,14 +286,29 @@ mod tests {
     #[test]
     fn mode_labels() {
         assert_eq!(SendboxMode::StatusQuo.label(), "status-quo");
-        assert_eq!(SendboxMode::BundlerPolicy(Policy::FqCodel).label(), "bundler-fq_codel");
-        assert_eq!(SendboxMode::BundlerAlg(BundleAlg::Bbr).label(), "bundler-sfq-bbr");
+        assert_eq!(
+            SendboxMode::BundlerPolicy(Policy::FqCodel).label(),
+            "bundler-fq_codel"
+        );
+        assert_eq!(
+            SendboxMode::BundlerAlg(BundleAlg::Bbr).label(),
+            "bundler-sfq-bbr"
+        );
     }
 
     #[test]
     fn small_run_completes_most_requests() {
-        let report = FctScenario::builder().requests(300).seed(7).mode(SendboxMode::StatusQuo).build().run();
-        assert!(report.completed >= 280, "completed {} of 300", report.completed);
+        let report = FctScenario::builder()
+            .requests(300)
+            .seed(7)
+            .mode(SendboxMode::StatusQuo)
+            .build()
+            .run();
+        assert!(
+            report.completed >= 280,
+            "completed {} of 300",
+            report.completed
+        );
         assert!(report.median_slowdown().unwrap() >= 1.0);
     }
 
@@ -328,8 +345,19 @@ mod tests {
 
     #[test]
     fn high_priority_marking_is_applied() {
-        let s = FctScenario::builder().requests(200).high_priority_fraction(0.5).seed(1).build();
-        let marked = s.workload().iter().filter(|f| f.class == TrafficClass::HIGH).count();
-        assert!((60..140).contains(&marked), "about half should be high priority, got {marked}");
+        let s = FctScenario::builder()
+            .requests(200)
+            .high_priority_fraction(0.5)
+            .seed(1)
+            .build();
+        let marked = s
+            .workload()
+            .iter()
+            .filter(|f| f.class == TrafficClass::HIGH)
+            .count();
+        assert!(
+            (60..140).contains(&marked),
+            "about half should be high priority, got {marked}"
+        );
     }
 }

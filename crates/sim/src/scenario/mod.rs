@@ -11,9 +11,11 @@
 //! | [`multipath`] | Figure 7 & §7.6 — out-of-order fraction under imbalanced paths |
 //! | [`fct`] | Figures 9, 14, 15 and the §7.2/§7.4 tables — FCT/slowdown comparisons |
 //! | [`cross_traffic`] | Figures 10–13 — behaviour under cross traffic and competing bundles |
+//! | [`many_sites`] | Beyond the paper: one site edge driving K bundles through the `bundler-agent` control plane |
 
 pub mod cross_traffic;
 pub mod estimation;
 pub mod fct;
+pub mod many_sites;
 pub mod multipath;
 pub mod queue_shift;

@@ -70,14 +70,16 @@ impl MultipathScenario {
             bottleneck_rate: self.rate,
             rtt: self.rtt,
             num_paths: self.paths,
-            path_delay_spread: if self.paths > 1 { self.delay_spread } else { Duration::ZERO },
+            path_delay_spread: if self.paths > 1 {
+                self.delay_spread
+            } else {
+                Duration::ZERO
+            },
             bundles: vec![BundleMode::Bundler(BundlerConfig::default())],
             ..Default::default()
         };
         let workload: Vec<FlowSpec> = (0..self.flows as u64)
-            .map(|i| {
-                FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 20), 0)
-            })
+            .map(|i| FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 20), 0))
             .collect();
         let report = Simulation::new(config, workload).run();
         let frac = report.out_of_order_fraction[0];
@@ -138,7 +140,10 @@ mod tests {
             "single path should be (almost) perfectly ordered, got {}",
             point.out_of_order_fraction
         );
-        assert!(!point.disabled, "Bundler must stay enabled on a single path");
+        assert!(
+            !point.disabled,
+            "Bundler must stay enabled on a single path"
+        );
     }
 
     #[test]
@@ -155,7 +160,10 @@ mod tests {
             "imbalanced multipath should exceed the 5% threshold, got {}",
             point.out_of_order_fraction
         );
-        assert!(point.disabled, "Bundler should disable itself under imbalanced multipath");
+        assert!(
+            point.disabled,
+            "Bundler should disable itself under imbalanced multipath"
+        );
     }
 
     #[test]

@@ -104,12 +104,16 @@ impl QueueShiftResult {
 
     /// Mean bottleneck queue delay (ms) after warm-up, with Bundler.
     pub fn mean_bundler_bottleneck_ms(&self) -> f64 {
-        self.bundler_bottleneck_ms.mean_between(Nanos::from_secs(5), Nanos::MAX).unwrap_or(0.0)
+        self.bundler_bottleneck_ms
+            .mean_between(Nanos::from_secs(5), Nanos::MAX)
+            .unwrap_or(0.0)
     }
 
     /// Mean sendbox queue delay (ms) after warm-up, with Bundler.
     pub fn mean_bundler_sendbox_ms(&self) -> f64 {
-        self.bundler_sendbox_ms.mean_between(Nanos::from_secs(5), Nanos::MAX).unwrap_or(0.0)
+        self.bundler_sendbox_ms
+            .mean_between(Nanos::from_secs(5), Nanos::MAX)
+            .unwrap_or(0.0)
     }
 
     /// True if the queue moved: the sendbox now holds (most of) the queue

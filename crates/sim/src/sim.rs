@@ -8,7 +8,7 @@ use bundler_sched::tbf::Release;
 use bundler_sched::Policy;
 use bundler_types::{flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketKind, Rate};
 
-use crate::edge::{Bundle, BundleMode};
+use crate::edge::{Bundle, BundleMode, MultiBundle, MultiBundleSpec};
 use crate::event::{Event, EventQueue};
 use crate::path::{Balancing, BottleneckPath, LoadBalancer};
 use crate::stats::{FctRecord, SimReport, TimeSeries};
@@ -38,8 +38,22 @@ pub struct SimulationConfig {
     pub in_network_fq: bool,
     /// One entry per bundle index used by the workload.
     pub bundles: Vec<BundleMode>,
+    /// When set, the source site edge is a [`MultiBundle`] agent managing
+    /// one bundle per spec behind a destination-prefix classifier, and
+    /// `bundles` is ignored. Workload origins must still name bundle
+    /// indices consistent with the specs' prefixes.
+    pub multi_bundle: Option<MultiBundleMode>,
     /// Interval between statistics samples.
     pub sample_interval: Duration,
+}
+
+/// Configuration of a [`MultiBundle`] source edge.
+#[derive(Debug, Clone)]
+pub struct MultiBundleMode {
+    /// Agent-wide tunables (tick-wheel quantum).
+    pub agent: bundler_agent::AgentConfig,
+    /// One bundle per remote site: its prefixes and Bundler configuration.
+    pub specs: Vec<MultiBundleSpec>,
 }
 
 impl Default for SimulationConfig {
@@ -54,6 +68,7 @@ impl Default for SimulationConfig {
             packet_spraying: false,
             in_network_fq: false,
             bundles: vec![BundleMode::StatusQuo],
+            multi_bundle: None,
             sample_interval: Duration::from_millis(50),
         }
     }
@@ -89,6 +104,7 @@ pub struct Simulation {
     paths: Vec<BottleneckPath>,
     lb: LoadBalancer,
     bundles: Vec<Option<Bundle>>,
+    multi: Option<MultiBundle>,
     flows: HashMap<FlowId, FlowState>,
     pings: HashMap<FlowId, PingClient>,
     ping_origin: HashMap<FlowId, Origin>,
@@ -116,35 +132,45 @@ impl Simulation {
             let extra = Duration(config.path_delay_spread.as_nanos() * i as u64);
             let delay = forward_delay + extra;
             let path = if config.in_network_fq {
-                BottleneckPath::with_queue(
-                    per_path_rate,
-                    delay,
-                    Policy::FairQueue.build(buffer),
-                )
+                BottleneckPath::with_queue(per_path_rate, delay, Policy::FairQueue.build(buffer))
             } else {
                 BottleneckPath::drop_tail(per_path_rate, delay, buffer)
             };
             paths.push(path);
         }
-        let balancing =
-            if config.packet_spraying { Balancing::PacketRoundRobin } else { Balancing::FlowHash };
+        let balancing = if config.packet_spraying {
+            Balancing::PacketRoundRobin
+        } else {
+            Balancing::FlowHash
+        };
         let lb = LoadBalancer::new(config.num_paths.max(1), balancing);
 
-        let mut bundles = Vec::new();
-        for (i, mode) in config.bundles.iter().enumerate() {
-            match mode {
-                BundleMode::StatusQuo => bundles.push(None),
-                BundleMode::Bundler(cfg) => bundles.push(Some(
-                    Bundle::new(i, *cfg, Nanos::ZERO).expect("invalid bundler config"),
-                )),
+        let (bundles, multi) = match &config.multi_bundle {
+            Some(mode) => {
+                let edge = MultiBundle::new(mode.agent, &mode.specs, Nanos::ZERO)
+                    .expect("invalid multi-bundle specs");
+                (Vec::new(), Some(edge))
             }
-        }
+            None => {
+                let mut bundles = Vec::new();
+                for (i, mode) in config.bundles.iter().enumerate() {
+                    match mode {
+                        BundleMode::StatusQuo => bundles.push(None),
+                        BundleMode::Bundler(cfg) => bundles.push(Some(
+                            Bundle::new(i, *cfg, Nanos::ZERO).expect("invalid bundler config"),
+                        )),
+                    }
+                }
+                (bundles, None)
+            }
+        };
 
         let mut queue = EventQueue::new();
         for spec in workload {
             queue.schedule(spec.start, Event::FlowArrival(spec));
         }
-        // Control ticks for each active bundle.
+        // Control ticks: per-bundle events in the classic mode, one batched
+        // agent event driven by the timer wheel in multi-bundle mode.
         for (i, b) in bundles.iter().enumerate() {
             if let Some(bundle) = b {
                 queue.schedule(
@@ -153,19 +179,24 @@ impl Simulation {
                 );
             }
         }
+        if let Some(at) = multi.as_ref().and_then(|m| m.next_tick_at()) {
+            queue.schedule(at, Event::AgentTick);
+        }
         queue.schedule(Nanos::ZERO + config.sample_interval, Event::Sample);
         queue.schedule(Nanos::ZERO + config.duration, Event::End);
 
-        let n_bundles = bundles.len();
-        let mut report = SimReport::default();
-        report.sendbox_queue_delay_ms = vec![TimeSeries::new(); n_bundles];
-        report.bundle_throughput_mbps = vec![TimeSeries::new(); n_bundles];
-        report.bundle_rtt_estimate_ms = vec![TimeSeries::new(); n_bundles];
-        report.bundle_recv_rate_estimate_mbps = vec![TimeSeries::new(); n_bundles];
-        report.bundle_pacing_rate_mbps = vec![TimeSeries::new(); n_bundles];
-        report.mode_timeline = vec![Vec::new(); n_bundles];
-        report.out_of_order_fraction = vec![0.0; n_bundles];
-        report.ping_rtts_ms = vec![Vec::new(); n_bundles];
+        let n_bundles = multi.as_ref().map(|m| m.len()).unwrap_or(bundles.len());
+        let report = SimReport {
+            sendbox_queue_delay_ms: vec![TimeSeries::new(); n_bundles],
+            bundle_throughput_mbps: vec![TimeSeries::new(); n_bundles],
+            bundle_rtt_estimate_ms: vec![TimeSeries::new(); n_bundles],
+            bundle_recv_rate_estimate_mbps: vec![TimeSeries::new(); n_bundles],
+            bundle_pacing_rate_mbps: vec![TimeSeries::new(); n_bundles],
+            mode_timeline: vec![Vec::new(); n_bundles],
+            out_of_order_fraction: vec![0.0; n_bundles],
+            ping_rtts_ms: vec![Vec::new(); n_bundles],
+            ..Default::default()
+        };
 
         Simulation {
             bundle_delivered: vec![0; n_bundles],
@@ -175,6 +206,7 @@ impl Simulation {
             paths,
             lb,
             bundles,
+            multi,
             flows: HashMap::new(),
             pings: HashMap::new(),
             ping_origin: HashMap::new(),
@@ -232,14 +264,24 @@ impl Simulation {
             if let Some(bundle) = b {
                 self.report.sendbox_queue_delay_ms[i] = bundle.queue_delay_ms.clone();
                 self.report.mode_timeline[i] = bundle.mode_timeline.clone();
-                self.report.out_of_order_fraction[i] =
-                    bundle.control.out_of_order_fraction();
+                self.report.out_of_order_fraction[i] = bundle.control.out_of_order_fraction();
             }
+        }
+        if let Some(multi) = self.multi.as_ref() {
+            for i in 0..multi.len() {
+                self.report.sendbox_queue_delay_ms[i] = multi.queue_delay_ms[i].clone();
+                self.report.mode_timeline[i] = multi.mode_timeline[i].clone();
+                self.report.out_of_order_fraction[i] = multi
+                    .sendbox(i)
+                    .map(|s| s.out_of_order_fraction())
+                    .unwrap_or(0.0);
+            }
+            self.report.agent_telemetry = Some(multi.agent.snapshots());
+            self.report.agent_stats = Some(multi.agent.stats());
         }
         for (id, ping) in &self.pings {
             if let Some(Origin::Bundle(b)) = self.ping_origin.get(id) {
-                self.report.ping_rtts_ms[*b]
-                    .extend(ping.rtts.iter().map(|d| d.as_millis_f64()));
+                self.report.ping_rtts_ms[*b].extend(ping.rtts.iter().map(|d| d.as_millis_f64()));
             }
         }
         self.report
@@ -257,16 +299,21 @@ impl Simulation {
             Event::ArriveDestination { pkt } => self.on_arrive_destination(pkt, now),
             Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now),
             Event::CongestionAckArrive { bundle, ack } => {
-                if let Some(Some(b)) = self.bundles.get_mut(bundle) {
+                if let Some(multi) = self.multi.as_mut() {
+                    multi.on_congestion_ack(&ack, now);
+                } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
                     b.on_congestion_ack(&ack, now);
                 }
             }
             Event::EpochUpdateArrive { bundle, update } => {
-                if let Some(Some(b)) = self.bundles.get_mut(bundle) {
+                if let Some(multi) = self.multi.as_mut() {
+                    multi.on_epoch_update(bundle, &update);
+                } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
                     b.receivebox.on_epoch_update(&update);
                 }
             }
             Event::SendboxTick { bundle } => self.on_sendbox_tick(bundle, now),
+            Event::AgentTick => self.on_agent_tick(now),
             Event::SendboxRelease { bundle } => self.on_sendbox_release(bundle, now),
             Event::RtoCheck { flow } => self.on_rto_check(flow, now),
             Event::Sample => self.on_sample(now),
@@ -306,18 +353,41 @@ impl Simulation {
             recorded: false,
         };
         self.flows.insert(spec.id, state);
-        let pkts = self.flows.get_mut(&spec.id).expect("just inserted").sender.maybe_send(now);
+        let pkts = self
+            .flows
+            .get_mut(&spec.id)
+            .expect("just inserted")
+            .sender
+            .maybe_send(now);
         for p in pkts {
             self.route_forward(p, now);
         }
-        self.queue
-            .schedule(now + Duration::from_millis(1000), Event::RtoCheck { flow: spec.id });
+        self.queue.schedule(
+            now + Duration::from_millis(1000),
+            Event::RtoCheck { flow: spec.id },
+        );
     }
 
     /// Routes a forward-direction (source-site to destination-site) packet:
     /// through the bundle's sendbox if one is deployed, else directly to the
-    /// bottleneck.
+    /// bottleneck. A multi-bundle edge picks the bundle by longest-prefix
+    /// match on the destination address instead of by flow bookkeeping —
+    /// exactly what a real site edge does.
     fn route_forward(&mut self, pkt: Packet, now: Nanos) {
+        if let Some(multi) = self.multi.as_mut() {
+            match multi.classify(&pkt) {
+                Some(b) => {
+                    multi.enqueue(b, pkt, now);
+                    if !multi.release_scheduled[b] {
+                        multi.release_scheduled[b] = true;
+                        self.queue
+                            .schedule(now, Event::SendboxRelease { bundle: b });
+                    }
+                }
+                None => self.send_to_bottleneck(pkt, now),
+            }
+            return;
+        }
         let origin = self
             .flows
             .get(&pkt.flow)
@@ -330,7 +400,8 @@ impl Simulation {
                 bundle.enqueue(pkt, now);
                 if !bundle.release_scheduled {
                     bundle.release_scheduled = true;
-                    self.queue.schedule(now, Event::SendboxRelease { bundle: b });
+                    self.queue
+                        .schedule(now, Event::SendboxRelease { bundle: b });
                 }
             }
             _ => self.send_to_bottleneck(pkt, now),
@@ -339,7 +410,8 @@ impl Simulation {
 
     fn send_to_bottleneck(&mut self, pkt: Packet, now: Nanos) {
         let path = self.lb.pick(&pkt);
-        self.queue.schedule(now, Event::ArriveBottleneck { path, pkt });
+        self.queue
+            .schedule(now, Event::ArriveBottleneck { path, pkt });
     }
 
     fn kick_path(&mut self, path: usize, now: Nanos) {
@@ -355,7 +427,8 @@ impl Simulation {
     fn on_path_dequeue(&mut self, path: usize, now: Nanos) {
         self.paths[path].dequeue_scheduled = false;
         if let Some((pkt, delivered_at, link_free)) = self.paths[path].try_transmit(now) {
-            self.queue.schedule(delivered_at, Event::ArriveDestination { pkt });
+            self.queue
+                .schedule(delivered_at, Event::ArriveDestination { pkt });
             if self.paths[path].queue_len() > 0 {
                 self.paths[path].dequeue_scheduled = true;
                 self.queue.schedule(link_free, Event::PathDequeue { path });
@@ -377,9 +450,25 @@ impl Simulation {
             .unwrap_or(Origin::Direct);
 
         // The receivebox observes every bundled data packet arriving at the
-        // destination site.
+        // destination site (each bundle's remote site has its own).
         if let Origin::Bundle(b) = origin {
-            if let Some(Some(bundle)) = self.bundles.get_mut(b) {
+            if let Some(multi) = self.multi.as_mut() {
+                // Pick the receivebox by the destination address, exactly as
+                // the send side classified: a packet that missed the prefix
+                // table there (and travelled outside the bundle) must not
+                // produce congestion ACKs for a sendbox that never saw it.
+                if let Some(dst_bundle) = multi.agent.classify(&pkt.key) {
+                    if let Some(ack) = multi.receivebox_on_packet(dst_bundle, &pkt, now) {
+                        self.queue.schedule(
+                            now + self.reverse_delay,
+                            Event::CongestionAckArrive {
+                                bundle: dst_bundle,
+                                ack,
+                            },
+                        );
+                    }
+                }
+            } else if let Some(Some(bundle)) = self.bundles.get_mut(b) {
                 if let Some(ack) = bundle.receivebox.on_packet(&pkt, now) {
                     self.queue.schedule(
                         now + self.reverse_delay,
@@ -402,7 +491,10 @@ impl Simulation {
                 kind: PacketKind::Ack,
                 ..pkt
             };
-            self.queue.schedule(now + self.reverse_delay, Event::ArriveSource { pkt: response });
+            self.queue.schedule(
+                now + self.reverse_delay,
+                Event::ArriveSource { pkt: response },
+            );
             return;
         }
         if let Some(flow) = self.flows.get_mut(&pkt.flow) {
@@ -412,7 +504,8 @@ impl Simulation {
             // receiver state would make ordinary pipelining look like loss.
             let ack = Packet::ack(pkt.flow, pkt.key.reversed(), ack_seq, now)
                 .with_sack_highest(flow.receiver.highest_received());
-            self.queue.schedule(now + self.reverse_delay, Event::ArriveSource { pkt: ack });
+            self.queue
+                .schedule(now + self.reverse_delay, Event::ArriveSource { pkt: ack });
         }
     }
 
@@ -431,7 +524,13 @@ impl Simulation {
                 if completed {
                     flow.recorded = true;
                 }
-                (pkts, completed, flow.origin, flow.size_bytes, flow.sender.started)
+                (
+                    pkts,
+                    completed,
+                    flow.origin,
+                    flow.size_bytes,
+                    flow.sender.started,
+                )
             }
             None => return,
         };
@@ -482,11 +581,61 @@ impl Simulation {
             b.release_scheduled = true;
             self.queue.schedule(now, Event::SendboxRelease { bundle });
         }
-        self.queue.schedule(now + interval, Event::SendboxTick { bundle });
+        self.queue
+            .schedule(now + interval, Event::SendboxTick { bundle });
+    }
+
+    /// One batched control tick of the multi-bundle agent: runs every due
+    /// bundle's tick off the timer wheel, delivers any epoch updates, kicks
+    /// releases for bundles whose new rate may free packets, and schedules
+    /// the next wheel deadline.
+    fn on_agent_tick(&mut self, now: Nanos) {
+        let multi = match self.multi.as_mut() {
+            Some(m) => m,
+            None => return,
+        };
+        for (bundle, update) in multi.advance(now) {
+            if let Some(update) = update {
+                self.queue.schedule(
+                    now + self.forward_delay,
+                    Event::EpochUpdateArrive { bundle, update },
+                );
+            }
+            if !multi.release_scheduled[bundle] && !multi.queue_is_empty(bundle) {
+                multi.release_scheduled[bundle] = true;
+                self.queue.schedule(now, Event::SendboxRelease { bundle });
+            }
+        }
+        if let Some(at) = multi.next_tick_at() {
+            self.queue.schedule(at, Event::AgentTick);
+        }
+    }
+
+    fn on_multi_release(&mut self, bundle: usize, now: Nanos) {
+        let multi = match self.multi.as_mut() {
+            Some(m) => m,
+            None => return,
+        };
+        multi.release_scheduled[bundle] = false;
+        let (released, reschedule) = drain_release_burst(|t| multi.try_release(bundle, t), now);
+        if reschedule.is_some() {
+            multi.release_scheduled[bundle] = true;
+        }
+        for pkt in released {
+            self.send_to_bottleneck(pkt, now);
+        }
+        if let Some(d) = reschedule {
+            self.queue
+                .schedule(now + d, Event::SendboxRelease { bundle });
+        }
     }
 
     fn on_sendbox_release(&mut self, bundle: usize, now: Nanos) {
-        let mut released = Vec::new();
+        if self.multi.is_some() {
+            self.on_multi_release(bundle, now);
+            return;
+        }
+        let released;
         let reschedule;
         {
             let b = match self.bundles.get_mut(bundle) {
@@ -494,27 +643,7 @@ impl Simulation {
                 _ => return,
             };
             b.release_scheduled = false;
-            loop {
-                match b.try_release(now) {
-                    Release::Packet(pkt) => {
-                        released.push(pkt);
-                        // Release in bursts of at most 64 packets per event
-                        // to keep single events bounded.
-                        if released.len() >= 64 {
-                            reschedule = Some(Duration::ZERO);
-                            break;
-                        }
-                    }
-                    Release::Wait(d) => {
-                        reschedule = Some(d.max(Duration::from_micros(10)));
-                        break;
-                    }
-                    Release::Empty => {
-                        reschedule = None;
-                        break;
-                    }
-                }
-            }
+            (released, reschedule) = drain_release_burst(|t| b.try_release(t), now);
             if reschedule.is_some() {
                 b.release_scheduled = true;
             }
@@ -523,7 +652,8 @@ impl Simulation {
             self.send_to_bottleneck(pkt, now);
         }
         if let Some(d) = reschedule {
-            self.queue.schedule(now + d, Event::SendboxRelease { bundle });
+            self.queue
+                .schedule(now + d, Event::SendboxRelease { bundle });
         }
     }
 
@@ -571,7 +701,9 @@ impl Simulation {
             .map(|p| p.queue_delay().as_millis_f64())
             .sum::<f64>()
             / self.paths.len().max(1) as f64;
-        self.report.actual_rtt_ms.push(now, self.config.rtt.as_millis_f64() + queue_delay_ms);
+        self.report
+            .actual_rtt_ms
+            .push(now, self.config.rtt.as_millis_f64() + queue_delay_ms);
         for (i, b) in self.bundles.iter_mut().enumerate() {
             if let Some(bundle) = b {
                 bundle.sample_queue_delay(now);
@@ -583,18 +715,41 @@ impl Simulation {
                 }
             }
         }
-        self.queue.schedule(now + self.config.sample_interval, Event::Sample);
+        if let Some(multi) = self.multi.as_mut() {
+            multi.sample_queue_delays(now);
+            for i in 0..multi.len() {
+                self.report.bundle_pacing_rate_mbps[i].push(now, multi.rate(i).as_mbps_f64());
+                if let Some(m) = multi.sendbox(i).and_then(|s| s.last_measurement()) {
+                    self.report.bundle_rtt_estimate_ms[i].push(now, m.rtt.as_millis_f64());
+                    self.report.bundle_recv_rate_estimate_mbps[i]
+                        .push(now, m.recv_rate.as_mbps_f64());
+                }
+            }
+        }
+        self.queue
+            .schedule(now + self.config.sample_interval, Event::Sample);
     }
 
     /// Convenience accessor used by tests: the sendbox control plane of a
     /// bundle, if it is deployed.
     pub fn bundle_control(&self, bundle: usize) -> Option<&bundler_core::Sendbox> {
-        self.bundles.get(bundle).and_then(|b| b.as_ref()).map(|b| &b.control)
+        self.bundles
+            .get(bundle)
+            .and_then(|b| b.as_ref())
+            .map(|b| &b.control)
     }
 
     /// Convenience accessor: the receivebox of a bundle, if deployed.
     pub fn bundle_receivebox(&self, bundle: usize) -> Option<&bundler_core::Receivebox> {
-        self.bundles.get(bundle).and_then(|b| b.as_ref()).map(|b| &b.receivebox)
+        self.bundles
+            .get(bundle)
+            .and_then(|b| b.as_ref())
+            .map(|b| &b.receivebox)
+    }
+
+    /// The multi-bundle site edge, if this run uses one.
+    pub fn multi_bundle(&self) -> Option<&MultiBundle> {
+        self.multi.as_ref()
     }
 
     /// Bundle id type helper (exposed for integration tests).
@@ -603,147 +758,29 @@ impl Simulation {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::workload::FlowSpec;
-    use bundler_core::BundlerConfig;
-
-    fn single_flow_config(bundler: bool) -> SimulationConfig {
-        SimulationConfig {
-            duration: Duration::from_secs(12),
-            bottleneck_rate: Rate::from_mbps(24),
-            rtt: Duration::from_millis(50),
-            bundles: vec![if bundler {
-                BundleMode::Bundler(BundlerConfig::default())
-            } else {
-                BundleMode::StatusQuo
-            }],
-            ..Default::default()
+/// Drains one release burst from a sendbox datapath: up to 64 packets per
+/// event (to keep single events bounded), returning the released packets
+/// and the delay after which to schedule the next release event (`None`
+/// when the queue emptied). Shared by the single-bundle and multi-bundle
+/// paths so both pace identically.
+fn drain_release_burst(
+    mut try_release: impl FnMut(Nanos) -> Release,
+    now: Nanos,
+) -> (Vec<Packet>, Option<Duration>) {
+    let mut released = Vec::new();
+    let reschedule = loop {
+        match try_release(now) {
+            Release::Packet(pkt) => {
+                released.push(pkt);
+                if released.len() >= 64 {
+                    break Some(Duration::ZERO);
+                }
+            }
+            Release::Wait(d) => break Some(d.max(Duration::from_micros(10))),
+            Release::Empty => break None,
         }
-    }
-
-    #[test]
-    fn single_flow_completes_and_uses_most_of_the_link() {
-        // A 6 MB transfer over a 24 Mbit/s, 50 ms path takes ~2.2 s of pure
-        // serialization; allow generous slack for slow start and recovery.
-        let workload = vec![FlowSpec::bundled(1, 6_000_000, Nanos::ZERO, 0)];
-        let report = Simulation::new(single_flow_config(false), workload).run();
-        assert_eq!(report.completed, 1, "flow must finish (unfinished={})", report.unfinished);
-        let fct = report.fcts[0].fct;
-        assert!(fct >= Duration::from_secs(2), "fct {fct} suspiciously fast");
-        assert!(fct <= Duration::from_secs(10), "fct {fct} too slow");
-    }
-
-    #[test]
-    fn single_flow_with_bundler_also_completes() {
-        let workload = vec![FlowSpec::bundled(1, 6_000_000, Nanos::ZERO, 0)];
-        let report = Simulation::new(single_flow_config(true), workload).run();
-        assert_eq!(report.completed, 1, "flow must finish under Bundler");
-        let fct = report.fcts[0].fct;
-        assert!(fct <= Duration::from_secs(11), "fct {fct} too slow under Bundler");
-    }
-
-    #[test]
-    fn bundler_shifts_queue_from_bottleneck_to_sendbox() {
-        // One backlogged flow. Without Bundler the bottleneck FIFO holds the
-        // queue; with Bundler the sendbox does.
-        let mk_workload = || vec![FlowSpec::bundled(1, FlowSpec::BACKLOGGED, Nanos::ZERO, 0)];
-        let mut quo_cfg = single_flow_config(false);
-        quo_cfg.duration = Duration::from_secs(20);
-        let quo = Simulation::new(quo_cfg, mk_workload()).run();
-        let mut bundler_cfg = single_flow_config(true);
-        bundler_cfg.duration = Duration::from_secs(20);
-        let bun = Simulation::new(bundler_cfg, mk_workload()).run();
-
-        let late = Nanos::from_secs(10);
-        let quo_bottleneck =
-            quo.bottleneck_queue_delay_ms.mean_between(late, Nanos::MAX).unwrap_or(0.0);
-        let bun_bottleneck =
-            bun.bottleneck_queue_delay_ms.mean_between(late, Nanos::MAX).unwrap_or(0.0);
-        let bun_sendbox =
-            bun.sendbox_queue_delay_ms[0].mean_between(late, Nanos::MAX).unwrap_or(0.0);
-        assert!(
-            quo_bottleneck > 20.0,
-            "status quo should build a large bottleneck queue, got {quo_bottleneck:.1} ms"
-        );
-        assert!(
-            bun_bottleneck < quo_bottleneck / 2.0,
-            "Bundler should shrink the bottleneck queue: {bun_bottleneck:.1} vs {quo_bottleneck:.1} ms"
-        );
-        assert!(
-            bun_sendbox > bun_bottleneck,
-            "the queue should now live at the sendbox ({bun_sendbox:.1} ms vs {bun_bottleneck:.1} ms)"
-        );
-        // Throughput must not collapse: the backlogged flow should still get
-        // the majority of the 24 Mbit/s link.
-        let tput = bun.mean_bundle_throughput_mbps(0).unwrap_or(0.0);
-        assert!(tput > 12.0, "bundle throughput {tput:.1} Mbit/s too low");
-    }
-
-    #[test]
-    fn ping_flows_record_rtts() {
-        let mut cfg = single_flow_config(false);
-        cfg.duration = Duration::from_secs(2);
-        let workload = vec![FlowSpec::bundled(7, 40, Nanos::ZERO, 0).as_ping()];
-        let report = Simulation::new(cfg, workload).run();
-        let rtts = &report.ping_rtts_ms[0];
-        assert!(rtts.len() > 10, "closed-loop pings should cycle many times, got {}", rtts.len());
-        // Base RTT is 50 ms plus a tiny serialization delay.
-        assert!(rtts.iter().all(|&r| r >= 49.0), "RTT below propagation delay?");
-        assert!(rtts[0] < 60.0);
-    }
-
-    #[test]
-    fn cross_traffic_is_not_attributed_to_bundles() {
-        let mut cfg = single_flow_config(false);
-        cfg.duration = Duration::from_secs(5);
-        let workload = vec![
-            FlowSpec::bundled(1, 100_000, Nanos::ZERO, 0),
-            FlowSpec::direct(2, 100_000, Nanos::ZERO),
-        ];
-        let report = Simulation::new(cfg, workload).run();
-        assert_eq!(report.completed, 2);
-        let bundled: Vec<_> = report.fcts.iter().filter(|f| f.bundle.is_some()).collect();
-        assert_eq!(bundled.len(), 1);
-    }
-
-    #[test]
-    fn deterministic_given_same_inputs() {
-        let workload = || {
-            vec![
-                FlowSpec::bundled(1, 500_000, Nanos::ZERO, 0),
-                FlowSpec::bundled(2, 20_000, Nanos::from_millis(100), 0),
-                FlowSpec::direct(3, 200_000, Nanos::from_millis(50)),
-            ]
-        };
-        let mut cfg = single_flow_config(true);
-        cfg.duration = Duration::from_secs(5);
-        let a = Simulation::new(cfg.clone(), workload()).run();
-        let b = Simulation::new(cfg, workload()).run();
-        assert_eq!(a.completed, b.completed);
-        let fct_a: Vec<u64> = a.fcts.iter().map(|f| f.fct.as_nanos()).collect();
-        let fct_b: Vec<u64> = b.fcts.iter().map(|f| f.fct.as_nanos()).collect();
-        assert_eq!(fct_a, fct_b, "simulation must be deterministic");
-    }
-
-    #[test]
-    fn multipath_spread_produces_out_of_order_measurements() {
-        let mut cfg = single_flow_config(true);
-        cfg.duration = Duration::from_secs(15);
-        cfg.num_paths = 4;
-        cfg.path_delay_spread = Duration::from_millis(30);
-        // Many flows so the load balancer actually uses several paths.
-        let workload: Vec<FlowSpec> = (0..24)
-            .map(|i| FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 10), 0))
-            .collect();
-        let report = Simulation::new(cfg, workload).run();
-        assert!(
-            report.out_of_order_fraction[0] > 0.05,
-            "imbalanced paths should cause out-of-order measurements, got {}",
-            report.out_of_order_fraction[0]
-        );
-    }
+    };
+    (released, reschedule)
 }
 
 impl Simulation {
@@ -796,5 +833,167 @@ impl Simulation {
             })
             .collect::<Vec<_>>()
             .join(" ; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FlowSpec;
+    use bundler_core::BundlerConfig;
+
+    fn single_flow_config(bundler: bool) -> SimulationConfig {
+        SimulationConfig {
+            duration: Duration::from_secs(12),
+            bottleneck_rate: Rate::from_mbps(24),
+            rtt: Duration::from_millis(50),
+            bundles: vec![if bundler {
+                BundleMode::Bundler(BundlerConfig::default())
+            } else {
+                BundleMode::StatusQuo
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_and_uses_most_of_the_link() {
+        // A 6 MB transfer over a 24 Mbit/s, 50 ms path takes ~2.2 s of pure
+        // serialization; allow generous slack for slow start and recovery.
+        let workload = vec![FlowSpec::bundled(1, 6_000_000, Nanos::ZERO, 0)];
+        let report = Simulation::new(single_flow_config(false), workload).run();
+        assert_eq!(
+            report.completed, 1,
+            "flow must finish (unfinished={})",
+            report.unfinished
+        );
+        let fct = report.fcts[0].fct;
+        assert!(fct >= Duration::from_secs(2), "fct {fct} suspiciously fast");
+        assert!(fct <= Duration::from_secs(10), "fct {fct} too slow");
+    }
+
+    #[test]
+    fn single_flow_with_bundler_also_completes() {
+        let workload = vec![FlowSpec::bundled(1, 6_000_000, Nanos::ZERO, 0)];
+        let report = Simulation::new(single_flow_config(true), workload).run();
+        assert_eq!(report.completed, 1, "flow must finish under Bundler");
+        let fct = report.fcts[0].fct;
+        assert!(
+            fct <= Duration::from_secs(11),
+            "fct {fct} too slow under Bundler"
+        );
+    }
+
+    #[test]
+    fn bundler_shifts_queue_from_bottleneck_to_sendbox() {
+        // One backlogged flow. Without Bundler the bottleneck FIFO holds the
+        // queue; with Bundler the sendbox does.
+        let mk_workload = || vec![FlowSpec::bundled(1, FlowSpec::BACKLOGGED, Nanos::ZERO, 0)];
+        let mut quo_cfg = single_flow_config(false);
+        quo_cfg.duration = Duration::from_secs(20);
+        let quo = Simulation::new(quo_cfg, mk_workload()).run();
+        let mut bundler_cfg = single_flow_config(true);
+        bundler_cfg.duration = Duration::from_secs(20);
+        let bun = Simulation::new(bundler_cfg, mk_workload()).run();
+
+        let late = Nanos::from_secs(10);
+        let quo_bottleneck = quo
+            .bottleneck_queue_delay_ms
+            .mean_between(late, Nanos::MAX)
+            .unwrap_or(0.0);
+        let bun_bottleneck = bun
+            .bottleneck_queue_delay_ms
+            .mean_between(late, Nanos::MAX)
+            .unwrap_or(0.0);
+        let bun_sendbox = bun.sendbox_queue_delay_ms[0]
+            .mean_between(late, Nanos::MAX)
+            .unwrap_or(0.0);
+        assert!(
+            quo_bottleneck > 20.0,
+            "status quo should build a large bottleneck queue, got {quo_bottleneck:.1} ms"
+        );
+        assert!(
+            bun_bottleneck < quo_bottleneck / 2.0,
+            "Bundler should shrink the bottleneck queue: {bun_bottleneck:.1} vs {quo_bottleneck:.1} ms"
+        );
+        assert!(
+            bun_sendbox > bun_bottleneck,
+            "the queue should now live at the sendbox ({bun_sendbox:.1} ms vs {bun_bottleneck:.1} ms)"
+        );
+        // Throughput must not collapse: the backlogged flow should still get
+        // the majority of the 24 Mbit/s link.
+        let tput = bun.mean_bundle_throughput_mbps(0).unwrap_or(0.0);
+        assert!(tput > 12.0, "bundle throughput {tput:.1} Mbit/s too low");
+    }
+
+    #[test]
+    fn ping_flows_record_rtts() {
+        let mut cfg = single_flow_config(false);
+        cfg.duration = Duration::from_secs(2);
+        let workload = vec![FlowSpec::bundled(7, 40, Nanos::ZERO, 0).as_ping()];
+        let report = Simulation::new(cfg, workload).run();
+        let rtts = &report.ping_rtts_ms[0];
+        assert!(
+            rtts.len() > 10,
+            "closed-loop pings should cycle many times, got {}",
+            rtts.len()
+        );
+        // Base RTT is 50 ms plus a tiny serialization delay.
+        assert!(
+            rtts.iter().all(|&r| r >= 49.0),
+            "RTT below propagation delay?"
+        );
+        assert!(rtts[0] < 60.0);
+    }
+
+    #[test]
+    fn cross_traffic_is_not_attributed_to_bundles() {
+        let mut cfg = single_flow_config(false);
+        cfg.duration = Duration::from_secs(5);
+        let workload = vec![
+            FlowSpec::bundled(1, 100_000, Nanos::ZERO, 0),
+            FlowSpec::direct(2, 100_000, Nanos::ZERO),
+        ];
+        let report = Simulation::new(cfg, workload).run();
+        assert_eq!(report.completed, 2);
+        let bundled: Vec<_> = report.fcts.iter().filter(|f| f.bundle.is_some()).collect();
+        assert_eq!(bundled.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let workload = || {
+            vec![
+                FlowSpec::bundled(1, 500_000, Nanos::ZERO, 0),
+                FlowSpec::bundled(2, 20_000, Nanos::from_millis(100), 0),
+                FlowSpec::direct(3, 200_000, Nanos::from_millis(50)),
+            ]
+        };
+        let mut cfg = single_flow_config(true);
+        cfg.duration = Duration::from_secs(5);
+        let a = Simulation::new(cfg.clone(), workload()).run();
+        let b = Simulation::new(cfg, workload()).run();
+        assert_eq!(a.completed, b.completed);
+        let fct_a: Vec<u64> = a.fcts.iter().map(|f| f.fct.as_nanos()).collect();
+        let fct_b: Vec<u64> = b.fcts.iter().map(|f| f.fct.as_nanos()).collect();
+        assert_eq!(fct_a, fct_b, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn multipath_spread_produces_out_of_order_measurements() {
+        let mut cfg = single_flow_config(true);
+        cfg.duration = Duration::from_secs(15);
+        cfg.num_paths = 4;
+        cfg.path_delay_spread = Duration::from_millis(30);
+        // Many flows so the load balancer actually uses several paths.
+        let workload: Vec<FlowSpec> = (0..24)
+            .map(|i| FlowSpec::bundled(i, FlowSpec::BACKLOGGED, Nanos::from_millis(i * 10), 0))
+            .collect();
+        let report = Simulation::new(cfg, workload).run();
+        assert!(
+            report.out_of_order_fraction[0] > 0.05,
+            "imbalanced paths should cause out-of-order measurements, got {}",
+            report.out_of_order_fraction[0]
+        );
     }
 }

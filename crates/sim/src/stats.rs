@@ -79,7 +79,14 @@ impl Summary {
         let p90 = quantile(&mut v, 0.9)?;
         let p99 = quantile(&mut v, 0.99)?;
         let max = v.last().copied()?;
-        Some(Summary { count: values.len(), mean, p50, p90, p99, max })
+        Some(Summary {
+            count: values.len(),
+            mean,
+            p50,
+            p90,
+            p99,
+            max,
+        })
     }
 }
 
@@ -93,7 +100,9 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        TimeSeries { samples: Vec::new() }
+        TimeSeries {
+            samples: Vec::new(),
+        }
     }
 
     /// Appends a sample.
@@ -128,10 +137,13 @@ impl TimeSeries {
 
     /// Maximum value over the whole series.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
-            None => Some(v),
-            Some(a) => Some(a.max(v)),
-        })
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(a) => Some(a.max(v)),
+            })
     }
 }
 
@@ -214,12 +226,22 @@ pub struct SimReport {
     pub bytes_delivered: u64,
     /// Ping (request/response) RTT samples in milliseconds, per bundle.
     pub ping_rtts_ms: Vec<Vec<f64>>,
+    /// Final site-agent telemetry export, when the run used a
+    /// [`MultiBundle`](crate::edge::MultiBundle) edge.
+    pub agent_telemetry: Option<bundler_agent::AgentTelemetry>,
+    /// The site agent's own counters, when the run used a `MultiBundle`
+    /// edge.
+    pub agent_stats: Option<bundler_agent::AgentStats>,
 }
 
 impl SimReport {
     /// Slowdowns of all completed bundled requests (any bundle).
     pub fn slowdowns(&self) -> Vec<f64> {
-        self.fcts.iter().filter(|r| r.bundle.is_some()).map(|r| r.slowdown()).collect()
+        self.fcts
+            .iter()
+            .filter(|r| r.bundle.is_some())
+            .map(|r| r.slowdown())
+            .collect()
     }
 
     /// Slowdowns of completed requests in a specific size class.
@@ -299,7 +321,10 @@ mod tests {
             bundle: Some(0),
         };
         assert_eq!(r.slowdown(), 1.0);
-        let r2 = FctRecord { fct: Duration::from_millis(100), ..r };
+        let r2 = FctRecord {
+            fct: Duration::from_millis(100),
+            ..r
+        };
         assert!((r2.slowdown() - 2.0).abs() < 1e-9);
     }
 
@@ -322,9 +347,15 @@ mod tests {
         ts.push(Nanos::from_millis(10), 3.0);
         ts.push(Nanos::from_millis(20), 5.0);
         assert_eq!(ts.len(), 3);
-        assert_eq!(ts.mean_between(Nanos::ZERO, Nanos::from_millis(10)), Some(2.0));
+        assert_eq!(
+            ts.mean_between(Nanos::ZERO, Nanos::from_millis(10)),
+            Some(2.0)
+        );
         assert_eq!(ts.max(), Some(5.0));
-        assert_eq!(ts.mean_between(Nanos::from_secs(1), Nanos::from_secs(2)), None);
+        assert_eq!(
+            ts.mean_between(Nanos::from_secs(1), Nanos::from_secs(2)),
+            None
+        );
     }
 
     #[test]
@@ -337,7 +368,12 @@ mod tests {
             bundle,
         };
         let report = SimReport {
-            fcts: vec![mk(1000, 100, Some(0)), mk(1000, 200, Some(0)), mk(1000, 500, None), mk(50_000, 100, Some(0))],
+            fcts: vec![
+                mk(1000, 100, Some(0)),
+                mk(1000, 200, Some(0)),
+                mk(1000, 500, None),
+                mk(50_000, 100, Some(0)),
+            ],
             completed: 4,
             ..Default::default()
         };

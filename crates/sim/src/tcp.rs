@@ -182,8 +182,14 @@ impl TcpSender {
             }
             let seq = self.next_seq;
             self.next_seq += len as u64;
-            self.inflight
-                .insert(seq, Segment { len, sent_at: now, retransmitted: false });
+            self.inflight.insert(
+                seq,
+                Segment {
+                    len,
+                    sent_at: now,
+                    retransmitted: false,
+                },
+            );
             self.bytes_in_flight += len as u64;
             self.last_activity = now;
             out.push(self.build_packet(seq, len, now, false));
@@ -258,7 +264,11 @@ impl TcpSender {
                 now,
                 acked_bytes: newly_acked,
                 rtt_sample,
-                min_rtt: if self.min_rtt == Duration::MAX { Duration::ZERO } else { self.min_rtt },
+                min_rtt: if self.min_rtt == Duration::MAX {
+                    Duration::ZERO
+                } else {
+                    self.min_rtt
+                },
                 inflight_bytes: self.bytes_in_flight,
             });
             if self.snd_una >= self.size_bytes {
@@ -271,7 +281,11 @@ impl TcpSender {
             self.dup_acks += 1;
             if self.dup_acks == 3 && self.recovery_point.is_none() {
                 self.recovery_point = Some(self.next_seq);
-                self.cc.on_loss(&LossEvent { now, lost_bytes: MSS, is_timeout: false });
+                self.cc.on_loss(&LossEvent {
+                    now,
+                    lost_bytes: MSS,
+                    is_timeout: false,
+                });
                 if let Some(p) = self.retransmit_first_unacked(now) {
                     out.push(p);
                 }
@@ -288,15 +302,17 @@ impl TcpSender {
                 let candidates: Vec<u64> = self
                     .inflight
                     .iter()
-                    .filter(|&(&seq, seg)| {
-                        seq + seg.len as u64 <= threshold && !seg.retransmitted
-                    })
+                    .filter(|&(&seq, seg)| seq + seg.len as u64 <= threshold && !seg.retransmitted)
                     .map(|(&seq, _)| seq)
                     .take(3)
                     .collect();
                 if !candidates.is_empty() && self.recovery_point.is_none() {
                     self.recovery_point = Some(self.next_seq);
-                    self.cc.on_loss(&LossEvent { now, lost_bytes: MSS, is_timeout: false });
+                    self.cc.on_loss(&LossEvent {
+                        now,
+                        lost_bytes: MSS,
+                        is_timeout: false,
+                    });
                 }
                 for seq in candidates {
                     if let Some(seg) = self.inflight.get_mut(&seq) {
@@ -320,12 +336,8 @@ impl TcpSender {
             }
             Some(srtt) => {
                 let delta = if rtt > srtt { rtt - srtt } else { srtt - rtt };
-                self.rttvar = Duration(
-                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
-                );
-                self.srtt = Some(Duration(
-                    (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
-                ));
+                self.rttvar = Duration((self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4);
+                self.srtt = Some(Duration((srtt.as_nanos() * 7 + rtt.as_nanos()) / 8));
             }
         }
         let srtt = self.srtt.expect("just set");
@@ -353,7 +365,11 @@ impl TcpSender {
             for seg in self.inflight.values_mut() {
                 seg.retransmitted = false;
             }
-            self.cc.on_loss(&LossEvent { now, lost_bytes: MSS, is_timeout: true });
+            self.cc.on_loss(&LossEvent {
+                now,
+                lost_bytes: MSS,
+                is_timeout: true,
+            });
             let mut out = Vec::new();
             if let Some(p) = self.retransmit_first_unacked(now) {
                 out.push(p);
@@ -490,6 +506,26 @@ impl PingClient {
     }
 }
 
+impl TcpSender {
+    /// Test-only detailed state dump.
+    #[doc(hidden)]
+    pub fn debug_detail(&self, receiver: &TcpReceiver) -> String {
+        format!(
+            "snd_una={} next_seq={} inflight_first={:?} inflight_n={} dup_acks={} recovery={:?} highest_sacked={} recv_next={} rto_backoff={} last_activity={}",
+            self.snd_una,
+            self.next_seq,
+            self.inflight.keys().next(),
+            self.inflight.len(),
+            self.dup_acks,
+            self.recovery_point,
+            self.highest_sacked,
+            receiver.recv_next(),
+            self.rto_backoff,
+            self.last_activity,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,7 +536,14 @@ mod tests {
     }
 
     fn sender(size: u64) -> TcpSender {
-        TcpSender::new(FlowId(1), key(), size, EndhostAlg::Cubic, TrafficClass::BEST_EFFORT, Nanos::ZERO)
+        TcpSender::new(
+            FlowId(1),
+            key(),
+            size,
+            EndhostAlg::Cubic,
+            TrafficClass::BEST_EFFORT,
+            Nanos::ZERO,
+        )
     }
 
     #[test]
@@ -615,7 +658,11 @@ mod tests {
         let pkts = s.maybe_send(Nanos::ZERO);
         let mut ids: Vec<u16> = pkts.iter().map(|p| p.ip_id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), pkts.len(), "consecutive packets must have distinct IP IDs");
+        assert_eq!(
+            ids.len(),
+            pkts.len(),
+            "consecutive packets must have distinct IP IDs"
+        );
     }
 
     #[test]
@@ -623,7 +670,11 @@ mod tests {
         let mut r = TcpReceiver::new();
         assert_eq!(r.on_data(0, 1000), 1000);
         // A gap: segment at 2000 arrives before 1000.
-        assert_eq!(r.on_data(2000, 1000), 1000, "cumulative ACK stays at the gap");
+        assert_eq!(
+            r.on_data(2000, 1000),
+            1000,
+            "cumulative ACK stays at the gap"
+        );
         assert_eq!(r.on_data(1000, 1000), 3000, "gap filled, ACK jumps");
         // Duplicate data does not regress.
         assert_eq!(r.on_data(0, 1000), 3000);
@@ -643,25 +694,5 @@ mod tests {
         assert_eq!(p.rtts[0], Duration::from_millis(30));
         // Response to a stale sequence number is ignored.
         assert!(p.on_response(999, Nanos::from_millis(40)).is_none());
-    }
-}
-
-impl TcpSender {
-    /// Test-only detailed state dump.
-    #[doc(hidden)]
-    pub fn debug_detail(&self, receiver: &TcpReceiver) -> String {
-        format!(
-            "snd_una={} next_seq={} inflight_first={:?} inflight_n={} dup_acks={} recovery={:?} highest_sacked={} recv_next={} rto_backoff={} last_activity={}",
-            self.snd_una,
-            self.next_seq,
-            self.inflight.keys().next(),
-            self.inflight.len(),
-            self.dup_acks,
-            self.recovery_point,
-            self.highest_sacked,
-            receiver.recv_next(),
-            self.rto_backoff,
-            self.last_activity,
-        )
     }
 }

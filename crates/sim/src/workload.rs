@@ -118,7 +118,9 @@ impl FlowSizeDist {
         let mut prev_s = 0;
         for &(s, p) in &points {
             if p <= prev_p || s <= prev_s {
-                return Err(format!("points must be strictly increasing, got ({s}, {p})"));
+                return Err(format!(
+                    "points must be strictly increasing, got ({s}, {p})"
+                ));
             }
             prev_p = p;
             prev_s = s;
@@ -183,7 +185,11 @@ impl FlowSizeDist {
         let mut prev_s = self.points[0].0.min(64) as f64;
         for &(s, p) in &self.points {
             if u <= p {
-                let frac = if p - prev_p < 1e-12 { 0.0 } else { (u - prev_p) / (p - prev_p) };
+                let frac = if p - prev_p < 1e-12 {
+                    0.0
+                } else {
+                    (u - prev_p) / (p - prev_p)
+                };
                 let lo = prev_s.max(1.0).ln();
                 let hi = (s as f64).ln();
                 return (lo + frac * (hi - lo)).exp().round().max(1.0) as u64;
@@ -231,7 +237,9 @@ impl PoissonArrivals {
     pub fn for_load(offered_load: Rate, dist: &FlowSizeDist) -> Self {
         let mean_size_bits = dist.mean_bytes() * 8.0;
         let arrivals_per_sec = offered_load.as_bps() as f64 / mean_size_bits;
-        PoissonArrivals { mean_gap: Duration::from_secs_f64(1.0 / arrivals_per_sec.max(1e-9)) }
+        PoissonArrivals {
+            mean_gap: Duration::from_secs_f64(1.0 / arrivals_per_sec.max(1e-9)),
+        }
     }
 
     /// Creates a generator with an explicit mean inter-arrival gap.

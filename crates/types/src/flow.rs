@@ -70,12 +70,24 @@ pub struct FlowKey {
 impl FlowKey {
     /// Builds a TCP five-tuple.
     pub const fn tcp(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Tcp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+        }
     }
 
     /// Builds a UDP five-tuple.
     pub const fn udp(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Udp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Udp,
+        }
     }
 
     /// The five-tuple of the reverse direction (for ACK traffic).

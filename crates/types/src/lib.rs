@@ -11,11 +11,13 @@
 pub mod bytes;
 pub mod flow;
 pub mod packet;
+pub mod prefix;
 pub mod rate;
 pub mod time;
 
 pub use crate::bytes::ByteCount;
 pub use flow::{ipv4, FlowId, FlowKey, Protocol};
 pub use packet::{Packet, PacketKind, TrafficClass};
+pub use prefix::IpPrefix;
 pub use rate::Rate;
 pub use time::{Duration, Nanos};

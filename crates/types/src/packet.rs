@@ -171,7 +171,9 @@ impl Packet {
         let id = self.ip_id.to_be_bytes();
         let dst = self.key.dst_ip.to_be_bytes();
         let port = self.key.dst_port.to_be_bytes();
-        [id[0], id[1], dst[0], dst[1], dst[2], dst[3], port[0], port[1]]
+        [
+            id[0], id[1], dst[0], dst[1], dst[2], dst[3], port[0], port[1],
+        ]
     }
 }
 

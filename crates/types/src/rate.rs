@@ -215,8 +215,14 @@ mod tests {
         let r = Rate::from_mbps(100);
         assert_eq!(r.mul_f64(0.5), Rate::from_mbps(50));
         assert_eq!(r.mul_f64(-1.0), Rate::ZERO);
-        assert_eq!(r.clamp(Rate::from_mbps(10), Rate::from_mbps(40)), Rate::from_mbps(40));
-        assert_eq!(Rate::from_mbps(5).clamp(Rate::from_mbps(10), Rate::from_mbps(40)), Rate::from_mbps(10));
+        assert_eq!(
+            r.clamp(Rate::from_mbps(10), Rate::from_mbps(40)),
+            Rate::from_mbps(40)
+        );
+        assert_eq!(
+            Rate::from_mbps(5).clamp(Rate::from_mbps(10), Rate::from_mbps(40)),
+            Rate::from_mbps(10)
+        );
     }
 
     #[test]

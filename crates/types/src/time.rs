@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn duration_from_secs_f64_saturates() {
         assert_eq!(Duration::from_secs_f64(-3.0), Duration::ZERO);
-        assert_eq!(Duration::from_secs_f64(1e300), Duration::from_secs_f64(1e300));
+        assert_eq!(
+            Duration::from_secs_f64(1e300),
+            Duration::from_secs_f64(1e300)
+        );
     }
 
     #[test]
@@ -332,6 +335,9 @@ mod tests {
         let b = Nanos::from_millis(2);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(Duration::from_millis(1).max(Duration::from_millis(2)), Duration::from_millis(2));
+        assert_eq!(
+            Duration::from_millis(1).max(Duration::from_millis(2)),
+            Duration::from_millis(2)
+        );
     }
 }

@@ -18,7 +18,8 @@ use bundler::types::Rate;
 fn main() {
     let mut experiment = WanExperiment::quick();
     experiment.paths = vec![{
-        let mut p = WanPath::for_region(Region::SouthCarolina).with_egress_limit(Rate::from_mbps(80));
+        let mut p =
+            WanPath::for_region(Region::SouthCarolina).with_egress_limit(Rate::from_mbps(80));
         p.buffer_pkts = 400;
         p
     }];
@@ -37,9 +38,18 @@ fn main() {
 
     let result = experiment.run_path(&path);
     println!("request-response RTT (median):");
-    println!("  base (no bulk traffic): {:7.1} ms", result.median_base_ms());
-    println!("  status quo            : {:7.1} ms", result.median_status_quo_ms());
-    println!("  with Bundler (SFQ)    : {:7.1} ms", result.median_bundler_ms());
+    println!(
+        "  base (no bulk traffic): {:7.1} ms",
+        result.median_base_ms()
+    );
+    println!(
+        "  status quo            : {:7.1} ms",
+        result.median_status_quo_ms()
+    );
+    println!(
+        "  with Bundler (SFQ)    : {:7.1} ms",
+        result.median_bundler_ms()
+    );
     println!();
     println!(
         "latency reduction vs status quo: {:.0}% | bulk throughput ratio: {:.2}",

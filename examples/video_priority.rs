@@ -15,12 +15,17 @@ use bundler::sim::scenario::fct::{FctScenario, SendboxMode};
 
 fn main() {
     let requests = 1_200;
-    println!("25% of {requests} requests marked high priority (e.g. video), competing with bulk flows\n");
+    println!(
+        "25% of {requests} requests marked high priority (e.g. video), competing with bulk flows\n"
+    );
 
     for (label, mode) in [
         ("status quo", SendboxMode::StatusQuo),
         ("bundler + SFQ", SendboxMode::BundlerSfq),
-        ("bundler + strict priority", SendboxMode::BundlerPolicy(Policy::StrictPriority)),
+        (
+            "bundler + strict priority",
+            SendboxMode::BundlerPolicy(Policy::StrictPriority),
+        ),
     ] {
         let report = FctScenario::builder()
             .requests(requests)

@@ -3,7 +3,8 @@
 //! This facade crate re-exports the workspace libraries that together
 //! reproduce the EuroSys '21 paper *Site-to-Site Internet Traffic Control*:
 //!
-//! * [`types`] — packets, flow keys, time and rate units.
+//! * [`types`] — packets, flow keys, destination prefixes, time and rate
+//!   units.
 //! * [`sched`] — packet schedulers and rate limiters (FIFO, SFQ, FQ-CoDel,
 //!   DRR, strict priority, token bucket).
 //! * [`cc`] — congestion-control algorithms (Copa, Nimbus, BBR, Cubic,
@@ -11,8 +12,14 @@
 //! * [`core`] — the Bundler sendbox/receivebox control loop: epoch-based
 //!   measurement, congestion ACKs, cross-traffic mode switching and
 //!   multipath imbalance detection.
+//! * [`agent`] — the site-edge agent that scales the control loop from one
+//!   bundle to many: a longest-prefix-match classifier maps each packet to
+//!   its bundle, a hierarchical timer wheel batches the per-bundle control
+//!   ticks (O(due bundles) per tick, not O(all bundles)), and every bundle
+//!   exports a uniform telemetry snapshot.
 //! * [`sim`] — a deterministic packet-level network simulator used for the
-//!   paper's emulation experiments.
+//!   paper's emulation experiments, including a multi-bundle edge mode
+//!   backed by the agent (`sim::scenario::many_sites`).
 //! * [`internet`] — WAN path profiles and workloads for the real-Internet
 //!   experiments (§8 of the paper).
 //!
@@ -32,6 +39,7 @@
 //! assert!(report.completed > 0);
 //! ```
 
+pub use bundler_agent as agent;
 pub use bundler_cc as cc;
 pub use bundler_core as core;
 pub use bundler_internet as internet;

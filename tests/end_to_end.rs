@@ -7,7 +7,6 @@ use bundler::cc::Measurement;
 use bundler::core::feedback::BundleId;
 use bundler::core::{BundlerConfig, Receivebox, Sendbox};
 use bundler::sched::Policy;
-use bundler::sched::Scheduler as _;
 use bundler::sim::edge::BundleMode;
 use bundler::sim::scenario::fct::{FctScenario, SendboxMode};
 use bundler::sim::sim::{Simulation, SimulationConfig};
@@ -18,15 +17,26 @@ use bundler::types::{flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, Rate}
 fn facade_reexports_compose() {
     // Build a sendbox/receivebox pair straight from the facade and push a
     // few packets through the epoch machinery.
-    let config = BundlerConfig { initial_epoch_size: 1, ..Default::default() };
+    let config = BundlerConfig {
+        initial_epoch_size: 1,
+        ..Default::default()
+    };
     let mut sendbox = Sendbox::new(BundleId(0), config).expect("valid config");
     let mut receivebox = Receivebox::new(BundleId(0), 1);
     let key = FlowKey::tcp(ipv4(10, 0, 0, 1), 777, ipv4(10, 1, 0, 1), 443);
     for i in 0..50u16 {
-        let pkt = Packet::data(FlowId(1), key, i as u64 * 1460, 1460, Nanos::from_millis(i as u64))
-            .with_ip_id(i);
+        let pkt = Packet::data(
+            FlowId(1),
+            key,
+            i as u64 * 1460,
+            1460,
+            Nanos::from_millis(i as u64),
+        )
+        .with_ip_id(i);
         assert!(sendbox.on_packet_forwarded(&pkt, Nanos::from_millis(i as u64)));
-        let ack = receivebox.on_packet(&pkt, Nanos::from_millis(i as u64 + 25)).expect("boundary");
+        let ack = receivebox
+            .on_packet(&pkt, Nanos::from_millis(i as u64 + 25))
+            .expect("boundary");
         sendbox.on_congestion_ack(&ack, Nanos::from_millis(i as u64 + 50));
     }
     assert_eq!(sendbox.min_rtt(), Some(Duration::from_millis(50)));
@@ -63,14 +73,25 @@ fn small_simulation_runs_deterministically_via_facade() {
         };
         let dist = FlowSizeDist::caida_like();
         let workload: Vec<FlowSpec> = (0..40)
-            .map(|i| FlowSpec::bundled(i, dist.quantile(i as f64 / 40.0), Nanos::from_millis(i * 100), 0))
+            .map(|i| {
+                FlowSpec::bundled(
+                    i,
+                    dist.quantile(i as f64 / 40.0),
+                    Nanos::from_millis(i * 100),
+                    0,
+                )
+            })
             .collect();
         Simulation::new(config, workload).run()
     };
     let a = mk();
     let b = mk();
     assert_eq!(a.completed, b.completed);
-    assert!(a.completed > 30, "most flows should complete, got {}", a.completed);
+    assert!(
+        a.completed > 30,
+        "most flows should complete, got {}",
+        a.completed
+    );
     let fa: Vec<u64> = a.fcts.iter().map(|f| f.fct.as_nanos()).collect();
     let fb: Vec<u64> = b.fcts.iter().map(|f| f.fct.as_nanos()).collect();
     assert_eq!(fa, fb);
@@ -97,7 +118,10 @@ fn fct_scenario_headline_comparison_holds_at_small_scale() {
     // At this very small scale the status quo is barely congested, so allow
     // a statistical tie; the decisive comparison runs at bench scale
     // (fig09_fct_slowdown) and in bundler-sim's scenario tests.
-    assert!(b <= q + 0.15, "bundler small-flow median {b:.2} vs status quo {q:.2}");
+    assert!(
+        b <= q + 0.15,
+        "bundler small-flow median {b:.2} vs status quo {q:.2}"
+    );
 }
 
 #[test]

@@ -1,12 +1,12 @@
 //! Property-based tests over the core data structures and invariants.
 
+use bundler::agent::PrefixClassifier;
 use bundler::core::epoch::{epoch_hash, is_boundary, target_epoch_size};
 use bundler::core::feedback::{BundleId, CongestionAck, EpochSizeUpdate};
 use bundler::sched::Policy;
-use bundler::sched::Scheduler as _;
 use bundler::sim::stats::quantile;
 use bundler::sim::workload::FlowSizeDist;
-use bundler::types::{flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, Rate};
+use bundler::types::{flow::ipv4, Duration, FlowId, FlowKey, IpPrefix, Nanos, Packet, Rate};
 use proptest::prelude::*;
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
@@ -56,7 +56,7 @@ proptest! {
             1 << 14,
         );
         prop_assert!(n.is_power_of_two());
-        prop_assert!(n >= 1 && n <= (1 << 14));
+        prop_assert!((1..=(1 << 14)).contains(&n));
     }
 
     /// Congestion ACKs and epoch updates survive a wire round trip.
@@ -126,5 +126,44 @@ proptest! {
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let result = quantile(&mut values, q).unwrap();
         prop_assert!(result >= min - 1e-9 && result <= max + 1e-9);
+    }
+
+    /// The site agent's longest-prefix-match classifier agrees with a naive
+    /// linear scan over random prefix tables and random lookup keys.
+    #[test]
+    fn classifier_agrees_with_linear_scan(
+        entries in proptest::collection::vec((any::<u32>(), 0u8..33), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..60),
+    ) {
+        // Build both representations with identical replace-on-duplicate
+        // semantics (two raw entries can canonicalize to the same prefix).
+        let mut table = PrefixClassifier::new();
+        let mut naive: Vec<(IpPrefix, usize)> = Vec::new();
+        for (i, &(addr, len)) in entries.iter().enumerate() {
+            let p = IpPrefix::new(addr, len).expect("len < 33 by construction");
+            table.insert(p, i);
+            naive.retain(|&(q, _)| q != p);
+            naive.push((p, i));
+        }
+        prop_assert_eq!(table.len(), naive.len());
+
+        // Probe random addresses plus, for every installed prefix, an
+        // address inside it (so exact and covering matches are exercised
+        // even when the random probes miss everything).
+        let derived: Vec<u32> =
+            naive.iter().map(|&(p, _)| p.addr() | (!p.netmask() & 0x5aa5_a55a)).collect();
+        for &addr in probes.iter().chain(&derived) {
+            // Reference: scan everything, keep the longest match. At most
+            // one prefix per length can contain a given address, so the
+            // maximum is unique.
+            let expect = naive
+                .iter()
+                .filter(|&&(p, _)| p.contains(addr))
+                .max_by_key(|&&(p, _)| p.len())
+                .map(|&(_, v)| v);
+            prop_assert_eq!(table.lookup(addr).copied(), expect, "addr {:#010x}", addr);
+            let key = FlowKey::tcp(ipv4(10, 0, 0, 1), 4000, addr, 443);
+            prop_assert_eq!(table.classify(&key).copied(), expect);
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! Offline mini benchmark harness.
+//!
+//! Exposes the subset of the `criterion` API this workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark warms up
+//! briefly, then runs timed batches for a fixed measurement budget and
+//! prints mean ns/iteration plus iterations/second. No statistics beyond
+//! the mean — this harness exists to report throughput numbers in an
+//! environment without the real crate, not to detect regressions.
+//!
+//! The measurement budget per benchmark defaults to 300 ms and can be
+//! overridden with the `BUNDLER_BENCH_MS` environment variable.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("BUNDLER_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            measurement: Duration::from_millis(ms.max(1)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let (iters, elapsed) = (b.iters.max(1), b.elapsed);
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let per_sec = if ns_per_iter > 0.0 {
+            1e9 / ns_per_iter
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{id:<44} {ns_per_iter:>12.1} ns/iter {:>12} iters/s",
+            human_rate(per_sec)
+        );
+        self
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0}")
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for the measurement budget, recording the mean
+    /// cost per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: estimate the per-iteration cost over ~10% of the budget.
+        let warmup_budget = self.budget / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup_budget || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Measure in batches sized to ~10 ms so the clock is read rarely.
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("BUNDLER_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        std::env::remove_var("BUNDLER_BENCH_MS");
+    }
+
+    #[test]
+    fn human_rates() {
+        assert_eq!(human_rate(2.5e9), "2.50G");
+        assert_eq!(human_rate(3.2e6), "3.20M");
+        assert_eq!(human_rate(1.5e3), "1.50k");
+        assert_eq!(human_rate(42.0), "42");
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its vocabulary types
+//! so downstream users can persist experiment artifacts, but nothing inside
+//! the workspace performs serde-based (de)serialization — wire formats use
+//! explicit fixed-layout encodings (see `bundler-core::feedback`). This stub
+//! keeps those derives compiling in the network-isolated build environment:
+//! the traits are empty markers and the derives emit empty impls. Swapping
+//! in the real serde (same version requirement, same feature name) is a
+//! one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

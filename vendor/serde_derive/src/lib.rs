@@ -1,0 +1,44 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! Each derive locates the name of the annotated `struct`/`enum` and emits
+//! an empty marker-trait impl. Generic types are not supported (the
+//! workspace derives these traits only on concrete vocabulary types).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name: the identifier following the `struct` or `enum`
+/// keyword, skipping attributes, doc comments and visibility modifiers.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input).expect("derive target must be a struct or enum");
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

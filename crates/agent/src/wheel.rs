@@ -1,4 +1,4 @@
-//! A hierarchical timer wheel for batching per-bundle control ticks.
+//! Hierarchical timer wheel for batching per-bundle control ticks.
 //!
 //! With one bundle per remote site, a site agent owns N control loops that
 //! each want a tick every `control_interval`. Driving them from a sorted
@@ -7,342 +7,9 @@
 //! due), the textbook structure for kernels and routers with many cheap
 //! periodic timers (Varghese & Lauck's hashed hierarchical wheels).
 //!
-//! Deadlines land in a slot of the finest level that spans them; the cursor
-//! walks level-0 slots and, on wrap, cascades the next coarser slot down.
-//! Expiry order is deterministic: due timers fire ordered by (deadline,
-//! schedule sequence).
+//! The implementation now lives in [`bundler_core::wheel`] (alongside the
+//! simulator's pop-one [`CalendarQueue`](bundler_core::wheel::CalendarQueue)
+//! generalization of the same structure) and is re-exported here for
+//! backwards compatibility.
 
-use bundler_types::{Duration, Nanos};
-
-/// Slots per level. 64 keeps the cascade shallow and lets slot arithmetic
-/// stay in the low bits.
-const SLOTS: usize = 64;
-/// Number of levels. With a 1 ms quantum this spans 64^4 ms ≈ 4.6 hours;
-/// anything further is re-cascaded from the top level on wrap.
-const LEVELS: usize = 4;
-
-#[derive(Debug, Clone)]
-struct Entry<T> {
-    deadline: Nanos,
-    seq: u64,
-    item: T,
-}
-
-#[derive(Debug, Clone)]
-struct Level<T> {
-    slots: Vec<Vec<Entry<T>>>,
-}
-
-impl<T> Level<T> {
-    fn new() -> Self {
-        Level {
-            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
-        }
-    }
-}
-
-/// A hierarchical timer wheel over [`Nanos`] deadlines.
-#[derive(Debug, Clone)]
-pub struct TimerWheel<T> {
-    levels: Vec<Level<T>>,
-    /// Width of a level-0 slot.
-    quantum: Duration,
-    /// The tick (level-0 slot count since time zero) the cursor has
-    /// processed up to, exclusive.
-    tick: u64,
-    /// Timers scheduled at or before the cursor, fired on the next advance.
-    overdue: Vec<Entry<T>>,
-    pending: usize,
-    seq: u64,
-}
-
-impl<T> TimerWheel<T> {
-    /// Creates a wheel whose finest slot width is `quantum` (must be
-    /// non-zero); timers expire with up to one quantum of slack.
-    pub fn new(quantum: Duration) -> Self {
-        assert!(!quantum.is_zero(), "timer wheel quantum must be positive");
-        TimerWheel {
-            levels: (0..LEVELS).map(|_| Level::new()).collect(),
-            quantum,
-            tick: 0,
-            overdue: Vec::new(),
-            pending: 0,
-            seq: 0,
-        }
-    }
-
-    /// The finest slot width.
-    pub fn quantum(&self) -> Duration {
-        self.quantum
-    }
-
-    /// Number of scheduled timers that have not fired yet.
-    pub fn pending(&self) -> usize {
-        self.pending
-    }
-
-    /// True if no timers are scheduled.
-    pub fn is_empty(&self) -> bool {
-        self.pending == 0
-    }
-
-    /// The time the cursor has processed up to (start of the current slot).
-    fn cursor_time(&self) -> Nanos {
-        Nanos(self.tick.saturating_mul(self.quantum.as_nanos()))
-    }
-
-    fn slot_width(&self, level: usize) -> u64 {
-        self.quantum
-            .as_nanos()
-            .saturating_mul((SLOTS as u64).saturating_pow(level as u32))
-    }
-
-    /// Schedules `item` to fire at `deadline`. Deadlines at or before the
-    /// cursor fire on the next [`TimerWheel::advance`].
-    pub fn schedule(&mut self, deadline: Nanos, item: T) {
-        self.seq += 1;
-        let entry = Entry {
-            deadline,
-            seq: self.seq,
-            item,
-        };
-        self.pending += 1;
-        self.place(entry);
-    }
-
-    fn place(&mut self, entry: Entry<T>) {
-        let cursor = self.cursor_time();
-        if entry.deadline <= cursor {
-            self.overdue.push(entry);
-            return;
-        }
-        let delta = entry.deadline.saturating_since(cursor).as_nanos();
-        for level in 0..LEVELS {
-            let width = self.slot_width(level);
-            let span = width.saturating_mul(SLOTS as u64);
-            if delta < span || level == LEVELS - 1 {
-                let slot = (entry.deadline.as_nanos() / width) as usize % SLOTS;
-                self.levels[level].slots[slot].push(entry);
-                return;
-            }
-        }
-        unreachable!("last level accepts every delta");
-    }
-
-    /// Advances the cursor to `now` and returns every timer with
-    /// `deadline <= now`, ordered by (deadline, schedule order).
-    ///
-    /// Cost: O(level-0 slots stepped + timers due), with cascades from
-    /// coarser levels amortized over their spans — independent of the
-    /// number of timers parked further in the future.
-    pub fn advance(&mut self, now: Nanos) -> Vec<(Nanos, T)> {
-        let mut due = std::mem::take(&mut self.overdue);
-        let target_tick = now.as_nanos() / self.quantum.as_nanos();
-        while self.tick <= target_tick {
-            let slot = (self.tick % SLOTS as u64) as usize;
-            // On wrap into a new level-i window, cascade that window's
-            // parent slot down first — its entries may belong to the very
-            // slot the cursor is entering.
-            if slot == 0 {
-                for level in 1..LEVELS {
-                    let parent_slot =
-                        ((self.tick / (SLOTS as u64).pow(level as u32)) % SLOTS as u64) as usize;
-                    let entries = std::mem::take(&mut self.levels[level].slots[parent_slot]);
-                    for e in entries {
-                        self.place(e);
-                    }
-                    // Only continue cascading if this level also wrapped.
-                    if parent_slot != 0 {
-                        break;
-                    }
-                }
-            }
-            // Collect the level-0 slot the cursor is entering.
-            due.append(&mut self.levels[0].slots[slot]);
-            self.tick += 1;
-            // Fast-forward across empty stretches. If every remaining timer
-            // has already been collected, nothing can fire before `now`:
-            // jump straight to the target. Otherwise, if level 0 is empty,
-            // nothing can fire before the next wrap cascades a coarser slot
-            // down: jump to the wrap boundary (but never past one).
-            if self.pending == due.len() + self.overdue.len() {
-                self.tick = target_tick + 1;
-            } else if self.overdue.is_empty()
-                && !self.tick.is_multiple_of(SLOTS as u64)
-                && self.all_level0_empty()
-            {
-                let next_wrap = (self.tick / SLOTS as u64 + 1) * SLOTS as u64;
-                self.tick = next_wrap.min(target_tick + 1);
-            }
-        }
-        // Entries parked by short-circuited cascades can still be early.
-        due.append(&mut self.overdue);
-        let (mut ripe, unripe): (Vec<_>, Vec<_>) = due.into_iter().partition(|e| e.deadline <= now);
-        for e in unripe {
-            self.place(e);
-        }
-        ripe.sort_by_key(|e| (e.deadline, e.seq));
-        self.pending -= ripe.len();
-        ripe.into_iter().map(|e| (e.deadline, e.item)).collect()
-    }
-
-    fn all_level0_empty(&self) -> bool {
-        self.levels[0].slots.iter().all(|s| s.is_empty())
-    }
-
-    /// The earliest pending deadline, if any.
-    ///
-    /// O(pending) — intended for event-driven hosts (like the simulator)
-    /// that need to know when to call [`TimerWheel::advance`] next, not for
-    /// the per-packet path.
-    pub fn next_due(&self) -> Option<Nanos> {
-        let mut min: Option<Nanos> = None;
-        let mut consider = |d: Nanos| match min {
-            Some(m) if m <= d => {}
-            _ => min = Some(d),
-        };
-        for e in &self.overdue {
-            consider(e.deadline);
-        }
-        for level in &self.levels {
-            for slot in &level.slots {
-                for e in slot {
-                    consider(e.deadline);
-                }
-            }
-        }
-        min
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn wheel() -> TimerWheel<u32> {
-        TimerWheel::new(Duration::from_millis(1))
-    }
-
-    #[test]
-    fn fires_in_deadline_order_with_slack_bounded_by_quantum() {
-        let mut w = wheel();
-        w.schedule(Nanos::from_millis(30), 3);
-        w.schedule(Nanos::from_millis(10), 1);
-        w.schedule(Nanos::from_millis(20), 2);
-        assert_eq!(w.pending(), 3);
-        assert_eq!(w.advance(Nanos::from_millis(9)), vec![]);
-        assert_eq!(
-            w.advance(Nanos::from_millis(10)),
-            vec![(Nanos::from_millis(10), 1)]
-        );
-        let rest = w.advance(Nanos::from_millis(100));
-        assert_eq!(
-            rest,
-            vec![(Nanos::from_millis(20), 2), (Nanos::from_millis(30), 3)]
-        );
-        assert!(w.is_empty());
-    }
-
-    #[test]
-    fn ties_fire_in_schedule_order() {
-        let mut w = wheel();
-        for i in 0..10u32 {
-            w.schedule(Nanos::from_millis(5), i);
-        }
-        let fired: Vec<u32> = w
-            .advance(Nanos::from_millis(5))
-            .into_iter()
-            .map(|(_, i)| i)
-            .collect();
-        assert_eq!(fired, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn overdue_schedules_fire_on_next_advance() {
-        let mut w = wheel();
-        w.advance(Nanos::from_millis(50));
-        w.schedule(Nanos::from_millis(10), 9);
-        assert_eq!(w.next_due(), Some(Nanos::from_millis(10)));
-        assert_eq!(
-            w.advance(Nanos::from_millis(50)),
-            vec![(Nanos::from_millis(10), 9)]
-        );
-    }
-
-    #[test]
-    fn distant_deadlines_cascade_correctly() {
-        let mut w = wheel();
-        // Beyond level 0 (64 ms), level 1 (4.096 s) and level 2 (262 s).
-        for &ms in &[100u64, 5_000, 300_000, 20_000_000] {
-            w.schedule(Nanos::from_millis(ms), ms as u32);
-        }
-        assert_eq!(w.advance(Nanos::from_millis(99)), vec![]);
-        assert_eq!(
-            w.advance(Nanos::from_millis(100)),
-            vec![(Nanos::from_millis(100), 100)]
-        );
-        assert_eq!(w.advance(Nanos::from_millis(4_999)), vec![]);
-        assert_eq!(
-            w.advance(Nanos::from_millis(5_000)),
-            vec![(Nanos::from_millis(5_000), 5_000)]
-        );
-        assert_eq!(
-            w.advance(Nanos::from_millis(300_000)),
-            vec![(Nanos::from_millis(300_000), 300_000)]
-        );
-        assert_eq!(
-            w.advance(Nanos::from_millis(20_000_000)),
-            vec![(Nanos::from_millis(20_000_000), 20_000_000)]
-        );
-        assert!(w.is_empty());
-        assert_eq!(w.next_due(), None);
-    }
-
-    #[test]
-    fn periodic_reschedule_is_drift_free() {
-        // The agent's usage pattern: every fired timer is rescheduled one
-        // interval after its *deadline* (not its fire time).
-        let mut w = wheel();
-        let interval = Duration::from_millis(10);
-        w.schedule(Nanos::ZERO + interval, 0u32);
-        let mut fired = Vec::new();
-        let mut now = Nanos::ZERO;
-        for _ in 0..100 {
-            now += Duration::from_micros(3_700); // odd advance cadence
-            for (deadline, item) in w.advance(now) {
-                fired.push(deadline);
-                w.schedule(deadline + interval, item);
-            }
-        }
-        let expect: Vec<Nanos> = (1..=fired.len() as u64)
-            .map(|i| Nanos(i * 10_000_000))
-            .collect();
-        assert_eq!(fired, expect, "deadlines must stay on the exact 10 ms grid");
-        assert!(
-            fired.len() >= 35,
-            "~37 intervals fit in 370 ms, got {}",
-            fired.len()
-        );
-    }
-
-    #[test]
-    fn many_timers_sparse_due_set() {
-        // O(due) behaviour is a perf property, but at least verify
-        // correctness with many parked timers and a tiny due set.
-        let mut w = wheel();
-        for i in 0..1000u32 {
-            w.schedule(Nanos::from_millis(10 + (i as u64 % 50) * 20), i);
-        }
-        let due = w.advance(Nanos::from_millis(10));
-        assert_eq!(due.len(), 20, "only the 10 ms cohort fires");
-        assert!(due.iter().all(|&(d, _)| d == Nanos::from_millis(10)));
-        assert_eq!(w.pending(), 980);
-        assert_eq!(w.next_due(), Some(Nanos::from_millis(30)));
-    }
-
-    #[test]
-    #[should_panic(expected = "quantum must be positive")]
-    fn zero_quantum_is_rejected() {
-        let _ = TimerWheel::<u32>::new(Duration::ZERO);
-    }
-}
+pub use bundler_core::wheel::TimerWheel;

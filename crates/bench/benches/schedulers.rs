@@ -1,7 +1,11 @@
 //! Enqueue/dequeue micro-benchmarks for the sendbox schedulers.
+//!
+//! Packets live in a [`PacketArena`] and the schedulers move 4-byte ids;
+//! the bench frees every dequeued id so the arena stays in its recycling
+//! steady state (zero allocation per enqueue after warm-up).
 
 use bundler_sched::Policy;
-use bundler_types::{flow::ipv4, FlowId, FlowKey, Nanos, Packet};
+use bundler_types::{flow::ipv4, FlowId, FlowKey, Nanos, Packet, PacketArena};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn packet(flow: u64, i: u16) -> Packet {
@@ -23,16 +27,26 @@ fn packet(flow: u64, i: u16) -> Packet {
 fn bench_schedulers(c: &mut Criterion) {
     for &policy in Policy::all() {
         c.bench_function(&format!("enqueue_dequeue_{policy}"), |b| {
+            let mut arena = PacketArena::new();
             let mut s = policy.build(4096);
             let mut i: u64 = 0;
             b.iter(|| {
                 i += 1;
-                s.enqueue(black_box(packet(i % 64, i as u16)), Nanos(i * 1000));
+                let id = arena.insert(black_box(packet(i % 64, i as u16)));
+                if let bundler_sched::Enqueued::Dropped(victim) =
+                    s.enqueue(id, &mut arena, Nanos(i * 1000))
+                {
+                    arena.free(victim);
+                }
                 if i.is_multiple_of(2) {
-                    black_box(s.dequeue(Nanos(i * 1000)));
+                    if let Some(out) = black_box(s.dequeue(&mut arena, Nanos(i * 1000))) {
+                        arena.free(out);
+                    }
                 }
                 if s.len_packets() > 2048 {
-                    while s.dequeue(Nanos(i * 1000)).is_some() {}
+                    while let Some(out) = s.dequeue(&mut arena, Nanos(i * 1000)) {
+                        arena.free(out);
+                    }
                 }
             })
         });

@@ -22,6 +22,10 @@
 //! * [`sendbox`] — the sendbox control plane tying everything together.
 //! * [`receivebox`] — the receivebox datapath observer.
 //! * [`config`] — tunables, with the paper's defaults.
+//! * [`wheel`] — shared timer/event-queue cores: the hierarchical
+//!   [`TimerWheel`](wheel::TimerWheel) (batch ticks, used by the site
+//!   agent) and the [`CalendarQueue`](wheel::CalendarQueue) (pop-one
+//!   calendar queue driving the simulator's event loop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +40,12 @@ pub mod multipath;
 pub mod pi;
 pub mod receivebox;
 pub mod sendbox;
+pub mod wheel;
 
 pub use config::BundlerConfig;
 pub use feedback::{CongestionAck, EpochSizeUpdate};
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet};
 pub use modes::{Mode, ModeController};
 pub use receivebox::Receivebox;
 pub use sendbox::{Sendbox, SendboxOutput, SendboxStats, SendboxTelemetry};
+pub use wheel::{BinaryHeapQueue, CalendarQueue, TimerWheel};

@@ -13,9 +13,9 @@
 
 use std::collections::VecDeque;
 
-use bundler_types::{Duration, Nanos, Packet};
+use bundler_types::{Duration, Nanos, PacketArena, PacketId};
 
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// CoDel parameters.
 #[derive(Debug, Clone, Copy)]
@@ -152,7 +152,7 @@ impl CodelState {
 #[derive(Debug)]
 pub struct Codel {
     config: CodelConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PktRef>,
     bytes: u64,
     state: CodelState,
     stats: SchedStats,
@@ -182,32 +182,35 @@ impl Codel {
 }
 
 impl Scheduler for Codel {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let size = arena[pkt].size;
         if self.queue.len() >= self.config.capacity_pkts {
             self.stats.dropped += 1;
-            self.stats.dropped_bytes += pkt.size as u64;
-            return Enqueued::Dropped(Box::new(pkt));
+            self.stats.dropped_bytes += size as u64;
+            return Enqueued::Dropped(pkt);
         }
-        pkt.enqueued_at = now;
-        self.bytes += pkt.size as u64;
+        arena[pkt].enqueued_at = now;
+        self.bytes += size as u64;
         self.stats.enqueued += 1;
-        self.queue.push_back(pkt);
+        self.queue.push_back(PktRef { id: pkt, size });
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: Nanos) -> Option<PacketId> {
         loop {
-            let pkt = self.queue.pop_front()?;
-            self.bytes -= pkt.size as u64;
-            let sojourn = now.saturating_since(pkt.enqueued_at);
+            let p = self.queue.pop_front()?;
+            self.bytes -= p.size as u64;
+            let sojourn = now.saturating_since(arena[p.id].enqueued_at);
             match self.state.on_dequeue(sojourn, self.bytes, now) {
                 CodelVerdict::Deliver => {
                     self.stats.dequeued += 1;
-                    return Some(pkt);
+                    return Some(p.id);
                 }
                 CodelVerdict::Drop => {
                     self.stats.dropped += 1;
-                    self.stats.dropped_bytes += pkt.size as u64;
+                    self.stats.dropped_bytes += p.size as u64;
+                    // An AQM drop consumes the packet here and now.
+                    arena.free(p.id);
                     // Loop to dequeue the next packet.
                 }
             }
@@ -234,7 +237,7 @@ impl Scheduler for Codel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(size: u32) -> Packet {
         Packet::data(
@@ -246,32 +249,42 @@ mod tests {
         )
     }
 
+    fn enq(q: &mut Codel, a: &mut PacketArena, p: Packet, now: Nanos) -> Enqueued {
+        let id = a.insert(p);
+        q.enqueue(id, a, now)
+    }
+
     #[test]
     fn no_drops_below_target_delay() {
+        let mut a = PacketArena::new();
         let mut q = Codel::with_defaults();
         let mut now = Nanos::ZERO;
         // Packets spend ~1 ms in the queue, below the 5 ms target.
         for _ in 0..1000 {
-            q.enqueue(pkt(1460), now);
+            enq(&mut q, &mut a, pkt(1460), now);
             now += Duration::from_millis(1);
-            assert!(q.dequeue(now).is_some());
+            let id = q.dequeue(&mut a, now).expect("delivered");
+            a.free(id);
         }
         assert_eq!(q.aqm_drops(), 0);
+        assert!(a.is_empty(), "AQM and caller frees must balance");
     }
 
     #[test]
     fn drops_start_after_interval_of_high_delay() {
+        let mut a = PacketArena::new();
         let mut q = Codel::with_defaults();
         // Build a standing queue: enqueue 200 packets at t=0, then drain one
         // per ms. Sojourn times grow far past the target.
         for _ in 0..200 {
-            q.enqueue(pkt(1460), Nanos::ZERO);
+            enq(&mut q, &mut a, pkt(1460), Nanos::ZERO);
         }
         let mut delivered = 0;
         let mut now = Nanos::ZERO;
         for _ in 0..200 {
             now += Duration::from_millis(1);
-            if q.dequeue(now).is_some() {
+            if let Some(id) = q.dequeue(&mut a, now) {
+                a.free(id);
                 delivered += 1;
             }
             if q.is_empty() {
@@ -283,6 +296,7 @@ mod tests {
             "CoDel should have dropped under sustained delay"
         );
         assert!(delivered > 0);
+        assert!(a.is_empty(), "AQM drops must free their packets");
     }
 
     #[test]
@@ -339,13 +353,14 @@ mod tests {
 
     #[test]
     fn tail_drop_when_capacity_exceeded() {
+        let mut a = PacketArena::new();
         let mut q = Codel::new(CodelConfig {
             capacity_pkts: 3,
             ..Default::default()
         });
         for _ in 0..3 {
-            assert!(!q.enqueue(pkt(100), Nanos::ZERO).is_drop());
+            assert!(!enq(&mut q, &mut a, pkt(100), Nanos::ZERO).is_drop());
         }
-        assert!(q.enqueue(pkt(100), Nanos::ZERO).is_drop());
+        assert!(enq(&mut q, &mut a, pkt(100), Nanos::ZERO).is_drop());
     }
 }

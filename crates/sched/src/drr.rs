@@ -8,9 +8,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bundler_types::{Nanos, Packet};
+use bundler_types::{Nanos, PacketArena, PacketId};
 
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Configuration for [`Drr`].
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +32,7 @@ impl Default for DrrConfig {
 
 #[derive(Debug, Default)]
 struct FlowQueue {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PktRef>,
     bytes: u64,
     deficit: i64,
 }
@@ -66,34 +66,37 @@ impl Drr {
         self.active.len()
     }
 
-    fn drop_from_longest(&mut self) -> Option<Packet> {
+    fn drop_from_longest(&mut self) -> Option<PktRef> {
         let longest = self
             .active
             .iter()
             .copied()
             .max_by_key(|k| self.flows.get(k).map(|f| f.queue.len()).unwrap_or(0))?;
         let fq = self.flows.get_mut(&longest)?;
-        let pkt = fq.queue.pop_back()?;
-        fq.bytes -= pkt.size as u64;
+        let p = fq.queue.pop_back()?;
+        fq.bytes -= p.size as u64;
         self.total_pkts -= 1;
-        self.total_bytes -= pkt.size as u64;
+        self.total_bytes -= p.size as u64;
         if fq.queue.is_empty() {
             self.active.retain(|&k| k != longest);
         }
-        Some(pkt)
+        Some(p)
     }
 }
 
 impl Scheduler for Drr {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
-        pkt.enqueued_at = now;
-        let key = pkt.key.digest();
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let (key, size) = {
+            let p = arena.get_mut(pkt);
+            p.enqueued_at = now;
+            (p.key.digest(), p.size)
+        };
         let fq = self.flows.entry(key).or_default();
         let newly_active = fq.queue.is_empty();
-        fq.bytes += pkt.size as u64;
-        fq.queue.push_back(pkt);
+        fq.bytes += size as u64;
+        fq.queue.push_back(PktRef { id: pkt, size });
         self.total_pkts += 1;
-        self.total_bytes += fq.queue.back().map(|p| p.size as u64).unwrap_or(0);
+        self.total_bytes += size as u64;
         self.stats.enqueued += 1;
         if newly_active {
             fq.deficit = self.config.quantum_bytes as i64;
@@ -103,13 +106,13 @@ impl Scheduler for Drr {
             if let Some(dropped) = self.drop_from_longest() {
                 self.stats.dropped += 1;
                 self.stats.dropped_bytes += dropped.size as u64;
-                return Enqueued::Dropped(Box::new(dropped));
+                return Enqueued::Dropped(dropped.id);
             }
         }
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: Nanos) -> Option<PacketId> {
         let mut rotations = 0usize;
         let max_rotations = self.active.len().saturating_mul(2).max(2);
         while let Some(&key) = self.active.front() {
@@ -123,17 +126,17 @@ impl Scheduler for Drr {
                     self.active.pop_front();
                 }
                 Some(head) if fq.deficit >= head.size as i64 => {
-                    let pkt = fq.queue.pop_front().expect("head exists");
-                    fq.deficit -= pkt.size as i64;
-                    fq.bytes -= pkt.size as u64;
+                    let p = fq.queue.pop_front().expect("head exists");
+                    fq.deficit -= p.size as i64;
+                    fq.bytes -= p.size as u64;
                     self.total_pkts -= 1;
-                    self.total_bytes -= pkt.size as u64;
+                    self.total_bytes -= p.size as u64;
                     if fq.queue.is_empty() {
                         self.active.pop_front();
                         self.flows.remove(&key);
                     }
                     self.stats.dequeued += 1;
-                    return Some(pkt);
+                    return Some(p.id);
                 }
                 Some(_) => {
                     fq.deficit += self.config.quantum_bytes as i64;
@@ -164,7 +167,7 @@ impl Scheduler for Drr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
@@ -176,17 +179,23 @@ mod tests {
         )
     }
 
+    fn enq(s: &mut Drr, a: &mut PacketArena, p: Packet) -> Enqueued {
+        let id = a.insert(p);
+        s.enqueue(id, a, Nanos::ZERO)
+    }
+
     #[test]
     fn equal_share_between_two_backlogged_flows() {
+        let mut a = PacketArena::new();
         let mut d = Drr::new(DrrConfig::default());
         for _ in 0..50 {
-            d.enqueue(pkt(0, 1460), Nanos::ZERO);
-            d.enqueue(pkt(1, 1460), Nanos::ZERO);
+            enq(&mut d, &mut a, pkt(0, 1460));
+            enq(&mut d, &mut a, pkt(1, 1460));
         }
         let mut counts = [0usize; 2];
         for _ in 0..40 {
-            let p = d.dequeue(Nanos::ZERO).unwrap();
-            counts[p.flow.0 as usize] += 1;
+            let id = d.dequeue(&mut a, Nanos::ZERO).unwrap();
+            counts[a[id].flow.0 as usize] += 1;
         }
         assert_eq!(counts[0] + counts[1], 40);
         let diff = counts[0].abs_diff(counts[1]);
@@ -198,20 +207,21 @@ mod tests {
         // Flow 0 sends 1460-byte packets, flow 1 sends 292-byte packets.
         // After many rounds, bytes served should be roughly equal even though
         // packet counts differ by ~5x.
+        let mut a = PacketArena::new();
         let mut d = Drr::new(DrrConfig {
             quantum_bytes: 1500,
             total_capacity_pkts: 100_000,
         });
         for _ in 0..200 {
-            d.enqueue(pkt(0, 1460), Nanos::ZERO);
+            enq(&mut d, &mut a, pkt(0, 1460));
         }
         for _ in 0..1000 {
-            d.enqueue(pkt(1, 292 - 40), Nanos::ZERO);
+            enq(&mut d, &mut a, pkt(1, 292 - 40));
         }
         let mut bytes = [0u64; 2];
         for _ in 0..600 {
-            if let Some(p) = d.dequeue(Nanos::ZERO) {
-                bytes[p.flow.0 as usize] += p.size as u64;
+            if let Some(id) = d.dequeue(&mut a, Nanos::ZERO) {
+                bytes[a[id].flow.0 as usize] += a[id].size as u64;
             }
         }
         let ratio = bytes[0] as f64 / bytes[1] as f64;
@@ -223,32 +233,35 @@ mod tests {
 
     #[test]
     fn flow_state_is_cleaned_up() {
+        let mut a = PacketArena::new();
         let mut d = Drr::new(DrrConfig::default());
-        d.enqueue(pkt(0, 100), Nanos::ZERO);
+        enq(&mut d, &mut a, pkt(0, 100));
         assert_eq!(d.backlogged_flows(), 1);
-        d.dequeue(Nanos::ZERO);
+        d.dequeue(&mut a, Nanos::ZERO);
         assert_eq!(d.backlogged_flows(), 0);
         assert!(d.flows.is_empty(), "idle flow queues must be removed");
     }
 
     #[test]
     fn capacity_drop_comes_from_longest_flow() {
+        let mut a = PacketArena::new();
         let mut d = Drr::new(DrrConfig {
             total_capacity_pkts: 5,
             ..Default::default()
         });
         for _ in 0..5 {
-            d.enqueue(pkt(0, 1000), Nanos::ZERO);
+            enq(&mut d, &mut a, pkt(0, 1000));
         }
-        match d.enqueue(pkt(1, 1000), Nanos::ZERO) {
-            Enqueued::Dropped(p) => assert_eq!(p.flow.0, 0),
+        match enq(&mut d, &mut a, pkt(1, 1000)) {
+            Enqueued::Dropped(id) => assert_eq!(a[id].flow.0, 0),
             _ => panic!("expected drop"),
         }
     }
 
     #[test]
     fn dequeue_on_empty_is_none() {
+        let mut a = PacketArena::new();
         let mut d = Drr::new(DrrConfig::default());
-        assert!(d.dequeue(Nanos::ZERO).is_none());
+        assert!(d.dequeue(&mut a, Nanos::ZERO).is_none());
     }
 }

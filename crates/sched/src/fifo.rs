@@ -7,9 +7,9 @@
 
 use std::collections::VecDeque;
 
-use bundler_types::{Nanos, Packet};
+use bundler_types::{Nanos, PacketArena, PacketId};
 
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// How the FIFO capacity is expressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +26,7 @@ pub enum Capacity {
 /// A drop-tail FIFO queue.
 #[derive(Debug)]
 pub struct DropTailFifo {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PktRef>,
     capacity: Capacity,
     bytes: u64,
     stats: SchedStats,
@@ -64,38 +64,39 @@ impl DropTailFifo {
     }
 
     /// Peeks at the head-of-line packet without removing it.
-    pub fn peek(&self) -> Option<&Packet> {
-        self.queue.front()
+    pub fn peek(&self) -> Option<PacketId> {
+        self.queue.front().map(|p| p.id)
     }
 
-    fn would_overflow(&self, pkt: &Packet) -> bool {
+    fn would_overflow(&self, size: u32) -> bool {
         match self.capacity {
             Capacity::Packets(max) => self.queue.len() + 1 > max,
-            Capacity::Bytes(max) => self.bytes + pkt.size as u64 > max,
+            Capacity::Bytes(max) => self.bytes + size as u64 > max,
             Capacity::Unbounded => false,
         }
     }
 }
 
 impl Scheduler for DropTailFifo {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
-        if self.would_overflow(&pkt) {
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let size = arena[pkt].size;
+        if self.would_overflow(size) {
             self.stats.dropped += 1;
-            self.stats.dropped_bytes += pkt.size as u64;
-            return Enqueued::Dropped(Box::new(pkt));
+            self.stats.dropped_bytes += size as u64;
+            return Enqueued::Dropped(pkt);
         }
-        pkt.enqueued_at = now;
-        self.bytes += pkt.size as u64;
+        arena[pkt].enqueued_at = now;
+        self.bytes += size as u64;
         self.stats.enqueued += 1;
-        self.queue.push_back(pkt);
+        self.queue.push_back(PktRef { id: pkt, size });
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.size as u64;
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: Nanos) -> Option<PacketId> {
+        let p = self.queue.pop_front()?;
+        self.bytes -= p.size as u64;
         self.stats.dequeued += 1;
-        Some(pkt)
+        Some(p.id)
     }
 
     fn len_packets(&self) -> usize {
@@ -118,7 +119,7 @@ impl Scheduler for DropTailFifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
@@ -130,26 +131,35 @@ mod tests {
         )
     }
 
+    fn enq(q: &mut DropTailFifo, a: &mut PacketArena, p: Packet, now: Nanos) -> Enqueued {
+        let id = a.insert(p);
+        q.enqueue(id, a, now)
+    }
+
     #[test]
     fn fifo_order_is_preserved() {
+        let mut a = PacketArena::new();
         let mut q = DropTailFifo::with_packet_capacity(10);
         for i in 0..5 {
-            assert!(!q.enqueue(pkt(i, 100), Nanos::ZERO).is_drop());
+            assert!(!enq(&mut q, &mut a, pkt(i, 100), Nanos::ZERO).is_drop());
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO))
-            .map(|p| p.flow.0)
-            .collect();
+        let ids: Vec<_> = std::iter::from_fn(|| q.dequeue(&mut a, Nanos::ZERO)).collect();
+        let order: Vec<u64> = ids.iter().map(|&id| a[id].flow.0).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn packet_capacity_drops_tail() {
+        let mut a = PacketArena::new();
         let mut q = DropTailFifo::with_packet_capacity(2);
-        assert!(!q.enqueue(pkt(0, 100), Nanos::ZERO).is_drop());
-        assert!(!q.enqueue(pkt(1, 100), Nanos::ZERO).is_drop());
-        let third = q.enqueue(pkt(2, 100), Nanos::ZERO);
+        assert!(!enq(&mut q, &mut a, pkt(0, 100), Nanos::ZERO).is_drop());
+        assert!(!enq(&mut q, &mut a, pkt(1, 100), Nanos::ZERO).is_drop());
+        let third = enq(&mut q, &mut a, pkt(2, 100), Nanos::ZERO);
         match third {
-            Enqueued::Dropped(p) => assert_eq!(p.flow.0, 2),
+            Enqueued::Dropped(id) => {
+                assert_eq!(a[id].flow.0, 2);
+                a.free(id);
+            }
             _ => panic!("expected drop"),
         }
         assert_eq!(q.stats().dropped, 1);
@@ -158,40 +168,45 @@ mod tests {
 
     #[test]
     fn byte_capacity_enforced() {
+        let mut a = PacketArena::new();
         let mut q = DropTailFifo::with_byte_capacity(300);
         // Each packet is payload + 40 header bytes = 140.
-        assert!(!q.enqueue(pkt(0, 100), Nanos::ZERO).is_drop());
-        assert!(!q.enqueue(pkt(1, 100), Nanos::ZERO).is_drop());
-        assert!(q.enqueue(pkt(2, 100), Nanos::ZERO).is_drop());
+        assert!(!enq(&mut q, &mut a, pkt(0, 100), Nanos::ZERO).is_drop());
+        assert!(!enq(&mut q, &mut a, pkt(1, 100), Nanos::ZERO).is_drop());
+        assert!(enq(&mut q, &mut a, pkt(2, 100), Nanos::ZERO).is_drop());
         assert_eq!(q.len_bytes(), 280);
     }
 
     #[test]
     fn unbounded_never_drops() {
+        let mut a = PacketArena::new();
         let mut q = DropTailFifo::unbounded();
         for i in 0..10_000 {
-            assert!(!q.enqueue(pkt(i, 1460), Nanos::ZERO).is_drop());
+            assert!(!enq(&mut q, &mut a, pkt(i, 1460), Nanos::ZERO).is_drop());
         }
         assert_eq!(q.len_packets(), 10_000);
     }
 
     #[test]
     fn enqueue_stamps_enqueued_at() {
+        let mut a = PacketArena::new();
         let mut q = DropTailFifo::unbounded();
-        q.enqueue(pkt(0, 100), Nanos::from_millis(7));
-        assert_eq!(q.peek().unwrap().enqueued_at, Nanos::from_millis(7));
+        enq(&mut q, &mut a, pkt(0, 100), Nanos::from_millis(7));
+        let head = q.peek().unwrap();
+        assert_eq!(a[head].enqueued_at, Nanos::from_millis(7));
     }
 
     #[test]
     fn bytes_tracks_dequeues() {
+        let mut a = PacketArena::new();
         let mut q = DropTailFifo::unbounded();
-        q.enqueue(pkt(0, 100), Nanos::ZERO);
-        q.enqueue(pkt(1, 200), Nanos::ZERO);
+        enq(&mut q, &mut a, pkt(0, 100), Nanos::ZERO);
+        enq(&mut q, &mut a, pkt(1, 200), Nanos::ZERO);
         assert_eq!(q.len_bytes(), 140 + 240);
-        q.dequeue(Nanos::ZERO);
+        q.dequeue(&mut a, Nanos::ZERO);
         assert_eq!(q.len_bytes(), 240);
-        q.dequeue(Nanos::ZERO);
+        q.dequeue(&mut a, Nanos::ZERO);
         assert_eq!(q.len_bytes(), 0);
-        assert!(q.dequeue(Nanos::ZERO).is_none());
+        assert!(q.dequeue(&mut a, Nanos::ZERO).is_none());
     }
 }

@@ -9,13 +9,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bundler_types::{FlowId, Nanos, Packet};
+use bundler_types::{FlowId, Nanos, PacketArena, PacketId};
 
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 #[derive(Debug, Default)]
 struct FlowQueue {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PktRef>,
     bytes: u64,
     deficit: i64,
 }
@@ -51,35 +51,37 @@ impl FairQueue {
         self.active.len()
     }
 
-    fn drop_from_longest(&mut self) -> Option<Packet> {
+    fn drop_from_longest(&mut self) -> Option<PktRef> {
         let longest = self
             .active
             .iter()
             .copied()
             .max_by_key(|k| self.flows.get(k).map(|f| f.queue.len()).unwrap_or(0))?;
         let fq = self.flows.get_mut(&longest)?;
-        let pkt = fq.queue.pop_back()?;
-        fq.bytes -= pkt.size as u64;
+        let p = fq.queue.pop_back()?;
+        fq.bytes -= p.size as u64;
         self.total_pkts -= 1;
-        self.total_bytes -= pkt.size as u64;
+        self.total_bytes -= p.size as u64;
         if fq.queue.is_empty() {
             self.active.retain(|&k| k != longest);
         }
-        Some(pkt)
+        Some(p)
     }
 }
 
 impl Scheduler for FairQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
-        pkt.enqueued_at = now;
-        let key = pkt.flow;
-        let size = pkt.size as u64;
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let (key, size) = {
+            let p = arena.get_mut(pkt);
+            p.enqueued_at = now;
+            (p.flow, p.size)
+        };
         let fq = self.flows.entry(key).or_default();
         let newly_active = fq.queue.is_empty();
-        fq.bytes += size;
-        fq.queue.push_back(pkt);
+        fq.bytes += size as u64;
+        fq.queue.push_back(PktRef { id: pkt, size });
         self.total_pkts += 1;
-        self.total_bytes += size;
+        self.total_bytes += size as u64;
         self.stats.enqueued += 1;
         if newly_active {
             fq.deficit = self.quantum as i64;
@@ -89,13 +91,13 @@ impl Scheduler for FairQueue {
             if let Some(dropped) = self.drop_from_longest() {
                 self.stats.dropped += 1;
                 self.stats.dropped_bytes += dropped.size as u64;
-                return Enqueued::Dropped(Box::new(dropped));
+                return Enqueued::Dropped(dropped.id);
             }
         }
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: Nanos) -> Option<PacketId> {
         let mut rotations = 0usize;
         let max_rotations = self.active.len().saturating_mul(2).max(2);
         while let Some(&key) = self.active.front() {
@@ -109,17 +111,17 @@ impl Scheduler for FairQueue {
                     self.active.pop_front();
                 }
                 Some(head) if fq.deficit >= head.size as i64 => {
-                    let pkt = fq.queue.pop_front().expect("head exists");
-                    fq.deficit -= pkt.size as i64;
-                    fq.bytes -= pkt.size as u64;
+                    let p = fq.queue.pop_front().expect("head exists");
+                    fq.deficit -= p.size as i64;
+                    fq.bytes -= p.size as u64;
                     self.total_pkts -= 1;
-                    self.total_bytes -= pkt.size as u64;
+                    self.total_bytes -= p.size as u64;
                     if fq.queue.is_empty() {
                         self.active.pop_front();
                         self.flows.remove(&key);
                     }
                     self.stats.dequeued += 1;
-                    return Some(pkt);
+                    return Some(p.id);
                 }
                 Some(_) => {
                     fq.deficit += self.quantum as i64;
@@ -150,7 +152,7 @@ impl Scheduler for FairQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowKey};
+    use bundler_types::{flow::ipv4, FlowKey, Packet};
 
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
@@ -162,19 +164,26 @@ mod tests {
         )
     }
 
+    fn enq(s: &mut FairQueue, a: &mut PacketArena, p: Packet) -> Enqueued {
+        let id = a.insert(p);
+        s.enqueue(id, a, Nanos::ZERO)
+    }
+
     #[test]
     fn no_hash_collisions_between_flows() {
         // Unlike SFQ, flows with the same five-tuple hash are still isolated
         // because the queue is keyed on FlowId.
+        let mut a = PacketArena::new();
         let mut fq = FairQueue::new(1000);
         for _ in 0..10 {
-            fq.enqueue(pkt(0, 1000), Nanos::ZERO);
-            fq.enqueue(pkt(1, 1000), Nanos::ZERO);
+            enq(&mut fq, &mut a, pkt(0, 1000));
+            enq(&mut fq, &mut a, pkt(1, 1000));
         }
         assert_eq!(fq.backlogged_flows(), 2);
         let mut counts = [0usize; 2];
         for _ in 0..10 {
-            counts[fq.dequeue(Nanos::ZERO).unwrap().flow.0 as usize] += 1;
+            let id = fq.dequeue(&mut a, Nanos::ZERO).unwrap();
+            counts[a[id].flow.0 as usize] += 1;
         }
         assert_eq!(counts[0], 5);
         assert_eq!(counts[1], 5);
@@ -182,14 +191,16 @@ mod tests {
 
     #[test]
     fn short_flow_bypasses_long_flow() {
+        let mut a = PacketArena::new();
         let mut fq = FairQueue::new(10_000);
         for _ in 0..500 {
-            fq.enqueue(pkt(0, 1460), Nanos::ZERO);
+            enq(&mut fq, &mut a, pkt(0, 1460));
         }
-        fq.enqueue(pkt(7, 100), Nanos::ZERO);
+        enq(&mut fq, &mut a, pkt(7, 100));
         let mut pos = None;
         for i in 0..502 {
-            if fq.dequeue(Nanos::ZERO).unwrap().flow.0 == 7 {
+            let id = fq.dequeue(&mut a, Nanos::ZERO).unwrap();
+            if a[id].flow.0 == 7 {
                 pos = Some(i);
                 break;
             }
@@ -199,12 +210,13 @@ mod tests {
 
     #[test]
     fn capacity_and_cleanup() {
+        let mut a = PacketArena::new();
         let mut fq = FairQueue::new(4);
         for _ in 0..4 {
-            assert!(!fq.enqueue(pkt(0, 500), Nanos::ZERO).is_drop());
+            assert!(!enq(&mut fq, &mut a, pkt(0, 500)).is_drop());
         }
-        assert!(fq.enqueue(pkt(1, 500), Nanos::ZERO).is_drop());
-        while fq.dequeue(Nanos::ZERO).is_some() {}
+        assert!(enq(&mut fq, &mut a, pkt(1, 500)).is_drop());
+        while fq.dequeue(&mut a, Nanos::ZERO).is_some() {}
         assert_eq!(fq.backlogged_flows(), 0);
         assert_eq!(fq.len_bytes(), 0);
     }

@@ -9,10 +9,10 @@
 
 use std::collections::VecDeque;
 
-use bundler_types::{Duration, Nanos, Packet};
+use bundler_types::{Duration, Nanos, PacketArena, PacketId};
 
 use crate::codel::{CodelState, CodelVerdict};
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Configuration for [`FqCodel`].
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +46,7 @@ impl Default for FqCodelConfig {
 
 #[derive(Debug)]
 struct Bucket {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PktRef>,
     bytes: u64,
     deficit: i64,
     codel: CodelState,
@@ -108,25 +108,25 @@ impl FqCodel {
         self.buckets.iter().map(|b| b.codel.total_drops).sum()
     }
 
-    fn bucket_of(&self, pkt: &Packet) -> usize {
-        let h = pkt.key.digest() ^ self.config.hash_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    fn bucket_of(&self, digest: u64) -> usize {
+        let h = digest ^ self.config.hash_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         (h % self.config.buckets as u64) as usize
     }
 
-    fn drop_from_longest(&mut self) -> Option<Packet> {
+    fn drop_from_longest(&mut self) -> Option<PktRef> {
         let longest = (0..self.buckets.len()).max_by_key(|&i| self.buckets[i].bytes)?;
         let b = &mut self.buckets[longest];
-        let pkt = b.queue.pop_back()?;
-        b.bytes -= pkt.size as u64;
+        let p = b.queue.pop_back()?;
+        b.bytes -= p.size as u64;
         self.total_pkts -= 1;
-        self.total_bytes -= pkt.size as u64;
-        Some(pkt)
+        self.total_bytes -= p.size as u64;
+        Some(p)
     }
 
     /// Serves one packet from the bucket at the head of `list`, applying
     /// CoDel. Returns the packet, or None if the head bucket needs rotation
     /// or removal (caller loops).
-    fn serve_head(&mut self, from_new: bool, now: Nanos) -> HeadOutcome {
+    fn serve_head(&mut self, from_new: bool, arena: &mut PacketArena, now: Nanos) -> HeadOutcome {
         let idx = {
             let list = if from_new {
                 &self.new_flows
@@ -169,21 +169,23 @@ impl FqCodel {
                     bucket.membership = Membership::None;
                     return HeadOutcome::Rotated;
                 }
-                Some(pkt) => {
-                    bucket.bytes -= pkt.size as u64;
+                Some(p) => {
+                    bucket.bytes -= p.size as u64;
                     self.total_pkts -= 1;
-                    self.total_bytes -= pkt.size as u64;
-                    let sojourn = now.saturating_since(pkt.enqueued_at);
+                    self.total_bytes -= p.size as u64;
+                    let sojourn = now.saturating_since(arena[p.id].enqueued_at);
                     match bucket.codel.on_dequeue(sojourn, bucket.bytes, now) {
                         CodelVerdict::Drop => {
                             self.stats.dropped += 1;
-                            self.stats.dropped_bytes += pkt.size as u64;
+                            self.stats.dropped_bytes += p.size as u64;
+                            // AQM drops consume the packet immediately.
+                            arena.free(p.id);
                             continue;
                         }
                         CodelVerdict::Deliver => {
-                            bucket.deficit -= pkt.size as i64;
+                            bucket.deficit -= p.size as i64;
                             self.stats.dequeued += 1;
-                            return HeadOutcome::Packet(pkt);
+                            return HeadOutcome::Packet(p.id);
                         }
                     }
                 }
@@ -193,21 +195,24 @@ impl FqCodel {
 }
 
 enum HeadOutcome {
-    Packet(Packet),
+    Packet(PacketId),
     Rotated,
     ListEmpty,
 }
 
 impl Scheduler for FqCodel {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
-        pkt.enqueued_at = now;
-        let idx = self.bucket_of(&pkt);
-        let size = pkt.size as u64;
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let (size, digest) = {
+            let p = arena.get_mut(pkt);
+            p.enqueued_at = now;
+            (p.size, p.key.digest())
+        };
+        let idx = self.bucket_of(digest);
         let bucket = &mut self.buckets[idx];
-        bucket.bytes += size;
-        bucket.queue.push_back(pkt);
+        bucket.bytes += size as u64;
+        bucket.queue.push_back(PktRef { id: pkt, size });
         self.total_pkts += 1;
-        self.total_bytes += size;
+        self.total_bytes += size as u64;
         self.stats.enqueued += 1;
         if bucket.membership == Membership::None {
             bucket.membership = Membership::New;
@@ -218,13 +223,13 @@ impl Scheduler for FqCodel {
             if let Some(dropped) = self.drop_from_longest() {
                 self.stats.dropped += 1;
                 self.stats.dropped_bytes += dropped.size as u64;
-                return Enqueued::Dropped(Box::new(dropped));
+                return Enqueued::Dropped(dropped.id);
             }
         }
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: Nanos) -> Option<PacketId> {
         let mut guard = 0usize;
         let max_iter = (self.new_flows.len() + self.old_flows.len()).saturating_mul(3) + 4;
         loop {
@@ -234,9 +239,9 @@ impl Scheduler for FqCodel {
             }
             // New flows are always served before old flows.
             let outcome = if !self.new_flows.is_empty() {
-                self.serve_head(true, now)
+                self.serve_head(true, arena, now)
             } else if !self.old_flows.is_empty() {
-                self.serve_head(false, now)
+                self.serve_head(false, arena, now)
             } else {
                 return None;
             };
@@ -267,7 +272,7 @@ impl Scheduler for FqCodel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
@@ -284,53 +289,69 @@ mod tests {
         )
     }
 
+    fn enq(s: &mut FqCodel, a: &mut PacketArena, p: Packet, now: Nanos) -> Enqueued {
+        let id = a.insert(p);
+        s.enqueue(id, a, now)
+    }
+
     #[test]
     fn sparse_flow_gets_priority_over_bulk_flow() {
+        let mut a = PacketArena::new();
         let mut s = FqCodel::with_defaults();
         for _ in 0..200 {
-            s.enqueue(pkt(0, 1460), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(0, 1460), Nanos::ZERO);
         }
         // Drain a bit so flow 0 becomes an "old" flow.
         for _ in 0..5 {
-            s.dequeue(Nanos::from_millis(1));
+            s.dequeue(&mut a, Nanos::from_millis(1));
         }
         // A sparse flow's packet arrives; it lands on the new-flows list and
         // must be served next.
-        s.enqueue(pkt(1, 100), Nanos::from_millis(2));
-        let next = s.dequeue(Nanos::from_millis(2)).unwrap();
-        assert_eq!(next.flow.0, 1, "sparse flow should be served immediately");
+        enq(&mut s, &mut a, pkt(1, 100), Nanos::from_millis(2));
+        let next = s.dequeue(&mut a, Nanos::from_millis(2)).unwrap();
+        assert_eq!(
+            a[next].flow.0, 1,
+            "sparse flow should be served immediately"
+        );
     }
 
     #[test]
     fn codel_drops_under_standing_queue() {
+        let mut a = PacketArena::new();
         let mut s = FqCodel::with_defaults();
         for _ in 0..500 {
-            s.enqueue(pkt(0, 1460), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(0, 1460), Nanos::ZERO);
         }
         let mut now = Nanos::ZERO;
         let mut delivered = 0;
         while !s.is_empty() {
             now += Duration::from_millis(2);
-            if s.dequeue(now).is_some() {
+            if let Some(id) = s.dequeue(&mut a, now) {
+                a.free(id);
                 delivered += 1;
             }
         }
         assert!(s.aqm_drops() > 0);
         assert!(delivered > 0);
         assert_eq!(delivered + s.aqm_drops() as usize, 500);
+        assert!(
+            a.is_empty(),
+            "every packet either delivered+freed or AQM-freed"
+        );
     }
 
     #[test]
     fn fair_between_two_bulk_flows() {
+        let mut a = PacketArena::new();
         let mut s = FqCodel::with_defaults();
         for _ in 0..100 {
-            s.enqueue(pkt(0, 1460), Nanos::ZERO);
-            s.enqueue(pkt(1, 1460), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(0, 1460), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(1, 1460), Nanos::ZERO);
         }
         let mut counts = [0usize; 2];
         for _ in 0..50 {
-            let p = s.dequeue(Nanos::ZERO).unwrap();
-            counts[p.flow.0 as usize] += 1;
+            let id = s.dequeue(&mut a, Nanos::ZERO).unwrap();
+            counts[a[id].flow.0 as usize] += 1;
         }
         assert!(
             counts[0] > 15 && counts[1] > 15,
@@ -340,13 +361,14 @@ mod tests {
 
     #[test]
     fn total_capacity_enforced() {
+        let mut a = PacketArena::new();
         let mut s = FqCodel::new(FqCodelConfig {
             total_capacity_pkts: 10,
             ..Default::default()
         });
         let mut drops = 0;
         for i in 0..20 {
-            if s.enqueue(pkt(i % 3, 1000), Nanos::ZERO).is_drop() {
+            if enq(&mut s, &mut a, pkt(i % 3, 1000), Nanos::ZERO).is_drop() {
                 drops += 1;
             }
         }
@@ -356,10 +378,11 @@ mod tests {
 
     #[test]
     fn empty_dequeue_is_none() {
+        let mut a = PacketArena::new();
         let mut s = FqCodel::with_defaults();
-        assert!(s.dequeue(Nanos::ZERO).is_none());
-        s.enqueue(pkt(0, 100), Nanos::ZERO);
-        assert!(s.dequeue(Nanos::ZERO).is_some());
-        assert!(s.dequeue(Nanos::ZERO).is_none());
+        assert!(s.dequeue(&mut a, Nanos::ZERO).is_none());
+        enq(&mut s, &mut a, pkt(0, 100), Nanos::ZERO);
+        assert!(s.dequeue(&mut a, Nanos::ZERO).is_some());
+        assert!(s.dequeue(&mut a, Nanos::ZERO).is_none());
     }
 }

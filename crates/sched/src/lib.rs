@@ -24,16 +24,18 @@ pub mod prio;
 pub mod sfq;
 pub mod tbf;
 
-use bundler_types::{Nanos, Packet};
+use bundler_types::{Nanos, PacketArena, PacketId};
 
 /// Outcome of handing a packet to a scheduler.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Enqueued {
     /// The packet was accepted and queued.
     Queued,
     /// A packet was dropped to make room (either the arriving packet or, for
-    /// schedulers like SFQ, a packet from the longest queue).
-    Dropped(Box<Packet>),
+    /// schedulers like SFQ, a packet from the longest queue). The packet
+    /// stays in the arena: ownership of the id passes back to the caller,
+    /// who inspects it if desired and frees it.
+    Dropped(PacketId),
 }
 
 impl Enqueued {
@@ -41,6 +43,17 @@ impl Enqueued {
     pub fn is_drop(&self) -> bool {
         matches!(self, Enqueued::Dropped(_))
     }
+}
+
+/// Internal queue entry shared by the scheduler implementations: the arena
+/// id plus the packet's cached wire size, so occupancy accounting and
+/// deficit checks never dereference the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktRef {
+    /// Arena handle of the queued packet.
+    pub id: PacketId,
+    /// Cached wire size in bytes.
+    pub size: u32,
 }
 
 /// Aggregate counters every scheduler maintains.
@@ -59,13 +72,23 @@ pub struct SchedStats {
 /// A packet scheduler (qdisc).
 ///
 /// All schedulers are driven by caller-supplied timestamps so the same code
-/// runs inside the discrete-event simulator and on a real datapath.
+/// runs inside the discrete-event simulator and on a real datapath, and all
+/// packets are referenced by [`PacketId`] into a caller-owned
+/// [`PacketArena`]: queueing a packet moves 8 bytes, not the packet.
+///
+/// Schedulers read header fields (five-tuple hash, class, size) through the
+/// arena at enqueue time, stamp `enqueued_at` on the arena'd packet, and —
+/// for AQMs like CoDel that drop at dequeue — free AQM-dropped packets back
+/// to the arena directly (reported through [`SchedStats::dropped`]).
+/// Enqueue-time drops instead hand the victim's id back via
+/// [`Enqueued::Dropped`]; the caller frees it.
 pub trait Scheduler: Send {
     /// Offers a packet to the scheduler.
-    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> Enqueued;
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued;
 
-    /// Removes and returns the next packet to transmit, if any.
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
+    /// Removes and returns the next packet to transmit, if any. The caller
+    /// owns the returned id (and eventually frees it).
+    fn dequeue(&mut self, arena: &mut PacketArena, now: Nanos) -> Option<PacketId>;
 
     /// Number of packets currently queued.
     fn len_packets(&self) -> usize;
@@ -156,7 +179,7 @@ impl std::fmt::Display for Policy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(flow: u64) -> Packet {
         Packet::data(
@@ -171,15 +194,20 @@ mod tests {
     #[test]
     fn policy_builders_produce_working_schedulers() {
         for &policy in Policy::all() {
+            let mut arena = PacketArena::new();
             let mut s = policy.build(100);
             assert!(s.is_empty(), "{policy} should start empty");
-            assert!(!s.enqueue(pkt(1), Nanos::ZERO).is_drop());
+            let id = arena.insert(pkt(1));
+            assert!(!s.enqueue(id, &mut arena, Nanos::ZERO).is_drop());
             assert_eq!(s.len_packets(), 1);
-            let out = s.dequeue(Nanos::from_millis(1));
+            let out = s.dequeue(&mut arena, Nanos::from_millis(1));
             assert!(out.is_some(), "{policy} should dequeue the packet");
+            assert_eq!(out, Some(id));
             assert!(s.is_empty());
             assert_eq!(s.stats().enqueued, 1);
             assert_eq!(s.stats().dequeued, 1);
+            arena.free(id);
+            assert!(arena.is_empty(), "{policy} should leave no live packets");
         }
     }
 

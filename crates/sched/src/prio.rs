@@ -7,9 +7,9 @@
 
 use std::collections::VecDeque;
 
-use bundler_types::{Nanos, Packet, TrafficClass};
+use bundler_types::{Nanos, PacketArena, PacketId, TrafficClass};
 
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Number of distinct priority levels supported.
 pub const NUM_CLASSES: usize = 8;
@@ -17,7 +17,7 @@ pub const NUM_CLASSES: usize = 8;
 /// Strict-priority scheduler.
 #[derive(Debug)]
 pub struct StrictPriority {
-    queues: Vec<VecDeque<Packet>>,
+    queues: Vec<VecDeque<PktRef>>,
     capacity_pkts: usize,
     total_pkts: usize,
     total_bytes: u64,
@@ -44,12 +44,12 @@ impl StrictPriority {
             .unwrap_or(0)
     }
 
-    fn drop_from_lowest_priority(&mut self) -> Option<Packet> {
+    fn drop_from_lowest_priority(&mut self) -> Option<PktRef> {
         for q in self.queues.iter_mut().rev() {
-            if let Some(pkt) = q.pop_back() {
+            if let Some(p) = q.pop_back() {
                 self.total_pkts -= 1;
-                self.total_bytes -= pkt.size as u64;
-                return Some(pkt);
+                self.total_bytes -= p.size as u64;
+                return Some(p);
             }
         }
         None
@@ -57,30 +57,33 @@ impl StrictPriority {
 }
 
 impl Scheduler for StrictPriority {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
-        pkt.enqueued_at = now;
-        let class = (pkt.class.0 as usize) % NUM_CLASSES;
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let (class, size) = {
+            let p = arena.get_mut(pkt);
+            p.enqueued_at = now;
+            ((p.class.0 as usize) % NUM_CLASSES, p.size)
+        };
         self.total_pkts += 1;
-        self.total_bytes += pkt.size as u64;
+        self.total_bytes += size as u64;
         self.stats.enqueued += 1;
-        self.queues[class].push_back(pkt);
+        self.queues[class].push_back(PktRef { id: pkt, size });
         if self.total_pkts > self.capacity_pkts {
             if let Some(dropped) = self.drop_from_lowest_priority() {
                 self.stats.dropped += 1;
                 self.stats.dropped_bytes += dropped.size as u64;
-                return Enqueued::Dropped(Box::new(dropped));
+                return Enqueued::Dropped(dropped.id);
             }
         }
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: Nanos) -> Option<PacketId> {
         for q in self.queues.iter_mut() {
-            if let Some(pkt) = q.pop_front() {
+            if let Some(p) = q.pop_front() {
                 self.total_pkts -= 1;
-                self.total_bytes -= pkt.size as u64;
+                self.total_bytes -= p.size as u64;
                 self.stats.dequeued += 1;
-                return Some(pkt);
+                return Some(p.id);
             }
         }
         None
@@ -106,7 +109,7 @@ impl Scheduler for StrictPriority {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(flow: u64, class: TrafficClass) -> Packet {
         Packet::data(
@@ -119,41 +122,55 @@ mod tests {
         .with_class(class)
     }
 
+    fn enq(s: &mut StrictPriority, a: &mut PacketArena, p: Packet) -> Enqueued {
+        let id = a.insert(p);
+        s.enqueue(id, a, Nanos::ZERO)
+    }
+
     #[test]
     fn high_class_always_served_first() {
+        let mut a = PacketArena::new();
         let mut s = StrictPriority::new(1000);
         for _ in 0..10 {
-            s.enqueue(pkt(0, TrafficClass::BULK), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(0, TrafficClass::BULK));
         }
-        s.enqueue(pkt(1, TrafficClass::HIGH), Nanos::ZERO);
-        s.enqueue(pkt(2, TrafficClass::BEST_EFFORT), Nanos::ZERO);
-        assert_eq!(s.dequeue(Nanos::ZERO).unwrap().flow.0, 1);
-        assert_eq!(s.dequeue(Nanos::ZERO).unwrap().flow.0, 2);
-        assert_eq!(s.dequeue(Nanos::ZERO).unwrap().flow.0, 0);
+        enq(&mut s, &mut a, pkt(1, TrafficClass::HIGH));
+        enq(&mut s, &mut a, pkt(2, TrafficClass::BEST_EFFORT));
+        let flow_of = |s: &mut StrictPriority, a: &mut PacketArena| {
+            let id = s.dequeue(a, Nanos::ZERO).unwrap();
+            a[id].flow.0
+        };
+        assert_eq!(flow_of(&mut s, &mut a), 1);
+        assert_eq!(flow_of(&mut s, &mut a), 2);
+        assert_eq!(flow_of(&mut s, &mut a), 0);
     }
 
     #[test]
     fn fifo_within_a_class() {
+        let mut a = PacketArena::new();
         let mut s = StrictPriority::new(1000);
         for i in 0..5 {
-            s.enqueue(pkt(i, TrafficClass::BEST_EFFORT), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(i, TrafficClass::BEST_EFFORT));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO))
-            .map(|p| p.flow.0)
-            .collect();
+        let ids: Vec<_> = std::iter::from_fn(|| s.dequeue(&mut a, Nanos::ZERO)).collect();
+        let order: Vec<u64> = ids.iter().map(|&id| a[id].flow.0).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn overflow_drops_lowest_priority_first() {
+        let mut a = PacketArena::new();
         let mut s = StrictPriority::new(3);
-        s.enqueue(pkt(0, TrafficClass::HIGH), Nanos::ZERO);
-        s.enqueue(pkt(1, TrafficClass::BULK), Nanos::ZERO);
-        s.enqueue(pkt(2, TrafficClass::HIGH), Nanos::ZERO);
+        enq(&mut s, &mut a, pkt(0, TrafficClass::HIGH));
+        enq(&mut s, &mut a, pkt(1, TrafficClass::BULK));
+        enq(&mut s, &mut a, pkt(2, TrafficClass::HIGH));
         // Fourth packet overflows; the BULK packet must be the victim even
         // though the arriving packet is HIGH.
-        match s.enqueue(pkt(3, TrafficClass::HIGH), Nanos::ZERO) {
-            Enqueued::Dropped(p) => assert_eq!(p.class, TrafficClass::BULK),
+        match enq(&mut s, &mut a, pkt(3, TrafficClass::HIGH)) {
+            Enqueued::Dropped(id) => {
+                assert_eq!(a[id].class, TrafficClass::BULK);
+                a.free(id);
+            }
             _ => panic!("expected drop"),
         }
         assert_eq!(s.class_len(TrafficClass::HIGH), 3);
@@ -162,14 +179,15 @@ mod tests {
 
     #[test]
     fn class_len_and_counters() {
+        let mut a = PacketArena::new();
         let mut s = StrictPriority::new(10);
-        s.enqueue(pkt(0, TrafficClass::HIGH), Nanos::ZERO);
-        s.enqueue(pkt(1, TrafficClass::BULK), Nanos::ZERO);
+        enq(&mut s, &mut a, pkt(0, TrafficClass::HIGH));
+        enq(&mut s, &mut a, pkt(1, TrafficClass::BULK));
         assert_eq!(s.class_len(TrafficClass::HIGH), 1);
         assert_eq!(s.class_len(TrafficClass::BULK), 1);
         assert_eq!(s.len_packets(), 2);
-        s.dequeue(Nanos::ZERO);
-        s.dequeue(Nanos::ZERO);
+        s.dequeue(&mut a, Nanos::ZERO);
+        s.dequeue(&mut a, Nanos::ZERO);
         assert!(s.is_empty());
         assert_eq!(s.len_bytes(), 0);
     }

@@ -8,9 +8,9 @@
 
 use std::collections::VecDeque;
 
-use bundler_types::{Nanos, Packet};
+use bundler_types::{Nanos, PacketArena, PacketId};
 
-use crate::{Enqueued, SchedStats, Scheduler};
+use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Configuration for [`Sfq`].
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +41,7 @@ impl Default for SfqConfig {
 
 #[derive(Debug, Default)]
 struct Bucket {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PktRef>,
     bytes: u64,
     /// Remaining byte allowance in the current round (DRR-style deficit).
     deficit: i64,
@@ -89,35 +89,39 @@ impl Sfq {
         self.active.len()
     }
 
-    fn bucket_of(&self, pkt: &Packet) -> usize {
-        let h = pkt.key.digest() ^ self.config.hash_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    fn bucket_of(&self, digest: u64) -> usize {
+        let h = digest ^ self.config.hash_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         (h % self.config.buckets as u64) as usize
     }
 
-    fn drop_from_longest(&mut self) -> Option<Packet> {
+    fn drop_from_longest(&mut self) -> Option<PktRef> {
         let longest = (0..self.buckets.len()).max_by_key(|&i| self.buckets[i].queue.len())?;
         let bucket = &mut self.buckets[longest];
         // Drop from the tail of the longest queue, as Linux SFQ does.
-        let pkt = bucket.queue.pop_back()?;
-        bucket.bytes -= pkt.size as u64;
+        let p = bucket.queue.pop_back()?;
+        bucket.bytes -= p.size as u64;
         self.total_pkts -= 1;
-        self.total_bytes -= pkt.size as u64;
+        self.total_bytes -= p.size as u64;
         if bucket.queue.is_empty() {
             self.active.retain(|&i| i != longest);
         }
-        Some(pkt)
+        Some(p)
     }
 }
 
 impl Scheduler for Sfq {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> Enqueued {
-        pkt.enqueued_at = now;
-        let idx = self.bucket_of(&pkt);
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        let (size, digest) = {
+            let p = arena.get_mut(pkt);
+            p.enqueued_at = now;
+            (p.size, p.key.digest())
+        };
+        let idx = self.bucket_of(digest);
         let newly_active = self.buckets[idx].queue.is_empty();
-        self.buckets[idx].bytes += pkt.size as u64;
-        self.total_bytes += pkt.size as u64;
+        self.buckets[idx].bytes += size as u64;
+        self.total_bytes += size as u64;
         self.total_pkts += 1;
-        self.buckets[idx].queue.push_back(pkt);
+        self.buckets[idx].queue.push_back(PktRef { id: pkt, size });
         self.stats.enqueued += 1;
         if newly_active {
             // A bucket entering the active list starts a fresh round.
@@ -129,13 +133,13 @@ impl Scheduler for Sfq {
             if let Some(dropped) = self.drop_from_longest() {
                 self.stats.dropped += 1;
                 self.stats.dropped_bytes += dropped.size as u64;
-                return Enqueued::Dropped(Box::new(dropped));
+                return Enqueued::Dropped(dropped.id);
             }
         }
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: Nanos) -> Option<PacketId> {
         // Deficit round robin across active buckets: a bucket sends while it
         // has deficit, then moves to the back of the list with a fresh
         // quantum.
@@ -154,16 +158,16 @@ impl Scheduler for Sfq {
                     self.active.pop_front();
                 }
                 Some(head) if bucket.deficit >= head.size as i64 => {
-                    let pkt = bucket.queue.pop_front().expect("head exists");
-                    bucket.deficit -= pkt.size as i64;
-                    bucket.bytes -= pkt.size as u64;
+                    let p = bucket.queue.pop_front().expect("head exists");
+                    bucket.deficit -= p.size as i64;
+                    bucket.bytes -= p.size as u64;
                     self.total_pkts -= 1;
-                    self.total_bytes -= pkt.size as u64;
+                    self.total_bytes -= p.size as u64;
                     if bucket.queue.is_empty() {
                         self.active.pop_front();
                     }
                     self.stats.dequeued += 1;
-                    return Some(pkt);
+                    return Some(p.id);
                 }
                 Some(_) => {
                     // Out of deficit: rotate to the back with a new quantum.
@@ -195,7 +199,7 @@ impl Scheduler for Sfq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(flow: u64, size: u32) -> Packet {
         Packet::data(
@@ -212,19 +216,24 @@ mod tests {
         )
     }
 
+    fn enq(s: &mut Sfq, a: &mut PacketArena, p: Packet) -> Enqueued {
+        let id = a.insert(p);
+        s.enqueue(id, a, Nanos::ZERO)
+    }
+
     #[test]
     fn interleaves_two_flows() {
+        let mut a = PacketArena::new();
         let mut s = Sfq::with_defaults();
         // Flow 0 dumps 10 packets, then flow 1 dumps 10 packets.
         for _ in 0..10 {
-            s.enqueue(pkt(0, 1000), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(0, 1000));
         }
         for _ in 0..10 {
-            s.enqueue(pkt(1, 1000), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(1, 1000));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos::ZERO))
-            .map(|p| p.flow.0)
-            .collect();
+        let ids: Vec<_> = std::iter::from_fn(|| s.dequeue(&mut a, Nanos::ZERO)).collect();
+        let order: Vec<u64> = ids.iter().map(|&id| a[id].flow.0).collect();
         assert_eq!(order.len(), 20);
         // In the first 10 dequeues both flows must appear (fair interleaving),
         // unlike FIFO where flow 0 would fully drain first.
@@ -235,18 +244,19 @@ mod tests {
 
     #[test]
     fn short_flow_not_stuck_behind_long_flow() {
+        let mut a = PacketArena::new();
         let mut s = Sfq::with_defaults();
         for _ in 0..100 {
-            s.enqueue(pkt(0, 1460), Nanos::ZERO);
+            enq(&mut s, &mut a, pkt(0, 1460));
         }
         // A single-packet "short flow" arrives after the long flow's burst.
-        s.enqueue(pkt(1, 100), Nanos::ZERO);
+        enq(&mut s, &mut a, pkt(1, 100));
         // It must be served within the first couple of dequeues, not after
         // all 100 packets of flow 0.
         let mut position = None;
         for i in 0..102 {
-            if let Some(p) = s.dequeue(Nanos::ZERO) {
-                if p.flow.0 == 1 {
+            if let Some(id) = s.dequeue(&mut a, Nanos::ZERO) {
+                if a[id].flow.0 == 1 {
                     position = Some(i);
                     break;
                 }
@@ -260,17 +270,21 @@ mod tests {
 
     #[test]
     fn drops_from_longest_bucket_when_full() {
+        let mut a = PacketArena::new();
         let mut s = Sfq::new(SfqConfig {
             total_capacity_pkts: 10,
             ..Default::default()
         });
         for _ in 0..10 {
-            assert!(!s.enqueue(pkt(0, 1000), Nanos::ZERO).is_drop());
+            assert!(!enq(&mut s, &mut a, pkt(0, 1000)).is_drop());
         }
         // Flow 1's packet arrives when the scheduler is full; the drop must
         // come from flow 0 (the longest bucket), not from flow 1.
-        match s.enqueue(pkt(1, 1000), Nanos::ZERO) {
-            Enqueued::Dropped(p) => assert_eq!(p.flow.0, 0),
+        match enq(&mut s, &mut a, pkt(1, 1000)) {
+            Enqueued::Dropped(id) => {
+                assert_eq!(a[id].flow.0, 0);
+                a.free(id);
+            }
             _ => panic!("expected a drop"),
         }
         assert_eq!(s.len_packets(), 10);
@@ -279,20 +293,21 @@ mod tests {
 
     #[test]
     fn many_flows_served_fairly() {
+        let mut a = PacketArena::new();
         let mut s = Sfq::with_defaults();
         const FLOWS: u64 = 32;
         const PER_FLOW: usize = 8;
         for f in 0..FLOWS {
             for _ in 0..PER_FLOW {
-                s.enqueue(pkt(f, 1000), Nanos::ZERO);
+                enq(&mut s, &mut a, pkt(f, 1000));
             }
         }
         // After FLOWS dequeues, the per-flow counts should be nearly equal
         // (hash collisions can pair some flows in one bucket).
         let mut counts = vec![0usize; FLOWS as usize];
         for _ in 0..FLOWS {
-            let p = s.dequeue(Nanos::ZERO).unwrap();
-            counts[p.flow.0 as usize] += 1;
+            let id = s.dequeue(&mut a, Nanos::ZERO).unwrap();
+            counts[a[id].flow.0 as usize] += 1;
         }
         let served: usize = counts.iter().filter(|&&c| c > 0).count();
         assert!(
@@ -303,21 +318,23 @@ mod tests {
 
     #[test]
     fn conserves_packets_and_bytes() {
+        let mut a = PacketArena::new();
         let mut s = Sfq::with_defaults();
         let mut in_bytes = 0u64;
         for f in 0..5 {
             for i in 0..7 {
                 let p = pkt(f, 100 + i * 10);
                 in_bytes += p.size as u64;
-                s.enqueue(p, Nanos::ZERO);
+                enq(&mut s, &mut a, p);
             }
         }
         assert_eq!(s.len_packets(), 35);
         assert_eq!(s.len_bytes(), in_bytes);
         let mut out_bytes = 0u64;
         let mut n = 0;
-        while let Some(p) = s.dequeue(Nanos::ZERO) {
-            out_bytes += p.size as u64;
+        while let Some(id) = s.dequeue(&mut a, Nanos::ZERO) {
+            out_bytes += a[id].size as u64;
+            a.free(id);
             n += 1;
         }
         assert_eq!(n, 35);
@@ -327,7 +344,8 @@ mod tests {
 
     #[test]
     fn empty_dequeue_returns_none() {
+        let mut a = PacketArena::new();
         let mut s = Sfq::with_defaults();
-        assert!(s.dequeue(Nanos::ZERO).is_none());
+        assert!(s.dequeue(&mut a, Nanos::ZERO).is_none());
     }
 }

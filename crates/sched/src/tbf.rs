@@ -11,7 +11,7 @@
 //! inner [`Scheduler`] and answers "may I transmit now, and if not, when?" —
 //! exactly what the simulator's sendbox node and a real pacer need.
 
-use bundler_types::{Duration, Nanos, Packet, Rate};
+use bundler_types::{Duration, Nanos, PacketArena, PacketId, Rate};
 
 use crate::{Enqueued, SchedStats, Scheduler};
 
@@ -134,15 +134,15 @@ impl Tbf {
     }
 
     /// Offers a packet to the inner scheduler.
-    pub fn enqueue(&mut self, pkt: Packet, now: Nanos) -> Enqueued {
-        self.inner.enqueue(pkt, now)
+    pub fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> Enqueued {
+        self.inner.enqueue(pkt, arena, now)
     }
 
     /// Attempts to release the next packet, consuming tokens. Returns
     /// `Release::Packet` if a packet was released, `Release::Wait(d)` if the
     /// head packet must wait `d` for tokens, or `Release::Empty` if the inner
     /// scheduler has nothing queued.
-    pub fn try_dequeue(&mut self, now: Nanos) -> Release {
+    pub fn try_dequeue(&mut self, arena: &mut PacketArena, now: Nanos) -> Release {
         if self.inner.is_empty() {
             return Release::Empty;
         }
@@ -154,11 +154,11 @@ impl Tbf {
         // when the available tokens cover the actual packet once known.
         let pkt_estimate = 1514u64.min(self.inner.len_bytes().max(1));
         if self.bucket.try_consume(pkt_estimate, now) {
-            match self.inner.dequeue(now) {
+            match self.inner.dequeue(arena, now) {
                 Some(pkt) => {
                     // Adjust for the difference between the estimate and the
                     // real size so long-run rate is exact.
-                    let actual = pkt.size as u64;
+                    let actual = arena[pkt].size as u64;
                     if actual > pkt_estimate {
                         self.bucket.tokens -= (actual - pkt_estimate) as f64;
                     } else {
@@ -202,10 +202,11 @@ impl Tbf {
 }
 
 /// Result of [`Tbf::try_dequeue`].
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Release {
     /// A packet was released and its bytes charged against the bucket.
-    Packet(Packet),
+    /// Ownership of the id passes to the caller.
+    Packet(PacketId),
     /// The head of the queue must wait this long for tokens.
     Wait(Duration),
     /// Nothing is queued.
@@ -213,8 +214,8 @@ pub enum Release {
 }
 
 impl Release {
-    /// Returns the released packet, if any.
-    pub fn into_packet(self) -> Option<Packet> {
+    /// Returns the released packet id, if any.
+    pub fn into_packet(self) -> Option<PacketId> {
         match self {
             Release::Packet(p) => Some(p),
             _ => None,
@@ -226,7 +227,7 @@ impl Release {
 mod tests {
     use super::*;
     use crate::fifo::DropTailFifo;
-    use bundler_types::{flow::ipv4, FlowId, FlowKey};
+    use bundler_types::{flow::ipv4, FlowId, FlowKey, Packet};
 
     fn pkt(size: u32) -> Packet {
         Packet::data(
@@ -287,17 +288,22 @@ mod tests {
     #[test]
     fn tbf_enforces_long_run_rate() {
         // 12 Mbit/s, 1500-byte packets -> 1 packet per ms.
+        let mut arena = PacketArena::new();
         let inner = Box::new(DropTailFifo::unbounded());
         let mut tbf = Tbf::new(Rate::from_mbps(12), 1514, inner, Nanos::ZERO);
         for _ in 0..100 {
-            tbf.enqueue(pkt(1460), Nanos::ZERO);
+            let id = arena.insert(pkt(1460));
+            tbf.enqueue(id, &mut arena, Nanos::ZERO);
         }
         let mut now = Nanos::ZERO;
         let mut released = 0;
         let horizon = Nanos::from_millis(50);
         while now < horizon {
-            match tbf.try_dequeue(now) {
-                Release::Packet(_) => released += 1,
+            match tbf.try_dequeue(&mut arena, now) {
+                Release::Packet(id) => {
+                    arena.free(id);
+                    released += 1;
+                }
                 Release::Wait(d) => now += d.max(Duration::from_micros(1)),
                 Release::Empty => break,
             }
@@ -321,9 +327,13 @@ mod tests {
 
     #[test]
     fn tbf_empty_reports_empty() {
+        let mut arena = PacketArena::new();
         let inner = Box::new(DropTailFifo::unbounded());
         let mut tbf = Tbf::new(Rate::from_mbps(12), 1514, inner, Nanos::ZERO);
-        assert!(matches!(tbf.try_dequeue(Nanos::ZERO), Release::Empty));
+        assert!(matches!(
+            tbf.try_dequeue(&mut arena, Nanos::ZERO),
+            Release::Empty
+        ));
         assert!(tbf.is_empty());
     }
 }

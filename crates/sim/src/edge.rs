@@ -8,7 +8,8 @@ use bundler_agent::{AgentConfig, SiteAgent};
 use bundler_core::feedback::{BundleId, CongestionAck, EpochSizeUpdate};
 use bundler_core::{BundlerConfig, Mode, Receivebox, Sendbox};
 use bundler_sched::tbf::{Release, Tbf};
-use bundler_types::{IpPrefix, Nanos, Packet, Rate};
+use bundler_sched::Enqueued;
+use bundler_types::{IpPrefix, Nanos, Packet, PacketArena, PacketId, Rate};
 
 use crate::stats::TimeSeries;
 
@@ -75,18 +76,25 @@ impl Bundle {
     }
 
     /// Offers a packet from a bundled flow to the sendbox scheduler.
-    /// Returns `false` if the scheduler dropped a packet to make room.
-    pub fn enqueue(&mut self, pkt: Packet, now: Nanos) -> bool {
-        !self.tbf.enqueue(pkt, now).is_drop()
+    /// Returns `false` if the scheduler dropped a packet to make room (the
+    /// victim is freed back to the arena here).
+    pub fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> bool {
+        match self.tbf.enqueue(pkt, arena, now) {
+            Enqueued::Queued => true,
+            Enqueued::Dropped(victim) => {
+                arena.free(victim);
+                false
+            }
+        }
     }
 
     /// Attempts to release the next packet under the current pacing rate.
     /// On success the control plane is notified so it can record epoch
     /// boundaries.
-    pub fn try_release(&mut self, now: Nanos) -> Release {
-        let release = self.tbf.try_dequeue(now);
-        if let Release::Packet(ref pkt) = release {
-            self.control.on_packet_forwarded(pkt, now);
+    pub fn try_release(&mut self, arena: &mut PacketArena, now: Nanos) -> Release {
+        let release = self.tbf.try_dequeue(arena, now);
+        if let Release::Packet(pkt) = release {
+            self.control.on_packet_forwarded(&arena[pkt], now);
         }
         release
     }
@@ -230,17 +238,30 @@ impl MultiBundle {
     }
 
     /// Offers a packet to bundle `bundle`'s sendbox scheduler. Returns
-    /// `false` if the scheduler dropped a packet to make room.
-    pub fn enqueue(&mut self, bundle: usize, pkt: Packet, now: Nanos) -> bool {
-        !self.datapaths[bundle].enqueue(pkt, now).is_drop()
+    /// `false` if the scheduler dropped a packet to make room (the victim
+    /// is freed back to the arena here).
+    pub fn enqueue(
+        &mut self,
+        bundle: usize,
+        pkt: PacketId,
+        arena: &mut PacketArena,
+        now: Nanos,
+    ) -> bool {
+        match self.datapaths[bundle].enqueue(pkt, arena, now) {
+            Enqueued::Queued => true,
+            Enqueued::Dropped(victim) => {
+                arena.free(victim);
+                false
+            }
+        }
     }
 
     /// Attempts to release bundle `bundle`'s next packet under its pacing
     /// rate, notifying the control plane on success.
-    pub fn try_release(&mut self, bundle: usize, now: Nanos) -> Release {
-        let release = self.datapaths[bundle].try_dequeue(now);
-        if let Release::Packet(ref pkt) = release {
-            self.agent.on_packet_forwarded(bundle, pkt, now);
+    pub fn try_release(&mut self, bundle: usize, arena: &mut PacketArena, now: Nanos) -> Release {
+        let release = self.datapaths[bundle].try_dequeue(arena, now);
+        if let Release::Packet(pkt) = release {
+            self.agent.on_packet_forwarded(bundle, &arena[pkt], now);
         }
         release
     }
@@ -365,20 +386,26 @@ mod tests {
             initial_epoch_size: 1,
             ..Default::default()
         };
+        let mut a = PacketArena::new();
         let mut b = Bundle::new(0, config, Nanos::ZERO).unwrap();
         for i in 0..10 {
-            assert!(b.enqueue(pkt(i), Nanos::ZERO));
+            let id = a.insert(pkt(i));
+            assert!(b.enqueue(id, &mut a, Nanos::ZERO));
         }
         let mut released = 0;
         let mut now = Nanos::ZERO;
         for _ in 0..100 {
-            match b.try_release(now) {
-                Release::Packet(_) => released += 1,
+            match b.try_release(&mut a, now) {
+                Release::Packet(id) => {
+                    a.free(id);
+                    released += 1;
+                }
                 Release::Wait(d) => now += d,
                 Release::Empty => break,
             }
         }
         assert_eq!(released, 10);
+        assert!(a.is_empty(), "released packets freed");
         // With epoch size 1, every forwarded packet is a boundary.
         assert_eq!(b.control.stats().boundaries, 10);
     }
@@ -395,9 +422,11 @@ mod tests {
 
     #[test]
     fn queue_delay_sampling() {
+        let mut a = PacketArena::new();
         let mut b = Bundle::new(0, BundlerConfig::default(), Nanos::ZERO).unwrap();
         for i in 0..100 {
-            b.enqueue(pkt(i), Nanos::ZERO);
+            let id = a.insert(pkt(i));
+            b.enqueue(id, &mut a, Nanos::ZERO);
         }
         b.sample_queue_delay(Nanos::from_millis(1));
         assert_eq!(b.queue_delay_ms.len(), 1);
@@ -427,6 +456,7 @@ mod tests {
 
     #[test]
     fn multi_bundle_classifies_and_releases_per_bundle() {
+        let mut arena = PacketArena::new();
         let mut edge = MultiBundle::new(AgentConfig::default(), &multi_specs(3), Nanos::ZERO)
             .expect("valid specs");
         assert_eq!(edge.len(), 3);
@@ -435,7 +465,8 @@ mod tests {
                 let p = pkt_to_site(site, i);
                 let b = edge.classify(&p).expect("prefix installed");
                 assert_eq!(b, site as usize);
-                assert!(edge.enqueue(b, p, Nanos::ZERO));
+                let id = arena.insert(p);
+                assert!(edge.enqueue(b, id, &mut arena, Nanos::ZERO));
             }
         }
         // Releasing drains each bundle's own queue and notifies its control
@@ -445,8 +476,9 @@ mod tests {
         for _ in 0..1000 {
             let mut progress = false;
             for b in 0..3 {
-                match edge.try_release(b, now) {
-                    Release::Packet(_) => {
+                match edge.try_release(b, &mut arena, now) {
+                    Release::Packet(id) => {
+                        arena.free(id);
                         released += 1;
                         progress = true;
                     }
@@ -492,19 +524,24 @@ mod tests {
     #[test]
     fn multi_bundle_feedback_round_trip() {
         let specs = multi_specs(2);
+        let mut arena = PacketArena::new();
         let mut edge =
             MultiBundle::new(AgentConfig::default(), &specs, Nanos::ZERO).expect("valid specs");
         // Push traffic through bundle 1 and let its receivebox answer.
         let mut now = Nanos::ZERO;
         for i in 0..400u16 {
             let p = pkt_to_site(1, i);
-            assert!(edge.enqueue(1, p, now));
+            let id = arena.insert(p);
+            assert!(edge.enqueue(1, id, &mut arena, now));
             loop {
-                match edge.try_release(1, now) {
+                match edge.try_release(1, &mut arena, now) {
                     Release::Packet(pkt) => {
-                        if let Some(ack) =
-                            edge.receivebox_on_packet(1, &pkt, now + Duration::from_millis(25))
-                        {
+                        let delivered = arena.remove(pkt);
+                        if let Some(ack) = edge.receivebox_on_packet(
+                            1,
+                            &delivered,
+                            now + Duration::from_millis(25),
+                        ) {
                             edge.on_congestion_ack(&ack, now + Duration::from_millis(50));
                         }
                         break;

@@ -1,65 +1,83 @@
 //! The discrete-event queue.
 //!
 //! Events are ordered by timestamp; ties are broken by insertion sequence so
-//! that the simulation is fully deterministic regardless of how the standard
-//! library's binary heap breaks ties.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! that the simulation is fully deterministic regardless of how the backing
+//! structure breaks ties.
+//!
+//! Two interchangeable engines sit behind [`EventQueue`]:
+//!
+//! * [`EventEngine::CalendarWheel`] (default) — a hierarchical calendar
+//!   queue ([`bundler_core::wheel::CalendarQueue`]): O(1) amortized
+//!   push/pop with per-level occupancy bitmaps, the hot-path engine.
+//! * [`EventEngine::BinaryHeap`] — the straightforward binary heap, kept as
+//!   the reference implementation for property tests and A/B benchmarks
+//!   (`bench_report` measures both in the same run).
+//!
+//! The two engines produce byte-identical simulations; `bench_report`
+//! asserts this on every run.
+//!
+//! [`Event`] itself is deliberately small: packets live in the simulation's
+//! [`PacketArena`](bundler_types::PacketArena) and events carry 4-byte
+//! [`PacketId`]s, flow arrivals reference the workload table by index, and
+//! the out-of-band feedback messages are small `Copy` structs. A
+//! compile-time guard keeps future variants from re-bloating the enum (it
+//! used to carry whole ~100-byte `Packet`s through every heap sift).
 
 use bundler_core::feedback::{CongestionAck, EpochSizeUpdate};
-use bundler_types::{FlowId, Nanos, Packet};
-
-use crate::workload::FlowSpec;
+use bundler_core::wheel::{BinaryHeapQueue, CalendarQueue};
+use bundler_types::{Duration, FlowId, Nanos, PacketId};
 
 /// Everything that can happen in the simulated network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
-    /// A new application flow starts at its sender.
-    FlowArrival(FlowSpec),
+    /// A new application flow starts at its sender. The payload indexes the
+    /// simulation's workload table ([`crate::workload::FlowSpec`]s are too
+    /// big to carry in every event).
+    FlowArrival {
+        /// Index into the simulation's workload table.
+        spec: u32,
+    },
     /// A data or ACK packet reaches the bottleneck stage and is offered to
     /// the path with the given index.
     ArriveBottleneck {
         /// Index of the bottleneck sub-path chosen by the load balancer.
-        path: usize,
+        path: u32,
         /// The packet.
-        pkt: Packet,
+        pkt: PacketId,
     },
     /// The given path finished serializing its current packet and should
     /// pick the next one.
     PathDequeue {
         /// Index of the path.
-        path: usize,
+        path: u32,
     },
     /// A packet arrives at the destination site (after the bottleneck and
     /// forward propagation delay).
     ArriveDestination {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketId,
     },
     /// A transport ACK (or response packet) arrives back at the source site.
     ArriveSource {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketId,
     },
-    /// A Bundler congestion ACK reaches the sendbox.
+    /// A Bundler congestion ACK reaches the sendbox (routed by the bundle
+    /// id the ACK itself carries).
     CongestionAckArrive {
-        /// Index of the bundle it belongs to.
-        bundle: usize,
         /// The ACK.
         ack: CongestionAck,
     },
-    /// A Bundler epoch-size update reaches the receivebox.
+    /// A Bundler epoch-size update reaches the receivebox (routed by the
+    /// bundle id the update itself carries).
     EpochUpdateArrive {
-        /// Index of the bundle it belongs to.
-        bundle: usize,
         /// The update.
         update: EpochSizeUpdate,
     },
     /// Periodic control-plane tick for the given bundle's sendbox.
     SendboxTick {
         /// Index of the bundle.
-        bundle: usize,
+        bundle: u32,
     },
     /// The site agent's timer wheel has a due control tick (multi-bundle
     /// edges only; ticks every due bundle in one event).
@@ -68,7 +86,7 @@ pub enum Event {
     /// packet.
     SendboxRelease {
         /// Index of the bundle.
-        bundle: usize,
+        bundle: u32,
     },
     /// Retransmission-timeout check for a flow.
     RtoCheck {
@@ -81,39 +99,44 @@ pub enum Event {
     End,
 }
 
-struct Scheduled {
-    at: Nanos,
-    seq: u64,
-    event: Event,
+/// Hard ceiling on the event size: the largest variant is
+/// `CongestionAckArrive` (a 40-byte `CongestionAck` plus the tag). Packets
+/// are referenced by [`PacketId`]; if a future variant pushes past this,
+/// put its payload in an arena or a side table instead.
+pub const MAX_EVENT_SIZE: usize = 48;
+
+const _: () = assert!(
+    std::mem::size_of::<Event>() <= MAX_EVENT_SIZE,
+    "Event grew past MAX_EVENT_SIZE: move the new variant's payload into an \
+     arena or side table instead of carrying it inline"
+);
+
+/// Which backing structure orders the events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventEngine {
+    /// Hierarchical calendar queue (the default hot-path engine).
+    #[default]
+    CalendarWheel,
+    /// Reference binary heap (for property tests and A/B benchmarks).
+    BinaryHeap,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
-        // event first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// The calendar queue's finest slot width: 2^13 ns ≈ 8.2 µs, stated as
+/// the exact power of two because [`CalendarQueue::new`] rounds down to
+/// one. Sub-slot ordering is exact regardless (the current slot drains
+/// through a small sorted buffer), so this only trades bucket occupancy
+/// against slot hops; this width measured best across the canonical
+/// scenarios (see `bench_report`) at the simulated link rates.
+const WHEEL_QUANTUM: Duration = Duration(1 << 13);
+
+enum Inner {
+    Wheel(CalendarQueue<Event>),
+    Heap(BinaryHeapQueue<Event>),
 }
 
 /// Time-ordered event queue.
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
-    seq: u64,
-    now: Nanos,
+    inner: Inner,
 }
 
 impl Default for EventQueue {
@@ -123,47 +146,66 @@ impl Default for EventQueue {
 }
 
 impl EventQueue {
-    /// Creates an empty queue at time zero.
+    /// Creates an empty queue at time zero on the default engine.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: Nanos::ZERO,
+        Self::with_engine(EventEngine::default())
+    }
+
+    /// Creates an empty queue on the given engine.
+    pub fn with_engine(engine: EventEngine) -> Self {
+        let inner = match engine {
+            EventEngine::CalendarWheel => Inner::Wheel(CalendarQueue::new(WHEEL_QUANTUM)),
+            EventEngine::BinaryHeap => Inner::Heap(BinaryHeapQueue::new()),
+        };
+        EventQueue { inner }
+    }
+
+    /// The engine backing this queue.
+    pub fn engine(&self) -> EventEngine {
+        match self.inner {
+            Inner::Wheel(_) => EventEngine::CalendarWheel,
+            Inner::Heap(_) => EventEngine::BinaryHeap,
         }
     }
 
     /// The current simulation time (the timestamp of the last popped event).
     pub fn now(&self) -> Nanos {
-        self.now
+        match &self.inner {
+            Inner::Wheel(q) => q.now(),
+            Inner::Heap(q) => q.now(),
+        }
     }
 
     /// Schedules `event` at absolute time `at`. Events scheduled in the past
     /// are clamped to the current time (they run "immediately").
+    #[inline]
     pub fn schedule(&mut self, at: Nanos, event: Event) {
-        let at = at.max(self.now);
-        self.seq += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
+        match &mut self.inner {
+            Inner::Wheel(q) => q.schedule(at, event),
+            Inner::Heap(q) => q.schedule(at, event),
+        }
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Nanos, Event)> {
-        let s = self.heap.pop()?;
-        self.now = s.at;
-        Some((s.at, s.event))
+        match &mut self.inner {
+            Inner::Wheel(q) => q.pop(),
+            Inner::Heap(q) => q.pop(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Wheel(q) => q.len(),
+            Inner::Heap(q) => q.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -171,52 +213,80 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    #[test]
-    fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos::from_millis(5), Event::Sample);
-        q.schedule(Nanos::from_millis(1), Event::End);
-        q.schedule(Nanos::from_millis(3), Event::Sample);
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(t, _)| t.as_nanos() / 1_000_000)
-            .collect();
-        assert_eq!(times, vec![1, 3, 5]);
+    fn engines() -> [EventEngine; 2] {
+        [EventEngine::CalendarWheel, EventEngine::BinaryHeap]
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 0 });
-        q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 1 });
-        q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 2 });
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::SendboxTick { bundle } => bundle,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![0, 1, 2]);
+    fn events_pop_in_time_order_on_both_engines() {
+        for engine in engines() {
+            let mut q = EventQueue::with_engine(engine);
+            q.schedule(Nanos::from_millis(5), Event::Sample);
+            q.schedule(Nanos::from_millis(1), Event::End);
+            q.schedule(Nanos::from_millis(3), Event::Sample);
+            let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(t, _)| t.as_nanos() / 1_000_000)
+                .collect();
+            assert_eq!(times, vec![1, 3, 5], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order_on_both_engines() {
+        for engine in engines() {
+            let mut q = EventQueue::with_engine(engine);
+            q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 0 });
+            q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 1 });
+            q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 2 });
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::SendboxTick { bundle } => bundle,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![0, 1, 2], "{engine:?}");
+        }
     }
 
     #[test]
     fn clock_advances_and_past_events_clamp() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos::from_millis(10), Event::Sample);
-        assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
-        assert_eq!(q.now(), Nanos::from_millis(10));
-        // Scheduling "in the past" runs at the current time, never earlier.
-        q.schedule(Nanos::from_millis(1), Event::End);
-        assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
+        for engine in engines() {
+            let mut q = EventQueue::with_engine(engine);
+            q.schedule(Nanos::from_millis(10), Event::Sample);
+            assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
+            assert_eq!(q.now(), Nanos::from_millis(10));
+            // Scheduling "in the past" runs at the current time, never earlier.
+            q.schedule(Nanos::from_millis(1), Event::End);
+            assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
+        }
     }
 
     #[test]
     fn len_and_empty() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(Nanos::ZERO, Event::Sample);
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
+        for engine in engines() {
+            let mut q = EventQueue::with_engine(engine);
+            assert!(q.is_empty());
+            q.schedule(Nanos::ZERO, Event::Sample);
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn default_engine_is_the_calendar_wheel() {
+        assert_eq!(EventQueue::new().engine(), EventEngine::CalendarWheel);
+    }
+
+    #[test]
+    fn event_stays_arena_sized() {
+        // The compile-time guard enforces the bound; this records the
+        // actual number so a future bump is a conscious decision.
+        let size = std::mem::size_of::<Event>();
+        assert!(
+            size <= MAX_EVENT_SIZE,
+            "Event is {size} bytes (cap {MAX_EVENT_SIZE})"
+        );
     }
 }

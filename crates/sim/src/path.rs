@@ -11,7 +11,7 @@
 
 use bundler_sched::fifo::DropTailFifo;
 use bundler_sched::{Enqueued, Scheduler};
-use bundler_types::{Duration, Nanos, Packet, Rate};
+use bundler_types::{Duration, Nanos, Packet, PacketArena, PacketId, Rate};
 
 use crate::stats::TimeSeries;
 
@@ -99,12 +99,14 @@ impl BottleneckPath {
     }
 
     /// Offers a packet to the path's queue. Returns `true` if it was
-    /// accepted, `false` if it was dropped.
-    pub fn enqueue(&mut self, pkt: Packet, now: Nanos) -> bool {
-        match self.queue.enqueue(pkt, now) {
+    /// accepted, `false` if it was dropped (dropped packets are freed back
+    /// to the arena here).
+    pub fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: Nanos) -> bool {
+        match self.queue.enqueue(pkt, arena, now) {
             Enqueued::Queued => true,
-            Enqueued::Dropped(_) => {
+            Enqueued::Dropped(victim) => {
                 self.drops += 1;
+                arena.free(victim);
                 false
             }
         }
@@ -114,15 +116,20 @@ impl BottleneckPath {
     /// Returns `(packet, delivery_time, next_dequeue_time)`:
     /// the packet will arrive at the destination at `delivery_time`, and the
     /// link will be free to start the next packet at `next_dequeue_time`.
-    pub fn try_transmit(&mut self, now: Nanos) -> Option<(Packet, Nanos, Nanos)> {
+    pub fn try_transmit(
+        &mut self,
+        arena: &mut PacketArena,
+        now: Nanos,
+    ) -> Option<(PacketId, Nanos, Nanos)> {
         if now < self.busy_until {
             return None;
         }
-        let pkt = self.queue.dequeue(now)?;
-        let tx_time = self.rate.transmit_time(pkt.size as u64);
+        let pkt = self.queue.dequeue(arena, now)?;
+        let size = arena[pkt].size as u64;
+        let tx_time = self.rate.transmit_time(size);
         let done = now + tx_time;
         self.busy_until = done;
-        self.bytes_delivered += pkt.size as u64;
+        self.bytes_delivered += size;
         let delivered_at = done + self.one_way_delay;
         Some((pkt, delivered_at, done))
     }
@@ -203,44 +210,54 @@ mod tests {
         )
     }
 
+    fn enq(path: &mut BottleneckPath, a: &mut PacketArena, p: Packet) -> bool {
+        let id = a.insert(p);
+        path.enqueue(id, a, Nanos::ZERO)
+    }
+
     #[test]
     fn serialization_and_propagation_delay() {
         // 12 Mbit/s: a 1500-byte packet takes exactly 1 ms to serialize.
+        let mut a = PacketArena::new();
         let mut path =
             BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::from_millis(25), 100);
-        assert!(path.enqueue(pkt(1, 1460), Nanos::ZERO));
-        let (p, delivered_at, link_free) = path.try_transmit(Nanos::ZERO).unwrap();
-        assert_eq!(p.flow.0, 1);
+        assert!(enq(&mut path, &mut a, pkt(1, 1460)));
+        let (p, delivered_at, link_free) = path.try_transmit(&mut a, Nanos::ZERO).unwrap();
+        assert_eq!(a[p].flow.0, 1);
         assert_eq!(link_free, Nanos::from_millis(1));
         assert_eq!(delivered_at, Nanos::from_millis(26));
     }
 
     #[test]
     fn link_busy_until_transmission_done() {
+        let mut a = PacketArena::new();
         let mut path = BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::ZERO, 100);
-        path.enqueue(pkt(1, 1460), Nanos::ZERO);
-        path.enqueue(pkt(2, 1460), Nanos::ZERO);
-        assert!(path.try_transmit(Nanos::ZERO).is_some());
+        enq(&mut path, &mut a, pkt(1, 1460));
+        enq(&mut path, &mut a, pkt(2, 1460));
+        assert!(path.try_transmit(&mut a, Nanos::ZERO).is_some());
         // Still serializing the first packet at t = 0.5 ms.
-        assert!(path.try_transmit(Nanos::from_micros(500)).is_none());
-        let (p2, _, _) = path.try_transmit(Nanos::from_millis(1)).unwrap();
-        assert_eq!(p2.flow.0, 2);
+        assert!(path.try_transmit(&mut a, Nanos::from_micros(500)).is_none());
+        let (p2, _, _) = path.try_transmit(&mut a, Nanos::from_millis(1)).unwrap();
+        assert_eq!(a[p2].flow.0, 2);
     }
 
     #[test]
-    fn buffer_overflow_drops() {
+    fn buffer_overflow_drops_and_frees() {
+        let mut a = PacketArena::new();
         let mut path = BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::ZERO, 2);
-        assert!(path.enqueue(pkt(1, 1460), Nanos::ZERO));
-        assert!(path.enqueue(pkt(2, 1460), Nanos::ZERO));
-        assert!(!path.enqueue(pkt(3, 1460), Nanos::ZERO));
+        assert!(enq(&mut path, &mut a, pkt(1, 1460)));
+        assert!(enq(&mut path, &mut a, pkt(2, 1460)));
+        assert!(!enq(&mut path, &mut a, pkt(3, 1460)));
         assert_eq!(path.drops, 1);
+        assert_eq!(a.live(), 2, "the dropped packet must be freed");
     }
 
     #[test]
     fn queue_delay_reflects_backlog() {
+        let mut a = PacketArena::new();
         let mut path = BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::ZERO, 1000);
         for i in 0..10 {
-            path.enqueue(pkt(i, 1460), Nanos::ZERO);
+            enq(&mut path, &mut a, pkt(i, 1460));
         }
         // 10 × 1500 B at 12 Mbit/s = 10 ms.
         assert!((path.queue_delay().as_millis_f64() - 10.0).abs() < 0.1);

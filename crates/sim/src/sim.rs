@@ -1,15 +1,23 @@
 //! The simulation engine: wires endhosts, site edges, the bottleneck and
 //! the Bundler control loop together and runs the event loop.
-
-use std::collections::HashMap;
+//!
+//! The hot path is allocation-free in steady state: packets live in a
+//! [`PacketArena`] and move through queues and events as 4-byte
+//! [`PacketId`]s, endhosts emit into reusable scratch buffers, and the
+//! event queue is a calendar queue with O(1) amortized operations
+//! (selectable via [`SimulationConfig::event_engine`] for A/B
+//! measurement against the reference binary heap).
 
 use bundler_core::feedback::BundleId;
+use bundler_core::FnvHashMap;
 use bundler_sched::tbf::Release;
 use bundler_sched::Policy;
-use bundler_types::{flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketKind, Rate};
+use bundler_types::{
+    flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, PacketKind, Rate,
+};
 
 use crate::edge::{Bundle, BundleMode, MultiBundle, MultiBundleSpec};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventEngine, EventQueue};
 use crate::path::{Balancing, BottleneckPath, LoadBalancer};
 use crate::stats::{FctRecord, SimReport, TimeSeries};
 use crate::tcp::{PingClient, TcpReceiver, TcpSender};
@@ -45,6 +53,11 @@ pub struct SimulationConfig {
     pub multi_bundle: Option<MultiBundleMode>,
     /// Interval between statistics samples.
     pub sample_interval: Duration,
+    /// Which event-queue engine orders the simulation. The engines are
+    /// behaviourally identical (verified by property test and by
+    /// `bench_report` on every run); the calendar wheel is the fast one and
+    /// the binary heap exists as the reference/baseline.
+    pub event_engine: EventEngine,
 }
 
 /// Configuration of a [`MultiBundle`] source edge.
@@ -70,6 +83,7 @@ impl Default for SimulationConfig {
             bundles: vec![BundleMode::StatusQuo],
             multi_bundle: None,
             sample_interval: Duration::from_millis(50),
+            event_engine: EventEngine::default(),
         }
     }
 }
@@ -101,13 +115,17 @@ struct FlowState {
 pub struct Simulation {
     config: SimulationConfig,
     queue: EventQueue,
+    /// Every in-flight packet; events and queues reference it by id.
+    arena: PacketArena,
+    /// The workload table; `Event::FlowArrival` indexes into it.
+    specs: Vec<FlowSpec>,
     paths: Vec<BottleneckPath>,
     lb: LoadBalancer,
     bundles: Vec<Option<Bundle>>,
     multi: Option<MultiBundle>,
-    flows: HashMap<FlowId, FlowState>,
-    pings: HashMap<FlowId, PingClient>,
-    ping_origin: HashMap<FlowId, Origin>,
+    flows: FnvHashMap<FlowId, FlowState>,
+    pings: FnvHashMap<FlowId, PingClient>,
+    ping_origin: FnvHashMap<FlowId, Origin>,
     report: SimReport,
     /// Delivered payload bytes per bundle since the last sample.
     bundle_delivered: Vec<u64>,
@@ -116,6 +134,11 @@ pub struct Simulation {
     cross_delivered: u64,
     forward_delay: Duration,
     reverse_delay: Duration,
+    /// Reusable scratch for endhost output (ids of packets to route).
+    pkt_buf: Vec<PacketId>,
+    /// Reusable scratch for sendbox release bursts.
+    release_buf: Vec<PacketId>,
+    events_processed: u64,
 }
 
 impl Simulation {
@@ -165,9 +188,9 @@ impl Simulation {
             }
         };
 
-        let mut queue = EventQueue::new();
-        for spec in workload {
-            queue.schedule(spec.start, Event::FlowArrival(spec));
+        let mut queue = EventQueue::with_engine(config.event_engine);
+        for (i, spec) in workload.iter().enumerate() {
+            queue.schedule(spec.start, Event::FlowArrival { spec: i as u32 });
         }
         // Control ticks: per-bundle events in the classic mode, one batched
         // agent event driven by the timer wheel in multi-bundle mode.
@@ -175,7 +198,7 @@ impl Simulation {
             if let Some(bundle) = b {
                 queue.schedule(
                     Nanos::ZERO + bundle.control.config().control_interval,
-                    Event::SendboxTick { bundle: i },
+                    Event::SendboxTick { bundle: i as u32 },
                 );
             }
         }
@@ -203,16 +226,21 @@ impl Simulation {
             cross_delivered: 0,
             config,
             queue,
+            arena: PacketArena::with_capacity(1024),
+            specs: workload,
             paths,
             lb,
             bundles,
             multi,
-            flows: HashMap::new(),
-            pings: HashMap::new(),
-            ping_origin: HashMap::new(),
+            flows: FnvHashMap::default(),
+            pings: FnvHashMap::default(),
+            ping_origin: FnvHashMap::default(),
             report,
             forward_delay,
             reverse_delay,
+            pkt_buf: Vec::with_capacity(64),
+            release_buf: Vec::with_capacity(64),
+            events_processed: 0,
         }
     }
 
@@ -224,6 +252,7 @@ impl Simulation {
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimReport {
         while let Some((now, event)) = self.queue.pop() {
+            self.events_processed += 1;
             match event {
                 Event::End => break,
                 other => self.handle(other, now),
@@ -241,6 +270,9 @@ impl Simulation {
         }
         self.report.unfinished = unfinished;
         self.report.completed = self.report.fcts.len();
+        self.report.events_processed = self.events_processed;
+        self.report.packets_created = self.arena.inserted();
+        self.report.packets_recycled = self.arena.recycled();
         self.report.bottleneck_drops = self.paths.iter().map(|p| p.drops).sum();
         self.report.bytes_delivered = self.paths.iter().map(|p| p.bytes_delivered).sum();
         // Aggregate bottleneck queue delay: merge per-path series by
@@ -289,36 +321,47 @@ impl Simulation {
 
     fn handle(&mut self, event: Event, now: Nanos) {
         match event {
-            Event::FlowArrival(spec) => self.on_flow_arrival(spec, now),
+            Event::FlowArrival { spec } => self.on_flow_arrival(spec, now),
             Event::ArriveBottleneck { path, pkt } => {
-                if self.paths[path].enqueue(pkt, now) {
-                    self.kick_path(path, now);
+                if self.paths[path as usize].enqueue(pkt, &mut self.arena, now) {
+                    self.kick_path(path as usize, now);
                 }
             }
-            Event::PathDequeue { path } => self.on_path_dequeue(path, now),
+            Event::PathDequeue { path } => self.on_path_dequeue(path as usize, now),
             Event::ArriveDestination { pkt } => self.on_arrive_destination(pkt, now),
             Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now),
-            Event::CongestionAckArrive { bundle, ack } => {
+            Event::CongestionAckArrive { ack } => {
                 if let Some(multi) = self.multi.as_mut() {
                     multi.on_congestion_ack(&ack, now);
-                } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
+                } else if let Some(Some(b)) = self.bundles.get_mut(ack.bundle.0 as usize) {
                     b.on_congestion_ack(&ack, now);
                 }
             }
-            Event::EpochUpdateArrive { bundle, update } => {
+            Event::EpochUpdateArrive { update } => {
+                let bundle = update.bundle.0 as usize;
                 if let Some(multi) = self.multi.as_mut() {
                     multi.on_epoch_update(bundle, &update);
                 } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
                     b.receivebox.on_epoch_update(&update);
                 }
             }
-            Event::SendboxTick { bundle } => self.on_sendbox_tick(bundle, now),
+            Event::SendboxTick { bundle } => self.on_sendbox_tick(bundle as usize, now),
             Event::AgentTick => self.on_agent_tick(now),
-            Event::SendboxRelease { bundle } => self.on_sendbox_release(bundle, now),
+            Event::SendboxRelease { bundle } => self.on_sendbox_release(bundle as usize, now),
             Event::RtoCheck { flow } => self.on_rto_check(flow, now),
             Event::Sample => self.on_sample(now),
             Event::End => {}
         }
+    }
+
+    /// Routes every id accumulated in `pkt_buf` (the endhost scratch
+    /// buffer) into the network, preserving the buffer's capacity.
+    fn flush_pkt_buf(&mut self, now: Nanos) {
+        let mut buf = std::mem::take(&mut self.pkt_buf);
+        for id in buf.drain(..) {
+            self.route_forward(id, now);
+        }
+        self.pkt_buf = buf;
     }
 
     fn flow_key(flow_id: u64, origin: Origin) -> FlowKey {
@@ -333,11 +376,18 @@ impl Simulation {
         FlowKey::tcp(src, (10_000 + (flow_id * 31) % 50_000) as u16, dst, 443)
     }
 
-    fn on_flow_arrival(&mut self, spec: FlowSpec, now: Nanos) {
+    fn on_flow_arrival(&mut self, spec_index: u32, now: Nanos) {
+        let spec = self.specs[spec_index as usize].clone();
         let key = Self::flow_key(spec.id.0, spec.origin);
         if spec.is_ping {
             let mut client = PingClient::new(spec.id, key, spec.size_bytes.max(40) as u32);
-            if let Some(req) = client.maybe_request(now) {
+            let req = client.maybe_request(now, &mut self.arena);
+            // Route the first request before registering the flow's origin,
+            // exactly as the pre-arena code did: in classic (non-agent)
+            // mode the origin lookup misses and the first request travels
+            // outside the bundle. Changing this would silently shift every
+            // subsequent closed-loop RTT sample.
+            if let Some(req) = req {
                 self.route_forward(req, now);
             }
             self.ping_origin.insert(spec.id, spec.origin);
@@ -353,15 +403,12 @@ impl Simulation {
             recorded: false,
         };
         self.flows.insert(spec.id, state);
-        let pkts = self
-            .flows
+        self.flows
             .get_mut(&spec.id)
             .expect("just inserted")
             .sender
-            .maybe_send(now);
-        for p in pkts {
-            self.route_forward(p, now);
-        }
+            .maybe_send(now, &mut self.arena, &mut self.pkt_buf);
+        self.flush_pkt_buf(now);
         self.queue.schedule(
             now + Duration::from_millis(1000),
             Event::RtoCheck { flow: spec.id },
@@ -373,43 +420,44 @@ impl Simulation {
     /// bottleneck. A multi-bundle edge picks the bundle by longest-prefix
     /// match on the destination address instead of by flow bookkeeping —
     /// exactly what a real site edge does.
-    fn route_forward(&mut self, pkt: Packet, now: Nanos) {
+    fn route_forward(&mut self, pkt: PacketId, now: Nanos) {
         if let Some(multi) = self.multi.as_mut() {
-            match multi.classify(&pkt) {
+            match multi.classify(&self.arena[pkt]) {
                 Some(b) => {
-                    multi.enqueue(b, pkt, now);
+                    multi.enqueue(b, pkt, &mut self.arena, now);
                     if !multi.release_scheduled[b] {
                         multi.release_scheduled[b] = true;
                         self.queue
-                            .schedule(now, Event::SendboxRelease { bundle: b });
+                            .schedule(now, Event::SendboxRelease { bundle: b as u32 });
                     }
                 }
                 None => self.send_to_bottleneck(pkt, now),
             }
             return;
         }
+        let flow = self.arena[pkt].flow;
         let origin = self
             .flows
-            .get(&pkt.flow)
+            .get(&flow)
             .map(|f| f.origin)
-            .or_else(|| self.ping_origin.get(&pkt.flow).copied())
+            .or_else(|| self.ping_origin.get(&flow).copied())
             .unwrap_or(Origin::Direct);
         match origin {
             Origin::Bundle(b) if self.bundles.get(b).map(|x| x.is_some()).unwrap_or(false) => {
                 let bundle = self.bundles[b].as_mut().expect("checked above");
-                bundle.enqueue(pkt, now);
+                bundle.enqueue(pkt, &mut self.arena, now);
                 if !bundle.release_scheduled {
                     bundle.release_scheduled = true;
                     self.queue
-                        .schedule(now, Event::SendboxRelease { bundle: b });
+                        .schedule(now, Event::SendboxRelease { bundle: b as u32 });
                 }
             }
             _ => self.send_to_bottleneck(pkt, now),
         }
     }
 
-    fn send_to_bottleneck(&mut self, pkt: Packet, now: Nanos) {
-        let path = self.lb.pick(&pkt);
+    fn send_to_bottleneck(&mut self, pkt: PacketId, now: Nanos) {
+        let path = self.lb.pick(&self.arena[pkt]) as u32;
         self.queue
             .schedule(now, Event::ArriveBottleneck { path, pkt });
     }
@@ -421,32 +469,41 @@ impl Simulation {
         }
         let at = now.max(p.busy_until());
         p.dequeue_scheduled = true;
-        self.queue.schedule(at, Event::PathDequeue { path });
+        self.queue
+            .schedule(at, Event::PathDequeue { path: path as u32 });
     }
 
     fn on_path_dequeue(&mut self, path: usize, now: Nanos) {
         self.paths[path].dequeue_scheduled = false;
-        if let Some((pkt, delivered_at, link_free)) = self.paths[path].try_transmit(now) {
+        if let Some((pkt, delivered_at, link_free)) =
+            self.paths[path].try_transmit(&mut self.arena, now)
+        {
             self.queue
                 .schedule(delivered_at, Event::ArriveDestination { pkt });
             if self.paths[path].queue_len() > 0 {
                 self.paths[path].dequeue_scheduled = true;
-                self.queue.schedule(link_free, Event::PathDequeue { path });
+                self.queue
+                    .schedule(link_free, Event::PathDequeue { path: path as u32 });
             }
         } else if self.paths[path].queue_len() > 0 {
             // Link was still busy: try again when it frees up.
             let at = self.paths[path].busy_until();
             self.paths[path].dequeue_scheduled = true;
-            self.queue.schedule(at, Event::PathDequeue { path });
+            self.queue
+                .schedule(at, Event::PathDequeue { path: path as u32 });
         }
     }
 
-    fn on_arrive_destination(&mut self, pkt: Packet, now: Nanos) {
+    fn on_arrive_destination(&mut self, pkt: PacketId, now: Nanos) {
+        let (flow_id, payload, seq, key) = {
+            let p = &self.arena[pkt];
+            (p.flow, p.payload, p.seq, p.key)
+        };
         let origin = self
             .flows
-            .get(&pkt.flow)
+            .get(&flow_id)
             .map(|f| f.origin)
-            .or_else(|| self.ping_origin.get(&pkt.flow).copied())
+            .or_else(|| self.ping_origin.get(&flow_id).copied())
             .unwrap_or(Origin::Direct);
 
         // The receivebox observes every bundled data packet arriving at the
@@ -457,86 +514,81 @@ impl Simulation {
                 // the send side classified: a packet that missed the prefix
                 // table there (and travelled outside the bundle) must not
                 // produce congestion ACKs for a sendbox that never saw it.
-                if let Some(dst_bundle) = multi.agent.classify(&pkt.key) {
-                    if let Some(ack) = multi.receivebox_on_packet(dst_bundle, &pkt, now) {
-                        self.queue.schedule(
-                            now + self.reverse_delay,
-                            Event::CongestionAckArrive {
-                                bundle: dst_bundle,
-                                ack,
-                            },
-                        );
+                if let Some(dst_bundle) = multi.agent.classify(&key) {
+                    if let Some(ack) = multi.receivebox_on_packet(dst_bundle, &self.arena[pkt], now)
+                    {
+                        self.queue
+                            .schedule(now + self.reverse_delay, Event::CongestionAckArrive { ack });
                     }
                 }
             } else if let Some(Some(bundle)) = self.bundles.get_mut(b) {
-                if let Some(ack) = bundle.receivebox.on_packet(&pkt, now) {
-                    self.queue.schedule(
-                        now + self.reverse_delay,
-                        Event::CongestionAckArrive { bundle: b, ack },
-                    );
+                if let Some(ack) = bundle.receivebox.on_packet(&self.arena[pkt], now) {
+                    self.queue
+                        .schedule(now + self.reverse_delay, Event::CongestionAckArrive { ack });
                 }
             }
             if let Some(acc) = self.bundle_delivered.get_mut(b) {
-                *acc += pkt.payload as u64;
+                *acc += payload as u64;
             }
         } else {
-            self.cross_delivered += pkt.payload as u64;
+            self.cross_delivered += payload as u64;
         }
 
         // Application processing.
-        if self.pings.contains_key(&pkt.flow) {
+        if self.pings.contains_key(&flow_id) {
             // The "server" echoes the request; the response returns over the
-            // (uncongested) reverse path.
-            let response = Packet {
-                kind: PacketKind::Ack,
-                ..pkt
-            };
-            self.queue.schedule(
-                now + self.reverse_delay,
-                Event::ArriveSource { pkt: response },
-            );
+            // (uncongested) reverse path. The packet's arena slot is reused
+            // in place for the response — no copy, no allocation.
+            self.arena[pkt].kind = PacketKind::Ack;
+            self.queue
+                .schedule(now + self.reverse_delay, Event::ArriveSource { pkt });
             return;
         }
-        if let Some(flow) = self.flows.get_mut(&pkt.flow) {
-            let ack_seq = flow.receiver.on_data(pkt.seq, pkt.payload);
+        if let Some(flow) = self.flows.get_mut(&flow_id) {
+            let ack_seq = flow.receiver.on_data(seq, payload);
             // The SACK information must be a snapshot taken together with
             // the cumulative ACK; mixing a stale cumulative value with newer
             // receiver state would make ordinary pipelining look like loss.
-            let ack = Packet::ack(pkt.flow, pkt.key.reversed(), ack_seq, now)
+            let ack = Packet::ack(flow_id, key.reversed(), ack_seq, now)
                 .with_sack_highest(flow.receiver.highest_received());
-            self.queue
-                .schedule(now + self.reverse_delay, Event::ArriveSource { pkt: ack });
+            let ack_id = self.arena.insert(ack);
+            self.queue.schedule(
+                now + self.reverse_delay,
+                Event::ArriveSource { pkt: ack_id },
+            );
         }
+        // The data packet has been consumed at the destination endhost.
+        self.arena.free(pkt);
     }
 
-    fn on_arrive_source(&mut self, pkt: Packet, now: Nanos) {
-        if let Some(ping) = self.pings.get_mut(&pkt.flow) {
-            if let Some(next) = ping.on_response(pkt.seq, now) {
+    fn on_arrive_source(&mut self, pkt: PacketId, now: Nanos) {
+        let (flow_id, seq, sack_highest) = {
+            let p = &self.arena[pkt];
+            (p.flow, p.seq, p.sack_highest)
+        };
+        // Whatever arrives back at the source (transport ACK or ping
+        // response) terminates here.
+        self.arena.free(pkt);
+        if let Some(ping) = self.pings.get_mut(&flow_id) {
+            if let Some(next) = ping.on_response(seq, now, &mut self.arena) {
                 self.route_forward(next, now);
             }
             return;
         }
-        let (new_pkts, completed, origin, size, started) = match self.flows.get_mut(&pkt.flow) {
+        let (completed, origin, size, started) = match self.flows.get_mut(&flow_id) {
             Some(flow) => {
-                let highest = pkt.sack_highest.max(pkt.seq);
-                let pkts = flow.sender.on_ack_sack(pkt.seq, highest, now);
+                let highest = sack_highest.max(seq);
+                flow.sender
+                    .on_ack_sack(seq, highest, now, &mut self.arena, &mut self.pkt_buf);
                 let completed = flow.sender.is_complete() && !flow.recorded;
                 if completed {
                     flow.recorded = true;
                 }
-                (
-                    pkts,
-                    completed,
-                    flow.origin,
-                    flow.size_bytes,
-                    flow.sender.started,
-                )
+                (completed, flow.origin, flow.size_bytes, flow.sender.started)
             }
             None => return,
         };
-        for p in new_pkts {
-            self.route_forward(p, now);
-        }
+        self.flush_pkt_buf(now);
         if completed {
             let fct = now.saturating_since(started);
             let unloaded = self.unloaded_fct(size);
@@ -570,7 +622,7 @@ impl Simulation {
             if let Some(update) = b.tick(now) {
                 self.queue.schedule(
                     now + self.forward_delay,
-                    Event::EpochUpdateArrive { bundle, update },
+                    Event::EpochUpdateArrive { update },
                 );
             }
             b.control.config().control_interval
@@ -579,10 +631,19 @@ impl Simulation {
         let b = self.bundles[bundle].as_mut().expect("checked above");
         if !b.release_scheduled && !b.tbf.is_empty() {
             b.release_scheduled = true;
-            self.queue.schedule(now, Event::SendboxRelease { bundle });
+            self.queue.schedule(
+                now,
+                Event::SendboxRelease {
+                    bundle: bundle as u32,
+                },
+            );
         }
-        self.queue
-            .schedule(now + interval, Event::SendboxTick { bundle });
+        self.queue.schedule(
+            now + interval,
+            Event::SendboxTick {
+                bundle: bundle as u32,
+            },
+        );
     }
 
     /// One batched control tick of the multi-bundle agent: runs every due
@@ -598,12 +659,17 @@ impl Simulation {
             if let Some(update) = update {
                 self.queue.schedule(
                     now + self.forward_delay,
-                    Event::EpochUpdateArrive { bundle, update },
+                    Event::EpochUpdateArrive { update },
                 );
             }
             if !multi.release_scheduled[bundle] && !multi.queue_is_empty(bundle) {
                 multi.release_scheduled[bundle] = true;
-                self.queue.schedule(now, Event::SendboxRelease { bundle });
+                self.queue.schedule(
+                    now,
+                    Event::SendboxRelease {
+                        bundle: bundle as u32,
+                    },
+                );
             }
         }
         if let Some(at) = multi.next_tick_at() {
@@ -612,21 +678,32 @@ impl Simulation {
     }
 
     fn on_multi_release(&mut self, bundle: usize, now: Nanos) {
-        let multi = match self.multi.as_mut() {
-            Some(m) => m,
-            None => return,
-        };
-        multi.release_scheduled[bundle] = false;
-        let (released, reschedule) = drain_release_burst(|t| multi.try_release(bundle, t), now);
-        if reschedule.is_some() {
-            multi.release_scheduled[bundle] = true;
+        if self.multi.is_none() {
+            return;
         }
-        for pkt in released {
+        let mut released = std::mem::take(&mut self.release_buf);
+        let reschedule = {
+            let multi = self.multi.as_mut().expect("checked above");
+            multi.release_scheduled[bundle] = false;
+            let arena = &mut self.arena;
+            let reschedule =
+                drain_release_burst(|t| multi.try_release(bundle, arena, t), now, &mut released);
+            if reschedule.is_some() {
+                multi.release_scheduled[bundle] = true;
+            }
+            reschedule
+        };
+        for pkt in released.drain(..) {
             self.send_to_bottleneck(pkt, now);
         }
+        self.release_buf = released;
         if let Some(d) = reschedule {
-            self.queue
-                .schedule(now + d, Event::SendboxRelease { bundle });
+            self.queue.schedule(
+                now + d,
+                Event::SendboxRelease {
+                    bundle: bundle as u32,
+                },
+            );
         }
     }
 
@@ -635,36 +712,42 @@ impl Simulation {
             self.on_multi_release(bundle, now);
             return;
         }
-        let released;
+        if !matches!(self.bundles.get(bundle), Some(Some(_))) {
+            return;
+        }
+        let mut released = std::mem::take(&mut self.release_buf);
         let reschedule;
         {
-            let b = match self.bundles.get_mut(bundle) {
-                Some(Some(b)) => b,
-                _ => return,
-            };
+            let b = self.bundles[bundle].as_mut().expect("checked above");
             b.release_scheduled = false;
-            (released, reschedule) = drain_release_burst(|t| b.try_release(t), now);
+            let arena = &mut self.arena;
+            reschedule = drain_release_burst(|t| b.try_release(arena, t), now, &mut released);
             if reschedule.is_some() {
                 b.release_scheduled = true;
             }
         }
-        for pkt in released {
+        for pkt in released.drain(..) {
             self.send_to_bottleneck(pkt, now);
         }
+        self.release_buf = released;
         if let Some(d) = reschedule {
-            self.queue
-                .schedule(now + d, Event::SendboxRelease { bundle });
+            self.queue.schedule(
+                now + d,
+                Event::SendboxRelease {
+                    bundle: bundle as u32,
+                },
+            );
         }
     }
 
     fn on_rto_check(&mut self, flow: FlowId, now: Nanos) {
-        let (next, pkts) = match self.flows.get_mut(&flow) {
-            Some(f) => f.sender.on_rto_check(now),
+        let next = match self.flows.get_mut(&flow) {
+            Some(f) => f
+                .sender
+                .on_rto_check(now, &mut self.arena, &mut self.pkt_buf),
             None => return,
         };
-        for p in pkts {
-            self.route_forward(p, now);
-        }
+        self.flush_pkt_buf(now);
         match next {
             Some(at) => self.queue.schedule(at, Event::RtoCheck { flow }),
             None => {
@@ -759,16 +842,16 @@ impl Simulation {
 }
 
 /// Drains one release burst from a sendbox datapath: up to 64 packets per
-/// event (to keep single events bounded), returning the released packets
-/// and the delay after which to schedule the next release event (`None`
-/// when the queue emptied). Shared by the single-bundle and multi-bundle
-/// paths so both pace identically.
+/// event (to keep single events bounded), appending the released packet ids
+/// to `released` and returning the delay after which to schedule the next
+/// release event (`None` when the queue emptied). Shared by the
+/// single-bundle and multi-bundle paths so both pace identically.
 fn drain_release_burst(
     mut try_release: impl FnMut(Nanos) -> Release,
     now: Nanos,
-) -> (Vec<Packet>, Option<Duration>) {
-    let mut released = Vec::new();
-    let reschedule = loop {
+    released: &mut Vec<PacketId>,
+) -> Option<Duration> {
+    loop {
         match try_release(now) {
             Release::Packet(pkt) => {
                 released.push(pkt);
@@ -779,8 +862,7 @@ fn drain_release_burst(
             Release::Wait(d) => break Some(d.max(Duration::from_micros(10))),
             Release::Empty => break None,
         }
-    };
-    (released, reschedule)
+    }
 }
 
 impl Simulation {
@@ -958,6 +1040,58 @@ mod tests {
         assert_eq!(report.completed, 2);
         let bundled: Vec<_> = report.fcts.iter().filter(|f| f.bundle.is_some()).collect();
         assert_eq!(bundled.len(), 1);
+    }
+
+    #[test]
+    fn calendar_and_heap_engines_produce_identical_runs() {
+        // The engine swap must be invisible: same seed, byte-identical
+        // report. This exercises every event type through both engines.
+        let workload = || {
+            vec![
+                FlowSpec::bundled(1, 400_000, Nanos::ZERO, 0),
+                FlowSpec::bundled(2, 25_000, Nanos::from_millis(90), 0),
+                FlowSpec::direct(3, 150_000, Nanos::from_millis(40)),
+                FlowSpec::bundled(4, 40, Nanos::from_millis(10), 0).as_ping(),
+            ]
+        };
+        let mut cfg = single_flow_config(true);
+        cfg.duration = Duration::from_secs(5);
+        let run = |engine| {
+            let mut c = cfg.clone();
+            c.event_engine = engine;
+            Simulation::new(c, workload()).run()
+        };
+        let wheel = run(EventEngine::CalendarWheel);
+        let heap = run(EventEngine::BinaryHeap);
+        assert_eq!(wheel.completed, heap.completed);
+        assert_eq!(wheel.events_processed, heap.events_processed);
+        assert_eq!(wheel.packets_created, heap.packets_created);
+        let fw: Vec<u64> = wheel.fcts.iter().map(|f| f.fct.as_nanos()).collect();
+        let fh: Vec<u64> = heap.fcts.iter().map(|f| f.fct.as_nanos()).collect();
+        assert_eq!(fw, fh, "engines must be byte-identical");
+        assert_eq!(wheel.ping_rtts_ms[0], heap.ping_rtts_ms[0]);
+        assert_eq!(
+            wheel.bottleneck_queue_delay_ms.samples,
+            heap.bottleneck_queue_delay_ms.samples
+        );
+    }
+
+    #[test]
+    fn packet_arena_recycles_in_steady_state() {
+        // A multi-second run creates hundreds of thousands of packets but
+        // only ever has a bounded number in flight: nearly every allocation
+        // must come from the arena free list.
+        let workload = vec![FlowSpec::bundled(1, FlowSpec::BACKLOGGED, Nanos::ZERO, 0)];
+        let mut cfg = single_flow_config(true);
+        cfg.duration = Duration::from_secs(10);
+        let report = Simulation::new(cfg, workload).run();
+        assert!(report.packets_created > 10_000);
+        let fresh = report.packets_created - report.packets_recycled;
+        assert!(
+            fresh < report.packets_created / 10,
+            "steady state should recycle: {fresh} fresh of {} total",
+            report.packets_created
+        );
     }
 
     #[test]

@@ -232,6 +232,18 @@ pub struct SimReport {
     /// The site agent's own counters, when the run used a `MultiBundle`
     /// edge.
     pub agent_stats: Option<bundler_agent::AgentStats>,
+    /// Total events the simulation loop processed. Together with the wall
+    /// time around [`Simulation::run`](crate::Simulation::run) this is the
+    /// simulator-throughput metric (`events/sec`) the perf trajectory in
+    /// `BENCH_*.json` tracks.
+    pub events_processed: u64,
+    /// Total packets created over the run (arena inserts: data, ACKs, pings
+    /// and retransmissions).
+    pub packets_created: u64,
+    /// How many of those packet allocations were served from the arena's
+    /// free list; `packets_created - packets_recycled` is the arena
+    /// high-water mark, everything else was alloc-free.
+    pub packets_recycled: u64,
 }
 
 impl SimReport {

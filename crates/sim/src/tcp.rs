@@ -8,11 +8,17 @@
 //! fast retransmit, retransmission timeouts with exponential backoff, and
 //! RTT estimation. Endhosts are completely unaware of Bundler — exactly the
 //! deployment model of the paper.
+//!
+//! Senders allocate their packets directly into the simulation's
+//! [`PacketArena`] and report them as [`PacketId`]s through a caller-owned
+//! scratch buffer, so the steady-state send path performs no allocation.
 
 use std::collections::BTreeMap;
 
 use bundler_cc::{AckEvent, EndhostAlg, LossEvent, WindowCc};
-use bundler_types::{Duration, FlowId, FlowKey, Nanos, Packet, TrafficClass};
+use bundler_types::{
+    Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, TrafficClass,
+};
 
 /// Maximum segment size used by the simulated endhosts (bytes of payload).
 pub const MSS: u64 = 1460;
@@ -57,6 +63,12 @@ pub struct TcpSender {
     /// out-of-order data the receiver has buffered). Plays the role of SACK
     /// information for loss detection.
     highest_sacked: u64,
+    /// Low-water mark of the SACK-repair scan: every segment below it has
+    /// already been examined (and repaired if eligible) in the current
+    /// recovery episode, so each ACK resumes the scan instead of rewalking
+    /// the whole in-flight map. Reset on RTO, which clears the
+    /// `retransmitted` marks the scan keys off.
+    repair_next: u64,
     srtt: Option<Duration>,
     rttvar: Duration,
     min_rtt: Duration,
@@ -108,6 +120,7 @@ impl TcpSender {
             dup_acks: 0,
             recovery_point: None,
             highest_sacked: 0,
+            repair_next: 0,
             srtt: None,
             rttvar: Duration::ZERO,
             min_rtt: Duration::MAX,
@@ -171,9 +184,9 @@ impl TcpSender {
         p
     }
 
-    /// Sends as much new data as the congestion window allows.
-    pub fn maybe_send(&mut self, now: Nanos) -> Vec<Packet> {
-        let mut out = Vec::new();
+    /// Sends as much new data as the congestion window allows, inserting
+    /// the packets into `arena` and appending their ids to `out`.
+    pub fn maybe_send(&mut self, now: Nanos, arena: &mut PacketArena, out: &mut Vec<PacketId>) {
         let cwnd = self.cc.cwnd();
         while self.remaining() > 0 {
             let len = self.remaining().min(MSS) as u32;
@@ -192,12 +205,12 @@ impl TcpSender {
             );
             self.bytes_in_flight += len as u64;
             self.last_activity = now;
-            out.push(self.build_packet(seq, len, now, false));
+            let pkt = self.build_packet(seq, len, now, false);
+            out.push(arena.insert(pkt));
             if self.bytes_in_flight >= cwnd {
                 break;
             }
         }
-        out
     }
 
     fn retransmit_first_unacked(&mut self, now: Nanos) -> Option<Packet> {
@@ -209,12 +222,18 @@ impl TcpSender {
         Some(self.build_packet(seq, len, now, true))
     }
 
-    /// Processes a cumulative ACK for byte `ack_seq`, returning any packets
-    /// to transmit (retransmissions and newly allowed data). Equivalent to
-    /// [`TcpSender::on_ack_sack`] with no selective-acknowledgement
-    /// information.
-    pub fn on_ack(&mut self, ack_seq: u64, now: Nanos) -> Vec<Packet> {
-        self.on_ack_sack(ack_seq, ack_seq, now)
+    /// Processes a cumulative ACK for byte `ack_seq`, appending any packets
+    /// to transmit (retransmissions and newly allowed data) to `out`.
+    /// Equivalent to [`TcpSender::on_ack_sack`] with no
+    /// selective-acknowledgement information.
+    pub fn on_ack(
+        &mut self,
+        ack_seq: u64,
+        now: Nanos,
+        arena: &mut PacketArena,
+        out: &mut Vec<PacketId>,
+    ) {
+        self.on_ack_sack(ack_seq, ack_seq, now, arena, out)
     }
 
     /// Processes a cumulative ACK for byte `ack_seq`, where the receiver is
@@ -223,30 +242,33 @@ impl TcpSender {
     /// `highest_received` that are still unacknowledged are treated as lost
     /// and retransmitted, which is what lets the sender recover from large
     /// burst losses without waiting out one RTO per segment.
-    pub fn on_ack_sack(&mut self, ack_seq: u64, highest_received: u64, now: Nanos) -> Vec<Packet> {
-        let mut out = Vec::new();
+    pub fn on_ack_sack(
+        &mut self,
+        ack_seq: u64,
+        highest_received: u64,
+        now: Nanos,
+        arena: &mut PacketArena,
+        out: &mut Vec<PacketId>,
+    ) {
         if self.completed.is_some() {
-            return out;
+            return;
         }
         self.last_activity = now;
         self.highest_sacked = self.highest_sacked.max(highest_received).max(ack_seq);
         if ack_seq > self.snd_una {
             let newly_acked = ack_seq - self.snd_una;
             // Remove covered segments, picking up an RTT sample from a
-            // never-retransmitted segment (Karn's algorithm).
+            // never-retransmitted segment (Karn's algorithm). Segments are
+            // sorted and non-overlapping, so covered ones form a prefix.
             let mut rtt_sample = None;
-            let covered: Vec<u64> = self
-                .inflight
-                .range(..ack_seq)
-                .filter(|(&seq, seg)| seq + seg.len as u64 <= ack_seq)
-                .map(|(&seq, _)| seq)
-                .collect();
-            for seq in covered {
-                if let Some(seg) = self.inflight.remove(&seq) {
-                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.len as u64);
-                    if !seg.retransmitted {
-                        rtt_sample = Some(now.saturating_since(seg.sent_at));
-                    }
+            while let Some((&seq, seg)) = self.inflight.first_key_value() {
+                if seq + seg.len as u64 > ack_seq {
+                    break;
+                }
+                let seg = self.inflight.remove(&seq).expect("first key exists");
+                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.len as u64);
+                if !seg.retransmitted {
+                    rtt_sample = Some(now.saturating_since(seg.sent_at));
                 }
             }
             self.snd_una = ack_seq;
@@ -273,9 +295,9 @@ impl TcpSender {
             });
             if self.snd_una >= self.size_bytes {
                 self.completed = Some(now);
-                return out;
+                return;
             }
-            out.extend(self.maybe_send(now));
+            self.maybe_send(now, arena, out);
         } else if !self.inflight.is_empty() {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -287,7 +309,7 @@ impl TcpSender {
                     is_timeout: false,
                 });
                 if let Some(p) = self.retransmit_first_unacked(now) {
-                    out.push(p);
+                    out.push(arena.insert(p));
                 }
             }
         }
@@ -296,17 +318,36 @@ impl TcpSender {
         // three segments below the highest data the receiver is known to
         // hold is presumed lost. Repair a few per ACK so recovery stays
         // ACK-clocked rather than dumping the whole hole at once.
+        //
+        // The scan resumes from `repair_next` rather than rewalking the
+        // whole in-flight map on every ACK: everything below it was already
+        // examined this episode (and either repaired then or found already
+        // retransmitted — a mark only an RTO clears, which also resets the
+        // low-water mark). With large windows this turns recovery from
+        // O(window) per ACK into O(window) per episode.
         if self.completed.is_none() && !self.inflight.is_empty() {
             let threshold = self.highest_sacked.saturating_sub(3 * MSS);
             if threshold > self.snd_una {
-                let candidates: Vec<u64> = self
-                    .inflight
-                    .iter()
-                    .filter(|&(&seq, seg)| seq + seg.len as u64 <= threshold && !seg.retransmitted)
-                    .map(|(&seq, _)| seq)
-                    .take(3)
-                    .collect();
-                if !candidates.is_empty() && self.recovery_point.is_none() {
+                let start = self.repair_next.max(self.snd_una);
+                let mut candidates = [0u64; 3];
+                let mut n = 0;
+                let mut scanned_to = threshold;
+                for (&seq, seg) in self.inflight.range(start..threshold) {
+                    if seq + seg.len as u64 > threshold {
+                        scanned_to = seq;
+                        break;
+                    }
+                    if !seg.retransmitted {
+                        candidates[n] = seq;
+                        n += 1;
+                        if n == 3 {
+                            scanned_to = seq + seg.len as u64;
+                            break;
+                        }
+                    }
+                }
+                self.repair_next = self.repair_next.max(scanned_to);
+                if n > 0 && self.recovery_point.is_none() {
                     self.recovery_point = Some(self.next_seq);
                     self.cc.on_loss(&LossEvent {
                         now,
@@ -314,17 +355,17 @@ impl TcpSender {
                         is_timeout: false,
                     });
                 }
-                for seq in candidates {
+                for &seq in &candidates[..n] {
                     if let Some(seg) = self.inflight.get_mut(&seq) {
                         seg.retransmitted = true;
                         seg.sent_at = now;
                         let len = seg.len;
-                        out.push(self.build_packet(seq, len, now, true));
+                        let pkt = self.build_packet(seq, len, now, true);
+                        out.push(arena.insert(pkt));
                     }
                 }
             }
         }
-        out
     }
 
     fn update_rtt(&mut self, rtt: Duration) {
@@ -345,11 +386,16 @@ impl TcpSender {
     }
 
     /// Periodic retransmission-timeout check. Returns the time at which the
-    /// next check should run (if any data is outstanding) and any packets to
-    /// transmit now.
-    pub fn on_rto_check(&mut self, now: Nanos) -> (Option<Nanos>, Vec<Packet>) {
+    /// next check should run (if any data is outstanding), appending any
+    /// packets to transmit now to `out`.
+    pub fn on_rto_check(
+        &mut self,
+        now: Nanos,
+        arena: &mut PacketArena,
+        out: &mut Vec<PacketId>,
+    ) -> Option<Nanos> {
         if self.completed.is_some() || self.inflight.is_empty() {
-            return (None, Vec::new());
+            return None;
         }
         let effective_rto = self.rto * (1u64 << self.rto_backoff.min(5));
         let deadline = self.last_activity + effective_rto;
@@ -362,6 +408,9 @@ impl TcpSender {
             self.rto_backoff = (self.rto_backoff + 1).min(6);
             self.dup_acks = 0;
             self.recovery_point = None;
+            // Clearing the marks re-arms the SACK-repair scan from the
+            // bottom of the window.
+            self.repair_next = 0;
             for seg in self.inflight.values_mut() {
                 seg.retransmitted = false;
             }
@@ -370,14 +419,12 @@ impl TcpSender {
                 lost_bytes: MSS,
                 is_timeout: true,
             });
-            let mut out = Vec::new();
             if let Some(p) = self.retransmit_first_unacked(now) {
-                out.push(p);
+                out.push(arena.insert(p));
             }
-            let next = now + (self.rto * (1u64 << self.rto_backoff.min(5))).min(MAX_RTO);
-            (Some(next), out)
+            Some(now + (self.rto * (1u64 << self.rto_backoff.min(5))).min(MAX_RTO))
         } else {
-            (Some(deadline), Vec::new())
+            Some(deadline)
         }
     }
 }
@@ -471,7 +518,7 @@ impl PingClient {
     }
 
     /// Issues the next request if none is outstanding.
-    pub fn maybe_request(&mut self, now: Nanos) -> Option<Packet> {
+    pub fn maybe_request(&mut self, now: Nanos, arena: &mut PacketArena) -> Option<PacketId> {
         if self.outstanding.is_some() {
             return None;
         }
@@ -480,21 +527,25 @@ impl PingClient {
         self.outstanding = Some((self.seq, now));
         let mut key = self.key;
         key.protocol = bundler_types::Protocol::Udp;
-        Some(
-            Packet::data(self.id, key, self.seq, self.payload, now)
-                .with_ip_id(self.ip_id)
-                .with_class(TrafficClass::HIGH),
-        )
+        let pkt = Packet::data(self.id, key, self.seq, self.payload, now)
+            .with_ip_id(self.ip_id)
+            .with_class(TrafficClass::HIGH);
+        Some(arena.insert(pkt))
     }
 
     /// Processes the response to request `seq`, recording its RTT, and
     /// issues the next request.
-    pub fn on_response(&mut self, seq: u64, now: Nanos) -> Option<Packet> {
+    pub fn on_response(
+        &mut self,
+        seq: u64,
+        now: Nanos,
+        arena: &mut PacketArena,
+    ) -> Option<PacketId> {
         match self.outstanding {
             Some((out_seq, sent_at)) if out_seq == seq => {
                 self.rtts.push(now.saturating_since(sent_at));
                 self.outstanding = None;
-                self.maybe_request(now)
+                self.maybe_request(now, arena)
             }
             _ => None,
         }
@@ -546,38 +597,58 @@ mod tests {
         )
     }
 
+    fn send(s: &mut TcpSender, a: &mut PacketArena, now: Nanos) -> Vec<PacketId> {
+        let mut out = Vec::new();
+        s.maybe_send(now, a, &mut out);
+        out
+    }
+
+    fn ack(s: &mut TcpSender, a: &mut PacketArena, seq: u64, now: Nanos) -> Vec<PacketId> {
+        let mut out = Vec::new();
+        s.on_ack(seq, now, a, &mut out);
+        out
+    }
+
     #[test]
     fn initial_window_limits_first_burst() {
+        let mut a = PacketArena::new();
         let mut s = sender(1_000_000);
-        let pkts = s.maybe_send(Nanos::ZERO);
+        let pkts = send(&mut s, &mut a, Nanos::ZERO);
         // Cubic starts with a 10-packet initial window.
         assert_eq!(pkts.len(), 10);
         assert_eq!(s.bytes_in_flight(), 10 * MSS);
         // No more until ACKs arrive.
-        assert!(s.maybe_send(Nanos::from_millis(1)).is_empty());
+        assert!(send(&mut s, &mut a, Nanos::from_millis(1)).is_empty());
     }
 
     #[test]
     fn short_flow_completes_after_acks() {
+        let mut a = PacketArena::new();
         let mut s = sender(3000);
-        let pkts = s.maybe_send(Nanos::ZERO);
+        let pkts = send(&mut s, &mut a, Nanos::ZERO);
         assert_eq!(pkts.len(), 3, "3000 bytes = 3 segments");
         assert!(!s.is_complete());
-        s.on_ack(3000, Nanos::from_millis(50));
+        ack(&mut s, &mut a, 3000, Nanos::from_millis(50));
         assert!(s.is_complete());
         assert_eq!(s.completed, Some(Nanos::from_millis(50)));
     }
 
     #[test]
     fn window_grows_and_more_data_flows() {
+        let mut a = PacketArena::new();
         let mut s = sender(10_000_000);
-        let first = s.maybe_send(Nanos::ZERO);
+        let first = send(&mut s, &mut a, Nanos::ZERO);
         let mut acked = 0;
         let mut sent = first.len();
         // ACK everything we have sent, one RTT later, a few times.
         for round in 1..=5u64 {
             acked += sent as u64 * MSS;
-            let more = s.on_ack(acked.min(10_000_000), Nanos::from_millis(round * 50));
+            let more = ack(
+                &mut s,
+                &mut a,
+                acked.min(10_000_000),
+                Nanos::from_millis(round * 50),
+            );
             sent = more.len();
             assert!(sent > 0, "window should keep the flow sending");
         }
@@ -587,38 +658,42 @@ mod tests {
 
     #[test]
     fn triple_duplicate_ack_triggers_one_fast_retransmit() {
+        let mut a = PacketArena::new();
         let mut s = sender(1_000_000);
-        let pkts = s.maybe_send(Nanos::ZERO);
+        let pkts = send(&mut s, &mut a, Nanos::ZERO);
         assert!(pkts.len() >= 4);
         // First segment is lost; receiver keeps acking 0... wait, receiver
         // acks the highest contiguous byte, which is 0 until seg 0 arrives.
         // Duplicate ACKs for byte 0:
-        let r1 = s.on_ack(0, Nanos::from_millis(51));
-        let r2 = s.on_ack(0, Nanos::from_millis(52));
+        let r1 = ack(&mut s, &mut a, 0, Nanos::from_millis(51));
+        let r2 = ack(&mut s, &mut a, 0, Nanos::from_millis(52));
         assert!(r1.is_empty() && r2.is_empty());
-        let r3 = s.on_ack(0, Nanos::from_millis(53));
+        let r3 = ack(&mut s, &mut a, 0, Nanos::from_millis(53));
         assert_eq!(r3.len(), 1, "third duplicate ACK triggers fast retransmit");
-        assert!(r3[0].retransmit);
-        assert_eq!(r3[0].seq, 0);
+        assert!(a[r3[0]].retransmit);
+        assert_eq!(a[r3[0]].seq, 0);
         // Further dup ACKs do not retransmit again.
-        let r4 = s.on_ack(0, Nanos::from_millis(54));
+        let r4 = ack(&mut s, &mut a, 0, Nanos::from_millis(54));
         assert!(r4.is_empty());
         assert_eq!(s.retransmits, 1);
     }
 
     #[test]
     fn rto_fires_and_backs_off() {
+        let mut a = PacketArena::new();
         let mut s = sender(100_000);
-        s.maybe_send(Nanos::ZERO);
+        send(&mut s, &mut a, Nanos::ZERO);
         let cwnd_before = s.cwnd();
         // First check before the timeout: nothing happens.
-        let (next, pkts) = s.on_rto_check(Nanos::from_millis(100));
+        let mut pkts = Vec::new();
+        let next = s.on_rto_check(Nanos::from_millis(100), &mut a, &mut pkts);
         assert!(pkts.is_empty());
         let deadline = next.unwrap();
         // At the deadline the sender times out and retransmits.
-        let (next2, pkts2) = s.on_rto_check(deadline);
+        let mut pkts2 = Vec::new();
+        let next2 = s.on_rto_check(deadline, &mut a, &mut pkts2);
         assert_eq!(pkts2.len(), 1);
-        assert!(pkts2[0].retransmit);
+        assert!(a[pkts2[0]].retransmit);
         assert!(s.cwnd() < cwnd_before, "timeout collapses the window");
         // The next deadline is further away (exponential backoff).
         assert!(next2.unwrap().saturating_since(deadline) >= s.rto());
@@ -626,27 +701,30 @@ mod tests {
 
     #[test]
     fn rto_check_idle_flow_returns_none() {
+        let mut a = PacketArena::new();
         let mut s = sender(1000);
-        s.maybe_send(Nanos::ZERO);
-        s.on_ack(1000, Nanos::from_millis(10));
+        send(&mut s, &mut a, Nanos::ZERO);
+        ack(&mut s, &mut a, 1000, Nanos::from_millis(10));
         assert!(s.is_complete());
-        let (next, pkts) = s.on_rto_check(Nanos::from_millis(500));
+        let mut pkts = Vec::new();
+        let next = s.on_rto_check(Nanos::from_millis(500), &mut a, &mut pkts);
         assert!(next.is_none() && pkts.is_empty());
     }
 
     #[test]
     fn backlogged_flow_never_completes() {
+        let mut a = PacketArena::new();
         let mut s = sender(u64::MAX);
         // Acknowledge everything outstanding each round; the flow must keep
         // producing data forever and grow its window.
-        let mut sent_pkts = s.maybe_send(Nanos::ZERO).len() as u64;
+        let mut sent_pkts = send(&mut s, &mut a, Nanos::ZERO).len() as u64;
         // Only a handful of rounds: the window doubles every round (no
         // losses), so long loops would ask for absurdly large bursts.
         for round in 1..=8u64 {
             let acked = sent_pkts * MSS;
-            let more = s.on_ack(acked, Nanos::from_millis(round * 50));
+            let more = ack(&mut s, &mut a, acked, Nanos::from_millis(round * 50));
             sent_pkts += more.len() as u64;
-            sent_pkts += s.maybe_send(Nanos::from_millis(round * 50)).len() as u64;
+            sent_pkts += send(&mut s, &mut a, Nanos::from_millis(round * 50)).len() as u64;
         }
         assert!(!s.is_complete());
         assert!(s.packets_sent > 100, "packets_sent = {}", s.packets_sent);
@@ -654,9 +732,10 @@ mod tests {
 
     #[test]
     fn packets_get_distinct_ip_ids() {
+        let mut a = PacketArena::new();
         let mut s = sender(100_000);
-        let pkts = s.maybe_send(Nanos::ZERO);
-        let mut ids: Vec<u16> = pkts.iter().map(|p| p.ip_id).collect();
+        let pkts = send(&mut s, &mut a, Nanos::ZERO);
+        let mut ids: Vec<u16> = pkts.iter().map(|&p| a[p].ip_id).collect();
         ids.dedup();
         assert_eq!(
             ids.len(),
@@ -683,16 +762,18 @@ mod tests {
 
     #[test]
     fn ping_client_round_trips() {
+        let mut a = PacketArena::new();
         let mut p = PingClient::new(FlowId(9), key(), 40);
-        let req = p.maybe_request(Nanos::ZERO).unwrap();
-        assert_eq!(req.payload, 40);
+        let req = p.maybe_request(Nanos::ZERO, &mut a).unwrap();
+        assert_eq!(a[req].payload, 40);
         // Second request refused while one is outstanding.
-        assert!(p.maybe_request(Nanos::from_millis(1)).is_none());
-        let next = p.on_response(req.seq, Nanos::from_millis(30));
+        assert!(p.maybe_request(Nanos::from_millis(1), &mut a).is_none());
+        let req_seq = a[req].seq;
+        let next = p.on_response(req_seq, Nanos::from_millis(30), &mut a);
         assert!(next.is_some(), "next request issued immediately");
         assert_eq!(p.completed(), 1);
         assert_eq!(p.rtts[0], Duration::from_millis(30));
         // Response to a stale sequence number is ignored.
-        assert!(p.on_response(999, Nanos::from_millis(40)).is_none());
+        assert!(p.on_response(999, Nanos::from_millis(40), &mut a).is_none());
     }
 }

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bytes;
 pub mod flow;
 pub mod packet;
@@ -16,6 +17,7 @@ pub mod rate;
 pub mod time;
 
 pub use crate::bytes::ByteCount;
+pub use arena::{PacketArena, PacketId};
 pub use flow::{ipv4, FlowId, FlowKey, Protocol};
 pub use packet::{Packet, PacketKind, TrafficClass};
 pub use prefix::IpPrefix;

@@ -48,16 +48,20 @@ fn facade_reexports_compose() {
 fn schedulers_are_usable_through_the_facade() {
     let key = FlowKey::tcp(ipv4(10, 0, 0, 1), 1000, ipv4(10, 1, 0, 1), 80);
     for policy in Policy::all() {
+        let mut arena = bundler::types::PacketArena::new();
         let mut s = policy.build(64);
         for i in 0..10u64 {
             let p = Packet::data(FlowId(i), key, 0, 500, Nanos::ZERO).with_ip_id(i as u16);
-            s.enqueue(p, Nanos::ZERO);
+            let id = arena.insert(p);
+            s.enqueue(id, &mut arena, Nanos::ZERO);
         }
         let mut n = 0;
-        while s.dequeue(Nanos::from_millis(1)).is_some() {
+        while let Some(id) = s.dequeue(&mut arena, Nanos::from_millis(1)) {
+            arena.free(id);
             n += 1;
         }
         assert_eq!(n, 10, "{policy} should drain all packets");
+        assert!(arena.is_empty());
     }
 }
 

@@ -15,7 +15,7 @@
 //! * **Telemetry**: uniform per-bundle snapshots for export.
 
 use bundler_core::feedback::{BundleId, CongestionAck};
-use bundler_core::{BundlerConfig, Sendbox, SendboxOutput, SendboxTelemetry};
+use bundler_core::{BundlerConfig, FnvHashMap, Sendbox, SendboxOutput, SendboxTelemetry};
 use bundler_types::{Duration, FlowKey, IpPrefix, Nanos, Packet};
 
 use crate::classifier::PrefixClassifier;
@@ -69,14 +69,26 @@ pub struct BundleTick {
 struct ManagedBundle {
     control: Sendbox,
     prefixes: Vec<IpPrefix>,
+    /// The bundle's site-wide identity. Equal to the slot index when
+    /// bundles are added with [`SiteAgent::add_bundle`]; a sharded runtime
+    /// that partitions the bundle table across agents assigns the global
+    /// index instead (via [`SiteAgent::add_bundle_with_id`]).
+    id: BundleId,
 }
 
 /// A site-edge agent managing one [`Sendbox`] control plane per remote
 /// site.
+///
+/// Bundles are addressed by their *global* id everywhere (classification
+/// results, ACK routing, telemetry), so an agent can manage either the
+/// whole site's bundle table or one shard's partition of it without the
+/// caller caring which.
 pub struct SiteAgent {
     config: AgentConfig,
     classifier: PrefixClassifier<usize>,
     bundles: Vec<ManagedBundle>,
+    /// Global bundle id → slot in `bundles`.
+    slot_of: FnvHashMap<u32, usize>,
     wheel: TimerWheel<usize>,
     stats: AgentStats,
 }
@@ -103,6 +115,7 @@ impl SiteAgent {
         SiteAgent {
             classifier: PrefixClassifier::new(),
             bundles: Vec::new(),
+            slot_of: FnvHashMap::default(),
             wheel: TimerWheel::new(config.tick_quantum),
             stats: AgentStats::default(),
             config,
@@ -141,8 +154,29 @@ impl SiteAgent {
         config: BundlerConfig,
         now: Nanos,
     ) -> Result<usize, String> {
+        let id = BundleId(self.bundles.len() as u32);
+        self.add_bundle_with_id(prefixes, config, id, now)
+            .map(|id| id.0 as usize)
+    }
+
+    /// Adds a bundle under an explicit site-wide identity, for hosts that
+    /// partition one site's bundle table across several agents (each agent
+    /// manages a subset of slots but must still classify, route ACKs and
+    /// export telemetry under the global index). Everything
+    /// [`SiteAgent::add_bundle`] validates is validated here too; the id
+    /// must be unused.
+    pub fn add_bundle_with_id(
+        &mut self,
+        prefixes: &[IpPrefix],
+        config: BundlerConfig,
+        id: BundleId,
+        now: Nanos,
+    ) -> Result<BundleId, String> {
         if prefixes.is_empty() {
             return Err("a bundle needs at least one destination prefix".into());
+        }
+        if self.slot_of.contains_key(&id.0) {
+            return Err(format!("bundle id {} is already managed", id.0));
         }
         for p in prefixes {
             // Exact match, not LPM: a duplicate must be caught even when a
@@ -151,17 +185,25 @@ impl SiteAgent {
                 return Err(format!("prefix {p} is already routed to bundle {owner}"));
             }
         }
-        let index = self.bundles.len();
-        let control = Sendbox::new(BundleId(index as u32), config)?;
+        let slot = self.bundles.len();
+        let control = Sendbox::new(id, config)?;
         for p in prefixes {
-            self.classifier.insert(*p, index);
+            self.classifier.insert(*p, id.0 as usize);
         }
         self.bundles.push(ManagedBundle {
             control,
             prefixes: prefixes.to_vec(),
+            id,
         });
-        self.wheel.schedule(now + config.control_interval, index);
-        Ok(index)
+        self.slot_of.insert(id.0, slot);
+        self.wheel.schedule(now + config.control_interval, slot);
+        Ok(id)
+    }
+
+    /// The slot of a global bundle id, if this agent manages it.
+    #[inline]
+    fn slot(&self, bundle: usize) -> Option<usize> {
+        self.slot_of.get(&(bundle as u32)).copied()
     }
 
     /// Longest-prefix-match classification of a destination address.
@@ -188,7 +230,7 @@ impl SiteAgent {
     /// Notifies bundle `bundle`'s control plane that the datapath forwarded
     /// `pkt` at `now`. Returns `true` if the packet was an epoch boundary.
     pub fn on_packet_forwarded(&mut self, bundle: usize, pkt: &Packet, now: Nanos) -> bool {
-        match self.bundles.get_mut(bundle) {
+        match self.slot(bundle).and_then(|s| self.bundles.get_mut(s)) {
             Some(b) => b.control.on_packet_forwarded(pkt, now),
             None => false,
         }
@@ -196,13 +238,32 @@ impl SiteAgent {
 
     /// Delivers a congestion ACK, routed by the bundle id it carries.
     pub fn on_congestion_ack(&mut self, ack: &CongestionAck, now: Nanos) {
-        match self.bundles.get_mut(ack.bundle.0 as usize) {
+        let slot = self.slot_of.get(&ack.bundle.0).copied();
+        match slot.and_then(|s| self.bundles.get_mut(s)) {
             Some(b) => {
                 b.control.on_congestion_ack(ack, now);
                 self.stats.acks_delivered += 1;
             }
             None => self.stats.acks_unknown += 1,
         }
+    }
+
+    /// Runs one bundle's control tick immediately (outside the wheel),
+    /// given its datapath queue occupancy. This is the entry point for
+    /// hosts that drive ticks from their own event loop — the sharded
+    /// simulator schedules one `ControlTick` event per bundle so tick
+    /// order is canonical across shard counts. Returns `None` for an
+    /// unmanaged id.
+    pub fn tick_bundle(
+        &mut self,
+        bundle: usize,
+        queue_bytes: u64,
+        now: Nanos,
+    ) -> Option<SendboxOutput> {
+        let slot = self.slot(bundle)?;
+        let output = self.bundles[slot].control.on_tick(queue_bytes, now);
+        self.stats.ticks_run += 1;
+        Some(output)
     }
 
     /// Advances the tick wheel to `now` and runs the control tick of every
@@ -221,16 +282,14 @@ impl SiteAgent {
         self.stats.advances += 1;
         let due = self.wheel.advance(now);
         let mut out = Vec::with_capacity(due.len());
-        for (deadline, index) in due {
-            let b = &mut self.bundles[index];
-            let output = b.control.on_tick(queue_bytes(index), now);
+        for (deadline, slot) in due {
+            let b = &mut self.bundles[slot];
+            let bundle = b.id.0 as usize;
+            let output = b.control.on_tick(queue_bytes(bundle), now);
             self.wheel
-                .schedule(deadline + b.control.config().control_interval, index);
+                .schedule(deadline + b.control.config().control_interval, slot);
             self.stats.ticks_run += 1;
-            out.push(BundleTick {
-                bundle: index,
-                output,
-            });
+            out.push(BundleTick { bundle, output });
         }
         out
     }
@@ -242,30 +301,36 @@ impl SiteAgent {
         self.wheel.next_due()
     }
 
-    /// Read access to a bundle's control plane.
+    /// Read access to a bundle's control plane (by global id).
     pub fn sendbox(&self, bundle: usize) -> Option<&Sendbox> {
-        self.bundles.get(bundle).map(|b| &b.control)
+        self.slot(bundle)
+            .and_then(|s| self.bundles.get(s))
+            .map(|b| &b.control)
     }
 
-    /// The prefixes routed to a bundle.
+    /// The prefixes routed to a bundle (by global id).
     pub fn prefixes(&self, bundle: usize) -> Option<&[IpPrefix]> {
-        self.bundles.get(bundle).map(|b| b.prefixes.as_slice())
+        self.slot(bundle)
+            .and_then(|s| self.bundles.get(s))
+            .map(|b| b.prefixes.as_slice())
     }
 
-    /// Telemetry snapshot of one bundle.
+    /// Telemetry snapshot of one bundle (by global id).
     pub fn telemetry(&self, bundle: usize) -> Option<SendboxTelemetry> {
-        self.bundles.get(bundle).map(|b| b.control.telemetry())
+        self.slot(bundle)
+            .and_then(|s| self.bundles.get(s))
+            .map(|b| b.control.telemetry())
     }
 
-    /// Telemetry snapshot of every bundle, ordered by handle.
+    /// Telemetry snapshot of every managed bundle, reported under global
+    /// ids, ordered by slot (= addition order).
     pub fn snapshots(&self) -> AgentTelemetry {
         AgentTelemetry {
             bundles: self
                 .bundles
                 .iter()
-                .enumerate()
-                .map(|(index, b)| BundleTelemetry {
-                    index,
+                .map(|b| BundleTelemetry {
+                    index: b.id.0 as usize,
                     prefixes: b.prefixes.clone(),
                     snapshot: b.control.telemetry(),
                 })
@@ -424,6 +489,77 @@ mod tests {
         };
         agent.on_congestion_ack(&bogus, Nanos::from_secs(1));
         assert_eq!(agent.stats().acks_unknown, 1);
+    }
+
+    #[test]
+    fn partitioned_agents_address_bundles_by_global_id() {
+        // One site's table of 4 bundles, partitioned across two agents the
+        // way a 2-shard runtime would: even ids on one, odd ids on the
+        // other. Every global-id-addressed operation must behave as it
+        // does on the unpartitioned agent.
+        let mut shard0 = SiteAgent::default();
+        let mut shard1 = SiteAgent::default();
+        for site in 0..4u8 {
+            let agent = if site % 2 == 0 {
+                &mut shard0
+            } else {
+                &mut shard1
+            };
+            let id = agent
+                .add_bundle_with_id(
+                    &[prefix(site)],
+                    BundlerConfig::default(),
+                    BundleId(site as u32),
+                    Nanos::ZERO,
+                )
+                .unwrap();
+            assert_eq!(id, BundleId(site as u32));
+        }
+        // Classification returns global ids from the partitioned table.
+        assert_eq!(shard1.classify_packet(&pkt_to(3, 0)), Some(3));
+        assert_eq!(shard1.classify_packet(&pkt_to(0, 0)), None, "not managed");
+        // Forwarding, ticking and telemetry address global ids.
+        assert!(shard1.sendbox(3).is_some());
+        assert!(shard1.sendbox(2).is_none());
+        shard1.on_packet_forwarded(3, &pkt_to(3, 1), Nanos::from_millis(1));
+        let out = shard1.tick_bundle(3, 0, Nanos::from_millis(10));
+        assert!(out.is_some());
+        assert_eq!(shard1.tick_bundle(0, 0, Nanos::from_millis(10)), None);
+        assert_eq!(shard1.sendbox(3).unwrap().stats().ticks, 1);
+        let snaps = shard1.snapshots();
+        assert_eq!(
+            snaps.bundles.iter().map(|b| b.index).collect::<Vec<_>>(),
+            vec![1, 3],
+            "telemetry reports global ids"
+        );
+        // ACKs route by the global id they carry; unmanaged ids count as
+        // unknown on this shard.
+        let ack = CongestionAck {
+            bundle: BundleId(1),
+            packet_hash: 1,
+            bytes_received: 1000,
+            packets_received: 1,
+            observed_at: Nanos::from_millis(5),
+        };
+        shard1.on_congestion_ack(&ack, Nanos::from_millis(5));
+        assert_eq!(shard1.stats().acks_delivered, 1);
+        shard1.on_congestion_ack(
+            &CongestionAck {
+                bundle: BundleId(2),
+                ..ack
+            },
+            Nanos::from_millis(6),
+        );
+        assert_eq!(shard1.stats().acks_unknown, 1);
+        // Duplicate global ids are rejected.
+        assert!(shard0
+            .add_bundle_with_id(
+                &[prefix(9)],
+                BundlerConfig::default(),
+                BundleId(0),
+                Nanos::ZERO
+            )
+            .is_err());
     }
 
     #[test]

@@ -5,25 +5,32 @@
 //! events/sec, packets/sec and wall time, checks that the engines produce
 //! byte-identical simulations, and writes the results as JSON
 //! (`BENCH_PR<n>.json` at the repo root is the committed trajectory; CI
-//! runs a `BUNDLER_SCALE=quick` smoke pass and validates the JSON).
+//! runs a `BUNDLER_SCALE=quick` smoke pass, validates the JSON and gates
+//! on >20 % events/sec regressions via `scripts/perf_gate.py`).
+//!
+//! Since PR 4 the report also sweeps the sharded runtime: `many_sites` on
+//! `--shards` worker counts (default 1, 2, 4), asserting every shard
+//! count's `SimStats` digest is bit-identical to the single-threaded
+//! engine and recording aggregate events/sec per count.
 //!
 //! Usage: `cargo run --release -p bundler-bench --bin bench_report -- \
-//!     [--out PATH]`
+//!     [--out PATH] [--shards N,M,...]`
 
 use std::time::Instant;
 
 use bundler_bench::Scale;
+use bundler_shard::ShardedSimulation;
 use bundler_sim::event::EventEngine;
 use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
 use bundler_sim::scenario::many_sites::ManySitesScenario;
 use bundler_sim::sim::{Simulation, SimulationConfig};
 use bundler_sim::workload::FlowSpec;
-use bundler_sim::SimReport;
+use bundler_sim::{SimReport, SimStats};
 use bundler_types::{Duration, Rate};
 
 struct RunStats {
     scenario: &'static str,
-    engine: &'static str,
+    engine: String,
     wall_ms: f64,
     events: u64,
     packets: u64,
@@ -53,7 +60,7 @@ fn timed_run(
     let secs = wall.as_secs_f64().max(1e-9);
     let stats = RunStats {
         scenario,
-        engine: engine_name(engine),
+        engine: engine_name(engine).to_string(),
         wall_ms: secs * 1e3,
         events: report.events_processed,
         packets: report.packets_created,
@@ -83,7 +90,8 @@ fn json_number(v: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut shard_counts: Vec<usize> = vec![1, 2, 4];
     // Optional: best wall time (seconds) of the pre-PR simulator running
     // the same many_sites configuration, measured separately on the same
     // machine (the old binary has no event counter; the simulations are
@@ -95,6 +103,19 @@ fn main() {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--out" => out_path = args.next().expect("--out needs a path"),
+                "--shards" => {
+                    shard_counts = args
+                        .next()
+                        .expect("--shards needs a comma-separated list")
+                        .split(',')
+                        .map(|s| s.parse().expect("--shards entries must be integers"))
+                        .collect();
+                    // The single-threaded engine is always the baseline the
+                    // other counts are asserted bit-identical against (and
+                    // the denominator of the ..._vs_1 speedups).
+                    shard_counts.retain(|&s| s != 1);
+                    shard_counts.insert(0, 1);
+                }
                 "--seed-wall-secs" => {
                     seed_wall_secs = Some(
                         args.next()
@@ -104,7 +125,8 @@ fn main() {
                     )
                 }
                 other => panic!(
-                    "unknown argument {other} (supported: --out PATH, --seed-wall-secs SECS)"
+                    "unknown argument {other} (supported: --out PATH, --shards N,M, \
+                     --seed-wall-secs SECS)"
                 ),
             }
         }
@@ -194,7 +216,7 @@ fn main() {
         let seed_ev_s = many_sites_events as f64 / wall;
         runs.push(RunStats {
             scenario: "many_sites",
-            engine: "seed_binary_heap_core",
+            engine: "seed_binary_heap_core".to_string(),
             wall_ms: wall * 1e3,
             events: many_sites_events,
             packets: many_sites_packets,
@@ -208,9 +230,67 @@ fn main() {
         speedups.push(("many_sites_wheel_vs_seed_core".to_string(), vs_seed));
     }
 
+    // Sharded-runtime sweep: many_sites on each worker count, asserting
+    // the SimStats digest never moves and recording aggregate throughput.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut shard_speedups: Vec<(String, f64)> = Vec::new();
+    {
+        let config = many.sim_config();
+        let workload = many.workload();
+        let mut baseline: Option<(SimStats, f64)> = None;
+        for &shards in &shard_counts {
+            let mut best_wall = f64::MAX;
+            let mut best_report = None;
+            for _ in 0..rounds {
+                let mut cfg = config.clone();
+                cfg.shards = shards;
+                let sim = ShardedSimulation::new(cfg, workload.clone());
+                let start = Instant::now();
+                let report = sim.run();
+                let wall = start.elapsed().as_secs_f64().max(1e-9);
+                if wall < best_wall {
+                    best_wall = wall;
+                    best_report = Some(report);
+                }
+            }
+            let report = best_report.expect("at least one round");
+            let stats = SimStats::of(&report);
+            let ev_s = report.events_processed as f64 / best_wall;
+            match &baseline {
+                None => baseline = Some((stats, ev_s)),
+                Some((want, base_ev_s)) => {
+                    assert_eq!(
+                        want, &stats,
+                        "shards={shards} diverged from the single-threaded engine"
+                    );
+                    shard_speedups
+                        .push((format!("many_sites_shards_{shards}_vs_1"), ev_s / base_ev_s));
+                }
+            }
+            println!(
+                "      many_sites: shards={shards} {ev_s:>10.0} ev/s ({} events, wall {:.0} ms)",
+                report.events_processed,
+                best_wall * 1e3,
+            );
+            runs.push(RunStats {
+                scenario: "many_sites",
+                engine: format!("sharded_{shards}"),
+                wall_ms: best_wall * 1e3,
+                events: report.events_processed,
+                packets: report.packets_created,
+                events_per_sec: ev_s,
+                packets_per_sec: report.packets_created as f64 / best_wall,
+            });
+        }
+    }
+    speedups.extend(shard_speedups);
+
     // Hand-rolled JSON: the vendored serde stand-in has no real serializer.
     let mut json = String::from("{\n");
-    json += "  \"pr\": 2,\n";
+    json += "  \"pr\": 4,\n";
+    json += &format!("  \"host_parallelism\": {host_parallelism},\n");
     json += &format!(
         "  \"scale\": \"{}\",\n",
         match scale {
@@ -218,7 +298,7 @@ fn main() {
             Scale::Paper => "paper",
         }
     );
-    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. seed_binary_heap_core, when present, is the pre-PR simulator (binary-heap event queue carrying whole packets by value, SipHash flow maps, per-hop allocation) timed on the same machine over the same scenario; the simulations are byte-identical (verified by FCT checksum), so its events/sec uses the shared event count.\",\n";
+    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host running many_sites on N worker shards (N=1 delegates to the single-threaded engine); every N's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had).\",\n";
     json += "  \"scenarios\": [\n";
     for (i, r) in runs.iter().enumerate() {
         json += &format!(

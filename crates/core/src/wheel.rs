@@ -1,7 +1,14 @@
 //! Shared timer/event-queue cores over [`Nanos`] deadlines.
 //!
-//! Three structures live here, all keyed by `(deadline, schedule sequence)`
-//! so expiry order is fully deterministic:
+//! Three structures live here, all keyed by `(deadline, sequence)` so
+//! expiry order is fully deterministic. The sequence is either assigned
+//! internally (schedule order, via [`CalendarQueue::schedule`] /
+//! [`BinaryHeapQueue::schedule`]) or supplied by the caller
+//! ([`CalendarQueue::schedule_keyed`] / [`BinaryHeapQueue::schedule_keyed`]),
+//! which is what lets the sharded simulation runtime use one *canonical*
+//! key space — `(logical process, per-process sequence)` — so that the
+//! merge order of events is identical no matter how processes are
+//! partitioned across threads:
 //!
 //! * [`TimerWheel`] — the hierarchical timer wheel the site agent uses to
 //!   batch per-bundle control ticks: `advance(now)` returns *every* timer
@@ -97,13 +104,27 @@ impl<T> BinaryHeapQueue<T> {
     /// Schedules `item` at absolute time `at`; times in the past are
     /// clamped to the current time.
     pub fn schedule(&mut self, at: Nanos, item: T) {
-        let at = at.max(self.now);
         self.seq += 1;
+        let seq = self.seq;
+        self.schedule_keyed(at, seq, item);
+    }
+
+    /// Schedules `item` at absolute time `at` under a caller-supplied tie
+    /// key: entries pop in `(deadline, key)` order. Keys must be unique;
+    /// they need not be monotonic. Times in the past are clamped to the
+    /// current time.
+    pub fn schedule_keyed(&mut self, at: Nanos, key: u64, item: T) {
+        let at = at.max(self.now);
         self.heap.push(Entry {
             deadline: at,
-            seq: self.seq,
+            seq: key,
             item,
         });
+    }
+
+    /// The `(deadline, key)` of the earliest entry without popping it.
+    pub fn peek_key(&mut self) -> Option<(Nanos, u64)> {
+        self.heap.peek().map(|e| (e.deadline, e.seq))
     }
 
     /// Pops the earliest entry, advancing the clock to its timestamp.
@@ -235,6 +256,54 @@ impl<T> CalendarQueue<T> {
         } else {
             self.place(entry);
         }
+    }
+
+    /// Schedules `item` at absolute time `at` under a caller-supplied tie
+    /// key: entries pop in `(deadline, key)` order, exactly as
+    /// [`BinaryHeapQueue::schedule_keyed`] would order them. Keys must be
+    /// unique; they need not be monotonic, so keyed entries cannot take the
+    /// `immediate` FIFO lane (whose order relies on monotonic keys) and go
+    /// through slot placement instead. Times in the past are clamped to the
+    /// current time.
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: Nanos, key: u64, item: T) {
+        let at = at.max(self.now);
+        self.pending += 1;
+        self.place(Entry {
+            deadline: at,
+            seq: key,
+            item,
+        });
+    }
+
+    /// The `(deadline, key)` of the earliest entry without popping it.
+    /// Takes `&mut self` because it may have to drain the next slot into
+    /// the sorted buffer to see its head.
+    #[inline]
+    pub fn peek_key(&mut self) -> Option<(Nanos, u64)> {
+        if !self.ensure_front() {
+            return None;
+        }
+        match (self.immediate.front(), self.cur.last()) {
+            (Some(i), Some(c)) => Some((i.deadline, i.seq).min((c.deadline, c.seq))),
+            (Some(i), None) => Some((i.deadline, i.seq)),
+            (None, Some(c)) => Some((c.deadline, c.seq)),
+            (None, None) => unreachable!("ensure_front returned true"),
+        }
+    }
+
+    /// Makes the earliest entry visible at `immediate`'s head or `cur`'s
+    /// tail, refilling from the wheel if needed. Returns false when the
+    /// queue is empty.
+    #[inline]
+    fn ensure_front(&mut self) -> bool {
+        if self.immediate.front().is_none() && self.cur.last().is_none() {
+            if self.pending == 0 {
+                return false;
+            }
+            self.refill();
+        }
+        true
     }
 
     fn place(&mut self, entry: Entry<T>) {
@@ -426,6 +495,9 @@ impl<T> CalendarQueue<T> {
     /// clock to its timestamp.
     #[inline]
     pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        if !self.ensure_front() {
+            return None;
+        }
         // The next entry is the smaller of the two sorted front runners:
         // `immediate`'s head (oldest at-now entry) and `cur`'s tail
         // (earliest drained-slot entry).
@@ -433,13 +505,7 @@ impl<T> CalendarQueue<T> {
             (Some(i), Some(c)) => (i.deadline, i.seq) < (c.deadline, c.seq),
             (Some(_), None) => true,
             (None, Some(_)) => false,
-            (None, None) => {
-                if self.pending == 0 {
-                    return None;
-                }
-                self.refill();
-                false
-            }
+            (None, None) => unreachable!("ensure_front returned true"),
         };
         let e = if from_immediate {
             self.immediate.pop_front().expect("checked above")
@@ -479,6 +545,10 @@ impl<T> Level<T> {
 #[derive(Debug, Clone)]
 pub struct TimerWheel<T> {
     levels: Vec<Level<T>>,
+    /// One occupancy bit per slot, per level — the calendar queue's trick,
+    /// ported here so [`TimerWheel::next_due`] skips empty slots with
+    /// `trailing_zeros` instead of walking all `LEVELS × SLOTS` of them.
+    occupied: [u64; LEVELS],
     /// Width of a level-0 slot.
     quantum: Duration,
     /// The tick (level-0 slot count since time zero) the cursor has
@@ -497,6 +567,7 @@ impl<T> TimerWheel<T> {
         assert!(!quantum.is_zero(), "timer wheel quantum must be positive");
         TimerWheel {
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            occupied: [0; LEVELS],
             quantum,
             tick: 0,
             overdue: Vec::new(),
@@ -557,6 +628,7 @@ impl<T> TimerWheel<T> {
             if delta < span || level == LEVELS - 1 {
                 let slot = (entry.deadline.as_nanos() / width) as usize % SLOTS;
                 self.levels[level].slots[slot].push(entry);
+                self.occupied[level] |= 1 << slot;
                 return;
             }
         }
@@ -582,6 +654,7 @@ impl<T> TimerWheel<T> {
                     let parent_slot =
                         ((self.tick / (SLOTS as u64).pow(level as u32)) % SLOTS as u64) as usize;
                     let entries = std::mem::take(&mut self.levels[level].slots[parent_slot]);
+                    self.occupied[level] &= !(1 << parent_slot);
                     for e in entries {
                         self.place(e);
                     }
@@ -593,6 +666,7 @@ impl<T> TimerWheel<T> {
             }
             // Collect the level-0 slot the cursor is entering.
             due.append(&mut self.levels[0].slots[slot]);
+            self.occupied[0] &= !(1 << slot);
             self.tick += 1;
             // Fast-forward across empty stretches. If every remaining timer
             // has already been collected, nothing can fire before `now`:
@@ -621,14 +695,21 @@ impl<T> TimerWheel<T> {
     }
 
     fn all_level0_empty(&self) -> bool {
-        self.levels[0].slots.iter().all(|s| s.is_empty())
+        self.occupied[0] == 0
     }
 
     /// The earliest pending deadline, if any.
     ///
-    /// O(pending) — intended for event-driven hosts (like the simulator)
-    /// that need to know when to call [`TimerWheel::advance`] next, not for
-    /// the per-packet path.
+    /// Uses the per-level occupancy bitmaps so only *occupied* slots are
+    /// visited. Level 0 is fully resolved from its bitmap: its entries sit
+    /// within one rotation of the cursor, so cyclic slot order is deadline
+    /// order and only the first occupied slot ahead of the cursor needs its
+    /// entries examined. Coarser levels can hold wrapped (next-rotation)
+    /// entries that alias onto low slot indices, so every occupied slot
+    /// there is scanned — but with a quantum well below the control
+    /// interval, timers overwhelmingly live in level 0 and the common cost
+    /// is O(levels + one slot's entries) instead of O(LEVELS × SLOTS +
+    /// pending).
     pub fn next_due(&self) -> Option<Nanos> {
         let mut min: Option<Nanos> = None;
         let mut consider = |d: Nanos| match min {
@@ -638,9 +719,23 @@ impl<T> TimerWheel<T> {
         for e in &self.overdue {
             consider(e.deadline);
         }
-        for level in &self.levels {
-            for slot in &level.slots {
-                for e in slot {
+        if self.occupied[0] != 0 {
+            // First occupied level-0 slot in cyclic order from the cursor:
+            // rotate the bitmap so the cursor's slot is bit 0, take the
+            // lowest set bit.
+            let c0 = (self.tick % SLOTS as u64) as u32;
+            let ahead = self.occupied[0].rotate_right(c0);
+            let slot = (c0 as u64 + ahead.trailing_zeros() as u64) % SLOTS as u64;
+            for e in &self.levels[0].slots[slot as usize] {
+                consider(e.deadline);
+            }
+        }
+        for level in 1..LEVELS {
+            let mut bits = self.occupied[level];
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for e in &self.levels[level].slots[slot] {
                     consider(e.deadline);
                 }
             }
@@ -901,6 +996,66 @@ mod tests {
     #[should_panic(expected = "quantum must be positive")]
     fn calendar_zero_quantum_is_rejected() {
         let _ = CalendarQueue::<u32>::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn keyed_schedules_order_by_key_not_insertion() {
+        // Keys arrive out of order — including at the current instant,
+        // where the auto-seq path would have used the FIFO lane.
+        let mut q = cq();
+        let mut r = BinaryHeapQueue::new();
+        for (at, key, v) in [
+            (Nanos(2_000), 7u64, 0u32),
+            (Nanos(1_000), 9, 1),
+            (Nanos(1_000), 4, 2),
+            (Nanos(2_000), 1, 3),
+            (Nanos(1_000), 5, 4),
+        ] {
+            q.schedule_keyed(at, key, v);
+            r.schedule_keyed(at, key, v);
+        }
+        assert_eq!(q.peek_key(), Some((Nanos(1_000), 4)));
+        assert_eq!(r.peek_key(), Some((Nanos(1_000), 4)));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        let ref_order: Vec<u32> = std::iter::from_fn(|| r.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, vec![2, 4, 1, 3, 0]);
+        assert_eq!(order, ref_order);
+    }
+
+    #[test]
+    fn keyed_interleaves_with_pops_at_the_current_instant() {
+        let mut q = cq();
+        q.schedule_keyed(Nanos(1_000), 10, 0u32);
+        q.schedule_keyed(Nanos(1_000), 30, 1);
+        assert_eq!(q.pop(), Some((Nanos(1_000), 0)));
+        // Scheduled mid-instant with a key between the popped and pending
+        // entries: must pop before key 30.
+        q.schedule_keyed(Nanos(1_000), 20, 2);
+        assert_eq!(q.peek_key(), Some((Nanos(1_000), 20)));
+        assert_eq!(q.pop(), Some((Nanos(1_000), 2)));
+        assert_eq!(q.pop(), Some((Nanos(1_000), 1)));
+        assert_eq!(q.peek_key(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn next_due_uses_bitmaps_across_levels_and_wraps() {
+        let mut w = wheel();
+        assert_eq!(w.next_due(), None);
+        // Entries at level 0 (near), level 1+ (far), and overdue.
+        w.schedule(Nanos::from_millis(300), 1u32); // level 1
+        assert_eq!(w.next_due(), Some(Nanos::from_millis(300)));
+        w.schedule(Nanos::from_millis(12), 2); // level 0
+        assert_eq!(w.next_due(), Some(Nanos::from_millis(12)));
+        // Advance past the near timer; the far one is the next due again.
+        let fired = w.advance(Nanos::from_millis(20));
+        assert_eq!(fired, vec![(Nanos::from_millis(12), 2)]);
+        assert_eq!(w.next_due(), Some(Nanos::from_millis(300)));
+        // Overdue entries are considered too.
+        w.schedule(Nanos::from_millis(1), 3);
+        assert_eq!(w.next_due(), Some(Nanos::from_millis(1)));
+        w.advance(Nanos::from_millis(400));
+        assert_eq!(w.next_due(), None);
     }
 
     // ---------------- BinaryHeapQueue -------------------------------------

@@ -10,6 +10,7 @@ use std::collections::{HashMap, VecDeque};
 
 use bundler_types::{Nanos, PacketArena, PacketId};
 
+use crate::longest::LongestTracker;
 use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Configuration for [`Drr`].
@@ -43,6 +44,10 @@ pub struct Drr {
     config: DrrConfig,
     flows: HashMap<u64, FlowQueue>,
     active: VecDeque<u64>,
+    /// Longest-flow (by packets) key for overflow drops. Ties resolve by
+    /// the larger flow digest rather than active-list position, a
+    /// policy-free choice that stays deterministic.
+    longest: LongestTracker,
     total_pkts: usize,
     total_bytes: u64,
     stats: SchedStats,
@@ -55,6 +60,7 @@ impl Drr {
             config,
             flows: HashMap::new(),
             active: VecDeque::new(),
+            longest: LongestTracker::new(),
             total_pkts: 0,
             total_bytes: 0,
             stats: SchedStats::default(),
@@ -67,16 +73,13 @@ impl Drr {
     }
 
     fn drop_from_longest(&mut self) -> Option<PktRef> {
-        let longest = self
-            .active
-            .iter()
-            .copied()
-            .max_by_key(|k| self.flows.get(k).map(|f| f.queue.len()).unwrap_or(0))?;
+        let longest = self.longest.longest()?;
         let fq = self.flows.get_mut(&longest)?;
         let p = fq.queue.pop_back()?;
         fq.bytes -= p.size as u64;
         self.total_pkts -= 1;
         self.total_bytes -= p.size as u64;
+        self.longest.set(longest, fq.queue.len() as u64);
         if fq.queue.is_empty() {
             self.active.retain(|&k| k != longest);
         }
@@ -95,6 +98,7 @@ impl Scheduler for Drr {
         let newly_active = fq.queue.is_empty();
         fq.bytes += size as u64;
         fq.queue.push_back(PktRef { id: pkt, size });
+        let occupancy = fq.queue.len() as u64;
         self.total_pkts += 1;
         self.total_bytes += size as u64;
         self.stats.enqueued += 1;
@@ -102,6 +106,7 @@ impl Scheduler for Drr {
             fq.deficit = self.config.quantum_bytes as i64;
             self.active.push_back(key);
         }
+        self.longest.set(key, occupancy);
         if self.total_pkts > self.config.total_capacity_pkts {
             if let Some(dropped) = self.drop_from_longest() {
                 self.stats.dropped += 1;
@@ -131,6 +136,7 @@ impl Scheduler for Drr {
                     fq.bytes -= p.size as u64;
                     self.total_pkts -= 1;
                     self.total_bytes -= p.size as u64;
+                    self.longest.set(key, fq.queue.len() as u64);
                     if fq.queue.is_empty() {
                         self.active.pop_front();
                         self.flows.remove(&key);

@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use bundler_types::{FlowId, Nanos, PacketArena, PacketId};
 
+use crate::longest::LongestTracker;
 use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 #[derive(Debug, Default)]
@@ -27,6 +28,10 @@ pub struct FairQueue {
     capacity_pkts: usize,
     flows: HashMap<FlowId, FlowQueue>,
     active: VecDeque<FlowId>,
+    /// Longest-flow (by packets) key for overflow drops. Ties resolve by
+    /// the larger flow id rather than active-list position, a policy-free
+    /// choice that stays deterministic.
+    longest: LongestTracker,
     total_pkts: usize,
     total_bytes: u64,
     stats: SchedStats,
@@ -40,6 +45,7 @@ impl FairQueue {
             capacity_pkts,
             flows: HashMap::new(),
             active: VecDeque::new(),
+            longest: LongestTracker::new(),
             total_pkts: 0,
             total_bytes: 0,
             stats: SchedStats::default(),
@@ -52,16 +58,13 @@ impl FairQueue {
     }
 
     fn drop_from_longest(&mut self) -> Option<PktRef> {
-        let longest = self
-            .active
-            .iter()
-            .copied()
-            .max_by_key(|k| self.flows.get(k).map(|f| f.queue.len()).unwrap_or(0))?;
+        let longest = FlowId(self.longest.longest()?);
         let fq = self.flows.get_mut(&longest)?;
         let p = fq.queue.pop_back()?;
         fq.bytes -= p.size as u64;
         self.total_pkts -= 1;
         self.total_bytes -= p.size as u64;
+        self.longest.set(longest.0, fq.queue.len() as u64);
         if fq.queue.is_empty() {
             self.active.retain(|&k| k != longest);
         }
@@ -80,6 +83,7 @@ impl Scheduler for FairQueue {
         let newly_active = fq.queue.is_empty();
         fq.bytes += size as u64;
         fq.queue.push_back(PktRef { id: pkt, size });
+        let occupancy = fq.queue.len() as u64;
         self.total_pkts += 1;
         self.total_bytes += size as u64;
         self.stats.enqueued += 1;
@@ -87,6 +91,7 @@ impl Scheduler for FairQueue {
             fq.deficit = self.quantum as i64;
             self.active.push_back(key);
         }
+        self.longest.set(key.0, occupancy);
         if self.total_pkts > self.capacity_pkts {
             if let Some(dropped) = self.drop_from_longest() {
                 self.stats.dropped += 1;
@@ -116,6 +121,7 @@ impl Scheduler for FairQueue {
                     fq.bytes -= p.size as u64;
                     self.total_pkts -= 1;
                     self.total_bytes -= p.size as u64;
+                    self.longest.set(key.0, fq.queue.len() as u64);
                     if fq.queue.is_empty() {
                         self.active.pop_front();
                         self.flows.remove(&key);

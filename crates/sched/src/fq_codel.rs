@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use bundler_types::{Duration, Nanos, PacketArena, PacketId};
 
 use crate::codel::{CodelState, CodelVerdict};
+use crate::longest::LongestTracker;
 use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Configuration for [`FqCodel`].
@@ -69,6 +70,8 @@ pub struct FqCodel {
     buckets: Vec<Bucket>,
     new_flows: VecDeque<usize>,
     old_flows: VecDeque<usize>,
+    /// Longest-bucket (by bytes) index for overflow drops.
+    longest: LongestTracker,
     total_pkts: usize,
     total_bytes: u64,
     stats: SchedStats,
@@ -92,6 +95,7 @@ impl FqCodel {
             buckets,
             new_flows: VecDeque::new(),
             old_flows: VecDeque::new(),
+            longest: LongestTracker::new(),
             total_pkts: 0,
             total_bytes: 0,
             stats: SchedStats::default(),
@@ -114,12 +118,13 @@ impl FqCodel {
     }
 
     fn drop_from_longest(&mut self) -> Option<PktRef> {
-        let longest = (0..self.buckets.len()).max_by_key(|&i| self.buckets[i].bytes)?;
+        let longest = self.longest.longest()? as usize;
         let b = &mut self.buckets[longest];
         let p = b.queue.pop_back()?;
         b.bytes -= p.size as u64;
         self.total_pkts -= 1;
         self.total_bytes -= p.size as u64;
+        self.longest.set(longest as u64, b.bytes);
         Some(p)
     }
 
@@ -173,6 +178,7 @@ impl FqCodel {
                     bucket.bytes -= p.size as u64;
                     self.total_pkts -= 1;
                     self.total_bytes -= p.size as u64;
+                    self.longest.set(idx as u64, bucket.bytes);
                     let sojourn = now.saturating_since(arena[p.id].enqueued_at);
                     match bucket.codel.on_dequeue(sojourn, bucket.bytes, now) {
                         CodelVerdict::Drop => {
@@ -211,6 +217,7 @@ impl Scheduler for FqCodel {
         let bucket = &mut self.buckets[idx];
         bucket.bytes += size as u64;
         bucket.queue.push_back(PktRef { id: pkt, size });
+        self.longest.set(idx as u64, bucket.bytes);
         self.total_pkts += 1;
         self.total_bytes += size as u64;
         self.stats.enqueued += 1;

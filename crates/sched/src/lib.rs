@@ -20,6 +20,7 @@ pub mod drr;
 pub mod fifo;
 pub mod fq;
 pub mod fq_codel;
+mod longest;
 pub mod prio;
 pub mod sfq;
 pub mod tbf;

@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use bundler_types::{Nanos, PacketArena, PacketId};
 
+use crate::longest::LongestTracker;
 use crate::{Enqueued, PktRef, SchedStats, Scheduler};
 
 /// Configuration for [`Sfq`].
@@ -54,6 +55,8 @@ pub struct Sfq {
     buckets: Vec<Bucket>,
     /// Round-robin list of currently backlogged bucket indices.
     active: VecDeque<usize>,
+    /// Longest-bucket index for overflow drops, O(log) instead of a scan.
+    longest: LongestTracker,
     total_pkts: usize,
     total_bytes: u64,
     stats: SchedStats,
@@ -68,6 +71,7 @@ impl Sfq {
             config,
             buckets,
             active: VecDeque::new(),
+            longest: LongestTracker::new(),
             total_pkts: 0,
             total_bytes: 0,
             stats: SchedStats::default(),
@@ -95,13 +99,14 @@ impl Sfq {
     }
 
     fn drop_from_longest(&mut self) -> Option<PktRef> {
-        let longest = (0..self.buckets.len()).max_by_key(|&i| self.buckets[i].queue.len())?;
+        let longest = self.longest.longest()? as usize;
         let bucket = &mut self.buckets[longest];
         // Drop from the tail of the longest queue, as Linux SFQ does.
         let p = bucket.queue.pop_back()?;
         bucket.bytes -= p.size as u64;
         self.total_pkts -= 1;
         self.total_bytes -= p.size as u64;
+        self.longest.set(longest as u64, bucket.queue.len() as u64);
         if bucket.queue.is_empty() {
             self.active.retain(|&i| i != longest);
         }
@@ -122,6 +127,8 @@ impl Scheduler for Sfq {
         self.total_bytes += size as u64;
         self.total_pkts += 1;
         self.buckets[idx].queue.push_back(PktRef { id: pkt, size });
+        self.longest
+            .set(idx as u64, self.buckets[idx].queue.len() as u64);
         self.stats.enqueued += 1;
         if newly_active {
             // A bucket entering the active list starts a fresh round.
@@ -163,7 +170,9 @@ impl Scheduler for Sfq {
                     bucket.bytes -= p.size as u64;
                     self.total_pkts -= 1;
                     self.total_bytes -= p.size as u64;
-                    if bucket.queue.is_empty() {
+                    let remaining = bucket.queue.len() as u64;
+                    self.longest.set(idx as u64, remaining);
+                    if remaining == 0 {
                         self.active.pop_front();
                     }
                     self.stats.dequeued += 1;

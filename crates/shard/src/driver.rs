@@ -1,0 +1,370 @@
+//! The windowed multi-threaded driver.
+//!
+//! See the crate docs for the synchronization argument. Concretely, each
+//! *window* `[T, T+Δ)` (Δ = min one-way bottleneck delay) runs as:
+//!
+//! 1. **Worker phase** (parallel): every worker drains its inbound
+//!    mailbox (deliveries produced in earlier windows, all timestamped
+//!    ≥ T), then pops and handles its local events with `t < T+Δ`.
+//!    Packets released toward the bottleneck move out of the worker's
+//!    arena into `(timestamp, key, packet)` envelopes.
+//! 2. **Net phase** (driver thread): drain every worker's outbound
+//!    mailbox into the net event queue — the queue's `(timestamp, key)`
+//!    order is the canonical merge — then handle net events with
+//!    `t < T+Δ`. Transmitted packets become deliveries timestamped
+//!    ≥ T+Δ, routed to the owning worker's mailbox by flow id.
+//!
+//! Two barriers delimit the worker phase; the driver thread runs the net
+//! phase while the workers wait at the next window's start barrier.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use bundler_core::FnvHashMap;
+use bundler_sim::event::{Event, EventKey, EventQueue};
+use bundler_sim::runtime::{
+    assemble_report, origin_lp, Delivery, NetCore, Partition, ToNet, WorkerCore,
+};
+use bundler_sim::sim::SimulationConfig;
+use bundler_sim::workload::{FlowSpec, Origin};
+use bundler_sim::{SimReport, Simulation};
+use bundler_types::{FlowId, Nanos, Packet, PacketArena};
+
+use crate::mailbox::{self, Receiver, Sender};
+
+/// Ring capacity per mailbox (messages); bursts beyond this spill to the
+/// mailbox's lossless slow path.
+const MAILBOX_CAPACITY: usize = 4096;
+
+/// A cross-shard message: a packet in flight between a worker shard and
+/// the net shard, stamped with its arrival time and canonical key.
+#[derive(Debug)]
+struct Envelope {
+    at: Nanos,
+    key: EventKey,
+    pkt: Packet,
+}
+
+struct Control {
+    /// Workers + driver rendezvous here twice per window.
+    barrier: Barrier,
+    /// End of the current window (exclusive), as nanoseconds.
+    window_end: AtomicU64,
+    /// Set before the final barrier release.
+    stop: AtomicBool,
+    /// Set by a worker whose window processing panicked. `std::sync::
+    /// Barrier` has no poisoning, so a panicking worker must keep
+    /// attending barriers (idle) or every other thread would block
+    /// forever; the driver checks this flag each window, shuts the run
+    /// down, and re-raises the worker's panic.
+    panicked: AtomicBool,
+}
+
+/// The multi-threaded simulation host.
+///
+/// `SimulationConfig::shards` selects the worker count: `1` delegates to
+/// the single-threaded [`Simulation`] (today's engine, unchanged); `k > 1`
+/// partitions bundles round-robin across `k` worker threads around the
+/// shared bottleneck. Results are bit-identical for every value — see the
+/// crate docs and `tests/equivalence.rs`.
+pub struct ShardedSimulation {
+    config: SimulationConfig,
+    workload: Vec<FlowSpec>,
+}
+
+impl ShardedSimulation {
+    /// Builds a sharded simulation from a configuration and workload.
+    pub fn new(config: SimulationConfig, workload: Vec<FlowSpec>) -> Self {
+        ShardedSimulation { config, workload }
+    }
+
+    /// The configured shard count (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(self) -> SimReport {
+        let shards = self.shards();
+        let lookahead = NetCore::new(&self.config).min_one_way_delay();
+        if shards == 1 || lookahead.is_zero() {
+            // One shard is literally the single-threaded engine. A
+            // zero-delay bottleneck (rtt = 0) leaves no conservative
+            // lookahead to parallelize over, so it also runs inline.
+            return Simulation::new(self.config, self.workload).run();
+        }
+        run_sharded(self.config, self.workload, shards)
+    }
+}
+
+/// Partitioning is sound only if every flow's destination classifies (on
+/// the *full* prefix table) to a bundle living on the flow's own shard —
+/// then each shard's partial table agrees with the full one for the
+/// packets it sees. Site addressing guarantees this for every built-in
+/// scenario (a flow's destination lies inside its own bundle's prefix);
+/// an adversarial config where one bundle's more-specific prefix shadows
+/// another site's address space would diverge *silently* from the
+/// single-threaded engine, so it is rejected here instead.
+fn validate_partition(config: &SimulationConfig, workload: &[FlowSpec], shards: usize) {
+    let Some(mode) = &config.multi_bundle else {
+        // Classic mode routes by flow origin, never by prefix: any
+        // partition is sound.
+        return;
+    };
+    let mut full = bundler_agent::SiteAgent::new(mode.agent);
+    for spec in &mode.specs {
+        full.add_bundle(&spec.prefixes, spec.config, Nanos::ZERO)
+            .expect("invalid multi-bundle specs");
+    }
+    for spec in workload {
+        let key = bundler_sim::runtime::flow_key(spec.id.0, spec.origin);
+        if let Some(c) = full.classify(&key) {
+            let flow_worker = Partition::worker_of_lp(shards, origin_lp(spec.origin));
+            let class_worker = Partition::worker_of_lp(shards, origin_lp(Origin::Bundle(c)));
+            assert_eq!(
+                flow_worker, class_worker,
+                "workload cannot be partitioned across {shards} shards: flow {} \
+                 (origin {:?}) classifies to bundle {c} on another shard — its \
+                 sendbox state would diverge from the single-threaded engine",
+                spec.id.0, spec.origin,
+            );
+        }
+    }
+}
+
+fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize) -> SimReport {
+    validate_partition(&config, &workload, shards);
+    let mut net = NetCore::new(&config);
+    let lookahead = net.min_one_way_delay();
+    let end = Nanos::ZERO + config.duration;
+
+    // Deliveries are routed to the worker owning the packet's flow; the
+    // assignment is a pure function of the workload.
+    let flow_worker: FnvHashMap<FlowId, usize> = workload
+        .iter()
+        .map(|s| (s.id, Partition::worker_of_lp(shards, origin_lp(s.origin))))
+        .collect();
+
+    let ctrl = Arc::new(Control {
+        barrier: Barrier::new(shards + 1),
+        window_end: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        panicked: AtomicBool::new(false),
+    });
+
+    let mut to_net_rx: Vec<Receiver<Envelope>> = Vec::with_capacity(shards);
+    let mut to_worker_tx: Vec<Sender<Envelope>> = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for index in 0..shards {
+        let (net_tx, net_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+        let (worker_tx, worker_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+        to_net_rx.push(net_rx);
+        to_worker_tx.push(worker_tx);
+        let part = Partition {
+            workers: shards,
+            index,
+        };
+        let mut core = WorkerCore::new(&config, &workload, part);
+        let mut queue = EventQueue::with_engine(config.event_engine);
+        core.schedule_initial(&mut queue);
+        let ctrl = Arc::clone(&ctrl);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("bundler-shard-{index}"))
+                .spawn(move || worker_loop(core, queue, ctrl, net_tx, worker_rx))
+                .expect("spawn worker shard"),
+        );
+    }
+
+    // Net shard state, on the driver thread.
+    let mut net_queue = EventQueue::with_engine(config.event_engine);
+    net.schedule_initial(&mut net_queue);
+    let mut net_arena = PacketArena::with_capacity(1024);
+    let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
+    let mut deliveries: Vec<Delivery> = Vec::with_capacity(64);
+
+    let mut window_start = Nanos::ZERO;
+    while window_start < end {
+        let window_end = (window_start + lookahead).min(end);
+        ctrl.window_end
+            .store(window_end.as_nanos(), Ordering::Release);
+        ctrl.barrier.wait(); // workers begin the window
+        ctrl.barrier.wait(); // workers done
+        if ctrl.panicked.load(Ordering::Acquire) {
+            break;
+        }
+        for rx in to_net_rx.iter_mut() {
+            rx.drain_into(&mut inbound);
+            for m in inbound.drain(..) {
+                debug_assert!(m.at >= window_start && m.at < window_end);
+                let pkt = net_arena.insert(m.pkt);
+                net_queue.schedule(m.at, m.key, Event::ArriveBottleneck { pkt });
+            }
+        }
+        while let Some((t, _)) = net_queue.peek() {
+            if t >= window_end {
+                break;
+            }
+            let (now, event) = net_queue.pop().expect("peeked");
+            net.handle(event, now, &mut net_arena, &mut net_queue, &mut deliveries);
+            for d in deliveries.drain(..) {
+                debug_assert!(d.at >= window_end, "delivery inside the current window");
+                let flow = net_arena[d.pkt].flow;
+                let worker = *flow_worker.get(&flow).expect("flow has an owner");
+                let pkt = net_arena.remove(d.pkt);
+                to_worker_tx[worker].send(Envelope {
+                    at: d.at,
+                    key: d.key,
+                    pkt,
+                });
+            }
+        }
+        window_start = window_end;
+    }
+
+    ctrl.stop.store(true, Ordering::Release);
+    ctrl.barrier.wait(); // release workers into the stop check
+    let mut workers = Vec::with_capacity(shards);
+    let mut recycled = net_arena.recycled();
+    let mut panic_payload = None;
+    for h in handles {
+        match h.join().expect("worker thread vanished") {
+            Ok((core, arena)) => {
+                recycled += arena.recycled();
+                workers.push(core);
+            }
+            Err(payload) => panic_payload = Some(payload),
+        }
+    }
+    if let Some(payload) = panic_payload {
+        // Re-raise the worker's panic on the caller's thread with its
+        // original message instead of hanging at a barrier.
+        std::panic::resume_unwind(payload);
+    }
+    workers.sort_by_key(|w| w.partition().index);
+    assemble_report(&config, workers, net, recycled)
+}
+
+type WorkerResult = Result<(WorkerCore, PacketArena), Box<dyn std::any::Any + Send + 'static>>;
+
+fn worker_loop(
+    mut core: WorkerCore,
+    mut queue: EventQueue,
+    ctrl: Arc<Control>,
+    mut net_tx: Sender<Envelope>,
+    mut inbox: Receiver<Envelope>,
+) -> WorkerResult {
+    let mut arena = PacketArena::with_capacity(1024);
+    let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
+    let mut to_net: Vec<ToNet> = Vec::with_capacity(64);
+    let mut failure: Option<Box<dyn std::any::Any + Send + 'static>> = None;
+    loop {
+        ctrl.barrier.wait(); // window start
+        if ctrl.stop.load(Ordering::Acquire) {
+            return match failure {
+                Some(payload) => Err(payload),
+                None => Ok((core, arena)),
+            };
+        }
+        // A panic must not abandon the barrier protocol (std barriers do
+        // not poison; the others would block forever) — catch it, flag
+        // the driver, and idle at the barriers until told to stop.
+        if failure.is_none() {
+            let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let window_end = Nanos(ctrl.window_end.load(Ordering::Acquire));
+                inbox.drain_into(&mut inbound);
+                for m in inbound.drain(..) {
+                    let pkt = arena.insert(m.pkt);
+                    queue.schedule(m.at, m.key, Event::ArriveDestination { pkt });
+                }
+                while let Some((t, _)) = queue.peek() {
+                    if t >= window_end {
+                        break;
+                    }
+                    let (now, event) = queue.pop().expect("peeked");
+                    core.handle(event, now, &mut arena, &mut queue, &mut to_net);
+                    for m in to_net.drain(..) {
+                        debug_assert_eq!(m.at, now, "bottleneck entry is a zero-latency hop");
+                        let pkt = arena.remove(m.pkt);
+                        net_tx.send(Envelope {
+                            at: m.at,
+                            key: m.key,
+                            pkt,
+                        });
+                    }
+                }
+            }));
+            if let Err(payload) = window {
+                failure = Some(payload);
+                ctrl.panicked.store(true, Ordering::Release);
+            }
+        }
+        ctrl.barrier.wait(); // window end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_sim::runtime::{bundle_lp, LP_NET};
+
+    /// The mailbox-merge ordering rule: envelopes from several shards'
+    /// mailboxes, scheduled into the receiving queue, pop in
+    /// `(timestamp, key)` order — ties on the timestamp break by the
+    /// canonical `(lp, seq)` key, no matter which mailbox delivered first.
+    #[test]
+    fn mailbox_merge_breaks_ties_by_timestamp_then_key() {
+        let t = Nanos::from_millis(5);
+        let (mut tx_a, mut rx_a) = mailbox::channel::<(Nanos, EventKey, u32)>(8);
+        let (mut tx_b, mut rx_b) = mailbox::channel::<(Nanos, EventKey, u32)>(8);
+        // Shard B's messages arrive first but carry later keys; one
+        // earlier-timestamped straggler sits behind them.
+        tx_b.send((t, EventKey::new(bundle_lp(3), 7), 31));
+        tx_b.send((t, EventKey::new(bundle_lp(3), 9), 32));
+        tx_a.send((t, EventKey::new(bundle_lp(0), 12), 1));
+        tx_a.send((Nanos::from_millis(4), EventKey::new(bundle_lp(0), 99), 0));
+        let mut q = EventQueue::new();
+        let mut buf = Vec::new();
+        for rx in [&mut rx_b, &mut rx_a] {
+            rx.drain_into(&mut buf);
+            for (at, key, bundle) in buf.drain(..) {
+                q.schedule(at, key, Event::ControlTick { bundle });
+            }
+        }
+        // Net events merge under the same order.
+        q.schedule(t, EventKey::new(LP_NET, 2), Event::Sample { lp: LP_NET });
+        let order: Vec<(Nanos, Option<u32>)> = std::iter::from_fn(|| q.pop())
+            .map(|(at, e)| {
+                (
+                    at,
+                    match e {
+                        Event::ControlTick { bundle } => Some(bundle),
+                        _ => None,
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (Nanos::from_millis(4), Some(0)), // earliest timestamp wins
+                (t, None),                        // then key order: net lp 0
+                (t, Some(1)),                     // bundle 0's lp
+                (t, Some(31)),                    // bundle 3's lp, seq 7
+                (t, Some(32)),                    // bundle 3's lp, seq 9
+            ]
+        );
+    }
+
+    #[test]
+    fn one_shard_delegates_to_the_single_threaded_engine() {
+        let config = SimulationConfig {
+            duration: bundler_types::Duration::from_secs(2),
+            shards: 1,
+            ..Default::default()
+        };
+        let workload = vec![FlowSpec::bundled(1, 50_000, Nanos::ZERO, 0)];
+        let report = ShardedSimulation::new(config, workload).run();
+        assert_eq!(report.completed, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Scenario adapters: run the canonical experiments on the sharded host.
+
+use bundler_sim::scenario::many_sites::{ManySitesReport, ManySitesScenario};
+
+use crate::ShardedSimulation;
+
+/// Runs the many-site experiment end-to-end on `shards` worker shards.
+/// With `shards == 1` this is exactly [`ManySitesScenario::run`]; larger
+/// counts produce bit-identical reports from the multi-threaded host.
+pub fn run_many_sites(scenario: &ManySitesScenario, shards: usize) -> ManySitesReport {
+    let mut config = scenario.sim_config();
+    config.shards = shards;
+    let sim = ShardedSimulation::new(config, scenario.workload()).run();
+    let telemetry = sim
+        .agent_telemetry
+        .clone()
+        .expect("multi-bundle run exports telemetry");
+    let agent_stats = sim
+        .agent_stats
+        .expect("multi-bundle run exports agent stats");
+    ManySitesReport {
+        sim,
+        telemetry,
+        agent_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundler_sim::SimStats;
+    use bundler_types::{Duration, Rate};
+
+    #[test]
+    fn sharded_many_sites_matches_single_threaded() {
+        let scenario = ManySitesScenario::builder()
+            .sites(5)
+            .requests_per_site(8)
+            .offered_load_per_site(Rate::from_mbps(8))
+            .drain(Duration::from_secs(2))
+            .seed(11)
+            .build();
+        let single = scenario.run();
+        let sharded = run_many_sites(&scenario, 2);
+        assert_eq!(
+            SimStats::of(&single.sim),
+            SimStats::of(&sharded.sim),
+            "2-shard run must be bit-identical to the single-threaded engine"
+        );
+        assert_eq!(single.totals(), sharded.totals());
+        assert!(sharded.all_bundles_active());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: the sharded runtime is bit-identical to the
+//! single-threaded engine for any seed and shard count.
+
+use bundler_shard::scenario::run_many_sites;
+use bundler_shard::ShardedSimulation;
+use bundler_sim::scenario::many_sites::ManySitesScenario;
+use bundler_sim::sim::SimulationConfig;
+use bundler_sim::workload::FlowSpec;
+use bundler_sim::{SimStats, Simulation};
+use bundler_types::{Duration, Nanos, Rate};
+use proptest::prelude::*;
+
+fn quick_scenario(seed: u64, sites: usize) -> ManySitesScenario {
+    ManySitesScenario::builder()
+        .sites(sites)
+        .requests_per_site(6)
+        .offered_load_per_site(Rate::from_mbps(8))
+        .bottleneck(Rate::from_mbps(60))
+        .drain(Duration::from_secs(2))
+        .seed(seed)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `SimulationConfig { shards: k }` for k ∈ {1, 2, 4, 7} yields
+    /// bit-identical `SimStats` and agent telemetry to the single-threaded
+    /// engine on `scenario::many_sites`, for random seeds.
+    #[test]
+    fn many_sites_is_shard_count_invariant(seed in 1u64..1000, sites in 3usize..8) {
+        let scenario = quick_scenario(seed, sites);
+        let baseline = scenario.run(); // the single-threaded engine
+        let want = SimStats::of(&baseline.sim);
+        prop_assert!(want.completed > 0, "scenario must do real work");
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = run_many_sites(&scenario, shards);
+            let got = SimStats::of(&sharded.sim);
+            prop_assert_eq!(
+                &want, &got,
+                "shards={} diverged from the single-threaded engine (seed={})",
+                shards, seed
+            );
+            prop_assert_eq!(baseline.totals(), sharded.totals());
+        }
+    }
+}
+
+/// A prefix table where one bundle's more-specific prefix shadows another
+/// site's address space cannot be partitioned (a shard's partial table
+/// would classify differently than the full one): the driver must reject
+/// it loudly instead of silently diverging.
+#[test]
+#[should_panic(expected = "cannot be partitioned")]
+fn cross_shard_prefix_shadowing_is_rejected() {
+    use bundler_agent::AgentConfig;
+    use bundler_core::BundlerConfig;
+    use bundler_sim::edge::MultiBundleSpec;
+    use bundler_sim::sim::MultiBundleMode;
+    use bundler_types::{flow::ipv4, IpPrefix};
+
+    let specs = vec![
+        MultiBundleSpec {
+            prefixes: vec![IpPrefix::new(ipv4(10, 1, 0, 0), 24).unwrap()],
+            config: BundlerConfig::default(),
+        },
+        MultiBundleSpec {
+            // Shadows the upper half of site 0's /24 with a more-specific
+            // route — legal for one agent, unpartitionable across shards.
+            prefixes: vec![
+                IpPrefix::new(ipv4(10, 1, 1, 0), 24).unwrap(),
+                IpPrefix::new(ipv4(10, 1, 0, 128), 25).unwrap(),
+            ],
+            config: BundlerConfig::default(),
+        },
+    ];
+    let config = SimulationConfig {
+        duration: Duration::from_secs(1),
+        multi_bundle: Some(MultiBundleMode {
+            agent: AgentConfig::default(),
+            specs,
+        }),
+        bundles: Vec::new(),
+        shards: 2,
+        ..Default::default()
+    };
+    // Flow 10 of bundle 0 lands on dst 10.1.0.131 — inside the shadowed
+    // /25 owned by bundle 1 on the other shard.
+    let workload = vec![FlowSpec::bundled(10, 50_000, Nanos::ZERO, 0)];
+    let _ = ShardedSimulation::new(config, workload).run();
+}
+
+/// The classic (non-agent) edge with direct cross traffic, a ping flow and
+/// multiple bottleneck sub-paths exercises every event type through the
+/// sharded host.
+#[test]
+fn classic_mode_with_cross_traffic_is_shard_count_invariant() {
+    use bundler_core::BundlerConfig;
+    use bundler_sim::edge::BundleMode;
+
+    let config = SimulationConfig {
+        duration: Duration::from_secs(6),
+        bottleneck_rate: Rate::from_mbps(48),
+        rtt: Duration::from_millis(40),
+        num_paths: 2,
+        path_delay_spread: Duration::from_millis(5),
+        bundles: vec![
+            BundleMode::Bundler(BundlerConfig::default()),
+            BundleMode::StatusQuo,
+            BundleMode::Bundler(BundlerConfig::default()),
+        ],
+        ..Default::default()
+    };
+    let workload = || {
+        vec![
+            FlowSpec::bundled(1, 900_000, Nanos::ZERO, 0),
+            FlowSpec::bundled(2, FlowSpec::BACKLOGGED, Nanos::from_millis(15), 1),
+            FlowSpec::bundled(3, 300_000, Nanos::from_millis(40), 2),
+            FlowSpec::direct(4, 400_000, Nanos::from_millis(25)),
+            FlowSpec::bundled(5, 40, Nanos::from_millis(10), 0).as_ping(),
+            FlowSpec::bundled(6, 120_000, Nanos::from_millis(350), 2),
+        ]
+    };
+    let baseline = Simulation::new(config.clone(), workload()).run();
+    let want = SimStats::of(&baseline);
+    assert!(want.completed >= 4);
+    for shards in [2usize, 3, 5] {
+        let mut cfg = config.clone();
+        cfg.shards = shards;
+        let got = SimStats::of(&ShardedSimulation::new(cfg, workload()).run());
+        assert_eq!(want, got, "classic mode diverged at shards={shards}");
+    }
+}

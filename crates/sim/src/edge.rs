@@ -6,10 +6,10 @@
 
 use bundler_agent::{AgentConfig, SiteAgent};
 use bundler_core::feedback::{BundleId, CongestionAck, EpochSizeUpdate};
-use bundler_core::{BundlerConfig, Mode, Receivebox, Sendbox};
+use bundler_core::{BundlerConfig, FnvHashMap, Mode, Receivebox, Sendbox};
 use bundler_sched::tbf::{Release, Tbf};
 use bundler_sched::Enqueued;
-use bundler_types::{IpPrefix, Nanos, Packet, PacketArena, PacketId, Rate};
+use bundler_types::{Duration, IpPrefix, Nanos, Packet, PacketArena, PacketId, Rate};
 
 use crate::stats::TimeSeries;
 
@@ -158,21 +158,31 @@ pub struct MultiBundleSpec {
 }
 
 /// A site edge managing many bundles through one [`SiteAgent`]: per-packet
-/// classification picks the bundle, the agent's timer wheel drives every
-/// bundle's control tick, and each bundle keeps its own token-bucket
-/// datapath and (remote) receivebox.
+/// classification picks the bundle, each bundle keeps its own token-bucket
+/// datapath and (remote) receivebox, and control ticks run either through
+/// the agent's timer wheel ([`MultiBundle::advance`]) or one bundle at a
+/// time from the host's event loop ([`MultiBundle::tick_bundle`]).
+///
+/// An edge may manage the whole site's bundle table or one shard's
+/// *partition* of it ([`MultiBundle::partition`]): every method addresses
+/// bundles by their site-wide (global) index either way, so the simulation
+/// core is oblivious to the partitioning.
 pub struct MultiBundle {
-    /// The agent owning every bundle's control plane.
+    /// The agent owning every managed bundle's control plane.
     pub agent: SiteAgent,
+    /// Global index per local slot, in addition order (ascending).
+    ids: Vec<usize>,
+    /// Global index → local slot.
+    slot_of: FnvHashMap<usize, usize>,
     datapaths: Vec<Tbf>,
     receiveboxes: Vec<Receivebox>,
-    /// Whether a release event is scheduled per bundle (prevents duplicate
+    /// Whether a release event is scheduled per slot (prevents duplicate
     /// scheduling in the event loop).
-    pub release_scheduled: Vec<bool>,
-    /// Sendbox queue delay samples in milliseconds, per bundle.
-    pub queue_delay_ms: Vec<TimeSeries>,
-    /// Mode changes observed per bundle: (time, mode name).
-    pub mode_timeline: Vec<Vec<(Nanos, String)>>,
+    release_scheduled: Vec<bool>,
+    /// Sendbox queue delay samples in milliseconds, per slot.
+    queue_delay_ms: Vec<TimeSeries>,
+    /// Mode changes observed per slot: (time, mode name).
+    mode_timeline: Vec<Vec<(Nanos, String)>>,
     last_modes: Vec<Mode>,
 }
 
@@ -180,6 +190,7 @@ impl std::fmt::Debug for MultiBundle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiBundle")
             .field("agent", &self.agent)
+            .field("bundles", &self.ids)
             .finish()
     }
 }
@@ -192,25 +203,48 @@ impl MultiBundle {
         specs: &[MultiBundleSpec],
         now: Nanos,
     ) -> Result<Self, String> {
+        let owned: Vec<usize> = (0..specs.len()).collect();
+        Self::partition(agent_config, specs, &owned, now)
+    }
+
+    /// Builds one shard's partition of a site edge: only the bundles named
+    /// by `owned` (global indices into `specs`, strictly ascending) are
+    /// instantiated, but they keep their global identity for
+    /// classification, ACK routing and telemetry.
+    pub fn partition(
+        agent_config: AgentConfig,
+        specs: &[MultiBundleSpec],
+        owned: &[usize],
+        now: Nanos,
+    ) -> Result<Self, String> {
         let mut agent = SiteAgent::new(agent_config);
-        let mut datapaths = Vec::with_capacity(specs.len());
-        let mut receiveboxes = Vec::with_capacity(specs.len());
-        for (i, spec) in specs.iter().enumerate() {
-            let index = agent.add_bundle(&spec.prefixes, spec.config, now)?;
-            debug_assert_eq!(index, i);
+        let mut datapaths = Vec::with_capacity(owned.len());
+        let mut receiveboxes = Vec::with_capacity(owned.len());
+        let mut slot_of = FnvHashMap::default();
+        for (slot, &b) in owned.iter().enumerate() {
+            if slot > 0 && owned[slot - 1] >= b {
+                return Err("owned bundle indices must be strictly ascending".into());
+            }
+            let spec = specs
+                .get(b)
+                .ok_or_else(|| format!("bundle index {b} out of range"))?;
+            agent.add_bundle_with_id(&spec.prefixes, spec.config, BundleId(b as u32), now)?;
             let scheduler = spec
                 .config
                 .policy
                 .build(spec.config.sendbox_queue_capacity_pkts);
             datapaths.push(Tbf::new(spec.config.initial_rate, 3 * 1514, scheduler, now));
             receiveboxes.push(Receivebox::new(
-                BundleId(i as u32),
+                BundleId(b as u32),
                 spec.config.initial_epoch_size,
             ));
+            slot_of.insert(b, slot);
         }
-        let n = specs.len();
+        let n = owned.len();
         Ok(MultiBundle {
             agent,
+            ids: owned.to_vec(),
+            slot_of,
             datapaths,
             receiveboxes,
             release_scheduled: vec![false; n],
@@ -222,7 +256,7 @@ impl MultiBundle {
         })
     }
 
-    /// Number of bundles at this edge.
+    /// Number of bundles managed at this edge (the partition's size).
     pub fn len(&self) -> usize {
         self.datapaths.len()
     }
@@ -232,7 +266,22 @@ impl MultiBundle {
         self.datapaths.is_empty()
     }
 
-    /// Classifies a packet to its bundle by destination prefix.
+    /// The global indices of the managed bundles, ascending.
+    pub fn bundles(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// True if this edge manages the given global bundle index.
+    pub fn manages(&self, bundle: usize) -> bool {
+        self.slot_of.contains_key(&bundle)
+    }
+
+    fn slot(&self, bundle: usize) -> usize {
+        self.slot_of[&bundle]
+    }
+
+    /// Classifies a packet to its bundle (global index) by destination
+    /// prefix.
     pub fn classify(&mut self, pkt: &Packet) -> Option<usize> {
         self.agent.classify_packet(pkt)
     }
@@ -247,7 +296,8 @@ impl MultiBundle {
         arena: &mut PacketArena,
         now: Nanos,
     ) -> bool {
-        match self.datapaths[bundle].enqueue(pkt, arena, now) {
+        let slot = self.slot(bundle);
+        match self.datapaths[slot].enqueue(pkt, arena, now) {
             Enqueued::Queued => true,
             Enqueued::Dropped(victim) => {
                 arena.free(victim);
@@ -259,11 +309,42 @@ impl MultiBundle {
     /// Attempts to release bundle `bundle`'s next packet under its pacing
     /// rate, notifying the control plane on success.
     pub fn try_release(&mut self, bundle: usize, arena: &mut PacketArena, now: Nanos) -> Release {
-        let release = self.datapaths[bundle].try_dequeue(arena, now);
+        let slot = self.slot(bundle);
+        let release = self.datapaths[slot].try_dequeue(arena, now);
         if let Release::Packet(pkt) = release {
             self.agent.on_packet_forwarded(bundle, &arena[pkt], now);
         }
         release
+    }
+
+    /// Runs bundle `bundle`'s control tick immediately: the control plane
+    /// runs, its new pacing rate is applied to the token bucket, the mode
+    /// timeline is updated, and any epoch-size update to deliver is
+    /// returned. This is the event-driven path the simulator uses (one
+    /// `ControlTick` event per bundle, canonical per-LP order); the wheel
+    /// path below batches instead.
+    pub fn tick_bundle(&mut self, bundle: usize, now: Nanos) -> Option<EpochSizeUpdate> {
+        let slot = self.slot(bundle);
+        let queue_bytes = self.datapaths[slot].len_bytes();
+        let output = self
+            .agent
+            .tick_bundle(bundle, queue_bytes, now)
+            .expect("managed bundle has a control plane");
+        self.datapaths[slot].set_rate(output.rate, now);
+        if output.mode != self.last_modes[slot] {
+            self.last_modes[slot] = output.mode;
+            self.mode_timeline[slot].push((now, output.mode.to_string()));
+        }
+        output.epoch_update
+    }
+
+    /// The control interval of bundle `bundle`.
+    pub fn control_interval(&self, bundle: usize) -> Duration {
+        self.agent
+            .sendbox(bundle)
+            .expect("managed bundle")
+            .config()
+            .control_interval
     }
 
     /// Advances the agent's tick wheel to `now`: every due bundle runs its
@@ -272,21 +353,26 @@ impl MultiBundle {
     /// each tick that produced an epoch-size update to deliver.
     pub fn advance(&mut self, now: Nanos) -> Vec<(usize, Option<EpochSizeUpdate>)> {
         let datapaths = &self.datapaths;
-        let ticks = self.agent.advance(now, |i| datapaths[i].len_bytes());
+        let slot_of = &self.slot_of;
+        let ticks = self
+            .agent
+            .advance(now, |b| datapaths[slot_of[&b]].len_bytes());
         let mut out = Vec::with_capacity(ticks.len());
         for tick in ticks {
             let b = tick.bundle;
-            self.datapaths[b].set_rate(tick.output.rate, now);
-            if tick.output.mode != self.last_modes[b] {
-                self.last_modes[b] = tick.output.mode;
-                self.mode_timeline[b].push((now, tick.output.mode.to_string()));
+            let slot = self.slot_of[&b];
+            self.datapaths[slot].set_rate(tick.output.rate, now);
+            if tick.output.mode != self.last_modes[slot] {
+                self.last_modes[slot] = tick.output.mode;
+                self.mode_timeline[slot].push((now, tick.output.mode.to_string()));
             }
             out.push((b, tick.output.epoch_update));
         }
         out
     }
 
-    /// When the next control tick is due (drives event scheduling).
+    /// When the next wheel-driven control tick is due (hosts using
+    /// [`MultiBundle::advance`] schedule off this).
     pub fn next_tick_at(&self) -> Option<Nanos> {
         self.agent.next_tick_at()
     }
@@ -298,14 +384,16 @@ impl MultiBundle {
         pkt: &Packet,
         now: Nanos,
     ) -> Option<CongestionAck> {
+        let slot = self.slot(bundle);
         self.receiveboxes
-            .get_mut(bundle)
+            .get_mut(slot)
             .and_then(|rb| rb.on_packet(pkt, now))
     }
 
     /// Delivers an epoch-size update to bundle `bundle`'s receivebox.
     pub fn on_epoch_update(&mut self, bundle: usize, update: &EpochSizeUpdate) {
-        if let Some(rb) = self.receiveboxes.get_mut(bundle) {
+        let slot = self.slot(bundle);
+        if let Some(rb) = self.receiveboxes.get_mut(slot) {
             rb.on_epoch_update(update);
         }
     }
@@ -315,32 +403,60 @@ impl MultiBundle {
         self.agent.on_congestion_ack(ack, now);
     }
 
+    /// Whether a release event is scheduled for bundle `bundle`.
+    pub fn release_scheduled(&self, bundle: usize) -> bool {
+        self.release_scheduled[self.slot(bundle)]
+    }
+
+    /// Marks whether a release event is scheduled for bundle `bundle`.
+    pub fn set_release_scheduled(&mut self, bundle: usize, scheduled: bool) {
+        let slot = self.slot(bundle);
+        self.release_scheduled[slot] = scheduled;
+    }
+
     /// Bundle `bundle`'s current pacing rate.
     pub fn rate(&self, bundle: usize) -> Rate {
-        self.datapaths[bundle].rate()
+        self.datapaths[self.slot(bundle)].rate()
     }
 
     /// Bytes queued at bundle `bundle`'s sendbox.
     pub fn queue_bytes(&self, bundle: usize) -> u64 {
-        self.datapaths[bundle].len_bytes()
+        self.datapaths[self.slot(bundle)].len_bytes()
     }
 
     /// True if bundle `bundle`'s sendbox queue is empty.
     pub fn queue_is_empty(&self, bundle: usize) -> bool {
-        self.datapaths[bundle].is_empty()
+        self.datapaths[self.slot(bundle)].is_empty()
     }
 
-    /// Records a queue-delay sample for every bundle.
+    /// Records a queue-delay sample for bundle `bundle`.
+    pub fn sample_queue_delay(&mut self, bundle: usize, now: Nanos) {
+        let slot = self.slot(bundle);
+        let tbf = &self.datapaths[slot];
+        let rate = tbf.rate();
+        let delay_ms = if rate.is_zero() {
+            0.0
+        } else {
+            rate.transmit_time(tbf.len_bytes()).as_millis_f64()
+        };
+        self.queue_delay_ms[slot].push(now, delay_ms.min(30_000.0));
+    }
+
+    /// Records a queue-delay sample for every managed bundle.
     pub fn sample_queue_delays(&mut self, now: Nanos) {
-        for (i, tbf) in self.datapaths.iter().enumerate() {
-            let rate = tbf.rate();
-            let delay_ms = if rate.is_zero() {
-                0.0
-            } else {
-                rate.transmit_time(tbf.len_bytes()).as_millis_f64()
-            };
-            self.queue_delay_ms[i].push(now, delay_ms.min(30_000.0));
+        for b in self.ids.clone() {
+            self.sample_queue_delay(b, now);
         }
+    }
+
+    /// Bundle `bundle`'s queue-delay sample series.
+    pub fn queue_delay_series(&self, bundle: usize) -> &TimeSeries {
+        &self.queue_delay_ms[self.slot(bundle)]
+    }
+
+    /// Bundle `bundle`'s mode timeline.
+    pub fn mode_timeline_of(&self, bundle: usize) -> &[(Nanos, String)] {
+        &self.mode_timeline[self.slot(bundle)]
     }
 
     /// Read access to bundle `bundle`'s control plane.
@@ -350,7 +466,9 @@ impl MultiBundle {
 
     /// Read access to bundle `bundle`'s receivebox.
     pub fn receivebox(&self, bundle: usize) -> Option<&Receivebox> {
-        self.receiveboxes.get(bundle)
+        self.slot_of
+            .get(&bundle)
+            .and_then(|&s| self.receiveboxes.get(s))
     }
 }
 
@@ -511,14 +629,14 @@ mod tests {
         for b in 0..2 {
             assert_eq!(edge.rate(b), BundlerConfig::default().initial_rate);
             assert_eq!(
-                edge.mode_timeline[b].len(),
+                edge.mode_timeline_of(b).len(),
                 1,
                 "no mode change without feedback"
             );
         }
         assert_eq!(edge.next_tick_at(), Some(Nanos::from_millis(20)));
         edge.sample_queue_delays(Nanos::from_millis(11));
-        assert_eq!(edge.queue_delay_ms[0].len(), 1);
+        assert_eq!(edge.queue_delay_series(0).len(), 1);
     }
 
     #[test]

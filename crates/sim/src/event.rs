@@ -1,8 +1,20 @@
-//! The discrete-event queue.
+//! The discrete-event queue and the canonical event-ordering keys.
 //!
-//! Events are ordered by timestamp; ties are broken by insertion sequence so
-//! that the simulation is fully deterministic regardless of how the backing
-//! structure breaks ties.
+//! Events are ordered by `(timestamp, key)`. The key is not a global
+//! insertion counter: it is `(logical process, per-process sequence)`,
+//! assigned by whichever logical process *scheduled* the event. A logical
+//! process (LP) is a unit of simulation state that only interacts with the
+//! rest of the world through timestamped events: each bundle complex (its
+//! flows' endhosts, its sendbox datapath and its remote receivebox) is one
+//! LP, the direct cross-traffic endhosts are one LP, and the shared
+//! bottleneck (paths + load balancer) is the net LP.
+//!
+//! Because each LP's sequence numbers depend only on that LP's own
+//! execution history, the total `(timestamp, key)` order is *canonical*:
+//! it does not change when LPs are partitioned across shards. That is the
+//! property that lets `bundler-shard` run workers in parallel and still
+//! merge cross-shard mailboxes into exactly the order the single-threaded
+//! engine produces — bit-identical results for any shard count.
 //!
 //! Two interchangeable engines sit behind [`EventQueue`]:
 //!
@@ -16,7 +28,7 @@
 //! The two engines produce byte-identical simulations; `bench_report`
 //! asserts this on every run.
 //!
-//! [`Event`] itself is deliberately small: packets live in the simulation's
+//! [`Event`] itself is deliberately small: packets live in a
 //! [`PacketArena`](bundler_types::PacketArena) and events carry 4-byte
 //! [`PacketId`]s, flow arrivals reference the workload table by index, and
 //! the out-of-band feedback messages are small `Copy` structs. A
@@ -26,6 +38,44 @@
 use bundler_core::feedback::{CongestionAck, EpochSizeUpdate};
 use bundler_core::wheel::{BinaryHeapQueue, CalendarQueue};
 use bundler_types::{Duration, FlowId, Nanos, PacketId};
+
+/// Canonical event-ordering key: logical process in the top 16 bits, that
+/// process's schedule sequence in the low 48. Ties on timestamp resolve by
+/// key, so the total order is `(timestamp, lp, lp sequence)` — invariant
+/// under sharding (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey(pub u64);
+
+impl EventKey {
+    /// Bits reserved for the per-LP sequence.
+    pub const SEQ_BITS: u32 = 48;
+
+    /// Builds a key. `seq` must fit in 48 bits (≈ 2.8 × 10^14 schedules
+    /// per LP — unreachable in practice, checked in debug builds).
+    #[inline]
+    pub fn new(lp: u16, seq: u64) -> Self {
+        debug_assert!(seq < (1u64 << Self::SEQ_BITS), "LP sequence overflow");
+        EventKey(((lp as u64) << Self::SEQ_BITS) | seq)
+    }
+
+    /// The logical process that scheduled the event.
+    #[inline]
+    pub fn lp(self) -> u16 {
+        (self.0 >> Self::SEQ_BITS) as u16
+    }
+
+    /// The scheduling process's sequence number.
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & ((1u64 << Self::SEQ_BITS) - 1)
+    }
+}
+
+impl std::fmt::Display for EventKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lp{}#{}", self.lp(), self.seq())
+    }
+}
 
 /// Everything that can happen in the simulated network.
 #[derive(Debug, Clone, Copy)]
@@ -37,16 +87,15 @@ pub enum Event {
         /// Index into the simulation's workload table.
         spec: u32,
     },
-    /// A data or ACK packet reaches the bottleneck stage and is offered to
-    /// the path with the given index.
+    /// A data or ACK packet reaches the bottleneck stage (net LP). The
+    /// sub-path is picked by the load balancer when the event is handled,
+    /// so the pick sequence is part of the net LP's canonical history.
     ArriveBottleneck {
-        /// Index of the bottleneck sub-path chosen by the load balancer.
-        path: u32,
         /// The packet.
         pkt: PacketId,
     },
     /// The given path finished serializing its current packet and should
-    /// pick the next one.
+    /// pick the next one (net LP).
     PathDequeue {
         /// Index of the path.
         path: u32,
@@ -74,14 +123,13 @@ pub enum Event {
         /// The update.
         update: EpochSizeUpdate,
     },
-    /// Periodic control-plane tick for the given bundle's sendbox.
-    SendboxTick {
+    /// Periodic control-plane tick for the given bundle's sendbox — one
+    /// event per bundle in every edge mode, so tick order is canonical per
+    /// LP regardless of how bundles are sharded.
+    ControlTick {
         /// Index of the bundle.
         bundle: u32,
     },
-    /// The site agent's timer wheel has a due control tick (multi-bundle
-    /// edges only; ticks every due bundle in one event).
-    AgentTick,
     /// The given bundle's token bucket may have tokens to release another
     /// packet.
     SendboxRelease {
@@ -93,10 +141,14 @@ pub enum Event {
         /// The flow to check.
         flow: FlowId,
     },
-    /// Periodic statistics sample.
-    Sample,
-    /// End of the simulation.
-    End,
+    /// Periodic statistics sample for one logical process: the net LP
+    /// samples the bottleneck paths, each bundle LP samples its own series,
+    /// the direct LP samples cross-traffic throughput. (One global sample
+    /// event would have to read every shard's state at once.)
+    Sample {
+        /// The logical process to sample.
+        lp: u16,
+    },
 }
 
 /// Hard ceiling on the event size: the largest variant is
@@ -134,7 +186,7 @@ enum Inner {
     Heap(BinaryHeapQueue<Event>),
 }
 
-/// Time-ordered event queue.
+/// Time-ordered event queue over `(timestamp, EventKey)`.
 pub struct EventQueue {
     inner: Inner,
 }
@@ -176,13 +228,25 @@ impl EventQueue {
         }
     }
 
-    /// Schedules `event` at absolute time `at`. Events scheduled in the past
-    /// are clamped to the current time (they run "immediately").
+    /// Schedules `event` at absolute time `at` under the canonical `key`.
+    /// Events scheduled in the past are clamped to the current time (they
+    /// run "immediately").
     #[inline]
-    pub fn schedule(&mut self, at: Nanos, event: Event) {
+    pub fn schedule(&mut self, at: Nanos, key: EventKey, event: Event) {
         match &mut self.inner {
-            Inner::Wheel(q) => q.schedule(at, event),
-            Inner::Heap(q) => q.schedule(at, event),
+            Inner::Wheel(q) => q.schedule_keyed(at, key.0, event),
+            Inner::Heap(q) => q.schedule_keyed(at, key.0, event),
+        }
+    }
+
+    /// The `(timestamp, key)` of the next event without popping it — how
+    /// the sharded driver decides whether the next event still belongs to
+    /// the current time window.
+    #[inline]
+    pub fn peek(&mut self) -> Option<(Nanos, EventKey)> {
+        match &mut self.inner {
+            Inner::Wheel(q) => q.peek_key().map(|(t, k)| (t, EventKey(k))),
+            Inner::Heap(q) => q.peek_key().map(|(t, k)| (t, EventKey(k))),
         }
     }
 
@@ -217,13 +281,28 @@ mod tests {
         [EventEngine::CalendarWheel, EventEngine::BinaryHeap]
     }
 
+    fn key(lp: u16, seq: u64) -> EventKey {
+        EventKey::new(lp, seq)
+    }
+
+    #[test]
+    fn event_key_packs_lp_and_seq() {
+        let k = key(7, 42);
+        assert_eq!(k.lp(), 7);
+        assert_eq!(k.seq(), 42);
+        assert_eq!(k.to_string(), "lp7#42");
+        // Order is (lp, seq) lexicographic on the packed word.
+        assert!(key(0, u64::MAX >> 17) < key(1, 0));
+        assert!(key(3, 5) < key(3, 6));
+    }
+
     #[test]
     fn events_pop_in_time_order_on_both_engines() {
         for engine in engines() {
             let mut q = EventQueue::with_engine(engine);
-            q.schedule(Nanos::from_millis(5), Event::Sample);
-            q.schedule(Nanos::from_millis(1), Event::End);
-            q.schedule(Nanos::from_millis(3), Event::Sample);
+            q.schedule(Nanos::from_millis(5), key(0, 1), Event::Sample { lp: 0 });
+            q.schedule(Nanos::from_millis(1), key(0, 2), Event::Sample { lp: 0 });
+            q.schedule(Nanos::from_millis(3), key(0, 3), Event::Sample { lp: 0 });
             let times: Vec<u64> = std::iter::from_fn(|| q.pop())
                 .map(|(t, _)| t.as_nanos() / 1_000_000)
                 .collect();
@@ -232,15 +311,28 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_by_insertion_order_on_both_engines() {
+    fn ties_break_by_key_on_both_engines() {
         for engine in engines() {
             let mut q = EventQueue::with_engine(engine);
-            q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 0 });
-            q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 1 });
-            q.schedule(Nanos::from_millis(1), Event::SendboxTick { bundle: 2 });
+            // Scheduled out of key order: pops must sort by (lp, seq).
+            q.schedule(
+                Nanos::from_millis(1),
+                key(2, 1),
+                Event::ControlTick { bundle: 2 },
+            );
+            q.schedule(
+                Nanos::from_millis(1),
+                key(0, 9),
+                Event::ControlTick { bundle: 0 },
+            );
+            q.schedule(
+                Nanos::from_millis(1),
+                key(1, 4),
+                Event::ControlTick { bundle: 1 },
+            );
             let order: Vec<u32> = std::iter::from_fn(|| q.pop())
                 .map(|(_, e)| match e {
-                    Event::SendboxTick { bundle } => bundle,
+                    Event::ControlTick { bundle } => bundle,
                     _ => unreachable!(),
                 })
                 .collect();
@@ -252,12 +344,30 @@ mod tests {
     fn clock_advances_and_past_events_clamp() {
         for engine in engines() {
             let mut q = EventQueue::with_engine(engine);
-            q.schedule(Nanos::from_millis(10), Event::Sample);
+            q.schedule(Nanos::from_millis(10), key(0, 1), Event::Sample { lp: 0 });
             assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
             assert_eq!(q.now(), Nanos::from_millis(10));
             // Scheduling "in the past" runs at the current time, never earlier.
-            q.schedule(Nanos::from_millis(1), Event::End);
+            q.schedule(Nanos::from_millis(1), key(0, 2), Event::Sample { lp: 0 });
             assert_eq!(q.pop().unwrap().0, Nanos::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop_without_consuming() {
+        for engine in engines() {
+            let mut q = EventQueue::with_engine(engine);
+            assert_eq!(q.peek(), None);
+            q.schedule(Nanos::from_millis(2), key(1, 3), Event::Sample { lp: 1 });
+            q.schedule(Nanos::from_millis(1), key(4, 7), Event::Sample { lp: 4 });
+            assert_eq!(
+                q.peek(),
+                Some((Nanos::from_millis(1), key(4, 7))),
+                "{engine:?}"
+            );
+            assert_eq!(q.len(), 2, "peek must not consume");
+            assert_eq!(q.pop().unwrap().0, Nanos::from_millis(1));
+            assert_eq!(q.peek(), Some((Nanos::from_millis(2), key(1, 3))));
         }
     }
 
@@ -266,7 +376,7 @@ mod tests {
         for engine in engines() {
             let mut q = EventQueue::with_engine(engine);
             assert!(q.is_empty());
-            q.schedule(Nanos::ZERO, Event::Sample);
+            q.schedule(Nanos::ZERO, key(0, 1), Event::Sample { lp: 0 });
             assert_eq!(q.len(), 1);
             q.pop();
             assert!(q.is_empty());

@@ -30,6 +30,7 @@
 pub mod edge;
 pub mod event;
 pub mod path;
+pub mod runtime;
 pub mod scenario;
 pub mod sim;
 pub mod stats;
@@ -37,4 +38,4 @@ pub mod tcp;
 pub mod workload;
 
 pub use sim::{Simulation, SimulationConfig};
-pub use stats::SimReport;
+pub use stats::{SimReport, SimStats};

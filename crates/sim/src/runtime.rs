@@ -1,0 +1,1214 @@
+//! The shard-local simulation cores.
+//!
+//! The simulator is split into two kinds of logical-process (LP) cores so
+//! the same code runs single-threaded (one [`WorkerCore`] owning every LP,
+//! composed by [`crate::sim::Simulation`]) and sharded (`bundler-shard`
+//! composes K worker cores on K threads around one [`NetCore`]):
+//!
+//! * [`WorkerCore`] — a partition of the *site-side* LPs: each bundle
+//!   complex (the bundle's flows' TCP endhosts at both sites, its sendbox
+//!   datapath + control plane, its remote receivebox) and optionally the
+//!   direct cross-traffic endhosts. Bundle complexes never talk to each
+//!   other directly — the paper's observation that bundles only interact
+//!   at shared bottlenecks, which is exactly what makes this partition
+//!   parallelizable.
+//! * [`NetCore`] — the shared bottleneck: load balancer and paths. It
+//!   receives [`ToNet`] messages (packets entering the bottleneck, zero
+//!   latency) and emits [`Delivery`] messages (packets delivered to the
+//!   destination site after ≥ one-way propagation delay — the positive
+//!   lookahead the sharded driver's conservative windows rely on).
+//!
+//! Every event carries a canonical [`EventKey`] assigned by the LP that
+//! scheduled it (see [`crate::event`]); the cores increment per-LP
+//! sequence counters so the key streams — and therefore every merge order
+//! and every result — are identical for any partitioning.
+
+use bundler_core::FnvHashMap;
+use bundler_sched::tbf::Release;
+use bundler_sched::Policy;
+use bundler_types::{
+    flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, PacketKind, Rate,
+};
+
+use crate::edge::{Bundle, BundleMode, MultiBundle};
+use crate::event::{Event, EventKey, EventQueue};
+use crate::path::{Balancing, BottleneckPath, LoadBalancer};
+use crate::sim::SimulationConfig;
+use crate::stats::{FctRecord, SimReport, TimeSeries};
+use crate::tcp::{PingClient, TcpReceiver, TcpSender};
+use crate::workload::{FlowSpec, Origin};
+
+/// The net (bottleneck) logical process.
+pub const LP_NET: u16 = 0;
+/// The direct cross-traffic logical process.
+pub const LP_DIRECT: u16 = 1;
+/// First bundle LP; bundle `b` is LP `LP_BUNDLE0 + b`.
+pub const LP_BUNDLE0: u16 = 2;
+
+/// The LP owning bundle `b`'s complex.
+#[inline]
+pub fn bundle_lp(bundle: usize) -> u16 {
+    LP_BUNDLE0 + bundle as u16
+}
+
+/// The LP owning a flow, from its workload origin.
+#[inline]
+pub fn origin_lp(origin: Origin) -> u16 {
+    match origin {
+        Origin::Bundle(b) => bundle_lp(b),
+        Origin::Direct => LP_DIRECT,
+    }
+}
+
+/// A worker → net message: `pkt` enters the bottleneck stage at `at`
+/// (always the sending LP's current time — the zero-latency hop the
+/// sharded driver covers by running workers before the net within each
+/// window).
+#[derive(Debug, Clone, Copy)]
+pub struct ToNet {
+    /// Arrival time at the bottleneck stage.
+    pub at: Nanos,
+    /// Canonical key assigned by the sending LP.
+    pub key: EventKey,
+    /// The packet (in the sending core's arena).
+    pub pkt: PacketId,
+}
+
+/// A net → worker message: `pkt` reaches the destination site at `at`
+/// (≥ one one-way propagation delay in the future).
+#[derive(Debug, Clone, Copy)]
+pub struct Delivery {
+    /// Arrival time at the destination site.
+    pub at: Nanos,
+    /// Canonical key assigned by the net LP.
+    pub key: EventKey,
+    /// The packet (in the net core's arena).
+    pub pkt: PacketId,
+}
+
+struct FlowState {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    origin: Origin,
+    size_bytes: u64,
+    recorded: bool,
+}
+
+/// The five-tuple assigned to a flow: source site 10.0.x.x, destination
+/// site 10.1.x.x; cross traffic comes from 10.2.x.x. Ports spread flows
+/// for hashing schedulers.
+pub fn flow_key(flow_id: u64, origin: Origin) -> FlowKey {
+    let (src_base, dst_base) = match origin {
+        Origin::Bundle(b) => (ipv4(10, 0, b as u8, 1), ipv4(10, 1, b as u8, 1)),
+        Origin::Direct => (ipv4(10, 2, 0, 1), ipv4(10, 3, 0, 1)),
+    };
+    let src = src_base + ((flow_id * 7) % 200) as u32;
+    let dst = dst_base + ((flow_id * 13) % 200) as u32;
+    FlowKey::tcp(src, (10_000 + (flow_id * 31) % 50_000) as u16, dst, 443)
+}
+
+/// How the site-side LPs are partitioned: worker `index` of `workers`
+/// owns bundle `b` iff `b % workers == index`, and worker 0 owns the
+/// direct cross-traffic LP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Total worker count (≥ 1).
+    pub workers: usize,
+    /// This worker's index.
+    pub index: usize,
+}
+
+impl Partition {
+    /// The whole-site partition (one worker owning everything).
+    pub fn solo() -> Self {
+        Partition {
+            workers: 1,
+            index: 0,
+        }
+    }
+
+    /// True if this worker owns bundle `b`.
+    pub fn owns_bundle(&self, b: usize) -> bool {
+        b % self.workers == self.index
+    }
+
+    /// True if this worker owns the direct cross-traffic LP.
+    pub fn owns_direct(&self) -> bool {
+        self.index == 0
+    }
+
+    /// The worker index owning the given LP (never `LP_NET`).
+    pub fn worker_of_lp(workers: usize, lp: u16) -> usize {
+        debug_assert_ne!(lp, LP_NET);
+        if lp == LP_DIRECT {
+            0
+        } else {
+            (lp - LP_BUNDLE0) as usize % workers
+        }
+    }
+}
+
+/// One shard's worth of site-side simulation state.
+pub struct WorkerCore {
+    config: SimulationConfig,
+    part: Partition,
+    n_bundles: usize,
+    /// The full workload table; `Event::FlowArrival` indexes into it. Only
+    /// arrivals for owned LPs are scheduled.
+    specs: Vec<FlowSpec>,
+    /// Per-bundle legacy edges (classic mode), `Some` only for owned slots.
+    bundles: Vec<Option<Bundle>>,
+    /// The owned partition of the multi-bundle edge (agent mode).
+    multi: Option<MultiBundle>,
+    flows: FnvHashMap<FlowId, FlowState>,
+    pings: FnvHashMap<FlowId, PingClient>,
+    ping_origin: FnvHashMap<FlowId, Origin>,
+    /// Per-LP schedule sequence counters, indexed by LP id.
+    seqs: Vec<u64>,
+    forward_delay: Duration,
+    reverse_delay: Duration,
+    /// Delivered payload bytes per bundle since the last sample.
+    bundle_delivered: Vec<u64>,
+    /// Delivered payload bytes of direct (cross) traffic since the last
+    /// sample.
+    cross_delivered: u64,
+    /// Completed-flow records tagged with the (time, key) of the ACK event
+    /// that completed them, so per-worker lists merge into the canonical
+    /// global order.
+    fcts: Vec<(Nanos, EventKey, FctRecord)>,
+    bundle_throughput_mbps: Vec<TimeSeries>,
+    bundle_pacing_rate_mbps: Vec<TimeSeries>,
+    bundle_rtt_estimate_ms: Vec<TimeSeries>,
+    bundle_recv_rate_estimate_mbps: Vec<TimeSeries>,
+    cross_throughput_mbps: TimeSeries,
+    /// Reusable scratch for endhost output (ids of packets to route).
+    pkt_buf: Vec<PacketId>,
+    /// Reusable scratch for sendbox release bursts.
+    release_buf: Vec<PacketId>,
+    events_processed: u64,
+    /// Packets this core's endhosts created (data, ACKs, pings,
+    /// retransmissions) — counted at creation so the total is identical
+    /// whether or not packets later migrate between per-shard arenas.
+    packets_created: u64,
+}
+
+impl WorkerCore {
+    /// Builds the worker owning partition `part` of the configured edge.
+    /// Panics if a bundle configuration is invalid (checked identically on
+    /// every worker).
+    pub fn new(config: &SimulationConfig, workload: &[FlowSpec], part: Partition) -> Self {
+        let forward_delay = Duration(config.rtt.as_nanos() / 2);
+        let reverse_delay = config.rtt - forward_delay;
+        let n_bundles = config.n_bundles();
+        let (bundles, multi) = match &config.multi_bundle {
+            Some(mode) => {
+                let owned: Vec<usize> = (0..mode.specs.len())
+                    .filter(|&b| part.owns_bundle(b))
+                    .collect();
+                let edge = MultiBundle::partition(mode.agent, &mode.specs, &owned, Nanos::ZERO)
+                    .expect("invalid multi-bundle specs");
+                (Vec::new(), Some(edge))
+            }
+            None => {
+                let mut bundles = Vec::new();
+                for (i, mode) in config.bundles.iter().enumerate() {
+                    match mode {
+                        _ if !part.owns_bundle(i) => bundles.push(None),
+                        BundleMode::StatusQuo => bundles.push(None),
+                        BundleMode::Bundler(cfg) => bundles.push(Some(
+                            Bundle::new(i, *cfg, Nanos::ZERO).expect("invalid bundler config"),
+                        )),
+                    }
+                }
+                (bundles, None)
+            }
+        };
+        WorkerCore {
+            config: config.clone(),
+            part,
+            n_bundles,
+            specs: workload.to_vec(),
+            bundles,
+            multi,
+            flows: FnvHashMap::default(),
+            pings: FnvHashMap::default(),
+            ping_origin: FnvHashMap::default(),
+            seqs: vec![0; LP_BUNDLE0 as usize + n_bundles],
+            forward_delay,
+            reverse_delay,
+            bundle_delivered: vec![0; n_bundles],
+            cross_delivered: 0,
+            fcts: Vec::new(),
+            bundle_throughput_mbps: vec![TimeSeries::new(); n_bundles],
+            bundle_pacing_rate_mbps: vec![TimeSeries::new(); n_bundles],
+            bundle_rtt_estimate_ms: vec![TimeSeries::new(); n_bundles],
+            bundle_recv_rate_estimate_mbps: vec![TimeSeries::new(); n_bundles],
+            cross_throughput_mbps: TimeSeries::new(),
+            pkt_buf: Vec::with_capacity(64),
+            release_buf: Vec::with_capacity(64),
+            events_processed: 0,
+            packets_created: 0,
+        }
+    }
+
+    /// The partition this worker owns.
+    pub fn partition(&self) -> Partition {
+        self.part
+    }
+
+    /// Events this core has handled.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Packets this core's endhosts have created.
+    pub fn packets_created(&self) -> u64 {
+        self.packets_created
+    }
+
+    /// True if this worker owns the given non-net LP.
+    fn owns_lp(&self, lp: u16) -> bool {
+        if lp == LP_DIRECT {
+            self.part.owns_direct()
+        } else {
+            self.part.owns_bundle((lp - LP_BUNDLE0) as usize)
+        }
+    }
+
+    /// The next canonical key for a schedule made by `lp`.
+    #[inline]
+    fn key_for(&mut self, lp: u16) -> EventKey {
+        let seq = &mut self.seqs[lp as usize];
+        *seq += 1;
+        EventKey::new(lp, *seq)
+    }
+
+    /// The LP owning a flow (for events routed by flow id).
+    fn flow_lp(&self, flow: FlowId) -> u16 {
+        let origin = self
+            .flows
+            .get(&flow)
+            .map(|f| f.origin)
+            .or_else(|| self.ping_origin.get(&flow).copied())
+            .unwrap_or(Origin::Direct);
+        origin_lp(origin)
+    }
+
+    /// Schedules this worker's initial events: flow arrivals for owned
+    /// LPs (workload order), then control ticks for owned deployed
+    /// bundles, then per-LP samples. The per-LP key streams this produces
+    /// are identical for every partitioning because each stream only
+    /// depends on the workload and config.
+    pub fn schedule_initial(&mut self, queue: &mut EventQueue) {
+        for i in 0..self.specs.len() {
+            let lp = origin_lp(self.specs[i].origin);
+            if !self.owns_lp(lp) {
+                continue;
+            }
+            let (start, key) = (self.specs[i].start, self.key_for(lp));
+            queue.schedule(start, key, Event::FlowArrival { spec: i as u32 });
+        }
+        for b in 0..self.n_bundles {
+            if !self.part.owns_bundle(b) {
+                continue;
+            }
+            let interval = if let Some(multi) = self.multi.as_ref() {
+                Some(multi.control_interval(b))
+            } else {
+                self.bundles[b]
+                    .as_ref()
+                    .map(|bundle| bundle.control.config().control_interval)
+            };
+            if let Some(interval) = interval {
+                let key = self.key_for(bundle_lp(b));
+                queue.schedule(
+                    Nanos::ZERO + interval,
+                    key,
+                    Event::ControlTick { bundle: b as u32 },
+                );
+            }
+        }
+        let sample = self.config.sample_interval;
+        if self.part.owns_direct() {
+            let key = self.key_for(LP_DIRECT);
+            queue.schedule(Nanos::ZERO + sample, key, Event::Sample { lp: LP_DIRECT });
+        }
+        for b in 0..self.n_bundles {
+            if self.part.owns_bundle(b) {
+                let key = self.key_for(bundle_lp(b));
+                queue.schedule(
+                    Nanos::ZERO + sample,
+                    key,
+                    Event::Sample { lp: bundle_lp(b) },
+                );
+            }
+        }
+    }
+
+    /// Handles one event owned by this worker.
+    pub fn handle(
+        &mut self,
+        event: Event,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        self.events_processed += 1;
+        match event {
+            Event::FlowArrival { spec } => self.on_flow_arrival(spec, now, arena, queue, to_net),
+            Event::ArriveDestination { pkt } => self.on_arrive_destination(pkt, now, arena, queue),
+            Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now, arena, queue, to_net),
+            Event::CongestionAckArrive { ack } => {
+                if let Some(multi) = self.multi.as_mut() {
+                    multi.on_congestion_ack(&ack, now);
+                } else if let Some(Some(b)) = self.bundles.get_mut(ack.bundle.0 as usize) {
+                    b.on_congestion_ack(&ack, now);
+                }
+            }
+            Event::EpochUpdateArrive { update } => {
+                let bundle = update.bundle.0 as usize;
+                if let Some(multi) = self.multi.as_mut() {
+                    multi.on_epoch_update(bundle, &update);
+                } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
+                    b.receivebox.on_epoch_update(&update);
+                }
+            }
+            Event::ControlTick { bundle } => self.on_control_tick(bundle as usize, now, queue),
+            Event::SendboxRelease { bundle } => {
+                self.on_sendbox_release(bundle as usize, now, arena, queue, to_net)
+            }
+            Event::RtoCheck { flow } => self.on_rto_check(flow, now, arena, queue, to_net),
+            Event::Sample { lp } => self.on_sample(lp, now, queue),
+            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } => {
+                unreachable!("net event routed to a worker core")
+            }
+        }
+    }
+
+    /// Routes every id accumulated in `pkt_buf` (the endhost scratch
+    /// buffer) into the network, preserving the buffer's capacity. The
+    /// ids were freshly inserted by this core's endhosts, so they count
+    /// as created here.
+    fn flush_pkt_buf(
+        &mut self,
+        lp: u16,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        let mut buf = std::mem::take(&mut self.pkt_buf);
+        self.packets_created += buf.len() as u64;
+        for id in buf.drain(..) {
+            self.route_forward(id, lp, now, arena, queue, to_net);
+        }
+        self.pkt_buf = buf;
+    }
+
+    fn on_flow_arrival(
+        &mut self,
+        spec_index: u32,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        let spec = self.specs[spec_index as usize].clone();
+        let lp = origin_lp(spec.origin);
+        let key = flow_key(spec.id.0, spec.origin);
+        if spec.is_ping {
+            let mut client = PingClient::new(spec.id, key, spec.size_bytes.max(40) as u32);
+            let req = client.maybe_request(now, arena);
+            // Route the first request before registering the flow's origin,
+            // exactly as the pre-arena code did: in classic (non-agent)
+            // mode the origin lookup misses and the first request travels
+            // outside the bundle. Changing this would silently shift every
+            // subsequent closed-loop RTT sample.
+            if let Some(req) = req {
+                self.packets_created += 1;
+                self.route_forward(req, lp, now, arena, queue, to_net);
+            }
+            self.ping_origin.insert(spec.id, spec.origin);
+            self.pings.insert(spec.id, client);
+            return;
+        }
+        let sender = TcpSender::new(spec.id, key, spec.size_bytes, spec.alg, spec.class, now);
+        let state = FlowState {
+            sender,
+            receiver: TcpReceiver::new(),
+            origin: spec.origin,
+            size_bytes: spec.size_bytes,
+            recorded: false,
+        };
+        self.flows.insert(spec.id, state);
+        self.flows
+            .get_mut(&spec.id)
+            .expect("just inserted")
+            .sender
+            .maybe_send(now, arena, &mut self.pkt_buf);
+        self.flush_pkt_buf(lp, now, arena, queue, to_net);
+        let k = self.key_for(lp);
+        queue.schedule(
+            now + Duration::from_millis(1000),
+            k,
+            Event::RtoCheck { flow: spec.id },
+        );
+    }
+
+    /// Routes a forward-direction (source-site to destination-site) packet:
+    /// through the bundle's sendbox if one is deployed, else directly to the
+    /// bottleneck. A multi-bundle edge picks the bundle by longest-prefix
+    /// match on the destination address instead of by flow bookkeeping —
+    /// exactly what a real site edge does.
+    ///
+    /// `lp` is the LP acting (the flow's complex); in multi-bundle mode the
+    /// prefix classification of a bundled flow resolves to its own bundle
+    /// (site addressing guarantees it), so the sendbox reached is always
+    /// owned by this worker.
+    fn route_forward(
+        &mut self,
+        pkt: PacketId,
+        lp: u16,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        if let Some(multi) = self.multi.as_mut() {
+            match multi.classify(&arena[pkt]) {
+                Some(b) => {
+                    debug_assert!(
+                        multi.manages(b),
+                        "flow classified across the partition: bundle {b} not owned"
+                    );
+                    multi.enqueue(b, pkt, arena, now);
+                    if !multi.release_scheduled(b) {
+                        multi.set_release_scheduled(b, true);
+                        let k = self.key_for(lp);
+                        queue.schedule(now, k, Event::SendboxRelease { bundle: b as u32 });
+                    }
+                }
+                None => self.send_to_bottleneck(pkt, lp, now, to_net),
+            }
+            return;
+        }
+        let flow = arena[pkt].flow;
+        let origin = self
+            .flows
+            .get(&flow)
+            .map(|f| f.origin)
+            .or_else(|| self.ping_origin.get(&flow).copied())
+            .unwrap_or(Origin::Direct);
+        match origin {
+            Origin::Bundle(b) if self.bundles.get(b).map(|x| x.is_some()).unwrap_or(false) => {
+                let bundle = self.bundles[b].as_mut().expect("checked above");
+                bundle.enqueue(pkt, arena, now);
+                if !bundle.release_scheduled {
+                    bundle.release_scheduled = true;
+                    let k = self.key_for(lp);
+                    queue.schedule(now, k, Event::SendboxRelease { bundle: b as u32 });
+                }
+            }
+            _ => self.send_to_bottleneck(pkt, lp, now, to_net),
+        }
+    }
+
+    fn send_to_bottleneck(&mut self, pkt: PacketId, lp: u16, now: Nanos, to_net: &mut Vec<ToNet>) {
+        let key = self.key_for(lp);
+        to_net.push(ToNet { at: now, key, pkt });
+    }
+
+    fn on_arrive_destination(
+        &mut self,
+        pkt: PacketId,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+    ) {
+        let (flow_id, payload, seq, key) = {
+            let p = &arena[pkt];
+            (p.flow, p.payload, p.seq, p.key)
+        };
+        let origin = self
+            .flows
+            .get(&flow_id)
+            .map(|f| f.origin)
+            .or_else(|| self.ping_origin.get(&flow_id).copied())
+            .unwrap_or(Origin::Direct);
+        let lp = origin_lp(origin);
+
+        // The receivebox observes every bundled data packet arriving at the
+        // destination site (each bundle's remote site has its own).
+        if let Origin::Bundle(b) = origin {
+            if let Some(multi) = self.multi.as_mut() {
+                // Pick the receivebox by the destination address, exactly as
+                // the send side classified: a packet that missed the prefix
+                // table there (and travelled outside the bundle) must not
+                // produce congestion ACKs for a sendbox that never saw it.
+                if let Some(dst_bundle) = multi.agent.classify(&key) {
+                    if let Some(ack) = multi.receivebox_on_packet(dst_bundle, &arena[pkt], now) {
+                        let k = self.key_for(lp);
+                        queue.schedule(
+                            now + self.reverse_delay,
+                            k,
+                            Event::CongestionAckArrive { ack },
+                        );
+                    }
+                }
+            } else if let Some(Some(bundle)) = self.bundles.get_mut(b) {
+                if let Some(ack) = bundle.receivebox.on_packet(&arena[pkt], now) {
+                    let k = self.key_for(lp);
+                    queue.schedule(
+                        now + self.reverse_delay,
+                        k,
+                        Event::CongestionAckArrive { ack },
+                    );
+                }
+            }
+            if let Some(acc) = self.bundle_delivered.get_mut(b) {
+                *acc += payload as u64;
+            }
+        } else {
+            self.cross_delivered += payload as u64;
+        }
+
+        // Application processing.
+        if self.pings.contains_key(&flow_id) {
+            // The "server" echoes the request; the response returns over the
+            // (uncongested) reverse path. The packet's arena slot is reused
+            // in place for the response — no copy, no allocation.
+            arena[pkt].kind = PacketKind::Ack;
+            let k = self.key_for(lp);
+            queue.schedule(now + self.reverse_delay, k, Event::ArriveSource { pkt });
+            return;
+        }
+        if let Some(flow) = self.flows.get_mut(&flow_id) {
+            let ack_seq = flow.receiver.on_data(seq, payload);
+            // The SACK information must be a snapshot taken together with
+            // the cumulative ACK; mixing a stale cumulative value with newer
+            // receiver state would make ordinary pipelining look like loss.
+            let ack = Packet::ack(flow_id, key.reversed(), ack_seq, now)
+                .with_sack_highest(flow.receiver.highest_received());
+            let ack_id = arena.insert(ack);
+            self.packets_created += 1;
+            let k = self.key_for(lp);
+            queue.schedule(
+                now + self.reverse_delay,
+                k,
+                Event::ArriveSource { pkt: ack_id },
+            );
+        }
+        // The data packet has been consumed at the destination endhost.
+        arena.free(pkt);
+    }
+
+    fn on_arrive_source(
+        &mut self,
+        pkt: PacketId,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        let (flow_id, seq, sack_highest) = {
+            let p = &arena[pkt];
+            (p.flow, p.seq, p.sack_highest)
+        };
+        let lp = self.flow_lp(flow_id);
+        // Whatever arrives back at the source (transport ACK or ping
+        // response) terminates here.
+        arena.free(pkt);
+        if let Some(ping) = self.pings.get_mut(&flow_id) {
+            if let Some(next) = ping.on_response(seq, now, arena) {
+                self.packets_created += 1;
+                self.route_forward(next, lp, now, arena, queue, to_net);
+            }
+            return;
+        }
+        let (completed, origin, size, started) = match self.flows.get_mut(&flow_id) {
+            Some(flow) => {
+                let highest = sack_highest.max(seq);
+                flow.sender
+                    .on_ack_sack(seq, highest, now, arena, &mut self.pkt_buf);
+                let completed = flow.sender.is_complete() && !flow.recorded;
+                if completed {
+                    flow.recorded = true;
+                }
+                (completed, flow.origin, flow.size_bytes, flow.sender.started)
+            }
+            None => return,
+        };
+        self.flush_pkt_buf(lp, now, arena, queue, to_net);
+        if completed {
+            let fct = now.saturating_since(started);
+            let unloaded = self.unloaded_fct(size);
+            let bundle = match origin {
+                Origin::Bundle(b) => Some(b),
+                Origin::Direct => None,
+            };
+            // Tag with this LP's next key so per-worker lists merge into
+            // the canonical completion order.
+            let tag = self.key_for(lp);
+            self.fcts.push((
+                now,
+                tag,
+                FctRecord {
+                    size_bytes: size,
+                    start: started,
+                    fct,
+                    unloaded_fct: unloaded,
+                    bundle,
+                },
+            ));
+        }
+    }
+
+    /// Completion time of a flow of `size` bytes on an unloaded network:
+    /// one RTT of latency plus serialization at the full bottleneck rate.
+    fn unloaded_fct(&self, size: u64) -> Duration {
+        let wire_bytes = size + (size / 1460 + 1) * 40;
+        self.config.rtt + self.config.bottleneck_rate.transmit_time(wire_bytes)
+    }
+
+    fn on_control_tick(&mut self, bundle: usize, now: Nanos, queue: &mut EventQueue) {
+        let lp = bundle_lp(bundle);
+        let (update, interval, kick) = if let Some(multi) = self.multi.as_mut() {
+            let update = multi.tick_bundle(bundle, now);
+            let interval = multi.control_interval(bundle);
+            let kick = !multi.release_scheduled(bundle) && !multi.queue_is_empty(bundle);
+            if kick {
+                multi.set_release_scheduled(bundle, true);
+            }
+            (update, interval, kick)
+        } else {
+            let b = match self.bundles.get_mut(bundle) {
+                Some(Some(b)) => b,
+                _ => return,
+            };
+            let update = b.tick(now);
+            let interval = b.control.config().control_interval;
+            // The new rate may allow more packets out immediately.
+            let kick = !b.release_scheduled && !b.tbf.is_empty();
+            if kick {
+                b.release_scheduled = true;
+            }
+            (update, interval, kick)
+        };
+        if let Some(update) = update {
+            let k = self.key_for(lp);
+            queue.schedule(
+                now + self.forward_delay,
+                k,
+                Event::EpochUpdateArrive { update },
+            );
+        }
+        if kick {
+            let k = self.key_for(lp);
+            queue.schedule(
+                now,
+                k,
+                Event::SendboxRelease {
+                    bundle: bundle as u32,
+                },
+            );
+        }
+        let k = self.key_for(lp);
+        queue.schedule(
+            now + interval,
+            k,
+            Event::ControlTick {
+                bundle: bundle as u32,
+            },
+        );
+    }
+
+    fn on_sendbox_release(
+        &mut self,
+        bundle: usize,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        let lp = bundle_lp(bundle);
+        let mut released = std::mem::take(&mut self.release_buf);
+        let reschedule = if let Some(multi) = self.multi.as_mut() {
+            multi.set_release_scheduled(bundle, false);
+            let reschedule =
+                drain_release_burst(|t| multi.try_release(bundle, arena, t), now, &mut released);
+            if reschedule.is_some() {
+                multi.set_release_scheduled(bundle, true);
+            }
+            reschedule
+        } else {
+            let b = match self.bundles.get_mut(bundle) {
+                Some(Some(b)) => b,
+                _ => {
+                    self.release_buf = released;
+                    return;
+                }
+            };
+            b.release_scheduled = false;
+            let reschedule = drain_release_burst(|t| b.try_release(arena, t), now, &mut released);
+            if reschedule.is_some() {
+                b.release_scheduled = true;
+            }
+            reschedule
+        };
+        for pkt in released.drain(..) {
+            self.send_to_bottleneck(pkt, lp, now, to_net);
+        }
+        self.release_buf = released;
+        if let Some(d) = reschedule {
+            let k = self.key_for(lp);
+            queue.schedule(
+                now + d,
+                k,
+                Event::SendboxRelease {
+                    bundle: bundle as u32,
+                },
+            );
+        }
+    }
+
+    fn on_rto_check(
+        &mut self,
+        flow: FlowId,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        to_net: &mut Vec<ToNet>,
+    ) {
+        let lp = self.flow_lp(flow);
+        let next = match self.flows.get_mut(&flow) {
+            Some(f) => f.sender.on_rto_check(now, arena, &mut self.pkt_buf),
+            None => return,
+        };
+        self.flush_pkt_buf(lp, now, arena, queue, to_net);
+        match next {
+            Some(at) => {
+                let k = self.key_for(lp);
+                queue.schedule(at, k, Event::RtoCheck { flow });
+            }
+            None => {
+                // Flow idle or complete: poll again later in case new data
+                // appears (cheap: one event per second per flow).
+                if let Some(f) = self.flows.get(&flow) {
+                    if !f.sender.is_complete() {
+                        let k = self.key_for(lp);
+                        queue.schedule(now + Duration::from_secs(1), k, Event::RtoCheck { flow });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self, lp: u16, now: Nanos, queue: &mut EventQueue) {
+        let interval = self.config.sample_interval.as_secs_f64();
+        if lp == LP_DIRECT {
+            let cross_mbps = (self.cross_delivered as f64 * 8.0) / interval / 1e6;
+            self.cross_throughput_mbps.push(now, cross_mbps);
+            self.cross_delivered = 0;
+        } else {
+            let b = (lp - LP_BUNDLE0) as usize;
+            let acc = &mut self.bundle_delivered[b];
+            let mbps = (*acc as f64 * 8.0) / interval / 1e6;
+            self.bundle_throughput_mbps[b].push(now, mbps);
+            *acc = 0;
+            if let Some(Some(bundle)) = self.bundles.get_mut(b) {
+                bundle.sample_queue_delay(now);
+                self.bundle_pacing_rate_mbps[b].push(now, bundle.rate().as_mbps_f64());
+                if let Some(m) = bundle.control.last_measurement() {
+                    self.bundle_rtt_estimate_ms[b].push(now, m.rtt.as_millis_f64());
+                    self.bundle_recv_rate_estimate_mbps[b].push(now, m.recv_rate.as_mbps_f64());
+                }
+            }
+            if let Some(multi) = self.multi.as_mut() {
+                multi.sample_queue_delay(b, now);
+                self.bundle_pacing_rate_mbps[b].push(now, multi.rate(b).as_mbps_f64());
+                if let Some(m) = multi.sendbox(b).and_then(|s| s.last_measurement()) {
+                    self.bundle_rtt_estimate_ms[b].push(now, m.rtt.as_millis_f64());
+                    self.bundle_recv_rate_estimate_mbps[b].push(now, m.recv_rate.as_mbps_f64());
+                }
+            }
+        }
+        let k = self.key_for(lp);
+        queue.schedule(now + self.config.sample_interval, k, Event::Sample { lp });
+    }
+
+    /// Read access to a bundle's sendbox control plane (tests).
+    pub fn bundle_control(&self, bundle: usize) -> Option<&bundler_core::Sendbox> {
+        self.bundles
+            .get(bundle)
+            .and_then(|b| b.as_ref())
+            .map(|b| &b.control)
+    }
+
+    /// Read access to a bundle's receivebox (tests).
+    pub fn bundle_receivebox(&self, bundle: usize) -> Option<&bundler_core::Receivebox> {
+        self.bundles
+            .get(bundle)
+            .and_then(|b| b.as_ref())
+            .map(|b| &b.receivebox)
+    }
+
+    /// The multi-bundle edge partition, if this run uses one.
+    pub fn multi_bundle(&self) -> Option<&MultiBundle> {
+        self.multi.as_ref()
+    }
+}
+
+/// Drains one release burst from a sendbox datapath: up to 64 packets per
+/// event (to keep single events bounded), appending the released packet ids
+/// to `released` and returning the delay after which to schedule the next
+/// release event (`None` when the queue emptied). Shared by the
+/// single-bundle and multi-bundle paths so both pace identically.
+fn drain_release_burst(
+    mut try_release: impl FnMut(Nanos) -> Release,
+    now: Nanos,
+    released: &mut Vec<PacketId>,
+) -> Option<Duration> {
+    loop {
+        match try_release(now) {
+            Release::Packet(pkt) => {
+                released.push(pkt);
+                if released.len() >= 64 {
+                    break Some(Duration::ZERO);
+                }
+            }
+            Release::Wait(d) => break Some(d.max(Duration::from_micros(10))),
+            Release::Empty => break None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NetCore
+// ---------------------------------------------------------------------------
+
+/// The shared-bottleneck logical process: load balancer, paths, and the
+/// bottleneck-side statistics.
+pub struct NetCore {
+    paths: Vec<BottleneckPath>,
+    lb: LoadBalancer,
+    seq: u64,
+    rtt: Duration,
+    sample_interval: Duration,
+    actual_rtt_ms: TimeSeries,
+    events_processed: u64,
+}
+
+impl NetCore {
+    /// Builds the bottleneck from the simulation configuration.
+    pub fn new(config: &SimulationConfig) -> Self {
+        let per_path_rate =
+            Rate::from_bps(config.bottleneck_rate.as_bps() / config.num_paths.max(1) as u64);
+        let buffer = config.effective_buffer_pkts();
+        let forward_delay = Duration(config.rtt.as_nanos() / 2);
+        let mut paths = Vec::new();
+        for i in 0..config.num_paths.max(1) {
+            let extra = Duration(config.path_delay_spread.as_nanos() * i as u64);
+            let delay = forward_delay + extra;
+            let path = if config.in_network_fq {
+                BottleneckPath::with_queue(per_path_rate, delay, Policy::FairQueue.build(buffer))
+            } else {
+                BottleneckPath::drop_tail(per_path_rate, delay, buffer)
+            };
+            paths.push(path);
+        }
+        let balancing = if config.packet_spraying {
+            Balancing::PacketRoundRobin
+        } else {
+            Balancing::FlowHash
+        };
+        let lb = LoadBalancer::new(config.num_paths.max(1), balancing);
+        NetCore {
+            paths,
+            lb,
+            seq: 0,
+            rtt: config.rtt,
+            sample_interval: config.sample_interval,
+            actual_rtt_ms: TimeSeries::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The minimum one-way delay across paths: the sharded driver's
+    /// conservative lookahead (every net output is at least this far in
+    /// the future).
+    pub fn min_one_way_delay(&self) -> Duration {
+        self.paths
+            .iter()
+            .map(|p| p.one_way_delay())
+            .min()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Events this core has handled.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    #[inline]
+    fn key(&mut self) -> EventKey {
+        self.seq += 1;
+        EventKey::new(LP_NET, self.seq)
+    }
+
+    /// Schedules the net LP's initial events (its sample stream).
+    pub fn schedule_initial(&mut self, queue: &mut EventQueue) {
+        let (at, key) = (Nanos::ZERO + self.sample_interval, self.key());
+        queue.schedule(at, key, Event::Sample { lp: LP_NET });
+    }
+
+    /// Handles one net-LP event.
+    pub fn handle(
+        &mut self,
+        event: Event,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        self.events_processed += 1;
+        match event {
+            Event::ArriveBottleneck { pkt } => {
+                let path = self.lb.pick(&arena[pkt]);
+                if self.paths[path].enqueue(pkt, arena, now) {
+                    self.kick_path(path, now, queue);
+                }
+            }
+            Event::PathDequeue { path } => {
+                self.on_path_dequeue(path as usize, now, arena, queue, deliveries)
+            }
+            Event::Sample { lp } => {
+                debug_assert_eq!(lp, LP_NET);
+                self.on_sample(now, queue);
+            }
+            _ => unreachable!("worker event routed to the net core"),
+        }
+    }
+
+    fn kick_path(&mut self, path: usize, now: Nanos, queue: &mut EventQueue) {
+        let p = &mut self.paths[path];
+        if p.dequeue_scheduled || p.queue_len() == 0 {
+            return;
+        }
+        let at = now.max(p.busy_until());
+        p.dequeue_scheduled = true;
+        let key = self.key();
+        queue.schedule(at, key, Event::PathDequeue { path: path as u32 });
+    }
+
+    fn on_path_dequeue(
+        &mut self,
+        path: usize,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        self.paths[path].dequeue_scheduled = false;
+        if let Some((pkt, delivered_at, link_free)) = self.paths[path].try_transmit(arena, now) {
+            let key = self.key();
+            deliveries.push(Delivery {
+                at: delivered_at,
+                key,
+                pkt,
+            });
+            if self.paths[path].queue_len() > 0 {
+                self.paths[path].dequeue_scheduled = true;
+                let key = self.key();
+                queue.schedule(link_free, key, Event::PathDequeue { path: path as u32 });
+            }
+        } else if self.paths[path].queue_len() > 0 {
+            // Link was still busy: try again when it frees up.
+            let at = self.paths[path].busy_until();
+            self.paths[path].dequeue_scheduled = true;
+            let key = self.key();
+            queue.schedule(at, key, Event::PathDequeue { path: path as u32 });
+        }
+    }
+
+    fn on_sample(&mut self, now: Nanos, queue: &mut EventQueue) {
+        for p in &mut self.paths {
+            p.sample_queue_delay(now);
+        }
+        // Ground-truth RTT: base propagation plus current bottleneck
+        // queueing delay (averaged across sub-paths).
+        let queue_delay_ms: f64 = self
+            .paths
+            .iter()
+            .map(|p| p.queue_delay().as_millis_f64())
+            .sum::<f64>()
+            / self.paths.len().max(1) as f64;
+        self.actual_rtt_ms
+            .push(now, self.rtt.as_millis_f64() + queue_delay_ms);
+        let (at, key) = (now + self.sample_interval, self.key());
+        queue.schedule(at, key, Event::Sample { lp: LP_NET });
+    }
+
+    /// Test/diagnostic dump of path state.
+    pub fn debug_paths(&self) -> String {
+        self.paths
+            .iter()
+            .map(|p| {
+                format!(
+                    "queue_len={} drops={} busy_until={} dequeue_scheduled={} delivered={}",
+                    p.queue_len(),
+                    p.drops,
+                    p.busy_until(),
+                    p.dequeue_scheduled,
+                    p.bytes_delivered
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ; ")
+    }
+}
+
+/// True if the event is handled by the net core.
+#[inline]
+pub fn is_net_event(event: &Event) -> bool {
+    matches!(
+        event,
+        Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::Sample { lp: LP_NET }
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly (shared by the single-threaded and sharded hosts)
+// ---------------------------------------------------------------------------
+
+/// Merges the cores' outputs into one [`SimReport`]. `workers` may be one
+/// core owning everything (single-threaded host) or one per shard; the
+/// result is identical either way because every per-LP output is tagged
+/// with its canonical order.
+pub fn assemble_report(
+    config: &SimulationConfig,
+    mut workers: Vec<WorkerCore>,
+    net: NetCore,
+    packets_recycled: u64,
+) -> SimReport {
+    let n_bundles = config.n_bundles();
+    let mut report = SimReport {
+        sendbox_queue_delay_ms: vec![TimeSeries::new(); n_bundles],
+        bundle_throughput_mbps: vec![TimeSeries::new(); n_bundles],
+        bundle_rtt_estimate_ms: vec![TimeSeries::new(); n_bundles],
+        bundle_recv_rate_estimate_mbps: vec![TimeSeries::new(); n_bundles],
+        bundle_pacing_rate_mbps: vec![TimeSeries::new(); n_bundles],
+        mode_timeline: vec![Vec::new(); n_bundles],
+        out_of_order_fraction: vec![0.0; n_bundles],
+        ping_rtts_ms: vec![Vec::new(); n_bundles],
+        ..Default::default()
+    };
+
+    // Flow completions: merge per-worker lists by canonical (time, key).
+    let mut tagged: Vec<(Nanos, EventKey, FctRecord)> = Vec::new();
+    for w in &mut workers {
+        tagged.append(&mut w.fcts);
+    }
+    tagged.sort_by_key(|&(t, k, _)| (t, k));
+    report.fcts = tagged.into_iter().map(|(_, _, r)| r).collect();
+    report.completed = report.fcts.len();
+
+    let mut telemetry_rows: Vec<bundler_agent::BundleTelemetry> = Vec::new();
+    let mut agent_stats_total: Option<bundler_agent::AgentStats> = None;
+
+    for w in &mut workers {
+        let mut unfinished = 0;
+        for f in w.flows.values() {
+            if !f.sender.is_complete() && f.size_bytes != FlowSpec::BACKLOGGED {
+                unfinished += 1;
+            }
+        }
+        report.unfinished += unfinished;
+        report.events_processed += w.events_processed;
+        report.packets_created += w.packets_created;
+        for b in 0..n_bundles {
+            if !w.part.owns_bundle(b) {
+                continue;
+            }
+            report.bundle_throughput_mbps[b] = std::mem::take(&mut w.bundle_throughput_mbps[b]);
+            report.bundle_pacing_rate_mbps[b] = std::mem::take(&mut w.bundle_pacing_rate_mbps[b]);
+            report.bundle_rtt_estimate_ms[b] = std::mem::take(&mut w.bundle_rtt_estimate_ms[b]);
+            report.bundle_recv_rate_estimate_mbps[b] =
+                std::mem::take(&mut w.bundle_recv_rate_estimate_mbps[b]);
+            if let Some(Some(bundle)) = w.bundles.get(b) {
+                report.sendbox_queue_delay_ms[b] = bundle.queue_delay_ms.clone();
+                report.mode_timeline[b] = bundle.mode_timeline.clone();
+                report.out_of_order_fraction[b] = bundle.control.out_of_order_fraction();
+            }
+            if let Some(multi) = w.multi.as_ref() {
+                report.sendbox_queue_delay_ms[b] = multi.queue_delay_series(b).clone();
+                report.mode_timeline[b] = multi.mode_timeline_of(b).to_vec();
+                report.out_of_order_fraction[b] = multi
+                    .sendbox(b)
+                    .map(|s| s.out_of_order_fraction())
+                    .unwrap_or(0.0);
+            }
+        }
+        if w.part.owns_direct() {
+            report.cross_throughput_mbps = std::mem::take(&mut w.cross_throughput_mbps);
+        }
+        if let Some(multi) = w.multi.as_ref() {
+            telemetry_rows.extend(multi.agent.snapshots().bundles);
+            let s = multi.agent.stats();
+            agent_stats_total = Some(match agent_stats_total {
+                None => s,
+                Some(mut t) => {
+                    t.packets_classified += s.packets_classified;
+                    t.packets_unclassified += s.packets_unclassified;
+                    t.acks_delivered += s.acks_delivered;
+                    t.acks_unknown += s.acks_unknown;
+                    t.ticks_run += s.ticks_run;
+                    t.advances += s.advances;
+                    t
+                }
+            });
+        }
+        // Ping RTT series, merged per bundle in flow-id order so the
+        // result is independent of hash-map iteration and partitioning.
+        let mut ping_ids: Vec<FlowId> = w.pings.keys().copied().collect();
+        ping_ids.sort();
+        for id in ping_ids {
+            if let Some(Origin::Bundle(b)) = w.ping_origin.get(&id) {
+                let ping = &w.pings[&id];
+                report.ping_rtts_ms[*b].extend(ping.rtts.iter().map(|d| d.as_millis_f64()));
+            }
+        }
+    }
+
+    if agent_stats_total.is_some() {
+        telemetry_rows.sort_by_key(|row| row.index);
+        report.agent_telemetry = Some(bundler_agent::AgentTelemetry {
+            bundles: telemetry_rows,
+        });
+        report.agent_stats = agent_stats_total;
+    }
+
+    report.events_processed += net.events_processed;
+    report.packets_recycled = packets_recycled;
+    report.bottleneck_drops = net.paths.iter().map(|p| p.drops).sum();
+    report.bytes_delivered = net.paths.iter().map(|p| p.bytes_delivered).sum();
+    // Aggregate bottleneck queue delay: merge per-path series by
+    // averaging samples taken at the same instant.
+    let mut merged = TimeSeries::new();
+    if let Some(first) = net.paths.first() {
+        for (i, &(t, _)) in first.queue_delay_ms.samples.iter().enumerate() {
+            let mut total = 0.0;
+            let mut n: f64 = 0.0;
+            for p in &net.paths {
+                if let Some(&(_, v)) = p.queue_delay_ms.samples.get(i) {
+                    total += v;
+                    n += 1.0;
+                }
+            }
+            merged.push(t, total / n.max(1.0));
+        }
+    }
+    report.bottleneck_queue_delay_ms = merged;
+    report.actual_rtt_ms = net.actual_rtt_ms;
+    report
+}

@@ -7,20 +7,24 @@
 //! event queue is a calendar queue with O(1) amortized operations
 //! (selectable via [`SimulationConfig::event_engine`] for A/B
 //! measurement against the reference binary heap).
+//!
+//! [`Simulation`] is the *single-threaded host*: it composes one
+//! [`WorkerCore`] owning every site-side logical process with the
+//! [`NetCore`] bottleneck over a single event queue. The multi-threaded
+//! host lives in the `bundler-shard` crate and composes the same cores,
+//! one worker per thread — [`SimulationConfig::shards`] selects how many.
+//! Because event order is canonical (see [`crate::event`]), both hosts
+//! produce bit-identical reports for the same config and workload.
 
 use bundler_core::feedback::BundleId;
-use bundler_core::FnvHashMap;
-use bundler_sched::tbf::Release;
-use bundler_sched::Policy;
-use bundler_types::{
-    flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, PacketKind, Rate,
-};
+use bundler_types::{Duration, FlowKey, Nanos, PacketArena, Rate};
 
-use crate::edge::{Bundle, BundleMode, MultiBundle, MultiBundleSpec};
+use crate::edge::{BundleMode, MultiBundle, MultiBundleSpec};
 use crate::event::{Event, EventEngine, EventQueue};
-use crate::path::{Balancing, BottleneckPath, LoadBalancer};
-use crate::stats::{FctRecord, SimReport, TimeSeries};
-use crate::tcp::{PingClient, TcpReceiver, TcpSender};
+use crate::runtime::{
+    assemble_report, is_net_event, Delivery, NetCore, Partition, ToNet, WorkerCore,
+};
+use crate::stats::SimReport;
 use crate::workload::{FlowSpec, Origin};
 
 /// Static configuration of one simulation run.
@@ -58,6 +62,13 @@ pub struct SimulationConfig {
     /// `bench_report` on every run); the calendar wheel is the fast one and
     /// the binary heap exists as the reference/baseline.
     pub event_engine: EventEngine,
+    /// How many worker shards the simulation runs on. `1` (the default) is
+    /// today's engine: this crate's single-threaded [`Simulation`],
+    /// unchanged. Larger values are honoured by the multi-threaded host in
+    /// `bundler-shard` (`ShardedSimulation`), which partitions bundles
+    /// across that many worker threads and produces bit-identical results;
+    /// the plain [`Simulation`] ignores the field.
+    pub shards: usize,
 }
 
 /// Configuration of a [`MultiBundle`] source edge.
@@ -84,6 +95,7 @@ impl Default for SimulationConfig {
             multi_bundle: None,
             sample_interval: Duration::from_millis(50),
             event_engine: EventEngine::default(),
+            shards: 1,
         }
     }
 }
@@ -94,7 +106,15 @@ impl SimulationConfig {
         (self.bottleneck_rate.as_bytes_per_sec() * self.rtt.as_secs_f64()) as u64
     }
 
-    fn effective_buffer_pkts(&self) -> usize {
+    /// Number of bundle indices this configuration defines.
+    pub fn n_bundles(&self) -> usize {
+        match &self.multi_bundle {
+            Some(mode) => mode.specs.len(),
+            None => self.bundles.len(),
+        }
+    }
+
+    pub(crate) fn effective_buffer_pkts(&self) -> usize {
         if self.buffer_pkts > 0 {
             self.buffer_pkts
         } else {
@@ -103,144 +123,37 @@ impl SimulationConfig {
     }
 }
 
-struct FlowState {
-    sender: TcpSender,
-    receiver: TcpReceiver,
-    origin: Origin,
-    size_bytes: u64,
-    recorded: bool,
-}
-
-/// The simulator.
+/// The single-threaded simulator host.
 pub struct Simulation {
     config: SimulationConfig,
     queue: EventQueue,
     /// Every in-flight packet; events and queues reference it by id.
     arena: PacketArena,
-    /// The workload table; `Event::FlowArrival` indexes into it.
-    specs: Vec<FlowSpec>,
-    paths: Vec<BottleneckPath>,
-    lb: LoadBalancer,
-    bundles: Vec<Option<Bundle>>,
-    multi: Option<MultiBundle>,
-    flows: FnvHashMap<FlowId, FlowState>,
-    pings: FnvHashMap<FlowId, PingClient>,
-    ping_origin: FnvHashMap<FlowId, Origin>,
-    report: SimReport,
-    /// Delivered payload bytes per bundle since the last sample.
-    bundle_delivered: Vec<u64>,
-    /// Delivered payload bytes of direct (cross) traffic since the last
-    /// sample.
-    cross_delivered: u64,
-    forward_delay: Duration,
-    reverse_delay: Duration,
-    /// Reusable scratch for endhost output (ids of packets to route).
-    pkt_buf: Vec<PacketId>,
-    /// Reusable scratch for sendbox release bursts.
-    release_buf: Vec<PacketId>,
-    events_processed: u64,
+    worker: WorkerCore,
+    net: NetCore,
+    /// Reusable scratch for worker → net messages.
+    to_net: Vec<ToNet>,
+    /// Reusable scratch for net → worker deliveries.
+    deliveries: Vec<Delivery>,
 }
 
 impl Simulation {
     /// Builds a simulation from a configuration and a workload (flow
     /// arrivals). Panics if a bundle configuration is invalid.
     pub fn new(config: SimulationConfig, workload: Vec<FlowSpec>) -> Self {
-        let per_path_rate =
-            Rate::from_bps(config.bottleneck_rate.as_bps() / config.num_paths.max(1) as u64);
-        let buffer = config.effective_buffer_pkts();
-        let forward_delay = Duration(config.rtt.as_nanos() / 2);
-        let reverse_delay = config.rtt - forward_delay;
-        let mut paths = Vec::new();
-        for i in 0..config.num_paths.max(1) {
-            let extra = Duration(config.path_delay_spread.as_nanos() * i as u64);
-            let delay = forward_delay + extra;
-            let path = if config.in_network_fq {
-                BottleneckPath::with_queue(per_path_rate, delay, Policy::FairQueue.build(buffer))
-            } else {
-                BottleneckPath::drop_tail(per_path_rate, delay, buffer)
-            };
-            paths.push(path);
-        }
-        let balancing = if config.packet_spraying {
-            Balancing::PacketRoundRobin
-        } else {
-            Balancing::FlowHash
-        };
-        let lb = LoadBalancer::new(config.num_paths.max(1), balancing);
-
-        let (bundles, multi) = match &config.multi_bundle {
-            Some(mode) => {
-                let edge = MultiBundle::new(mode.agent, &mode.specs, Nanos::ZERO)
-                    .expect("invalid multi-bundle specs");
-                (Vec::new(), Some(edge))
-            }
-            None => {
-                let mut bundles = Vec::new();
-                for (i, mode) in config.bundles.iter().enumerate() {
-                    match mode {
-                        BundleMode::StatusQuo => bundles.push(None),
-                        BundleMode::Bundler(cfg) => bundles.push(Some(
-                            Bundle::new(i, *cfg, Nanos::ZERO).expect("invalid bundler config"),
-                        )),
-                    }
-                }
-                (bundles, None)
-            }
-        };
-
         let mut queue = EventQueue::with_engine(config.event_engine);
-        for (i, spec) in workload.iter().enumerate() {
-            queue.schedule(spec.start, Event::FlowArrival { spec: i as u32 });
-        }
-        // Control ticks: per-bundle events in the classic mode, one batched
-        // agent event driven by the timer wheel in multi-bundle mode.
-        for (i, b) in bundles.iter().enumerate() {
-            if let Some(bundle) = b {
-                queue.schedule(
-                    Nanos::ZERO + bundle.control.config().control_interval,
-                    Event::SendboxTick { bundle: i as u32 },
-                );
-            }
-        }
-        if let Some(at) = multi.as_ref().and_then(|m| m.next_tick_at()) {
-            queue.schedule(at, Event::AgentTick);
-        }
-        queue.schedule(Nanos::ZERO + config.sample_interval, Event::Sample);
-        queue.schedule(Nanos::ZERO + config.duration, Event::End);
-
-        let n_bundles = multi.as_ref().map(|m| m.len()).unwrap_or(bundles.len());
-        let report = SimReport {
-            sendbox_queue_delay_ms: vec![TimeSeries::new(); n_bundles],
-            bundle_throughput_mbps: vec![TimeSeries::new(); n_bundles],
-            bundle_rtt_estimate_ms: vec![TimeSeries::new(); n_bundles],
-            bundle_recv_rate_estimate_mbps: vec![TimeSeries::new(); n_bundles],
-            bundle_pacing_rate_mbps: vec![TimeSeries::new(); n_bundles],
-            mode_timeline: vec![Vec::new(); n_bundles],
-            out_of_order_fraction: vec![0.0; n_bundles],
-            ping_rtts_ms: vec![Vec::new(); n_bundles],
-            ..Default::default()
-        };
-
+        let mut worker = WorkerCore::new(&config, &workload, Partition::solo());
+        let mut net = NetCore::new(&config);
+        worker.schedule_initial(&mut queue);
+        net.schedule_initial(&mut queue);
         Simulation {
-            bundle_delivered: vec![0; n_bundles],
-            cross_delivered: 0,
             config,
             queue,
             arena: PacketArena::with_capacity(1024),
-            specs: workload,
-            paths,
-            lb,
-            bundles,
-            multi,
-            flows: FnvHashMap::default(),
-            pings: FnvHashMap::default(),
-            ping_origin: FnvHashMap::default(),
-            report,
-            forward_delay,
-            reverse_delay,
-            pkt_buf: Vec::with_capacity(64),
-            release_buf: Vec::with_capacity(64),
-            events_processed: 0,
+            worker,
+            net,
+            to_net: Vec::with_capacity(64),
+            deliveries: Vec::with_capacity(64),
         }
     }
 
@@ -249,672 +162,83 @@ impl Simulation {
         &self.config
     }
 
+    /// The five-tuple assigned to a flow (exposed for tests).
+    pub fn flow_key(flow_id: u64, origin: Origin) -> FlowKey {
+        crate::runtime::flow_key(flow_id, origin)
+    }
+
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimReport {
+        let end = Nanos::ZERO + self.config.duration;
         while let Some((now, event)) = self.queue.pop() {
-            self.events_processed += 1;
-            match event {
-                Event::End => break,
-                other => self.handle(other, now),
+            if now >= end {
+                break;
+            }
+            if is_net_event(&event) {
+                self.net.handle(
+                    event,
+                    now,
+                    &mut self.arena,
+                    &mut self.queue,
+                    &mut self.deliveries,
+                );
+                for d in self.deliveries.drain(..) {
+                    self.queue
+                        .schedule(d.at, d.key, Event::ArriveDestination { pkt: d.pkt });
+                }
+            } else {
+                self.worker.handle(
+                    event,
+                    now,
+                    &mut self.arena,
+                    &mut self.queue,
+                    &mut self.to_net,
+                );
+                for m in self.to_net.drain(..) {
+                    debug_assert_eq!(m.at, now, "bottleneck entry is a zero-latency hop");
+                    self.queue
+                        .schedule(m.at, m.key, Event::ArriveBottleneck { pkt: m.pkt });
+                }
             }
         }
         self.finalize()
     }
 
-    fn finalize(mut self) -> SimReport {
-        let mut unfinished = 0;
-        for (_, f) in self.flows.iter() {
-            if !f.sender.is_complete() && f.size_bytes != FlowSpec::BACKLOGGED {
-                unfinished += 1;
-            }
-        }
-        self.report.unfinished = unfinished;
-        self.report.completed = self.report.fcts.len();
-        self.report.events_processed = self.events_processed;
-        self.report.packets_created = self.arena.inserted();
-        self.report.packets_recycled = self.arena.recycled();
-        self.report.bottleneck_drops = self.paths.iter().map(|p| p.drops).sum();
-        self.report.bytes_delivered = self.paths.iter().map(|p| p.bytes_delivered).sum();
-        // Aggregate bottleneck queue delay: merge per-path series by
-        // averaging samples taken at the same instant.
-        let mut merged = TimeSeries::new();
-        if let Some(first) = self.paths.first() {
-            for (i, &(t, _)) in first.queue_delay_ms.samples.iter().enumerate() {
-                let mut total = 0.0;
-                let mut n: f64 = 0.0;
-                for p in &self.paths {
-                    if let Some(&(_, v)) = p.queue_delay_ms.samples.get(i) {
-                        total += v;
-                        n += 1.0;
-                    }
-                }
-                merged.push(t, total / n.max(1.0));
-            }
-        }
-        self.report.bottleneck_queue_delay_ms = merged;
-        for (i, b) in self.bundles.iter().enumerate() {
-            if let Some(bundle) = b {
-                self.report.sendbox_queue_delay_ms[i] = bundle.queue_delay_ms.clone();
-                self.report.mode_timeline[i] = bundle.mode_timeline.clone();
-                self.report.out_of_order_fraction[i] = bundle.control.out_of_order_fraction();
-            }
-        }
-        if let Some(multi) = self.multi.as_ref() {
-            for i in 0..multi.len() {
-                self.report.sendbox_queue_delay_ms[i] = multi.queue_delay_ms[i].clone();
-                self.report.mode_timeline[i] = multi.mode_timeline[i].clone();
-                self.report.out_of_order_fraction[i] = multi
-                    .sendbox(i)
-                    .map(|s| s.out_of_order_fraction())
-                    .unwrap_or(0.0);
-            }
-            self.report.agent_telemetry = Some(multi.agent.snapshots());
-            self.report.agent_stats = Some(multi.agent.stats());
-        }
-        for (id, ping) in &self.pings {
-            if let Some(Origin::Bundle(b)) = self.ping_origin.get(id) {
-                self.report.ping_rtts_ms[*b].extend(ping.rtts.iter().map(|d| d.as_millis_f64()));
-            }
-        }
-        self.report
+    fn finalize(self) -> SimReport {
+        // In the single-arena host every creation is one insert, so the
+        // logical counter must agree with the arena's.
+        debug_assert_eq!(self.worker_packets_created(), self.arena.inserted());
+        assemble_report(
+            &self.config,
+            vec![self.worker],
+            self.net,
+            self.arena.recycled(),
+        )
     }
 
-    fn handle(&mut self, event: Event, now: Nanos) {
-        match event {
-            Event::FlowArrival { spec } => self.on_flow_arrival(spec, now),
-            Event::ArriveBottleneck { path, pkt } => {
-                if self.paths[path as usize].enqueue(pkt, &mut self.arena, now) {
-                    self.kick_path(path as usize, now);
-                }
-            }
-            Event::PathDequeue { path } => self.on_path_dequeue(path as usize, now),
-            Event::ArriveDestination { pkt } => self.on_arrive_destination(pkt, now),
-            Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now),
-            Event::CongestionAckArrive { ack } => {
-                if let Some(multi) = self.multi.as_mut() {
-                    multi.on_congestion_ack(&ack, now);
-                } else if let Some(Some(b)) = self.bundles.get_mut(ack.bundle.0 as usize) {
-                    b.on_congestion_ack(&ack, now);
-                }
-            }
-            Event::EpochUpdateArrive { update } => {
-                let bundle = update.bundle.0 as usize;
-                if let Some(multi) = self.multi.as_mut() {
-                    multi.on_epoch_update(bundle, &update);
-                } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
-                    b.receivebox.on_epoch_update(&update);
-                }
-            }
-            Event::SendboxTick { bundle } => self.on_sendbox_tick(bundle as usize, now),
-            Event::AgentTick => self.on_agent_tick(now),
-            Event::SendboxRelease { bundle } => self.on_sendbox_release(bundle as usize, now),
-            Event::RtoCheck { flow } => self.on_rto_check(flow, now),
-            Event::Sample => self.on_sample(now),
-            Event::End => {}
-        }
-    }
-
-    /// Routes every id accumulated in `pkt_buf` (the endhost scratch
-    /// buffer) into the network, preserving the buffer's capacity.
-    fn flush_pkt_buf(&mut self, now: Nanos) {
-        let mut buf = std::mem::take(&mut self.pkt_buf);
-        for id in buf.drain(..) {
-            self.route_forward(id, now);
-        }
-        self.pkt_buf = buf;
-    }
-
-    fn flow_key(flow_id: u64, origin: Origin) -> FlowKey {
-        // Source site 10.0.x.x, destination site 10.1.x.x; cross traffic
-        // comes from 10.2.x.x. Ports spread flows for hashing schedulers.
-        let (src_base, dst_base) = match origin {
-            Origin::Bundle(b) => (ipv4(10, 0, b as u8, 1), ipv4(10, 1, b as u8, 1)),
-            Origin::Direct => (ipv4(10, 2, 0, 1), ipv4(10, 3, 0, 1)),
-        };
-        let src = src_base + ((flow_id * 7) % 200) as u32;
-        let dst = dst_base + ((flow_id * 13) % 200) as u32;
-        FlowKey::tcp(src, (10_000 + (flow_id * 31) % 50_000) as u16, dst, 443)
-    }
-
-    fn on_flow_arrival(&mut self, spec_index: u32, now: Nanos) {
-        let spec = self.specs[spec_index as usize].clone();
-        let key = Self::flow_key(spec.id.0, spec.origin);
-        if spec.is_ping {
-            let mut client = PingClient::new(spec.id, key, spec.size_bytes.max(40) as u32);
-            let req = client.maybe_request(now, &mut self.arena);
-            // Route the first request before registering the flow's origin,
-            // exactly as the pre-arena code did: in classic (non-agent)
-            // mode the origin lookup misses and the first request travels
-            // outside the bundle. Changing this would silently shift every
-            // subsequent closed-loop RTT sample.
-            if let Some(req) = req {
-                self.route_forward(req, now);
-            }
-            self.ping_origin.insert(spec.id, spec.origin);
-            self.pings.insert(spec.id, client);
-            return;
-        }
-        let sender = TcpSender::new(spec.id, key, spec.size_bytes, spec.alg, spec.class, now);
-        let state = FlowState {
-            sender,
-            receiver: TcpReceiver::new(),
-            origin: spec.origin,
-            size_bytes: spec.size_bytes,
-            recorded: false,
-        };
-        self.flows.insert(spec.id, state);
-        self.flows
-            .get_mut(&spec.id)
-            .expect("just inserted")
-            .sender
-            .maybe_send(now, &mut self.arena, &mut self.pkt_buf);
-        self.flush_pkt_buf(now);
-        self.queue.schedule(
-            now + Duration::from_millis(1000),
-            Event::RtoCheck { flow: spec.id },
-        );
-    }
-
-    /// Routes a forward-direction (source-site to destination-site) packet:
-    /// through the bundle's sendbox if one is deployed, else directly to the
-    /// bottleneck. A multi-bundle edge picks the bundle by longest-prefix
-    /// match on the destination address instead of by flow bookkeeping —
-    /// exactly what a real site edge does.
-    fn route_forward(&mut self, pkt: PacketId, now: Nanos) {
-        if let Some(multi) = self.multi.as_mut() {
-            match multi.classify(&self.arena[pkt]) {
-                Some(b) => {
-                    multi.enqueue(b, pkt, &mut self.arena, now);
-                    if !multi.release_scheduled[b] {
-                        multi.release_scheduled[b] = true;
-                        self.queue
-                            .schedule(now, Event::SendboxRelease { bundle: b as u32 });
-                    }
-                }
-                None => self.send_to_bottleneck(pkt, now),
-            }
-            return;
-        }
-        let flow = self.arena[pkt].flow;
-        let origin = self
-            .flows
-            .get(&flow)
-            .map(|f| f.origin)
-            .or_else(|| self.ping_origin.get(&flow).copied())
-            .unwrap_or(Origin::Direct);
-        match origin {
-            Origin::Bundle(b) if self.bundles.get(b).map(|x| x.is_some()).unwrap_or(false) => {
-                let bundle = self.bundles[b].as_mut().expect("checked above");
-                bundle.enqueue(pkt, &mut self.arena, now);
-                if !bundle.release_scheduled {
-                    bundle.release_scheduled = true;
-                    self.queue
-                        .schedule(now, Event::SendboxRelease { bundle: b as u32 });
-                }
-            }
-            _ => self.send_to_bottleneck(pkt, now),
-        }
-    }
-
-    fn send_to_bottleneck(&mut self, pkt: PacketId, now: Nanos) {
-        let path = self.lb.pick(&self.arena[pkt]) as u32;
-        self.queue
-            .schedule(now, Event::ArriveBottleneck { path, pkt });
-    }
-
-    fn kick_path(&mut self, path: usize, now: Nanos) {
-        let p = &mut self.paths[path];
-        if p.dequeue_scheduled || p.queue_len() == 0 {
-            return;
-        }
-        let at = now.max(p.busy_until());
-        p.dequeue_scheduled = true;
-        self.queue
-            .schedule(at, Event::PathDequeue { path: path as u32 });
-    }
-
-    fn on_path_dequeue(&mut self, path: usize, now: Nanos) {
-        self.paths[path].dequeue_scheduled = false;
-        if let Some((pkt, delivered_at, link_free)) =
-            self.paths[path].try_transmit(&mut self.arena, now)
-        {
-            self.queue
-                .schedule(delivered_at, Event::ArriveDestination { pkt });
-            if self.paths[path].queue_len() > 0 {
-                self.paths[path].dequeue_scheduled = true;
-                self.queue
-                    .schedule(link_free, Event::PathDequeue { path: path as u32 });
-            }
-        } else if self.paths[path].queue_len() > 0 {
-            // Link was still busy: try again when it frees up.
-            let at = self.paths[path].busy_until();
-            self.paths[path].dequeue_scheduled = true;
-            self.queue
-                .schedule(at, Event::PathDequeue { path: path as u32 });
-        }
-    }
-
-    fn on_arrive_destination(&mut self, pkt: PacketId, now: Nanos) {
-        let (flow_id, payload, seq, key) = {
-            let p = &self.arena[pkt];
-            (p.flow, p.payload, p.seq, p.key)
-        };
-        let origin = self
-            .flows
-            .get(&flow_id)
-            .map(|f| f.origin)
-            .or_else(|| self.ping_origin.get(&flow_id).copied())
-            .unwrap_or(Origin::Direct);
-
-        // The receivebox observes every bundled data packet arriving at the
-        // destination site (each bundle's remote site has its own).
-        if let Origin::Bundle(b) = origin {
-            if let Some(multi) = self.multi.as_mut() {
-                // Pick the receivebox by the destination address, exactly as
-                // the send side classified: a packet that missed the prefix
-                // table there (and travelled outside the bundle) must not
-                // produce congestion ACKs for a sendbox that never saw it.
-                if let Some(dst_bundle) = multi.agent.classify(&key) {
-                    if let Some(ack) = multi.receivebox_on_packet(dst_bundle, &self.arena[pkt], now)
-                    {
-                        self.queue
-                            .schedule(now + self.reverse_delay, Event::CongestionAckArrive { ack });
-                    }
-                }
-            } else if let Some(Some(bundle)) = self.bundles.get_mut(b) {
-                if let Some(ack) = bundle.receivebox.on_packet(&self.arena[pkt], now) {
-                    self.queue
-                        .schedule(now + self.reverse_delay, Event::CongestionAckArrive { ack });
-                }
-            }
-            if let Some(acc) = self.bundle_delivered.get_mut(b) {
-                *acc += payload as u64;
-            }
-        } else {
-            self.cross_delivered += payload as u64;
-        }
-
-        // Application processing.
-        if self.pings.contains_key(&flow_id) {
-            // The "server" echoes the request; the response returns over the
-            // (uncongested) reverse path. The packet's arena slot is reused
-            // in place for the response — no copy, no allocation.
-            self.arena[pkt].kind = PacketKind::Ack;
-            self.queue
-                .schedule(now + self.reverse_delay, Event::ArriveSource { pkt });
-            return;
-        }
-        if let Some(flow) = self.flows.get_mut(&flow_id) {
-            let ack_seq = flow.receiver.on_data(seq, payload);
-            // The SACK information must be a snapshot taken together with
-            // the cumulative ACK; mixing a stale cumulative value with newer
-            // receiver state would make ordinary pipelining look like loss.
-            let ack = Packet::ack(flow_id, key.reversed(), ack_seq, now)
-                .with_sack_highest(flow.receiver.highest_received());
-            let ack_id = self.arena.insert(ack);
-            self.queue.schedule(
-                now + self.reverse_delay,
-                Event::ArriveSource { pkt: ack_id },
-            );
-        }
-        // The data packet has been consumed at the destination endhost.
-        self.arena.free(pkt);
-    }
-
-    fn on_arrive_source(&mut self, pkt: PacketId, now: Nanos) {
-        let (flow_id, seq, sack_highest) = {
-            let p = &self.arena[pkt];
-            (p.flow, p.seq, p.sack_highest)
-        };
-        // Whatever arrives back at the source (transport ACK or ping
-        // response) terminates here.
-        self.arena.free(pkt);
-        if let Some(ping) = self.pings.get_mut(&flow_id) {
-            if let Some(next) = ping.on_response(seq, now, &mut self.arena) {
-                self.route_forward(next, now);
-            }
-            return;
-        }
-        let (completed, origin, size, started) = match self.flows.get_mut(&flow_id) {
-            Some(flow) => {
-                let highest = sack_highest.max(seq);
-                flow.sender
-                    .on_ack_sack(seq, highest, now, &mut self.arena, &mut self.pkt_buf);
-                let completed = flow.sender.is_complete() && !flow.recorded;
-                if completed {
-                    flow.recorded = true;
-                }
-                (completed, flow.origin, flow.size_bytes, flow.sender.started)
-            }
-            None => return,
-        };
-        self.flush_pkt_buf(now);
-        if completed {
-            let fct = now.saturating_since(started);
-            let unloaded = self.unloaded_fct(size);
-            let bundle = match origin {
-                Origin::Bundle(b) => Some(b),
-                Origin::Direct => None,
-            };
-            self.report.fcts.push(FctRecord {
-                size_bytes: size,
-                start: started,
-                fct,
-                unloaded_fct: unloaded,
-                bundle,
-            });
-        }
-    }
-
-    /// Completion time of a flow of `size` bytes on an unloaded network:
-    /// one RTT of latency plus serialization at the full bottleneck rate.
-    fn unloaded_fct(&self, size: u64) -> Duration {
-        let wire_bytes = size + (size / 1460 + 1) * 40;
-        self.config.rtt + self.config.bottleneck_rate.transmit_time(wire_bytes)
-    }
-
-    fn on_sendbox_tick(&mut self, bundle: usize, now: Nanos) {
-        let interval = {
-            let b = match self.bundles.get_mut(bundle) {
-                Some(Some(b)) => b,
-                _ => return,
-            };
-            if let Some(update) = b.tick(now) {
-                self.queue.schedule(
-                    now + self.forward_delay,
-                    Event::EpochUpdateArrive { update },
-                );
-            }
-            b.control.config().control_interval
-        };
-        // The new rate may allow more packets out immediately.
-        let b = self.bundles[bundle].as_mut().expect("checked above");
-        if !b.release_scheduled && !b.tbf.is_empty() {
-            b.release_scheduled = true;
-            self.queue.schedule(
-                now,
-                Event::SendboxRelease {
-                    bundle: bundle as u32,
-                },
-            );
-        }
-        self.queue.schedule(
-            now + interval,
-            Event::SendboxTick {
-                bundle: bundle as u32,
-            },
-        );
-    }
-
-    /// One batched control tick of the multi-bundle agent: runs every due
-    /// bundle's tick off the timer wheel, delivers any epoch updates, kicks
-    /// releases for bundles whose new rate may free packets, and schedules
-    /// the next wheel deadline.
-    fn on_agent_tick(&mut self, now: Nanos) {
-        let multi = match self.multi.as_mut() {
-            Some(m) => m,
-            None => return,
-        };
-        for (bundle, update) in multi.advance(now) {
-            if let Some(update) = update {
-                self.queue.schedule(
-                    now + self.forward_delay,
-                    Event::EpochUpdateArrive { update },
-                );
-            }
-            if !multi.release_scheduled[bundle] && !multi.queue_is_empty(bundle) {
-                multi.release_scheduled[bundle] = true;
-                self.queue.schedule(
-                    now,
-                    Event::SendboxRelease {
-                        bundle: bundle as u32,
-                    },
-                );
-            }
-        }
-        if let Some(at) = multi.next_tick_at() {
-            self.queue.schedule(at, Event::AgentTick);
-        }
-    }
-
-    fn on_multi_release(&mut self, bundle: usize, now: Nanos) {
-        if self.multi.is_none() {
-            return;
-        }
-        let mut released = std::mem::take(&mut self.release_buf);
-        let reschedule = {
-            let multi = self.multi.as_mut().expect("checked above");
-            multi.release_scheduled[bundle] = false;
-            let arena = &mut self.arena;
-            let reschedule =
-                drain_release_burst(|t| multi.try_release(bundle, arena, t), now, &mut released);
-            if reschedule.is_some() {
-                multi.release_scheduled[bundle] = true;
-            }
-            reschedule
-        };
-        for pkt in released.drain(..) {
-            self.send_to_bottleneck(pkt, now);
-        }
-        self.release_buf = released;
-        if let Some(d) = reschedule {
-            self.queue.schedule(
-                now + d,
-                Event::SendboxRelease {
-                    bundle: bundle as u32,
-                },
-            );
-        }
-    }
-
-    fn on_sendbox_release(&mut self, bundle: usize, now: Nanos) {
-        if self.multi.is_some() {
-            self.on_multi_release(bundle, now);
-            return;
-        }
-        if !matches!(self.bundles.get(bundle), Some(Some(_))) {
-            return;
-        }
-        let mut released = std::mem::take(&mut self.release_buf);
-        let reschedule;
-        {
-            let b = self.bundles[bundle].as_mut().expect("checked above");
-            b.release_scheduled = false;
-            let arena = &mut self.arena;
-            reschedule = drain_release_burst(|t| b.try_release(arena, t), now, &mut released);
-            if reschedule.is_some() {
-                b.release_scheduled = true;
-            }
-        }
-        for pkt in released.drain(..) {
-            self.send_to_bottleneck(pkt, now);
-        }
-        self.release_buf = released;
-        if let Some(d) = reschedule {
-            self.queue.schedule(
-                now + d,
-                Event::SendboxRelease {
-                    bundle: bundle as u32,
-                },
-            );
-        }
-    }
-
-    fn on_rto_check(&mut self, flow: FlowId, now: Nanos) {
-        let next = match self.flows.get_mut(&flow) {
-            Some(f) => f
-                .sender
-                .on_rto_check(now, &mut self.arena, &mut self.pkt_buf),
-            None => return,
-        };
-        self.flush_pkt_buf(now);
-        match next {
-            Some(at) => self.queue.schedule(at, Event::RtoCheck { flow }),
-            None => {
-                // Flow idle or complete: poll again later in case new data
-                // appears (cheap: one event per second per flow).
-                if let Some(f) = self.flows.get(&flow) {
-                    if !f.sender.is_complete() {
-                        self.queue
-                            .schedule(now + Duration::from_secs(1), Event::RtoCheck { flow });
-                    }
-                }
-            }
-        }
-    }
-
-    fn on_sample(&mut self, now: Nanos) {
-        for p in &mut self.paths {
-            p.sample_queue_delay(now);
-        }
-        let interval = self.config.sample_interval.as_secs_f64();
-        for (i, acc) in self.bundle_delivered.iter_mut().enumerate() {
-            let mbps = (*acc as f64 * 8.0) / interval / 1e6;
-            self.report.bundle_throughput_mbps[i].push(now, mbps);
-            *acc = 0;
-        }
-        let cross_mbps = (self.cross_delivered as f64 * 8.0) / interval / 1e6;
-        self.report.cross_throughput_mbps.push(now, cross_mbps);
-        self.cross_delivered = 0;
-        // Ground-truth RTT: base propagation plus current bottleneck
-        // queueing delay (averaged across sub-paths).
-        let queue_delay_ms: f64 = self
-            .paths
-            .iter()
-            .map(|p| p.queue_delay().as_millis_f64())
-            .sum::<f64>()
-            / self.paths.len().max(1) as f64;
-        self.report
-            .actual_rtt_ms
-            .push(now, self.config.rtt.as_millis_f64() + queue_delay_ms);
-        for (i, b) in self.bundles.iter_mut().enumerate() {
-            if let Some(bundle) = b {
-                bundle.sample_queue_delay(now);
-                self.report.bundle_pacing_rate_mbps[i].push(now, bundle.rate().as_mbps_f64());
-                if let Some(m) = bundle.control.last_measurement() {
-                    self.report.bundle_rtt_estimate_ms[i].push(now, m.rtt.as_millis_f64());
-                    self.report.bundle_recv_rate_estimate_mbps[i]
-                        .push(now, m.recv_rate.as_mbps_f64());
-                }
-            }
-        }
-        if let Some(multi) = self.multi.as_mut() {
-            multi.sample_queue_delays(now);
-            for i in 0..multi.len() {
-                self.report.bundle_pacing_rate_mbps[i].push(now, multi.rate(i).as_mbps_f64());
-                if let Some(m) = multi.sendbox(i).and_then(|s| s.last_measurement()) {
-                    self.report.bundle_rtt_estimate_ms[i].push(now, m.rtt.as_millis_f64());
-                    self.report.bundle_recv_rate_estimate_mbps[i]
-                        .push(now, m.recv_rate.as_mbps_f64());
-                }
-            }
-        }
-        self.queue
-            .schedule(now + self.config.sample_interval, Event::Sample);
+    fn worker_packets_created(&self) -> u64 {
+        self.worker.packets_created()
     }
 
     /// Convenience accessor used by tests: the sendbox control plane of a
     /// bundle, if it is deployed.
     pub fn bundle_control(&self, bundle: usize) -> Option<&bundler_core::Sendbox> {
-        self.bundles
-            .get(bundle)
-            .and_then(|b| b.as_ref())
-            .map(|b| &b.control)
+        self.worker.bundle_control(bundle)
     }
 
     /// Convenience accessor: the receivebox of a bundle, if deployed.
     pub fn bundle_receivebox(&self, bundle: usize) -> Option<&bundler_core::Receivebox> {
-        self.bundles
-            .get(bundle)
-            .and_then(|b| b.as_ref())
-            .map(|b| &b.receivebox)
+        self.worker.bundle_receivebox(bundle)
     }
 
     /// The multi-bundle site edge, if this run uses one.
     pub fn multi_bundle(&self) -> Option<&MultiBundle> {
-        self.multi.as_ref()
+        self.worker.multi_bundle()
     }
 
     /// Bundle id type helper (exposed for integration tests).
     pub fn bundle_id(index: usize) -> BundleId {
         BundleId(index as u32)
-    }
-}
-
-/// Drains one release burst from a sendbox datapath: up to 64 packets per
-/// event (to keep single events bounded), appending the released packet ids
-/// to `released` and returning the delay after which to schedule the next
-/// release event (`None` when the queue emptied). Shared by the
-/// single-bundle and multi-bundle paths so both pace identically.
-fn drain_release_burst(
-    mut try_release: impl FnMut(Nanos) -> Release,
-    now: Nanos,
-    released: &mut Vec<PacketId>,
-) -> Option<Duration> {
-    loop {
-        match try_release(now) {
-            Release::Packet(pkt) => {
-                released.push(pkt);
-                if released.len() >= 64 {
-                    break Some(Duration::ZERO);
-                }
-            }
-            Release::Wait(d) => break Some(d.max(Duration::from_micros(10))),
-            Release::Empty => break None,
-        }
-    }
-}
-
-impl Simulation {
-    /// Test-only instrumentation helpers.
-    #[doc(hidden)]
-    pub fn queue_pop_dbg(&mut self) -> Option<(Nanos, crate::event::Event)> {
-        self.queue.pop()
-    }
-    #[doc(hidden)]
-    pub fn handle_dbg(&mut self, e: crate::event::Event, now: Nanos) {
-        self.handle(e, now)
-    }
-    #[doc(hidden)]
-    pub fn debug_flow_state(&self, id: FlowId) -> String {
-        match self.flows.get(&id) {
-            Some(f) => format!(
-                "complete={} snd_una_done? sent={} retx={} cwnd={} inflight={} recv_bytes={} srtt={:?} rto={}",
-                f.sender.is_complete(), f.sender.packets_sent, f.sender.retransmits,
-                f.sender.cwnd(), f.sender.bytes_in_flight(), f.receiver.bytes_received, f.sender.srtt(), f.sender.rto()
-            ),
-            None => "missing".into(),
-        }
-    }
-}
-
-impl Simulation {
-    #[doc(hidden)]
-    pub fn debug_flow_detail(&self, id: FlowId) -> String {
-        match self.flows.get(&id) {
-            Some(f) => f.sender.debug_detail(&f.receiver),
-            None => "missing".into(),
-        }
-    }
-}
-
-impl Simulation {
-    #[doc(hidden)]
-    pub fn debug_paths(&self) -> String {
-        self.paths
-            .iter()
-            .map(|p| {
-                format!(
-                    "queue_len={} drops={} busy_until={} dequeue_scheduled={} delivered={}",
-                    p.queue_len(),
-                    p.drops,
-                    p.busy_until(),
-                    p.dequeue_scheduled,
-                    p.bytes_delivered
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(" ; ")
     }
 }
 

@@ -1,6 +1,10 @@
 //! Statistics collection: flow completion times, slowdowns, throughput and
-//! queue-delay time series.
+//! queue-delay time series — plus [`SimStats`], the comparable digest of a
+//! run used to assert that engines and hosts are bit-identical.
 
+use bundler_agent::AgentStats;
+use bundler_core::sendbox::SendboxStats;
+use bundler_core::SendboxTelemetry;
 use bundler_types::{Duration, Nanos, Rate};
 
 /// Record of one completed request.
@@ -244,6 +248,93 @@ pub struct SimReport {
     /// free list; `packets_created - packets_recycled` is the arena
     /// high-water mark, everything else was alloc-free.
     pub packets_recycled: u64,
+}
+
+/// The deterministic digest of a simulation run: every output that must be
+/// *bit-identical* across event engines and across shard counts. Excluded
+/// by design: `packets_recycled` (arena recycling is a host implementation
+/// detail — a sharded run re-inserts packets as they migrate between
+/// per-shard arenas) and wall-clock measurements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Completed / unfinished request counts.
+    pub completed: usize,
+    /// Requests still unfinished at the end of the run.
+    pub unfinished: usize,
+    /// Logical events handled across all cores.
+    pub events_processed: u64,
+    /// Packets created by endhosts (data, ACKs, pings, retransmissions).
+    pub packets_created: u64,
+    /// Packets dropped at the bottleneck.
+    pub bottleneck_drops: u64,
+    /// Bytes delivered through the bottleneck.
+    pub bytes_delivered: u64,
+    /// Every completion record: (size, start ns, fct ns, bundle).
+    pub fcts: Vec<(u64, u64, u64, Option<usize>)>,
+    /// Ping RTT samples per bundle (milliseconds, exact f64 bits).
+    pub ping_rtts_ms: Vec<Vec<f64>>,
+    /// Bottleneck queue-delay series.
+    pub bottleneck_queue_delay: Vec<(Nanos, f64)>,
+    /// Ground-truth RTT series.
+    pub actual_rtt: Vec<(Nanos, f64)>,
+    /// Cross-traffic throughput series.
+    pub cross_throughput: Vec<(Nanos, f64)>,
+    /// Per-bundle series: throughput, pacing rate, RTT estimate, receive
+    /// rate estimate, sendbox queue delay.
+    pub bundle_series: Vec<[Vec<(Nanos, f64)>; 5]>,
+    /// Per-bundle mode timelines.
+    pub mode_timeline: Vec<Vec<(Nanos, String)>>,
+    /// Per-bundle out-of-order measurement fraction.
+    pub out_of_order_fraction: Vec<f64>,
+    /// Final agent telemetry (global bundle index, snapshot) and summed
+    /// counters, when a multi-bundle edge ran.
+    pub telemetry: Option<Vec<(usize, SendboxTelemetry)>>,
+    /// Summed agent counters, when a multi-bundle edge ran.
+    pub agent_stats: Option<AgentStats>,
+    /// Telemetry counter totals, when a multi-bundle edge ran.
+    pub telemetry_totals: Option<SendboxStats>,
+}
+
+impl SimStats {
+    /// Extracts the digest from a report.
+    pub fn of(report: &SimReport) -> SimStats {
+        SimStats {
+            completed: report.completed,
+            unfinished: report.unfinished,
+            events_processed: report.events_processed,
+            packets_created: report.packets_created,
+            bottleneck_drops: report.bottleneck_drops,
+            bytes_delivered: report.bytes_delivered,
+            fcts: report
+                .fcts
+                .iter()
+                .map(|f| (f.size_bytes, f.start.as_nanos(), f.fct.as_nanos(), f.bundle))
+                .collect(),
+            ping_rtts_ms: report.ping_rtts_ms.clone(),
+            bottleneck_queue_delay: report.bottleneck_queue_delay_ms.samples.clone(),
+            actual_rtt: report.actual_rtt_ms.samples.clone(),
+            cross_throughput: report.cross_throughput_mbps.samples.clone(),
+            bundle_series: (0..report.bundle_throughput_mbps.len())
+                .map(|b| {
+                    [
+                        report.bundle_throughput_mbps[b].samples.clone(),
+                        report.bundle_pacing_rate_mbps[b].samples.clone(),
+                        report.bundle_rtt_estimate_ms[b].samples.clone(),
+                        report.bundle_recv_rate_estimate_mbps[b].samples.clone(),
+                        report.sendbox_queue_delay_ms[b].samples.clone(),
+                    ]
+                })
+                .collect(),
+            mode_timeline: report.mode_timeline.clone(),
+            out_of_order_fraction: report.out_of_order_fraction.clone(),
+            telemetry: report
+                .agent_telemetry
+                .as_ref()
+                .map(|t| t.bundles.iter().map(|b| (b.index, b.snapshot)).collect()),
+            agent_stats: report.agent_stats,
+            telemetry_totals: report.agent_telemetry.as_ref().map(|t| t.totals()),
+        }
+    }
 }
 
 impl SimReport {

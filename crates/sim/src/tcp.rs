@@ -13,7 +13,7 @@
 //! [`PacketArena`] and report them as [`PacketId`]s through a caller-owned
 //! scratch buffer, so the steady-state send path performs no allocation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use bundler_cc::{AckEvent, EndhostAlg, LossEvent, WindowCc};
 use bundler_types::{
@@ -32,9 +32,72 @@ const MAX_RTO: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Clone, Copy)]
 struct Segment {
+    seq: u64,
     len: u32,
     sent_at: Nanos,
     retransmitted: bool,
+}
+
+/// The in-flight segment window, ordered by sequence number.
+///
+/// New segments are only ever appended with strictly increasing sequence
+/// numbers and cumulative ACKs only ever remove a prefix, so a `VecDeque`
+/// stays sorted for free: O(1) push/pop at the ends and a binary search for
+/// the SACK-repair scan's resume point, where the previous `BTreeMap`
+/// paid pointer-chasing node traversals on every ACK.
+#[derive(Debug, Default)]
+struct InflightWindow {
+    segs: VecDeque<Segment>,
+}
+
+impl InflightWindow {
+    fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    fn front_mut(&mut self) -> Option<&mut Segment> {
+        self.segs.front_mut()
+    }
+
+    fn pop_front(&mut self) -> Option<Segment> {
+        self.segs.pop_front()
+    }
+
+    fn front(&self) -> Option<&Segment> {
+        self.segs.front()
+    }
+
+    /// Appends a segment; `seq` must exceed every queued sequence number.
+    fn push(&mut self, seg: Segment) {
+        debug_assert!(self.segs.back().is_none_or(|b| b.seq < seg.seq));
+        self.segs.push_back(seg);
+    }
+
+    /// Index of the first segment with sequence `>= seq`.
+    fn position_at_or_after(&self, seq: u64) -> usize {
+        self.segs.partition_point(|s| s.seq < seq)
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut Segment> {
+        let i = self.position_at_or_after(seq);
+        self.segs.get_mut(i).filter(|s| s.seq == seq)
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut Segment> {
+        self.segs.iter_mut()
+    }
+
+    /// Iterates segments with sequence in `[from, to)`.
+    fn range(&self, from: u64, to: u64) -> impl Iterator<Item = &Segment> {
+        self.segs
+            .iter()
+            .skip(self.position_at_or_after(from))
+            .take_while(move |s| s.seq < to)
+    }
 }
 
 /// A TCP-like sender for one application flow.
@@ -55,7 +118,7 @@ pub struct TcpSender {
     cc: Box<dyn WindowCc>,
     next_seq: u64,
     snd_una: u64,
-    inflight: BTreeMap<u64, Segment>,
+    inflight: InflightWindow,
     bytes_in_flight: u64,
     dup_acks: u32,
     recovery_point: Option<u64>,
@@ -115,7 +178,7 @@ impl TcpSender {
             cc: alg.build(MSS),
             next_seq: 0,
             snd_una: 0,
-            inflight: BTreeMap::new(),
+            inflight: InflightWindow::default(),
             bytes_in_flight: 0,
             dup_acks: 0,
             recovery_point: None,
@@ -195,14 +258,12 @@ impl TcpSender {
             }
             let seq = self.next_seq;
             self.next_seq += len as u64;
-            self.inflight.insert(
+            self.inflight.push(Segment {
                 seq,
-                Segment {
-                    len,
-                    sent_at: now,
-                    retransmitted: false,
-                },
-            );
+                len,
+                sent_at: now,
+                retransmitted: false,
+            });
             self.bytes_in_flight += len as u64;
             self.last_activity = now;
             let pkt = self.build_packet(seq, len, now, false);
@@ -214,10 +275,10 @@ impl TcpSender {
     }
 
     fn retransmit_first_unacked(&mut self, now: Nanos) -> Option<Packet> {
-        let (&seq, seg) = self.inflight.iter_mut().next()?;
+        let seg = self.inflight.front_mut()?;
         seg.retransmitted = true;
         seg.sent_at = now;
-        let len = seg.len;
+        let (seq, len) = (seg.seq, seg.len);
         self.last_activity = now;
         Some(self.build_packet(seq, len, now, true))
     }
@@ -261,11 +322,11 @@ impl TcpSender {
             // never-retransmitted segment (Karn's algorithm). Segments are
             // sorted and non-overlapping, so covered ones form a prefix.
             let mut rtt_sample = None;
-            while let Some((&seq, seg)) = self.inflight.first_key_value() {
-                if seq + seg.len as u64 > ack_seq {
+            while let Some(seg) = self.inflight.front() {
+                if seg.seq + seg.len as u64 > ack_seq {
                     break;
                 }
-                let seg = self.inflight.remove(&seq).expect("first key exists");
+                let seg = self.inflight.pop_front().expect("front exists");
                 self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.len as u64);
                 if !seg.retransmitted {
                     rtt_sample = Some(now.saturating_since(seg.sent_at));
@@ -332,16 +393,16 @@ impl TcpSender {
                 let mut candidates = [0u64; 3];
                 let mut n = 0;
                 let mut scanned_to = threshold;
-                for (&seq, seg) in self.inflight.range(start..threshold) {
-                    if seq + seg.len as u64 > threshold {
-                        scanned_to = seq;
+                for seg in self.inflight.range(start, threshold) {
+                    if seg.seq + seg.len as u64 > threshold {
+                        scanned_to = seg.seq;
                         break;
                     }
                     if !seg.retransmitted {
-                        candidates[n] = seq;
+                        candidates[n] = seg.seq;
                         n += 1;
                         if n == 3 {
-                            scanned_to = seq + seg.len as u64;
+                            scanned_to = seg.seq + seg.len as u64;
                             break;
                         }
                     }
@@ -356,7 +417,7 @@ impl TcpSender {
                     });
                 }
                 for &seq in &candidates[..n] {
-                    if let Some(seg) = self.inflight.get_mut(&seq) {
+                    if let Some(seg) = self.inflight.get_mut(seq) {
                         seg.retransmitted = true;
                         seg.sent_at = now;
                         let len = seg.len;
@@ -411,7 +472,7 @@ impl TcpSender {
             // Clearing the marks re-arms the SACK-repair scan from the
             // bottom of the window.
             self.repair_next = 0;
-            for seg in self.inflight.values_mut() {
+            for seg in self.inflight.iter_mut() {
                 seg.retransmitted = false;
             }
             self.cc.on_loss(&LossEvent {
@@ -565,7 +626,7 @@ impl TcpSender {
             "snd_una={} next_seq={} inflight_first={:?} inflight_n={} dup_acks={} recovery={:?} highest_sacked={} recv_next={} rto_backoff={} last_activity={}",
             self.snd_una,
             self.next_seq,
-            self.inflight.keys().next(),
+            self.inflight.front().map(|s| s.seq),
             self.inflight.len(),
             self.dup_acks,
             self.recovery_point,

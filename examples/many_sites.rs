@@ -37,8 +37,8 @@ fn main() {
         totals.ticks,
     );
     println!(
-        "agent:  {} packets classified ({} missed), {} tick batches for {} bundle ticks",
-        stats.packets_classified, stats.packets_unclassified, stats.advances, stats.ticks_run,
+        "agent:  {} packets classified ({} missed), {} bundle ticks run",
+        stats.packets_classified, stats.packets_unclassified, stats.ticks_run,
     );
     println!(
         "sim:    {} of {} requests completed, median slowdown {:.2}",

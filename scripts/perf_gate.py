@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare a fresh bench_report JSON against the
+committed trajectory and fail on events/sec regressions.
+
+Two checks run per scenario present in both files:
+
+1. *Relative engine ratio* (machine-independent): the calendar wheel's
+   in-run speedup over the binary heap must not fall below the committed
+   speedup by more than the threshold. Both engines run in the same
+   process on the same machine, so this ratio is comparable across hosts
+   and catches the wheel (or anything on its unique path) regressing.
+   The ratio still shifts somewhat with scale (a quick run has a
+   different event mix), so when the two reports' scales differ the
+   allowed regression is doubled — wide enough for scale drift, tight
+   enough to catch the wheel collapsing to or below heap speed.
+
+2. *Absolute floor*: events/sec for every (scenario, engine) pair present
+   in both files must not fall below (1 - threshold) of the committed
+   value. Only applied when both reports ran at the same `scale` —
+   quick-scale runs simulate a smaller world with a different event mix,
+   so their ev/s is not comparable to the paper-scale trajectory. The
+   committed trajectory is produced wherever the PR was built (its
+   `host_parallelism` is embedded), so on faster CI machines this is a
+   loose backstop — it exists to catch catastrophic (algorithmic-order)
+   regressions that slow *both* engines and would cancel out of check 1.
+
+Usage: perf_gate.py FRESH.json COMMITTED.json [--threshold 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def by_key(report):
+    return {(r["scenario"], r["engine"]): r for r in report["scenarios"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh")
+    ap.add_argument("committed")
+    ap.add_argument("--threshold", type=float, default=0.2,
+                    help="allowed fractional regression (default 0.2 = 20%)")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.committed) as f:
+        committed = json.load(f)
+
+    fresh_runs, committed_runs = by_key(fresh), by_key(committed)
+    floor = 1.0 - args.threshold
+    same_scale = fresh.get("scale") == committed.get("scale")
+    # Cross-scale ratio drift allowance (see module docstring).
+    ratio_floor = floor if same_scale else 1.0 - 2.0 * args.threshold
+    failures, checks = [], 0
+
+    scenarios = sorted({s for s, _ in committed_runs})
+    for scenario in scenarios:
+        wheel_c = committed_runs.get((scenario, "calendar_wheel"))
+        heap_c = committed_runs.get((scenario, "binary_heap"))
+        wheel_f = fresh_runs.get((scenario, "calendar_wheel"))
+        heap_f = fresh_runs.get((scenario, "binary_heap"))
+        if all((wheel_c, heap_c, wheel_f, heap_f)):
+            ratio_c = wheel_c["events_per_sec"] / heap_c["events_per_sec"]
+            ratio_f = wheel_f["events_per_sec"] / heap_f["events_per_sec"]
+            checks += 1
+            ok = ratio_f >= ratio_floor * ratio_c
+            print(f"[{'ok' if ok else 'FAIL'}] {scenario}: wheel/heap ratio "
+                  f"{ratio_f:.2f} vs committed {ratio_c:.2f} "
+                  f"(floor {ratio_floor:.2f}x)")
+            if not ok:
+                failures.append(f"{scenario}: engine ratio regressed "
+                                f"{ratio_f:.2f} < {ratio_floor * ratio_c:.2f}")
+
+    if not same_scale:
+        print(f"note: scales differ (fresh={fresh.get('scale')}, "
+              f"committed={committed.get('scale')}) — absolute events/sec "
+              f"floor skipped, engine-ratio floors widened to "
+              f"{ratio_floor:.2f}x")
+    for key in sorted(set(fresh_runs) & set(committed_runs)) if same_scale else []:
+        scenario, engine = key
+        if engine == "seed_binary_heap_core":
+            continue  # historical reference point, not reproducible here
+        ev_c = committed_runs[key]["events_per_sec"]
+        ev_f = fresh_runs[key]["events_per_sec"]
+        checks += 1
+        ok = ev_f >= floor * ev_c
+        print(f"[{'ok' if ok else 'FAIL'}] {scenario}/{engine}: "
+              f"{ev_f:,.0f} ev/s vs committed {ev_c:,.0f} (floor {floor:.0%})")
+        if not ok:
+            failures.append(f"{scenario}/{engine}: {ev_f:,.0f} < "
+                            f"{floor * ev_c:,.0f} ev/s")
+
+    if checks == 0:
+        print("perf gate: no comparable (scenario, engine) pairs — "
+              "trajectory file mismatch?")
+        return 1
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} regression(s) "
+              f"> {args.threshold:.0%}):")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print(f"\nperf gate passed: {checks} checks within {args.threshold:.0%} "
+          f"of the committed trajectory")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

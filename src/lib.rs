@@ -20,6 +20,10 @@
 //! * [`sim`] — a deterministic packet-level network simulator used for the
 //!   paper's emulation experiments, including a multi-bundle edge mode
 //!   backed by the agent (`sim::scenario::many_sites`).
+//! * [`shard`] — the sharded multi-threaded simulation runtime: per-bundle
+//!   worker shards around the shared bottleneck, synchronized by
+//!   conservative time windows and deterministic SPSC mailboxes;
+//!   bit-identical to the single-threaded engine for any shard count.
 //! * [`internet`] — WAN path profiles and workloads for the real-Internet
 //!   experiments (§8 of the paper).
 //!
@@ -44,5 +48,6 @@ pub use bundler_cc as cc;
 pub use bundler_core as core;
 pub use bundler_internet as internet;
 pub use bundler_sched as sched;
+pub use bundler_shard as shard;
 pub use bundler_sim as sim;
 pub use bundler_types as types;

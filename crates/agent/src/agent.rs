@@ -74,6 +74,40 @@ struct ManagedBundle {
     /// that partitions the bundle table across agents assigns the global
     /// index instead (via [`SiteAgent::add_bundle_with_id`]).
     id: BundleId,
+    /// Incarnation counter: bumped every time this id is (re-)installed,
+    /// so wheel entries from a *previous* incarnation (left behind by
+    /// [`SiteAgent::remove_bundle`]) are dead on arrival instead of
+    /// doubling the tick train when the same id is adopted again.
+    generation: u64,
+}
+
+/// A bundle lifted out of one agent, ready to be installed in another with
+/// its control-plane state — rate, RTT estimate, epoch tracking, counters —
+/// intact. Produced by [`SiteAgent::remove_bundle`], consumed by
+/// [`SiteAgent::adopt_bundle`]; the sharded simulation runtime uses the
+/// pair to migrate a bundle between shards at a window barrier.
+#[derive(Debug)]
+pub struct DetachedBundle {
+    control: Sendbox,
+    prefixes: Vec<IpPrefix>,
+    id: BundleId,
+}
+
+impl DetachedBundle {
+    /// The bundle's site-wide identity.
+    pub fn id(&self) -> BundleId {
+        self.id
+    }
+
+    /// Read access to the detached control plane.
+    pub fn control(&self) -> &Sendbox {
+        &self.control
+    }
+
+    /// The destination prefixes routed to this bundle.
+    pub fn prefixes(&self) -> &[IpPrefix] {
+        &self.prefixes
+    }
 }
 
 /// A site-edge agent managing one [`Sendbox`] control plane per remote
@@ -83,13 +117,41 @@ struct ManagedBundle {
 /// results, ACK routing, telemetry), so an agent can manage either the
 /// whole site's bundle table or one shard's partition of it without the
 /// caller caring which.
+///
+/// # Example
+///
+/// ```
+/// use bundler_agent::SiteAgent;
+/// use bundler_core::BundlerConfig;
+/// use bundler_types::{flow::ipv4, Nanos};
+///
+/// let mut agent = SiteAgent::default();
+/// let site0 = "10.1.0.0/24".parse().unwrap();
+/// let site1 = "10.1.1.0/24".parse().unwrap();
+/// agent.add_bundle(&[site0], BundlerConfig::default(), Nanos::ZERO).unwrap();
+/// agent.add_bundle(&[site1], BundlerConfig::default(), Nanos::ZERO).unwrap();
+/// // Packets pick their bundle by longest-prefix match on the destination.
+/// assert_eq!(agent.classify_dst(ipv4(10, 1, 1, 9)), Some(1));
+/// assert_eq!(agent.classify_dst(ipv4(8, 8, 8, 8)), None);
+/// // Each bundle's control plane ticks on its own cadence off the wheel.
+/// let due = agent.advance(Nanos::from_millis(10), |_bundle| 0);
+/// assert_eq!(due.len(), 2);
+/// ```
 pub struct SiteAgent {
     config: AgentConfig,
     classifier: PrefixClassifier<usize>,
     bundles: Vec<ManagedBundle>,
     /// Global bundle id → slot in `bundles`.
     slot_of: FnvHashMap<u32, usize>,
-    wheel: TimerWheel<usize>,
+    /// Pending control ticks, keyed by `(global bundle id, generation)` —
+    /// never by slot (slots shift when a bundle is removed) and never by
+    /// id alone (the same id can be removed and adopted again; a stale
+    /// entry from the previous incarnation must not fire). An entry whose
+    /// id is gone or whose generation is old is skipped on expiry, so
+    /// removal doubles as tick cancellation.
+    wheel: TimerWheel<(usize, u64)>,
+    /// Next incarnation number handed to an installed bundle.
+    next_generation: u64,
     stats: AgentStats,
 }
 
@@ -117,6 +179,7 @@ impl SiteAgent {
             bundles: Vec::new(),
             slot_of: FnvHashMap::default(),
             wheel: TimerWheel::new(config.tick_quantum),
+            next_generation: 0,
             stats: AgentStats::default(),
             config,
         }
@@ -190,14 +253,76 @@ impl SiteAgent {
         for p in prefixes {
             self.classifier.insert(*p, id.0 as usize);
         }
+        self.next_generation += 1;
+        let generation = self.next_generation;
         self.bundles.push(ManagedBundle {
             control,
             prefixes: prefixes.to_vec(),
             id,
+            generation,
         });
         self.slot_of.insert(id.0, slot);
-        self.wheel.schedule(now + config.control_interval, slot);
+        self.wheel
+            .schedule(now + config.control_interval, (id.0 as usize, generation));
         Ok(id)
+    }
+
+    /// Detaches a bundle (by global id) from this agent: its prefixes leave
+    /// the classifier, its pending control tick is cancelled, and its live
+    /// control plane is returned for [`SiteAgent::adopt_bundle`] on another
+    /// agent. Returns `None` for an unmanaged id.
+    pub fn remove_bundle(&mut self, bundle: usize) -> Option<DetachedBundle> {
+        let slot = self.slot(bundle)?;
+        let b = self.bundles.remove(slot);
+        self.slot_of.remove(&b.id.0);
+        for s in self.slot_of.values_mut() {
+            if *s > slot {
+                *s -= 1;
+            }
+        }
+        for p in &b.prefixes {
+            self.classifier.remove(*p);
+        }
+        Some(DetachedBundle {
+            control: b.control,
+            prefixes: b.prefixes,
+            id: b.id,
+        })
+    }
+
+    /// Installs a bundle detached from another agent, preserving its
+    /// control-plane state. Validates exactly what
+    /// [`SiteAgent::add_bundle_with_id`] validates (unused id, unrouted
+    /// prefixes) and schedules the bundle's next wheel tick one
+    /// `control_interval` after `now` — hosts that drive ticks from their
+    /// own event loop (via [`SiteAgent::tick_bundle`]) carry the tick train
+    /// across the move themselves and never consult the wheel.
+    pub fn adopt_bundle(&mut self, detached: DetachedBundle, now: Nanos) -> Result<(), String> {
+        if self.slot_of.contains_key(&detached.id.0) {
+            return Err(format!("bundle id {} is already managed", detached.id.0));
+        }
+        for p in &detached.prefixes {
+            if let Some(&owner) = self.classifier.get(*p) {
+                return Err(format!("prefix {p} is already routed to bundle {owner}"));
+            }
+        }
+        let slot = self.bundles.len();
+        for p in &detached.prefixes {
+            self.classifier.insert(*p, detached.id.0 as usize);
+        }
+        self.slot_of.insert(detached.id.0, slot);
+        let interval = detached.control.config().control_interval;
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        self.wheel
+            .schedule(now + interval, (detached.id.0 as usize, generation));
+        self.bundles.push(ManagedBundle {
+            control: detached.control,
+            prefixes: detached.prefixes,
+            id: detached.id,
+            generation,
+        });
+        Ok(())
     }
 
     /// The slot of a global bundle id, if this agent manages it.
@@ -282,12 +407,21 @@ impl SiteAgent {
         self.stats.advances += 1;
         let due = self.wheel.advance(now);
         let mut out = Vec::with_capacity(due.len());
-        for (deadline, slot) in due {
+        for (deadline, (bundle, generation)) in due {
+            // A stale entry — removed bundle, or an earlier incarnation of
+            // a re-adopted id — is a cancelled tick.
+            let Some(&slot) = self.slot_of.get(&(bundle as u32)) else {
+                continue;
+            };
             let b = &mut self.bundles[slot];
-            let bundle = b.id.0 as usize;
+            if b.generation != generation {
+                continue;
+            }
             let output = b.control.on_tick(queue_bytes(bundle), now);
-            self.wheel
-                .schedule(deadline + b.control.config().control_interval, slot);
+            self.wheel.schedule(
+                deadline + b.control.config().control_interval,
+                (bundle, generation),
+            );
             self.stats.ticks_run += 1;
             out.push(BundleTick { bundle, output });
         }
@@ -459,6 +593,38 @@ mod tests {
         let due = agent.advance(Nanos::from_millis(10), |_| 0);
         assert_eq!(due.len(), 3, "all bundles share the 10 ms grid");
         assert_eq!(agent.next_tick_at(), Some(Nanos::from_millis(20)));
+    }
+
+    #[test]
+    fn remove_and_readopt_keeps_a_single_tick_train() {
+        // A bundle detached and adopted back into the *same* agent (the
+        // shortest round trip a migrating bundle can make) must not end up
+        // with two wheel tick trains: the pre-removal entry is a stale
+        // incarnation and must die silently when it fires.
+        let mut agent = agent_with_sites(2);
+        let detached = agent.remove_bundle(0).expect("managed");
+        assert!(agent.sendbox(0).is_none());
+        assert_eq!(agent.classify_dst(ipv4(10, 1, 0, 7)), None, "route gone");
+        agent
+            .adopt_bundle(detached, Nanos::from_millis(3))
+            .expect("clean re-adopt");
+        assert!(agent.sendbox(0).is_some());
+        assert_eq!(agent.classify_dst(ipv4(10, 1, 0, 7)), Some(0));
+        // Over 400 ms at the default 10 ms interval, bundle 0 must tick
+        // exactly as often as the never-removed bundle 1 (its grid is
+        // re-anchored at adoption, so allow the one-tick phase offset).
+        let mut ticks = [0u32; 2];
+        for ms in 1..=400u64 {
+            for t in agent.advance(Nanos::from_millis(ms), |_| 0) {
+                ticks[t.bundle] += 1;
+            }
+        }
+        assert_eq!(ticks[1], 40);
+        assert!(
+            (39..=40).contains(&ticks[0]),
+            "re-adopted bundle must keep ONE tick train, got {} ticks",
+            ticks[0]
+        );
     }
 
     #[test]

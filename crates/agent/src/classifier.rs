@@ -15,6 +15,21 @@ use bundler_types::{FlowKey, IpPrefix};
 
 /// A longest-prefix-match table from IPv4 destination prefixes to values
 /// (typically bundle handles).
+///
+/// # Example
+///
+/// ```
+/// use bundler_agent::PrefixClassifier;
+/// use bundler_types::flow::ipv4;
+///
+/// let mut table = PrefixClassifier::new();
+/// table.insert("10.0.0.0/8".parse().unwrap(), "site-a");
+/// table.insert("10.1.0.0/16".parse().unwrap(), "site-b");
+/// // The most specific installed prefix wins.
+/// assert_eq!(table.lookup(ipv4(10, 1, 2, 3)), Some(&"site-b"));
+/// assert_eq!(table.lookup(ipv4(10, 9, 9, 9)), Some(&"site-a"));
+/// assert_eq!(table.lookup(ipv4(192, 168, 0, 1)), None);
+/// ```
 #[derive(Debug, Clone)]
 pub struct PrefixClassifier<V> {
     /// `tables[len]` maps canonical network addresses of `/len` prefixes.

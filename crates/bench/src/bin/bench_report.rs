@@ -11,10 +11,15 @@
 //! Since PR 4 the report also sweeps the sharded runtime: `many_sites` on
 //! `--shards` worker counts (default 1, 2, 4), asserting every shard
 //! count's `SimStats` digest is bit-identical to the single-threaded
-//! engine and recording aggregate events/sec per count.
+//! engine and recording aggregate events/sec per count. Since PR 5 the
+//! sweep has a second axis, `--balance {roundrobin,rate}`: the skewed
+//! `hot_bundle` scenario (one bundle carries ~50 % of flows) runs on
+//! every (shards, balance) pair, measuring what the rate-aware bundle
+//! re-packing buys over the static round-robin partition — every cell is
+//! digest-asserted against the single-threaded engine first.
 //!
 //! Usage: `cargo run --release -p bundler-bench --bin bench_report -- \
-//!     [--out PATH] [--shards N,M,...]`
+//!     [--out PATH] [--shards N,M,...] [--balance roundrobin,rate]`
 
 use std::time::Instant;
 
@@ -22,8 +27,9 @@ use bundler_bench::Scale;
 use bundler_shard::ShardedSimulation;
 use bundler_sim::event::EventEngine;
 use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
+use bundler_sim::scenario::hot_bundle::HotBundleScenario;
 use bundler_sim::scenario::many_sites::ManySitesScenario;
-use bundler_sim::sim::{Simulation, SimulationConfig};
+use bundler_sim::sim::{ShardBalance, Simulation, SimulationConfig};
 use bundler_sim::workload::FlowSpec;
 use bundler_sim::{SimReport, SimStats};
 use bundler_types::{Duration, Rate};
@@ -90,8 +96,9 @@ fn json_number(v: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_PR5.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4];
+    let mut balances: Vec<ShardBalance> = vec![ShardBalance::RoundRobin, ShardBalance::Rate];
     // Optional: best wall time (seconds) of the pre-PR simulator running
     // the same many_sites configuration, measured separately on the same
     // machine (the old binary has no event counter; the simulations are
@@ -116,6 +123,18 @@ fn main() {
                     shard_counts.retain(|&s| s != 1);
                     shard_counts.insert(0, 1);
                 }
+                "--balance" => {
+                    balances = args
+                        .next()
+                        .expect("--balance needs a comma-separated list")
+                        .split(',')
+                        .map(|s| match s {
+                            "roundrobin" => ShardBalance::RoundRobin,
+                            "rate" => ShardBalance::Rate,
+                            other => panic!("unknown balance mode {other}"),
+                        })
+                        .collect();
+                }
                 "--seed-wall-secs" => {
                     seed_wall_secs = Some(
                         args.next()
@@ -126,7 +145,7 @@ fn main() {
                 }
                 other => panic!(
                     "unknown argument {other} (supported: --out PATH, --shards N,M, \
-                     --seed-wall-secs SECS)"
+                     --balance roundrobin,rate, --seed-wall-secs SECS)"
                 ),
             }
         }
@@ -154,9 +173,18 @@ fn main() {
     };
     let fct_bundler = fct(SendboxMode::BundlerSfq);
     let fct_quo = fct(SendboxMode::StatusQuo);
+    let hot = HotBundleScenario::builder()
+        .sites(scale.pick(4, 12))
+        .requests_per_cold_site(scale.pick(15, 110))
+        .offered_load_per_cold_site(Rate::from_mbps(6))
+        .bottleneck(Rate::from_mbps(scale.pick(48, 144)))
+        .drain(Duration::from_secs(scale.pick(2, 8)))
+        .seed(7)
+        .build();
 
     let cases: Vec<(&'static str, SimulationConfig, Vec<FlowSpec>)> = vec![
         ("many_sites", many.sim_config(), many.workload()),
+        ("hot_bundle", hot.sim_config(), hot.workload()),
         (
             "fct_bundler_sfq",
             fct_bundler.sim_config(),
@@ -236,26 +264,31 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut shard_speedups: Vec<(String, f64)> = Vec::new();
+    // Rounds are *round-major* (every cell once, then every cell again,
+    // best wall per cell): on a machine whose speed drifts over the
+    // minutes of a paper-scale run, cell-major order would systematically
+    // charge the drift to whichever cell runs last.
     {
         let config = many.sim_config();
         let workload = many.workload();
-        let mut baseline: Option<(SimStats, f64)> = None;
-        for &shards in &shard_counts {
-            let mut best_wall = f64::MAX;
-            let mut best_report = None;
-            for _ in 0..rounds {
+        let mut best: Vec<(f64, Option<SimReport>)> =
+            shard_counts.iter().map(|_| (f64::MAX, None)).collect();
+        for _ in 0..rounds {
+            for (i, &shards) in shard_counts.iter().enumerate() {
                 let mut cfg = config.clone();
                 cfg.shards = shards;
                 let sim = ShardedSimulation::new(cfg, workload.clone());
                 let start = Instant::now();
                 let report = sim.run();
                 let wall = start.elapsed().as_secs_f64().max(1e-9);
-                if wall < best_wall {
-                    best_wall = wall;
-                    best_report = Some(report);
+                if wall < best[i].0 {
+                    best[i] = (wall, Some(report));
                 }
             }
-            let report = best_report.expect("at least one round");
+        }
+        let mut baseline: Option<(SimStats, f64)> = None;
+        for (&shards, (best_wall, report)) in shard_counts.iter().zip(best) {
+            let report = report.expect("at least one round");
             let stats = SimStats::of(&report);
             let ev_s = report.events_processed as f64 / best_wall;
             match &baseline {
@@ -287,9 +320,102 @@ fn main() {
     }
     speedups.extend(shard_speedups);
 
+    // Balance sweep: the skewed hot_bundle scenario on every
+    // (shards, balance) pair. This is the workload the rate-aware
+    // balancer exists for — one bundle carries ~50 % of flows, so the
+    // static round-robin partition leaves one shard hot. Digests are
+    // asserted bit-identical before any number is recorded; rounds are
+    // round-major here too, so machine drift never lands on one cell.
+    {
+        let config = hot.sim_config();
+        let workload = hot.workload();
+        let cells: Vec<(usize, ShardBalance)> = shard_counts
+            .iter()
+            .flat_map(|&shards| {
+                balances.iter().filter_map(move |&balance| {
+                    // One shard has nothing to balance.
+                    (shards != 1 || balance == ShardBalance::RoundRobin)
+                        .then_some((shards, balance))
+                })
+            })
+            .collect();
+        let mut best: Vec<(f64, Option<SimReport>)> =
+            cells.iter().map(|_| (f64::MAX, None)).collect();
+        for _ in 0..rounds {
+            for (i, &(shards, balance)) in cells.iter().enumerate() {
+                let mut cfg = config.clone();
+                cfg.shards = shards;
+                cfg.balance = balance;
+                let sim = ShardedSimulation::new(cfg, workload.clone());
+                let start = Instant::now();
+                let report = sim.run();
+                let wall = start.elapsed().as_secs_f64().max(1e-9);
+                if wall < best[i].0 {
+                    best[i] = (wall, Some(report));
+                }
+            }
+        }
+        let mut baseline: Option<SimStats> = None;
+        let mut cell_ev_s: Vec<((usize, ShardBalance), f64)> = Vec::new();
+        for (&(shards, balance), (best_wall, report)) in cells.iter().zip(best) {
+            let report = report.expect("at least one round");
+            let stats = SimStats::of(&report);
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(want) => assert_eq!(
+                    want, &stats,
+                    "hot_bundle shards={shards} balance={balance:?} diverged \
+                     from the single-threaded engine"
+                ),
+            }
+            let ev_s = report.events_processed as f64 / best_wall;
+            let pk_s = report.packets_created as f64 / best_wall;
+            let label = match balance {
+                ShardBalance::RoundRobin => "roundrobin",
+                ShardBalance::Rate => "rate",
+                ShardBalance::Rotate => "rotate",
+            };
+            cell_ev_s.push(((shards, balance), ev_s));
+            println!(
+                "      hot_bundle: shards={shards} balance={label} \
+                 {ev_s:>10.0} ev/s (wall {:.0} ms)",
+                best_wall * 1e3,
+            );
+            runs.push(RunStats {
+                scenario: "hot_bundle",
+                engine: if shards == 1 {
+                    "sharded_1".to_string()
+                } else {
+                    format!("sharded_{shards}_{label}")
+                },
+                wall_ms: best_wall * 1e3,
+                events: report.events_processed,
+                packets: report.packets_created,
+                events_per_sec: ev_s,
+                packets_per_sec: pk_s,
+            });
+        }
+        // The headline ratio per shard count, computed over the full cell
+        // set so it is independent of --balance ordering.
+        for &((shards, balance), ev_s) in &cell_ev_s {
+            if balance != ShardBalance::Rate {
+                continue;
+            }
+            if let Some(&(_, rr)) = cell_ev_s
+                .iter()
+                .find(|&&((s, b), _)| s == shards && b == ShardBalance::RoundRobin)
+            {
+                speedups.push((
+                    format!("hot_bundle_shards_{shards}_rate_vs_roundrobin"),
+                    ev_s / rr,
+                ));
+            }
+        }
+    }
+
     // Hand-rolled JSON: the vendored serde stand-in has no real serializer.
     let mut json = String::from("{\n");
-    json += "  \"pr\": 4,\n";
+    json += "  \"pr\": 5,\n";
     json += &format!("  \"host_parallelism\": {host_parallelism},\n");
     json += &format!(
         "  \"scale\": \"{}\",\n",
@@ -298,7 +424,7 @@ fn main() {
             Scale::Paper => "paper",
         }
     );
-    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host running many_sites on N worker shards (N=1 delegates to the single-threaded engine); every N's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had).\",\n";
+    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had).\",\n";
     json += "  \"scenarios\": [\n";
     for (i, r) in runs.iter().enumerate() {
         json += &format!(

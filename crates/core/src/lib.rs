@@ -23,8 +23,8 @@
 //! * [`receivebox`] — the receivebox datapath observer.
 //! * [`config`] — tunables, with the paper's defaults.
 //! * [`wheel`] — shared timer/event-queue cores: the hierarchical
-//!   [`TimerWheel`](wheel::TimerWheel) (batch ticks, used by the site
-//!   agent) and the [`CalendarQueue`](wheel::CalendarQueue) (pop-one
+//!   [`TimerWheel`] (batch ticks, used by the site
+//!   agent) and the [`CalendarQueue`] (pop-one
 //!   calendar queue driving the simulator's event loop).
 
 #![forbid(unsafe_code)]

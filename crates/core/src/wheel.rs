@@ -127,6 +127,26 @@ impl<T> BinaryHeapQueue<T> {
         self.heap.peek().map(|e| (e.deadline, e.seq))
     }
 
+    /// Removes and returns every pending entry whose item matches `pred`,
+    /// as `(deadline, key, item)` tuples in no particular order. The
+    /// remaining entries keep their deadlines, keys and relative order.
+    /// O(pending) — intended for rare structural operations (the sharded
+    /// simulator migrating a logical process between shards), not the hot
+    /// path.
+    pub fn extract_if(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(Nanos, u64, T)> {
+        let mut out = Vec::new();
+        let mut kept = BinaryHeap::with_capacity(self.heap.len());
+        for e in std::mem::take(&mut self.heap).into_vec() {
+            if pred(&e.item) {
+                out.push((e.deadline, e.seq, e.item));
+            } else {
+                kept.push(e);
+            }
+        }
+        self.heap = kept;
+        out
+    }
+
     /// Pops the earliest entry, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, T)> {
         let e = self.heap.pop()?;
@@ -159,6 +179,22 @@ impl<T> BinaryHeapQueue<T> {
 /// time take a separate O(1) FIFO lane (`immediate`). Per-level occupancy
 /// bitmaps make skipping empty stretches of simulated time a couple of
 /// `trailing_zeros` instructions rather than a slot-by-slot walk.
+///
+/// # Example
+///
+/// ```
+/// use bundler_core::wheel::CalendarQueue;
+/// use bundler_types::{Duration, Nanos};
+///
+/// let mut q = CalendarQueue::new(Duration::from_micros(1));
+/// q.schedule(Nanos::from_millis(5), "later");
+/// q.schedule(Nanos::from_millis(1), "sooner");
+/// // Pops in (deadline, schedule order), advancing the clock.
+/// assert_eq!(q.pop(), Some((Nanos::from_millis(1), "sooner")));
+/// assert_eq!(q.now(), Nanos::from_millis(1));
+/// assert_eq!(q.pop(), Some((Nanos::from_millis(5), "later")));
+/// assert!(q.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct CalendarQueue<T> {
     /// `CQ_LEVELS × SLOTS` FIFO buckets, row-major by level.
@@ -488,6 +524,49 @@ impl<T> CalendarQueue<T> {
                 }
             }
         }
+    }
+
+    /// Removes and returns every pending entry whose item matches `pred`,
+    /// as `(deadline, key, item)` tuples in no particular order. The
+    /// remaining entries keep their deadlines, keys and relative order —
+    /// extraction never disturbs the wheel's cursor or clock. O(pending);
+    /// intended for rare structural operations (the sharded simulator
+    /// migrating a logical process between shards), not the hot path.
+    pub fn extract_if(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(Nanos, u64, T)> {
+        let mut out = Vec::new();
+        fn sift<T>(
+            list: &mut Vec<Entry<T>>,
+            pred: &mut impl FnMut(&T) -> bool,
+            out: &mut Vec<(Nanos, u64, T)>,
+        ) {
+            let mut kept = Vec::with_capacity(list.len());
+            for e in list.drain(..) {
+                if pred(&e.item) {
+                    out.push((e.deadline, e.seq, e.item));
+                } else {
+                    kept.push(e);
+                }
+            }
+            *list = kept;
+        }
+        sift(&mut self.cur, &mut pred, &mut out);
+        sift(&mut self.overflow, &mut pred, &mut out);
+        let mut immediate: Vec<Entry<T>> = self.immediate.drain(..).collect();
+        sift(&mut immediate, &mut pred, &mut out);
+        self.immediate.extend(immediate);
+        for level in 0..CQ_LEVELS {
+            for slot in 0..SLOTS {
+                let idx = level * SLOTS + slot;
+                if !self.slots[idx].is_empty() {
+                    sift(&mut self.slots[idx], &mut pred, &mut out);
+                    if self.slots[idx].is_empty() {
+                        self.occupied[level] &= !(1 << slot);
+                    }
+                }
+            }
+        }
+        self.pending -= out.len();
+        out
     }
 
     /// Pops the earliest entry — exactly the `(deadline, schedule order)`
@@ -996,6 +1075,52 @@ mod tests {
     #[should_panic(expected = "quantum must be positive")]
     fn calendar_zero_quantum_is_rejected() {
         let _ = CalendarQueue::<u32>::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn extract_if_lifts_matches_and_leaves_the_rest_intact() {
+        // Entries land in every region: immediate lane (at `now`), the
+        // current slot, near slots, far levels and the overflow list —
+        // extraction must find them all and must not disturb the rest.
+        let mut q = cq();
+        let mut r = BinaryHeapQueue::new();
+        let times: Vec<u64> = vec![
+            0, // immediate (scheduled at now)
+            900,
+            50_000,
+            3_000_000,
+            10_000_000_000,
+            90_000_000_000_000_000, // overflow
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            // Odd items will be extracted, even items stay.
+            q.schedule_keyed(Nanos(t), i as u64, i as u32);
+            if i % 2 == 0 {
+                r.schedule_keyed(Nanos(t), i as u64, i as u32);
+            }
+        }
+        let mut out = q.extract_if(|&v| v % 2 == 1);
+        out.sort_by_key(|&(at, key, _)| (at, key));
+        let got: Vec<u32> = out.iter().map(|&(_, _, v)| v).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+        assert_eq!(q.len(), 3);
+        // Survivors pop in exactly the order the reference queue gives.
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        // Extracting from the reference heap engine agrees too.
+        let mut h = BinaryHeapQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            h.schedule_keyed(Nanos(t), i as u64, i as u32);
+        }
+        let mut hout = h.extract_if(|&v| v % 2 == 1);
+        hout.sort_by_key(|&(at, key, _)| (at, key));
+        assert_eq!(hout, out);
+        assert_eq!(h.len(), 3);
     }
 
     #[test]

@@ -229,6 +229,12 @@ impl Scheduler for Codel {
         self.stats
     }
 
+    fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId)) {
+        for p in self.queue.iter_mut() {
+            f(&mut p.id);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "codel"
     }

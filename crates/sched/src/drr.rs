@@ -165,6 +165,16 @@ impl Scheduler for Drr {
         self.stats
     }
 
+    fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId)) {
+        // Map traversal order is arbitrary but stable while the scheduler
+        // is not mutated, which is all the two-pass id rewrite needs.
+        for fq in self.flows.values_mut() {
+            for p in fq.queue.iter_mut() {
+                f(&mut p.id);
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "drr"
     }

@@ -271,6 +271,14 @@ impl Scheduler for FqCodel {
         self.stats
     }
 
+    fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId)) {
+        for bucket in self.buckets.iter_mut() {
+            for p in bucket.queue.iter_mut() {
+                f(&mut p.id);
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "fq_codel"
     }

@@ -107,6 +107,15 @@ pub trait Scheduler: Send {
 
     /// Human-readable name used in experiment output.
     fn name(&self) -> &'static str;
+
+    /// Visits every queued packet id exactly once, allowing the caller to
+    /// rewrite ids in place. The traversal must not change the scheduler's
+    /// structure or state, and repeated calls on an unmodified scheduler
+    /// must visit packets in the same order — the sharded simulator relies
+    /// on this to re-home a sendbox's queued packets when a bundle migrates
+    /// between per-shard [`PacketArena`]s (ids are collected in one pass
+    /// and rewritten in a second).
+    fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId));
 }
 
 /// The scheduling policies Bundler experiments select between, used by the

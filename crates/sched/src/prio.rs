@@ -101,6 +101,14 @@ impl Scheduler for StrictPriority {
         self.stats
     }
 
+    fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId)) {
+        for q in self.queues.iter_mut() {
+            for p in q.iter_mut() {
+                f(&mut p.id);
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "prio"
     }

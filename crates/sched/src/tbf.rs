@@ -199,6 +199,14 @@ impl Tbf {
     pub fn inner_name(&self) -> &'static str {
         self.inner.name()
     }
+
+    /// Visits every queued packet id (see
+    /// [`Scheduler::for_each_pkt_mut`]): the migration hook that lets a
+    /// sendbox datapath move between packet arenas with its queue state —
+    /// scheduler structure, deficits, CoDel state, token balance — intact.
+    pub fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut bundler_types::PacketId)) {
+        self.inner.for_each_pkt_mut(f);
+    }
 }
 
 /// Result of [`Tbf::try_dequeue`].

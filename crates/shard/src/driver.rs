@@ -1,35 +1,52 @@
 //! The windowed multi-threaded driver.
 //!
-//! See the crate docs for the synchronization argument. Concretely, each
-//! *window* `[T, T+Δ)` (Δ = min one-way bottleneck delay) runs as:
+//! See the crate docs for the synchronization argument. The run is a
+//! sequence of *windows* `[T, T+Δ)` delimited by barriers; within each,
+//! every worker drains its inbound mailbox (deliveries produced in earlier
+//! windows, all timestamped ≥ T) and handles its local events with
+//! `t < T+Δ`, moving packets released toward the bottleneck into
+//! `(timestamp, key, packet)` envelopes. The net phase for a window drains
+//! every worker's outbound envelopes into the net event queue — whose
+//! `(timestamp, key)` order is the canonical merge — handles net events of
+//! the window, and routes the resulting deliveries to the owning worker's
+//! mailbox by flow id.
 //!
-//! 1. **Worker phase** (parallel): every worker drains its inbound
-//!    mailbox (deliveries produced in earlier windows, all timestamped
-//!    ≥ T), then pops and handles its local events with `t < T+Δ`.
-//!    Packets released toward the bottleneck move out of the worker's
-//!    arena into `(timestamp, key, packet)` envelopes.
-//! 2. **Net phase** (driver thread): drain every worker's outbound
-//!    mailbox into the net event queue — the queue's `(timestamp, key)`
-//!    order is the canonical merge — then handle net events with
-//!    `t < T+Δ`. Transmitted packets become deliveries timestamped
-//!    ≥ T+Δ, routed to the owning worker's mailbox by flow id.
+//! Two refinements over the PR 4 loop:
 //!
-//! Two barriers delimit the worker phase; the driver thread runs the net
-//! phase while the workers wait at the next window's start barrier.
+//! * **Pipelined net phase.** With Δ = ½ lookahead, every delivery the net
+//!   phase of window W produces lands ≥ 2 windows ahead (`t + lookahead ≥
+//!   T_W + 2Δ`), so the driver runs net phase W *concurrently* with worker
+//!   window W+1 — the sequential bottleneck fraction hides behind the
+//!   workers instead of idling them at the barrier. Worker→net envelopes
+//!   double-buffer by window parity so the net phase only ever drains a
+//!   quiesced buffer; net→worker deliveries go through a single mailbox
+//!   whose producer (driver) and consumer (worker) are fixed threads, and
+//!   are published strictly before the barrier that opens the window that
+//!   could need them.
+//! * **Migration phases.** When the balancer re-packs bundles
+//!   ([`crate::balance`]), the window opens with an extra barrier: owners
+//!   first drain their inboxes (so in-flight deliveries for a migrating
+//!   bundle are in the queue) and deposit [`BundleParcel`]s, then — after
+//!   the rendezvous — adopters install them. Because re-partitioning
+//!   happens only at barriers and event order is canonical, *any*
+//!   migration schedule is bit-identical to the single-threaded engine
+//!   (property-tested in `tests/equivalence.rs`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 
 use bundler_core::FnvHashMap;
 use bundler_sim::event::{Event, EventKey, EventQueue};
 use bundler_sim::runtime::{
-    assemble_report, origin_lp, Delivery, NetCore, Partition, ToNet, WorkerCore,
+    assemble_report, bundle_lp, origin_lp, BundleParcel, Delivery, NetCore, Partition, ToNet,
+    WorkerCore, LP_BUNDLE0,
 };
 use bundler_sim::sim::SimulationConfig;
-use bundler_sim::workload::{FlowSpec, Origin};
+use bundler_sim::workload::FlowSpec;
 use bundler_sim::{SimReport, Simulation};
-use bundler_types::{FlowId, Nanos, Packet, PacketArena};
+use bundler_types::{Duration, FlowId, Nanos, Packet, PacketArena};
 
+use crate::balance::{Balancer, Move};
 use crate::mailbox::{self, Receiver, Sender};
 
 /// Ring capacity per mailbox (messages); bursts beyond this spill to the
@@ -46,10 +63,24 @@ struct Envelope {
 }
 
 struct Control {
-    /// Workers + driver rendezvous here twice per window.
+    /// Workers + driver rendezvous here twice per window (three times on
+    /// migration windows).
     barrier: Barrier,
     /// End of the current window (exclusive), as nanoseconds.
     window_end: AtomicU64,
+    /// Whether the current window opens with a migration phase (plan and
+    /// parcel slots are valid). Set before the window-start barrier.
+    migrating: AtomicBool,
+    /// The migration plan for the current window.
+    plan: Mutex<Vec<Move>>,
+    /// Parcels in transit, one slot per plan entry; deposited by the
+    /// `from` worker before the migration barrier, taken by the `to`
+    /// worker after it.
+    parcels: Mutex<Vec<Option<BundleParcel>>>,
+    /// Cumulative handled-event count per bundle, stored by the bundle's
+    /// current owner at each window end and read by the driver after the
+    /// end barrier — the balancer's load signal.
+    counts: Vec<AtomicU64>,
     /// Set before the final barrier release.
     stop: AtomicBool,
     /// Set by a worker whose window processing panicked. `std::sync::
@@ -64,8 +95,10 @@ struct Control {
 ///
 /// `SimulationConfig::shards` selects the worker count: `1` delegates to
 /// the single-threaded [`Simulation`] (today's engine, unchanged); `k > 1`
-/// partitions bundles round-robin across `k` worker threads around the
-/// shared bottleneck. Results are bit-identical for every value — see the
+/// partitions bundles across `k` worker threads around the shared
+/// bottleneck, statically or adaptively per
+/// [`SimulationConfig::balance`](bundler_sim::sim::ShardBalance). Results
+/// are bit-identical for every shard count and balance mode — see the
 /// crate docs and `tests/equivalence.rs`.
 pub struct ShardedSimulation {
     config: SimulationConfig,
@@ -97,81 +130,73 @@ impl ShardedSimulation {
     }
 }
 
-/// Partitioning is sound only if every flow's destination classifies (on
-/// the *full* prefix table) to a bundle living on the flow's own shard —
-/// then each shard's partial table agrees with the full one for the
-/// packets it sees. Site addressing guarantees this for every built-in
-/// scenario (a flow's destination lies inside its own bundle's prefix);
-/// an adversarial config where one bundle's more-specific prefix shadows
-/// another site's address space would diverge *silently* from the
-/// single-threaded engine, so it is rejected here instead.
-fn validate_partition(config: &SimulationConfig, workload: &[FlowSpec], shards: usize) {
-    let Some(mode) = &config.multi_bundle else {
-        // Classic mode routes by flow origin, never by prefix: any
-        // partition is sound.
-        return;
-    };
-    let mut full = bundler_agent::SiteAgent::new(mode.agent);
-    for spec in &mode.specs {
-        full.add_bundle(&spec.prefixes, spec.config, Nanos::ZERO)
-            .expect("invalid multi-bundle specs");
-    }
-    for spec in workload {
-        let key = bundler_sim::runtime::flow_key(spec.id.0, spec.origin);
-        if let Some(c) = full.classify(&key) {
-            let flow_worker = Partition::worker_of_lp(shards, origin_lp(spec.origin));
-            let class_worker = Partition::worker_of_lp(shards, origin_lp(Origin::Bundle(c)));
-            assert_eq!(
-                flow_worker, class_worker,
-                "workload cannot be partitioned across {shards} shards: flow {} \
-                 (origin {:?}) classifies to bundle {c} on another shard — its \
-                 sendbox state would diverge from the single-threaded engine",
-                spec.id.0, spec.origin,
-            );
-        }
-    }
-}
-
 fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize) -> SimReport {
-    validate_partition(&config, &workload, shards);
+    let mut balancer = Balancer::new(&config, &workload, shards);
     let mut net = NetCore::new(&config);
     let lookahead = net.min_one_way_delay();
     let end = Nanos::ZERO + config.duration;
+    let n_bundles = config.n_bundles();
 
-    // Deliveries are routed to the worker owning the packet's flow; the
-    // assignment is a pure function of the workload.
-    let flow_worker: FnvHashMap<FlowId, usize> = workload
+    // Δ = ½ lookahead pipelines the net phase behind the next worker
+    // window (its outputs land ≥ 2 windows ahead); a 1 ns lookahead can't
+    // be halved, so it falls back to the sequential net-between-barriers
+    // order with Δ = lookahead.
+    let pipeline = lookahead.as_nanos() >= 2;
+    let window = if pipeline {
+        Duration(lookahead.as_nanos() / 2)
+    } else {
+        lookahead
+    };
+
+    // Delivery routing: a flow's LP is static (its workload origin); the
+    // LP's owning worker follows the balancer's assignment.
+    let lp_of_flow: FnvHashMap<FlowId, u16> = workload
         .iter()
-        .map(|s| (s.id, Partition::worker_of_lp(shards, origin_lp(s.origin))))
+        .map(|s| (s.id, origin_lp(s.origin)))
         .collect();
+    let mut worker_of_lp: Vec<usize> = vec![0; LP_BUNDLE0 as usize + n_bundles];
+    for b in 0..n_bundles {
+        worker_of_lp[bundle_lp(b) as usize] = balancer.assignment()[b];
+    }
 
     let ctrl = Arc::new(Control {
         barrier: Barrier::new(shards + 1),
         window_end: AtomicU64::new(0),
+        migrating: AtomicBool::new(false),
+        plan: Mutex::new(Vec::new()),
+        parcels: Mutex::new(Vec::new()),
+        counts: (0..n_bundles).map(|_| AtomicU64::new(0)).collect(),
         stop: AtomicBool::new(false),
         panicked: AtomicBool::new(false),
     });
 
-    let mut to_net_rx: Vec<Receiver<Envelope>> = Vec::with_capacity(shards);
+    // Worker→net envelopes double-buffer by window parity; net→worker
+    // deliveries use one mailbox per worker (fixed producer/consumer
+    // threads, publication ordered by the barriers).
+    let mut to_net_rx: Vec<[Receiver<Envelope>; 2]> = Vec::with_capacity(shards);
     let mut to_worker_tx: Vec<Sender<Envelope>> = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
     for index in 0..shards {
-        let (net_tx, net_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+        let (net_tx_a, net_rx_a) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+        let (net_tx_b, net_rx_b) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
         let (worker_tx, worker_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
-        to_net_rx.push(net_rx);
+        to_net_rx.push([net_rx_a, net_rx_b]);
         to_worker_tx.push(worker_tx);
         let part = Partition {
             workers: shards,
             index,
         };
-        let mut core = WorkerCore::new(&config, &workload, part);
+        let owned: Vec<bool> = (0..n_bundles)
+            .map(|b| balancer.assignment()[b] == index)
+            .collect();
+        let mut core = WorkerCore::with_owned(&config, &workload, part, owned);
         let mut queue = EventQueue::with_engine(config.event_engine);
         core.schedule_initial(&mut queue);
         let ctrl = Arc::clone(&ctrl);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("bundler-shard-{index}"))
-                .spawn(move || worker_loop(core, queue, ctrl, net_tx, worker_rx))
+                .spawn(move || worker_loop(core, queue, ctrl, [net_tx_a, net_tx_b], worker_rx))
                 .expect("spawn worker shard"),
         );
     }
@@ -183,20 +208,21 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
     let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
     let mut deliveries: Vec<Delivery> = Vec::with_capacity(64);
 
-    let mut window_start = Nanos::ZERO;
-    while window_start < end {
-        let window_end = (window_start + lookahead).min(end);
-        ctrl.window_end
-            .store(window_end.as_nanos(), Ordering::Release);
-        ctrl.barrier.wait(); // workers begin the window
-        ctrl.barrier.wait(); // workers done
-        if ctrl.panicked.load(Ordering::Acquire) {
-            break;
-        }
+    // The net phase for one completed worker window: merge that window's
+    // envelopes (by parity), handle net events below its end, route
+    // deliveries to the current owner of each flow's LP.
+    let mut net_phase = |windex: u64,
+                         window_end: Nanos,
+                         net: &mut NetCore,
+                         net_queue: &mut EventQueue,
+                         net_arena: &mut PacketArena,
+                         to_net_rx: &mut Vec<[Receiver<Envelope>; 2]>,
+                         worker_of_lp: &[usize]| {
+        let parity = (windex % 2) as usize;
         for rx in to_net_rx.iter_mut() {
-            rx.drain_into(&mut inbound);
+            rx[parity].drain_into(&mut inbound);
             for m in inbound.drain(..) {
-                debug_assert!(m.at >= window_start && m.at < window_end);
+                debug_assert!(m.at < window_end, "envelope beyond its window");
                 let pkt = net_arena.insert(m.pkt);
                 net_queue.schedule(m.at, m.key, Event::ArriveBottleneck { pkt });
             }
@@ -206,11 +232,19 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
                 break;
             }
             let (now, event) = net_queue.pop().expect("peeked");
-            net.handle(event, now, &mut net_arena, &mut net_queue, &mut deliveries);
+            net.handle(event, now, net_arena, net_queue, &mut deliveries);
             for d in deliveries.drain(..) {
-                debug_assert!(d.at >= window_end, "delivery inside the current window");
+                // Conservative lookahead: sequential windows need one
+                // window of slack, pipelined windows two (the delivery
+                // must clear the worker window running concurrently with
+                // this net phase).
+                debug_assert!(
+                    d.at >= window_end + if pipeline { window } else { Duration::ZERO },
+                    "delivery inside a window already running"
+                );
                 let flow = net_arena[d.pkt].flow;
-                let worker = *flow_worker.get(&flow).expect("flow has an owner");
+                let lp = *lp_of_flow.get(&flow).expect("flow has an origin");
+                let worker = worker_of_lp[lp as usize];
                 let pkt = net_arena.remove(d.pkt);
                 to_worker_tx[worker].send(Envelope {
                     at: d.at,
@@ -219,10 +253,92 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
                 });
             }
         }
+    };
+
+    let mut plan: Vec<Move> = Vec::new();
+    let mut prev_window: Option<(u64, Nanos)> = None;
+    let mut window_start = Nanos::ZERO;
+    let mut windex: u64 = 0;
+    while window_start < end {
+        let window_end = (window_start + window).min(end);
+        ctrl.window_end
+            .store(window_end.as_nanos(), Ordering::Release);
+        let migrating = !plan.is_empty();
+        ctrl.migrating.store(migrating, Ordering::Release);
+        if migrating {
+            *ctrl.plan.lock().expect("plan lock") = plan.clone();
+            *ctrl.parcels.lock().expect("parcel lock") = plan.iter().map(|_| None).collect();
+        }
+        ctrl.barrier.wait(); // workers begin the window
+        if migrating {
+            ctrl.barrier.wait(); // parcels deposited ↔ adopted
+        }
+        if pipeline {
+            // Hide the sequential fraction: net phase W runs while the
+            // workers run window W+1.
+            if let Some((pidx, pend)) = prev_window {
+                net_phase(
+                    pidx,
+                    pend,
+                    &mut net,
+                    &mut net_queue,
+                    &mut net_arena,
+                    &mut to_net_rx,
+                    &worker_of_lp,
+                );
+            }
+        }
+        ctrl.barrier.wait(); // workers done
+        if ctrl.panicked.load(Ordering::Acquire) {
+            break;
+        }
+        if !pipeline {
+            net_phase(
+                windex,
+                window_end,
+                &mut net,
+                &mut net_queue,
+                &mut net_arena,
+                &mut to_net_rx,
+                &worker_of_lp,
+            );
+        }
+        // Decide the plan for the *next* window boundary from the counts
+        // the workers just published, and re-point delivery routing — the
+        // next net phase must deliver to the post-migration owners.
+        let counts: Vec<u64> = ctrl
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect();
+        plan = balancer.decide(windex + 1, &counts);
+        if !plan.is_empty() && std::env::var_os("BUNDLER_SHARD_DEBUG").is_some() {
+            eprintln!("window {}: {} moves: {:?}", windex + 1, plan.len(), plan);
+        }
+        for mv in &plan {
+            worker_of_lp[bundle_lp(mv.bundle) as usize] = mv.to;
+        }
+        prev_window = Some((windex, window_end));
         window_start = window_end;
+        windex += 1;
+    }
+    if pipeline && !ctrl.panicked.load(Ordering::Acquire) {
+        // The final worker window's net phase has not run yet.
+        if let Some((pidx, pend)) = prev_window {
+            net_phase(
+                pidx,
+                pend,
+                &mut net,
+                &mut net_queue,
+                &mut net_arena,
+                &mut to_net_rx,
+                &worker_of_lp,
+            );
+        }
     }
 
     ctrl.stop.store(true, Ordering::Release);
+    ctrl.migrating.store(false, Ordering::Release);
     ctrl.barrier.wait(); // release workers into the stop check
     let mut workers = Vec::with_capacity(shards);
     let mut recycled = net_arena.recycled();
@@ -251,12 +367,15 @@ fn worker_loop(
     mut core: WorkerCore,
     mut queue: EventQueue,
     ctrl: Arc<Control>,
-    mut net_tx: Sender<Envelope>,
+    mut net_tx: [Sender<Envelope>; 2],
     mut inbox: Receiver<Envelope>,
 ) -> WorkerResult {
+    let me = core.partition().index;
+    let n_bundles = ctrl.counts.len();
     let mut arena = PacketArena::with_capacity(1024);
     let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
     let mut to_net: Vec<ToNet> = Vec::with_capacity(64);
+    let mut parity = 0usize;
     let mut failure: Option<Box<dyn std::any::Any + Send + 'static>> = None;
     loop {
         ctrl.barrier.wait(); // window start
@@ -266,17 +385,54 @@ fn worker_loop(
                 None => Ok((core, arena)),
             };
         }
+        let migrating = ctrl.migrating.load(Ordering::Acquire);
         // A panic must not abandon the barrier protocol (std barriers do
         // not poison; the others would block forever) — catch it, flag
         // the driver, and idle at the barriers until told to stop.
+        if migrating {
+            if failure.is_none() {
+                let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Drain the inbox *before* extracting: deliveries for
+                    // an outgoing bundle (routed here under the old
+                    // assignment) become queue events and migrate with it.
+                    drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                    let plan = ctrl.plan.lock().expect("plan lock");
+                    for (i, mv) in plan.iter().enumerate() {
+                        if mv.from == me {
+                            let parcel = core.extract_bundle(mv.bundle, &mut queue, &mut arena);
+                            ctrl.parcels.lock().expect("parcel lock")[i] = Some(parcel);
+                        }
+                    }
+                }));
+                if let Err(payload) = phase {
+                    failure = Some(payload);
+                    ctrl.panicked.store(true, Ordering::Release);
+                }
+            }
+            ctrl.barrier.wait(); // all parcels deposited
+            if failure.is_none() {
+                let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let now = queue.now();
+                    let plan = ctrl.plan.lock().expect("plan lock");
+                    for (i, mv) in plan.iter().enumerate() {
+                        if mv.to == me {
+                            let parcel = ctrl.parcels.lock().expect("parcel lock")[i]
+                                .take()
+                                .expect("the source worker deposited the parcel");
+                            core.adopt_bundle(parcel, &mut queue, &mut arena, now);
+                        }
+                    }
+                }));
+                if let Err(payload) = phase {
+                    failure = Some(payload);
+                    ctrl.panicked.store(true, Ordering::Release);
+                }
+            }
+        }
         if failure.is_none() {
             let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let window_end = Nanos(ctrl.window_end.load(Ordering::Acquire));
-                inbox.drain_into(&mut inbound);
-                for m in inbound.drain(..) {
-                    let pkt = arena.insert(m.pkt);
-                    queue.schedule(m.at, m.key, Event::ArriveDestination { pkt });
-                }
+                drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
                 while let Some((t, _)) = queue.peek() {
                     if t >= window_end {
                         break;
@@ -286,11 +442,19 @@ fn worker_loop(
                     for m in to_net.drain(..) {
                         debug_assert_eq!(m.at, now, "bottleneck entry is a zero-latency hop");
                         let pkt = arena.remove(m.pkt);
-                        net_tx.send(Envelope {
+                        net_tx[parity].send(Envelope {
                             at: m.at,
                             key: m.key,
                             pkt,
                         });
+                    }
+                }
+                // Publish this window's cumulative load signal for the
+                // bundles currently owned here; the driver reads it after
+                // the end barrier.
+                for b in 0..n_bundles {
+                    if core.owns_bundle(b) {
+                        ctrl.counts[b].store(core.bundle_events(b), Ordering::Release);
                     }
                 }
             }));
@@ -299,7 +463,22 @@ fn worker_loop(
                 ctrl.panicked.store(true, Ordering::Release);
             }
         }
+        parity ^= 1;
         ctrl.barrier.wait(); // window end
+    }
+}
+
+/// Schedules every available inbound delivery into the local queue.
+fn drain_inbox(
+    inbox: &mut Receiver<Envelope>,
+    inbound: &mut Vec<Envelope>,
+    arena: &mut PacketArena,
+    queue: &mut EventQueue,
+) {
+    inbox.drain_into(inbound);
+    for m in inbound.drain(..) {
+        let pkt = arena.insert(m.pkt);
+        queue.schedule(m.at, m.key, Event::ArriveDestination { pkt });
     }
 }
 

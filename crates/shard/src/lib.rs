@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod balance;
 mod driver;
 pub mod mailbox;
 pub mod scenario;

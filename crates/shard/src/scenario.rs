@@ -1,5 +1,6 @@
 //! Scenario adapters: run the canonical experiments on the sharded host.
 
+use bundler_sim::scenario::hot_bundle::HotBundleScenario;
 use bundler_sim::scenario::many_sites::{ManySitesReport, ManySitesScenario};
 
 use crate::ShardedSimulation;
@@ -8,27 +9,42 @@ use crate::ShardedSimulation;
 /// With `shards == 1` this is exactly [`ManySitesScenario::run`]; larger
 /// counts produce bit-identical reports from the multi-threaded host.
 pub fn run_many_sites(scenario: &ManySitesScenario, shards: usize) -> ManySitesReport {
+    run_many_sites_balanced(scenario, shards, bundler_sim::ShardBalance::RoundRobin)
+}
+
+/// [`run_many_sites`] under an explicit bundle-balancing mode. Every mode
+/// is bit-identical to every other (and to shards = 1); the choice only
+/// moves wall-clock.
+pub fn run_many_sites_balanced(
+    scenario: &ManySitesScenario,
+    shards: usize,
+    balance: bundler_sim::ShardBalance,
+) -> ManySitesReport {
     let mut config = scenario.sim_config();
     config.shards = shards;
-    let sim = ShardedSimulation::new(config, scenario.workload()).run();
-    let telemetry = sim
-        .agent_telemetry
-        .clone()
-        .expect("multi-bundle run exports telemetry");
-    let agent_stats = sim
-        .agent_stats
-        .expect("multi-bundle run exports agent stats");
-    ManySitesReport {
-        sim,
-        telemetry,
-        agent_stats,
-    }
+    config.balance = balance;
+    ManySitesReport::from_sim(ShardedSimulation::new(config, scenario.workload()).run())
+}
+
+/// Runs the skewed-load experiment on `shards` worker shards under the
+/// given balancing mode. This is the workload the rate-aware balancer
+/// exists for: one bundle carries ~50 % of flows, so a static round-robin
+/// partition leaves one shard hot while the rest idle at the barrier.
+pub fn run_hot_bundle(
+    scenario: &HotBundleScenario,
+    shards: usize,
+    balance: bundler_sim::ShardBalance,
+) -> ManySitesReport {
+    let mut config = scenario.sim_config();
+    config.shards = shards;
+    config.balance = balance;
+    ManySitesReport::from_sim(ShardedSimulation::new(config, scenario.workload()).run())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bundler_sim::SimStats;
+    use bundler_sim::{ShardBalance, SimStats};
     use bundler_types::{Duration, Rate};
 
     #[test]
@@ -49,5 +65,27 @@ mod tests {
         );
         assert_eq!(single.totals(), sharded.totals());
         assert!(sharded.all_bundles_active());
+    }
+
+    #[test]
+    fn hot_bundle_matches_single_threaded_under_both_balancers() {
+        let scenario = HotBundleScenario::builder()
+            .sites(5)
+            .requests_per_cold_site(8)
+            .offered_load_per_cold_site(Rate::from_mbps(6))
+            .drain(Duration::from_secs(2))
+            .seed(13)
+            .build();
+        let single = scenario.run();
+        let want = SimStats::of(&single.sim);
+        for balance in [ShardBalance::RoundRobin, ShardBalance::Rate] {
+            let sharded = run_hot_bundle(&scenario, 2, balance);
+            assert_eq!(
+                want,
+                SimStats::of(&sharded.sim),
+                "{balance:?} must be bit-identical to the single-threaded engine"
+            );
+            assert_eq!(single.totals(), sharded.totals());
+        }
     }
 }

@@ -1,12 +1,12 @@
 //! Property tests: the sharded runtime is bit-identical to the
 //! single-threaded engine for any seed and shard count.
 
-use bundler_shard::scenario::run_many_sites;
+use bundler_shard::scenario::{run_many_sites, run_many_sites_balanced};
 use bundler_shard::ShardedSimulation;
 use bundler_sim::scenario::many_sites::ManySitesScenario;
 use bundler_sim::sim::SimulationConfig;
 use bundler_sim::workload::FlowSpec;
-use bundler_sim::{SimStats, Simulation};
+use bundler_sim::{ShardBalance, SimStats, Simulation};
 use bundler_types::{Duration, Nanos, Rate};
 use proptest::prelude::*;
 
@@ -42,6 +42,81 @@ proptest! {
                 shards, seed
             );
             prop_assert_eq!(baseline.totals(), sharded.totals());
+        }
+    }
+
+    /// The *worst-case migration schedule*: `ShardBalance::Rotate` moves
+    /// every bundle to the next shard at every window barrier, so every
+    /// bundle's events, queued sendbox packets, TCP endhosts, agent table
+    /// slice and telemetry cross shards hundreds of times per run — and
+    /// the digest still cannot move. Rate-aware balancing (the mode that
+    /// actually ships) is asserted under the same roof.
+    #[test]
+    fn any_migration_schedule_is_bit_identical(seed in 1u64..1000, sites in 3usize..8) {
+        let scenario = quick_scenario(seed, sites);
+        let baseline = scenario.run(); // the single-threaded engine
+        let want = SimStats::of(&baseline.sim);
+        prop_assert!(want.completed > 0, "scenario must do real work");
+        for shards in [2usize, 4, 7] {
+            for balance in [ShardBalance::Rotate, ShardBalance::Rate] {
+                let sharded = run_many_sites_balanced(&scenario, shards, balance);
+                let got = SimStats::of(&sharded.sim);
+                prop_assert_eq!(
+                    &want, &got,
+                    "balance={:?} shards={} diverged from the single-threaded \
+                     engine (seed={})",
+                    balance, shards, seed
+                );
+                prop_assert_eq!(baseline.totals(), sharded.totals());
+            }
+        }
+    }
+}
+
+/// Classic (non-agent) mode under the rotating worst case: every event
+/// type — pings, cross traffic, multipath, status-quo bundles — migrates
+/// every barrier and the digest stays put.
+#[test]
+fn classic_mode_survives_worst_case_migration() {
+    use bundler_core::BundlerConfig;
+    use bundler_sim::edge::BundleMode;
+
+    let config = SimulationConfig {
+        duration: Duration::from_secs(6),
+        bottleneck_rate: Rate::from_mbps(48),
+        rtt: Duration::from_millis(40),
+        num_paths: 2,
+        path_delay_spread: Duration::from_millis(5),
+        bundles: vec![
+            BundleMode::Bundler(BundlerConfig::default()),
+            BundleMode::StatusQuo,
+            BundleMode::Bundler(BundlerConfig::default()),
+        ],
+        ..Default::default()
+    };
+    let workload = || {
+        vec![
+            FlowSpec::bundled(1, 900_000, Nanos::ZERO, 0),
+            FlowSpec::bundled(2, FlowSpec::BACKLOGGED, Nanos::from_millis(15), 1),
+            FlowSpec::bundled(3, 300_000, Nanos::from_millis(40), 2),
+            FlowSpec::direct(4, 400_000, Nanos::from_millis(25)),
+            FlowSpec::bundled(5, 40, Nanos::from_millis(10), 0).as_ping(),
+            FlowSpec::bundled(6, 120_000, Nanos::from_millis(350), 2),
+        ]
+    };
+    let baseline = Simulation::new(config.clone(), workload()).run();
+    let want = SimStats::of(&baseline);
+    assert!(want.completed >= 4);
+    for shards in [2usize, 3] {
+        for balance in [ShardBalance::Rotate, ShardBalance::Rate] {
+            let mut cfg = config.clone();
+            cfg.shards = shards;
+            cfg.balance = balance;
+            let got = SimStats::of(&ShardedSimulation::new(cfg, workload()).run());
+            assert_eq!(
+                want, got,
+                "classic mode diverged at shards={shards} balance={balance:?}"
+            );
         }
     }
 }

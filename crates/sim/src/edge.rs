@@ -470,6 +470,100 @@ impl MultiBundle {
             .get(&bundle)
             .and_then(|&s| self.receiveboxes.get(s))
     }
+
+    /// Lifts bundle `bundle` (global index) out of this edge with all of
+    /// its live state — control plane, token-bucket datapath (queued
+    /// packets included), receivebox, telemetry series — for
+    /// [`MultiBundle::adopt`] on another edge. Returns `None` for an
+    /// unmanaged index. The caller re-homes the datapath's queued packets
+    /// between arenas via [`DetachedEdgeBundle::for_each_pkt_mut`].
+    pub fn extract(&mut self, bundle: usize) -> Option<DetachedEdgeBundle> {
+        let slot = self.slot_of.remove(&bundle)?;
+        self.ids.remove(slot);
+        for s in self.slot_of.values_mut() {
+            if *s > slot {
+                *s -= 1;
+            }
+        }
+        let agent = self
+            .agent
+            .remove_bundle(bundle)
+            .expect("slot table and agent agree on managed bundles");
+        Some(DetachedEdgeBundle {
+            agent,
+            index: bundle,
+            datapath: self.datapaths.remove(slot),
+            receivebox: self.receiveboxes.remove(slot),
+            release_scheduled: self.release_scheduled.remove(slot),
+            queue_delay_ms: self.queue_delay_ms.remove(slot),
+            mode_timeline: self.mode_timeline.remove(slot),
+            last_mode: self.last_modes.remove(slot),
+        })
+    }
+
+    /// Installs a bundle extracted from another edge, preserving every
+    /// piece of its state. The slot order stays ascending by global index
+    /// (the invariant [`MultiBundle::partition`] establishes). Fails if the
+    /// index is already managed or a prefix conflicts.
+    pub fn adopt(&mut self, detached: DetachedEdgeBundle, now: Nanos) -> Result<(), String> {
+        let bundle = detached.index;
+        if self.slot_of.contains_key(&bundle) {
+            return Err(format!("bundle {bundle} is already managed here"));
+        }
+        self.agent.adopt_bundle(detached.agent, now)?;
+        let slot = self.ids.partition_point(|&b| b < bundle);
+        for s in self.slot_of.values_mut() {
+            if *s >= slot {
+                *s += 1;
+            }
+        }
+        self.ids.insert(slot, bundle);
+        self.slot_of.insert(bundle, slot);
+        self.datapaths.insert(slot, detached.datapath);
+        self.receiveboxes.insert(slot, detached.receivebox);
+        self.release_scheduled
+            .insert(slot, detached.release_scheduled);
+        self.queue_delay_ms.insert(slot, detached.queue_delay_ms);
+        self.mode_timeline.insert(slot, detached.mode_timeline);
+        self.last_modes.insert(slot, detached.last_mode);
+        Ok(())
+    }
+}
+
+/// One bundle's complete site-edge state in transit between two
+/// [`MultiBundle`] edges (the sharded runtime migrating a bundle between
+/// worker shards). Everything a bundle owns at the edge travels together:
+/// the agent-held control plane, the token-bucket datapath with its queued
+/// packets, the remote receivebox, and the telemetry accumulated so far.
+#[derive(Debug)]
+pub struct DetachedEdgeBundle {
+    agent: bundler_agent::DetachedBundle,
+    index: usize,
+    datapath: Tbf,
+    receivebox: Receivebox,
+    release_scheduled: bool,
+    queue_delay_ms: TimeSeries,
+    mode_timeline: Vec<(Nanos, String)>,
+    last_mode: Mode,
+}
+
+impl DetachedEdgeBundle {
+    /// The bundle's global index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Whether a release event was scheduled when the bundle was lifted.
+    pub fn release_scheduled(&self) -> bool {
+        self.release_scheduled
+    }
+
+    /// Visits every packet id queued in the detached datapath (see
+    /// [`Tbf::for_each_pkt_mut`]): how queued packets are moved out of the
+    /// source shard's arena and into the destination shard's.
+    pub fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId)) {
+        self.datapath.for_each_pkt_mut(f);
+    }
 }
 
 #[cfg(test)]

@@ -259,6 +259,26 @@ impl EventQueue {
         }
     }
 
+    /// Removes and returns every pending event matching `pred`, sorted by
+    /// the canonical `(timestamp, key)` order; everything else stays
+    /// queued, undisturbed. O(pending) — this is how the sharded runtime
+    /// migrates a logical process's pending events between shards at a
+    /// window barrier, never how the hot path runs.
+    pub fn extract_if(
+        &mut self,
+        mut pred: impl FnMut(&Event) -> bool,
+    ) -> Vec<(Nanos, EventKey, Event)> {
+        let mut out: Vec<(Nanos, EventKey, Event)> = match &mut self.inner {
+            Inner::Wheel(q) => q.extract_if(&mut pred),
+            Inner::Heap(q) => q.extract_if(&mut pred),
+        }
+        .into_iter()
+        .map(|(at, key, event)| (at, EventKey(key), event))
+        .collect();
+        out.sort_unstable_by_key(|&(at, key, _)| (at, key));
+        out
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         match &self.inner {

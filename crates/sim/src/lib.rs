@@ -37,5 +37,5 @@ pub mod stats;
 pub mod tcp;
 pub mod workload;
 
-pub use sim::{Simulation, SimulationConfig};
+pub use sim::{ShardBalance, Simulation, SimulationConfig};
 pub use stats::{SimReport, SimStats};

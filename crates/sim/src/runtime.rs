@@ -30,7 +30,7 @@ use bundler_types::{
     flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, PacketKind, Rate,
 };
 
-use crate::edge::{Bundle, BundleMode, MultiBundle};
+use crate::edge::{Bundle, BundleMode, DetachedEdgeBundle, MultiBundle};
 use crate::event::{Event, EventKey, EventQueue};
 use crate::path::{Balancing, BottleneckPath, LoadBalancer};
 use crate::sim::SimulationConfig;
@@ -152,6 +152,11 @@ impl Partition {
 pub struct WorkerCore {
     config: SimulationConfig,
     part: Partition,
+    /// Which bundles this worker currently owns. Starts as the partition's
+    /// static assignment; [`WorkerCore::extract_bundle`] /
+    /// [`WorkerCore::adopt_bundle`] move entries at window barriers when
+    /// the sharded driver rebalances.
+    owned: Vec<bool>,
     n_bundles: usize,
     /// The full workload table; `Event::FlowArrival` indexes into it. Only
     /// arrivals for owned LPs are scheduled.
@@ -165,6 +170,11 @@ pub struct WorkerCore {
     ping_origin: FnvHashMap<FlowId, Origin>,
     /// Per-LP schedule sequence counters, indexed by LP id.
     seqs: Vec<u64>,
+    /// Events handled per LP, indexed by LP id: the measured load signal
+    /// the rate-aware balancer packs bundles by. Attributed where the
+    /// handler has already resolved the LP, so counting adds no lookups to
+    /// the hot path; migrates with the bundle so rates stay cumulative.
+    lp_events: Vec<u64>,
     forward_delay: Duration,
     reverse_delay: Duration,
     /// Delivered payload bytes per bundle since the last sample.
@@ -193,19 +203,36 @@ pub struct WorkerCore {
 }
 
 impl WorkerCore {
-    /// Builds the worker owning partition `part` of the configured edge.
-    /// Panics if a bundle configuration is invalid (checked identically on
-    /// every worker).
+    /// Builds the worker owning partition `part` of the configured edge
+    /// (the static round-robin assignment). Panics if a bundle
+    /// configuration is invalid (checked identically on every worker).
     pub fn new(config: &SimulationConfig, workload: &[FlowSpec], part: Partition) -> Self {
+        let owned = (0..config.n_bundles())
+            .map(|b| part.owns_bundle(b))
+            .collect();
+        Self::with_owned(config, workload, part, owned)
+    }
+
+    /// Builds the worker with an explicit initial bundle-ownership vector
+    /// (one flag per bundle index) — how the sharded driver seeds a
+    /// non-round-robin partition, e.g. one that keeps classification
+    /// co-location groups together before the rate-aware balancer has any
+    /// measurements. `part` still fixes the worker's index and count (and
+    /// therefore ownership of the direct cross-traffic LP).
+    pub fn with_owned(
+        config: &SimulationConfig,
+        workload: &[FlowSpec],
+        part: Partition,
+        owned: Vec<bool>,
+    ) -> Self {
         let forward_delay = Duration(config.rtt.as_nanos() / 2);
         let reverse_delay = config.rtt - forward_delay;
         let n_bundles = config.n_bundles();
+        debug_assert_eq!(owned.len(), n_bundles);
         let (bundles, multi) = match &config.multi_bundle {
             Some(mode) => {
-                let owned: Vec<usize> = (0..mode.specs.len())
-                    .filter(|&b| part.owns_bundle(b))
-                    .collect();
-                let edge = MultiBundle::partition(mode.agent, &mode.specs, &owned, Nanos::ZERO)
+                let owned_ids: Vec<usize> = (0..mode.specs.len()).filter(|&b| owned[b]).collect();
+                let edge = MultiBundle::partition(mode.agent, &mode.specs, &owned_ids, Nanos::ZERO)
                     .expect("invalid multi-bundle specs");
                 (Vec::new(), Some(edge))
             }
@@ -213,7 +240,7 @@ impl WorkerCore {
                 let mut bundles = Vec::new();
                 for (i, mode) in config.bundles.iter().enumerate() {
                     match mode {
-                        _ if !part.owns_bundle(i) => bundles.push(None),
+                        _ if !owned[i] => bundles.push(None),
                         BundleMode::StatusQuo => bundles.push(None),
                         BundleMode::Bundler(cfg) => bundles.push(Some(
                             Bundle::new(i, *cfg, Nanos::ZERO).expect("invalid bundler config"),
@@ -226,6 +253,7 @@ impl WorkerCore {
         WorkerCore {
             config: config.clone(),
             part,
+            owned,
             n_bundles,
             specs: workload.to_vec(),
             bundles,
@@ -234,6 +262,7 @@ impl WorkerCore {
             pings: FnvHashMap::default(),
             ping_origin: FnvHashMap::default(),
             seqs: vec![0; LP_BUNDLE0 as usize + n_bundles],
+            lp_events: vec![0; LP_BUNDLE0 as usize + n_bundles],
             forward_delay,
             reverse_delay,
             bundle_delivered: vec![0; n_bundles],
@@ -251,14 +280,27 @@ impl WorkerCore {
         }
     }
 
-    /// The partition this worker owns.
+    /// The partition this worker was built with (static index and worker
+    /// count; current bundle ownership may differ after migrations).
     pub fn partition(&self) -> Partition {
         self.part
+    }
+
+    /// True if this worker currently owns bundle `b`.
+    pub fn owns_bundle(&self, b: usize) -> bool {
+        self.owned.get(b).copied().unwrap_or(false)
     }
 
     /// Events this core has handled.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Events handled so far on behalf of bundle `b` (cumulative across
+    /// migrations — the count travels with the bundle). The sharded
+    /// driver's rate-aware balancer packs bundles by deltas of this.
+    pub fn bundle_events(&self, b: usize) -> u64 {
+        self.lp_events[bundle_lp(b) as usize]
     }
 
     /// Packets this core's endhosts have created.
@@ -271,7 +313,7 @@ impl WorkerCore {
         if lp == LP_DIRECT {
             self.part.owns_direct()
         } else {
-            self.part.owns_bundle((lp - LP_BUNDLE0) as usize)
+            self.owned[(lp - LP_BUNDLE0) as usize]
         }
     }
 
@@ -281,6 +323,12 @@ impl WorkerCore {
         let seq = &mut self.seqs[lp as usize];
         *seq += 1;
         EventKey::new(lp, *seq)
+    }
+
+    /// Attributes one handled event to `lp` for the load measurement.
+    #[inline]
+    fn note_event(&mut self, lp: u16) {
+        self.lp_events[lp as usize] += 1;
     }
 
     /// The LP owning a flow (for events routed by flow id).
@@ -309,7 +357,7 @@ impl WorkerCore {
             queue.schedule(start, key, Event::FlowArrival { spec: i as u32 });
         }
         for b in 0..self.n_bundles {
-            if !self.part.owns_bundle(b) {
+            if !self.owned[b] {
                 continue;
             }
             let interval = if let Some(multi) = self.multi.as_ref() {
@@ -334,7 +382,7 @@ impl WorkerCore {
             queue.schedule(Nanos::ZERO + sample, key, Event::Sample { lp: LP_DIRECT });
         }
         for b in 0..self.n_bundles {
-            if self.part.owns_bundle(b) {
+            if self.owned[b] {
                 let key = self.key_for(bundle_lp(b));
                 queue.schedule(
                     Nanos::ZERO + sample,
@@ -360,6 +408,7 @@ impl WorkerCore {
             Event::ArriveDestination { pkt } => self.on_arrive_destination(pkt, now, arena, queue),
             Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now, arena, queue, to_net),
             Event::CongestionAckArrive { ack } => {
+                self.note_event(bundle_lp(ack.bundle.0 as usize));
                 if let Some(multi) = self.multi.as_mut() {
                     multi.on_congestion_ack(&ack, now);
                 } else if let Some(Some(b)) = self.bundles.get_mut(ack.bundle.0 as usize) {
@@ -368,18 +417,26 @@ impl WorkerCore {
             }
             Event::EpochUpdateArrive { update } => {
                 let bundle = update.bundle.0 as usize;
+                self.note_event(bundle_lp(bundle));
                 if let Some(multi) = self.multi.as_mut() {
                     multi.on_epoch_update(bundle, &update);
                 } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
                     b.receivebox.on_epoch_update(&update);
                 }
             }
-            Event::ControlTick { bundle } => self.on_control_tick(bundle as usize, now, queue),
+            Event::ControlTick { bundle } => {
+                self.note_event(bundle_lp(bundle as usize));
+                self.on_control_tick(bundle as usize, now, queue)
+            }
             Event::SendboxRelease { bundle } => {
+                self.note_event(bundle_lp(bundle as usize));
                 self.on_sendbox_release(bundle as usize, now, arena, queue, to_net)
             }
             Event::RtoCheck { flow } => self.on_rto_check(flow, now, arena, queue, to_net),
-            Event::Sample { lp } => self.on_sample(lp, now, queue),
+            Event::Sample { lp } => {
+                self.note_event(lp);
+                self.on_sample(lp, now, queue)
+            }
             Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } => {
                 unreachable!("net event routed to a worker core")
             }
@@ -416,6 +473,7 @@ impl WorkerCore {
     ) {
         let spec = self.specs[spec_index as usize].clone();
         let lp = origin_lp(spec.origin);
+        self.note_event(lp);
         let key = flow_key(spec.id.0, spec.origin);
         if spec.is_ping {
             let mut client = PingClient::new(spec.id, key, spec.size_bytes.max(40) as u32);
@@ -537,6 +595,7 @@ impl WorkerCore {
             .or_else(|| self.ping_origin.get(&flow_id).copied())
             .unwrap_or(Origin::Direct);
         let lp = origin_lp(origin);
+        self.note_event(lp);
 
         // The receivebox observes every bundled data packet arriving at the
         // destination site (each bundle's remote site has its own).
@@ -616,6 +675,7 @@ impl WorkerCore {
             (p.flow, p.seq, p.sack_highest)
         };
         let lp = self.flow_lp(flow_id);
+        self.note_event(lp);
         // Whatever arrives back at the source (transport ACK or ping
         // response) terminates here.
         arena.free(pkt);
@@ -781,6 +841,7 @@ impl WorkerCore {
         to_net: &mut Vec<ToNet>,
     ) {
         let lp = self.flow_lp(flow);
+        self.note_event(lp);
         let next = match self.flows.get_mut(&flow) {
             Some(f) => f.sender.on_rto_check(now, arena, &mut self.pkt_buf),
             None => return,
@@ -837,6 +898,191 @@ impl WorkerCore {
         queue.schedule(now + self.config.sample_interval, k, Event::Sample { lp });
     }
 
+    /// The site-side LP an event is handled by — the routing rule bundle
+    /// migration extracts pending events with. Flow-routed events resolve
+    /// through the flow tables, so this must run while they are intact.
+    fn event_lp(&self, event: &Event, arena: &PacketArena) -> u16 {
+        match *event {
+            Event::FlowArrival { spec } => origin_lp(self.specs[spec as usize].origin),
+            Event::ArriveDestination { pkt } | Event::ArriveSource { pkt } => {
+                self.flow_lp(arena[pkt].flow)
+            }
+            Event::CongestionAckArrive { ack } => bundle_lp(ack.bundle.0 as usize),
+            Event::EpochUpdateArrive { update } => bundle_lp(update.bundle.0 as usize),
+            Event::ControlTick { bundle } | Event::SendboxRelease { bundle } => {
+                bundle_lp(bundle as usize)
+            }
+            Event::RtoCheck { flow } => self.flow_lp(flow),
+            Event::Sample { lp } => lp,
+            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } => {
+                unreachable!("net event in a worker queue")
+            }
+        }
+    }
+
+    /// Lifts bundle `bundle`'s entire complex off this worker: its pending
+    /// events (with their packets moved out of `arena`), its sendbox edge
+    /// state, its flows' TCP endhosts and ping clients, its LP sequence and
+    /// load counters, and its telemetry series. Safe only at a window
+    /// barrier — between windows no event for the bundle is in flight
+    /// anywhere except this worker's queue and inbox (the caller drains the
+    /// inbox into the queue first), and results are partition-invariant by
+    /// construction, so *when* and *where* the bundle lands cannot change
+    /// the simulation (property-tested in `bundler-shard`).
+    pub fn extract_bundle(
+        &mut self,
+        bundle: usize,
+        queue: &mut EventQueue,
+        arena: &mut PacketArena,
+    ) -> BundleParcel {
+        assert!(
+            self.owned[bundle],
+            "extracting bundle {bundle}, which this worker does not own"
+        );
+        self.owned[bundle] = false;
+        let lp = bundle_lp(bundle);
+        // Pending events targeted at the bundle's LP, in canonical
+        // (timestamp, key) order; the same order rewrites packet ids on
+        // adoption, so the two passes pair up exactly.
+        let mut events = queue.extract_if(|e| self.event_lp(e, arena) == lp);
+        let mut event_pkts = Vec::new();
+        for (_, _, e) in events.iter_mut() {
+            if let Event::ArriveDestination { pkt } | Event::ArriveSource { pkt } = e {
+                event_pkts.push(arena.remove(*pkt));
+            }
+        }
+        let mut edge_pkts = Vec::new();
+        let edge = if let Some(multi) = self.multi.as_mut() {
+            let mut detached = multi
+                .extract(bundle)
+                .expect("agent-mode worker manages every owned bundle");
+            detached.for_each_pkt_mut(&mut |id| edge_pkts.push(arena.remove(*id)));
+            EdgeParcel::Multi(Box::new(detached))
+        } else {
+            match self.bundles[bundle].take() {
+                Some(mut b) => {
+                    b.tbf
+                        .for_each_pkt_mut(&mut |id| edge_pkts.push(arena.remove(*id)));
+                    EdgeParcel::Classic(Box::new(b))
+                }
+                // Status-quo bundles have no sendbox; their flows and
+                // telemetry still migrate.
+                None => EdgeParcel::None,
+            }
+        };
+        let mut flow_ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| matches!(f.origin, Origin::Bundle(b) if b == bundle))
+            .map(|(id, _)| *id)
+            .collect();
+        flow_ids.sort();
+        let flows = flow_ids
+            .into_iter()
+            .map(|id| (id, self.flows.remove(&id).expect("listed above")))
+            .collect();
+        let mut ping_ids: Vec<FlowId> = self
+            .ping_origin
+            .iter()
+            .filter(|(_, o)| matches!(o, Origin::Bundle(b) if *b == bundle))
+            .map(|(id, _)| *id)
+            .collect();
+        ping_ids.sort();
+        let pings = ping_ids
+            .into_iter()
+            .map(|id| {
+                let origin = self.ping_origin.remove(&id).expect("listed above");
+                // A ping whose first request is still in flight has an
+                // origin entry but no client yet — mirror that on arrival.
+                (id, self.pings.remove(&id), origin)
+            })
+            .collect();
+        BundleParcel {
+            bundle,
+            seq: std::mem::take(&mut self.seqs[lp as usize]),
+            lp_events: std::mem::take(&mut self.lp_events[lp as usize]),
+            delivered: std::mem::take(&mut self.bundle_delivered[bundle]),
+            events,
+            event_pkts,
+            edge,
+            edge_pkts,
+            flows,
+            pings,
+            throughput: std::mem::take(&mut self.bundle_throughput_mbps[bundle]),
+            pacing: std::mem::take(&mut self.bundle_pacing_rate_mbps[bundle]),
+            rtt_estimate: std::mem::take(&mut self.bundle_rtt_estimate_ms[bundle]),
+            recv_rate: std::mem::take(&mut self.bundle_recv_rate_estimate_mbps[bundle]),
+        }
+    }
+
+    /// Installs a bundle complex extracted from another worker, rewriting
+    /// every migrated packet into this worker's `arena` and scheduling the
+    /// bundle's pending events into `queue` under their original
+    /// `(timestamp, key)` — the canonical order guarantees the merged
+    /// stream is exactly what the single-threaded engine would run. `now`
+    /// is the current window start (only used to re-anchor the agent's
+    /// tick wheel, which event-driven hosts never consult).
+    pub fn adopt_bundle(
+        &mut self,
+        parcel: BundleParcel,
+        queue: &mut EventQueue,
+        arena: &mut PacketArena,
+        now: Nanos,
+    ) {
+        let bundle = parcel.bundle;
+        assert!(
+            !self.owned[bundle],
+            "adopting bundle {bundle}, which this worker already owns"
+        );
+        self.owned[bundle] = true;
+        let lp = bundle_lp(bundle);
+        self.seqs[lp as usize] = parcel.seq;
+        self.lp_events[lp as usize] = parcel.lp_events;
+        self.bundle_delivered[bundle] = parcel.delivered;
+        self.bundle_throughput_mbps[bundle] = parcel.throughput;
+        self.bundle_pacing_rate_mbps[bundle] = parcel.pacing;
+        self.bundle_rtt_estimate_ms[bundle] = parcel.rtt_estimate;
+        self.bundle_recv_rate_estimate_mbps[bundle] = parcel.recv_rate;
+        let mut edge_pkts = parcel.edge_pkts.into_iter();
+        match parcel.edge {
+            EdgeParcel::Multi(mut detached) => {
+                detached.for_each_pkt_mut(&mut |id| {
+                    *id = arena.insert(edge_pkts.next().expect("one packet per queued id"));
+                });
+                self.multi
+                    .as_mut()
+                    .expect("agent-mode worker")
+                    .adopt(*detached, now)
+                    .expect("migrated bundle must install cleanly");
+            }
+            EdgeParcel::Classic(mut b) => {
+                b.tbf.for_each_pkt_mut(&mut |id| {
+                    *id = arena.insert(edge_pkts.next().expect("one packet per queued id"));
+                });
+                self.bundles[bundle] = Some(*b);
+            }
+            EdgeParcel::None => {}
+        }
+        debug_assert!(edge_pkts.next().is_none(), "datapath packet count moved");
+        let mut event_pkts = parcel.event_pkts.into_iter();
+        for (at, key, mut event) in parcel.events {
+            if let Event::ArriveDestination { pkt } | Event::ArriveSource { pkt } = &mut event {
+                *pkt = arena.insert(event_pkts.next().expect("one packet per packet event"));
+            }
+            queue.schedule(at, key, event);
+        }
+        debug_assert!(event_pkts.next().is_none(), "event packet count moved");
+        for (id, f) in parcel.flows {
+            self.flows.insert(id, f);
+        }
+        for (id, ping, origin) in parcel.pings {
+            self.ping_origin.insert(id, origin);
+            if let Some(ping) = ping {
+                self.pings.insert(id, ping);
+            }
+        }
+    }
+
     /// Read access to a bundle's sendbox control plane (tests).
     pub fn bundle_control(&self, bundle: usize) -> Option<&bundler_core::Sendbox> {
         self.bundles
@@ -857,6 +1103,56 @@ impl WorkerCore {
     pub fn multi_bundle(&self) -> Option<&MultiBundle> {
         self.multi.as_ref()
     }
+}
+
+/// One bundle's complete complex in transit between two [`WorkerCore`]s:
+/// pending events (packets lifted out of the source arena and carried by
+/// value), the sendbox edge state, TCP endhosts and ping clients, the LP's
+/// sequence/load counters and accumulated telemetry. Produced by
+/// [`WorkerCore::extract_bundle`], consumed by
+/// [`WorkerCore::adopt_bundle`]; opaque to the sharded driver, which only
+/// ferries it across the migration barrier.
+pub struct BundleParcel {
+    bundle: usize,
+    /// The bundle LP's schedule-sequence counter — the key stream must
+    /// continue exactly where it left off or canonical order would fork.
+    seq: u64,
+    /// The bundle LP's cumulative handled-event count (the load signal).
+    lp_events: u64,
+    /// Delivered-bytes accumulator for the next throughput sample.
+    delivered: u64,
+    /// Pending events in canonical order; packet ids are stale until
+    /// adoption rewrites them against `event_pkts`.
+    events: Vec<(Nanos, EventKey, Event)>,
+    /// One packet per packet-bearing entry of `events`, in the same order.
+    event_pkts: Vec<Packet>,
+    edge: EdgeParcel,
+    /// The sendbox datapath's queued packets, in the edge's traversal
+    /// order.
+    edge_pkts: Vec<Packet>,
+    flows: Vec<(FlowId, FlowState)>,
+    pings: Vec<(FlowId, Option<PingClient>, Origin)>,
+    throughput: TimeSeries,
+    pacing: TimeSeries,
+    rtt_estimate: TimeSeries,
+    recv_rate: TimeSeries,
+}
+
+impl BundleParcel {
+    /// The global index of the bundle in transit.
+    pub fn bundle(&self) -> usize {
+        self.bundle
+    }
+}
+
+/// The edge-mode-specific part of a [`BundleParcel`].
+enum EdgeParcel {
+    /// Classic mode, no sendbox deployed (status quo): nothing to move.
+    None,
+    /// Classic mode with a deployed sendbox/receivebox pair.
+    Classic(Box<Bundle>),
+    /// Agent mode: the bundle's slice of the `MultiBundle` edge.
+    Multi(Box<DetachedEdgeBundle>),
 }
 
 /// Drains one release burst from a sendbox datapath: up to 64 packets per
@@ -1127,7 +1423,7 @@ pub fn assemble_report(
         report.events_processed += w.events_processed;
         report.packets_created += w.packets_created;
         for b in 0..n_bundles {
-            if !w.part.owns_bundle(b) {
+            if !w.owned[b] {
                 continue;
             }
             report.bundle_throughput_mbps[b] = std::mem::take(&mut w.bundle_throughput_mbps[b]);

@@ -127,6 +127,24 @@ pub struct ManySitesReport {
 }
 
 impl ManySitesReport {
+    /// Wraps a finished multi-bundle simulation report, pulling out the
+    /// agent telemetry and counters every agent-backed scenario exports.
+    /// Panics if the run did not use a multi-bundle edge.
+    pub fn from_sim(sim: SimReport) -> ManySitesReport {
+        let telemetry = sim
+            .agent_telemetry
+            .clone()
+            .expect("multi-bundle run exports telemetry");
+        let agent_stats = sim
+            .agent_stats
+            .expect("multi-bundle run exports agent stats");
+        ManySitesReport {
+            sim,
+            telemetry,
+            agent_stats,
+        }
+    }
+
     /// Sums the per-bundle lifetime counters from the telemetry export.
     pub fn totals(&self) -> SendboxStats {
         self.telemetry.totals()
@@ -218,19 +236,7 @@ impl ManySitesScenario {
 
     /// Runs the experiment.
     pub fn run(&self) -> ManySitesReport {
-        let sim = Simulation::new(self.sim_config(), self.workload()).run();
-        let telemetry = sim
-            .agent_telemetry
-            .clone()
-            .expect("multi-bundle run exports telemetry");
-        let agent_stats = sim
-            .agent_stats
-            .expect("multi-bundle run exports agent stats");
-        ManySitesReport {
-            sim,
-            telemetry,
-            agent_stats,
-        }
+        ManySitesReport::from_sim(Simulation::new(self.sim_config(), self.workload()).run())
     }
 }
 

@@ -3,7 +3,8 @@
 //!
 //! The hot path is allocation-free in steady state: packets live in a
 //! [`PacketArena`] and move through queues and events as 4-byte
-//! [`PacketId`]s, endhosts emit into reusable scratch buffers, and the
+//! [`PacketId`](bundler_types::PacketId)s, endhosts emit into reusable
+//! scratch buffers, and the
 //! event queue is a calendar queue with O(1) amortized operations
 //! (selectable via [`SimulationConfig::event_engine`] for A/B
 //! measurement against the reference binary heap).
@@ -69,6 +70,36 @@ pub struct SimulationConfig {
     /// across that many worker threads and produces bit-identical results;
     /// the plain [`Simulation`] ignores the field.
     pub shards: usize,
+    /// How the sharded host assigns bundles to worker shards (ignored by
+    /// the plain [`Simulation`] and when `shards == 1`). Every mode
+    /// produces bit-identical results — placement is invisible by
+    /// construction — so this only trades load balance against migration
+    /// work.
+    pub balance: ShardBalance,
+}
+
+/// Bundle-to-shard assignment policy for the multi-threaded host.
+///
+/// Results are **identical** across all modes (and to the single-threaded
+/// engine): event order is canonical and re-partitioning happens only at
+/// window barriers, where no cross-shard message is in flight. The choice
+/// affects wall-clock only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBalance {
+    /// Static round-robin (`bundle % shards`) — PR 4's partition. A heavy
+    /// bundle serializes its shard while the others idle at the barrier.
+    #[default]
+    RoundRobin,
+    /// Rate-aware: periodically re-pack bundles across shards with a
+    /// deterministic greedy bin-pack (longest processing time first) over
+    /// the measured per-bundle event rates, migrating whole bundle
+    /// complexes at window barriers.
+    Rate,
+    /// Adversarial schedule for tests: rotate **every** bundle to the next
+    /// shard at every rebalancing barrier, regardless of load. Maximizes
+    /// migration churn to prove any schedule is bit-identical; never worth
+    /// running for performance.
+    Rotate,
 }
 
 /// Configuration of a [`MultiBundle`] source edge.
@@ -96,6 +127,7 @@ impl Default for SimulationConfig {
             sample_interval: Duration::from_millis(50),
             event_engine: EventEngine::default(),
             shards: 1,
+            balance: ShardBalance::default(),
         }
     }
 }

@@ -37,6 +37,21 @@ impl std::fmt::Display for PacketId {
 }
 
 /// Slab arena of [`Packet`]s with free-list recycling.
+///
+/// # Example
+///
+/// ```
+/// use bundler_types::{flow::ipv4, FlowId, FlowKey, Nanos, Packet, PacketArena};
+///
+/// let mut arena = PacketArena::new();
+/// let key = FlowKey::tcp(ipv4(10, 0, 0, 1), 4000, ipv4(10, 1, 0, 1), 443);
+/// let id = arena.insert(Packet::data(FlowId(1), key, 0, 1460, Nanos::ZERO));
+/// assert_eq!(arena[id].payload, 1460);   // index by id, not by value
+/// arena.free(id);                        // consume: the slot recycles
+/// let id2 = arena.insert(Packet::data(FlowId(2), key, 0, 100, Nanos::ZERO));
+/// assert_eq!(id2.index(), id.index(), "freed slot is reused");
+/// assert_eq!(arena.recycled(), 1);
+/// ```
 #[derive(Debug, Default, Clone)]
 pub struct PacketArena {
     slots: Vec<Packet>,

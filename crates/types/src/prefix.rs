@@ -16,6 +16,19 @@ use serde::{Deserialize, Serialize};
 /// The network address is stored in canonical form — bits below the mask
 /// length are zero — so two `IpPrefix` values compare equal exactly when
 /// they describe the same address block.
+///
+/// # Example
+///
+/// ```
+/// use bundler_types::{flow::ipv4, IpPrefix};
+///
+/// let site: IpPrefix = "10.1.3.0/24".parse().unwrap();
+/// assert_eq!(site, IpPrefix::new(ipv4(10, 1, 3, 0), 24).unwrap());
+/// assert!(site.contains(ipv4(10, 1, 3, 77)));
+/// assert!(!site.contains(ipv4(10, 1, 4, 1)));
+/// // Host bits are canonicalized away.
+/// assert_eq!(IpPrefix::new(ipv4(10, 1, 3, 99), 24).unwrap(), site);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct IpPrefix {
     addr: u32,

@@ -18,12 +18,22 @@
 //! re-packing buys over the static round-robin partition — every cell is
 //! digest-asserted against the single-threaded engine first.
 //!
+//! Since PR 6 there is a third axis, `--obs {off,metrics,full}`: the
+//! `many_sites` scenario re-runs on the calendar wheel at each recording
+//! level, digest-asserted against the obs-off baseline (observability is
+//! a pure output) and reported as an in-run ev/s ratio — the price of
+//! recording, measured the machine-independent way. The report also runs
+//! the sharded host once with the phase profiler on and embeds the
+//! per-window busy/stall/net wall-time breakdown.
+//!
 //! Usage: `cargo run --release -p bundler-bench --bin bench_report -- \
-//!     [--out PATH] [--shards N,M,...] [--balance roundrobin,rate]`
+//!     [--out PATH] [--shards N,M,...] [--balance roundrobin,rate] \
+//!     [--obs off,metrics,full]`
 
 use std::time::Instant;
 
 use bundler_bench::Scale;
+use bundler_obs::ObsLevel;
 use bundler_shard::ShardedSimulation;
 use bundler_sim::event::EventEngine;
 use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
@@ -96,9 +106,10 @@ fn json_number(v: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut out_path = "BENCH_PR6.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4];
     let mut balances: Vec<ShardBalance> = vec![ShardBalance::RoundRobin, ShardBalance::Rate];
+    let mut obs_levels: Vec<ObsLevel> = vec![ObsLevel::Metrics, ObsLevel::Full];
     // Optional: best wall time (seconds) of the pre-PR simulator running
     // the same many_sites configuration, measured separately on the same
     // machine (the old binary has no event counter; the simulations are
@@ -135,6 +146,22 @@ fn main() {
                         })
                         .collect();
                 }
+                "--obs" => {
+                    obs_levels = args
+                        .next()
+                        .expect("--obs needs a comma-separated list")
+                        .split(',')
+                        .map(|s| match s {
+                            "off" => ObsLevel::Off,
+                            "metrics" => ObsLevel::Metrics,
+                            "full" => ObsLevel::Full,
+                            other => panic!("unknown obs level {other}"),
+                        })
+                        .collect();
+                    // Off is always measured — it is the baseline every
+                    // other level's ratio is taken against.
+                    obs_levels.retain(|&l| l != ObsLevel::Off);
+                }
                 "--seed-wall-secs" => {
                     seed_wall_secs = Some(
                         args.next()
@@ -145,7 +172,8 @@ fn main() {
                 }
                 other => panic!(
                     "unknown argument {other} (supported: --out PATH, --shards N,M, \
-                     --balance roundrobin,rate, --seed-wall-secs SECS)"
+                     --balance roundrobin,rate, --obs off,metrics,full, \
+                     --seed-wall-secs SECS)"
                 ),
             }
         }
@@ -212,6 +240,7 @@ fn main() {
     let mut many_sites_wheel_ev_s = 0.0;
     let mut many_sites_events = 0u64;
     let mut many_sites_packets = 0u64;
+    let mut many_sites_wheel_fp = None;
     for (name, config, workload) in cases {
         let (heap_stats, heap_report) = best(name, &config, &workload, EventEngine::BinaryHeap);
         let (wheel_stats, wheel_report) =
@@ -234,6 +263,7 @@ fn main() {
             many_sites_wheel_ev_s = wheel_stats.events_per_sec;
             many_sites_events = wheel_stats.events;
             many_sites_packets = wheel_stats.packets;
+            many_sites_wheel_fp = Some(fingerprint(&wheel_report));
         }
         speedups.push((format!("{name}_wheel_vs_inrun_heap"), speedup));
         runs.push(heap_stats);
@@ -256,6 +286,40 @@ fn main() {
             "      many_sites: seed event core {seed_ev_s:>10.0} ev/s | wheel vs seed {vs_seed:.2}x"
         );
         speedups.push(("many_sites_wheel_vs_seed_core".to_string(), vs_seed));
+    }
+
+    // Obs axis: many_sites on the calendar wheel at each recording level.
+    // The obs-off cell above is the baseline; recording must not move the
+    // simulation (asserted on the full FCT fingerprint — observability is
+    // a pure output), and its cost is reported as an in-run ev/s ratio,
+    // machine-independent like the engine A/B.
+    for &level in &obs_levels {
+        let label = match level {
+            ObsLevel::Off => unreachable!("off is the baseline"),
+            ObsLevel::Metrics => "metrics",
+            ObsLevel::Full => "full",
+        };
+        let mut config = many.sim_config();
+        config.obs = level;
+        let (mut stats, report) = best(
+            "many_sites",
+            &config,
+            &many.workload(),
+            EventEngine::CalendarWheel,
+        );
+        assert_eq!(
+            many_sites_wheel_fp.as_ref().expect("baseline ran"),
+            &fingerprint(&report),
+            "obs={label} perturbed the simulation"
+        );
+        stats.engine = format!("calendar_wheel_obs_{label}");
+        let ratio = stats.events_per_sec / many_sites_wheel_ev_s;
+        println!(
+            "      many_sites: obs={label} {:>10.0} ev/s ({:.3}x of obs=off)",
+            stats.events_per_sec, ratio,
+        );
+        speedups.push((format!("many_sites_obs_{label}_vs_off"), ratio));
+        runs.push(stats);
     }
 
     // Sharded-runtime sweep: many_sites on each worker count, asserting
@@ -413,9 +477,38 @@ fn main() {
         }
     }
 
+    // Phase profile: where the sharded host's wall clock actually goes.
+    // One skewed hot_bundle run, 2 shards, rate balancing, with the phase
+    // profiler on — the profiler is part of what is measured here, so the
+    // cell is reported on its own rather than entering the sweeps above.
+    let phase_json = {
+        let mut cfg = hot.sim_config();
+        cfg.shards = 2;
+        cfg.balance = ShardBalance::Rate;
+        cfg.obs = ObsLevel::Metrics;
+        let report = ShardedSimulation::new(cfg, hot.workload()).run();
+        let obs = report.obs.as_deref().expect("obs=metrics carries a report");
+        let frac = obs.phase_breakdown();
+        println!(
+            "      hot_bundle: phase profile (shards=2 balance=rate): \
+             {:.1}% busy / {:.1}% stall / {:.1}% net over {} windows, {} migrations",
+            frac.busy_frac * 100.0,
+            frac.stall_frac * 100.0,
+            frac.net_frac * 100.0,
+            obs.host.windows,
+            obs.host.migrations,
+        );
+        format!(
+            "  \"obs_phase_breakdown\": {{\"scenario\": \"hot_bundle\", \"shards\": 2, \
+             \"balance\": \"rate\", \"busy_frac\": {:.4}, \"stall_frac\": {:.4}, \
+             \"net_frac\": {:.4}, \"windows\": {}, \"migrations\": {}}},\n",
+            frac.busy_frac, frac.stall_frac, frac.net_frac, obs.host.windows, obs.host.migrations,
+        )
+    };
+
     // Hand-rolled JSON: the vendored serde stand-in has no real serializer.
     let mut json = String::from("{\n");
-    json += "  \"pr\": 5,\n";
+    json += "  \"pr\": 6,\n";
     json += &format!("  \"host_parallelism\": {host_parallelism},\n");
     json += &format!(
         "  \"scale\": \"{}\",\n",
@@ -424,7 +517,8 @@ fn main() {
             Scale::Paper => "paper",
         }
     );
-    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had).\",\n";
+    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler.\",\n";
+    json += &phase_json;
     json += "  \"scenarios\": [\n";
     for (i, r) in runs.iter().enumerate() {
         json += &format!(

@@ -1,0 +1,228 @@
+//! Log-linear histograms with deterministic, commutative merging.
+//!
+//! An HDR-style layout: values below 16 get exact unit buckets; above that,
+//! each power-of-two octave is split into 16 linear sub-buckets, giving a
+//! worst-case relative error of 1/16 ≈ 6 % over the full `u64` range. All
+//! state is integer counts, so merging shards in any order produces the
+//! same bytes — the property the cross-shard bit-identity tests assert.
+
+/// Sub-bucket resolution: each octave is split into `1 << SUB_BITS` linear
+/// sub-buckets.
+const SUB_BITS: u32 = 4;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Bucket count: 16 unit buckets + 16 sub-buckets per octave for octaves
+/// with most-significant bit 4..=63.
+pub const NUM_BUCKETS: usize = (SUBS as usize) + 60 * (SUBS as usize);
+
+/// A log-linear histogram over `u64` values.
+///
+/// Zero-allocation until the first [`record`](LogLinearHist::record): an
+/// empty histogram holds no bucket storage, so carrying one per metric slot
+/// costs nothing when observability is off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogLinearHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Maps a value to its bucket index.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64; // >= SUB_BITS here
+        let octave = msb - SUB_BITS as u64;
+        (SUBS + octave * SUBS + ((v >> octave) & (SUBS - 1))) as usize
+    }
+}
+
+/// The smallest value that lands in bucket `idx`.
+#[inline]
+fn floor_of(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let octave = (idx - SUBS) / SUBS;
+        let sub = (idx - SUBS) % SUBS;
+        let msb = octave + SUB_BITS as u64;
+        (1u64 << msb) + (sub << octave)
+    }
+}
+
+impl LogLinearHist {
+    /// An empty histogram (no bucket storage allocated yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all observations, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The lower bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), if any observations exist. Bucket-floor answers
+    /// make the quantile a pure function of the merged counts.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(floor_of(idx).max(self.min).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one. Element-wise integer adds
+    /// plus min/max, so merge order never changes the result.
+    pub fn merge_from(&mut self, other: &LogLinearHist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(floor_of(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn floors_round_trip_through_index() {
+        for idx in 0..NUM_BUCKETS {
+            let floor = floor_of(idx);
+            assert_eq!(index_of(floor), idx, "floor {floor} of bucket {idx}");
+        }
+        // The top of each bucket still maps into it.
+        for idx in 0..NUM_BUCKETS - 1 {
+            let top = floor_of(idx + 1) - 1;
+            assert_eq!(index_of(top), idx, "top {top} of bucket {idx}");
+        }
+        assert_eq!(index_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[17u64, 1000, 123_456, 987_654_321, u64::MAX / 3] {
+            let floor = floor_of(index_of(v));
+            assert!(floor <= v);
+            assert!(
+                (v - floor) as f64 / v as f64 <= 1.0 / 16.0 + 1e-12,
+                "bucket floor {floor} too far below {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_and_quantiles() {
+        let mut h = LogLinearHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        let median = h.quantile(0.5).unwrap();
+        assert!((450..=550).contains(&median), "median {median}");
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(h.quantile(1.0).unwrap().max(900)));
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_matches_single_stream() {
+        let values: Vec<u64> = (0..500).map(|i| (i * 2654435761u64) >> 16).collect();
+        let mut whole = LogLinearHist::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let (mut a, mut b, mut c) = (
+            LogLinearHist::new(),
+            LogLinearHist::new(),
+            LogLinearHist::new(),
+        );
+        for (i, &v) in values.iter().enumerate() {
+            [&mut a, &mut b, &mut c][i % 3].record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        ab.merge_from(&c);
+        let mut cb = c.clone();
+        cb.merge_from(&b);
+        cb.merge_from(&a);
+        assert_eq!(ab, cb, "merge order must not matter");
+        assert_eq!(ab, whole, "sharded merge must equal the single stream");
+    }
+
+    #[test]
+    fn empty_merge_keeps_zero_allocation() {
+        let mut a = LogLinearHist::new();
+        let b = LogLinearHist::new();
+        a.merge_from(&b);
+        assert_eq!(a, LogLinearHist::new());
+        assert_eq!(a.quantile(0.5), None);
+        assert_eq!(a.mean(), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Chrome trace-event JSON export, loadable in Perfetto (ui.perfetto.dev).
+//!
+//! Mapping:
+//!
+//! * pid 0 is the net/driver side, pid `1 + shard` is each worker shard
+//!   (named via `process_name` metadata events);
+//! * [`TraceKind::WorkerWindow`] / [`TraceKind::NetPhase`] become `"X"`
+//!   duration spans — `ts`/`dur` are **sim-time** microseconds, with the
+//!   wall-time breakdown in `args`;
+//! * [`TraceKind::RateChange`] / [`TraceKind::Epoch`] become `"C"` counter
+//!   tracks, one per bundle, so each bundle's pacing rate plots as a
+//!   stepped line;
+//! * migrations, drops and mode changes become `"i"` instants;
+//! * per-packet [`TraceKind::Enqueue`]/[`TraceKind::Dequeue`] records are
+//!   *not* exported (they exist for trace diffing); their aggregate lives
+//!   in the metrics histograms.
+//!
+//! The JSON is hand-rolled: records are flat and numeric, and the
+//! workspace deliberately carries no JSON dependency.
+
+use std::fmt::Write as _;
+
+use crate::trace::{TraceKind, TraceRecord};
+use crate::{ObsReport, NET_SHARD};
+
+/// pid of the net/driver process in the exported trace.
+fn pid_of(shard: u16) -> u32 {
+    if shard == NET_SHARD {
+        0
+    } else {
+        shard as u32 + 1
+    }
+}
+
+/// Sim-time nanoseconds → trace-event microseconds.
+fn ts_us(rec: &TraceRecord) -> f64 {
+    rec.at.as_micros_f64()
+}
+
+/// Exports a merged trace as a Chrome trace-event JSON object.
+pub fn to_chrome_trace(report: &ObsReport) -> String {
+    let mut out = String::with_capacity(256 + report.trace.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+
+    // Process-name metadata: one entry per shard that produced records,
+    // plus the net/driver process.
+    let mut shards: Vec<u16> = report.trace.iter().map(|r| r.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    if !shards.contains(&NET_SHARD) {
+        shards.push(NET_SHARD);
+    }
+    for &shard in &shards {
+        let name = if shard == NET_SHARD {
+            "net/driver".to_string()
+        } else {
+            format!("shard {shard}")
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}",
+                pid_of(shard)
+            ),
+        );
+    }
+
+    for rec in &report.trace {
+        let pid = pid_of(rec.shard);
+        let ts = ts_us(rec);
+        let ev = match rec.kind {
+            // Aggregated in metrics; exporting one event per packet would
+            // dwarf everything else in the trace.
+            TraceKind::Enqueue { .. } | TraceKind::Dequeue { .. } => continue,
+            TraceKind::Drop { bundle } => format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"name\":\"drop b{bundle}\",\
+                 \"ts\":{ts:.3},\"s\":\"t\",\"args\":{{\"wall_ns\":{}}}}}",
+                rec.wall_ns
+            ),
+            TraceKind::ModeChange { bundle, mode } => format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"name\":\"mode b{bundle}={mode}\",\
+                 \"ts\":{ts:.3},\"s\":\"p\",\"args\":{{\"wall_ns\":{}}}}}",
+                rec.wall_ns
+            ),
+            TraceKind::RateChange { bundle, rate_bps } => format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"bundle{bundle} rate Mbps\",\
+                 \"ts\":{ts:.3},\"args\":{{\"mbps\":{:.3}}}}}",
+                rate_bps as f64 / 1e6
+            ),
+            TraceKind::Epoch { bundle, size_pkts } => format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"bundle{bundle} epoch pkts\",\
+                 \"ts\":{ts:.3},\"args\":{{\"pkts\":{size_pkts}}}}}"
+            ),
+            TraceKind::Migration {
+                bundle,
+                from,
+                to,
+                pkts,
+                bytes,
+            } => format!(
+                "{{\"ph\":\"i\",\"pid\":0,\"tid\":0,\
+                 \"name\":\"migrate b{bundle} {from}->{to}\",\"ts\":{ts:.3},\"s\":\"g\",\
+                 \"args\":{{\"pkts\":{pkts},\"bytes\":{bytes},\"wall_ns\":{}}}}}",
+                rec.wall_ns
+            ),
+            TraceKind::WorkerWindow {
+                windex,
+                width_ns,
+                busy_ns,
+                stall_ns,
+                events,
+            } => format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"name\":\"window\",\
+                 \"ts\":{ts:.3},\"dur\":{:.3},\"args\":{{\"windex\":{windex},\
+                 \"busy_ns\":{busy_ns},\"stall_ns\":{stall_ns},\"events\":{events}}}}}",
+                width_ns as f64 / 1e3
+            ),
+            TraceKind::NetPhase {
+                windex,
+                width_ns,
+                wall_dur_ns,
+                events,
+            } => format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"net phase\",\
+                 \"ts\":{ts:.3},\"dur\":{:.3},\"args\":{{\"windex\":{windex},\
+                 \"wall_dur_ns\":{wall_dur_ns},\"events\":{events}}}}}",
+                width_ns as f64 / 1e3
+            ),
+        };
+        push(&mut out, &mut first, ev);
+    }
+
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_dropped\":{}}}}}",
+        report.trace_dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsLevel;
+    use bundler_types::Nanos;
+
+    fn rec(at_us: u64, shard: u16, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            at: Nanos::from_micros(at_us),
+            wall_ns: 1,
+            shard,
+            kind,
+        }
+    }
+
+    fn report(trace: Vec<TraceRecord>) -> ObsReport {
+        ObsReport {
+            level: ObsLevel::Full,
+            trace,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json_shape() {
+        let json = to_chrome_trace(&report(Vec::new()));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("net/driver"));
+        assert!(json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn spans_counters_and_instants_are_emitted() {
+        let json = to_chrome_trace(&report(vec![
+            rec(
+                0,
+                1,
+                TraceKind::WorkerWindow {
+                    windex: 0,
+                    width_ns: 12_500_000,
+                    busy_ns: 5,
+                    stall_ns: 6,
+                    events: 7,
+                },
+            ),
+            rec(
+                10,
+                0,
+                TraceKind::RateChange {
+                    bundle: 3,
+                    rate_bps: 12_000_000,
+                },
+            ),
+            rec(
+                20,
+                NET_SHARD,
+                TraceKind::NetPhase {
+                    windex: 0,
+                    width_ns: 12_500_000,
+                    wall_dur_ns: 9,
+                    events: 2,
+                },
+            ),
+            rec(
+                30,
+                0,
+                TraceKind::Migration {
+                    bundle: 3,
+                    from: 0,
+                    to: 1,
+                    pkts: 4,
+                    bytes: 6000,
+                },
+            ),
+        ]));
+        assert!(json.contains("\"ph\":\"X\""), "window span missing");
+        assert!(json.contains("\"name\":\"window\""));
+        assert!(json.contains("\"name\":\"net phase\""));
+        assert!(json.contains("\"ph\":\"C\""), "rate counter missing");
+        assert!(json.contains("bundle3 rate Mbps"));
+        assert!(json.contains("\"mbps\":12.000"));
+        assert!(json.contains("migrate b3 0->1"));
+        assert!(json.contains("\"dur\":12500.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn per_packet_records_are_not_exported() {
+        let json = to_chrome_trace(&report(vec![
+            rec(0, 0, TraceKind::Enqueue { bundle: 1 }),
+            rec(
+                1,
+                0,
+                TraceKind::Dequeue {
+                    bundle: 1,
+                    sojourn_ns: 5,
+                },
+            ),
+        ]));
+        assert!(!json.contains("Enqueue"));
+        assert!(!json.contains("sojourn"));
+    }
+}

@@ -59,6 +59,10 @@ pub struct CodelState {
     last_count: u32,
     /// Total drops performed by this state machine.
     pub total_drops: u64,
+    /// Transitions into the dropping state over the machine's lifetime.
+    pub drop_entries: u64,
+    /// Transitions out of the dropping state over the machine's lifetime.
+    pub drop_exits: u64,
 }
 
 /// What the caller should do with the packet it just dequeued.
@@ -82,6 +86,8 @@ impl CodelState {
             count: 0,
             last_count: 0,
             total_drops: 0,
+            drop_entries: 0,
+            drop_exits: 0,
         }
     }
 
@@ -118,6 +124,7 @@ impl CodelState {
         if self.dropping {
             if !ok_to_drop {
                 self.dropping = false;
+                self.drop_exits += 1;
                 return CodelVerdict::Deliver;
             }
             if now >= self.drop_next {
@@ -130,6 +137,7 @@ impl CodelState {
         } else if ok_to_drop {
             // Enter the dropping state.
             self.dropping = true;
+            self.drop_entries += 1;
             // If we were dropping recently, resume from a related count so
             // the drop rate ramps quickly for persistent overload.
             let delta = self.count.saturating_sub(self.last_count);
@@ -156,6 +164,9 @@ pub struct Codel {
     bytes: u64,
     state: CodelState,
     stats: SchedStats,
+    /// Sojourn recording, boxed so the disabled (default) case costs one
+    /// pointer; the drop-state counters live in `state` unconditionally.
+    obs: Option<Box<bundler_obs::SchedObs>>,
 }
 
 impl Codel {
@@ -167,6 +178,7 @@ impl Codel {
             bytes: 0,
             state: CodelState::new(config.target, config.interval),
             stats: SchedStats::default(),
+            obs: None,
         }
     }
 
@@ -203,6 +215,9 @@ impl Scheduler for Codel {
             let sojourn = now.saturating_since(arena[p.id].enqueued_at);
             match self.state.on_dequeue(sojourn, self.bytes, now) {
                 CodelVerdict::Deliver => {
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.sojourn.record(sojourn.as_nanos());
+                    }
                     self.stats.dequeued += 1;
                     return Some(p.id);
                 }
@@ -237,6 +252,19 @@ impl Scheduler for Codel {
 
     fn name(&self) -> &'static str {
         "codel"
+    }
+
+    fn set_obs(&mut self, on: bool) {
+        self.obs = on.then(Default::default);
+    }
+
+    fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
+        self.obs.take().map(|mut obs| {
+            obs.aqm_drops = self.state.total_drops;
+            obs.drop_entries = self.state.drop_entries;
+            obs.drop_exits = self.state.drop_exits;
+            *obs
+        })
     }
 }
 
@@ -355,6 +383,34 @@ mod tests {
             let v = state.on_dequeue(Duration::from_millis(500), 1000, now);
             assert_eq!(v, CodelVerdict::Deliver);
         }
+    }
+
+    #[test]
+    fn obs_export_carries_sojourns_and_drop_transitions() {
+        let mut a = PacketArena::new();
+        let mut q = Codel::with_defaults();
+        assert!(q.take_obs().is_none(), "disabled by default");
+        q.set_obs(true);
+        // Standing queue: force CoDel into (and out of) its dropping state.
+        for _ in 0..200 {
+            enq(&mut q, &mut a, pkt(1460), Nanos::ZERO);
+        }
+        let mut now = Nanos::ZERO;
+        while !q.is_empty() {
+            now += Duration::from_millis(1);
+            if let Some(id) = q.dequeue(&mut a, now) {
+                a.free(id);
+            }
+        }
+        let obs = q.take_obs().expect("enabled");
+        assert!(obs.sojourn.count() > 0, "delivered sojourns recorded");
+        assert_eq!(obs.aqm_drops, q.aqm_drops());
+        assert!(obs.drop_entries > 0, "entered dropping state");
+        assert!(
+            obs.drop_exits <= obs.drop_entries,
+            "cannot exit more episodes than were entered"
+        );
+        assert!(q.take_obs().is_none(), "take drains the export");
     }
 
     #[test]

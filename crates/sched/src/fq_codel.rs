@@ -75,6 +75,9 @@ pub struct FqCodel {
     total_pkts: usize,
     total_bytes: u64,
     stats: SchedStats,
+    /// Sojourn recording, boxed so the disabled (default) case costs one
+    /// pointer; per-bucket drop-state counters live in each `CodelState`.
+    obs: Option<Box<bundler_obs::SchedObs>>,
 }
 
 impl FqCodel {
@@ -99,6 +102,7 @@ impl FqCodel {
             total_pkts: 0,
             total_bytes: 0,
             stats: SchedStats::default(),
+            obs: None,
         }
     }
 
@@ -189,6 +193,9 @@ impl FqCodel {
                             continue;
                         }
                         CodelVerdict::Deliver => {
+                            if let Some(obs) = self.obs.as_deref_mut() {
+                                obs.sojourn.record(sojourn.as_nanos());
+                            }
                             bucket.deficit -= p.size as i64;
                             self.stats.dequeued += 1;
                             return HeadOutcome::Packet(p.id);
@@ -281,6 +288,21 @@ impl Scheduler for FqCodel {
 
     fn name(&self) -> &'static str {
         "fq_codel"
+    }
+
+    fn set_obs(&mut self, on: bool) {
+        self.obs = on.then(Default::default);
+    }
+
+    fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
+        self.obs.take().map(|mut obs| {
+            obs.aqm_drops = self.aqm_drops();
+            for b in &self.buckets {
+                obs.drop_entries += b.codel.drop_entries;
+                obs.drop_exits += b.codel.drop_exits;
+            }
+            *obs
+        })
     }
 }
 

@@ -116,6 +116,20 @@ pub trait Scheduler: Send {
     /// between per-shard [`PacketArena`]s (ids are collected in one pass
     /// and rewritten in a second).
     fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId));
+
+    /// Enables (or disables) observability export. When enabled, AQM-aware
+    /// schedulers record per-packet sojourn times and drop-state
+    /// transitions into a [`bundler_obs::SchedObs`] carried *inside* the
+    /// scheduler — so the half-built export migrates with the sendbox
+    /// datapath when a bundle moves between shards. Default: no-op, for
+    /// schedulers with nothing beyond [`SchedStats`] to export.
+    fn set_obs(&mut self, _on: bool) {}
+
+    /// Takes the accumulated observability export, if recording was
+    /// enabled. Default: `None`.
+    fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
+        None
+    }
 }
 
 /// The scheduling policies Bundler experiments select between, used by the

@@ -60,6 +60,9 @@ pub struct Sfq {
     total_pkts: usize,
     total_bytes: u64,
     stats: SchedStats,
+    /// Sojourn recording, boxed so the disabled (default) case costs one
+    /// pointer. SFQ has no AQM drop state; only overflow drops export.
+    obs: Option<Box<bundler_obs::SchedObs>>,
 }
 
 impl Sfq {
@@ -75,6 +78,7 @@ impl Sfq {
             total_pkts: 0,
             total_bytes: 0,
             stats: SchedStats::default(),
+            obs: None,
         }
     }
 
@@ -146,7 +150,7 @@ impl Scheduler for Sfq {
         Enqueued::Queued
     }
 
-    fn dequeue(&mut self, _arena: &mut PacketArena, _now: Nanos) -> Option<PacketId> {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: Nanos) -> Option<PacketId> {
         // Deficit round robin across active buckets: a bucket sends while it
         // has deficit, then moves to the back of the list with a fresh
         // quantum.
@@ -176,6 +180,10 @@ impl Scheduler for Sfq {
                         self.active.pop_front();
                     }
                     self.stats.dequeued += 1;
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        let sojourn = now.saturating_since(arena[p.id].enqueued_at);
+                        obs.sojourn.record(sojourn.as_nanos());
+                    }
                     return Some(p.id);
                 }
                 Some(_) => {
@@ -210,6 +218,17 @@ impl Scheduler for Sfq {
 
     fn name(&self) -> &'static str {
         "sfq"
+    }
+
+    fn set_obs(&mut self, on: bool) {
+        self.obs = on.then(Default::default);
+    }
+
+    fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
+        self.obs.take().map(|mut obs| {
+            obs.aqm_drops = self.stats.dropped;
+            *obs
+        })
     }
 }
 
@@ -357,6 +376,30 @@ mod tests {
         assert_eq!(n, 35);
         assert_eq!(out_bytes, in_bytes);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn obs_export_carries_sojourns_and_overflow_drops() {
+        let mut a = PacketArena::new();
+        let mut s = Sfq::new(SfqConfig {
+            total_capacity_pkts: 4,
+            ..Default::default()
+        });
+        assert!(s.take_obs().is_none(), "disabled by default");
+        s.set_obs(true);
+        for _ in 0..6 {
+            if let Enqueued::Dropped(id) = enq(&mut s, &mut a, pkt(0, 1000)) {
+                a.free(id);
+            }
+        }
+        while let Some(id) = s.dequeue(&mut a, Nanos::from_millis(3)) {
+            a.free(id);
+        }
+        let obs = s.take_obs().expect("enabled");
+        assert_eq!(obs.sojourn.count(), 4, "one sojourn per delivery");
+        assert_eq!(obs.aqm_drops, 2, "overflow drops export");
+        assert_eq!(obs.drop_entries, 0, "SFQ has no AQM drop state");
+        assert!(s.take_obs().is_none(), "take drains the export");
     }
 
     #[test]

@@ -200,6 +200,19 @@ impl Tbf {
         self.inner.name()
     }
 
+    /// Enables or disables the inner scheduler's observability export
+    /// (see [`Scheduler::set_obs`]).
+    pub fn set_obs(&mut self, on: bool) {
+        self.inner.set_obs(on);
+    }
+
+    /// Takes the inner scheduler's observability export, if recording was
+    /// enabled (see [`Scheduler::take_obs`]). The export lives inside the
+    /// scheduler so it migrates between shards with the datapath.
+    pub fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
+        self.inner.take_obs()
+    }
+
     /// Visits every queued packet id (see
     /// [`Scheduler::for_each_pkt_mut`]): the migration hook that lets a
     /// sendbox datapath move between packet arenas with its queue state —

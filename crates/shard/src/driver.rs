@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 use bundler_core::FnvHashMap;
+use bundler_obs::{wall_now_ns, NetWindow, TraceKind, WindowPhase};
 use bundler_sim::event::{Event, EventKey, EventQueue};
 use bundler_sim::runtime::{
     assemble_report, bundle_lp, origin_lp, BundleParcel, Delivery, NetCore, Partition, ToNet,
@@ -208,6 +209,10 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
     let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
     let mut deliveries: Vec<Delivery> = Vec::with_capacity(64);
 
+    // Per-window net-phase wall timings, attached to the report's
+    // observability section after assembly.
+    let mut net_windows: Vec<NetWindow> = Vec::new();
+
     // The net phase for one completed worker window: merge that window's
     // envelopes (by parity), handle net events below its end, route
     // deliveries to the current owner of each flow's LP.
@@ -218,6 +223,9 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
                          net_arena: &mut PacketArena,
                          to_net_rx: &mut Vec<[Receiver<Envelope>; 2]>,
                          worker_of_lp: &[usize]| {
+        let timing = net.obs.metrics_on();
+        let phase_start = if timing { wall_now_ns() } else { 0 };
+        let events_before = net.events_processed();
         let parity = (windex % 2) as usize;
         for rx in to_net_rx.iter_mut() {
             rx[parity].drain_into(&mut inbound);
@@ -252,6 +260,29 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
                     pkt,
                 });
             }
+        }
+        if timing {
+            let wall_dur_ns = wall_now_ns().saturating_sub(phase_start);
+            let events = net.events_processed() - events_before;
+            // The served window's start (exact except for a truncated
+            // final window, where the nominal width overstates it).
+            let start = Nanos(window_end.as_nanos().saturating_sub(window.as_nanos()));
+            let width_ns = window_end.saturating_since(start).as_nanos();
+            net.obs.host.windows += 1;
+            net_windows.push(NetWindow {
+                windex,
+                wall_ns: wall_dur_ns,
+                events,
+            });
+            net.obs.record(
+                start,
+                TraceKind::NetPhase {
+                    windex,
+                    width_ns,
+                    wall_dur_ns,
+                    events,
+                },
+            );
         }
     };
 
@@ -312,8 +343,16 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
             .map(|c| c.load(Ordering::Acquire))
             .collect();
         plan = balancer.decide(windex + 1, &counts);
-        if !plan.is_empty() && std::env::var_os("BUNDLER_SHARD_DEBUG").is_some() {
-            eprintln!("window {}: {} moves: {:?}", windex + 1, plan.len(), plan);
+        if !plan.is_empty() {
+            // Structured Migration trace records are emitted by the
+            // extracting workers; this is the opt-in stderr mirror
+            // (gated on BUNDLER_SHARD_DEBUG, checked once).
+            bundler_obs::logsink::debug_log(format_args!(
+                "window {}: {} moves: {:?}",
+                windex + 1,
+                plan.len(),
+                plan
+            ));
         }
         for mv in &plan {
             worker_of_lp[bundle_lp(mv.bundle) as usize] = mv.to;
@@ -358,7 +397,13 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
         std::panic::resume_unwind(payload);
     }
     workers.sort_by_key(|w| w.partition().index);
-    assemble_report(&config, workers, net, recycled)
+    let mut report = assemble_report(&config, workers, net, recycled);
+    if let Some(obs) = report.obs.as_mut() {
+        obs.net_phase = bundler_obs::NetPhaseProfile {
+            windows: net_windows,
+        };
+    }
+    report
 }
 
 type WorkerResult = Result<(WorkerCore, PacketArena), Box<dyn std::any::Any + Send + 'static>>;
@@ -377,8 +422,20 @@ fn worker_loop(
     let mut to_net: Vec<ToNet> = Vec::with_capacity(64);
     let mut parity = 0usize;
     let mut failure: Option<Box<dyn std::any::Any + Send + 'static>> = None;
+    // Phase profiling (metrics level and up): wall time split into barrier
+    // stall vs. event processing, per window. All stamps are outputs only
+    // — nothing here feeds back into simulation state.
+    let timing = core.obs.metrics_on();
+    let mut windex: u64 = 0;
+    let mut window_start_sim = Nanos::ZERO;
+    let mut wait_from = if timing { wall_now_ns() } else { 0 };
     loop {
         ctrl.barrier.wait(); // window start
+        let mut stall_ns = if timing {
+            wall_now_ns().saturating_sub(wait_from)
+        } else {
+            0
+        };
         if ctrl.stop.load(Ordering::Acquire) {
             return match failure {
                 Some(payload) => Err(payload),
@@ -395,11 +452,31 @@ fn worker_loop(
                     // Drain the inbox *before* extracting: deliveries for
                     // an outgoing bundle (routed here under the old
                     // assignment) become queue events and migrate with it.
-                    drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                    let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                    if timing {
+                        core.obs.host.inbox_messages += drained as u64;
+                        core.obs.host.mailbox_depth.record(drained as u64);
+                    }
                     let plan = ctrl.plan.lock().expect("plan lock");
                     for (i, mv) in plan.iter().enumerate() {
                         if mv.from == me {
                             let parcel = core.extract_bundle(mv.bundle, &mut queue, &mut arena);
+                            if timing {
+                                let (pkts, bytes) = parcel.footprint();
+                                core.obs.host.migrations += 1;
+                                core.obs.host.migration_pkts += pkts;
+                                core.obs.host.migration_bytes += bytes;
+                                core.obs.record(
+                                    window_start_sim,
+                                    TraceKind::Migration {
+                                        bundle: mv.bundle as u32,
+                                        from: mv.from as u16,
+                                        to: mv.to as u16,
+                                        pkts,
+                                        bytes,
+                                    },
+                                );
+                            }
                             ctrl.parcels.lock().expect("parcel lock")[i] = Some(parcel);
                         }
                     }
@@ -409,7 +486,11 @@ fn worker_loop(
                     ctrl.panicked.store(true, Ordering::Release);
                 }
             }
+            let migrate_wait = if timing { wall_now_ns() } else { 0 };
             ctrl.barrier.wait(); // all parcels deposited
+            if timing {
+                stall_ns += wall_now_ns().saturating_sub(migrate_wait);
+            }
             if failure.is_none() {
                 let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let now = queue.now();
@@ -429,10 +510,16 @@ fn worker_loop(
                 }
             }
         }
+        let window_end = Nanos(ctrl.window_end.load(Ordering::Acquire));
+        let events_before = core.events_processed();
+        let busy_from = if timing { wall_now_ns() } else { 0 };
         if failure.is_none() {
             let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let window_end = Nanos(ctrl.window_end.load(Ordering::Acquire));
-                drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                if timing {
+                    core.obs.host.inbox_messages += drained as u64;
+                    core.obs.host.mailbox_depth.record(drained as u64);
+                }
                 while let Some((t, _)) = queue.peek() {
                     if t >= window_end {
                         break;
@@ -463,23 +550,54 @@ fn worker_loop(
                 ctrl.panicked.store(true, Ordering::Release);
             }
         }
+        if timing && failure.is_none() {
+            let busy_ns = wall_now_ns().saturating_sub(busy_from);
+            let events = core.events_processed() - events_before;
+            let width_ns = window_end.saturating_since(window_start_sim).as_nanos();
+            core.obs.host.windows += 1;
+            core.obs.phases.push(WindowPhase {
+                windex,
+                busy_ns,
+                stall_ns,
+                events,
+            });
+            core.obs.record(
+                window_start_sim,
+                TraceKind::WorkerWindow {
+                    windex,
+                    width_ns,
+                    busy_ns,
+                    stall_ns,
+                    events,
+                },
+            );
+            // One window's records fit the ring by construction; the sink
+            // accumulates the run's trace.
+            core.obs.ring.drain_to_sink();
+        }
+        window_start_sim = window_end;
+        windex += 1;
         parity ^= 1;
+        wait_from = if timing { wall_now_ns() } else { 0 };
         ctrl.barrier.wait(); // window end
     }
 }
 
-/// Schedules every available inbound delivery into the local queue.
+/// Schedules every available inbound delivery into the local queue and
+/// returns how many messages were waiting (the mailbox-depth signal).
 fn drain_inbox(
     inbox: &mut Receiver<Envelope>,
     inbound: &mut Vec<Envelope>,
     arena: &mut PacketArena,
     queue: &mut EventQueue,
-) {
+) -> usize {
     inbox.drain_into(inbound);
+    let drained = inbound.len();
     for m in inbound.drain(..) {
         let pkt = arena.insert(m.pkt);
         queue.schedule(m.at, m.key, Event::ArriveDestination { pkt });
     }
+    drained
 }
 
 #[cfg(test)]

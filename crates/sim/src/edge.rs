@@ -144,6 +144,19 @@ impl Bundle {
     pub fn mode(&self) -> Mode {
         self.control.mode()
     }
+
+    /// Enables or disables the sendbox datapath's observability export
+    /// (per-packet sojourn, CoDel drop-state transitions).
+    pub fn set_obs(&mut self, on: bool) {
+        self.tbf.set_obs(on);
+    }
+
+    /// Takes the datapath's observability export, if recording was
+    /// enabled. The export lives inside the scheduler, so it migrates with
+    /// the bundle and is complete wherever the bundle finished the run.
+    pub fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
+        self.tbf.take_obs()
+    }
 }
 
 /// One bundle of a [`MultiBundle`] edge: the destination prefixes it
@@ -457,6 +470,27 @@ impl MultiBundle {
     /// Bundle `bundle`'s mode timeline.
     pub fn mode_timeline_of(&self, bundle: usize) -> &[(Nanos, String)] {
         &self.mode_timeline[self.slot(bundle)]
+    }
+
+    /// Bundle `bundle`'s current control mode (as of its last tick).
+    pub fn mode_of(&self, bundle: usize) -> Mode {
+        self.last_modes[self.slot(bundle)]
+    }
+
+    /// Enables or disables observability export on every managed bundle's
+    /// datapath. Newly adopted bundles carry their own flag inside the
+    /// migrated scheduler, so this only needs to run at construction.
+    pub fn set_obs(&mut self, on: bool) {
+        for dp in &mut self.datapaths {
+            dp.set_obs(on);
+        }
+    }
+
+    /// Takes bundle `bundle`'s datapath observability export, if recording
+    /// was enabled.
+    pub fn take_obs(&mut self, bundle: usize) -> Option<bundler_obs::SchedObs> {
+        let slot = self.slot(bundle);
+        self.datapaths[slot].take_obs()
     }
 
     /// Read access to bundle `bundle`'s control plane.

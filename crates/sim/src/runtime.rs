@@ -24,6 +24,7 @@
 //! and every result — are identical for any partitioning.
 
 use bundler_core::FnvHashMap;
+use bundler_obs::{CounterId, GaugeId, HistId, ObsReport, PhaseProfile, ShardObs, TraceKind};
 use bundler_sched::tbf::Release;
 use bundler_sched::Policy;
 use bundler_types::{
@@ -57,6 +58,17 @@ pub fn origin_lp(origin: Origin) -> u16 {
     match origin {
         Origin::Bundle(b) => bundle_lp(b),
         Origin::Direct => LP_DIRECT,
+    }
+}
+
+/// The stable byte encoding of a control mode used by
+/// [`TraceKind::ModeChange`] records (the enum itself stays private to
+/// `bundler-core`'s evolution).
+fn mode_byte(mode: bundler_core::Mode) -> u8 {
+    match mode {
+        bundler_core::Mode::DelayControl => 0,
+        bundler_core::Mode::PassThrough => 1,
+        bundler_core::Mode::Disabled => 2,
     }
 }
 
@@ -200,6 +212,11 @@ pub struct WorkerCore {
     /// retransmissions) — counted at creation so the total is identical
     /// whether or not packets later migrate between per-shard arenas.
     packets_created: u64,
+    /// Observability state (metrics, trace ring, phase timings). At
+    /// [`bundler_obs::ObsLevel::Off`] every record site is one skipped
+    /// branch and nothing allocates. Public so the sharded driver can
+    /// drain the ring at window barriers and append phase timings.
+    pub obs: ShardObs,
 }
 
 impl WorkerCore {
@@ -229,7 +246,7 @@ impl WorkerCore {
         let reverse_delay = config.rtt - forward_delay;
         let n_bundles = config.n_bundles();
         debug_assert_eq!(owned.len(), n_bundles);
-        let (bundles, multi) = match &config.multi_bundle {
+        let (mut bundles, mut multi) = match &config.multi_bundle {
             Some(mode) => {
                 let owned_ids: Vec<usize> = (0..mode.specs.len()).filter(|&b| owned[b]).collect();
                 let edge = MultiBundle::partition(mode.agent, &mode.specs, &owned_ids, Nanos::ZERO)
@@ -250,6 +267,18 @@ impl WorkerCore {
                 (bundles, None)
             }
         };
+        let obs = ShardObs::new(config.obs, part.index as u16);
+        if obs.metrics_on() {
+            // Turn on the in-scheduler sojourn/drop-state export. The flag
+            // lives inside the datapath scheduler, so it migrates with the
+            // bundle and never needs re-arming on adoption.
+            if let Some(m) = multi.as_mut() {
+                m.set_obs(true);
+            }
+            for b in bundles.iter_mut().flatten() {
+                b.set_obs(true);
+            }
+        }
         WorkerCore {
             config: config.clone(),
             part,
@@ -277,6 +306,7 @@ impl WorkerCore {
             release_buf: Vec::with_capacity(64),
             events_processed: 0,
             packets_created: 0,
+            obs,
         }
     }
 
@@ -540,7 +570,20 @@ impl WorkerCore {
                         multi.manages(b),
                         "flow classified across the partition: bundle {b} not owned"
                     );
-                    multi.enqueue(b, pkt, arena, now);
+                    let queued = multi.enqueue(b, pkt, arena, now);
+                    if self.obs.metrics_on() {
+                        if queued {
+                            self.obs.metrics.add(CounterId::SendboxEnqueued, 1);
+                            self.obs
+                                .metrics
+                                .gauge_max(GaugeId::PeakSendboxBacklogBytes, multi.queue_bytes(b));
+                            self.obs
+                                .record(now, TraceKind::Enqueue { bundle: b as u32 });
+                        } else {
+                            self.obs.metrics.add(CounterId::SendboxDropped, 1);
+                            self.obs.record(now, TraceKind::Drop { bundle: b as u32 });
+                        }
+                    }
                     if !multi.release_scheduled(b) {
                         multi.set_release_scheduled(b, true);
                         let k = self.key_for(lp);
@@ -561,7 +604,20 @@ impl WorkerCore {
         match origin {
             Origin::Bundle(b) if self.bundles.get(b).map(|x| x.is_some()).unwrap_or(false) => {
                 let bundle = self.bundles[b].as_mut().expect("checked above");
-                bundle.enqueue(pkt, arena, now);
+                let queued = bundle.enqueue(pkt, arena, now);
+                if self.obs.metrics_on() {
+                    if queued {
+                        self.obs.metrics.add(CounterId::SendboxEnqueued, 1);
+                        self.obs
+                            .metrics
+                            .gauge_max(GaugeId::PeakSendboxBacklogBytes, bundle.queue_bytes());
+                        self.obs
+                            .record(now, TraceKind::Enqueue { bundle: b as u32 });
+                    } else {
+                        self.obs.metrics.add(CounterId::SendboxDropped, 1);
+                        self.obs.record(now, TraceKind::Drop { bundle: b as u32 });
+                    }
+                }
                 if !bundle.release_scheduled {
                     bundle.release_scheduled = true;
                     let k = self.key_for(lp);
@@ -707,6 +763,18 @@ impl WorkerCore {
                 Origin::Bundle(b) => Some(b),
                 Origin::Direct => None,
             };
+            if self.obs.metrics_on() {
+                self.obs.metrics.add(CounterId::FlowsCompleted, 1);
+                // Slowdown in thousandths; the histogram is integer-valued.
+                let slowdown_milli = if unloaded.as_nanos() > 0 {
+                    (fct.as_nanos() as f64 / unloaded.as_nanos() as f64 * 1000.0) as u64
+                } else {
+                    0
+                };
+                self.obs
+                    .metrics
+                    .observe(HistId::FctSlowdownMilli, slowdown_milli);
+            }
             // Tag with this LP's next key so per-worker lists merge into
             // the canonical completion order.
             let tag = self.key_for(lp);
@@ -733,19 +801,31 @@ impl WorkerCore {
 
     fn on_control_tick(&mut self, bundle: usize, now: Nanos, queue: &mut EventQueue) {
         let lp = bundle_lp(bundle);
-        let (update, interval, kick) = if let Some(multi) = self.multi.as_mut() {
+        // `tick_obs` is `(rate_bps, mode_changed, mode)` when metrics are
+        // on; the mode change is detected by timeline growth so both edge
+        // modes share the logic.
+        let (update, interval, kick, tick_obs) = if let Some(multi) = self.multi.as_mut() {
+            let timeline_before = multi.mode_timeline_of(bundle).len();
             let update = multi.tick_bundle(bundle, now);
             let interval = multi.control_interval(bundle);
             let kick = !multi.release_scheduled(bundle) && !multi.queue_is_empty(bundle);
             if kick {
                 multi.set_release_scheduled(bundle, true);
             }
-            (update, interval, kick)
+            let tick_obs = self.obs.metrics_on().then(|| {
+                (
+                    multi.rate(bundle).as_bps(),
+                    multi.mode_timeline_of(bundle).len() > timeline_before,
+                    mode_byte(multi.mode_of(bundle)),
+                )
+            });
+            (update, interval, kick, tick_obs)
         } else {
             let b = match self.bundles.get_mut(bundle) {
                 Some(Some(b)) => b,
                 _ => return,
             };
+            let timeline_before = b.mode_timeline.len();
             let update = b.tick(now);
             let interval = b.control.config().control_interval;
             // The new rate may allow more packets out immediately.
@@ -753,8 +833,45 @@ impl WorkerCore {
             if kick {
                 b.release_scheduled = true;
             }
-            (update, interval, kick)
+            let tick_obs = self.obs.metrics_on().then(|| {
+                (
+                    b.rate().as_bps(),
+                    b.mode_timeline.len() > timeline_before,
+                    mode_byte(b.mode()),
+                )
+            });
+            (update, interval, kick, tick_obs)
         };
+        if let Some((rate_bps, mode_changed, mode)) = tick_obs {
+            self.obs.metrics.add(CounterId::ControlTicks, 1);
+            self.obs.record(
+                now,
+                TraceKind::RateChange {
+                    bundle: bundle as u32,
+                    rate_bps,
+                },
+            );
+            if mode_changed {
+                self.obs.metrics.add(CounterId::ModeChanges, 1);
+                self.obs.record(
+                    now,
+                    TraceKind::ModeChange {
+                        bundle: bundle as u32,
+                        mode,
+                    },
+                );
+            }
+            if let Some(update) = &update {
+                self.obs.metrics.add(CounterId::EpochUpdates, 1);
+                self.obs.record(
+                    now,
+                    TraceKind::Epoch {
+                        bundle: bundle as u32,
+                        size_pkts: update.epoch_size as u64,
+                    },
+                );
+            }
+        }
         if let Some(update) = update {
             let k = self.key_for(lp);
             queue.schedule(
@@ -816,6 +933,23 @@ impl WorkerCore {
             }
             reschedule
         };
+        if self.obs.metrics_on() {
+            for &pkt in released.iter() {
+                // `enqueued_at` still holds the sendbox-enqueue stamp: the
+                // bottleneck queue only rewrites it on its own enqueue.
+                let sojourn = now.saturating_since(arena[pkt].enqueued_at);
+                self.obs
+                    .metrics
+                    .observe(HistId::SendboxSojournNs, sojourn.as_nanos());
+                self.obs.record(
+                    now,
+                    TraceKind::Dequeue {
+                        bundle: bundle as u32,
+                        sojourn_ns: sojourn.as_nanos(),
+                    },
+                );
+            }
+        }
         for pkt in released.drain(..) {
             self.send_to_bottleneck(pkt, lp, now, to_net);
         }
@@ -893,6 +1027,12 @@ impl WorkerCore {
                     self.bundle_recv_rate_estimate_mbps[b].push(now, m.recv_rate.as_mbps_f64());
                 }
             }
+        }
+        if self.obs.trace_on() {
+            // In the single-threaded host the sample stream doubles as the
+            // ring's drain beat; the sharded driver drains at every window
+            // barrier instead (draining twice is a harmless no-op).
+            self.obs.ring.drain_to_sink();
         }
         let k = self.key_for(lp);
         queue.schedule(now + self.config.sample_interval, k, Event::Sample { lp });
@@ -1143,6 +1283,20 @@ impl BundleParcel {
     pub fn bundle(&self) -> usize {
         self.bundle
     }
+
+    /// Packets and wire bytes carried by this parcel (queued datapath
+    /// packets plus packet-bearing pending events) — the migration cost
+    /// signal the observability layer reports per move.
+    pub fn footprint(&self) -> (u64, u64) {
+        let pkts = (self.event_pkts.len() + self.edge_pkts.len()) as u64;
+        let bytes: u64 = self
+            .event_pkts
+            .iter()
+            .chain(self.edge_pkts.iter())
+            .map(|p| p.size as u64)
+            .sum();
+        (pkts, bytes)
+    }
 }
 
 /// The edge-mode-specific part of a [`BundleParcel`].
@@ -1193,6 +1347,10 @@ pub struct NetCore {
     sample_interval: Duration,
     actual_rtt_ms: TimeSeries,
     events_processed: u64,
+    /// Observability state for the bottleneck side (shard id
+    /// [`bundler_obs::NET_SHARD`]). Public so the sharded driver can stamp
+    /// net-phase spans and drain the ring at barriers.
+    pub obs: ShardObs,
 }
 
 impl NetCore {
@@ -1227,6 +1385,7 @@ impl NetCore {
             sample_interval: config.sample_interval,
             actual_rtt_ms: TimeSeries::new(),
             events_processed: 0,
+            obs: ShardObs::new(config.obs, bundler_obs::NET_SHARD),
         }
     }
 
@@ -1341,6 +1500,15 @@ impl NetCore {
             / self.paths.len().max(1) as f64;
         self.actual_rtt_ms
             .push(now, self.rtt.as_millis_f64() + queue_delay_ms);
+        if self.obs.metrics_on() {
+            self.obs.metrics.observe(
+                HistId::BottleneckQueueDelayUs,
+                (queue_delay_ms * 1000.0) as u64,
+            );
+            if self.obs.trace_on() {
+                self.obs.ring.drain_to_sink();
+            }
+        }
         let (at, key) = (now + self.sample_interval, self.key());
         queue.schedule(at, key, Event::Sample { lp: LP_NET });
     }
@@ -1384,7 +1552,7 @@ pub fn is_net_event(event: &Event) -> bool {
 pub fn assemble_report(
     config: &SimulationConfig,
     mut workers: Vec<WorkerCore>,
-    net: NetCore,
+    mut net: NetCore,
     packets_recycled: u64,
 ) -> SimReport {
     let n_bundles = config.n_bundles();
@@ -1505,6 +1673,64 @@ pub fn assemble_report(
         }
     }
     report.bottleneck_queue_delay_ms = merged;
+
+    if config.obs.metrics_on() {
+        let mut metrics = bundler_obs::MetricsShard::default();
+        let mut host = bundler_obs::HostMetrics::default();
+        let mut trace: Vec<bundler_obs::TraceRecord> = Vec::new();
+        let mut trace_dropped = 0u64;
+        let mut worker_phases = Vec::new();
+        for w in &mut workers {
+            // Fold each owned bundle's in-scheduler export (sojourns,
+            // CoDel drop-state transitions) into the worker's shard
+            // metrics. Migrated bundles carried theirs along, so the fold
+            // happens exactly once wherever the bundle ended up.
+            for b in 0..n_bundles {
+                if !w.owned[b] {
+                    continue;
+                }
+                let sched = if let Some(multi) = w.multi.as_mut() {
+                    multi.take_obs(b)
+                } else if let Some(Some(bundle)) = w.bundles.get_mut(b) {
+                    bundle.take_obs()
+                } else {
+                    None
+                };
+                if let Some(sched) = sched {
+                    sched.merge_into(&mut w.obs.metrics);
+                }
+            }
+            metrics.merge_from(&w.obs.metrics);
+            host.merge_from(&w.obs.host);
+            let (records, dropped) = std::mem::take(&mut w.obs.ring).into_records();
+            trace.extend(records);
+            trace_dropped += dropped;
+            if !w.obs.phases.is_empty() {
+                worker_phases.push(PhaseProfile {
+                    shard: w.obs.shard,
+                    windows: std::mem::take(&mut w.obs.phases),
+                });
+            }
+        }
+        metrics.merge_from(&net.obs.metrics);
+        host.merge_from(&net.obs.host);
+        let (records, dropped) = std::mem::take(&mut net.obs.ring).into_records();
+        trace.extend(records);
+        trace_dropped += dropped;
+        // Stable sort: same-instant records keep worker order, so the
+        // merged trace is deterministic for a given shard count.
+        trace.sort_by_key(|r| r.at);
+        report.obs = Some(Box::new(ObsReport {
+            level: config.obs,
+            metrics,
+            host,
+            worker_phases,
+            net_phase: bundler_obs::NetPhaseProfile::default(),
+            trace,
+            trace_dropped,
+        }));
+    }
+
     report.actual_rtt_ms = net.actual_rtt_ms;
     report
 }

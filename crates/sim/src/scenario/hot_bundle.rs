@@ -34,6 +34,7 @@ pub struct HotBundleBuilder {
     rtt: Duration,
     drain: Duration,
     dist: FlowSizeDist,
+    obs: bundler_obs::ObsLevel,
 }
 
 impl Default for HotBundleBuilder {
@@ -47,6 +48,7 @@ impl Default for HotBundleBuilder {
             rtt: Duration::from_millis(50),
             drain: Duration::from_secs(8),
             dist: FlowSizeDist::caida_like(),
+            obs: bundler_obs::ObsLevel::Off,
         }
     }
 }
@@ -93,6 +95,14 @@ impl HotBundleBuilder {
     /// Extra simulated time after the last arrival.
     pub fn drain(mut self, drain: Duration) -> Self {
         self.drain = drain;
+        self
+    }
+
+    /// Observability level the run records at (default
+    /// [`bundler_obs::ObsLevel::Off`]; turning it on never changes
+    /// results — property-tested in `bundler-shard`).
+    pub fn obs(mut self, level: bundler_obs::ObsLevel) -> Self {
+        self.obs = level;
         self
     }
 
@@ -209,6 +219,7 @@ impl HotBundleScenario {
                 agent: AgentConfig::default(),
                 specs,
             }),
+            obs: b.obs,
             ..Default::default()
         }
     }

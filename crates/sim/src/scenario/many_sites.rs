@@ -34,6 +34,7 @@ pub struct ManySitesBuilder {
     bulk_flows_per_site: usize,
     drain: Duration,
     dist: FlowSizeDist,
+    obs: bundler_obs::ObsLevel,
 }
 
 impl Default for ManySitesBuilder {
@@ -48,6 +49,7 @@ impl Default for ManySitesBuilder {
             bulk_flows_per_site: 1,
             drain: Duration::from_secs(8),
             dist: FlowSizeDist::caida_like(),
+            obs: bundler_obs::ObsLevel::Off,
         }
     }
 }
@@ -100,6 +102,14 @@ impl ManySitesBuilder {
     /// Extra simulated time after the last arrival.
     pub fn drain(mut self, drain: Duration) -> Self {
         self.drain = drain;
+        self
+    }
+
+    /// Observability level the run records at (default
+    /// [`bundler_obs::ObsLevel::Off`]; turning it on never changes
+    /// results — property-tested in `bundler-shard`).
+    pub fn obs(mut self, level: bundler_obs::ObsLevel) -> Self {
+        self.obs = level;
         self
     }
 
@@ -230,6 +240,7 @@ impl ManySitesScenario {
                 agent: AgentConfig::default(),
                 specs,
             }),
+            obs: b.obs,
             ..Default::default()
         }
     }

@@ -76,6 +76,13 @@ pub struct SimulationConfig {
     /// construction — so this only trades load balance against migration
     /// work.
     pub balance: ShardBalance,
+    /// Observability level. `Off` (the default) reduces every
+    /// instrumentation site to a skipped branch on this enum; `Metrics`
+    /// records counters/histograms and the sharded phase profile; `Full`
+    /// additionally records the structured trace (Perfetto export). No
+    /// level ever changes a simulation result: the output rides on
+    /// [`SimReport::obs`], which `SimStats` digests exclude.
+    pub obs: bundler_obs::ObsLevel,
 }
 
 /// Bundle-to-shard assignment policy for the multi-threaded host.
@@ -128,6 +135,7 @@ impl Default for SimulationConfig {
             event_engine: EventEngine::default(),
             shards: 1,
             balance: ShardBalance::default(),
+            obs: bundler_obs::ObsLevel::default(),
         }
     }
 }

@@ -248,6 +248,14 @@ pub struct SimReport {
     /// free list; `packets_created - packets_recycled` is the arena
     /// high-water mark, everything else was alloc-free.
     pub packets_recycled: u64,
+    /// Observability output, present when the run had
+    /// `SimulationConfig::obs` above `Off`. Boxed: reports are cloned in
+    /// tests and the obs payload can dwarf the rest. Deliberately
+    /// **excluded** from [`SimStats`] — its portable half is
+    /// shard-count-invariant by construction, but its host half (phase
+    /// timings, migration traffic, wall stamps) legitimately varies run to
+    /// run.
+    pub obs: Option<Box<bundler_obs::ObsReport>>,
 }
 
 /// The deterministic digest of a simulation run: every output that must be

@@ -62,6 +62,12 @@ impl Nanos {
         self.0 as f64 / 1e6
     }
 
+    /// Returns this timestamp in (fractional) microseconds — the unit of
+    /// Chrome trace-event `ts` fields.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
     /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
     /// the future.
     pub fn saturating_since(self, earlier: Nanos) -> Duration {

@@ -1,7 +1,7 @@
 //! Skewed load across bundles, and the shard balancer that absorbs it.
 //!
 //! ```text
-//! cargo run --release --example hot_bundle
+//! cargo run --release --example hot_bundle -- [--obs off|metrics|full] [--trace-out PATH]
 //! ```
 //!
 //! One remote site receives as many flows as all the others combined —
@@ -13,24 +13,59 @@
 //! barriers). All three produce **bit-identical** results; only the
 //! wall-clock moves. See ARCHITECTURE.md for why migration at a window
 //! barrier cannot change the simulation.
+//!
+//! With `--obs full --trace-out trace.json` a fourth run executes on the
+//! adversarial `Rotate` schedule (every bundle migrates at every
+//! rebalance) and writes its Chrome trace — per-shard window spans,
+//! migration instants, per-bundle rate tracks — for
+//! <https://ui.perfetto.dev>.
 
 use std::time::Instant;
 
+use bundler::obs::ObsLevel;
 use bundler::shard::scenario::run_hot_bundle;
 use bundler::sim::scenario::hot_bundle::HotBundleScenario;
 use bundler::sim::sim::ShardBalance;
 use bundler::sim::SimStats;
 use bundler::types::{Duration, Rate};
 
-fn main() {
-    let scenario = HotBundleScenario::builder()
+/// Parses `--obs {off,metrics,full}` and `--trace-out PATH` from `args`.
+fn obs_args() -> (ObsLevel, Option<String>) {
+    let mut level = ObsLevel::Off;
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--obs" => {
+                level = match args.next().as_deref() {
+                    Some("off") => ObsLevel::Off,
+                    Some("metrics") => ObsLevel::Metrics,
+                    Some("full") => ObsLevel::Full,
+                    other => panic!("--obs takes off|metrics|full, got {other:?}"),
+                }
+            }
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out takes a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    (level, trace_out)
+}
+
+fn build(obs: ObsLevel) -> HotBundleScenario {
+    HotBundleScenario::builder()
         .sites(8)
         .requests_per_cold_site(60)
         .offered_load_per_cold_site(Rate::from_mbps(6))
         .bottleneck(Rate::from_mbps(96))
         .drain(Duration::from_secs(6))
         .seed(7)
-        .build();
+        .obs(obs)
+        .build()
+}
+
+fn main() {
+    let (obs_level, trace_out) = obs_args();
+    let scenario = build(ObsLevel::Off);
     println!(
         "hot bundle carries {:.0}% of {} flows across 8 sites\n",
         scenario.hot_flow_share() * 100.0,
@@ -72,5 +107,38 @@ fn main() {
             "  bundle {:>2}  {:>8} packets",
             b.index, b.snapshot.stats.packets_sent
         );
+    }
+
+    if obs_level != ObsLevel::Off {
+        // The observed run rides the adversarial `Rotate` schedule so the
+        // trace is guaranteed to contain bundle migrations — and it still
+        // matches the baseline bit-for-bit.
+        let traced = run_hot_bundle(&build(obs_level), 2, ShardBalance::Rotate);
+        assert_eq!(
+            want,
+            SimStats::of(&traced.sim),
+            "observed run diverged from the baseline"
+        );
+        let obs = traced.sim.obs.as_deref().expect("obs on");
+        let frac = obs.phase_breakdown();
+        println!(
+            "\nobserved run (2 shards, rotate): {} migrations, {} windows; \
+             phases {:.0}% busy / {:.0}% stall / {:.0}% net",
+            obs.host.migrations,
+            obs.host.windows,
+            frac.busy_frac * 100.0,
+            frac.stall_frac * 100.0,
+            frac.net_frac * 100.0,
+        );
+        if let Some(path) = &trace_out {
+            std::fs::write(path, obs.to_chrome_trace()).expect("write trace");
+            println!(
+                "{} trace records written to {path} (load at ui.perfetto.dev)",
+                obs.trace.len()
+            );
+        }
+    } else if trace_out.is_some() {
+        eprintln!("--trace-out needs --obs full (no trace was recorded)");
+        std::process::exit(2);
     }
 }

@@ -1,19 +1,46 @@
 //! Many sites, one edge: run the site agent over 8 simulated remote sites.
 //!
 //! ```text
-//! cargo run --release --example many_sites
+//! cargo run --release --example many_sites -- [--obs off|metrics|full] [--trace-out PATH]
 //! ```
 //!
 //! Each remote site announces a /24 destination prefix and gets its own
 //! bundle: packets are classified to bundles by longest-prefix match, and
 //! all 8 control loops tick off the agent's timer wheel. At the end the
 //! per-bundle telemetry snapshots are printed, together with the aggregate
-//! totals the agent derives from them.
+//! totals the agent derives from them. With `--obs metrics` the run also
+//! prints the portable metrics registry (sojourn/slowdown quantiles);
+//! with `--obs full --trace-out trace.json` it writes a Chrome trace you
+//! can load at <https://ui.perfetto.dev>.
 
+use bundler::obs::{CounterId, HistId, ObsLevel};
 use bundler::sim::scenario::many_sites::ManySitesScenario;
 use bundler::types::Rate;
 
+/// Parses `--obs {off,metrics,full}` and `--trace-out PATH` from `args`.
+fn obs_args() -> (ObsLevel, Option<String>) {
+    let mut level = ObsLevel::Off;
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--obs" => {
+                level = match args.next().as_deref() {
+                    Some("off") => ObsLevel::Off,
+                    Some("metrics") => ObsLevel::Metrics,
+                    Some("full") => ObsLevel::Full,
+                    other => panic!("--obs takes off|metrics|full, got {other:?}"),
+                }
+            }
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out takes a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    (level, trace_out)
+}
+
 fn main() {
+    let (obs_level, trace_out) = obs_args();
     let sites = 8;
     println!("Running {sites} remote sites behind one Bundler site agent...\n");
 
@@ -22,6 +49,7 @@ fn main() {
         .requests_per_site(80)
         .offered_load_per_site(Rate::from_mbps(6))
         .seed(1)
+        .obs(obs_level)
         .build()
         .run();
 
@@ -46,6 +74,37 @@ fn main() {
         sites * 80,
         report.sim.median_slowdown().unwrap_or(f64::NAN),
     );
+
+    if let Some(obs) = report.sim.obs.as_deref() {
+        let m = &obs.metrics;
+        let sojourn = m.hist(HistId::SendboxSojournNs);
+        let slowdown = m.hist(HistId::FctSlowdownMilli);
+        println!(
+            "\nobs:    {} enqueued / {} dropped, sendbox sojourn p50 {:.2} ms p99 {:.2} ms",
+            m.counter(CounterId::SendboxEnqueued),
+            m.counter(CounterId::SendboxDropped),
+            sojourn.quantile(0.5).unwrap_or(0) as f64 / 1e6,
+            sojourn.quantile(0.99).unwrap_or(0) as f64 / 1e6,
+        );
+        println!(
+            "obs:    {} control ticks, {} mode changes, FCT slowdown p50 {:.2}x p99 {:.2}x",
+            m.counter(CounterId::ControlTicks),
+            m.counter(CounterId::ModeChanges),
+            slowdown.quantile(0.5).unwrap_or(0) as f64 / 1e3,
+            slowdown.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+        );
+        if let Some(path) = &trace_out {
+            std::fs::write(path, obs.to_chrome_trace()).expect("write trace");
+            println!(
+                "obs:    {} trace records written to {path} (load at ui.perfetto.dev)",
+                obs.trace.len()
+            );
+        }
+    } else if trace_out.is_some() {
+        eprintln!("--trace-out needs --obs full (no trace was recorded)");
+        std::process::exit(2);
+    }
+
     assert!(
         report.all_bundles_active(),
         "every bundle should have an active control loop"

@@ -24,16 +24,108 @@ Two checks run per scenario present in both files:
    loose backstop — it exists to catch catastrophic (algorithmic-order)
    regressions that slow *both* engines and would cancel out of check 1.
 
+3. *Obs-off overhead* (``--obs-only`` mode, which replaces checks 1-2):
+   the observability hooks compiled into the hot path must be ~free when
+   recording is off. Two floors at (1 - --obs-threshold, default 3%) of
+   the committed pre-obs baseline (BENCH_PR5.json): the `many_sites`
+   calendar-wheel cell individually (the headline scenario the
+   acceptance criterion names), and the geometric mean of every
+   scenario's calendar-wheel ratio (single cells on a shared container
+   jitter ~5% run-to-run, so per-cell floors on the rest would gate on
+   noise; the geomean still catches a systematic overhead). Absolute
+   ev/s only compares within one machine + scale, so when the two
+   reports' scales differ the check is skipped with a note (the
+   committed-vs-committed comparison at paper scale is the
+   authoritative one). The fresh report must also carry the obs axis
+   itself: the calendar_wheel_obs_* cells and the obs_phase_breakdown
+   object, with recording ratios > 0.
+
 Usage: perf_gate.py FRESH.json COMMITTED.json [--threshold 0.2]
+       perf_gate.py FRESH.json BASELINE.json --obs-only [--obs-threshold 0.03]
 """
 
 import argparse
 import json
+import math
 import sys
 
 
 def by_key(report):
     return {(r["scenario"], r["engine"]): r for r in report["scenarios"]}
+
+
+def obs_gate(fresh, baseline, threshold):
+    """Check 3 of the module docstring: obs-off overhead + axis presence."""
+    failures, checks = [], 0
+
+    # The obs axis must be in the fresh report at all: the in-run
+    # recording ratios and the phase breakdown are PR 6 deliverables.
+    ratios = {k: v for k, v in fresh.get("speedup_events_per_sec", {}).items()
+              if "_obs_" in k}
+    checks += 1
+    if ratios and all(v > 0 for v in ratios.values()):
+        print(f"[ok] obs recording ratios present: "
+              + ", ".join(f"{k}={v:.3f}" for k, v in sorted(ratios.items())))
+    else:
+        failures.append("missing obs recording ratios "
+                        "(speedup_events_per_sec *_obs_*)")
+    phase = fresh.get("obs_phase_breakdown")
+    checks += 1
+    if phase and abs(phase["busy_frac"] + phase["stall_frac"]
+                     + phase["net_frac"] - 1.0) < 1e-3:
+        print(f"[ok] phase breakdown partitions the run: "
+              f"busy {phase['busy_frac']:.0%} / stall {phase['stall_frac']:.0%}"
+              f" / net {phase['net_frac']:.0%} over {phase['windows']} windows")
+    else:
+        failures.append("obs_phase_breakdown missing or fractions do not "
+                        "sum to 1")
+
+    # Absolute overhead vs the pre-obs baseline: same machine + scale only.
+    if fresh.get("scale") != baseline.get("scale"):
+        print(f"note: scales differ (fresh={fresh.get('scale')}, "
+              f"baseline={baseline.get('scale')}) — obs-off overhead floor "
+              f"skipped; the committed paper-scale reports carry this gate")
+    else:
+        fresh_runs, base_runs = by_key(fresh), by_key(baseline)
+        floor = 1.0 - threshold
+        ratios_vs_base = {}
+        for key in sorted(set(fresh_runs) & set(base_runs)):
+            scenario, engine = key
+            if engine != "calendar_wheel":
+                continue
+            ev_b = base_runs[key]["events_per_sec"]
+            ev_f = fresh_runs[key]["events_per_sec"]
+            ratios_vs_base[scenario] = ev_f / ev_b
+            print(f"[--] {scenario}: obs-off {ev_f:,.0f} ev/s vs pre-obs "
+                  f"baseline {ev_b:,.0f} ({ev_f / ev_b:.3f}x)")
+        if "many_sites" in ratios_vs_base:
+            checks += 1
+            r = ratios_vs_base["many_sites"]
+            ok = r >= floor
+            print(f"[{'ok' if ok else 'FAIL'}] many_sites obs-off ratio "
+                  f"{r:.3f} (floor {floor:.2f})")
+            if not ok:
+                failures.append(f"many_sites obs-off overhead exceeds "
+                                f"{threshold:.0%} ({r:.3f} < {floor:.2f})")
+        if ratios_vs_base:
+            checks += 1
+            logs = [math.log(r) for r in ratios_vs_base.values()]
+            geomean = math.exp(sum(logs) / len(logs))
+            ok = geomean >= floor
+            print(f"[{'ok' if ok else 'FAIL'}] geomean obs-off ratio over "
+                  f"{len(logs)} scenarios: {geomean:.3f} (floor {floor:.2f})")
+            if not ok:
+                failures.append(f"geomean obs-off overhead exceeds "
+                                f"{threshold:.0%} ({geomean:.3f} < "
+                                f"{floor:.2f})")
+
+    if failures:
+        print(f"\nobs gate FAILED ({len(failures)} problem(s)):")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print(f"\nobs gate passed: {checks} checks")
+    return 0
 
 
 def main():
@@ -42,12 +134,21 @@ def main():
     ap.add_argument("committed")
     ap.add_argument("--threshold", type=float, default=0.2,
                     help="allowed fractional regression (default 0.2 = 20%)")
+    ap.add_argument("--obs-only", action="store_true",
+                    help="gate only the obs-off overhead vs a pre-obs "
+                         "baseline report (skips the engine/floor checks)")
+    ap.add_argument("--obs-threshold", type=float, default=0.03,
+                    help="allowed obs-off overhead in --obs-only mode "
+                         "(default 0.03 = 3%)")
     args = ap.parse_args()
 
     with open(args.fresh) as f:
         fresh = json.load(f)
     with open(args.committed) as f:
         committed = json.load(f)
+
+    if args.obs_only:
+        return obs_gate(fresh, committed, args.obs_threshold)
 
     fresh_runs, committed_runs = by_key(fresh), by_key(committed)
     floor = 1.0 - args.threshold

@@ -30,6 +30,12 @@
 //!   has the proof sketch).
 //! * [`internet`] — WAN path profiles and workloads for the real-Internet
 //!   experiments (§8 of the paper).
+//! * [`obs`] — deterministic observability: fixed-slot metrics with
+//!   shard-count-invariant merged snapshots, a structured trace recorder
+//!   with Perfetto (Chrome trace-event) export, and the sharded runtime's
+//!   per-window phase profiler. Enabled per run via
+//!   `SimulationConfig::obs`; `ObsLevel::Off` (the default) reduces every
+//!   instrumentation site to a skipped branch.
 //!
 //! # Quickstart
 //!
@@ -51,6 +57,7 @@ pub use bundler_agent as agent;
 pub use bundler_cc as cc;
 pub use bundler_core as core;
 pub use bundler_internet as internet;
+pub use bundler_obs as obs;
 pub use bundler_sched as sched;
 pub use bundler_shard as shard;
 pub use bundler_sim as sim;

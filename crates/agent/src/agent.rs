@@ -17,6 +17,7 @@
 use bundler_core::feedback::{BundleId, CongestionAck};
 use bundler_core::{BundlerConfig, FnvHashMap, Sendbox, SendboxOutput, SendboxTelemetry};
 use bundler_types::{Duration, FlowKey, IpPrefix, Nanos, Packet};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::classifier::PrefixClassifier;
 use crate::telemetry::{AgentTelemetry, BundleTelemetry};
@@ -54,6 +55,30 @@ pub struct AgentStats {
     pub ticks_run: u64,
     /// Calls to [`SiteAgent::advance`].
     pub advances: u64,
+}
+
+impl Encode for AgentStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.packets_classified.encode(out);
+        self.packets_unclassified.encode(out);
+        self.acks_delivered.encode(out);
+        self.acks_unknown.encode(out);
+        self.ticks_run.encode(out);
+        self.advances.encode(out);
+    }
+}
+
+impl Decode for AgentStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AgentStats {
+            packets_classified: u64::decode(r)?,
+            packets_unclassified: u64::decode(r)?,
+            acks_delivered: u64::decode(r)?,
+            acks_unknown: u64::decode(r)?,
+            ticks_run: u64::decode(r)?,
+            advances: u64::decode(r)?,
+        })
+    }
 }
 
 /// The result of one due control tick.
@@ -107,6 +132,32 @@ impl DetachedBundle {
     /// The destination prefixes routed to this bundle.
     pub fn prefixes(&self) -> &[IpPrefix] {
         &self.prefixes
+    }
+
+    /// Serializes the detached bundle — identity, routed prefixes, and the
+    /// full control-plane state — for a simulation snapshot. The Bundler
+    /// configuration is NOT included; [`DetachedBundle::from_state`] rebuilds
+    /// the control plane from the same configuration.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.prefixes.encode(out);
+        self.control.save_state(out);
+    }
+
+    /// Reconstructs a detached bundle from bytes written by
+    /// [`DetachedBundle::save_state`], rebuilding the control plane from
+    /// `config` and then restoring its dynamic state.
+    pub fn from_state(config: BundlerConfig, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let id = BundleId::decode(r)?;
+        let prefixes: Vec<IpPrefix> = Decode::decode(r)?;
+        let mut control =
+            Sendbox::new(id, config).map_err(|_| r.error("invalid bundler config"))?;
+        control.load_state(r)?;
+        Ok(DetachedBundle {
+            control,
+            prefixes,
+            id,
+        })
     }
 }
 
@@ -203,6 +254,13 @@ impl SiteAgent {
     /// The agent's own counters.
     pub fn stats(&self) -> AgentStats {
         self.stats
+    }
+
+    /// Overwrites the agent's counters. Used by snapshot restore, which
+    /// rebuilds the agent by re-adopting bundles and must then reinstate the
+    /// lifetime counters recorded at checkpoint time.
+    pub fn restore_stats(&mut self, stats: AgentStats) {
+        self.stats = stats;
     }
 
     /// Adds a bundle for the remote site announcing `prefixes`, returning

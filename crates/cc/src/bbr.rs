@@ -13,6 +13,7 @@
 //! loss-agnostic operation.
 
 use bundler_types::{Duration, Nanos, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::windowed::WindowedFilter;
 use crate::{AckEvent, BundleCc, LossEvent, Measurement, RateUpdate, WindowCc};
@@ -29,6 +30,28 @@ enum Phase {
     Startup,
     Drain,
     ProbeBw,
+}
+
+impl Encode for Phase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            Phase::Startup => 0,
+            Phase::Drain => 1,
+            Phase::ProbeBw => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Decode for Phase {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Phase::Startup),
+            1 => Ok(Phase::Drain),
+            2 => Ok(Phase::ProbeBw),
+            _ => Err(r.error("invalid bbr phase tag")),
+        }
+    }
 }
 
 /// Rate-based BBR for bundle control at the sendbox.
@@ -154,6 +177,32 @@ impl BundleCc for Bbr {
     fn name(&self) -> &'static str {
         "bbr"
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.max_bw.save_state(out);
+        self.min_rtt.save_state(out);
+        self.phase.encode(out);
+        self.full_bw.encode(out);
+        self.full_bw_rounds.encode(out);
+        self.cycle_index.encode(out);
+        self.cycle_start.encode(out);
+        self.last_rate.encode(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.max_bw.load_state(r)?;
+        self.min_rtt.load_state(r)?;
+        self.phase = Phase::decode(r)?;
+        self.full_bw = Rate::decode(r)?;
+        self.full_bw_rounds = u32::decode(r)?;
+        self.cycle_index = usize::decode(r)?;
+        if self.cycle_index >= PROBE_GAINS.len() {
+            return Err(r.error("bbr cycle index out of range"));
+        }
+        self.cycle_start = Nanos::decode(r)?;
+        self.last_rate = Rate::decode(r)?;
+        Ok(())
+    }
 }
 
 /// Window-based BBR model for simulated endhosts.
@@ -272,6 +321,32 @@ impl WindowCc for BbrWindow {
 
     fn name(&self) -> &'static str {
         "bbr"
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.max_bw.save_state(out);
+        self.min_rtt.save_state(out);
+        self.phase.encode(out);
+        self.full_bw.encode(out);
+        self.full_bw_rounds.encode(out);
+        self.cycle_index.encode(out);
+        self.cycle_start.encode(out);
+        self.cwnd.encode(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.max_bw.load_state(r)?;
+        self.min_rtt.load_state(r)?;
+        self.phase = Phase::decode(r)?;
+        self.full_bw = f64::decode(r)?;
+        self.full_bw_rounds = u32::decode(r)?;
+        self.cycle_index = usize::decode(r)?;
+        if self.cycle_index >= PROBE_GAINS.len() {
+            return Err(r.error("bbr cycle index out of range"));
+        }
+        self.cycle_start = Nanos::decode(r)?;
+        self.cwnd = u64::decode(r)?;
+        Ok(())
     }
 }
 

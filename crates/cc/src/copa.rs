@@ -15,6 +15,7 @@
 //! required here).
 
 use bundler_types::{Duration, Nanos, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::windowed::WindowedFilter;
 use crate::{BundleCc, Measurement, RateUpdate};
@@ -52,6 +53,26 @@ impl Default for CopaConfig {
 enum Direction {
     Up,
     Down,
+}
+
+impl Encode for Direction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            Direction::Up => 0,
+            Direction::Down => 1,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Decode for Direction {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Direction::Up),
+            1 => Ok(Direction::Down),
+            _ => Err(r.error("invalid copa direction tag")),
+        }
+    }
 }
 
 /// Copa congestion controller operating on a traffic bundle.
@@ -231,6 +252,31 @@ impl BundleCc for Copa {
 
     fn name(&self) -> &'static str {
         "copa"
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.cwnd_bytes.encode(out);
+        self.velocity.encode(out);
+        self.direction.encode(out);
+        self.same_direction_count.encode(out);
+        self.last_velocity_update.encode(out);
+        self.min_rtt.save_state(out);
+        self.standing_rtt.save_state(out);
+        self.last_rate.encode(out);
+        self.last_update.encode(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.cwnd_bytes = f64::decode(r)?;
+        self.velocity = f64::decode(r)?;
+        self.direction = Decode::decode(r)?;
+        self.same_direction_count = u32::decode(r)?;
+        self.last_velocity_update = Decode::decode(r)?;
+        self.min_rtt.load_state(r)?;
+        self.standing_rtt.load_state(r)?;
+        self.last_rate = Rate::decode(r)?;
+        self.last_update = Decode::decode(r)?;
+        Ok(())
     }
 }
 

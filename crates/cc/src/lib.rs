@@ -29,6 +29,7 @@ pub mod vegas;
 pub mod windowed;
 
 use bundler_types::{Duration, Nanos, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// One round of congestion signals measured over (roughly) an RTT.
 ///
@@ -57,6 +58,32 @@ impl Measurement {
     /// Queueing delay implied by this measurement: `rtt - min_rtt`.
     pub fn queue_delay(&self) -> Duration {
         self.rtt.saturating_sub(self.min_rtt)
+    }
+}
+
+impl Encode for Measurement {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.now.encode(out);
+        self.rtt.encode(out);
+        self.min_rtt.encode(out);
+        self.send_rate.encode(out);
+        self.recv_rate.encode(out);
+        self.acked_bytes.encode(out);
+        self.lost_samples.encode(out);
+    }
+}
+
+impl Decode for Measurement {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Measurement {
+            now: Nanos::decode(r)?,
+            rtt: Duration::decode(r)?,
+            min_rtt: Duration::decode(r)?,
+            send_rate: Rate::decode(r)?,
+            recv_rate: Rate::decode(r)?,
+            acked_bytes: u64::decode(r)?,
+            lost_samples: u64::decode(r)?,
+        })
     }
 }
 
@@ -90,6 +117,17 @@ pub trait BundleCc: Send {
 
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
+
+    /// Appends the controller's dynamic state to a snapshot byte stream.
+    /// Configuration (bounds, filter windows, gains) is not written: restore
+    /// constructs the controller from the same [`BundleAlg`] first, then
+    /// calls [`BundleCc::load_state`]. Every controller must support this so
+    /// simulation checkpoints resume bit-identically.
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores state written by [`BundleCc::save_state`] into a freshly
+    /// built controller of the same algorithm and configuration.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError>;
 }
 
 /// Signals delivered to a window-based (endhost) congestion controller for
@@ -138,6 +176,16 @@ pub trait WindowCc: Send {
 
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
+
+    /// Appends the controller's dynamic state to a snapshot byte stream.
+    /// Configuration (MSS, constants) is not written: restore constructs the
+    /// controller from the same [`EndhostAlg`] first, then calls
+    /// [`WindowCc::load_state`].
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores state written by [`WindowCc::save_state`] into a freshly
+    /// built controller of the same algorithm and configuration.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError>;
 }
 
 /// Endhost congestion-control algorithm selector used by the simulator and
@@ -166,6 +214,34 @@ impl EndhostAlg {
             EndhostAlg::Bbr => Box::new(bbr::BbrWindow::new(mss)),
             EndhostAlg::Vegas => Box::new(vegas::Vegas::new(mss)),
             EndhostAlg::FixedWindow(pkts) => Box::new(FixedWindow { cwnd: pkts * mss }),
+        }
+    }
+}
+
+impl Encode for EndhostAlg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EndhostAlg::Cubic => 0u8.encode(out),
+            EndhostAlg::NewReno => 1u8.encode(out),
+            EndhostAlg::Bbr => 2u8.encode(out),
+            EndhostAlg::Vegas => 3u8.encode(out),
+            EndhostAlg::FixedWindow(pkts) => {
+                4u8.encode(out);
+                pkts.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for EndhostAlg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(EndhostAlg::Cubic),
+            1 => Ok(EndhostAlg::NewReno),
+            2 => Ok(EndhostAlg::Bbr),
+            3 => Ok(EndhostAlg::Vegas),
+            4 => Ok(EndhostAlg::FixedWindow(u64::decode(r)?)),
+            _ => Err(r.error("unknown endhost algorithm tag")),
         }
     }
 }
@@ -239,6 +315,13 @@ impl WindowCc for FixedWindow {
     fn name(&self) -> &'static str {
         "fixed"
     }
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.cwnd.encode(out);
+    }
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.cwnd = u64::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -289,5 +372,93 @@ mod tests {
     fn display_names() {
         assert_eq!(BundleAlg::Copa.to_string(), "copa");
         assert_eq!(EndhostAlg::FixedWindow(3).to_string(), "fixed(3)");
+    }
+
+    /// Drives a controller, snapshots it, loads the bytes into a freshly
+    /// built one, and checks the two agree — both immediately and after
+    /// processing one more identical event.
+    #[test]
+    fn endhost_state_round_trips() {
+        for alg in [
+            EndhostAlg::Cubic,
+            EndhostAlg::NewReno,
+            EndhostAlg::Bbr,
+            EndhostAlg::Vegas,
+            EndhostAlg::FixedWindow(450),
+        ] {
+            let mut cc = alg.build(1460);
+            for i in 0..40u64 {
+                cc.on_ack(&AckEvent {
+                    now: Nanos::from_millis(i * 10),
+                    acked_bytes: 1460,
+                    rtt_sample: Some(Duration::from_millis(50)),
+                    min_rtt: Duration::from_millis(50),
+                    inflight_bytes: 40 * 1460,
+                });
+            }
+            cc.on_loss(&LossEvent {
+                now: Nanos::from_millis(400),
+                lost_bytes: 1460,
+                is_timeout: false,
+            });
+            let mut buf = Vec::new();
+            cc.save_state(&mut buf);
+            let mut restored = alg.build(1460);
+            let mut r = Reader::new(&buf);
+            restored.load_state(&mut r).unwrap();
+            assert!(r.is_empty(), "{alg}: trailing snapshot bytes");
+            assert_eq!(restored.cwnd(), cc.cwnd(), "{alg}: cwnd after load");
+            let next = AckEvent {
+                now: Nanos::from_millis(500),
+                acked_bytes: 1460,
+                rtt_sample: Some(Duration::from_millis(55)),
+                min_rtt: Duration::from_millis(50),
+                inflight_bytes: 20 * 1460,
+            };
+            cc.on_ack(&next);
+            restored.on_ack(&next);
+            assert_eq!(restored.cwnd(), cc.cwnd(), "{alg}: cwnd diverged");
+            assert_eq!(restored.pacing_rate(), cc.pacing_rate(), "{alg}: pacing");
+        }
+    }
+
+    #[test]
+    fn bundle_state_round_trips() {
+        for alg in [BundleAlg::Copa, BundleAlg::NimbusBasicDelay, BundleAlg::Bbr] {
+            let initial = Rate::from_mbps(10);
+            let mut cc = alg.build(initial);
+            for i in 0..60u64 {
+                cc.on_measurement(&Measurement {
+                    now: Nanos::from_millis(i * 10),
+                    rtt: Duration::from_millis(52),
+                    min_rtt: Duration::from_millis(50),
+                    send_rate: Rate::from_mbps(48),
+                    recv_rate: Rate::from_mbps(48),
+                    acked_bytes: 60_000,
+                    lost_samples: 0,
+                });
+            }
+            let mut buf = Vec::new();
+            cc.save_state(&mut buf);
+            let mut restored = alg.build(initial);
+            let mut r = Reader::new(&buf);
+            restored.load_state(&mut r).unwrap();
+            assert!(r.is_empty(), "{alg}: trailing snapshot bytes");
+            assert_eq!(restored.current_rate(), cc.current_rate(), "{alg}: rate");
+            let next = Measurement {
+                now: Nanos::from_millis(600),
+                rtt: Duration::from_millis(60),
+                min_rtt: Duration::from_millis(50),
+                send_rate: Rate::from_mbps(50),
+                recv_rate: Rate::from_mbps(46),
+                acked_bytes: 57_000,
+                lost_samples: 1,
+            };
+            assert_eq!(
+                cc.on_measurement(&next),
+                restored.on_measurement(&next),
+                "{alg}: update diverged"
+            );
+        }
     }
 }

@@ -25,6 +25,7 @@
 use std::collections::VecDeque;
 
 use bundler_types::{Duration, Nanos, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::fft::peak_to_band_ratio;
 use crate::windowed::WindowedFilter;
@@ -101,6 +102,26 @@ pub enum CrossTrafficVerdict {
     /// Buffer-filling (elastic) cross traffic is present; a delay-based
     /// controller would be starved.
     Elastic,
+}
+
+impl Encode for CrossTrafficVerdict {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            CrossTrafficVerdict::Inelastic => 0,
+            CrossTrafficVerdict::Elastic => 1,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Decode for CrossTrafficVerdict {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(CrossTrafficVerdict::Inelastic),
+            1 => Ok(CrossTrafficVerdict::Elastic),
+            _ => Err(r.error("invalid cross-traffic verdict tag")),
+        }
+    }
 }
 
 /// Configuration for [`ElasticityDetector`].
@@ -258,6 +279,27 @@ impl ElasticityDetector {
     /// computed).
     pub fn fft_ratio(&self) -> f64 {
         self.last_fft_ratio
+    }
+
+    /// Appends the detector's dynamic state to a snapshot byte stream (the
+    /// configuration is not written; restore constructs the detector with
+    /// the same [`ElasticityConfig`] first).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.cross_samples.encode(out);
+        self.mu_filter.save_state(out);
+        self.total_samples.encode(out);
+        self.last_fft_ratio.encode(out);
+        self.last_verdict.encode(out);
+    }
+
+    /// Restores state written by [`ElasticityDetector::save_state`].
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.cross_samples = Decode::decode(r)?;
+        self.mu_filter.load_state(r)?;
+        self.total_samples = u64::decode(r)?;
+        self.last_fft_ratio = f64::decode(r)?;
+        self.last_verdict = CrossTrafficVerdict::decode(r)?;
+        Ok(())
     }
 
     /// Decision based on spectral energy at the pulse frequency.
@@ -437,6 +479,17 @@ impl BundleCc for Nimbus {
 
     fn name(&self) -> &'static str {
         "nimbus"
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.mu_filter.save_state(out);
+        self.last_rate.encode(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.mu_filter.load_state(r)?;
+        self.last_rate = Rate::decode(r)?;
+        Ok(())
     }
 }
 

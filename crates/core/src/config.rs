@@ -59,6 +59,12 @@ pub struct BundlerConfig {
     pub enable_cross_traffic_detection: bool,
     /// Whether multipath detection (and thus self-disabling) is enabled.
     pub enable_multipath_detection: bool,
+    /// Graceful degradation: when the feedback channel times out (the
+    /// receivebox is unreachable, or a control-plane blackout is injected),
+    /// fall back to status-quo pass-through at `max_rate` instead of letting
+    /// the congestion controller keep cutting its rate against stale state.
+    /// Control re-engages as soon as a congestion ACK arrives again.
+    pub degrade_on_feedback_timeout: bool,
 }
 
 impl Default for BundlerConfig {
@@ -95,6 +101,7 @@ impl Default for BundlerConfig {
             sendbox_queue_capacity_pkts: 2_048,
             enable_cross_traffic_detection: true,
             enable_multipath_detection: true,
+            degrade_on_feedback_timeout: false,
         }
     }
 }

@@ -9,6 +9,7 @@
 //! lost epoch-size update cannot desynchronize the two boxes.
 
 use bundler_types::{Duration, Packet, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::fnv::Fnv1a;
 
@@ -70,6 +71,26 @@ pub struct BoundaryRecord {
     pub bytes_sent: u64,
     /// Cumulative bundle packets sent up to and including this packet.
     pub packets_sent: u64,
+}
+
+impl Encode for BoundaryRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.hash.encode(out);
+        self.sent_at.encode(out);
+        self.bytes_sent.encode(out);
+        self.packets_sent.encode(out);
+    }
+}
+
+impl Decode for BoundaryRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BoundaryRecord {
+            hash: u64::decode(r)?,
+            sent_at: Decode::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            packets_sent: u64::decode(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use bundler_cc::nimbus::{CrossTrafficVerdict, ElasticityConfig, ElasticityDetect
 use bundler_cc::windowed::WindowedFilter;
 use bundler_cc::{BundleCc, Measurement};
 use bundler_types::{Duration, Nanos, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::config::BundlerConfig;
 use crate::measurement::AckOrdering;
@@ -37,6 +38,28 @@ pub enum Mode {
     PassThrough,
     /// Imbalanced multipath detected: rate control disabled entirely.
     Disabled,
+}
+
+impl Encode for Mode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            Mode::DelayControl => 0,
+            Mode::PassThrough => 1,
+            Mode::Disabled => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Decode for Mode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Mode::DelayControl),
+            1 => Ok(Mode::PassThrough),
+            2 => Ok(Mode::Disabled),
+            _ => Err(r.error("invalid mode tag")),
+        }
+    }
 }
 
 impl std::fmt::Display for Mode {
@@ -67,6 +90,9 @@ pub struct ModeController {
     current_rate: Rate,
     /// Transition log: (time, new mode), useful for experiments.
     transitions: Vec<(Nanos, Mode)>,
+    /// True while the controller has fallen back to status-quo pass-through
+    /// because the feedback channel timed out (graceful degradation).
+    degraded: bool,
 }
 
 impl std::fmt::Debug for ModeController {
@@ -115,6 +141,7 @@ impl ModeController {
             inelastic_since: None,
             current_rate: config.initial_rate,
             transitions: Vec::new(),
+            degraded: false,
         }
     }
 
@@ -170,6 +197,35 @@ impl ModeController {
         self.current_rate
     }
 
+    /// True while the controller is in the graceful-degradation fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Enters the graceful-degradation fallback: the feedback channel is
+    /// considered dead, so the bundle reverts to status-quo behaviour
+    /// (unlimited pass-through at `max_rate`) rather than keep acting on
+    /// stale congestion state. Recorded as a transition to [`Mode::Disabled`]
+    /// so the outage is visible in the mode timeline.
+    pub fn enter_degraded(&mut self, now: Nanos) -> Rate {
+        if !self.degraded {
+            self.degraded = true;
+            self.set_mode(Mode::Disabled, now);
+            self.current_rate = self.config.max_rate;
+        }
+        self.current_rate
+    }
+
+    /// Leaves the degradation fallback (feedback is flowing again) and
+    /// re-engages delay control from the congestion controller's preserved
+    /// state.
+    pub fn exit_degraded(&mut self, now: Nanos) {
+        if self.degraded {
+            self.degraded = false;
+            self.set_mode(Mode::DelayControl, now);
+        }
+    }
+
     fn set_mode(&mut self, mode: Mode, now: Nanos) {
         if self.mode != mode {
             self.mode = mode;
@@ -197,6 +253,13 @@ impl ModeController {
         sendbox_queue_bytes: u64,
         now: Nanos,
     ) -> Rate {
+        // Feedback blackout: hold status-quo pass-through until an ACK
+        // arrives again (the sendbox calls `exit_degraded` at that point).
+        if self.degraded {
+            self.current_rate = self.config.max_rate;
+            return self.current_rate;
+        }
+
         // Multipath imbalance overrides everything.
         if self.config.enable_multipath_detection && self.multipath.imbalanced() {
             self.set_mode(Mode::Disabled, now);
@@ -246,6 +309,39 @@ impl ModeController {
         }
 
         self.current_rate
+    }
+
+    /// Serializes the controller's full dynamic state, including the boxed
+    /// congestion controller's (via [`BundleCc::save_state`]).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.cc.save_state(out);
+        self.detector.save_state(out);
+        self.pi.save_state(out);
+        self.multipath.save_state(out);
+        self.mode.encode(out);
+        self.mu_filter.save_state(out);
+        self.elastic_since.encode(out);
+        self.inelastic_since.encode(out);
+        self.current_rate.encode(out);
+        self.transitions.encode(out);
+        self.degraded.encode(out);
+    }
+
+    /// Restores state saved by [`ModeController::save_state`] into a
+    /// controller freshly built from the same configuration.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.cc.load_state(r)?;
+        self.detector.load_state(r)?;
+        self.pi.load_state(r)?;
+        self.multipath.load_state(r)?;
+        self.mode = Mode::decode(r)?;
+        self.mu_filter.load_state(r)?;
+        self.elastic_since = Decode::decode(r)?;
+        self.inelastic_since = Decode::decode(r)?;
+        self.current_rate = Rate::decode(r)?;
+        self.transitions = Decode::decode(r)?;
+        self.degraded = bool::decode(r)?;
+        Ok(())
     }
 
     fn track_verdict(&mut self, verdict: CrossTrafficVerdict, now: Nanos) {

@@ -14,6 +14,7 @@
 use bundler_cc::windowed::Ewma;
 use bundler_cc::Measurement;
 use bundler_types::{Duration, Nanos, Packet, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::config::BundlerConfig;
 use crate::epoch::{self, BoundaryRecord};
@@ -51,6 +52,32 @@ pub struct SendboxStats {
     pub epoch_changes: u64,
     /// Feedback timeouts signalled to the controller.
     pub feedback_timeouts: u64,
+}
+
+impl Encode for SendboxStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.packets_sent.encode(out);
+        self.bytes_sent.encode(out);
+        self.boundaries.encode(out);
+        self.acks_received.encode(out);
+        self.ticks.encode(out);
+        self.epoch_changes.encode(out);
+        self.feedback_timeouts.encode(out);
+    }
+}
+
+impl Decode for SendboxStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SendboxStats {
+            packets_sent: u64::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            boundaries: u64::decode(r)?,
+            acks_received: u64::decode(r)?,
+            ticks: u64::decode(r)?,
+            epoch_changes: u64::decode(r)?,
+            feedback_timeouts: u64::decode(r)?,
+        })
+    }
 }
 
 impl std::ops::AddAssign for SendboxStats {
@@ -263,6 +290,17 @@ impl Sendbox {
         if let AckOutcome::Sample { ordering, .. } = self.engine.on_congestion_ack(ack, now) {
             self.modes.on_ack_ordering(ordering, now);
         }
+        // Feedback is flowing again: re-engage control if we had fallen back
+        // to status-quo pass-through during a blackout.
+        if self.modes.is_degraded() {
+            self.modes.exit_degraded(now);
+        }
+    }
+
+    /// True while the control plane has degraded to status-quo pass-through
+    /// because the feedback channel timed out.
+    pub fn is_degraded(&self) -> bool {
+        self.modes.is_degraded()
     }
 
     /// Runs one control tick. `sendbox_queue_bytes` is the current occupancy
@@ -280,7 +318,11 @@ impl Sendbox {
                     .map(|t| now.saturating_since(t) > self.config.feedback_timeout)
                     .unwrap_or(true)
             {
-                self.modes.on_feedback_timeout(now);
+                if self.config.degrade_on_feedback_timeout {
+                    self.modes.enter_degraded(now);
+                } else {
+                    self.modes.on_feedback_timeout(now);
+                }
                 self.last_feedback_timeout_at = Some(now);
                 self.stats.feedback_timeouts += 1;
             }
@@ -302,6 +344,34 @@ impl Sendbox {
             epoch_update,
             mode: self.modes.mode(),
         }
+    }
+
+    /// Serializes the sendbox's full control-plane state (measurement
+    /// engine, mode controller with its congestion controller, epoch-size
+    /// control and counters). The `config` and `bundle` id are not included:
+    /// restore rebuilds the sendbox from the same configuration via
+    /// [`Sendbox::new`] and then calls [`Sendbox::load_state`].
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.engine.save_state(out);
+        self.modes.save_state(out);
+        self.epoch_size.encode(out);
+        self.avg_packet_size.save_state(out);
+        self.stats.encode(out);
+        self.last_feedback_timeout_at.encode(out);
+        self.last_measurement.encode(out);
+    }
+
+    /// Restores state saved by [`Sendbox::save_state`] into a sendbox
+    /// freshly built with the same configuration.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.engine.load_state(r)?;
+        self.modes.load_state(r)?;
+        self.epoch_size = u32::decode(r)?;
+        self.avg_packet_size.load_state(r)?;
+        self.stats = SendboxStats::decode(r)?;
+        self.last_feedback_timeout_at = Decode::decode(r)?;
+        self.last_measurement = Decode::decode(r)?;
+        Ok(())
     }
 
     fn maybe_update_epoch_size(&mut self, rate: Rate) -> Option<EpochSizeUpdate> {
@@ -466,6 +536,123 @@ mod tests {
             timeouts <= 6,
             "timeouts must be rate-limited, got {timeouts}"
         );
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot() {
+        // Drive a closed loop for a while, snapshot the control plane,
+        // restore into a fresh sendbox, then continue both with identical
+        // inputs: every observable output must stay identical.
+        fn drive(
+            sb: &mut Sendbox,
+            rb: &mut Receivebox,
+            now_ns: &mut u64,
+            ip_id: &mut u16,
+            pending_ticks: &mut u64,
+        ) {
+            for _ in 0..5_000 {
+                let p = pkt(*ip_id, 1460);
+                *ip_id = ip_id.wrapping_add(1);
+                sb.on_packet_forwarded(&p, Nanos(*now_ns));
+                if let Some(ack) = rb.on_packet(&p, Nanos(*now_ns + 25_000_000)) {
+                    sb.on_congestion_ack(&ack, Nanos(*now_ns + 50_000_000));
+                }
+                *now_ns += 125_000;
+                if *now_ns / 10_000_000 > *pending_ticks {
+                    *pending_ticks = *now_ns / 10_000_000;
+                    let out = sb.on_tick(0, Nanos(*now_ns));
+                    if let Some(update) = out.epoch_update {
+                        rb.on_epoch_update(&update);
+                    }
+                }
+            }
+        }
+        let mut sb = Sendbox::new(BundleId(0), config()).unwrap();
+        let mut rb = Receivebox::new(BundleId(0), config().initial_epoch_size);
+        let mut now_ns: u64 = 0;
+        let mut ip_id = 0u16;
+        let mut pending_ticks = 0u64;
+        drive(
+            &mut sb,
+            &mut rb,
+            &mut now_ns,
+            &mut ip_id,
+            &mut pending_ticks,
+        );
+
+        let mut sb_bytes = Vec::new();
+        sb.save_state(&mut sb_bytes);
+        let mut rb_bytes = Vec::new();
+        rb.save_state(&mut rb_bytes);
+
+        let mut sb2 = Sendbox::new(BundleId(0), config()).unwrap();
+        let mut r = serde::binary::Reader::new(&sb_bytes);
+        sb2.load_state(&mut r).expect("sendbox state loads");
+        assert!(r.is_empty(), "sendbox state fully consumed");
+        let mut rb2 = Receivebox::new(BundleId(0), config().initial_epoch_size);
+        let mut r = serde::binary::Reader::new(&rb_bytes);
+        rb2.load_state(&mut r).expect("receivebox state loads");
+        assert!(r.is_empty(), "receivebox state fully consumed");
+
+        assert_eq!(sb2.telemetry(), sb.telemetry());
+        assert_eq!(rb2.stats(), rb.stats());
+        assert_eq!(rb2.epoch_size(), rb.epoch_size());
+
+        // Both copies must evolve identically from here.
+        let (mut now2, mut ip2, mut ticks2) = (now_ns, ip_id, pending_ticks);
+        drive(
+            &mut sb,
+            &mut rb,
+            &mut now_ns,
+            &mut ip_id,
+            &mut pending_ticks,
+        );
+        drive(&mut sb2, &mut rb2, &mut now2, &mut ip2, &mut ticks2);
+        assert_eq!(sb2.telemetry(), sb.telemetry());
+        assert_eq!(sb2.rate(), sb.rate());
+        assert_eq!(sb2.mode_transitions(), sb.mode_transitions());
+        assert_eq!(rb2.stats(), rb.stats());
+    }
+
+    #[test]
+    fn degradation_falls_back_then_reengages() {
+        let cfg = BundlerConfig {
+            degrade_on_feedback_timeout: true,
+            ..Default::default()
+        };
+        let mut sb = Sendbox::new(BundleId(0), cfg).unwrap();
+        let mut rb = Receivebox::new(BundleId(0), cfg.initial_epoch_size);
+        // Establish feedback.
+        let mut last_ack = None;
+        for i in 0..200u16 {
+            let p = pkt(i, 1460);
+            sb.on_packet_forwarded(&p, Nanos::from_millis(i as u64));
+            if let Some(ack) = rb.on_packet(&p, Nanos::from_millis(i as u64 + 25)) {
+                sb.on_congestion_ack(&ack, Nanos::from_millis(i as u64 + 50));
+                last_ack = Some(ack);
+            }
+        }
+        assert!(!sb.is_degraded());
+
+        // Blackout: ticks keep coming but no ACKs arrive.
+        for i in 0..300u64 {
+            sb.on_tick(0, Nanos::from_millis(1000 + i * 10));
+        }
+        assert!(sb.is_degraded(), "timeout must trigger degradation");
+        assert_eq!(sb.mode(), Mode::Disabled);
+        assert_eq!(
+            sb.rate(),
+            cfg.max_rate,
+            "status-quo passthrough at max rate"
+        );
+
+        // Feedback recovers: the next ACK re-engages delay control.
+        sb.on_congestion_ack(&last_ack.unwrap(), Nanos::from_secs(10));
+        assert!(!sb.is_degraded());
+        assert_eq!(sb.mode(), Mode::DelayControl);
+        // The outage and recovery are both visible in the transition log.
+        let modes: Vec<Mode> = sb.mode_transitions().iter().map(|&(_, m)| m).collect();
+        assert_eq!(modes, vec![Mode::Disabled, Mode::DelayControl]);
     }
 
     #[test]

@@ -13,6 +13,20 @@
 
 use bundler_types::Nanos;
 
+/// One-shot notice that some trace ring overflowed this process (opt-in
+/// via `BUNDLER_SHARD_DEBUG`). Dropped records only thin the trace — the
+/// simulation itself is unaffected — but a diff against a truncated trace
+/// can miss the first divergence, so it is worth knowing about.
+fn note_first_drop(cap: usize) {
+    static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    if !WARNED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+        crate::logsink::debug_log(format_args!(
+            "trace ring full ({cap} records in one window); dropping newest \
+             records (counted in TraceRing::dropped)"
+        ));
+    }
+}
+
 /// Default ring capacity: one window's worth of records.
 pub const RING_CAPACITY: usize = 1 << 16;
 
@@ -195,6 +209,9 @@ impl TraceRing {
     #[inline]
     pub fn push(&mut self, rec: TraceRecord) {
         if self.buf.len() >= self.cap {
+            if self.dropped == 0 {
+                note_first_drop(self.cap);
+            }
             self.dropped += 1;
         } else {
             self.buf.push(rec);

@@ -26,6 +26,7 @@ pub mod sfq;
 pub mod tbf;
 
 use bundler_types::{Nanos, PacketArena, PacketId};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Outcome of handing a packet to a scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +130,66 @@ pub trait Scheduler: Send {
     /// enabled. Default: `None`.
     fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
         None
+    }
+
+    /// Appends the scheduler's dynamic state — queued packet refs, per-queue
+    /// bookkeeping, counters — to a snapshot byte stream, returning `true`
+    /// if the scheduler supports checkpointing. Queued packet ids are
+    /// serialized verbatim; like migration, restore rewrites them via
+    /// [`Scheduler::for_each_pkt_mut`], so their values are placeholders.
+    /// Observability exports ([`Scheduler::take_obs`]) are host-local and
+    /// deliberately excluded. Default: unsupported (`false`, writes
+    /// nothing).
+    fn save_state(&self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Restores dynamic state written by [`Scheduler::save_state`] into a
+    /// freshly constructed scheduler of the same policy and configuration.
+    /// Default: errors (unsupported).
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        Err(r.error("scheduler does not support checkpointing"))
+    }
+}
+
+impl Encode for PktRef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // The arena id is host-local: a restore re-inserts the packets and
+        // rewrites every stored id in traversal order, so the value here is
+        // never read back. Write a zeroed id instead of the live one — the
+        // snapshot bytes must not depend on arena allocation order, which
+        // differs between the single-threaded and sharded hosts.
+        PacketId::from_index(0).encode(out);
+        self.size.encode(out);
+    }
+}
+
+impl Decode for PktRef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PktRef {
+            id: PacketId::decode(r)?,
+            size: u32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SchedStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.enqueued.encode(out);
+        self.dequeued.encode(out);
+        self.dropped.encode(out);
+        self.dropped_bytes.encode(out);
+    }
+}
+
+impl Decode for SchedStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SchedStats {
+            enqueued: u64::decode(r)?,
+            dequeued: u64::decode(r)?,
+            dropped: u64::decode(r)?,
+            dropped_bytes: u64::decode(r)?,
+        })
     }
 }
 

@@ -230,6 +230,56 @@ impl Scheduler for Sfq {
             *obs
         })
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use serde::binary::Encode;
+        // Bucket count is config, re-established at construction; encode it
+        // anyway so a mismatched restore fails loudly instead of silently
+        // re-hashing flows into different buckets.
+        self.buckets.len().encode(out);
+        for b in &self.buckets {
+            b.queue.encode(out);
+            b.bytes.encode(out);
+            b.deficit.encode(out);
+        }
+        self.active.encode(out);
+        self.total_pkts.encode(out);
+        self.total_bytes.encode(out);
+        self.stats.encode(out);
+        true
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut serde::binary::Reader<'_>,
+    ) -> Result<(), serde::binary::DecodeError> {
+        use serde::binary::Decode;
+        let n = usize::decode(r)?;
+        if n != self.buckets.len() {
+            return Err(r.error("sfq bucket count mismatch"));
+        }
+        for i in 0..n {
+            let queue: std::collections::VecDeque<PktRef> = Decode::decode(r)?;
+            let bytes = u64::decode(r)?;
+            let deficit = i64::decode(r)?;
+            self.longest.set(i as u64, queue.len() as u64);
+            self.buckets[i] = Bucket {
+                queue,
+                bytes,
+                deficit,
+            };
+        }
+        self.active = Decode::decode(r)?;
+        for &idx in &self.active {
+            if idx >= n {
+                return Err(r.error("sfq active bucket out of range"));
+            }
+        }
+        self.total_pkts = usize::decode(r)?;
+        self.total_bytes = u64::decode(r)?;
+        self.stats = Decode::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! the window, and routes the resulting deliveries to the owning worker's
 //! mailbox by flow id.
 //!
-//! Two refinements over the PR 4 loop:
+//! Refinements over the PR 4 loop:
 //!
 //! * **Pipelined net phase.** With Δ = ½ lookahead, every delivery the net
 //!   phase of window W produces lands ≥ 2 windows ahead (`t + lookahead ≥
@@ -31,23 +31,39 @@
 //!   happens only at barriers and event order is canonical, *any*
 //!   migration schedule is bit-identical to the single-threaded engine
 //!   (property-tested in `tests/equivalence.rs`).
+//! * **Checkpoint phases.** With `SimulationConfig::checkpoint_every` set
+//!   and a collecting run, the first window boundary at or past each
+//!   interval multiple opens with a checkpoint rendezvous: the driver
+//!   first runs any pending pipelined net phase (so every net event below
+//!   the boundary `T` is processed and its deliveries published), then
+//!   after the window-start barrier (and any migration phase) each worker
+//!   drains its inbox and serializes its partition — residue, the direct
+//!   slice on shard 0, one [`BundleParcel`] per owned bundle. After one
+//!   more barrier the driver assembles the parts, **in canonical order,
+//!   independent of the partitioning**, into the same versioned wire
+//!   format the single-threaded host writes (`bundler_sim::snapshot`) —
+//!   byte-identical to the solo snapshot at the same `T`, restorable into
+//!   any shard count.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 
 use bundler_core::FnvHashMap;
 use bundler_obs::{wall_now_ns, NetWindow, TraceKind, WindowPhase};
 use bundler_sim::event::{Event, EventKey, EventQueue};
 use bundler_sim::runtime::{
     assemble_report, bundle_lp, origin_lp, BundleParcel, Delivery, NetCore, Partition, ToNet,
-    WorkerCore, LP_BUNDLE0,
+    WorkerCore, WorkerResidue, LP_BUNDLE0,
 };
 use bundler_sim::sim::SimulationConfig;
+use bundler_sim::snapshot::{self, SnapshotError};
 use bundler_sim::workload::FlowSpec;
 use bundler_sim::{SimReport, Simulation};
 use bundler_types::{Duration, FlowId, Nanos, Packet, PacketArena};
+use serde::binary::{Decode, Encode, Reader};
 
 use crate::balance::{Balancer, Move};
+use crate::error::{self, ShardError};
 use crate::mailbox::{self, Receiver, Sender};
 
 /// Ring capacity per mailbox (messages); bursts beyond this spill to the
@@ -63,9 +79,30 @@ struct Envelope {
     pkt: Packet,
 }
 
+/// One worker's serialized partition of a whole-simulation snapshot,
+/// deposited at the checkpoint rendezvous and assembled by the driver.
+struct CheckpointPart {
+    /// The worker's merged accumulators (fcts, counters, agent stats).
+    residue: WorkerResidue,
+    /// The direct-traffic slice — present exactly on shard 0, which owns
+    /// the direct LP.
+    direct: Option<Vec<u8>>,
+    /// `(bundle index, serialized parcel)` for every bundle the worker
+    /// owned at the rendezvous.
+    bundles: Vec<(usize, Vec<u8>)>,
+}
+
+/// Locks a driver mutex, recovering the data from a poisoned lock: a
+/// worker that panicked mid-phase is already flagged via
+/// `Control::panicked` and its diagnostic slot, so the shared structures
+/// stay readable for the shutdown path instead of cascading panics.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 struct Control {
-    /// Workers + driver rendezvous here twice per window (three times on
-    /// migration windows).
+    /// Workers + driver rendezvous here twice per window (plus one more on
+    /// migration windows and one more on checkpoint windows).
     barrier: Barrier,
     /// End of the current window (exclusive), as nanoseconds.
     window_end: AtomicU64,
@@ -78,6 +115,16 @@ struct Control {
     /// `from` worker before the migration barrier, taken by the `to`
     /// worker after it.
     parcels: Mutex<Vec<Option<BundleParcel>>>,
+    /// Whether the current window opens with a checkpoint phase (the
+    /// stamp and part slots are valid). Set before the window-start
+    /// barrier.
+    checkpoint: AtomicBool,
+    /// The simulated instant the checkpoint is stamped with (the window
+    /// start), as nanoseconds.
+    checkpoint_at: AtomicU64,
+    /// Checkpoint parts, one slot per shard; deposited before the
+    /// checkpoint barrier, assembled by the driver after it.
+    parts: Mutex<Vec<Option<CheckpointPart>>>,
     /// Cumulative handled-event count per bundle, stored by the bundle's
     /// current owner at each window end and read by the driver after the
     /// end barrier — the balancer's load signal.
@@ -88,8 +135,34 @@ struct Control {
     /// Barrier` has no poisoning, so a panicking worker must keep
     /// attending barriers (idle) or every other thread would block
     /// forever; the driver checks this flag each window, shuts the run
-    /// down, and re-raises the worker's panic.
+    /// down, and surfaces the diagnostic below.
     panicked: AtomicBool,
+    /// The first panicking worker's diagnostic: which shard, which
+    /// window, the last event it peeked, the panic message.
+    diag: Mutex<Option<ShardError>>,
+}
+
+impl Control {
+    /// Records a worker failure: flags the run and fills the diagnostic
+    /// slot (first failure wins).
+    fn note_failure(
+        &self,
+        shard: usize,
+        window: u64,
+        last_event: Option<(Nanos, EventKey)>,
+        payload: &(dyn std::any::Any + Send),
+    ) {
+        self.panicked.store(true, Ordering::Release);
+        let mut diag = lock(&self.diag);
+        if diag.is_none() {
+            *diag = Some(ShardError::WorkerPanicked {
+                shard,
+                window,
+                last_event,
+                message: error::panic_message(payload),
+            });
+        }
+    }
 }
 
 /// The multi-threaded simulation host.
@@ -104,12 +177,39 @@ struct Control {
 pub struct ShardedSimulation {
     config: SimulationConfig,
     workload: Vec<FlowSpec>,
+    /// A validated snapshot to resume from instead of a fresh start.
+    restore_from: Option<Vec<u8>>,
 }
 
 impl ShardedSimulation {
     /// Builds a sharded simulation from a configuration and workload.
     pub fn new(config: SimulationConfig, workload: Vec<FlowSpec>) -> Self {
-        ShardedSimulation { config, workload }
+        ShardedSimulation {
+            config,
+            workload,
+            restore_from: None,
+        }
+    }
+
+    /// Builds a sharded simulation that resumes from a snapshot taken at
+    /// some earlier instant of a run with an equivalent config and the
+    /// same workload — by *any* host: snapshots are partition-invariant,
+    /// so a solo snapshot restores into any shard count and vice versa.
+    /// The header and fingerprint are validated here; payload corruption
+    /// surfaces from the run entry points.
+    pub fn restore(
+        config: SimulationConfig,
+        workload: Vec<FlowSpec>,
+        bytes: &[u8],
+    ) -> Result<Self, ShardError> {
+        let fp = snapshot::fingerprint(&config, &workload);
+        let mut r = Reader::new(bytes);
+        snapshot::read_header(&mut r, fp)?;
+        Ok(ShardedSimulation {
+            config,
+            workload,
+            restore_from: Some(bytes.to_vec()),
+        })
     }
 
     /// The configured shard count (≥ 1).
@@ -118,20 +218,83 @@ impl ShardedSimulation {
     }
 
     /// Runs the simulation to completion and returns the report.
+    ///
+    /// Panics on worker failure or a corrupt snapshot, with the
+    /// [`ShardError`] diagnostic as the message; use
+    /// [`try_run`](ShardedSimulation::try_run) to handle failures as
+    /// values.
     pub fn run(self) -> SimReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation to completion, surfacing worker panics and
+    /// snapshot corruption as a typed [`ShardError`] (with shard id,
+    /// window and last event key) instead of unwinding.
+    pub fn try_run(self) -> Result<SimReport, ShardError> {
+        self.try_run_inner(None)
+    }
+
+    /// Runs to completion, pushing a `(time, bytes)` whole-simulation
+    /// snapshot into `sink` at every
+    /// [`SimulationConfig::checkpoint_every`] boundary (the exact
+    /// interval multiple solo; the first window barrier at or past it
+    /// when sharded). Panics on worker failure; see
+    /// [`try_run_collecting`](ShardedSimulation::try_run_collecting).
+    pub fn run_collecting(self, sink: &mut Vec<(Nanos, Vec<u8>)>) -> SimReport {
+        self.try_run_collecting(sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_collecting`](ShardedSimulation::run_collecting) with typed
+    /// errors.
+    pub fn try_run_collecting(
+        self,
+        sink: &mut Vec<(Nanos, Vec<u8>)>,
+    ) -> Result<SimReport, ShardError> {
+        let mut push = |at: Nanos, blob: Vec<u8>| sink.push((at, blob));
+        self.try_run_inner(Some(&mut push))
+    }
+
+    /// Streaming checkpoint form: invokes `sink` with each checkpoint as
+    /// it is taken, so callers can persist them externally (e.g. to disk
+    /// for crash recovery).
+    pub fn try_run_with_checkpoints(
+        self,
+        mut sink: impl FnMut(Nanos, Vec<u8>),
+    ) -> Result<SimReport, ShardError> {
+        self.try_run_inner(Some(&mut sink))
+    }
+
+    fn try_run_inner(
+        self,
+        sink: Option<&mut dyn FnMut(Nanos, Vec<u8>)>,
+    ) -> Result<SimReport, ShardError> {
         let shards = self.shards();
         let lookahead = NetCore::new(&self.config).min_one_way_delay();
         if shards == 1 || lookahead.is_zero() {
             // One shard is literally the single-threaded engine. A
             // zero-delay bottleneck (rtt = 0) leaves no conservative
             // lookahead to parallelize over, so it also runs inline.
-            return Simulation::new(self.config, self.workload).run();
+            let sim = match &self.restore_from {
+                Some(bytes) => Simulation::restore(self.config, self.workload, bytes)?,
+                None => Simulation::new(self.config, self.workload),
+            };
+            return Ok(match sink {
+                Some(f) => sim.run_with_checkpoints(f),
+                None => sim.run(),
+            });
         }
-        run_sharded(self.config, self.workload, shards)
+        run_sharded(self.config, self.workload, shards, self.restore_from, sink)
     }
 }
 
-fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize) -> SimReport {
+fn run_sharded(
+    config: SimulationConfig,
+    workload: Vec<FlowSpec>,
+    shards: usize,
+    restore_from: Option<Vec<u8>>,
+    mut sink: Option<&mut dyn FnMut(Nanos, Vec<u8>)>,
+) -> Result<SimReport, ShardError> {
     let mut balancer = Balancer::new(&config, &workload, shards);
     let mut net = NetCore::new(&config);
     let lookahead = net.min_one_way_delay();
@@ -166,10 +329,96 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
         migrating: AtomicBool::new(false),
         plan: Mutex::new(Vec::new()),
         parcels: Mutex::new(Vec::new()),
+        checkpoint: AtomicBool::new(false),
+        checkpoint_at: AtomicU64::new(0),
+        parts: Mutex::new(Vec::new()),
         counts: (0..n_bundles).map(|_| AtomicU64::new(0)).collect(),
         stop: AtomicBool::new(false),
         panicked: AtomicBool::new(false),
+        diag: Mutex::new(None),
     });
+
+    // Build every shard's core on this thread: a restore pours the
+    // snapshot into them before any thread exists, a fresh run schedules
+    // the initial events.
+    let mut net_queue = EventQueue::with_engine(config.event_engine);
+    let mut net_arena = PacketArena::with_capacity(1024);
+    let mut cores: Vec<(WorkerCore, EventQueue, PacketArena)> = (0..shards)
+        .map(|index| {
+            let part = Partition {
+                workers: shards,
+                index,
+            };
+            let owned: Vec<bool> = if restore_from.is_some() {
+                // Own nothing yet: every bundle complex arrives by
+                // adoption from the snapshot below.
+                vec![false; n_bundles]
+            } else {
+                (0..n_bundles)
+                    .map(|b| balancer.assignment()[b] == index)
+                    .collect()
+            };
+            let core = WorkerCore::with_owned(&config, &workload, part, owned);
+            let queue = EventQueue::with_engine(config.event_engine);
+            let arena = PacketArena::with_capacity(1024);
+            (core, queue, arena)
+        })
+        .collect();
+
+    let start = match &restore_from {
+        Some(bytes) => {
+            let corrupt = |e: serde::binary::DecodeError| {
+                ShardError::Snapshot(SnapshotError::Corrupt(e.to_string()))
+            };
+            let fp = snapshot::fingerprint(&config, &workload);
+            let mut r = Reader::new(bytes);
+            let at = snapshot::read_header(&mut r, fp)?;
+            // The whole-run residue lands on shard 0; `assemble_report`
+            // sums across shards, so totals are placement-independent.
+            let residue = WorkerResidue::decode(&mut r).map_err(corrupt)?;
+            cores[0].0.apply_residue(residue);
+            {
+                let (core, queue, arena) = &mut cores[0];
+                core.load_direct_state(queue, arena, &mut r)
+                    .map_err(corrupt)?;
+            }
+            let count = u64::decode(&mut r).map_err(corrupt)? as usize;
+            if count != n_bundles {
+                return Err(SnapshotError::Corrupt(format!(
+                    "snapshot has {count} bundles, config defines {n_bundles}"
+                ))
+                .into());
+            }
+            for b in 0..count {
+                let parcel = BundleParcel::from_state(&config, &mut r).map_err(corrupt)?;
+                if parcel.bundle() != b {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "bundle parcels out of order: found {} at position {b}",
+                        parcel.bundle()
+                    ))
+                    .into());
+                }
+                let owner = balancer.assignment()[b];
+                let (core, queue, arena) = &mut cores[owner];
+                core.adopt_bundle(parcel, queue, arena, at);
+            }
+            net.load_state(&mut net_queue, &mut net_arena, &mut r)
+                .map_err(corrupt)?;
+            if !r.is_empty() {
+                return Err(
+                    SnapshotError::Corrupt("trailing bytes after snapshot payload".into()).into(),
+                );
+            }
+            at
+        }
+        None => {
+            for (core, queue, _) in cores.iter_mut() {
+                core.schedule_initial(queue);
+            }
+            net.schedule_initial(&mut net_queue);
+            Nanos::ZERO
+        }
+    };
 
     // Worker→net envelopes double-buffer by window parity; net→worker
     // deliveries use one mailbox per worker (fixed producer/consumer
@@ -177,35 +426,23 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
     let mut to_net_rx: Vec<[Receiver<Envelope>; 2]> = Vec::with_capacity(shards);
     let mut to_worker_tx: Vec<Sender<Envelope>> = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
-    for index in 0..shards {
+    for (index, (core, queue, arena)) in cores.into_iter().enumerate() {
         let (net_tx_a, net_rx_a) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
         let (net_tx_b, net_rx_b) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
         let (worker_tx, worker_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
         to_net_rx.push([net_rx_a, net_rx_b]);
         to_worker_tx.push(worker_tx);
-        let part = Partition {
-            workers: shards,
-            index,
-        };
-        let owned: Vec<bool> = (0..n_bundles)
-            .map(|b| balancer.assignment()[b] == index)
-            .collect();
-        let mut core = WorkerCore::with_owned(&config, &workload, part, owned);
-        let mut queue = EventQueue::with_engine(config.event_engine);
-        core.schedule_initial(&mut queue);
         let ctrl = Arc::clone(&ctrl);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("bundler-shard-{index}"))
-                .spawn(move || worker_loop(core, queue, ctrl, [net_tx_a, net_tx_b], worker_rx))
+                .spawn(move || {
+                    worker_loop(core, queue, arena, ctrl, [net_tx_a, net_tx_b], worker_rx)
+                })
                 .expect("spawn worker shard"),
         );
     }
 
-    // Net shard state, on the driver thread.
-    let mut net_queue = EventQueue::with_engine(config.event_engine);
-    net.schedule_initial(&mut net_queue);
-    let mut net_arena = PacketArena::with_capacity(1024);
     let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
     let mut deliveries: Vec<Delivery> = Vec::with_capacity(64);
 
@@ -286,23 +523,81 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
         }
     };
 
+    // The next checkpoint target: the first interval multiple strictly
+    // after the run's start (so a restored run does not re-write the
+    // checkpoint it was restored from). Taken at the first window
+    // boundary at or past the target, stamped with that boundary.
+    let mut next_ckpt = match (config.checkpoint_every, sink.as_ref()) {
+        (Some(iv), Some(_)) if iv.as_nanos() > 0 => {
+            let iv = iv.as_nanos();
+            Some((iv, Nanos((start.as_nanos() / iv + 1) * iv)))
+        }
+        _ => None,
+    };
+
     let mut plan: Vec<Move> = Vec::new();
     let mut prev_window: Option<(u64, Nanos)> = None;
-    let mut window_start = Nanos::ZERO;
+    let mut window_start = start;
     let mut windex: u64 = 0;
     while window_start < end {
         let window_end = (window_start + window).min(end);
+        let take_ckpt = matches!(next_ckpt, Some((_, target)) if window_start >= target);
+        if take_ckpt {
+            // The snapshot is the state at T = window_start: every net
+            // event below T must be processed and its deliveries
+            // published *before* the barrier that opens this window, so
+            // the pending pipelined net phase (normally concurrent with
+            // this window) runs early. Its parity buffers quiesced at the
+            // previous end barrier; running it here only shortens the
+            // pipeline overlap for one window.
+            if pipeline {
+                if let Some((pidx, pend)) = prev_window.take() {
+                    net_phase(
+                        pidx,
+                        pend,
+                        &mut net,
+                        &mut net_queue,
+                        &mut net_arena,
+                        &mut to_net_rx,
+                        &worker_of_lp,
+                    );
+                }
+            }
+            ctrl.checkpoint_at
+                .store(window_start.as_nanos(), Ordering::Release);
+            *lock(&ctrl.parts) = (0..shards).map(|_| None).collect();
+        }
+        ctrl.checkpoint.store(take_ckpt, Ordering::Release);
         ctrl.window_end
             .store(window_end.as_nanos(), Ordering::Release);
         let migrating = !plan.is_empty();
         ctrl.migrating.store(migrating, Ordering::Release);
         if migrating {
-            *ctrl.plan.lock().expect("plan lock") = plan.clone();
-            *ctrl.parcels.lock().expect("parcel lock") = plan.iter().map(|_| None).collect();
+            *lock(&ctrl.plan) = plan.clone();
+            *lock(&ctrl.parcels) = plan.iter().map(|_| None).collect();
         }
         ctrl.barrier.wait(); // workers begin the window
         if migrating {
             ctrl.barrier.wait(); // parcels deposited ↔ adopted
+        }
+        if take_ckpt {
+            ctrl.barrier.wait(); // checkpoint parts deposited
+            if !ctrl.panicked.load(Ordering::Acquire) {
+                let blob = assemble_snapshot(
+                    &config,
+                    &workload,
+                    window_start,
+                    std::mem::take(&mut *lock(&ctrl.parts)),
+                    &mut net,
+                    &mut net_queue,
+                    &mut net_arena,
+                );
+                if let Some(f) = sink.as_deref_mut() {
+                    f(window_start, blob);
+                }
+            }
+            let iv = next_ckpt.map(|(iv, _)| iv).unwrap_or(0);
+            next_ckpt = Some((iv, Nanos((window_start.as_nanos() / iv + 1) * iv)));
         }
         if pipeline {
             // Hide the sequential fraction: net phase W runs while the
@@ -378,23 +673,36 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
 
     ctrl.stop.store(true, Ordering::Release);
     ctrl.migrating.store(false, Ordering::Release);
+    ctrl.checkpoint.store(false, Ordering::Release);
     ctrl.barrier.wait(); // release workers into the stop check
     let mut workers = Vec::with_capacity(shards);
     let mut recycled = net_arena.recycled();
-    let mut panic_payload = None;
-    for h in handles {
-        match h.join().expect("worker thread vanished") {
-            Ok((core, arena)) => {
+    let mut vanished: Option<(usize, Option<String>)> = None;
+    for (shard, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Some((core, arena))) => {
                 recycled += arena.recycled();
                 workers.push(core);
             }
-            Err(payload) => panic_payload = Some(payload),
+            // The worker failed; its diagnostic is in `ctrl.diag`.
+            Ok(None) => {}
+            // The thread unwound outside the panic net (or was killed).
+            Err(payload) => vanished = Some((shard, Some(error::panic_message(payload.as_ref())))),
         }
     }
-    if let Some(payload) = panic_payload {
-        // Re-raise the worker's panic on the caller's thread with its
-        // original message instead of hanging at a barrier.
-        std::panic::resume_unwind(payload);
+    if let Some(err) = lock(&ctrl.diag).take() {
+        return Err(err);
+    }
+    if let Some((shard, message)) = vanished {
+        return Err(match message {
+            Some(message) => ShardError::WorkerPanicked {
+                shard,
+                window: windex,
+                last_event: None,
+                message,
+            },
+            None => ShardError::WorkerVanished { shard },
+        });
     }
     workers.sort_by_key(|w| w.partition().index);
     let mut report = assemble_report(&config, workers, net, recycled);
@@ -403,25 +711,77 @@ fn run_sharded(config: SimulationConfig, workload: Vec<FlowSpec>, shards: usize)
             windows: net_windows,
         };
     }
-    report
+    Ok(report)
 }
 
-type WorkerResult = Result<(WorkerCore, PacketArena), Box<dyn std::any::Any + Send + 'static>>;
+/// Assembles per-shard checkpoint parts plus the net slice into the
+/// canonical snapshot wire format — the exact bytes the single-threaded
+/// host writes at the same instant, regardless of shard count or
+/// placement: merged residue, the direct slice, bundle parcels in
+/// ascending index order, then the net slice.
+fn assemble_snapshot(
+    config: &SimulationConfig,
+    workload: &[FlowSpec],
+    at: Nanos,
+    parts: Vec<Option<CheckpointPart>>,
+    net: &mut NetCore,
+    net_queue: &mut EventQueue,
+    net_arena: &mut PacketArena,
+) -> Vec<u8> {
+    let n_bundles = config.n_bundles();
+    let fp = snapshot::fingerprint(config, workload);
+    let mut out = Vec::new();
+    snapshot::write_header(&mut out, at, fp);
+    let mut residue = WorkerResidue::default();
+    let mut direct: Option<Vec<u8>> = None;
+    let mut bundles: Vec<(usize, Vec<u8>)> = Vec::with_capacity(n_bundles);
+    for (shard, part) in parts.into_iter().enumerate() {
+        let part =
+            part.unwrap_or_else(|| panic!("worker shard {shard} deposited no checkpoint part"));
+        residue.merge(part.residue);
+        if let Some(d) = part.direct {
+            assert!(direct.is_none(), "two workers serialized the direct slice");
+            direct = Some(d);
+        }
+        bundles.extend(part.bundles);
+    }
+    residue.encode(&mut out);
+    out.extend_from_slice(&direct.expect("shard 0 serializes the direct slice"));
+    bundles.sort_by_key(|&(b, _)| b);
+    (n_bundles as u64).encode(&mut out);
+    for (i, (b, bytes)) in bundles.iter().enumerate() {
+        assert_eq!(i, *b, "bundle {b} was checkpointed by no worker, or by two");
+        out.extend_from_slice(bytes);
+    }
+    let ok = net.save_state(net_queue, net_arena, &mut out);
+    assert!(
+        ok,
+        "checkpointing requires a snapshot-capable bottleneck queue discipline"
+    );
+    out
+}
+
+/// `Some((core, arena))` on clean shutdown; `None` when the worker failed
+/// (the diagnostic travels through `Control::diag`).
+type WorkerResult = Option<(WorkerCore, PacketArena)>;
 
 fn worker_loop(
     mut core: WorkerCore,
     mut queue: EventQueue,
+    mut arena: PacketArena,
     ctrl: Arc<Control>,
     mut net_tx: [Sender<Envelope>; 2],
     mut inbox: Receiver<Envelope>,
 ) -> WorkerResult {
     let me = core.partition().index;
     let n_bundles = ctrl.counts.len();
-    let mut arena = PacketArena::with_capacity(1024);
     let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
     let mut to_net: Vec<ToNet> = Vec::with_capacity(64);
     let mut parity = 0usize;
-    let mut failure: Option<Box<dyn std::any::Any + Send + 'static>> = None;
+    let mut failed = false;
+    // The last event this worker peeked before handling — the diagnostic
+    // anchor if the handler panics.
+    let mut last_event: Option<(Nanos, EventKey)> = None;
     // Phase profiling (metrics level and up): wall time split into barrier
     // stall vs. event processing, per window. All stamps are outputs only
     // — nothing here feeds back into simulation state.
@@ -437,17 +797,15 @@ fn worker_loop(
             0
         };
         if ctrl.stop.load(Ordering::Acquire) {
-            return match failure {
-                Some(payload) => Err(payload),
-                None => Ok((core, arena)),
-            };
+            return if failed { None } else { Some((core, arena)) };
         }
         let migrating = ctrl.migrating.load(Ordering::Acquire);
         // A panic must not abandon the barrier protocol (std barriers do
         // not poison; the others would block forever) — catch it, flag
-        // the driver, and idle at the barriers until told to stop.
+        // the driver with a diagnostic, and idle at the barriers until
+        // told to stop.
         if migrating {
-            if failure.is_none() {
+            if !failed {
                 let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // Drain the inbox *before* extracting: deliveries for
                     // an outgoing bundle (routed here under the old
@@ -457,7 +815,7 @@ fn worker_loop(
                         core.obs.host.inbox_messages += drained as u64;
                         core.obs.host.mailbox_depth.record(drained as u64);
                     }
-                    let plan = ctrl.plan.lock().expect("plan lock");
+                    let plan = lock(&ctrl.plan);
                     for (i, mv) in plan.iter().enumerate() {
                         if mv.from == me {
                             let parcel = core.extract_bundle(mv.bundle, &mut queue, &mut arena);
@@ -477,13 +835,13 @@ fn worker_loop(
                                     },
                                 );
                             }
-                            ctrl.parcels.lock().expect("parcel lock")[i] = Some(parcel);
+                            lock(&ctrl.parcels)[i] = Some(parcel);
                         }
                     }
                 }));
                 if let Err(payload) = phase {
-                    failure = Some(payload);
-                    ctrl.panicked.store(true, Ordering::Release);
+                    failed = true;
+                    ctrl.note_failure(me, windex, None, payload.as_ref());
                 }
             }
             let migrate_wait = if timing { wall_now_ns() } else { 0 };
@@ -491,13 +849,13 @@ fn worker_loop(
             if timing {
                 stall_ns += wall_now_ns().saturating_sub(migrate_wait);
             }
-            if failure.is_none() {
+            if !failed {
                 let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let now = queue.now();
-                    let plan = ctrl.plan.lock().expect("plan lock");
+                    let plan = lock(&ctrl.plan);
                     for (i, mv) in plan.iter().enumerate() {
                         if mv.to == me {
-                            let parcel = ctrl.parcels.lock().expect("parcel lock")[i]
+                            let parcel = lock(&ctrl.parcels)[i]
                                 .take()
                                 .expect("the source worker deposited the parcel");
                             core.adopt_bundle(parcel, &mut queue, &mut arena, now);
@@ -505,25 +863,71 @@ fn worker_loop(
                     }
                 }));
                 if let Err(payload) = phase {
-                    failure = Some(payload);
-                    ctrl.panicked.store(true, Ordering::Release);
+                    failed = true;
+                    ctrl.note_failure(me, windex, None, payload.as_ref());
                 }
             }
+        }
+        if ctrl.checkpoint.load(Ordering::Acquire) {
+            if !failed {
+                let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let at = Nanos(ctrl.checkpoint_at.load(Ordering::Acquire));
+                    // Pull every delivery published before this window
+                    // into the queue: the snapshot must hold *all*
+                    // pending events ≥ T, including in-flight arrivals.
+                    let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                    if timing {
+                        core.obs.host.inbox_messages += drained as u64;
+                        core.obs.host.mailbox_depth.record(drained as u64);
+                    }
+                    let mut part = CheckpointPart {
+                        residue: core.residue(),
+                        direct: None,
+                        bundles: Vec::new(),
+                    };
+                    if me == 0 {
+                        let mut buf = Vec::new();
+                        core.save_direct_state(&mut queue, &mut arena, &mut buf);
+                        part.direct = Some(buf);
+                    }
+                    for b in 0..n_bundles {
+                        if core.owns_bundle(b) {
+                            let parcel = core.extract_bundle(b, &mut queue, &mut arena);
+                            let mut buf = Vec::new();
+                            let ok = parcel.save_state(&mut buf);
+                            core.adopt_bundle(parcel, &mut queue, &mut arena, at);
+                            assert!(
+                                ok,
+                                "checkpointing requires a snapshot-capable sendbox queue \
+                                 discipline (bundle {b})"
+                            );
+                            part.bundles.push((b, buf));
+                        }
+                    }
+                    lock(&ctrl.parts)[me] = Some(part);
+                }));
+                if let Err(payload) = phase {
+                    failed = true;
+                    ctrl.note_failure(me, windex, None, payload.as_ref());
+                }
+            }
+            ctrl.barrier.wait(); // checkpoint parts deposited
         }
         let window_end = Nanos(ctrl.window_end.load(Ordering::Acquire));
         let events_before = core.events_processed();
         let busy_from = if timing { wall_now_ns() } else { 0 };
-        if failure.is_none() {
+        if !failed {
             let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
                 if timing {
                     core.obs.host.inbox_messages += drained as u64;
                     core.obs.host.mailbox_depth.record(drained as u64);
                 }
-                while let Some((t, _)) = queue.peek() {
+                while let Some((t, key)) = queue.peek() {
                     if t >= window_end {
                         break;
                     }
+                    last_event = Some((t, key));
                     let (now, event) = queue.pop().expect("peeked");
                     core.handle(event, now, &mut arena, &mut queue, &mut to_net);
                     for m in to_net.drain(..) {
@@ -546,11 +950,11 @@ fn worker_loop(
                 }
             }));
             if let Err(payload) = window {
-                failure = Some(payload);
-                ctrl.panicked.store(true, Ordering::Release);
+                failed = true;
+                ctrl.note_failure(me, windex, last_event, payload.as_ref());
             }
         }
-        if timing && failure.is_none() {
+        if timing && !failed {
             let busy_ns = wall_now_ns().saturating_sub(busy_from);
             let events = core.events_processed() - events_before;
             let width_ns = window_end.saturating_since(window_start_sim).as_nanos();

@@ -39,7 +39,9 @@
 
 pub mod balance;
 mod driver;
+pub mod error;
 pub mod mailbox;
 pub mod scenario;
 
 pub use driver::ShardedSimulation;
+pub use error::ShardError;

@@ -20,8 +20,30 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks the spill vector, recovering the data from a poisoned mutex: a
+/// panicking thread can only have poisoned it mid-`push`/`append`, both of
+/// which leave the vector structurally valid, and the run is already being
+/// shut down via the driver's panic diagnostics.
+fn lock_spill<T>(m: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One-shot notice that some mailbox overflowed its ring into the mutex
+/// slow path this process (opt-in via `BUNDLER_SHARD_DEBUG`). Harmless for
+/// correctness — the spill is lossless and order-preserving — but a sign
+/// the ring capacity is undersized for the workload's bursts.
+fn note_spill(cap: usize) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        bundler_obs::logsink::debug_log(format_args!(
+            "mailbox ring full ({cap} slots); spilling to the mutex slow path \
+             (lossless, but consider a larger ring for this workload)"
+        ));
+    }
+}
 
 struct Ring<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -115,11 +137,8 @@ impl<T: Send> Sender<T> {
             self.head_cache = self.ring.head.load(Ordering::Acquire);
         }
         if self.tail - self.head_cache == cap {
-            self.ring
-                .spill
-                .lock()
-                .expect("mailbox poisoned")
-                .push(value);
+            note_spill(cap);
+            lock_spill(&self.ring.spill).push(value);
             return;
         }
         let slot = self.ring.slots[self.tail & self.ring.mask].get();
@@ -157,7 +176,7 @@ impl<T: Send> Receiver<T> {
         while let Some(v) = self.pop_ring() {
             out.push(v);
         }
-        let mut spill = self.ring.spill.lock().expect("mailbox poisoned");
+        let mut spill = lock_spill(&self.ring.spill);
         out.append(&mut spill);
     }
 }

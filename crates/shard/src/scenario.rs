@@ -1,7 +1,10 @@
 //! Scenario adapters: run the canonical experiments on the sharded host.
 
+use bundler_sim::edge::BundleMode;
+use bundler_sim::fault::FaultPlan;
 use bundler_sim::scenario::hot_bundle::HotBundleScenario;
 use bundler_sim::scenario::many_sites::{ManySitesReport, ManySitesScenario};
+use bundler_types::{Duration, Nanos};
 
 use crate::ShardedSimulation;
 
@@ -41,6 +44,52 @@ pub fn run_hot_bundle(
     ManySitesReport::from_sim(ShardedSimulation::new(config, scenario.workload()).run())
 }
 
+/// Runs the many-site experiment on `shards` workers over an *unreliable*
+/// network: a seed-generated [`FaultPlan`] of bottleneck mischief (link
+/// flaps, capacity dips, loss/duplication/reorder bursts) plus one
+/// guaranteed control-plane blackout long enough to trip every bundle's
+/// feedback timeout. Graceful degradation
+/// ([`bundler_core::BundlerConfig::degrade_on_feedback_timeout`]) is
+/// enabled on every bundle, so the run exercises the full degrade →
+/// pass-through → re-engage cycle — visible in the report's
+/// `mode_timeline`. Like every fault plan, the schedule is pure data and
+/// shard-count-invariant: the same `fault_seed` produces bit-identical
+/// digests on every host.
+pub fn run_unreliable(
+    scenario: &ManySitesScenario,
+    shards: usize,
+    fault_seed: u64,
+) -> ManySitesReport {
+    let mut config = scenario.sim_config();
+    config.shards = shards;
+    // Opt every bundle into graceful degradation and find the longest
+    // feedback timeout the blackout must outlast.
+    let mut timeout = Duration::ZERO;
+    if let Some(multi) = config.multi_bundle.as_mut() {
+        for spec in &mut multi.specs {
+            spec.config.degrade_on_feedback_timeout = true;
+            timeout = timeout.max(spec.config.feedback_timeout);
+        }
+    }
+    for mode in &mut config.bundles {
+        if let BundleMode::Bundler(c) = mode {
+            c.degrade_on_feedback_timeout = true;
+            timeout = timeout.max(c.feedback_timeout);
+        }
+    }
+    // Seeded bottleneck faults; the generated blackouts (hundreds of ms)
+    // are replaced by one deterministic blackout of twice the feedback
+    // timeout, early enough that traffic still flows when feedback
+    // returns — degradation must *engage and recover* every run, not
+    // only when the seed happens to produce a long outage.
+    let mut plan = FaultPlan::generate(fault_seed, config.duration, config.num_paths);
+    plan.blackouts.clear();
+    let start = Nanos(config.duration.as_nanos() / 4);
+    let plan = plan.with_blackout(start, Duration(timeout.as_nanos() * 2));
+    config.faults = Some(plan);
+    ManySitesReport::from_sim(ShardedSimulation::new(config, scenario.workload()).run())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +114,36 @@ mod tests {
         );
         assert_eq!(single.totals(), sharded.totals());
         assert!(sharded.all_bundles_active());
+    }
+
+    #[test]
+    fn unreliable_network_degrades_recovers_and_is_shard_invariant() {
+        let scenario = ManySitesScenario::builder()
+            .sites(3)
+            .requests_per_site(6)
+            .offered_load_per_site(Rate::from_mbps(8))
+            .drain(Duration::from_secs(4))
+            .seed(17)
+            .build();
+        let solo = run_unreliable(&scenario, 1, 23);
+        let sharded = run_unreliable(&scenario, 2, 23);
+        assert_eq!(
+            SimStats::of(&solo.sim),
+            SimStats::of(&sharded.sim),
+            "the fault plan must be shard-count-invariant"
+        );
+        // The guaranteed blackout must trip graceful degradation on some
+        // bundle, and feedback returning must re-engage delay control.
+        let recovered = solo.sim.mode_timeline.iter().any(|tl| {
+            tl.iter()
+                .position(|(_, m)| m == "disabled")
+                .is_some_and(|i| tl[i + 1..].iter().any(|(_, m)| m != "disabled"))
+        });
+        assert!(
+            recovered,
+            "expected degrade → re-engage in some mode timeline: {:?}",
+            solo.sim.mode_timeline
+        );
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Sharded checkpoint/restore properties.
+//!
+//! * Snapshots are **partition-invariant**: the bytes a sharded run writes
+//!   at time `T` equal the single-threaded run's bytes at `T`.
+//! * Restoring any checkpoint into any shard count — under the
+//!   adversarial `Rotate` balancer and an active fault plan — finishes
+//!   with a digest bit-identical to the uninterrupted run.
+//! * A worker panic surfaces as a typed diagnostic, never a hang.
+
+use bundler_sched::Policy;
+use bundler_shard::{ShardError, ShardedSimulation};
+use bundler_sim::fault::FaultPlan;
+use bundler_sim::scenario::many_sites::ManySitesScenario;
+use bundler_sim::sim::SimulationConfig;
+use bundler_sim::workload::FlowSpec;
+use bundler_sim::{ShardBalance, SimStats, Simulation};
+use bundler_types::{Duration, Rate};
+
+fn scenario(seed: u64) -> ManySitesScenario {
+    ManySitesScenario::builder()
+        .sites(3)
+        .requests_per_site(6)
+        .offered_load_per_site(Rate::from_mbps(8))
+        .bottleneck(Rate::from_mbps(60))
+        .rtt(Duration::from_millis(50))
+        .drain(Duration::from_secs(2))
+        .seed(seed)
+        .build()
+}
+
+/// Checkpoint cadence divisible by the sharded window (rtt 50 ms →
+/// lookahead 25 ms → pipelined window 12.5 ms), so solo and sharded runs
+/// stamp checkpoints at identical instants.
+fn setup(seed: u64, faults: Option<FaultPlan>) -> (SimulationConfig, Vec<FlowSpec>) {
+    let sc = scenario(seed);
+    let mut config = sc.sim_config();
+    config.checkpoint_every = Some(Duration::from_millis(500));
+    config.faults = faults;
+    (config, sc.workload())
+}
+
+#[test]
+fn sharded_checkpoints_are_byte_identical_to_solo() {
+    let (config, wl) = setup(5, None);
+    let mut solo = Vec::new();
+    let solo_report = Simulation::new(config.clone(), wl.clone()).run_collecting(&mut solo);
+    assert!(solo.len() >= 3, "expected several checkpoints");
+    for shards in [2, 4] {
+        let mut cfg = config.clone();
+        cfg.shards = shards;
+        let mut got = Vec::new();
+        let report = ShardedSimulation::new(cfg, wl.clone()).run_collecting(&mut got);
+        assert_eq!(
+            SimStats::of(&solo_report),
+            SimStats::of(&report),
+            "checkpointing must not perturb a {shards}-shard run"
+        );
+        assert_eq!(solo.len(), got.len(), "checkpoint count (shards {shards})");
+        for ((at_a, a), (at_b, b)) in solo.iter().zip(&got) {
+            assert_eq!(at_a, at_b, "checkpoint instants (shards {shards})");
+            assert!(
+                a == b,
+                "snapshot bytes at {at_a:?} differ between solo and {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_into_any_shard_count_is_bit_identical() {
+    // Checkpoints come from a 2-shard run under the adversarial Rotate
+    // balancer with an active fault plan; every one restores into shard
+    // counts 1, 2 and 4 and must finish with the uninterrupted digest.
+    let faults = FaultPlan::generate(11, Duration::from_secs(4), 1);
+    let (mut config, wl) = setup(9, Some(faults));
+    config.shards = 2;
+    config.balance = ShardBalance::Rotate;
+    let mut ckpts = Vec::new();
+    let baseline = ShardedSimulation::new(config.clone(), wl.clone()).run_collecting(&mut ckpts);
+    let want = SimStats::of(&baseline);
+    assert!(ckpts.len() >= 3, "expected several checkpoints");
+    for (at, blob) in &ckpts {
+        for shards in [1usize, 2, 4] {
+            let mut cfg = config.clone();
+            cfg.shards = shards;
+            let report = ShardedSimulation::restore(cfg, wl.clone(), blob)
+                .expect("valid snapshot")
+                .run();
+            assert_eq!(
+                want,
+                SimStats::of(&report),
+                "restore at {at:?} into {shards} shards must match the uninterrupted run"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_a_mismatched_config() {
+    let (config, wl) = setup(5, None);
+    let mut ckpts = Vec::new();
+    Simulation::new(config.clone(), wl.clone()).run_collecting(&mut ckpts);
+    let blob = &ckpts[0].1;
+    let mut other = config.clone();
+    other.bottleneck_rate = Rate::from_mbps(10);
+    match ShardedSimulation::restore(other, wl, blob) {
+        Err(ShardError::Snapshot(_)) => {}
+        Ok(_) => panic!("fingerprint mismatch must be rejected"),
+        Err(other) => panic!("expected a snapshot error, got {other}"),
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_a_typed_diagnostic() {
+    // FqCodel does not support checkpointing, so the worker's checkpoint
+    // phase panics mid-run. The driver must shut the run down cleanly and
+    // return the shard/window diagnostic — never hang at a barrier.
+    let (mut config, wl) = setup(7, None);
+    config.shards = 2;
+    if let Some(multi) = config.multi_bundle.as_mut() {
+        for spec in &mut multi.specs {
+            spec.config.policy = Policy::FqCodel;
+        }
+    }
+    let mut sink = Vec::new();
+    let err = ShardedSimulation::new(config, wl)
+        .try_run_collecting(&mut sink)
+        .expect_err("checkpointing an FqCodel sendbox must fail");
+    match err {
+        ShardError::WorkerPanicked { shard, message, .. } => {
+            assert!(shard < 2, "diagnostic names a real shard, got {shard}");
+            assert!(
+                message.contains("snapshot-capable"),
+                "diagnostic carries the panic message, got: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other}"),
+    }
+    assert!(
+        sink.is_empty(),
+        "no checkpoint may be emitted from a failed run"
+    );
+}

@@ -10,6 +10,7 @@ use bundler_core::{BundlerConfig, FnvHashMap, Mode, Receivebox, Sendbox};
 use bundler_sched::tbf::{Release, Tbf};
 use bundler_sched::Enqueued;
 use bundler_types::{Duration, IpPrefix, Nanos, Packet, PacketArena, PacketId, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::stats::TimeSeries;
 
@@ -156,6 +157,44 @@ impl Bundle {
     /// the bundle and is complete wherever the bundle finished the run.
     pub fn take_obs(&mut self) -> Option<bundler_obs::SchedObs> {
         self.tbf.take_obs()
+    }
+
+    /// Serializes the bundle's complete dynamic state. Queued packet ids go
+    /// out as-is, so the caller must have rewritten them to ordinals (via
+    /// `Tbf::for_each_pkt_mut`) and must carry the packets themselves
+    /// separately. Fails (returns `false`, stream part-written) if the
+    /// scheduler policy does not support checkpointing.
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        if !self.tbf.save_state(out) {
+            return false;
+        }
+        self.control.save_state(out);
+        self.receivebox.save_state(out);
+        self.release_scheduled.encode(out);
+        self.queue_delay_ms.encode(out);
+        self.mode_timeline.encode(out);
+        self.last_mode.encode(out);
+        true
+    }
+
+    /// Rebuilds a bundle from its configuration plus bytes written by
+    /// [`Bundle::save_state`]. Queued packet ids come back as the ordinals
+    /// the saver wrote; the caller re-homes them into its arena.
+    pub fn from_state(
+        index: usize,
+        config: BundlerConfig,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let mut b = Bundle::new(index, config, Nanos::ZERO)
+            .map_err(|_| r.error("invalid bundler config"))?;
+        b.tbf.load_state(r)?;
+        b.control.load_state(r)?;
+        b.receivebox.load_state(r)?;
+        b.release_scheduled = bool::decode(r)?;
+        b.queue_delay_ms = TimeSeries::decode(r)?;
+        b.mode_timeline = Vec::<(Nanos, String)>::decode(r)?;
+        b.last_mode = Mode::decode(r)?;
+        Ok(b)
     }
 }
 
@@ -597,6 +636,47 @@ impl DetachedEdgeBundle {
     /// source shard's arena and into the destination shard's.
     pub fn for_each_pkt_mut(&mut self, f: &mut dyn FnMut(&mut PacketId)) {
         self.datapath.for_each_pkt_mut(f);
+    }
+
+    /// Serializes the detached bundle's complete state. Same packet-id
+    /// contract as [`Bundle::save_state`]: ids go out as the ordinals the
+    /// caller rewrote them to, packets travel separately.
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        self.agent.save_state(out);
+        self.index.encode(out);
+        if !self.datapath.save_state(out) {
+            return false;
+        }
+        self.receivebox.save_state(out);
+        self.release_scheduled.encode(out);
+        self.queue_delay_ms.encode(out);
+        self.mode_timeline.encode(out);
+        self.last_mode.encode(out);
+        true
+    }
+
+    /// Rebuilds a detached bundle from its spec's configuration plus bytes
+    /// written by [`DetachedEdgeBundle::save_state`].
+    pub fn from_state(config: BundlerConfig, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let agent = bundler_agent::DetachedBundle::from_state(config, r)?;
+        let index = usize::decode(r)?;
+        let scheduler = config.policy.build(config.sendbox_queue_capacity_pkts);
+        let mut datapath = Tbf::new(config.initial_rate, 3 * 1514, scheduler, Nanos::ZERO);
+        datapath.load_state(r)?;
+        Ok(DetachedEdgeBundle {
+            agent,
+            index,
+            datapath,
+            receivebox: {
+                let mut rb = Receivebox::new(BundleId(index as u32), config.initial_epoch_size);
+                rb.load_state(r)?;
+                rb
+            },
+            release_scheduled: bool::decode(r)?,
+            queue_delay_ms: TimeSeries::decode(r)?,
+            mode_timeline: Vec::<(Nanos, String)>::decode(r)?,
+            last_mode: Mode::decode(r)?,
+        })
     }
 }
 

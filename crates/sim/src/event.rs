@@ -38,6 +38,7 @@
 use bundler_core::feedback::{CongestionAck, EpochSizeUpdate};
 use bundler_core::wheel::{BinaryHeapQueue, CalendarQueue};
 use bundler_types::{Duration, FlowId, Nanos, PacketId};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Canonical event-ordering key: logical process in the top 16 bits, that
 /// process's schedule sequence in the low 48. Ties on timestamp resolve by
@@ -149,6 +150,110 @@ pub enum Event {
         /// The logical process to sample.
         lp: u16,
     },
+}
+
+impl Encode for EventKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for EventKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EventKey(u64::decode(r)?))
+    }
+}
+
+impl Encode for Event {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Event::FlowArrival { spec } => {
+                0u8.encode(out);
+                spec.encode(out);
+            }
+            Event::ArriveBottleneck { pkt } => {
+                1u8.encode(out);
+                pkt.encode(out);
+            }
+            Event::PathDequeue { path } => {
+                2u8.encode(out);
+                path.encode(out);
+            }
+            Event::ArriveDestination { pkt } => {
+                3u8.encode(out);
+                pkt.encode(out);
+            }
+            Event::ArriveSource { pkt } => {
+                4u8.encode(out);
+                pkt.encode(out);
+            }
+            Event::CongestionAckArrive { ack } => {
+                5u8.encode(out);
+                ack.encode(out);
+            }
+            Event::EpochUpdateArrive { update } => {
+                6u8.encode(out);
+                update.encode(out);
+            }
+            Event::ControlTick { bundle } => {
+                7u8.encode(out);
+                bundle.encode(out);
+            }
+            Event::SendboxRelease { bundle } => {
+                8u8.encode(out);
+                bundle.encode(out);
+            }
+            Event::RtoCheck { flow } => {
+                9u8.encode(out);
+                flow.encode(out);
+            }
+            Event::Sample { lp } => {
+                10u8.encode(out);
+                lp.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Event {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => Event::FlowArrival {
+                spec: u32::decode(r)?,
+            },
+            1 => Event::ArriveBottleneck {
+                pkt: PacketId::decode(r)?,
+            },
+            2 => Event::PathDequeue {
+                path: u32::decode(r)?,
+            },
+            3 => Event::ArriveDestination {
+                pkt: PacketId::decode(r)?,
+            },
+            4 => Event::ArriveSource {
+                pkt: PacketId::decode(r)?,
+            },
+            5 => Event::CongestionAckArrive {
+                ack: CongestionAck::decode(r)?,
+            },
+            6 => Event::EpochUpdateArrive {
+                update: EpochSizeUpdate::decode(r)?,
+            },
+            7 => Event::ControlTick {
+                bundle: u32::decode(r)?,
+            },
+            8 => Event::SendboxRelease {
+                bundle: u32::decode(r)?,
+            },
+            9 => Event::RtoCheck {
+                flow: FlowId::decode(r)?,
+            },
+            10 => Event::Sample {
+                lp: u16::decode(r)?,
+            },
+            _ => return Err(r.error("unknown event tag")),
+        })
+    }
 }
 
 /// Hard ceiling on the event size: the largest variant is

@@ -29,13 +29,16 @@
 
 pub mod edge;
 pub mod event;
+pub mod fault;
 pub mod path;
 pub mod runtime;
 pub mod scenario;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod tcp;
 pub mod workload;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use sim::{ShardBalance, Simulation, SimulationConfig};
 pub use stats::{SimReport, SimStats};

@@ -12,6 +12,7 @@
 use bundler_sched::fifo::DropTailFifo;
 use bundler_sched::{Enqueued, Scheduler};
 use bundler_types::{Duration, Nanos, Packet, PacketArena, PacketId, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 use crate::stats::TimeSeries;
 
@@ -144,6 +145,73 @@ impl BottleneckPath {
         let d = self.queue_delay().as_millis_f64();
         self.queue_delay_ms.push(now, d);
     }
+
+    /// Overrides the link rate (capacity-dip fault injection). Packets
+    /// already being serialized keep their scheduled completion time; the
+    /// new rate applies from the next transmission.
+    pub fn set_rate(&mut self, rate: Rate) {
+        self.rate = rate;
+    }
+
+    /// Appends the path's dynamic state — scheduler bookkeeping, queued
+    /// packets *by value*, link/accounting state — to a snapshot stream.
+    /// Returns `false` (writing nothing useful) if the queue discipline
+    /// does not support checkpointing. The configured geometry (delay,
+    /// discipline) is not written: restore rebuilds it from the same
+    /// [`crate::sim::SimulationConfig`] and loads this state into it. The
+    /// rate *is* written because capacity faults change it at runtime.
+    pub fn save_state(&mut self, arena: &PacketArena, out: &mut Vec<u8>) -> bool {
+        self.rate.encode(out);
+        if !self.queue.save_state(out) {
+            return false;
+        }
+        // Queued packets by value, in the scheduler's canonical traversal
+        // order — the same order restore re-inserts them, so the
+        // placeholder ids inside the scheduler state pair up exactly.
+        let mut ids: Vec<PacketId> = Vec::with_capacity(self.queue.len_packets());
+        self.queue.for_each_pkt_mut(&mut |id| ids.push(*id));
+        (ids.len() as u64).encode(out);
+        for id in ids {
+            arena[id].encode(out);
+        }
+        self.busy_until.encode(out);
+        self.dequeue_scheduled.encode(out);
+        self.drops.encode(out);
+        self.bytes_delivered.encode(out);
+        self.queue_delay_ms.encode(out);
+        true
+    }
+
+    /// Restores state written by [`BottleneckPath::save_state`] into a
+    /// freshly configured path, inserting the queued packets into `arena`.
+    pub fn load_state(
+        &mut self,
+        arena: &mut PacketArena,
+        r: &mut Reader<'_>,
+    ) -> Result<(), DecodeError> {
+        self.rate = Rate::decode(r)?;
+        self.queue.load_state(r)?;
+        let n = u64::decode(r)? as usize;
+        if n != self.queue.len_packets() {
+            return Err(r.error("queued-packet count does not match scheduler state"));
+        }
+        let mut pkts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pkts.push(Packet::decode(r)?);
+        }
+        let mut next = pkts.into_iter();
+        self.queue.for_each_pkt_mut(&mut |id| {
+            if let Some(p) = next.next() {
+                *id = arena.insert(p);
+            }
+        });
+        self.busy_until = Nanos::decode(r)?;
+        self.dequeue_scheduled = bool::decode(r)?;
+        self.drops = u64::decode(r)?;
+        self.bytes_delivered = u64::decode(r)?;
+        self.queue_delay_ms = TimeSeries::decode(r)?;
+        Ok(())
+    }
 }
 
 /// How flows are assigned to bottleneck sub-paths.
@@ -178,6 +246,18 @@ impl LoadBalancer {
     /// Number of sub-paths.
     pub fn paths(&self) -> usize {
         self.paths
+    }
+
+    /// Appends the balancer's dynamic state (the round-robin counter) to a
+    /// snapshot stream. The path count and policy are configuration.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.counter.encode(out);
+    }
+
+    /// Restores state written by [`LoadBalancer::save_state`].
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.counter = u64::decode(r)?;
+        Ok(())
     }
 
     /// Picks the sub-path for a packet.

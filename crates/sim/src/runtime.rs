@@ -31,8 +31,11 @@ use bundler_types::{
     flow::ipv4, Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, PacketKind, Rate,
 };
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
+
 use crate::edge::{Bundle, BundleMode, DetachedEdgeBundle, MultiBundle};
 use crate::event::{Event, EventKey, EventQueue};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::path::{Balancing, BottleneckPath, LoadBalancer};
 use crate::sim::SimulationConfig;
 use crate::stats::{FctRecord, SimReport, TimeSeries};
@@ -104,6 +107,26 @@ struct FlowState {
     origin: Origin,
     size_bytes: u64,
     recorded: bool,
+}
+
+impl FlowState {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.sender.save_state(out);
+        self.receiver.save_state(out);
+        self.origin.encode(out);
+        self.size_bytes.encode(out);
+        self.recorded.encode(out);
+    }
+
+    fn from_state(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FlowState {
+            sender: TcpSender::from_state(r)?,
+            receiver: TcpReceiver::from_state(r)?,
+            origin: Origin::decode(r)?,
+            size_bytes: u64::decode(r)?,
+            recorded: bool::decode(r)?,
+        })
+    }
 }
 
 /// The five-tuple assigned to a flow: source site 10.0.x.x, destination
@@ -361,6 +384,15 @@ impl WorkerCore {
         self.lp_events[lp as usize] += 1;
     }
 
+    /// True if the fault plan blacks out control-plane feedback at `now`.
+    #[inline]
+    fn feedback_blacked_out(&self, now: Nanos) -> bool {
+        match &self.config.faults {
+            Some(plan) => plan.in_blackout(now),
+            None => false,
+        }
+    }
+
     /// The LP owning a flow (for events routed by flow id).
     fn flow_lp(&self, flow: FlowId) -> u16 {
         let origin = self
@@ -439,6 +471,12 @@ impl WorkerCore {
             Event::ArriveSource { pkt } => self.on_arrive_source(pkt, now, arena, queue, to_net),
             Event::CongestionAckArrive { ack } => {
                 self.note_event(bundle_lp(ack.bundle.0 as usize));
+                // A control-plane blackout drops feedback at delivery. The
+                // predicate is a pure function of the delivery timestamp, so
+                // every partitioning drops exactly the same messages.
+                if self.feedback_blacked_out(now) {
+                    return;
+                }
                 if let Some(multi) = self.multi.as_mut() {
                     multi.on_congestion_ack(&ack, now);
                 } else if let Some(Some(b)) = self.bundles.get_mut(ack.bundle.0 as usize) {
@@ -448,6 +486,9 @@ impl WorkerCore {
             Event::EpochUpdateArrive { update } => {
                 let bundle = update.bundle.0 as usize;
                 self.note_event(bundle_lp(bundle));
+                if self.feedback_blacked_out(now) {
+                    return;
+                }
                 if let Some(multi) = self.multi.as_mut() {
                     multi.on_epoch_update(bundle, &update);
                 } else if let Some(Some(b)) = self.bundles.get_mut(bundle) {
@@ -1084,7 +1125,7 @@ impl WorkerCore {
         // Pending events targeted at the bundle's LP, in canonical
         // (timestamp, key) order; the same order rewrites packet ids on
         // adoption, so the two passes pair up exactly.
-        let mut events = queue.extract_if(|e| self.event_lp(e, arena) == lp);
+        let mut events = queue.extract_if(|e| !is_net_event(e) && self.event_lp(e, arena) == lp);
         let mut event_pkts = Vec::new();
         for (_, _, e) in events.iter_mut() {
             if let Event::ArriveDestination { pkt } | Event::ArriveSource { pkt } = e {
@@ -1223,6 +1264,144 @@ impl WorkerCore {
         }
     }
 
+    /// The worker's run-wide accumulators that belong to no single LP:
+    /// counters, completed-flow records (in canonical merge order) and the
+    /// agent's lifetime stats. One [`WorkerResidue`] per worker; a
+    /// whole-simulation snapshot merges them into one (the merge is what
+    /// makes snapshot bytes partition-independent — `assemble_report` only
+    /// ever sums/merges these across workers).
+    pub fn residue(&self) -> WorkerResidue {
+        let mut fcts = self.fcts.clone();
+        fcts.sort_by_key(|&(t, k, _)| (t, k));
+        WorkerResidue {
+            events_processed: self.events_processed,
+            packets_created: self.packets_created,
+            fcts,
+            agent_stats: self.multi.as_ref().map(|m| m.agent.stats()),
+        }
+    }
+
+    /// Installs a merged residue on this worker (restore gives the whole
+    /// residue to worker 0; report assembly sums across workers, so totals
+    /// come out identical to the uninterrupted run).
+    pub fn apply_residue(&mut self, res: WorkerResidue) {
+        self.events_processed = res.events_processed;
+        self.packets_created = res.packets_created;
+        self.fcts = res.fcts;
+        if let (Some(multi), Some(stats)) = (self.multi.as_mut(), res.agent_stats) {
+            multi.agent.restore_stats(stats);
+        }
+    }
+
+    /// Appends the direct cross-traffic LP's state to a snapshot stream
+    /// *without* disturbing the live run: pending `LP_DIRECT` events are
+    /// lifted out of `queue` in canonical order, serialized (packets cloned
+    /// by value), and re-scheduled under their original ids. Only valid on
+    /// the worker owning the direct LP.
+    pub fn save_direct_state(
+        &mut self,
+        queue: &mut EventQueue,
+        arena: &mut PacketArena,
+        out: &mut Vec<u8>,
+    ) {
+        debug_assert!(self.part.owns_direct());
+        let events = queue.extract_if(|e| !is_net_event(e) && self.event_lp(e, arena) == LP_DIRECT);
+        encode_events_canonical(&events, out);
+        let mut pkts: Vec<&Packet> = Vec::new();
+        for (_, _, e) in &events {
+            if let Event::ArriveDestination { pkt } | Event::ArriveSource { pkt } = e {
+                pkts.push(&arena[*pkt]);
+            }
+        }
+        (pkts.len() as u64).encode(out);
+        for p in pkts {
+            p.encode(out);
+        }
+        for (at, key, event) in events {
+            queue.schedule(at, key, event);
+        }
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| matches!(f.origin, Origin::Direct))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        (ids.len() as u64).encode(out);
+        for id in ids {
+            id.encode(out);
+            self.flows[&id].save_state(out);
+        }
+        let mut pids: Vec<FlowId> = self
+            .ping_origin
+            .iter()
+            .filter(|(_, o)| matches!(o, Origin::Direct))
+            .map(|(id, _)| *id)
+            .collect();
+        pids.sort();
+        (pids.len() as u64).encode(out);
+        for id in pids {
+            id.encode(out);
+            match self.pings.get(&id) {
+                Some(p) => {
+                    true.encode(out);
+                    p.save_state(out);
+                }
+                None => false.encode(out),
+            }
+        }
+        self.seqs[LP_DIRECT as usize].encode(out);
+        self.lp_events[LP_DIRECT as usize].encode(out);
+        self.cross_delivered.encode(out);
+        self.cross_throughput_mbps.encode(out);
+    }
+
+    /// Restores the direct-LP slice written by
+    /// [`WorkerCore::save_direct_state`], inserting its packets into this
+    /// worker's `arena` and scheduling its pending events into `queue`.
+    pub fn load_direct_state(
+        &mut self,
+        queue: &mut EventQueue,
+        arena: &mut PacketArena,
+        r: &mut Reader<'_>,
+    ) -> Result<(), DecodeError> {
+        let events = Vec::<(Nanos, EventKey, Event)>::decode(r)?;
+        let n = u64::decode(r)? as usize;
+        let mut pkts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pkts.push(Packet::decode(r)?);
+        }
+        let mut next = pkts.into_iter();
+        for (at, key, mut event) in events {
+            if let Event::ArriveDestination { pkt } | Event::ArriveSource { pkt } = &mut event {
+                let p = match next.next() {
+                    Some(p) => p,
+                    None => return Err(r.error("missing direct event packet")),
+                };
+                *pkt = arena.insert(p);
+            }
+            queue.schedule(at, key, event);
+        }
+        let n = u64::decode(r)? as usize;
+        for _ in 0..n {
+            let id = FlowId::decode(r)?;
+            self.flows.insert(id, FlowState::from_state(r)?);
+        }
+        let n = u64::decode(r)? as usize;
+        for _ in 0..n {
+            let id = FlowId::decode(r)?;
+            if bool::decode(r)? {
+                self.pings.insert(id, PingClient::from_state(r)?);
+            }
+            self.ping_origin.insert(id, Origin::Direct);
+        }
+        self.seqs[LP_DIRECT as usize] = u64::decode(r)?;
+        self.lp_events[LP_DIRECT as usize] = u64::decode(r)?;
+        self.cross_delivered = u64::decode(r)?;
+        self.cross_throughput_mbps = TimeSeries::decode(r)?;
+        Ok(())
+    }
+
     /// Read access to a bundle's sendbox control plane (tests).
     pub fn bundle_control(&self, bundle: usize) -> Option<&bundler_core::Sendbox> {
         self.bundles
@@ -1242,6 +1421,66 @@ impl WorkerCore {
     /// The multi-bundle edge partition, if this run uses one.
     pub fn multi_bundle(&self) -> Option<&MultiBundle> {
         self.multi.as_ref()
+    }
+}
+
+/// A worker's run-wide accumulators that belong to no single LP. Snapshots
+/// merge every worker's residue into one canonical record (sums of
+/// counters, completed flows in canonical order, summed agent stats) — the
+/// same folds `assemble_report` performs — so the merged bytes are
+/// identical for any shard count.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerResidue {
+    /// Events handled by the worker cores.
+    pub events_processed: u64,
+    /// Packets created by the worker cores' endhosts.
+    pub packets_created: u64,
+    /// Completed-flow records in canonical `(time, key)` order.
+    pub fcts: Vec<(Nanos, EventKey, FctRecord)>,
+    /// Summed agent lifetime stats (agent mode only).
+    pub agent_stats: Option<bundler_agent::AgentStats>,
+}
+
+impl WorkerResidue {
+    /// Folds another worker's residue into this one, keeping the canonical
+    /// orders and sums `assemble_report` would produce.
+    pub fn merge(&mut self, mut other: WorkerResidue) {
+        self.events_processed += other.events_processed;
+        self.packets_created += other.packets_created;
+        self.fcts.append(&mut other.fcts);
+        self.fcts.sort_by_key(|&(t, k, _)| (t, k));
+        self.agent_stats = match (self.agent_stats.take(), other.agent_stats) {
+            (Some(mut a), Some(b)) => {
+                a.packets_classified += b.packets_classified;
+                a.packets_unclassified += b.packets_unclassified;
+                a.acks_delivered += b.acks_delivered;
+                a.acks_unknown += b.acks_unknown;
+                a.ticks_run += b.ticks_run;
+                a.advances += b.advances;
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl Encode for WorkerResidue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.events_processed.encode(out);
+        self.packets_created.encode(out);
+        self.fcts.encode(out);
+        self.agent_stats.encode(out);
+    }
+}
+
+impl Decode for WorkerResidue {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerResidue {
+            events_processed: u64::decode(r)?,
+            packets_created: u64::decode(r)?,
+            fcts: Vec::decode(r)?,
+            agent_stats: Option::decode(r)?,
+        })
     }
 }
 
@@ -1297,6 +1536,131 @@ impl BundleParcel {
             .sum();
         (pkts, bytes)
     }
+
+    /// Serializes the parcel — a bundle complex already lifted off its
+    /// worker, so everything is by value and in canonical order. Returns
+    /// `false` if the edge's queue discipline does not support
+    /// checkpointing (the bytes written so far must be discarded).
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        self.bundle.encode(out);
+        self.seq.encode(out);
+        self.lp_events.encode(out);
+        self.delivered.encode(out);
+        encode_events_canonical(&self.events, out);
+        self.event_pkts.encode(out);
+        match &self.edge {
+            EdgeParcel::None => 0u8.encode(out),
+            EdgeParcel::Classic(b) => {
+                1u8.encode(out);
+                if !b.save_state(out) {
+                    return false;
+                }
+            }
+            EdgeParcel::Multi(d) => {
+                2u8.encode(out);
+                if !d.save_state(out) {
+                    return false;
+                }
+            }
+        }
+        self.edge_pkts.encode(out);
+        (self.flows.len() as u64).encode(out);
+        for (id, f) in &self.flows {
+            id.encode(out);
+            f.save_state(out);
+        }
+        (self.pings.len() as u64).encode(out);
+        for (id, ping, origin) in &self.pings {
+            id.encode(out);
+            match ping {
+                Some(p) => {
+                    true.encode(out);
+                    p.save_state(out);
+                }
+                None => false.encode(out),
+            }
+            origin.encode(out);
+        }
+        self.throughput.encode(out);
+        self.pacing.encode(out);
+        self.rtt_estimate.encode(out);
+        self.recv_rate.encode(out);
+        true
+    }
+
+    /// Reconstructs a parcel from bytes written by
+    /// [`BundleParcel::save_state`]. The edge is rebuilt from the *restoring*
+    /// config's bundle mode (the snapshot fingerprint guarantees it matches
+    /// the writing one); adopt the result into a worker with
+    /// [`WorkerCore::adopt_bundle`].
+    pub fn from_state(
+        config: &SimulationConfig,
+        r: &mut Reader<'_>,
+    ) -> Result<BundleParcel, DecodeError> {
+        let bundle = usize::decode(r)?;
+        let seq = u64::decode(r)?;
+        let lp_events = u64::decode(r)?;
+        let delivered = u64::decode(r)?;
+        let events = Vec::<(Nanos, EventKey, Event)>::decode(r)?;
+        let event_pkts = Vec::<Packet>::decode(r)?;
+        let edge = match u8::decode(r)? {
+            0 => EdgeParcel::None,
+            1 => {
+                let cfg = match config.bundles.get(bundle) {
+                    Some(BundleMode::Bundler(cfg)) => *cfg,
+                    _ => return Err(r.error("snapshot deploys a sendbox the config does not")),
+                };
+                EdgeParcel::Classic(Box::new(Bundle::from_state(bundle, cfg, r)?))
+            }
+            2 => {
+                let cfg = match config
+                    .multi_bundle
+                    .as_ref()
+                    .and_then(|m| m.specs.get(bundle))
+                {
+                    Some(spec) => spec.config,
+                    None => return Err(r.error("snapshot has an agent bundle the config lacks")),
+                };
+                EdgeParcel::Multi(Box::new(DetachedEdgeBundle::from_state(cfg, r)?))
+            }
+            _ => return Err(r.error("unknown edge parcel tag")),
+        };
+        let edge_pkts = Vec::<Packet>::decode(r)?;
+        let n = u64::decode(r)? as usize;
+        let mut flows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = FlowId::decode(r)?;
+            flows.push((id, FlowState::from_state(r)?));
+        }
+        let n = u64::decode(r)? as usize;
+        let mut pings = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = FlowId::decode(r)?;
+            let ping = if bool::decode(r)? {
+                Some(PingClient::from_state(r)?)
+            } else {
+                None
+            };
+            let origin = Origin::decode(r)?;
+            pings.push((id, ping, origin));
+        }
+        Ok(BundleParcel {
+            bundle,
+            seq,
+            lp_events,
+            delivered,
+            events,
+            event_pkts,
+            edge,
+            edge_pkts,
+            flows,
+            pings,
+            throughput: TimeSeries::decode(r)?,
+            pacing: TimeSeries::decode(r)?,
+            rtt_estimate: TimeSeries::decode(r)?,
+            recv_rate: TimeSeries::decode(r)?,
+        })
+    }
 }
 
 /// The edge-mode-specific part of a [`BundleParcel`].
@@ -1347,10 +1711,40 @@ pub struct NetCore {
     sample_interval: Duration,
     actual_rtt_ms: TimeSeries,
     events_processed: u64,
+    /// The configured per-path rate, kept so capacity-scale faults can
+    /// compute (and restore) absolute rates deterministically.
+    base_path_rate: Rate,
+    /// Packets created *by the net core itself* — duplication faults mint
+    /// copies here rather than at an endhost.
+    packets_created: u64,
+    /// Fault-injection cursor state (which plan entries have fired, what
+    /// is pending). Advanced at the head of every net event, which is one
+    /// canonical stream for any shard count — so fault application is
+    /// shard-invariant by construction.
+    faults: NetFaults,
     /// Observability state for the bottleneck side (shard id
     /// [`bundler_obs::NET_SHARD`]). Public so the sharded driver can stamp
     /// net-phase spans and drain the ring at barriers.
     pub obs: ShardObs,
+}
+
+/// The dynamic half of fault injection: the plan is immutable config, this
+/// tracks how far it has been applied. Part of the snapshot.
+struct NetFaults {
+    plan: FaultPlan,
+    /// Index of the first plan entry not yet applied.
+    cursor: usize,
+    /// Per-path "interface down" flags toggled by link flaps.
+    link_down: Vec<bool>,
+    /// Remaining arrivals to drop (burst loss).
+    burst_loss: u32,
+    /// Remaining arrivals to duplicate.
+    duplicate: u32,
+    /// Remaining adjacent arrival pairs to swap.
+    reorder: u32,
+    /// The one-slot reorder buffer: the held packet is released behind the
+    /// next arrival.
+    held: Option<PacketId>,
 }
 
 impl NetCore {
@@ -1385,6 +1779,17 @@ impl NetCore {
             sample_interval: config.sample_interval,
             actual_rtt_ms: TimeSeries::new(),
             events_processed: 0,
+            base_path_rate: per_path_rate,
+            packets_created: 0,
+            faults: NetFaults {
+                plan: config.faults.clone().unwrap_or_default(),
+                cursor: 0,
+                link_down: vec![false; config.num_paths.max(1)],
+                burst_loss: 0,
+                duplicate: 0,
+                reorder: 0,
+                held: None,
+            },
             obs: ShardObs::new(config.obs, bundler_obs::NET_SHARD),
         }
     }
@@ -1405,10 +1810,117 @@ impl NetCore {
         self.events_processed
     }
 
+    /// Packets minted by the net core itself (duplication faults).
+    pub fn packets_created(&self) -> u64 {
+        self.packets_created
+    }
+
     #[inline]
     fn key(&mut self) -> EventKey {
         self.seq += 1;
         EventKey::new(LP_NET, self.seq)
+    }
+
+    /// Appends the bottleneck's complete dynamic state to a snapshot
+    /// stream without disturbing the live run: counters, balancer, per-path
+    /// queues (packets cloned by value), the fault cursor, and the pending
+    /// net events lifted from `queue` and re-scheduled under their original
+    /// ids. Returns `false` if a path's queue discipline does not support
+    /// checkpointing (bytes written so far must be discarded).
+    pub fn save_state(
+        &mut self,
+        queue: &mut EventQueue,
+        arena: &mut PacketArena,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        self.seq.encode(out);
+        self.events_processed.encode(out);
+        self.packets_created.encode(out);
+        self.actual_rtt_ms.encode(out);
+        self.lb.save_state(out);
+        for p in &mut self.paths {
+            if !p.save_state(arena, out) {
+                return false;
+            }
+        }
+        (self.faults.cursor as u64).encode(out);
+        self.faults.link_down.encode(out);
+        self.faults.burst_loss.encode(out);
+        self.faults.duplicate.encode(out);
+        self.faults.reorder.encode(out);
+        match self.faults.held {
+            Some(id) => {
+                true.encode(out);
+                arena[id].encode(out);
+            }
+            None => false.encode(out),
+        }
+        let events = queue.extract_if(is_net_event);
+        encode_events_canonical(&events, out);
+        let mut pkts: Vec<&Packet> = Vec::new();
+        for (_, _, e) in &events {
+            if let Event::ArriveBottleneck { pkt } = e {
+                pkts.push(&arena[*pkt]);
+            }
+        }
+        (pkts.len() as u64).encode(out);
+        for p in pkts {
+            p.encode(out);
+        }
+        for (at, key, event) in events {
+            queue.schedule(at, key, event);
+        }
+        true
+    }
+
+    /// Restores state written by [`NetCore::save_state`] into a freshly
+    /// configured core, inserting packets into `arena` and scheduling the
+    /// pending net events into `queue`.
+    pub fn load_state(
+        &mut self,
+        queue: &mut EventQueue,
+        arena: &mut PacketArena,
+        r: &mut Reader<'_>,
+    ) -> Result<(), DecodeError> {
+        self.seq = u64::decode(r)?;
+        self.events_processed = u64::decode(r)?;
+        self.packets_created = u64::decode(r)?;
+        self.actual_rtt_ms = TimeSeries::decode(r)?;
+        self.lb.load_state(r)?;
+        for i in 0..self.paths.len() {
+            self.paths[i].load_state(arena, r)?;
+        }
+        self.faults.cursor = u64::decode(r)? as usize;
+        self.faults.link_down = Vec::<bool>::decode(r)?;
+        if self.faults.link_down.len() != self.paths.len() {
+            return Err(r.error("link-down vector does not match path count"));
+        }
+        self.faults.burst_loss = u32::decode(r)?;
+        self.faults.duplicate = u32::decode(r)?;
+        self.faults.reorder = u32::decode(r)?;
+        self.faults.held = if bool::decode(r)? {
+            Some(arena.insert(Packet::decode(r)?))
+        } else {
+            None
+        };
+        let events = Vec::<(Nanos, EventKey, Event)>::decode(r)?;
+        let n = u64::decode(r)? as usize;
+        let mut pkts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pkts.push(Packet::decode(r)?);
+        }
+        let mut next = pkts.into_iter();
+        for (at, key, mut event) in events {
+            if let Event::ArriveBottleneck { pkt } = &mut event {
+                let p = match next.next() {
+                    Some(p) => p,
+                    None => return Err(r.error("missing net event packet")),
+                };
+                *pkt = arena.insert(p);
+            }
+            queue.schedule(at, key, event);
+        }
+        Ok(())
     }
 
     /// Schedules the net LP's initial events (its sample stream).
@@ -1427,13 +1939,9 @@ impl NetCore {
         deliveries: &mut Vec<Delivery>,
     ) {
         self.events_processed += 1;
+        self.apply_due_faults(now);
         match event {
-            Event::ArriveBottleneck { pkt } => {
-                let path = self.lb.pick(&arena[pkt]);
-                if self.paths[path].enqueue(pkt, arena, now) {
-                    self.kick_path(path, now, queue);
-                }
-            }
+            Event::ArriveBottleneck { pkt } => self.on_arrive_bottleneck(pkt, now, arena, queue),
             Event::PathDequeue { path } => {
                 self.on_path_dequeue(path as usize, now, arena, queue, deliveries)
             }
@@ -1442,6 +1950,104 @@ impl NetCore {
                 self.on_sample(now, queue);
             }
             _ => unreachable!("worker event routed to the net core"),
+        }
+    }
+
+    /// Applies every plan entry due at or before `now`. Runs at the head of
+    /// each net event; since the net event stream is canonical, the exact
+    /// event a fault lands before is the same for every partitioning.
+    fn apply_due_faults(&mut self, now: Nanos) {
+        while let Some(e) = self.faults.plan.entries.get(self.faults.cursor) {
+            if e.at > now {
+                break;
+            }
+            let kind = e.kind;
+            self.faults.cursor += 1;
+            match kind {
+                FaultKind::LinkDown { path } => {
+                    if let Some(d) = self.faults.link_down.get_mut(path as usize) {
+                        *d = true;
+                    }
+                }
+                FaultKind::LinkUp { path } => {
+                    if let Some(d) = self.faults.link_down.get_mut(path as usize) {
+                        *d = false;
+                    }
+                }
+                FaultKind::CapacityScale { path, permille } => {
+                    if let Some(p) = self.paths.get_mut(path as usize) {
+                        let bps = self.base_path_rate.as_bps() * permille as u64 / 1000;
+                        p.set_rate(Rate::from_bps(bps.max(1)));
+                    }
+                }
+                FaultKind::BurstLoss { count } => self.faults.burst_loss += count,
+                FaultKind::Duplicate { count } => self.faults.duplicate += count,
+                FaultKind::Reorder { count } => self.faults.reorder += count,
+            }
+        }
+    }
+
+    /// One packet arriving at the bottleneck, filtered through the
+    /// packet-level faults. Precedence: burst loss, then reordering, then
+    /// duplication (a packet is subject to at most one).
+    fn on_arrive_bottleneck(
+        &mut self,
+        pkt: PacketId,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+    ) {
+        if self.faults.burst_loss > 0 {
+            // Injected loss upstream of the bottleneck: the packet vanishes
+            // without touching the load balancer or any queue.
+            self.faults.burst_loss -= 1;
+            arena.free(pkt);
+            return;
+        }
+        if self.faults.reorder > 0 {
+            match self.faults.held.take() {
+                None => {
+                    self.faults.held = Some(pkt);
+                    return;
+                }
+                Some(held) => {
+                    self.faults.reorder -= 1;
+                    self.admit(pkt, now, arena, queue);
+                    self.admit(held, now, arena, queue);
+                    return;
+                }
+            }
+        }
+        if self.faults.duplicate > 0 {
+            self.faults.duplicate -= 1;
+            let copy = arena[pkt].clone();
+            let dup = arena.insert(copy);
+            self.packets_created += 1;
+            self.admit(pkt, now, arena, queue);
+            self.admit(dup, now, arena, queue);
+            return;
+        }
+        self.admit(pkt, now, arena, queue);
+    }
+
+    /// Routes a packet onto its sub-path (the pre-fault arrival path). A
+    /// downed link drops arrivals at the interface — packets already queued
+    /// still drain.
+    fn admit(
+        &mut self,
+        pkt: PacketId,
+        now: Nanos,
+        arena: &mut PacketArena,
+        queue: &mut EventQueue,
+    ) {
+        let path = self.lb.pick(&arena[pkt]);
+        if self.faults.link_down[path] {
+            self.paths[path].drops += 1;
+            arena.free(pkt);
+            return;
+        }
+        if self.paths[path].enqueue(pkt, arena, now) {
+            self.kick_path(path, now, queue);
         }
     }
 
@@ -1539,6 +2145,27 @@ pub fn is_net_event(event: &Event) -> bool {
         event,
         Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::Sample { lp: LP_NET }
     )
+}
+
+/// Encodes a pending-event list with every arena id zeroed. The ids are
+/// host-local slot indices (a restore rewrites them from the packet values
+/// carried alongside), so leaving them in would make snapshot bytes depend
+/// on arena allocation order — which differs between the single-threaded
+/// and sharded hosts. Zeroing them keeps the bytes partition-invariant.
+fn encode_events_canonical(events: &[(Nanos, EventKey, Event)], out: &mut Vec<u8>) {
+    let canon: Vec<(Nanos, EventKey, Event)> = events
+        .iter()
+        .map(|&(at, key, mut event)| {
+            match &mut event {
+                Event::ArriveBottleneck { pkt }
+                | Event::ArriveDestination { pkt }
+                | Event::ArriveSource { pkt } => *pkt = PacketId::from_index(0),
+                _ => {}
+            }
+            (at, key, event)
+        })
+        .collect();
+    canon.encode(out);
 }
 
 // ---------------------------------------------------------------------------
@@ -1653,6 +2280,7 @@ pub fn assemble_report(
     }
 
     report.events_processed += net.events_processed;
+    report.packets_created += net.packets_created;
     report.packets_recycled = packets_recycled;
     report.bottleneck_drops = net.paths.iter().map(|p| p.drops).sum();
     report.bytes_delivered = net.paths.iter().map(|p| p.bytes_delivered).sum();

@@ -19,6 +19,7 @@
 
 use bundler_core::feedback::BundleId;
 use bundler_types::{Duration, FlowKey, Nanos, PacketArena, Rate};
+use serde::binary::{Decode, Encode};
 
 use crate::edge::{BundleMode, MultiBundle, MultiBundleSpec};
 use crate::event::{Event, EventEngine, EventQueue};
@@ -83,6 +84,19 @@ pub struct SimulationConfig {
     /// level ever changes a simulation result: the output rides on
     /// [`SimReport::obs`], which `SimStats` digests exclude.
     pub obs: bundler_obs::ObsLevel,
+    /// When set, the hosts take a whole-simulation snapshot roughly every
+    /// this much simulated time (at the exact multiple in the
+    /// single-threaded host; at the first window barrier past the multiple
+    /// in the sharded host — both stamped so restore resumes
+    /// bit-identically). Collected via [`Simulation::run_collecting`];
+    /// `None` (the default) disables checkpointing entirely. Never affects
+    /// simulation results.
+    pub checkpoint_every: Option<Duration>,
+    /// Deterministic fault plan injected into the run: bottleneck faults
+    /// applied on the net core's canonical event stream plus control-plane
+    /// blackouts applied at feedback delivery. `None` (the default) injects
+    /// nothing. Same plan + workload ⇒ same digest for any shard count.
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 /// Bundle-to-shard assignment policy for the multi-threaded host.
@@ -136,6 +150,8 @@ impl Default for SimulationConfig {
             shards: 1,
             balance: ShardBalance::default(),
             obs: bundler_obs::ObsLevel::default(),
+            checkpoint_every: None,
+            faults: None,
         }
     }
 }
@@ -166,6 +182,9 @@ impl SimulationConfig {
 /// The single-threaded simulator host.
 pub struct Simulation {
     config: SimulationConfig,
+    /// The workload the run was built from (kept for snapshot
+    /// fingerprinting).
+    workload: Vec<FlowSpec>,
     queue: EventQueue,
     /// Every in-flight packet; events and queues reference it by id.
     arena: PacketArena,
@@ -175,6 +194,14 @@ pub struct Simulation {
     to_net: Vec<ToNet>,
     /// Reusable scratch for net → worker deliveries.
     deliveries: Vec<Delivery>,
+    /// Simulated time the run starts from (`ZERO` for a fresh run, the
+    /// snapshot's stamp after a restore).
+    start: Nanos,
+    /// True while every arena insert is one endhost/net creation, which
+    /// makes `finalize`'s accounting cross-check exact. Checkpointing and
+    /// restoring churn packets through the arena by value, so they clear
+    /// it.
+    arena_exact: bool,
 }
 
 impl Simulation {
@@ -188,13 +215,81 @@ impl Simulation {
         net.schedule_initial(&mut queue);
         Simulation {
             config,
+            workload,
             queue,
             arena: PacketArena::with_capacity(1024),
             worker,
             net,
             to_net: Vec::with_capacity(64),
             deliveries: Vec::with_capacity(64),
+            start: Nanos::ZERO,
+            arena_exact: true,
         }
+    }
+
+    /// Rebuilds a simulation from a snapshot taken at some earlier instant
+    /// of a run with an equivalent config and the same workload, positioned
+    /// to resume bit-identically. "Equivalent" means the result-affecting
+    /// fields match (checked via the snapshot fingerprint); observability,
+    /// partitioning and checkpoint cadence may differ.
+    pub fn restore(
+        config: SimulationConfig,
+        workload: Vec<FlowSpec>,
+        bytes: &[u8],
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let corrupt = |e: serde::binary::DecodeError| SnapshotError::Corrupt(e.to_string());
+        let fp = crate::snapshot::fingerprint(&config, &workload);
+        let mut r = serde::binary::Reader::new(bytes);
+        let at = crate::snapshot::read_header(&mut r, fp)?;
+        let mut queue = EventQueue::with_engine(config.event_engine);
+        let mut arena = PacketArena::with_capacity(1024);
+        let n_bundles = config.n_bundles();
+        // Start from an empty worker (it owns nothing, schedules nothing)
+        // and pour the snapshot in: every pending event — including future
+        // flow arrivals — comes from the snapshot, not `schedule_initial`.
+        let mut worker = WorkerCore::with_owned(
+            &config,
+            &workload,
+            Partition::solo(),
+            vec![false; n_bundles],
+        );
+        let residue = crate::runtime::WorkerResidue::decode(&mut r).map_err(corrupt)?;
+        worker.apply_residue(residue);
+        worker
+            .load_direct_state(&mut queue, &mut arena, &mut r)
+            .map_err(corrupt)?;
+        let count = u64::decode(&mut r).map_err(corrupt)? as usize;
+        if count != n_bundles {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {count} bundles, config defines {n_bundles}"
+            )));
+        }
+        for _ in 0..count {
+            let parcel =
+                crate::runtime::BundleParcel::from_state(&config, &mut r).map_err(corrupt)?;
+            worker.adopt_bundle(parcel, &mut queue, &mut arena, at);
+        }
+        let mut net = NetCore::new(&config);
+        net.load_state(&mut queue, &mut arena, &mut r)
+            .map_err(corrupt)?;
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes after snapshot payload".into(),
+            ));
+        }
+        Ok(Simulation {
+            config,
+            workload,
+            queue,
+            arena,
+            worker,
+            net,
+            to_net: Vec::with_capacity(64),
+            deliveries: Vec::with_capacity(64),
+            start: at,
+            arena_exact: false,
+        })
     }
 
     /// The configuration this simulation was built with.
@@ -208,9 +303,58 @@ impl Simulation {
     }
 
     /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_inner(None)
+    }
+
+    /// Runs to completion, pushing a `(time, bytes)` whole-simulation
+    /// snapshot into `sink` at every [`SimulationConfig::checkpoint_every`]
+    /// multiple. With `checkpoint_every` unset this is exactly [`run`].
+    /// Checkpointing never changes the report.
+    ///
+    /// [`run`]: Simulation::run
+    pub fn run_collecting(self, sink: &mut Vec<(Nanos, Vec<u8>)>) -> SimReport {
+        self.run_with_checkpoints(|at, blob| sink.push((at, blob)))
+    }
+
+    /// Runs to completion, invoking `sink` with each `(time, bytes)`
+    /// checkpoint as it is taken — the streaming form of
+    /// [`run_collecting`](Simulation::run_collecting), for callers that
+    /// persist checkpoints externally (e.g. to disk, so a killed process
+    /// can be resumed via [`Simulation::restore`]).
+    pub fn run_with_checkpoints(self, mut sink: impl FnMut(Nanos, Vec<u8>)) -> SimReport {
+        self.run_inner(Some(&mut sink))
+    }
+
+    fn run_inner(mut self, mut sink: Option<&mut dyn FnMut(Nanos, Vec<u8>)>) -> SimReport {
         let end = Nanos::ZERO + self.config.duration;
-        while let Some((now, event)) = self.queue.pop() {
+        // The next checkpoint instant: the first interval multiple strictly
+        // after the run's start (so a restored run does not re-write the
+        // checkpoint it was restored from).
+        let mut next_ckpt = match (self.config.checkpoint_every, sink.as_ref()) {
+            (Some(iv), Some(_)) if iv.as_nanos() > 0 => {
+                let iv = iv.as_nanos();
+                Some((iv, Nanos((self.start.as_nanos() / iv + 1) * iv)))
+            }
+            _ => None,
+        };
+        while let Some((peek_t, _)) = self.queue.peek() {
+            if let Some((iv, at)) = next_ckpt {
+                if at < end && peek_t >= at {
+                    // Every event before `at` has been processed and none
+                    // at or after it — the state *is* the state at `at`.
+                    let blob = self.snapshot(at);
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink(at, blob);
+                    }
+                    next_ckpt = Some((iv, at + Duration(iv)));
+                    continue;
+                }
+            }
+            let (now, event) = match self.queue.pop() {
+                Some(e) => e,
+                None => break,
+            };
             if now >= end {
                 break;
             }
@@ -244,10 +388,57 @@ impl Simulation {
         self.finalize()
     }
 
+    /// Serializes the complete simulation state, stamped as the state at
+    /// simulated time `at`. Callers must guarantee every event strictly
+    /// before `at` has been processed and none at or after it has — which
+    /// is exactly the situation between two event pops (the checkpoint loop
+    /// in [`Simulation::run_collecting`] enforces it). Non-destructive: the
+    /// run continues unchanged afterwards. Panics if a configured queue
+    /// discipline does not support checkpointing.
+    pub fn snapshot(&mut self, at: Nanos) -> Vec<u8> {
+        // Extract/adopt below re-inserts migrated packets, so the arena's
+        // insert counter stops matching logical packet creation.
+        self.arena_exact = false;
+        let fp = crate::snapshot::fingerprint(&self.config, &self.workload);
+        let mut out = Vec::new();
+        crate::snapshot::write_header(&mut out, at, fp);
+        self.worker.residue().encode(&mut out);
+        self.worker
+            .save_direct_state(&mut self.queue, &mut self.arena, &mut out);
+        let n = self.config.n_bundles();
+        (n as u64).encode(&mut out);
+        for b in 0..n {
+            let parcel = self
+                .worker
+                .extract_bundle(b, &mut self.queue, &mut self.arena);
+            let ok = parcel.save_state(&mut out);
+            self.worker
+                .adopt_bundle(parcel, &mut self.queue, &mut self.arena, at);
+            assert!(
+                ok,
+                "checkpointing requires a snapshot-capable sendbox queue discipline (bundle {b})"
+            );
+        }
+        let ok = self
+            .net
+            .save_state(&mut self.queue, &mut self.arena, &mut out);
+        assert!(
+            ok,
+            "checkpointing requires a snapshot-capable bottleneck queue discipline"
+        );
+        out
+    }
+
     fn finalize(self) -> SimReport {
         // In the single-arena host every creation is one insert, so the
-        // logical counter must agree with the arena's.
-        debug_assert_eq!(self.worker_packets_created(), self.arena.inserted());
+        // logical counters must agree with the arena's — unless a
+        // checkpoint/restore churned packets through the arena by value.
+        if self.arena_exact {
+            debug_assert_eq!(
+                self.worker_packets_created() + self.net.packets_created(),
+                self.arena.inserted()
+            );
+        }
         assemble_report(
             &self.config,
             vec![self.worker],

@@ -1,0 +1,264 @@
+//! Whole-simulation snapshots: versioned wire format and replay helpers.
+//!
+//! A snapshot captures the complete dynamic state of a run at a simulated
+//! instant `T` — every flow, bundle, queued packet, pending event and
+//! statistics accumulator — such that restoring it and running to the end
+//! produces a [`crate::stats::SimStats`] digest **bit-identical** to the
+//! uninterrupted run. Snapshots are *partition-independent*: the bytes
+//! written at time `T` are the same whether the run used one thread or any
+//! sharded configuration, and a snapshot may be restored into a different
+//! shard count than the one that wrote it.
+//!
+//! # Wire format (version 1)
+//!
+//! All integers are little-endian; variable structures use the repo's
+//! vendored `serde::binary` codec (`u64` length prefixes, `u8` enum tags).
+//!
+//! ```text
+//! magic        [u8; 8]   = b"BNDLSNAP"
+//! version      u32       = 1
+//! at           u64       simulated time T in nanoseconds
+//! fingerprint  u64       FNV-1a over the result-affecting config + workload
+//! residue      WorkerResidue   merged run-wide accumulators (fcts, counters)
+//! direct       direct-traffic slice (flows, pings, pending LP_DIRECT events)
+//! bundles      u64 count, then one BundleParcel per bundle, ascending index
+//! net          NetCore slice (paths, balancer, fault cursor, net events)
+//! ```
+//!
+//! The fingerprint covers only fields that change simulation *results*
+//! (durations, rates, topology, workload, fault plan). Observability level,
+//! shard count, balance policy, event-queue engine and the checkpoint
+//! cadence are deliberately excluded so a snapshot can be replayed with
+//! tracing enabled or restored into a different partitioning.
+//!
+//! Anything host-dependent (pointers, hash-map iteration order, thread ids)
+//! is never written: collections are serialized in canonical orders (flow
+//! id, event key, scheduler traversal order), which is what makes the bytes
+//! portable and partition-invariant.
+
+use bundler_types::Nanos;
+use serde::binary::{Decode, Encode, Reader};
+
+use crate::sim::SimulationConfig;
+use crate::workload::FlowSpec;
+
+/// Magic bytes opening every snapshot.
+pub const MAGIC: [u8; 8] = *b"BNDLSNAP";
+
+/// Current snapshot format version. Bump this (and the format notes in
+/// `ARCHITECTURE.md`) whenever the byte layout changes; the golden-format
+/// test fails loudly when an accidental layout change sneaks in.
+pub const VERSION: u32 = 1;
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not [`VERSION`].
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The snapshot was taken under a different config or workload.
+    FingerprintMismatch {
+        /// Fingerprint expected for the restoring config/workload.
+        expected: u64,
+        /// Fingerprint found in the header.
+        found: u64,
+    },
+    /// The payload failed to decode.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a bundler snapshot (bad magic)"),
+            SnapshotError::BadVersion { found } => write!(
+                f,
+                "snapshot format version {found} is not supported (expected {VERSION})"
+            ),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot was taken under a different config/workload \
+                 (fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot payload corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit over a byte string.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the result-affecting parts of a config + workload.
+///
+/// Built from the `Debug` rendering of exactly the fields that change what
+/// the simulation computes. Excludes `obs`, `shards`, `balance`,
+/// `event_engine` and `checkpoint_every` so that replay-with-tracing and
+/// restore-into-different-shard-count both accept the snapshot.
+pub fn fingerprint(config: &SimulationConfig, workload: &[FlowSpec]) -> u64 {
+    let s = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.duration,
+        config.bottleneck_rate,
+        config.rtt,
+        config.buffer_pkts,
+        config.num_paths,
+        config.path_delay_spread,
+        config.packet_spraying,
+        config.in_network_fq,
+        config.bundles,
+        config.multi_bundle,
+        config.sample_interval,
+        config.faults,
+        workload,
+    );
+    fnv1a64(s.as_bytes())
+}
+
+/// Writes the snapshot header. Exposed for the sharded host, which
+/// assembles the same wire format from per-shard parts.
+pub fn write_header(out: &mut Vec<u8>, at: Nanos, fp: u64) {
+    out.extend_from_slice(&MAGIC);
+    VERSION.encode(out);
+    at.encode(out);
+    fp.encode(out);
+}
+
+/// Validates the header and returns the snapshot's timestamp, leaving the
+/// reader positioned at the start of the payload. Exposed for the sharded
+/// host's restore path.
+pub fn read_header(r: &mut Reader<'_>, expected_fp: u64) -> Result<Nanos, SnapshotError> {
+    let magic = r
+        .take(MAGIC.len(), "snapshot magic")
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::decode(r).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
+    let at = Nanos::decode(r).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    let found = u64::decode(r).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if found != expected_fp {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected: expected_fp,
+            found,
+        });
+    }
+    Ok(at)
+}
+
+/// Reads only the timestamp out of a snapshot header without checking the
+/// fingerprint — useful for listing checkpoints.
+pub fn peek_at(bytes: &[u8]) -> Result<Nanos, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let magic = r
+        .take(MAGIC.len(), "snapshot magic")
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::decode(&mut r).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
+    Nanos::decode(&mut r).map_err(|e| SnapshotError::Corrupt(e.to_string()))
+}
+
+/// Restores the last checkpoint at or before `t` and re-runs the tail of
+/// the simulation with full observability — the replay half of the
+/// "replay harness": pair it with `bundler_obs::trace::first_divergence`
+/// to zoom in on the first event where two runs disagree.
+///
+/// `checkpoints` is the `(time, bytes)` list produced by
+/// [`crate::sim::Simulation::run_collecting`] (or the sharded equivalent).
+/// Returns the replayed report together with the timestamp of the
+/// checkpoint used.
+pub fn replay_at(
+    config: &SimulationConfig,
+    workload: &[FlowSpec],
+    checkpoints: &[(Nanos, Vec<u8>)],
+    t: Nanos,
+) -> Result<(Nanos, crate::stats::SimReport), SnapshotError> {
+    let ckpt = checkpoints
+        .iter()
+        .filter(|(at, _)| *at <= t)
+        .max_by_key(|(at, _)| *at)
+        .ok_or_else(|| SnapshotError::Corrupt(format!("no checkpoint at or before {t:?}")))?;
+    let mut replay_config = config.clone();
+    replay_config.obs = bundler_obs::ObsLevel::Full;
+    let sim = crate::sim::Simulation::restore(replay_config, workload.to_vec(), &ckpt.1)?;
+    Ok((ckpt.0, sim.run()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_observability_and_partitioning() {
+        let base = SimulationConfig::default();
+        let wl = vec![FlowSpec::bundled(1, 500_000, Nanos::ZERO, 0)];
+        let fp = fingerprint(&base, &wl);
+
+        let mut obs = base.clone();
+        obs.obs = bundler_obs::ObsLevel::Full;
+        assert_eq!(fp, fingerprint(&obs, &wl), "obs level must not change fp");
+
+        let mut sharded = base.clone();
+        sharded.shards = 4;
+        assert_eq!(fp, fingerprint(&sharded, &wl), "shards must not change fp");
+
+        let mut faster = base.clone();
+        faster.bottleneck_rate = bundler_types::Rate::from_mbps_f64(123.0);
+        assert_ne!(fp, fingerprint(&faster, &wl), "rate must change fp");
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_garbage() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, Nanos::from_millis(250), 0xdead_beef);
+        let mut r = Reader::new(&buf);
+        let at = read_header(&mut r, 0xdead_beef).expect("valid header");
+        assert_eq!(at, Nanos::from_millis(250));
+        assert_eq!(peek_at(&buf).unwrap(), Nanos::from_millis(250));
+
+        let mut r = Reader::new(&buf);
+        match read_header(&mut r, 0x1234) {
+            Err(SnapshotError::FingerprintMismatch { .. }) => {}
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        let mut r = Reader::new(&bad);
+        assert_eq!(
+            read_header(&mut r, 0xdead_beef),
+            Err(SnapshotError::BadMagic)
+        );
+
+        let mut wrong_ver = Vec::new();
+        wrong_ver.extend_from_slice(&MAGIC);
+        99u32.encode(&mut wrong_ver);
+        Nanos::ZERO.encode(&mut wrong_ver);
+        0u64.encode(&mut wrong_ver);
+        let mut r = Reader::new(&wrong_ver);
+        assert_eq!(
+            read_header(&mut r, 0),
+            Err(SnapshotError::BadVersion { found: 99 })
+        );
+    }
+}

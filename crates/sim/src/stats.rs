@@ -6,6 +6,7 @@ use bundler_agent::AgentStats;
 use bundler_core::sendbox::SendboxStats;
 use bundler_core::SendboxTelemetry;
 use bundler_types::{Duration, Nanos, Rate};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Record of one completed request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +22,28 @@ pub struct FctRecord {
     pub unloaded_fct: Duration,
     /// Which bundle (if any) the flow belonged to; `None` for cross traffic.
     pub bundle: Option<usize>,
+}
+
+impl Encode for FctRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.size_bytes.encode(out);
+        self.start.encode(out);
+        self.fct.encode(out);
+        self.unloaded_fct.encode(out);
+        self.bundle.encode(out);
+    }
+}
+
+impl Decode for FctRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FctRecord {
+            size_bytes: u64::decode(r)?,
+            start: Nanos::decode(r)?,
+            fct: Duration::decode(r)?,
+            unloaded_fct: Duration::decode(r)?,
+            bundle: Option::<usize>::decode(r)?,
+        })
+    }
 }
 
 impl FctRecord {
@@ -99,6 +122,20 @@ impl Summary {
 pub struct TimeSeries {
     /// The samples, in time order.
     pub samples: Vec<(Nanos, f64)>,
+}
+
+impl Encode for TimeSeries {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.samples.encode(out);
+    }
+}
+
+impl Decode for TimeSeries {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TimeSeries {
+            samples: Vec::<(Nanos, f64)>::decode(r)?,
+        })
+    }
 }
 
 impl TimeSeries {

@@ -19,6 +19,7 @@ use bundler_cc::{AckEvent, EndhostAlg, LossEvent, WindowCc};
 use bundler_types::{
     Duration, FlowId, FlowKey, Nanos, Packet, PacketArena, PacketId, TrafficClass,
 };
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Maximum segment size used by the simulated endhosts (bytes of payload).
 pub const MSS: u64 = 1460;
@@ -36,6 +37,26 @@ struct Segment {
     len: u32,
     sent_at: Nanos,
     retransmitted: bool,
+}
+
+impl Encode for Segment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.len.encode(out);
+        self.sent_at.encode(out);
+        self.retransmitted.encode(out);
+    }
+}
+
+impl Decode for Segment {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Segment {
+            seq: u64::decode(r)?,
+            len: u32::decode(r)?,
+            sent_at: Nanos::decode(r)?,
+            retransmitted: bool::decode(r)?,
+        })
+    }
 }
 
 /// The in-flight segment window, ordered by sequence number.
@@ -115,6 +136,9 @@ pub struct TcpSender {
     /// Time the last byte was acknowledged, if the flow has finished.
     pub completed: Option<Nanos>,
 
+    /// The algorithm the `cc` box was built from, kept so checkpoints can
+    /// rebuild an identical controller before loading its dynamic state.
+    alg: EndhostAlg,
     cc: Box<dyn WindowCc>,
     next_seq: u64,
     snd_una: u64,
@@ -175,6 +199,7 @@ impl TcpSender {
             size_bytes,
             started: now,
             completed: None,
+            alg,
             cc: alg.build(MSS),
             next_seq: 0,
             snd_una: 0,
@@ -446,6 +471,68 @@ impl TcpSender {
         self.rto = (srtt + self.rttvar * 4).max(MIN_RTO).min(MAX_RTO);
     }
 
+    /// Serializes the sender's complete state, including identity and
+    /// configuration, so a checkpoint can rebuild it without consulting the
+    /// workload table.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.key.encode(out);
+        self.class.encode(out);
+        self.size_bytes.encode(out);
+        self.alg.encode(out);
+        self.started.encode(out);
+        self.completed.encode(out);
+        self.next_seq.encode(out);
+        self.snd_una.encode(out);
+        self.inflight.segs.encode(out);
+        self.bytes_in_flight.encode(out);
+        self.dup_acks.encode(out);
+        self.recovery_point.encode(out);
+        self.highest_sacked.encode(out);
+        self.repair_next.encode(out);
+        self.srtt.encode(out);
+        self.rttvar.encode(out);
+        self.min_rtt.encode(out);
+        self.rto.encode(out);
+        self.rto_backoff.encode(out);
+        self.last_activity.encode(out);
+        self.ip_id_counter.encode(out);
+        self.packets_sent.encode(out);
+        self.retransmits.encode(out);
+        self.cc.save_state(out);
+    }
+
+    /// Rebuilds a sender from bytes written by [`TcpSender::save_state`].
+    pub fn from_state(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let id = FlowId::decode(r)?;
+        let key = FlowKey::decode(r)?;
+        let class = TrafficClass::decode(r)?;
+        let size_bytes = u64::decode(r)?;
+        let alg = EndhostAlg::decode(r)?;
+        let mut s = TcpSender::new(id, key, size_bytes, alg, class, Nanos::ZERO);
+        s.started = Nanos::decode(r)?;
+        s.completed = Option::<Nanos>::decode(r)?;
+        s.next_seq = u64::decode(r)?;
+        s.snd_una = u64::decode(r)?;
+        s.inflight.segs = VecDeque::<Segment>::decode(r)?;
+        s.bytes_in_flight = u64::decode(r)?;
+        s.dup_acks = u32::decode(r)?;
+        s.recovery_point = Option::<u64>::decode(r)?;
+        s.highest_sacked = u64::decode(r)?;
+        s.repair_next = u64::decode(r)?;
+        s.srtt = Option::<Duration>::decode(r)?;
+        s.rttvar = Duration::decode(r)?;
+        s.min_rtt = Duration::decode(r)?;
+        s.rto = Duration::decode(r)?;
+        s.rto_backoff = u32::decode(r)?;
+        s.last_activity = Nanos::decode(r)?;
+        s.ip_id_counter = u16::decode(r)?;
+        s.packets_sent = u64::decode(r)?;
+        s.retransmits = u64::decode(r)?;
+        s.cc.load_state(r)?;
+        Ok(s)
+    }
+
     /// Periodic retransmission-timeout check. Returns the time at which the
     /// next check should run (if any data is outstanding), appending any
     /// packets to transmit now to `out`.
@@ -543,6 +630,22 @@ impl TcpReceiver {
         }
         self.recv_next
     }
+
+    /// Serializes the receiver's state.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.recv_next.encode(out);
+        self.out_of_order.encode(out);
+        self.bytes_received.encode(out);
+    }
+
+    /// Rebuilds a receiver from bytes written by [`TcpReceiver::save_state`].
+    pub fn from_state(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TcpReceiver {
+            recv_next: u64::decode(r)?,
+            out_of_order: BTreeMap::<u64, u32>::decode(r)?,
+            bytes_received: u64::decode(r)?,
+        })
+    }
 }
 
 /// A closed-loop request/response client: it keeps exactly one small request
@@ -615,6 +718,30 @@ impl PingClient {
     /// Completed round trips so far.
     pub fn completed(&self) -> usize {
         self.rtts.len()
+    }
+
+    /// Serializes the client's complete state, including identity.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.key.encode(out);
+        self.payload.encode(out);
+        self.rtts.encode(out);
+        self.outstanding.encode(out);
+        self.seq.encode(out);
+        self.ip_id.encode(out);
+    }
+
+    /// Rebuilds a client from bytes written by [`PingClient::save_state`].
+    pub fn from_state(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PingClient {
+            id: FlowId::decode(r)?,
+            key: FlowKey::decode(r)?,
+            payload: u32::decode(r)?,
+            rtts: Vec::<Duration>::decode(r)?,
+            outstanding: Option::<(u64, Nanos)>::decode(r)?,
+            seq: u64::decode(r)?,
+            ip_id: u16::decode(r)?,
+        })
     }
 }
 

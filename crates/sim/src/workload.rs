@@ -12,6 +12,7 @@ use bundler_cc::EndhostAlg;
 use bundler_types::{Duration, FlowId, Nanos, Rate, TrafficClass};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Where a flow's packets enter the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +23,28 @@ pub enum Origin {
     /// The flow bypasses all sendboxes (cross traffic injected directly at
     /// the bottleneck).
     Direct,
+}
+
+impl Encode for Origin {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Origin::Bundle(b) => {
+                0u8.encode(out);
+                b.encode(out);
+            }
+            Origin::Direct => 1u8.encode(out),
+        }
+    }
+}
+
+impl Decode for Origin {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Origin::Bundle(usize::decode(r)?)),
+            1 => Ok(Origin::Direct),
+            _ => Err(r.error("unknown flow origin tag")),
+        }
+    }
 }
 
 /// Specification of one application flow, produced by the workload

@@ -1,0 +1,197 @@
+//! Checkpoint/restore and fault-injection tests for the single-threaded
+//! host: restoring any checkpoint must resume **bit-identically**, with and
+//! without an active fault plan; snapshots themselves must be
+//! deterministic; and the replay harness must reproduce the run under full
+//! observability.
+
+use bundler_sim::fault::{FaultKind, FaultPlan};
+use bundler_sim::scenario::many_sites::ManySitesScenario;
+use bundler_sim::sim::SimulationConfig;
+use bundler_sim::workload::FlowSpec;
+use bundler_sim::{snapshot, SimStats, Simulation};
+use bundler_types::{Duration, Nanos, Rate};
+
+fn scenario(seed: u64) -> ManySitesScenario {
+    ManySitesScenario::builder()
+        .sites(3)
+        .requests_per_site(6)
+        .offered_load_per_site(Rate::from_mbps(8))
+        .bottleneck(Rate::from_mbps(60))
+        .drain(Duration::from_secs(2))
+        .seed(seed)
+        .build()
+}
+
+fn setup(seed: u64, faults: Option<FaultPlan>) -> (SimulationConfig, Vec<FlowSpec>) {
+    let sc = scenario(seed);
+    let mut config = sc.sim_config();
+    config.checkpoint_every = Some(Duration::from_millis(500));
+    config.faults = faults;
+    (config, sc.workload())
+}
+
+fn digest(config: &SimulationConfig, workload: &[FlowSpec]) -> SimStats {
+    SimStats::of(&Simulation::new(config.clone(), workload.to_vec()).run())
+}
+
+#[test]
+fn restore_at_every_checkpoint_is_bit_identical() {
+    let (config, workload) = setup(7, None);
+    let mut ckpts = Vec::new();
+    let baseline =
+        SimStats::of(&Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts));
+    assert!(baseline.completed > 0, "scenario must do real work");
+    assert!(
+        ckpts.len() >= 3,
+        "expected several checkpoints, got {}",
+        ckpts.len()
+    );
+    // Checkpointing itself must not perturb the run.
+    assert_eq!(baseline, digest(&config, &workload));
+    for (at, bytes) in &ckpts {
+        let sim = Simulation::restore(config.clone(), workload.clone(), bytes)
+            .unwrap_or_else(|e| panic!("restore at {at:?}: {e}"));
+        let resumed = SimStats::of(&sim.run());
+        assert_eq!(baseline, resumed, "restore at {at:?} diverged");
+    }
+}
+
+#[test]
+fn restore_under_fault_plan_is_bit_identical() {
+    let sc = scenario(11);
+    let plan = FaultPlan::generate(11, sc.sim_config().duration, sc.sim_config().num_paths);
+    let (config, workload) = setup(11, Some(plan));
+    let mut ckpts = Vec::new();
+    let baseline =
+        SimStats::of(&Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts));
+    assert!(baseline.completed > 0);
+    assert!(!ckpts.is_empty());
+    for (at, bytes) in &ckpts {
+        let sim = Simulation::restore(config.clone(), workload.clone(), bytes)
+            .unwrap_or_else(|e| panic!("restore at {at:?}: {e}"));
+        assert_eq!(
+            baseline,
+            SimStats::of(&sim.run()),
+            "restore at {at:?} diverged"
+        );
+    }
+}
+
+#[test]
+fn faults_change_results_and_are_seed_deterministic() {
+    let (clean_config, workload) = setup(13, None);
+    let plan = FaultPlan::generate(13, clean_config.duration, clean_config.num_paths)
+        .with_fault(Nanos::from_millis(400), FaultKind::BurstLoss { count: 20 });
+    let mut faulty_config = clean_config.clone();
+    faulty_config.faults = Some(plan);
+    let clean = digest(&clean_config, &workload);
+    let faulty = digest(&faulty_config, &workload);
+    assert_ne!(clean, faulty, "an active fault plan must perturb the run");
+    assert_eq!(
+        faulty,
+        digest(&faulty_config, &workload),
+        "same plan must reproduce the same digest"
+    );
+}
+
+#[test]
+fn snapshots_are_deterministic() {
+    let (config, workload) = setup(17, None);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    Simulation::new(config.clone(), workload.clone()).run_collecting(&mut a);
+    Simulation::new(config, workload).run_collecting(&mut b);
+    assert_eq!(a.len(), b.len());
+    for ((ta, ba), (tb, bb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ta, tb);
+        assert_eq!(
+            ba, bb,
+            "snapshot bytes at {ta:?} differ between identical runs"
+        );
+    }
+}
+
+#[test]
+fn replay_reruns_the_tail_with_full_observability() {
+    let (config, workload) = setup(19, None);
+    let mut ckpts = Vec::new();
+    let baseline =
+        SimStats::of(&Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts));
+    let mid = Nanos::ZERO + Duration(config.duration.as_nanos() / 2);
+    let (from, report) = snapshot::replay_at(&config, &workload, &ckpts, mid).expect("replay");
+    assert!(from <= mid);
+    assert_eq!(baseline, SimStats::of(&report), "replayed tail diverged");
+    let obs = report.obs.expect("replay must run at ObsLevel::Full");
+    assert_eq!(obs.level, bundler_obs::ObsLevel::Full);
+}
+
+#[test]
+fn restore_rejects_mismatched_config_and_garbage() {
+    let (config, workload) = setup(23, None);
+    let mut ckpts = Vec::new();
+    Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts);
+    let (_, bytes) = ckpts.first().expect("at least one checkpoint");
+
+    let mut other = config.clone();
+    other.bottleneck_rate = Rate::from_mbps(61);
+    match Simulation::restore(other, workload.clone(), bytes) {
+        Err(snapshot::SnapshotError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected fingerprint mismatch, got {:?}", other.err()),
+    }
+
+    match Simulation::restore(config.clone(), workload.clone(), b"not a snapshot") {
+        Err(snapshot::SnapshotError::BadMagic) => {}
+        other => panic!("expected bad magic, got {:?}", other.err()),
+    }
+
+    let mut truncated = bytes.clone();
+    truncated.truncate(truncated.len() / 2);
+    match Simulation::restore(config, workload, &truncated) {
+        Err(snapshot::SnapshotError::Corrupt(_)) => {}
+        other => panic!("expected corrupt payload, got {:?}", other.err()),
+    }
+}
+
+/// Golden wire-format test: the exact bytes of a version-1 snapshot for a
+/// pinned config and workload, reduced to an FNV-1a hash. If this fails,
+/// the snapshot byte layout changed: bump `snapshot::VERSION`, update the
+/// wire-format notes in `ARCHITECTURE.md` and `crates/sim/src/snapshot.rs`,
+/// and re-pin `GOLDEN_HASH` below. Never "fix" this test by re-pinning
+/// without the version bump — old snapshots would decode as garbage.
+#[test]
+fn snapshot_wire_format_is_stable() {
+    const GOLDEN_HASH: u64 = 0x5496_ffbd_9f6c_7d12;
+    const GOLDEN_LEN: usize = 5572;
+    assert_eq!(
+        snapshot::VERSION,
+        1,
+        "snapshot::VERSION changed — re-pin this test's golden hash for the new format"
+    );
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+    let config = SimulationConfig {
+        duration: Duration::from_secs(1),
+        checkpoint_every: Some(Duration::from_millis(250)),
+        ..Default::default()
+    };
+    let workload = vec![
+        FlowSpec::bundled(1, 200_000, Nanos::ZERO, 0),
+        FlowSpec::bundled(2, 100_000, Nanos::from_millis(100), 0),
+    ];
+    let mut ckpts = Vec::new();
+    Simulation::new(config, workload).run_collecting(&mut ckpts);
+    let (at, blob) = &ckpts[0];
+    assert_eq!(*at, Nanos::from_millis(250));
+    assert_eq!(
+        (blob.len(), fnv1a64(blob)),
+        (GOLDEN_LEN, GOLDEN_HASH),
+        "the snapshot byte layout changed without a snapshot::VERSION bump \
+         (see this test's doc comment for the required steps)"
+    );
+}

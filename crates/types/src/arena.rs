@@ -28,6 +28,13 @@ impl PacketId {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an id from a raw index. Only meaningful to code that also
+    /// controls the arena the index refers to — the snapshot codec uses it
+    /// to round-trip ids that are rewritten on adoption anyway.
+    pub fn from_index(index: u32) -> PacketId {
+        PacketId(index)
+    }
 }
 
 impl std::fmt::Display for PacketId {

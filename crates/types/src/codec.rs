@@ -1,0 +1,251 @@
+//! Snapshot codec implementations for the vocabulary types.
+//!
+//! Every type here encodes as a fixed little-endian layout via
+//! [`serde::binary`]; the snapshot format version in `bundler-sim` must be
+//! bumped whenever any of these layouts change.
+
+use serde::binary::{Decode, DecodeError, Encode, Reader};
+
+use crate::arena::PacketId;
+use crate::flow::{FlowId, FlowKey, Protocol};
+use crate::packet::{Packet, PacketKind, TrafficClass};
+use crate::prefix::IpPrefix;
+use crate::rate::Rate;
+use crate::time::{Duration, Nanos};
+
+impl Encode for Nanos {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for Nanos {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Nanos(u64::decode(r)?))
+    }
+}
+
+impl Encode for Duration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for Duration {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Duration(u64::decode(r)?))
+    }
+}
+
+impl Encode for Rate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bps().encode(out);
+    }
+}
+
+impl Decode for Rate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Rate::from_bps(u64::decode(r)?))
+    }
+}
+
+impl Encode for FlowId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for FlowId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FlowId(u64::decode(r)?))
+    }
+}
+
+impl Encode for PacketId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index().encode(out);
+    }
+}
+
+impl Decode for PacketId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PacketId::from_index(u32::decode(r)?))
+    }
+}
+
+impl Encode for Protocol {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Protocol::Tcp => 0,
+            Protocol::Udp => 1,
+        });
+    }
+}
+
+impl Decode for Protocol {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Protocol::Tcp),
+            1 => Ok(Protocol::Udp),
+            _ => Err(r.error("protocol tag")),
+        }
+    }
+}
+
+impl Encode for FlowKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.src_ip.encode(out);
+        self.dst_ip.encode(out);
+        self.src_port.encode(out);
+        self.dst_port.encode(out);
+        self.protocol.encode(out);
+    }
+}
+
+impl Decode for FlowKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FlowKey {
+            src_ip: u32::decode(r)?,
+            dst_ip: u32::decode(r)?,
+            src_port: u16::decode(r)?,
+            dst_port: u16::decode(r)?,
+            protocol: Protocol::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PacketKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            PacketKind::Data => 0,
+            PacketKind::Ack => 1,
+            PacketKind::CongestionAck => 2,
+            PacketKind::EpochUpdate => 3,
+        });
+    }
+}
+
+impl Decode for PacketKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(PacketKind::Data),
+            1 => Ok(PacketKind::Ack),
+            2 => Ok(PacketKind::CongestionAck),
+            3 => Ok(PacketKind::EpochUpdate),
+            _ => Err(r.error("packet kind tag")),
+        }
+    }
+}
+
+impl Encode for TrafficClass {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for TrafficClass {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TrafficClass(u8::decode(r)?))
+    }
+}
+
+impl Encode for Packet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.flow.encode(out);
+        self.key.encode(out);
+        self.kind.encode(out);
+        self.ip_id.encode(out);
+        self.seq.encode(out);
+        self.size.encode(out);
+        self.payload.encode(out);
+        self.class.encode(out);
+        self.sent_at.encode(out);
+        self.enqueued_at.encode(out);
+        self.retransmit.encode(out);
+        self.ecn_ce.encode(out);
+        self.sack_highest.encode(out);
+    }
+}
+
+impl Decode for Packet {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Packet {
+            flow: FlowId::decode(r)?,
+            key: FlowKey::decode(r)?,
+            kind: PacketKind::decode(r)?,
+            ip_id: u16::decode(r)?,
+            seq: u64::decode(r)?,
+            size: u32::decode(r)?,
+            payload: u32::decode(r)?,
+            class: TrafficClass::decode(r)?,
+            sent_at: Nanos::decode(r)?,
+            enqueued_at: Nanos::decode(r)?,
+            retransmit: bool::decode(r)?,
+            ecn_ce: bool::decode(r)?,
+            sack_highest: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for IpPrefix {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.addr().encode(out);
+        self.len().encode(out);
+    }
+}
+
+impl Decode for IpPrefix {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let addr = u32::decode(r)?;
+        let len = u8::decode(r)?;
+        IpPrefix::new(addr, len).ok_or_else(|| r.error("prefix length"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::ipv4;
+    use serde::binary::{decode_all, encode_to_vec};
+
+    #[test]
+    fn packet_round_trips() {
+        let p = Packet::data(
+            FlowId(7),
+            FlowKey::tcp(ipv4(10, 0, 0, 1), 4000, ipv4(10, 1, 0, 1), 443),
+            1460,
+            1460,
+            Nanos::from_millis(3),
+        )
+        .with_ip_id(99)
+        .with_class(TrafficClass::HIGH)
+        .retransmitted();
+        let back: Packet = decode_all(&encode_to_vec(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn vocabulary_types_round_trip() {
+        let bytes = encode_to_vec(&(Nanos(17), Duration(5), Rate::from_mbps(96), FlowId(3)));
+        let (n, d, rate, f): (Nanos, Duration, Rate, FlowId) = decode_all(&bytes).unwrap();
+        assert_eq!(
+            (n, d, rate, f),
+            (Nanos(17), Duration(5), Rate::from_mbps(96), FlowId(3))
+        );
+
+        let prefix = IpPrefix::new(ipv4(10, 1, 3, 0), 24).unwrap();
+        let back: IpPrefix = decode_all(&encode_to_vec(&prefix)).unwrap();
+        assert_eq!(back, prefix);
+
+        let id = PacketId::from_index(42);
+        let back: PacketId = decode_all(&encode_to_vec(&id)).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn invalid_enum_tags_error() {
+        assert!(decode_all::<Protocol>(&[7]).is_err());
+        assert!(decode_all::<PacketKind>(&[9]).is_err());
+        assert!(decode_all::<IpPrefix>(&[0, 0, 0, 0, 40]).is_err());
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod arena;
 pub mod bytes;
+pub mod codec;
 pub mod flow;
 pub mod packet;
 pub mod prefix;

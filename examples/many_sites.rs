@@ -1,7 +1,10 @@
 //! Many sites, one edge: run the site agent over 8 simulated remote sites.
 //!
 //! ```text
-//! cargo run --release --example many_sites -- [--obs off|metrics|full] [--trace-out PATH]
+//! cargo run --release --example many_sites -- \
+//!     [--obs off|metrics|full] [--trace-out PATH] [--shards N] \
+//!     [--faults SEED] [--checkpoint-every MS] [--checkpoint-dir DIR] \
+//!     [--crash-at-checkpoint N] [--restore-from FILE]
 //! ```
 //!
 //! Each remote site announces a /24 destination prefix and gets its own
@@ -12,46 +15,166 @@
 //! prints the portable metrics registry (sojourn/slowdown quantiles);
 //! with `--obs full --trace-out trace.json` it writes a Chrome trace you
 //! can load at <https://ui.perfetto.dev>.
+//!
+//! The checkpoint flags drive the crash-recovery workflow: `--checkpoint-
+//! every 500 --checkpoint-dir ckpts` writes a snapshot file at every 500 ms
+//! of simulated time, `--crash-at-checkpoint 2` kills the process right
+//! after the second one (exit code 42, simulating a mid-run crash), and
+//! `--restore-from ckpts/ckpt_2.bin` resumes. The final `digest:` line is
+//! bit-identical between an uninterrupted run and a crashed-and-restored
+//! one — that equality is checked in CI. `--faults SEED` injects the
+//! deterministic fault plan with that seed (same seed, same digest, any
+//! shard count).
 
 use bundler::obs::{CounterId, HistId, ObsLevel};
-use bundler::sim::scenario::many_sites::ManySitesScenario;
+use bundler::shard::ShardedSimulation;
+use bundler::sim::fault::FaultPlan;
+use bundler::sim::scenario::many_sites::{ManySitesReport, ManySitesScenario};
+use bundler::sim::SimStats;
 use bundler::types::Rate;
 
-/// Parses `--obs {off,metrics,full}` and `--trace-out PATH` from `args`.
-fn obs_args() -> (ObsLevel, Option<String>) {
-    let mut level = ObsLevel::Off;
-    let mut trace_out = None;
+struct Cli {
+    obs: ObsLevel,
+    trace_out: Option<String>,
+    shards: usize,
+    faults: Option<u64>,
+    checkpoint_every_ms: Option<u64>,
+    checkpoint_dir: Option<String>,
+    crash_at: Option<u64>,
+    restore_from: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        obs: ObsLevel::Off,
+        trace_out: None,
+        shards: 1,
+        faults: None,
+        checkpoint_every_ms: None,
+        checkpoint_dir: None,
+        crash_at: None,
+        restore_from: None,
+    };
     let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} takes a value"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--obs" => {
-                level = match args.next().as_deref() {
+                cli.obs = match args.next().as_deref() {
                     Some("off") => ObsLevel::Off,
                     Some("metrics") => ObsLevel::Metrics,
                     Some("full") => ObsLevel::Full,
                     other => panic!("--obs takes off|metrics|full, got {other:?}"),
                 }
             }
-            "--trace-out" => trace_out = Some(args.next().expect("--trace-out takes a path")),
+            "--trace-out" => cli.trace_out = Some(value(&mut args, "--trace-out")),
+            "--shards" => {
+                cli.shards = value(&mut args, "--shards")
+                    .parse()
+                    .expect("--shards takes a count")
+            }
+            "--faults" => {
+                cli.faults = Some(
+                    value(&mut args, "--faults")
+                        .parse()
+                        .expect("--faults takes a seed"),
+                )
+            }
+            "--checkpoint-every" => {
+                cli.checkpoint_every_ms = Some(
+                    value(&mut args, "--checkpoint-every")
+                        .parse()
+                        .expect("--checkpoint-every takes milliseconds"),
+                )
+            }
+            "--checkpoint-dir" => cli.checkpoint_dir = Some(value(&mut args, "--checkpoint-dir")),
+            "--crash-at-checkpoint" => {
+                cli.crash_at = Some(
+                    value(&mut args, "--crash-at-checkpoint")
+                        .parse()
+                        .expect("--crash-at-checkpoint takes a checkpoint number"),
+                )
+            }
+            "--restore-from" => cli.restore_from = Some(value(&mut args, "--restore-from")),
             other => panic!("unknown argument {other:?}"),
         }
     }
-    (level, trace_out)
+    cli
+}
+
+/// FNV-1a 64-bit: the digest printed for CI's crash-recovery comparison.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
 }
 
 fn main() {
-    let (obs_level, trace_out) = obs_args();
+    let cli = parse_cli();
     let sites = 8;
     println!("Running {sites} remote sites behind one Bundler site agent...\n");
 
-    let report = ManySitesScenario::builder()
+    let scenario = ManySitesScenario::builder()
         .sites(sites)
         .requests_per_site(80)
         .offered_load_per_site(Rate::from_mbps(6))
         .seed(1)
-        .obs(obs_level)
-        .build()
-        .run();
+        .obs(cli.obs)
+        .build();
+    let mut config = scenario.sim_config();
+    let workload = scenario.workload();
+    config.shards = cli.shards;
+    if let Some(seed) = cli.faults {
+        config.faults = Some(FaultPlan::generate(seed, config.duration, config.num_paths));
+        println!("faults: plan generated from seed {seed}\n");
+    }
+    if let Some(ms) = cli.checkpoint_every_ms {
+        config.checkpoint_every = Some(bundler::types::Duration::from_millis(ms));
+    }
+
+    let sim = match &cli.restore_from {
+        Some(path) => {
+            let bytes = std::fs::read(path).expect("read snapshot file");
+            let sim = ShardedSimulation::restore(config, workload, &bytes)
+                .unwrap_or_else(|e| panic!("cannot restore {path}: {e}"));
+            println!("restored from {path}\n");
+            sim
+        }
+        None => ShardedSimulation::new(config, workload),
+    };
+
+    let dir = cli.checkpoint_dir.clone();
+    if let Some(dir) = &dir {
+        std::fs::create_dir_all(dir).expect("create checkpoint dir");
+    }
+    let crash_at = cli.crash_at;
+    let mut taken: u64 = 0;
+    let sim_report = sim
+        .try_run_with_checkpoints(|at, blob| {
+            taken += 1;
+            if let Some(dir) = &dir {
+                let path = format!("{dir}/ckpt_{taken}.bin");
+                std::fs::write(&path, &blob).expect("write checkpoint");
+                println!(
+                    "checkpoint {taken} at {at:?} -> {path} ({} bytes)",
+                    blob.len()
+                );
+            }
+            if crash_at == Some(taken) {
+                // Simulated crash: die mid-run, right after persisting the
+                // checkpoint — the restore path must pick it up from here.
+                println!("crash-at-checkpoint {taken}: exiting now");
+                std::process::exit(42);
+            }
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+    let report = ManySitesReport::from_sim(sim_report);
 
     println!("{}", report.telemetry.to_table());
 
@@ -74,6 +197,12 @@ fn main() {
         sites * 80,
         report.sim.median_slowdown().unwrap_or(f64::NAN),
     );
+    // Stable across shard counts, checkpoint cadences and crash/restore —
+    // CI compares this line between an uninterrupted and a restored run.
+    println!(
+        "digest: {:#018x}",
+        fnv1a64(format!("{:?}", SimStats::of(&report.sim)).as_bytes())
+    );
 
     if let Some(obs) = report.sim.obs.as_deref() {
         let m = &obs.metrics;
@@ -93,21 +222,23 @@ fn main() {
             slowdown.quantile(0.5).unwrap_or(0) as f64 / 1e3,
             slowdown.quantile(0.99).unwrap_or(0) as f64 / 1e3,
         );
-        if let Some(path) = &trace_out {
+        if let Some(path) = &cli.trace_out {
             std::fs::write(path, obs.to_chrome_trace()).expect("write trace");
             println!(
                 "obs:    {} trace records written to {path} (load at ui.perfetto.dev)",
                 obs.trace.len()
             );
         }
-    } else if trace_out.is_some() {
+    } else if cli.trace_out.is_some() {
         eprintln!("--trace-out needs --obs full (no trace was recorded)");
         std::process::exit(2);
     }
 
-    assert!(
-        report.all_bundles_active(),
-        "every bundle should have an active control loop"
-    );
-    println!("\nEvery bundle formed its own RTT estimate and pacing rate — one agent, {sites} control loops.");
+    if cli.restore_from.is_none() && cli.faults.is_none() {
+        assert!(
+            report.all_bundles_active(),
+            "every bundle should have an active control loop"
+        );
+        println!("\nEvery bundle formed its own RTT estimate and pacing rate — one agent, {sites} control loops.");
+    }
 }

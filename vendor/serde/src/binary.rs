@@ -1,0 +1,390 @@
+//! A small, explicit binary codec used for simulation snapshots.
+//!
+//! The real `serde` splits serialization across `Serializer`/`Deserializer`
+//! traits and format crates; this offline stand-in ships the one format the
+//! workspace needs — a fixed-layout little-endian byte stream — as a pair of
+//! object-safe traits. The encoding rules are deliberately boring:
+//!
+//! * integers are little-endian fixed width; `usize` travels as `u64`,
+//! * `f64` travels as its IEEE-754 bit pattern (`to_bits`), so `NaN`s and
+//!   infinities round-trip exactly,
+//! * `bool` is one byte, strictly `0` or `1`,
+//! * `Option<T>` is a one-byte tag then the payload,
+//! * sequences (`Vec`, `VecDeque`, `String`, maps-as-pair-lists) are a
+//!   `u64` length then the elements in order.
+//!
+//! There is no self-description and no schema evolution: compatibility is
+//! governed by an explicit format-version integer in the snapshot header
+//! (see `bundler-sim`'s snapshot module), which must be bumped whenever any
+//! encoded layout changes.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Error produced when a byte stream does not decode as the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What the decoder was trying to read.
+    pub what: &'static str,
+    /// Byte offset at which the failure occurred.
+    pub at: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot decode error: {} at byte {}",
+            self.what, self.at
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over a byte slice being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError { what, at: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Builds a [`DecodeError`] at the current offset.
+    pub fn error(&self, what: &'static str) -> DecodeError {
+        DecodeError { what, at: self.pos }
+    }
+}
+
+/// Types that can write themselves to the snapshot byte stream.
+pub trait Encode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// Types that can read themselves back from the snapshot byte stream.
+pub trait Decode: Sized {
+    /// Decodes one value, advancing the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a value from `buf`, requiring that every byte is consumed.
+pub fn decode_all<T: Decode>(buf: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(buf);
+    let v = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(DecodeError {
+            what: "trailing bytes",
+            at: r.position(),
+        });
+    }
+    Ok(v)
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(core::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| r.error("usize overflow"))
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(r.error("bool")),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(r.error("option tag")),
+        }
+    }
+}
+
+/// Reads a sequence length and sanity-checks it against the bytes left, so a
+/// corrupt stream cannot request an absurd allocation.
+pub fn decode_len(r: &mut Reader<'_>, what: &'static str) -> Result<usize, DecodeError> {
+    let len = usize::decode(r)?;
+    // Every element of every encoded sequence occupies at least one byte.
+    if len > r.remaining() {
+        return Err(DecodeError {
+            what,
+            at: r.position(),
+        });
+    }
+    Ok(len)
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r, "vec length")?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Encode> Encode for VecDeque<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for VecDeque<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r, "string length")?;
+        let bytes = r.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError {
+            what: "string utf-8",
+            at: r.position(),
+        })
+    }
+}
+
+impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r, "map length")?;
+        let mut m = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(out);)+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impl!((A, B), (A, B, C), (A, B, C, D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        let back: T = decode_all(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(3.25f64);
+        round_trip(f64::INFINITY);
+        round_trip(true);
+        round_trip(usize::MAX as u64);
+    }
+
+    #[test]
+    fn nan_bit_pattern_is_preserved() {
+        let v = f64::from_bits(0x7ff8_0000_0000_0001);
+        let bytes = encode_to_vec(&v);
+        let back: f64 = decode_all(&bytes).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(VecDeque::from(vec![9u64, 8]));
+        round_trip(Some("hello".to_string()));
+        round_trip(Option::<u32>::None);
+        round_trip((1u8, 2u64, 3.5f64));
+        let mut m = BTreeMap::new();
+        m.insert(4u64, 7u32);
+        round_trip(m);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        let err = decode_all::<Vec<u64>>(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert_eq!(err.what, "u64");
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        (u64::MAX).encode(&mut bytes);
+        assert!(decode_all::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&7u32);
+        bytes.push(0);
+        let err = decode_all::<u32>(&bytes).unwrap_err();
+        assert_eq!(err.what, "trailing bytes");
+    }
+
+    #[test]
+    fn invalid_bool_and_tag_error() {
+        assert!(decode_all::<bool>(&[2]).is_err());
+        assert!(decode_all::<Option<u8>>(&[9, 0]).is_err());
+    }
+}

@@ -11,6 +11,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod binary;
+
 /// Marker stand-in for `serde::Serialize`.
 pub trait Serialize {}
 

@@ -26,9 +26,18 @@
 //! the sharded host once with the phase profiler on and embeds the
 //! per-window busy/stall/net wall-time breakdown.
 //!
+//! Since PR 8 there is a fourth axis, `--tier {packet,fluid}`: the
+//! `metro` scenario runs its background user population once per tier —
+//! every user a packet-level backlogged TCP flow, then a 100x larger
+//! population as fluid rate aggregates (`CrossTrafficTier::Fluid`). The
+//! rows land in the JSON's `metro` section with the population each run
+//! stood for, and the headline in-run ratio — background users carried
+//! per wall-second, fluid over packet — is what `perf_gate.py` floors
+//! at 10x.
+//!
 //! Usage: `cargo run --release -p bundler-bench --bin bench_report -- \
 //!     [--out PATH] [--shards N,M,...] [--balance roundrobin,rate] \
-//!     [--obs off,metrics,full]`
+//!     [--obs off,metrics,full] [--tier packet,fluid]`
 
 use std::time::Instant;
 
@@ -36,9 +45,11 @@ use bundler_bench::Scale;
 use bundler_obs::ObsLevel;
 use bundler_shard::ShardedSimulation;
 use bundler_sim::event::EventEngine;
+use bundler_sim::fluid::CrossTrafficTier;
 use bundler_sim::scenario::fct::{FctScenario, SendboxMode};
 use bundler_sim::scenario::hot_bundle::HotBundleScenario;
 use bundler_sim::scenario::many_sites::ManySitesScenario;
+use bundler_sim::scenario::metro::MetroScenario;
 use bundler_sim::sim::{ShardBalance, Simulation, SimulationConfig};
 use bundler_sim::workload::FlowSpec;
 use bundler_sim::{SimReport, SimStats};
@@ -106,10 +117,11 @@ fn json_number(v: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4];
     let mut balances: Vec<ShardBalance> = vec![ShardBalance::RoundRobin, ShardBalance::Rate];
     let mut obs_levels: Vec<ObsLevel> = vec![ObsLevel::Metrics, ObsLevel::Full];
+    let mut tiers: Vec<CrossTrafficTier> = vec![CrossTrafficTier::Packet, CrossTrafficTier::Fluid];
     // Optional: best wall time (seconds) of the pre-PR simulator running
     // the same many_sites configuration, measured separately on the same
     // machine (the old binary has no event counter; the simulations are
@@ -162,6 +174,22 @@ fn main() {
                     // other level's ratio is taken against.
                     obs_levels.retain(|&l| l != ObsLevel::Off);
                 }
+                "--tier" => {
+                    tiers = args
+                        .next()
+                        .expect("--tier needs a comma-separated list")
+                        .split(',')
+                        .map(|s| match s {
+                            "packet" => CrossTrafficTier::Packet,
+                            "fluid" => CrossTrafficTier::Fluid,
+                            other => panic!("unknown cross-traffic tier {other}"),
+                        })
+                        .collect();
+                    // The packet tier is always measured — it is the
+                    // denominator of the fluid load-per-wall ratio.
+                    tiers.retain(|&t| t != CrossTrafficTier::Packet);
+                    tiers.insert(0, CrossTrafficTier::Packet);
+                }
                 "--seed-wall-secs" => {
                     seed_wall_secs = Some(
                         args.next()
@@ -173,7 +201,7 @@ fn main() {
                 other => panic!(
                     "unknown argument {other} (supported: --out PATH, --shards N,M, \
                      --balance roundrobin,rate, --obs off,metrics,full, \
-                     --seed-wall-secs SECS)"
+                     --tier packet,fluid, --seed-wall-secs SECS)"
                 ),
             }
         }
@@ -477,6 +505,115 @@ fn main() {
         }
     }
 
+    // Tier sweep: the metro scenario's background population, packet-level
+    // first (the baseline cell), then 100x the users as fluid rate
+    // aggregates. Both tiers run in this process, so the closing
+    // load-per-wall ratio — background users carried per wall-second,
+    // fluid over packet — is machine-independent the same way the engine
+    // A/B is. Rounds are round-major, and each cell's SimStats digest must
+    // not move between rounds (the runs are deterministic; wall time is
+    // the only thing allowed to vary).
+    struct MetroRow {
+        tier: &'static str,
+        sites: usize,
+        users_per_site: usize,
+        background_users: u64,
+        wall_ms: f64,
+        events: u64,
+        events_per_sec: f64,
+        users_per_wall_sec: f64,
+    }
+    let mut metro_rows: Vec<MetroRow> = Vec::new();
+    {
+        let sites = scale.pick(4, 12);
+        let packet_users = scale.pick(8, 60);
+        let cells: Vec<(CrossTrafficTier, usize)> = tiers
+            .iter()
+            .map(|&tier| match tier {
+                CrossTrafficTier::Packet => (tier, packet_users),
+                CrossTrafficTier::Fluid => (tier, packet_users * 100),
+            })
+            .collect();
+        let scenarios: Vec<MetroScenario> = cells
+            .iter()
+            .map(|&(tier, users)| {
+                MetroScenario::builder()
+                    .sites(sites)
+                    .users_per_site(users)
+                    .requests_per_site(scale.pick(10, 30))
+                    .bottleneck(Rate::from_mbps(scale.pick(64, 192)))
+                    .drain(Duration::from_secs(scale.pick(2, 4)))
+                    .tier(tier)
+                    .seed(21)
+                    .build()
+            })
+            .collect();
+        let mut best: Vec<(f64, u64)> = cells.iter().map(|_| (f64::MAX, 0u64)).collect();
+        let mut digests: Vec<Option<SimStats>> = cells.iter().map(|_| None).collect();
+        for _ in 0..rounds {
+            for (i, sc) in scenarios.iter().enumerate() {
+                let start = Instant::now();
+                let report = sc.run();
+                let wall = start.elapsed().as_secs_f64().max(1e-9);
+                assert!(report.sim.completed > 0, "metro must do foreground work");
+                let stats = SimStats::of(&report.sim);
+                match &digests[i] {
+                    None => digests[i] = Some(stats),
+                    Some(want) => assert_eq!(
+                        want, &stats,
+                        "metro tier={:?} diverged between rounds — determinism broken",
+                        cells[i].0
+                    ),
+                }
+                if wall < best[i].0 {
+                    best[i] = (wall, report.sim.events_processed);
+                }
+            }
+        }
+        for (&(tier, users), &(wall, events)) in cells.iter().zip(&best) {
+            let label = match tier {
+                CrossTrafficTier::Packet => "packet",
+                CrossTrafficTier::Fluid => "fluid",
+            };
+            let background_users = (sites * users) as u64;
+            let ev_s = events as f64 / wall;
+            let users_s = background_users as f64 / wall;
+            println!(
+                "           metro: tier={label} {:>8} users | {ev_s:>10.0} ev/s | \
+                 wall {:.0} ms | {users_s:>12.0} users/wall-s",
+                background_users,
+                wall * 1e3,
+            );
+            metro_rows.push(MetroRow {
+                tier: label,
+                sites,
+                users_per_site: users,
+                background_users,
+                wall_ms: wall * 1e3,
+                events,
+                events_per_sec: ev_s,
+                users_per_wall_sec: users_s,
+            });
+        }
+        if let (Some(p), Some(f)) = (
+            metro_rows.iter().find(|r| r.tier == "packet"),
+            metro_rows.iter().find(|r| r.tier == "fluid"),
+        ) {
+            let load_ratio = f.users_per_wall_sec / p.users_per_wall_sec;
+            let wall_ratio = f.wall_ms / p.wall_ms;
+            println!(
+                "           metro: fluid carries {load_ratio:.0}x the background load \
+                 per wall-second ({wall_ratio:.2}x the wall for {}x the users)",
+                f.background_users / p.background_users.max(1),
+            );
+            speedups.push((
+                "metro_fluid_users_per_wall_sec_vs_packet".to_string(),
+                load_ratio,
+            ));
+            speedups.push(("metro_fluid_wall_vs_packet_wall".to_string(), wall_ratio));
+        }
+    }
+
     // Phase profile: where the sharded host's wall clock actually goes.
     // One skewed hot_bundle run, 2 shards, rate balancing, with the phase
     // profiler on — the profiler is part of what is measured here, so the
@@ -508,7 +645,7 @@ fn main() {
 
     // Hand-rolled JSON: the vendored serde stand-in has no real serializer.
     let mut json = String::from("{\n");
-    json += "  \"pr\": 6,\n";
+    json += "  \"pr\": 8,\n";
     json += &format!("  \"host_parallelism\": {host_parallelism},\n");
     json += &format!(
         "  \"scale\": \"{}\",\n",
@@ -517,8 +654,26 @@ fn main() {
             Scale::Paper => "paper",
         }
     );
-    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler.\",\n";
+    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler. metro is the PR 8 cross-traffic tier axis: the same metro foreground with its background population once as packet-level TCP flows and once, 100x larger, as fluid rate aggregates — metro_fluid_users_per_wall_sec_vs_packet is the in-run background-users-per-wall-second ratio the fluid tier buys, floored at 10x by perf_gate.py.\",\n";
     json += &phase_json;
+    json += "  \"metro\": [\n";
+    for (i, r) in metro_rows.iter().enumerate() {
+        json += &format!(
+            "    {{\"tier\": \"{}\", \"sites\": {}, \"users_per_site\": {}, \
+             \"background_users\": {}, \"wall_ms\": {}, \"events\": {}, \
+             \"events_per_sec\": {}, \"users_per_wall_sec\": {}}}{}\n",
+            r.tier,
+            r.sites,
+            r.users_per_site,
+            r.background_users,
+            json_number(r.wall_ms),
+            r.events,
+            json_number(r.events_per_sec),
+            json_number(r.users_per_wall_sec),
+            if i + 1 == metro_rows.len() { "" } else { "," }
+        );
+    }
+    json += "  ],\n";
     json += "  \"scenarios\": [\n";
     for (i, r) in runs.iter().enumerate() {
         json += &format!(

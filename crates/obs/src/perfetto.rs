@@ -101,6 +101,16 @@ pub fn to_chrome_trace(report: &ObsReport) -> String {
                 "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"bundle{bundle} epoch pkts\",\
                  \"ts\":{ts:.3},\"args\":{{\"pkts\":{size_pkts}}}}}"
             ),
+            TraceKind::FluidLevel {
+                path,
+                backlog_bytes,
+                rate_bps,
+            } => format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fluid p{path} backlog KB\",\
+                 \"ts\":{ts:.3},\"args\":{{\"kb\":{:.3},\"drain_mbps\":{:.3}}}}}",
+                backlog_bytes as f64 / 1e3,
+                rate_bps as f64 / 1e6
+            ),
             TraceKind::Migration {
                 bundle,
                 from,
@@ -227,6 +237,15 @@ mod tests {
                     bytes: 6000,
                 },
             ),
+            rec(
+                40,
+                NET_SHARD,
+                TraceKind::FluidLevel {
+                    path: 2,
+                    backlog_bytes: 45_500,
+                    rate_bps: 8_000_000,
+                },
+            ),
         ]));
         assert!(json.contains("\"ph\":\"X\""), "window span missing");
         assert!(json.contains("\"name\":\"window\""));
@@ -235,6 +254,9 @@ mod tests {
         assert!(json.contains("bundle3 rate Mbps"));
         assert!(json.contains("\"mbps\":12.000"));
         assert!(json.contains("migrate b3 0->1"));
+        assert!(json.contains("fluid p2 backlog KB"));
+        assert!(json.contains("\"kb\":45.500"));
+        assert!(json.contains("\"drain_mbps\":8.000"));
         assert!(json.contains("\"dur\":12500.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -113,6 +113,17 @@ pub enum TraceKind {
         /// Net events handled.
         events: u64,
     },
+    /// The fluid cross-traffic tier's queue level on one bottleneck
+    /// sub-path, recorded at each integration step (counter track in the
+    /// Chrome trace).
+    FluidLevel {
+        /// Bottleneck sub-path index.
+        path: u32,
+        /// Fluid backlog sharing the path's buffer, bytes.
+        backlog_bytes: u64,
+        /// Capacity the tier is draining from the path, bits/sec.
+        rate_bps: u64,
+    },
 }
 
 /// One trace record: sim-time, wall-time, origin shard, payload.
@@ -150,6 +161,11 @@ impl TraceRecord {
             } => (at, 6, bundle as u64, pkts, bytes),
             TraceKind::WorkerWindow { windex, events, .. } => (at, 7, windex, events, 0),
             TraceKind::NetPhase { windex, events, .. } => (at, 8, windex, events, 0),
+            TraceKind::FluidLevel {
+                path,
+                backlog_bytes,
+                rate_bps,
+            } => (at, 9, path as u64, backlog_bytes, rate_bps),
         }
     }
 

@@ -96,6 +96,37 @@ impl CodelState {
         self.dropping
     }
 
+    /// Appends the machine's dynamic state to a snapshot stream. `target`
+    /// and `interval` are configuration, re-established at construction.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        use serde::binary::Encode;
+        self.first_above_time.encode(out);
+        self.dropping.encode(out);
+        self.drop_next.encode(out);
+        self.count.encode(out);
+        self.last_count.encode(out);
+        self.total_drops.encode(out);
+        self.drop_entries.encode(out);
+        self.drop_exits.encode(out);
+    }
+
+    /// Restores state written by [`CodelState::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut serde::binary::Reader<'_>,
+    ) -> Result<(), serde::binary::DecodeError> {
+        use serde::binary::Decode;
+        self.first_above_time = Decode::decode(r)?;
+        self.dropping = bool::decode(r)?;
+        self.drop_next = Nanos::decode(r)?;
+        self.count = u32::decode(r)?;
+        self.last_count = u32::decode(r)?;
+        self.total_drops = u64::decode(r)?;
+        self.drop_entries = u64::decode(r)?;
+        self.drop_exits = u64::decode(r)?;
+        Ok(())
+    }
+
     fn control_law(&self, t: Nanos) -> Nanos {
         // interval / sqrt(count)
         let denom = (self.count.max(1) as f64).sqrt();
@@ -266,6 +297,27 @@ impl Scheduler for Codel {
             *obs
         })
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use serde::binary::Encode;
+        self.queue.encode(out);
+        self.bytes.encode(out);
+        self.state.save_state(out);
+        self.stats.encode(out);
+        true
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut serde::binary::Reader<'_>,
+    ) -> Result<(), serde::binary::DecodeError> {
+        use serde::binary::Decode;
+        self.queue = Decode::decode(r)?;
+        self.bytes = u64::decode(r)?;
+        self.state.load_state(r)?;
+        self.stats = Decode::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +463,65 @@ mod tests {
             "cannot exit more episodes than were entered"
         );
         assert!(q.take_obs().is_none(), "take drains the export");
+    }
+
+    #[test]
+    fn state_round_trips_through_the_codec() {
+        let mut a = PacketArena::new();
+        let mut q = Codel::with_defaults();
+        // Build a standing queue and drain until CoDel is mid-episode, so
+        // the snapshot carries non-trivial drop-machine state.
+        for _ in 0..200 {
+            enq(&mut q, &mut a, pkt(1460), Nanos::ZERO);
+        }
+        let mut now = Nanos::ZERO;
+        for _ in 0..120 {
+            now += Duration::from_millis(1);
+            if let Some(id) = q.dequeue(&mut a, now) {
+                a.free(id);
+            }
+        }
+        assert!(q.aqm_drops() > 0, "want drop state in the snapshot");
+
+        let mut bytes = Vec::new();
+        assert!(q.save_state(&mut bytes));
+        // Packets by value in traversal order, as the path layer does.
+        let mut pkts = Vec::new();
+        q.for_each_pkt_mut(&mut |id| pkts.push(a[*id].clone()));
+
+        let mut a2 = PacketArena::new();
+        let mut q2 = Codel::with_defaults();
+        let mut r = serde::binary::Reader::new(&bytes);
+        q2.load_state(&mut r).expect("restore");
+        assert!(r.is_empty(), "trailing bytes after restore");
+        let mut next = pkts.into_iter();
+        q2.for_each_pkt_mut(&mut |id| *id = a2.insert(next.next().expect("packet for each ref")));
+        assert!(next.next().is_none(), "restore consumed all packets");
+
+        let mut resaved = Vec::new();
+        assert!(q2.save_state(&mut resaved));
+        assert_eq!(bytes, resaved, "restore must be lossless");
+        assert_eq!(q.len_packets(), q2.len_packets());
+        assert_eq!(q.len_bytes(), q2.len_bytes());
+        // Both instances must drain identically from here on.
+        loop {
+            now += Duration::from_millis(1);
+            let x = q.dequeue(&mut a, now).map(|id| {
+                let s = a[id].size;
+                a.free(id);
+                s
+            });
+            let y = q2.dequeue(&mut a2, now).map(|id| {
+                let s = a2[id].size;
+                a2.free(id);
+                s
+            });
+            assert_eq!(x, y, "divergent drain after restore");
+            assert_eq!(q.aqm_drops(), q2.aqm_drops());
+            if x.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

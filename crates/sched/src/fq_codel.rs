@@ -304,6 +304,69 @@ impl Scheduler for FqCodel {
             *obs
         })
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use serde::binary::Encode;
+        // The bucket array is fixed-size configuration; encode the count so
+        // a restore into a differently sized instance fails loudly instead
+        // of silently re-hashing flows into different buckets.
+        self.buckets.len().encode(out);
+        for b in &self.buckets {
+            b.queue.encode(out);
+            b.bytes.encode(out);
+            b.deficit.encode(out);
+            b.codel.save_state(out);
+            let membership: u8 = match b.membership {
+                Membership::None => 0,
+                Membership::New => 1,
+                Membership::Old => 2,
+            };
+            membership.encode(out);
+        }
+        self.new_flows.encode(out);
+        self.old_flows.encode(out);
+        self.total_pkts.encode(out);
+        self.total_bytes.encode(out);
+        self.stats.encode(out);
+        true
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut serde::binary::Reader<'_>,
+    ) -> Result<(), serde::binary::DecodeError> {
+        use serde::binary::Decode;
+        let n = usize::decode(r)?;
+        if n != self.buckets.len() {
+            return Err(r.error("fq_codel bucket count mismatch"));
+        }
+        for i in 0..n {
+            let b = &mut self.buckets[i];
+            b.queue = Decode::decode(r)?;
+            b.bytes = u64::decode(r)?;
+            b.deficit = i64::decode(r)?;
+            b.codel.load_state(r)?;
+            b.membership = match u8::decode(r)? {
+                0 => Membership::None,
+                1 => Membership::New,
+                2 => Membership::Old,
+                _ => return Err(r.error("fq_codel bad membership tag")),
+            };
+            // Longest tracking is by bytes for this policy.
+            self.longest.set(i as u64, b.bytes);
+        }
+        self.new_flows = Decode::decode(r)?;
+        self.old_flows = Decode::decode(r)?;
+        for &idx in self.new_flows.iter().chain(self.old_flows.iter()) {
+            if idx >= n {
+                return Err(r.error("fq_codel flow-list bucket out of range"));
+            }
+        }
+        self.total_pkts = usize::decode(r)?;
+        self.total_bytes = u64::decode(r)?;
+        self.stats = Decode::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +474,85 @@ mod tests {
         }
         assert_eq!(s.len_packets(), 10);
         assert_eq!(drops, 10);
+    }
+
+    #[test]
+    fn state_round_trips_through_the_codec() {
+        let mut a = PacketArena::new();
+        // Few buckets so the stream stays small and collisions are exercised.
+        let config = FqCodelConfig {
+            buckets: 16,
+            ..Default::default()
+        };
+        let mut s = FqCodel::new(config);
+        // Standing queues across several flows, drained far enough that
+        // some buckets are mid-CoDel-episode and lists are mid-rotation.
+        for i in 0..300u64 {
+            enq(&mut s, &mut a, pkt(i % 5, 1460), Nanos::ZERO);
+        }
+        let mut now = Nanos::ZERO;
+        for _ in 0..150 {
+            now += Duration::from_millis(2);
+            if let Some(id) = s.dequeue(&mut a, now) {
+                a.free(id);
+            }
+        }
+        assert!(s.aqm_drops() > 0, "want drop state in the snapshot");
+
+        let mut bytes = Vec::new();
+        assert!(s.save_state(&mut bytes));
+        let mut pkts = Vec::new();
+        s.for_each_pkt_mut(&mut |id| pkts.push(a[*id].clone()));
+
+        let mut a2 = PacketArena::new();
+        let mut s2 = FqCodel::new(config);
+        let mut r = serde::binary::Reader::new(&bytes);
+        s2.load_state(&mut r).expect("restore");
+        assert!(r.is_empty(), "trailing bytes after restore");
+        let mut next = pkts.into_iter();
+        s2.for_each_pkt_mut(&mut |id| *id = a2.insert(next.next().expect("packet for each ref")));
+        assert!(next.next().is_none());
+
+        let mut resaved = Vec::new();
+        assert!(s2.save_state(&mut resaved));
+        assert_eq!(bytes, resaved, "restore must be lossless");
+        // Identical drain: same (flow, size) sequence and drop counts.
+        loop {
+            now += Duration::from_millis(2);
+            let x = s.dequeue(&mut a, now).map(|id| {
+                let v = (a[id].flow.0, a[id].size);
+                a.free(id);
+                v
+            });
+            let y = s2.dequeue(&mut a2, now).map(|id| {
+                let v = (a2[id].flow.0, a2[id].size);
+                a2.free(id);
+                v
+            });
+            assert_eq!(x, y, "divergent drain after restore");
+            assert_eq!(s.aqm_drops(), s2.aqm_drops());
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn restore_into_wrong_geometry_is_rejected() {
+        let mut a = PacketArena::new();
+        let mut s = FqCodel::new(FqCodelConfig {
+            buckets: 16,
+            ..Default::default()
+        });
+        enq(&mut s, &mut a, pkt(0, 500), Nanos::ZERO);
+        let mut bytes = Vec::new();
+        assert!(s.save_state(&mut bytes));
+        let mut other = FqCodel::new(FqCodelConfig {
+            buckets: 32,
+            ..Default::default()
+        });
+        let mut r = serde::binary::Reader::new(&bytes);
+        assert!(other.load_state(&mut r).is_err());
     }
 
     #[test]

@@ -112,20 +112,22 @@ fn restore_rejects_a_mismatched_config() {
 
 #[test]
 fn worker_panic_surfaces_a_typed_diagnostic() {
-    // FqCodel does not support checkpointing, so the worker's checkpoint
-    // phase panics mid-run. The driver must shut the run down cleanly and
-    // return the shard/window diagnostic — never hang at a barrier.
+    // StrictPriority does not support checkpointing (the last scheduler
+    // without `save_state` — PR 8 implemented CoDel/DRR/FQ-CoDel), so the
+    // worker's checkpoint phase panics mid-run. The driver must shut the
+    // run down cleanly and return the shard/window diagnostic — never hang
+    // at a barrier.
     let (mut config, wl) = setup(7, None);
     config.shards = 2;
     if let Some(multi) = config.multi_bundle.as_mut() {
         for spec in &mut multi.specs {
-            spec.config.policy = Policy::FqCodel;
+            spec.config.policy = Policy::StrictPriority;
         }
     }
     let mut sink = Vec::new();
     let err = ShardedSimulation::new(config, wl)
         .try_run_collecting(&mut sink)
-        .expect_err("checkpointing an FqCodel sendbox must fail");
+        .expect_err("checkpointing a StrictPriority sendbox must fail");
     match err {
         ShardError::WorkerPanicked { shard, message, .. } => {
             assert!(shard < 2, "diagnostic names a real shard, got {shard}");

@@ -121,6 +121,44 @@ fn classic_mode_survives_worst_case_migration() {
     }
 }
 
+/// The fluid cross-traffic tier integrates f64 rate ODEs at `FluidUpdate`
+/// events on the canonical net stream; being net-core state, it must be
+/// bit-invariant across shard counts and migration schedules, for several
+/// seeds, including multi-path runs with aggregates pinned per path.
+#[test]
+fn fluid_cross_traffic_is_shard_count_invariant() {
+    use bundler_sim::fluid::CrossTrafficTier;
+    use bundler_sim::scenario::metro::MetroScenario;
+
+    for seed in [1u64, 29, 404] {
+        let sc = MetroScenario::builder()
+            .sites(4)
+            .users_per_site(300)
+            .requests_per_site(6)
+            .bottleneck(Rate::from_mbps(60))
+            .drain(Duration::from_secs(2))
+            .tier(CrossTrafficTier::Fluid)
+            .seed(seed)
+            .build();
+        let config = sc.sim_config();
+        let baseline = Simulation::new(config.clone(), sc.workload()).run();
+        let want = SimStats::of(&baseline);
+        assert!(want.completed > 0, "scenario must do real work");
+        for shards in [1usize, 2, 4] {
+            for balance in [ShardBalance::Rate, ShardBalance::Rotate] {
+                let mut cfg = config.clone();
+                cfg.shards = shards;
+                cfg.balance = balance;
+                let got = SimStats::of(&ShardedSimulation::new(cfg, sc.workload()).run());
+                assert_eq!(
+                    want, got,
+                    "fluid tier diverged at seed={seed} shards={shards} balance={balance:?}"
+                );
+            }
+        }
+    }
+}
+
 /// A prefix table where one bundle's more-specific prefix shadows another
 /// site's address space cannot be partitioned (a shard's partial table
 /// would classify differently than the full one): the driver must reject

@@ -150,6 +150,11 @@ pub enum Event {
         /// The logical process to sample.
         lp: u16,
     },
+    /// Integration step for the fluid cross-traffic tier (net LP, keyed on
+    /// [`crate::runtime::LP_FLUID`] so fluid steps interleave canonically
+    /// with packet events at the same timestamp). Only scheduled when
+    /// [`crate::sim::SimulationConfig::cross_traffic`] is set.
+    FluidUpdate,
 }
 
 impl Encode for EventKey {
@@ -211,6 +216,9 @@ impl Encode for Event {
                 10u8.encode(out);
                 lp.encode(out);
             }
+            Event::FluidUpdate => {
+                11u8.encode(out);
+            }
         }
     }
 }
@@ -251,6 +259,7 @@ impl Decode for Event {
             10 => Event::Sample {
                 lp: u16::decode(r)?,
             },
+            11 => Event::FluidUpdate,
             _ => return Err(r.error("unknown event tag")),
         })
     }
@@ -362,6 +371,37 @@ impl EventQueue {
             Inner::Wheel(q) => q.pop(),
             Inner::Heap(q) => q.pop(),
         }
+    }
+
+    /// Pops the maximal *run* of pending events sharing the next event's
+    /// `(timestamp, logical process)` into `buf` (cleared first), advancing
+    /// the clock. Returns the run length (0 when the queue is empty).
+    ///
+    /// Within one `(timestamp, lp)` pair keys are totally ordered by the
+    /// LP's own sequence, so the run is exactly the consecutive prefix of
+    /// the canonical order — handler dispatch and per-LP state lookups
+    /// amortize over the whole run. Callers that interleave scheduling with
+    /// consumption (the simulation main loop) must still merge newly
+    /// scheduled events against the buffered run: a handler can schedule a
+    /// *different* LP's event at the same timestamp with a key that sorts
+    /// before the rest of the run. Same-LP events scheduled mid-run always
+    /// carry higher sequences and sort after the run, so the run itself
+    /// never goes stale.
+    pub fn pop_run(&mut self, buf: &mut Vec<(Nanos, EventKey, Event)>) -> usize {
+        buf.clear();
+        let Some((t0, k0)) = self.peek() else {
+            return 0;
+        };
+        let lp = k0.lp();
+        loop {
+            let (t, key) = match self.peek() {
+                Some((t, key)) if t == t0 && key.lp() == lp => (t, key),
+                _ => break,
+            };
+            let (_, event) = self.pop().expect("peeked event must pop");
+            buf.push((t, key, event));
+        }
+        buf.len()
     }
 
     /// Removes and returns every pending event matching `pred`, sorted by
@@ -506,6 +546,69 @@ mod tests {
             q.pop();
             assert!(q.is_empty());
             assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn pop_run_pulls_whole_same_timestamp_lp_runs() {
+        for engine in engines() {
+            let mut q = EventQueue::with_engine(engine);
+            let t1 = Nanos::from_millis(1);
+            let t2 = Nanos::from_millis(2);
+            q.schedule(t1, key(3, 1), Event::ControlTick { bundle: 3 });
+            q.schedule(t1, key(3, 2), Event::SendboxRelease { bundle: 3 });
+            q.schedule(t1, key(5, 1), Event::ControlTick { bundle: 5 });
+            q.schedule(t2, key(3, 3), Event::ControlTick { bundle: 3 });
+            let mut buf = Vec::new();
+            // Run 1: both lp-3 events at t1, not the lp-5 one.
+            assert_eq!(q.pop_run(&mut buf), 2, "{engine:?}");
+            assert_eq!(
+                buf.iter().map(|&(t, k, _)| (t, k)).collect::<Vec<_>>(),
+                vec![(t1, key(3, 1)), (t1, key(3, 2))]
+            );
+            // Run 2: lp 5 at t1. Run 3: lp 3 again at t2.
+            assert_eq!(q.pop_run(&mut buf), 1);
+            assert_eq!(buf[0].1, key(5, 1));
+            assert_eq!(q.pop_run(&mut buf), 1);
+            assert_eq!((buf[0].0, buf[0].1), (t2, key(3, 3)));
+            assert_eq!(q.pop_run(&mut buf), 0, "empty queue yields no run");
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_run_sequence_matches_one_at_a_time_pops() {
+        // Property: concatenating pop_run buffers replays exactly the pop()
+        // sequence, on both engines, for an adversarial schedule (many ties,
+        // interleaved LPs, clamped past events).
+        for engine in engines() {
+            let mut a = EventQueue::with_engine(engine);
+            let mut b = EventQueue::with_engine(engine);
+            let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+            for i in 0..500u64 {
+                // xorshift: cheap deterministic pseudo-randomness.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let t = Nanos::from_micros((x % 97) * ((x >> 32) & 7));
+                let lp = (x % 5) as u16;
+                let k = key(lp, i);
+                let ev = Event::Sample { lp };
+                a.schedule(t, k, ev);
+                b.schedule(t, k, ev);
+            }
+            let singles: Vec<(Nanos, u16)> = std::iter::from_fn(|| {
+                let (t, k) = b.peek()?;
+                b.pop();
+                Some((t, k.lp()))
+            })
+            .collect();
+            let mut runs = Vec::new();
+            let mut buf = Vec::new();
+            while a.pop_run(&mut buf) > 0 {
+                runs.extend(buf.iter().map(|&(t, k, _)| (t, k.lp())));
+            }
+            assert_eq!(runs, singles, "{engine:?}");
         }
     }
 

@@ -30,6 +30,7 @@
 pub mod edge;
 pub mod event;
 pub mod fault;
+pub mod fluid;
 pub mod path;
 pub mod runtime;
 pub mod scenario;
@@ -40,5 +41,6 @@ pub mod tcp;
 pub mod workload;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fluid::{CrossTrafficTier, FluidAggregate, FluidCrossTraffic};
 pub use sim::{ShardBalance, Simulation, SimulationConfig};
 pub use stats::{SimReport, SimStats};

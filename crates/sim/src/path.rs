@@ -35,6 +35,14 @@ pub struct BottleneckPath {
     pub bytes_delivered: u64,
     /// Queue-delay samples (ms).
     pub queue_delay_ms: TimeSeries,
+    /// Capacity (bit/s) currently drained by the fluid cross-traffic tier:
+    /// packets serialize at `rate − drain`. Derived state owned by
+    /// [`crate::fluid::FluidState`], re-applied after restore — it is *not*
+    /// part of this path's own snapshot slice.
+    fluid_drain_bps: u64,
+    /// Fluid bytes sharing the buffer, counted into [`Self::queue_delay`].
+    /// Derived state owned by [`crate::fluid::FluidState`], like the drain.
+    fluid_backlog_bytes: u64,
 }
 
 impl std::fmt::Debug for BottleneckPath {
@@ -69,6 +77,8 @@ impl BottleneckPath {
             drops: 0,
             bytes_delivered: 0,
             queue_delay_ms: TimeSeries::new(),
+            fluid_drain_bps: 0,
+            fluid_backlog_bytes: 0,
         }
     }
 
@@ -93,10 +103,42 @@ impl BottleneckPath {
     }
 
     /// Queueing delay currently implied by the backlog at the link rate.
+    /// When the fluid tier is active its backlog shares the buffer, so the
+    /// measured delay covers both tiers' queued bytes — this is what makes
+    /// the fluid and packet tiers comparable on the same trajectory.
     pub fn queue_delay(&self) -> Duration {
         self.rate
-            .transmit_time(self.queue.len_bytes())
+            .transmit_time(self.queue.len_bytes() + self.fluid_backlog_bytes)
             .min(Duration::from_secs(30))
+    }
+
+    /// Sets the fluid tier's coupling on this path: a capacity drain (the
+    /// cross traffic's service rate) and the fluid backlog sharing the
+    /// buffer. Called by [`crate::fluid::FluidState::update`] at every
+    /// integration step and by its `reapply` after a restore.
+    pub fn set_fluid(&mut self, service_bytes_per_sec: f64, backlog_bytes: f64) {
+        self.fluid_drain_bps = (service_bytes_per_sec * 8.0) as u64;
+        self.fluid_backlog_bytes = backlog_bytes as u64;
+    }
+
+    /// Capacity (bit/s) the fluid tier is currently draining.
+    pub fn fluid_drain_bps(&self) -> u64 {
+        self.fluid_drain_bps
+    }
+
+    /// Rate left for the packet tier after the fluid drain. Foreground
+    /// packets always keep at least 1% of the link (mirroring the fluid
+    /// tier's 99% service cap) so they serialize even under overload.
+    fn effective_rate(&self) -> Rate {
+        if self.fluid_drain_bps == 0 {
+            return self.rate;
+        }
+        let bps = self.rate.as_bps();
+        Rate::from_bps(
+            bps.saturating_sub(self.fluid_drain_bps)
+                .max(bps / 100)
+                .max(1),
+        )
     }
 
     /// Offers a packet to the path's queue. Returns `true` if it was
@@ -127,7 +169,7 @@ impl BottleneckPath {
         }
         let pkt = self.queue.dequeue(arena, now)?;
         let size = arena[pkt].size as u64;
-        let tx_time = self.rate.transmit_time(size);
+        let tx_time = self.effective_rate().transmit_time(size);
         let done = now + tx_time;
         self.busy_until = done;
         self.bytes_delivered += size;
@@ -343,6 +385,31 @@ mod tests {
         assert!((path.queue_delay().as_millis_f64() - 10.0).abs() < 0.1);
         path.sample_queue_delay(Nanos::from_millis(1));
         assert_eq!(path.queue_delay_ms.len(), 1);
+    }
+
+    #[test]
+    fn fluid_drain_slows_serialization_and_backlog_adds_delay() {
+        // 12 Mbit/s minus a 6 Mbit/s fluid drain: a 1500-byte packet takes
+        // 2 ms instead of 1 ms.
+        let mut a = PacketArena::new();
+        let mut path = BottleneckPath::drop_tail(Rate::from_mbps(12), Duration::ZERO, 100);
+        path.set_fluid(6_000_000.0 / 8.0, 0.0);
+        assert_eq!(path.fluid_drain_bps(), 6_000_000);
+        enq(&mut path, &mut a, pkt(1, 1460));
+        let (_, _, link_free) = path.try_transmit(&mut a, Nanos::ZERO).unwrap();
+        assert_eq!(link_free, Nanos::from_millis(2));
+        // Fluid backlog counts into the measured queue delay at link rate:
+        // 15000 bytes at 12 Mbit/s = 10 ms.
+        path.set_fluid(0.0, 15_000.0);
+        assert!((path.queue_delay().as_millis_f64() - 10.0).abs() < 0.1);
+        // The packet tier keeps a 1% floor even if fluid claims everything.
+        path.set_fluid(1e12, 0.0);
+        enq(&mut path, &mut a, pkt(2, 1460));
+        let (_, _, free2) = path.try_transmit(&mut a, Nanos::from_millis(2)).unwrap();
+        assert_eq!(
+            free2,
+            Nanos::from_millis(2) + Rate::from_bps(120_000).transmit_time(1500)
+        );
     }
 
     #[test]

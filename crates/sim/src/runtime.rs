@@ -36,6 +36,7 @@ use serde::binary::{Decode, DecodeError, Encode, Reader};
 use crate::edge::{Bundle, BundleMode, DetachedEdgeBundle, MultiBundle};
 use crate::event::{Event, EventKey, EventQueue};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::fluid::FluidState;
 use crate::path::{Balancing, BottleneckPath, LoadBalancer};
 use crate::sim::SimulationConfig;
 use crate::stats::{FctRecord, SimReport, TimeSeries};
@@ -48,6 +49,12 @@ pub const LP_NET: u16 = 0;
 pub const LP_DIRECT: u16 = 1;
 /// First bundle LP; bundle `b` is LP `LP_BUNDLE0 + b`.
 pub const LP_BUNDLE0: u16 = 2;
+/// The fluid cross-traffic integrator. It runs inside the net core (its
+/// events satisfy [`is_net_event`]) but keys its events under its own LP so
+/// fluid steps interleave with packet events at the same timestamp in one
+/// fixed, shard-invariant position — after every packet event of that
+/// instant, since `u16::MAX` sorts last.
+pub const LP_FLUID: u16 = u16::MAX;
 
 /// The LP owning bundle `b`'s complex.
 #[inline]
@@ -508,7 +515,7 @@ impl WorkerCore {
                 self.note_event(lp);
                 self.on_sample(lp, now, queue)
             }
-            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } => {
+            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::FluidUpdate => {
                 unreachable!("net event routed to a worker core")
             }
         }
@@ -1095,7 +1102,7 @@ impl WorkerCore {
             }
             Event::RtoCheck { flow } => self.flow_lp(flow),
             Event::Sample { lp } => lp,
-            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } => {
+            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::FluidUpdate => {
                 unreachable!("net event in a worker queue")
             }
         }
@@ -1722,6 +1729,14 @@ pub struct NetCore {
     /// canonical stream for any shard count — so fault application is
     /// shard-invariant by construction.
     faults: NetFaults,
+    /// The fluid cross-traffic tier, when configured. Lives here because
+    /// its integration points are net events: it reads and writes path
+    /// state on the canonical net stream, so capacity faults perturb it
+    /// identically for any shard count.
+    fluid: Option<FluidState>,
+    /// [`LP_FLUID`]'s schedule sequence (separate from the net LP's so the
+    /// packet-event key stream is untouched when the tier is off).
+    fluid_seq: u64,
     /// Observability state for the bottleneck side (shard id
     /// [`bundler_obs::NET_SHARD`]). Public so the sharded driver can stamp
     /// net-phase spans and drain the ring at barriers.
@@ -1790,6 +1805,11 @@ impl NetCore {
                 reorder: 0,
                 held: None,
             },
+            fluid: config
+                .cross_traffic
+                .as_ref()
+                .map(|ct| FluidState::new(ct, config.num_paths.max(1), buffer)),
+            fluid_seq: 0,
             obs: ShardObs::new(config.obs, bundler_obs::NET_SHARD),
         }
     }
@@ -1819,6 +1839,12 @@ impl NetCore {
     fn key(&mut self) -> EventKey {
         self.seq += 1;
         EventKey::new(LP_NET, self.seq)
+    }
+
+    #[inline]
+    fn fluid_key(&mut self) -> EventKey {
+        self.fluid_seq += 1;
+        EventKey::new(LP_FLUID, self.fluid_seq)
     }
 
     /// Appends the bottleneck's complete dynamic state to a snapshot
@@ -1854,6 +1880,13 @@ impl NetCore {
                 arena[id].encode(out);
             }
             None => false.encode(out),
+        }
+        // The fluid tier's section exists only when the tier is configured
+        // (the config fingerprint pins whether it is), so snapshots of
+        // packet-only runs keep their exact pre-fluid byte layout.
+        if let Some(fluid) = &self.fluid {
+            self.fluid_seq.encode(out);
+            fluid.save_state(out);
         }
         let events = queue.extract_if(is_net_event);
         encode_events_canonical(&events, out);
@@ -1903,6 +1936,11 @@ impl NetCore {
         } else {
             None
         };
+        if let Some(fluid) = &mut self.fluid {
+            self.fluid_seq = u64::decode(r)?;
+            fluid.load_state(r)?;
+            fluid.reapply(&mut self.paths);
+        }
         let events = Vec::<(Nanos, EventKey, Event)>::decode(r)?;
         let n = u64::decode(r)? as usize;
         let mut pkts = Vec::with_capacity(n);
@@ -1923,10 +1961,16 @@ impl NetCore {
         Ok(())
     }
 
-    /// Schedules the net LP's initial events (its sample stream).
+    /// Schedules the net LP's initial events (its sample stream, plus the
+    /// fluid tier's integration stream when the tier is configured).
     pub fn schedule_initial(&mut self, queue: &mut EventQueue) {
         let (at, key) = (Nanos::ZERO + self.sample_interval, self.key());
         queue.schedule(at, key, Event::Sample { lp: LP_NET });
+        if let Some(fluid) = &self.fluid {
+            let at = Nanos::ZERO + fluid.update_interval();
+            let key = self.fluid_key();
+            queue.schedule(at, key, Event::FluidUpdate);
+        }
     }
 
     /// Handles one net-LP event.
@@ -1949,8 +1993,30 @@ impl NetCore {
                 debug_assert_eq!(lp, LP_NET);
                 self.on_sample(now, queue);
             }
+            Event::FluidUpdate => self.on_fluid_update(now, queue),
             _ => unreachable!("worker event routed to the net core"),
         }
+    }
+
+    /// One integration step of the fluid cross-traffic tier.
+    fn on_fluid_update(&mut self, now: Nanos, queue: &mut EventQueue) {
+        let Some(fluid) = &mut self.fluid else {
+            unreachable!("FluidUpdate without a configured fluid tier");
+        };
+        fluid.update(now, &mut self.paths);
+        let interval = fluid.update_interval();
+        if self.obs.trace_on() {
+            for (i, p) in self.paths.iter().enumerate() {
+                let kind = TraceKind::FluidLevel {
+                    path: i as u32,
+                    backlog_bytes: fluid.backlog_bytes(i),
+                    rate_bps: p.fluid_drain_bps(),
+                };
+                self.obs.record(now, kind);
+            }
+        }
+        let (at, key) = (now + interval, self.fluid_key());
+        queue.schedule(at, key, Event::FluidUpdate);
     }
 
     /// Applies every plan entry due at or before `now`. Runs at the head of
@@ -2143,7 +2209,10 @@ impl NetCore {
 pub fn is_net_event(event: &Event) -> bool {
     matches!(
         event,
-        Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::Sample { lp: LP_NET }
+        Event::ArriveBottleneck { .. }
+            | Event::PathDequeue { .. }
+            | Event::Sample { lp: LP_NET }
+            | Event::FluidUpdate
     )
 }
 

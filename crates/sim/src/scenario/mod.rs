@@ -13,11 +13,13 @@
 //! | [`cross_traffic`] | Figures 10–13 — behaviour under cross traffic and competing bundles |
 //! | [`many_sites`] | Beyond the paper: one site edge driving K bundles through the `bundler-agent` control plane |
 //! | [`hot_bundle`] | Beyond the paper: heavy-tailed site-pair load — one bundle carries ~50 % of flows (the sharded runtime's balancing workload) |
+//! | [`metro`] | Beyond the paper: metro-scale background load, packet- or fluid-tier (`CrossTrafficTier` knob) |
 
 pub mod cross_traffic;
 pub mod estimation;
 pub mod fct;
 pub mod hot_bundle;
 pub mod many_sites;
+pub mod metro;
 pub mod multipath;
 pub mod queue_shift;

@@ -25,6 +25,12 @@
 //! net          NetCore slice (paths, balancer, fault cursor, net events)
 //! ```
 //!
+//! When [`SimulationConfig::cross_traffic`] is set, the net slice carries a
+//! fluid-tier section (LP sequence + [`crate::fluid::FluidState`]) between
+//! the fault state and the pending net events. The section's presence is
+//! keyed by the config — which the fingerprint covers — so packet-only
+//! snapshots keep the exact layout above and version 1 stays version 1.
+//!
 //! The fingerprint covers only fields that change simulation *results*
 //! (durations, rates, topology, workload, fault plan). Observability level,
 //! shard count, balance policy, event-queue engine and the checkpoint
@@ -108,7 +114,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// `event_engine` and `checkpoint_every` so that replay-with-tracing and
 /// restore-into-different-shard-count both accept the snapshot.
 pub fn fingerprint(config: &SimulationConfig, workload: &[FlowSpec]) -> u64 {
-    let s = format!(
+    let mut s = format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         config.duration,
         config.bottleneck_rate,
@@ -124,6 +130,14 @@ pub fn fingerprint(config: &SimulationConfig, workload: &[FlowSpec]) -> u64 {
         config.faults,
         workload,
     );
+    // Appended (rather than a 14th slot) only when the fluid tier is on, so
+    // fingerprints of packet-only configs are unchanged from before the
+    // tier existed. The fluid snapshot section is likewise conditional on
+    // this field, so the fingerprint pins whether the section is present.
+    if let Some(ct) = &config.cross_traffic {
+        use std::fmt::Write;
+        let _ = write!(s, "|{ct:?}");
+    }
     fnv1a64(s.as_bytes())
 }
 

@@ -1,0 +1,164 @@
+//! Cross-tier tests for the fluid cross-traffic model: the fluid tier must
+//! load the bottleneck like the packet tier it abstracts (within a generous
+//! trajectory tolerance — it is a model, not an emulation), and a run with
+//! active fluid aggregates must checkpoint/restore bit-identically, fault
+//! plan included.
+
+use bundler_sim::fault::FaultPlan;
+use bundler_sim::fluid::{CrossTrafficTier, FluidAggregate, FluidCrossTraffic};
+use bundler_sim::scenario::metro::MetroScenario;
+use bundler_sim::sim::SimulationConfig;
+use bundler_sim::workload::FlowSpec;
+use bundler_sim::{SimStats, Simulation};
+use bundler_types::{Duration, Nanos, Rate};
+
+/// A 48 Mbit/s bottleneck with one bundled foreground bulk flow and a
+/// background population of 8 long-lived TCP senders, represented either
+/// per-packet (8 direct backlogged flows) or as one fluid aggregate.
+fn tiered_setup(fluid: bool) -> (SimulationConfig, Vec<FlowSpec>) {
+    use bundler_core::BundlerConfig;
+    use bundler_sim::edge::BundleMode;
+
+    let rtt = Duration::from_millis(50);
+    let mut config = SimulationConfig {
+        duration: Duration::from_secs(12),
+        bottleneck_rate: Rate::from_mbps(48),
+        rtt,
+        bundles: vec![BundleMode::Bundler(BundlerConfig::default())],
+        ..Default::default()
+    };
+    let mut workload = vec![FlowSpec::bundled(1, FlowSpec::BACKLOGGED, Nanos::ZERO, 0)];
+    if fluid {
+        config.cross_traffic = Some(FluidCrossTraffic::new(vec![FluidAggregate::new(8, rtt)]));
+    } else {
+        for i in 0..8u64 {
+            workload.push(FlowSpec::direct(
+                100 + i,
+                FlowSpec::BACKLOGGED,
+                Nanos::from_millis(i * 120),
+            ));
+        }
+    }
+    (config, workload)
+}
+
+/// The fluid tier must reproduce the packet tier's steady-state bottleneck
+/// queue delay within tolerance: same capacity, same background population,
+/// same AIMD dynamics — measured after both tiers' ramp-up.
+#[test]
+fn fluid_tier_tracks_the_packet_tier_queue_trajectory() {
+    let (pc, pw) = tiered_setup(false);
+    let (fc, fw) = tiered_setup(true);
+    let packet = Simulation::new(pc, pw).run();
+    let fluid = Simulation::new(fc, fw).run();
+    let window = (Nanos::from_secs(4), Nanos::from_secs(12));
+    let packet_delay = packet
+        .bottleneck_queue_delay_ms
+        .mean_between(window.0, window.1)
+        .expect("packet run samples queue delay");
+    let fluid_delay = fluid
+        .bottleneck_queue_delay_ms
+        .mean_between(window.0, window.1)
+        .expect("fluid run samples queue delay");
+    assert!(
+        packet_delay > 1.0,
+        "8 backlogged senders must build a standing queue, got {packet_delay:.2} ms"
+    );
+    let ratio = fluid_delay / packet_delay;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "fluid mean queue delay {fluid_delay:.2} ms vs packet {packet_delay:.2} ms \
+         (ratio {ratio:.2}) outside tolerance"
+    );
+    // Both tiers must also leave the foreground flow a sane share: the
+    // bundle cannot be starved by either representation of the background.
+    let packet_fg = packet.mean_bundle_throughput_mbps(0).unwrap_or(0.0);
+    let fluid_fg = fluid.mean_bundle_throughput_mbps(0).unwrap_or(0.0);
+    assert!(
+        packet_fg > 1.0 && fluid_fg > 1.0,
+        "foreground starved: packet {packet_fg:.2} vs fluid {fluid_fg:.2} Mbit/s"
+    );
+}
+
+fn metro_fluid(seed: u64, faults: Option<FaultPlan>) -> (SimulationConfig, Vec<FlowSpec>) {
+    let sc = MetroScenario::builder()
+        .sites(3)
+        .users_per_site(200)
+        .requests_per_site(6)
+        .bottleneck(Rate::from_mbps(60))
+        .drain(Duration::from_secs(2))
+        .tier(CrossTrafficTier::Fluid)
+        .seed(seed)
+        .build();
+    let mut config = sc.sim_config();
+    config.checkpoint_every = Some(Duration::from_millis(500));
+    config.faults = faults;
+    (config, sc.workload())
+}
+
+/// Restoring any checkpoint of a fluid-tier run — f64 aggregate rates,
+/// backlogs and capacity drains included — must resume bit-identically,
+/// with a fault plan hammering the same paths the tier is coupled to.
+#[test]
+fn fluid_restore_at_every_checkpoint_is_bit_identical_under_faults() {
+    let (clean, workload) = metro_fluid(5, None);
+    let plan = FaultPlan::generate(5, clean.duration, clean.num_paths);
+    let (config, workload2) = metro_fluid(5, Some(plan));
+    assert_eq!(workload, workload2);
+    let mut ckpts = Vec::new();
+    let baseline =
+        SimStats::of(&Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts));
+    assert!(baseline.completed > 0, "scenario must do real work");
+    assert!(
+        ckpts.len() >= 3,
+        "expected several checkpoints, got {}",
+        ckpts.len()
+    );
+    for (at, bytes) in &ckpts {
+        let sim = Simulation::restore(config.clone(), workload.clone(), bytes)
+            .unwrap_or_else(|e| panic!("restore at {at:?}: {e}"));
+        assert_eq!(
+            baseline,
+            SimStats::of(&sim.run()),
+            "fluid restore at {at:?} diverged"
+        );
+    }
+}
+
+/// Two identical fluid-tier runs must produce byte-identical snapshots —
+/// the tier's f64 state encodes deterministically.
+#[test]
+fn fluid_snapshots_are_deterministic() {
+    let (config, workload) = metro_fluid(9, None);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    Simulation::new(config.clone(), workload.clone()).run_collecting(&mut a);
+    Simulation::new(config, workload).run_collecting(&mut b);
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len());
+    for ((ta, ba), (tb, bb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ta, tb);
+        assert_eq!(ba, bb, "fluid snapshot bytes at {ta:?} differ");
+    }
+}
+
+/// A config with the tier disabled must still restore checkpoints taken
+/// before the tier existed conceptually: `cross_traffic: None` keeps the
+/// legacy byte layout, which the pinned golden-hash test in `checkpoint.rs`
+/// asserts. Here we additionally check a fluid snapshot refuses to restore
+/// into a config with the tier stripped (fingerprint mismatch, not silent
+/// state loss).
+#[test]
+fn fluid_snapshot_rejects_a_config_without_the_tier() {
+    use bundler_sim::snapshot::SnapshotError;
+    let (config, workload) = metro_fluid(13, None);
+    let mut ckpts = Vec::new();
+    Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts);
+    let (_, bytes) = ckpts.first().expect("at least one checkpoint");
+    let mut stripped = config.clone();
+    stripped.cross_traffic = None;
+    match Simulation::restore(stripped, workload, bytes) {
+        Err(SnapshotError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected fingerprint mismatch, got {:?}", other.err()),
+    }
+}

@@ -40,7 +40,17 @@ Two checks run per scenario present in both files:
    itself: the calendar_wheel_obs_* cells and the obs_phase_breakdown
    object, with recording ratios > 0.
 
+4. *Fluid-speedup floor* (runs with checks 1-2 whenever a report carries
+   the PR 8 `metro` section): the metro scenario's fluid cross-traffic
+   tier must carry at least ``--fluid-floor`` (default 10) times the
+   background users per wall-second of the packet tier. Both tiers run
+   in the same process on the same machine, so — like check 1 — the
+   ratio is machine- and scale-independent and is checked on the fresh
+   *and* the committed report. A committed trajectory with the metro
+   axis also requires the fresh report to carry it.
+
 Usage: perf_gate.py FRESH.json COMMITTED.json [--threshold 0.2]
+                    [--fluid-floor 10]
        perf_gate.py FRESH.json BASELINE.json --obs-only [--obs-threshold 0.03]
 """
 
@@ -128,6 +138,29 @@ def obs_gate(fresh, baseline, threshold):
     return 0
 
 
+def metro_fluid_check(report, label, floor, failures):
+    """Check 4 of the module docstring: the fluid tier's load-per-wall
+    ratio over the packet tier, recomputed from the metro rows (the
+    stored speedup entry is informational). Returns the number of checks
+    run (0 when the report has no metro axis)."""
+    rows = {r.get("tier"): r for r in report.get("metro", [])}
+    packet, fluid = rows.get("packet"), rows.get("fluid")
+    if not (packet and fluid):
+        return 0
+    ratio = ((fluid["background_users"] / fluid["wall_ms"])
+             / (packet["background_users"] / packet["wall_ms"]))
+    ok = ratio >= floor
+    print(f"[{'ok' if ok else 'FAIL'}] {label}: metro fluid tier carries "
+          f"{ratio:,.0f}x background users per wall-second "
+          f"({fluid['background_users']:,} users in {fluid['wall_ms']:,.0f} ms"
+          f" vs {packet['background_users']:,} in {packet['wall_ms']:,.0f} ms;"
+          f" floor {floor:.0f}x)")
+    if not ok:
+        failures.append(f"{label}: metro fluid load-per-wall ratio "
+                        f"{ratio:.1f} < {floor:.0f}")
+    return 1
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh")
@@ -140,6 +173,9 @@ def main():
     ap.add_argument("--obs-threshold", type=float, default=0.03,
                     help="allowed obs-off overhead in --obs-only mode "
                          "(default 0.03 = 3%)")
+    ap.add_argument("--fluid-floor", type=float, default=10.0,
+                    help="minimum metro fluid-vs-packet background users "
+                         "per wall-second ratio (default 10)")
     args = ap.parse_args()
 
     with open(args.fresh) as f:
@@ -193,6 +229,16 @@ def main():
         if not ok:
             failures.append(f"{scenario}/{engine}: {ev_f:,.0f} < "
                             f"{floor * ev_c:,.0f} ev/s")
+
+    # Fluid-speedup floor: in-run and relative, so it applies regardless
+    # of scale, to both reports. Once the committed trajectory carries
+    # the metro tier axis, a fresh report without it is a rotted harness.
+    checks += metro_fluid_check(fresh, "fresh", args.fluid_floor, failures)
+    checks += metro_fluid_check(committed, "committed", args.fluid_floor,
+                                failures)
+    if committed.get("metro") and not fresh.get("metro"):
+        failures.append("committed trajectory has the metro tier axis but "
+                        "the fresh report does not")
 
     if checks == 0:
         print("perf gate: no comparable (scenario, engine) pairs — "

@@ -35,6 +35,13 @@
 //! per wall-second, fluid over packet — is what `perf_gate.py` floors
 //! at 10x.
 //!
+//! Since PR 9 the report also exercises the flow-tracing + streaming
+//! path: one traced `metro` run streams its trace to an in-memory sink,
+//! is reduced by `bundler_bench::query`, and lands in the JSON's
+//! `obs_flow_trace` section (sampled flows, streamed lines, the early →
+//! late bottleneck-share shift, ring-overflow and mailbox-spill counts).
+//! `perf_gate.py --obs-only` checks the section's invariants.
+//!
 //! Usage: `cargo run --release -p bundler-bench --bin bench_report -- \
 //!     [--out PATH] [--shards N,M,...] [--balance roundrobin,rate] \
 //!     [--obs off,metrics,full] [--tier packet,fluid]`
@@ -117,7 +124,7 @@ fn json_number(v: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4];
     let mut balances: Vec<ShardBalance> = vec![ShardBalance::RoundRobin, ShardBalance::Rate];
     let mut obs_levels: Vec<ObsLevel> = vec![ObsLevel::Metrics, ObsLevel::Full];
@@ -618,6 +625,8 @@ fn main() {
     // One skewed hot_bundle run, 2 shards, rate balancing, with the phase
     // profiler on — the profiler is part of what is measured here, so the
     // cell is reported on its own rather than entering the sweeps above.
+    // Since PR 9 the cell also reports the trace-ring overflow and
+    // mailbox-spill counts (both zero on a healthy run).
     let phase_json = {
         let mut cfg = hot.sim_config();
         cfg.shards = 2;
@@ -628,24 +637,91 @@ fn main() {
         let frac = obs.phase_breakdown();
         println!(
             "      hot_bundle: phase profile (shards=2 balance=rate): \
-             {:.1}% busy / {:.1}% stall / {:.1}% net over {} windows, {} migrations",
+             {:.1}% busy / {:.1}% stall / {:.1}% net over {} windows, {} migrations, \
+             {} ring drops, {} mailbox spills",
             frac.busy_frac * 100.0,
             frac.stall_frac * 100.0,
             frac.net_frac * 100.0,
             obs.host.windows,
             obs.host.migrations,
+            obs.host.trace_ring_dropped,
+            obs.host.mailbox_spills,
         );
         format!(
             "  \"obs_phase_breakdown\": {{\"scenario\": \"hot_bundle\", \"shards\": 2, \
              \"balance\": \"rate\", \"busy_frac\": {:.4}, \"stall_frac\": {:.4}, \
-             \"net_frac\": {:.4}, \"windows\": {}, \"migrations\": {}}},\n",
-            frac.busy_frac, frac.stall_frac, frac.net_frac, obs.host.windows, obs.host.migrations,
+             \"net_frac\": {:.4}, \"windows\": {}, \"migrations\": {}, \
+             \"trace_ring_dropped\": {}, \"mailbox_spills\": {}}},\n",
+            frac.busy_frac,
+            frac.stall_frac,
+            frac.net_frac,
+            obs.host.windows,
+            obs.host.migrations,
+            obs.host.trace_ring_dropped,
+            obs.host.mailbox_spills,
+        )
+    };
+
+    // Flow-tracing + streaming cell (PR 9): one traced metro run, every
+    // flow sampled, the trace streamed to an in-memory sink and reduced
+    // by the obs_query pipeline. The queue-shift numbers are the paper's
+    // flow-level story (bottleneck share of queueing delay shrinking once
+    // delay control engages); perf_gate.py --obs-only asserts them.
+    let flow_trace_json = {
+        let sc = MetroScenario::builder()
+            .sites(scale.pick(4, 8))
+            .users_per_site(scale.pick(6, 20))
+            .requests_per_site(scale.pick(80, 160))
+            .bottleneck(Rate::from_mbps(64))
+            .drain(Duration::from_secs(2))
+            .seed(21)
+            .obs(ObsLevel::Full)
+            .build();
+        let mut cfg = sc.sim_config();
+        cfg.flow_trace = Some(bundler_obs::FlowTrace::all(21));
+        let (sink, buf) = bundler_obs::stream::StreamSink::to_shared_vec();
+        cfg.stream = Some(sink);
+        let report = Simulation::new(cfg, sc.workload()).run();
+        assert!(report.completed > 0, "traced metro must do foreground work");
+        let obs = report.obs.as_ref().expect("obs=full carries a report");
+        let a = bundler_bench::query::analyze(&buf.contents());
+        let shift = a.shift.expect("metro completes flows in both halves");
+        assert!(
+            shift.late_bottleneck_share < shift.early_bottleneck_share,
+            "queue shift must engage: early {:.3} -> late {:.3}",
+            shift.early_bottleneck_share,
+            shift.late_bottleneck_share
+        );
+        let p50 = a.cdf.iter().find(|(p, _)| *p == 50.0).map_or(0.0, |c| c.1);
+        let p99 = a.cdf.iter().find(|(p, _)| *p == 99.0).map_or(0.0, |c| c.1);
+        println!(
+            "           metro: flow trace: {} sampled flows over {} streamed records | \
+             bottleneck share {:.3} -> {:.3} | slowdown p50 {p50:.2}x p99 {p99:.2}x",
+            a.decomp.len(),
+            a.records.len(),
+            shift.early_bottleneck_share,
+            shift.late_bottleneck_share,
+        );
+        format!(
+            "  \"obs_flow_trace\": {{\"scenario\": \"metro\", \"sampled_flows\": {}, \
+             \"streamed_records\": {}, \"early_bottleneck_share\": {:.4}, \
+             \"late_bottleneck_share\": {:.4}, \"fct_slowdown_p50\": {:.3}, \
+             \"fct_slowdown_p99\": {:.3}, \"health_events\": {}, \
+             \"trace_ring_dropped\": {}}},\n",
+            a.decomp.len(),
+            a.records.len(),
+            shift.early_bottleneck_share,
+            shift.late_bottleneck_share,
+            p50,
+            p99,
+            a.health.iter().map(|(_, n)| n).sum::<u64>(),
+            obs.host.trace_ring_dropped,
         )
     };
 
     // Hand-rolled JSON: the vendored serde stand-in has no real serializer.
     let mut json = String::from("{\n");
-    json += "  \"pr\": 8,\n";
+    json += "  \"pr\": 9,\n";
     json += &format!("  \"host_parallelism\": {host_parallelism},\n");
     json += &format!(
         "  \"scale\": \"{}\",\n",
@@ -654,8 +730,9 @@ fn main() {
             Scale::Paper => "paper",
         }
     );
-    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler. metro is the PR 8 cross-traffic tier axis: the same metro foreground with its background population once as packet-level TCP flows and once, 100x larger, as fluid rate aggregates — metro_fluid_users_per_wall_sec_vs_packet is the in-run background-users-per-wall-second ratio the fluid tier buys, floored at 10x by perf_gate.py.\",\n";
+    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler. metro is the PR 8 cross-traffic tier axis: the same metro foreground with its background population once as packet-level TCP flows and once, 100x larger, as fluid rate aggregates — metro_fluid_users_per_wall_sec_vs_packet is the in-run background-users-per-wall-second ratio the fluid tier buys, floored at 10x by perf_gate.py. obs_flow_trace is the PR 9 flow-tracing cell: a traced metro run streams its trace (every flow sampled) and the obs_query reduction reports the sampled population and the early->late bottleneck-share shift — the flow-level queue-shift story.\",\n";
     json += &phase_json;
+    json += &flow_trace_json;
     json += "  \"metro\": [\n";
     for (i, r) in metro_rows.iter().enumerate() {
         json += &format!(

@@ -1,0 +1,142 @@
+//! `obs_query` — offline reader for exported observability streams.
+//!
+//! Consumes the JSONL trace a run streams via `SimulationConfig::stream`
+//! (or dumps at the end via `ObsReport::to_jsonl`), restores the canonical
+//! `(at, shard, seq)` order and prints the paper's flow-level figures:
+//!
+//! * `fct` — FCT-slowdown CDF over the sampled flows;
+//! * `decomp` — per-flow delay decomposition (sendbox vs. bottleneck vs.
+//!   propagation) and the early/late queue-shift comparison;
+//! * `bundles` — per-bundle throughput/delay rows + Jain's fairness;
+//! * `health` — online health-monitor event counts.
+//!
+//! Usage: `obs_query TRACE.jsonl [--section fct,decomp,bundles,health]`
+//! (`-` reads stdin; default prints every section).
+
+use std::io::Read;
+
+use bundler_bench::query;
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut sections: Vec<String> = vec![
+        "fct".to_string(),
+        "decomp".to_string(),
+        "bundles".to_string(),
+        "health".to_string(),
+    ];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--section" => {
+                sections = args
+                    .next()
+                    .expect("--section needs a comma-separated list")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: obs_query TRACE.jsonl [--section fct,decomp,bundles,health]\n\
+                     reads an exported observability stream ('-' = stdin) and prints\n\
+                     FCT CDFs, delay decompositions, per-bundle series and health events"
+                );
+                return;
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => panic!("unknown argument {other} (see --help)"),
+        }
+    }
+    let path = path.expect("obs_query needs a trace path ('-' = stdin); see --help");
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    };
+
+    let a = query::analyze(&text);
+    println!(
+        "{}: {} records, {} sampled flows completed",
+        if path == "-" { "<stdin>" } else { &path },
+        a.records.len(),
+        a.decomp.len()
+    );
+
+    for section in &sections {
+        match section.as_str() {
+            "fct" => {
+                println!("\nFCT slowdown CDF (sampled flows)");
+                if a.cdf.is_empty() {
+                    println!("  no completed sampled flows in this trace");
+                }
+                for (p, slow) in &a.cdf {
+                    println!("  p{p:<5} {slow:>8.3}x");
+                }
+            }
+            "decomp" => {
+                println!("\nDelay decomposition (mean share of queueing delay at the bottleneck)");
+                match &a.shift {
+                    None => println!("  not enough completed flows for an early/late split"),
+                    Some(s) => {
+                        println!(
+                            "  early half: {:>6.1}% of queueing at the bottleneck ({} flows)",
+                            s.early_bottleneck_share * 100.0,
+                            s.early_flows
+                        );
+                        println!(
+                            "  late  half: {:>6.1}% of queueing at the bottleneck ({} flows)",
+                            s.late_bottleneck_share * 100.0,
+                            s.late_flows
+                        );
+                        println!(
+                            "  overall   : {:>6.1}%  (delay control engaged => late < early)",
+                            s.overall_bottleneck_share * 100.0
+                        );
+                    }
+                }
+            }
+            "bundles" => {
+                println!("\nPer-bundle series (sampled flows)");
+                println!(
+                    "  {:>7} {:>6} {:>10} {:>10} {:>9} {:>8} {:>7} {:>10}",
+                    "bundle", "flows", "bytes", "fct_ms", "slowdown", "bn_share", "rates", "mbps"
+                );
+                for b in &a.bundles {
+                    let name = if b.bundle == u32::MAX {
+                        "direct".to_string()
+                    } else {
+                        format!("b{}", b.bundle)
+                    };
+                    println!(
+                        "  {:>7} {:>6} {:>10} {:>10.2} {:>8.2}x {:>7.1}% {:>7} {:>10.2}",
+                        name,
+                        b.flows,
+                        b.bytes,
+                        b.mean_fct_ms,
+                        b.mean_slowdown,
+                        b.bottleneck_share * 100.0,
+                        b.rate_changes,
+                        b.throughput_mbps
+                    );
+                }
+                match a.fairness {
+                    Some(j) => println!("  Jain's fairness over bundle throughput: {j:.4}"),
+                    None => println!("  Jain's fairness: n/a (no bundled throughput)"),
+                }
+            }
+            "health" => {
+                println!("\nHealth monitors");
+                if a.health.is_empty() {
+                    println!("  no health events (all monitors quiet)");
+                }
+                for (kind, n) in &a.health {
+                    println!("  {:<18} {n:>6}", kind.name());
+                }
+            }
+            other => panic!("unknown section {other} (fct, decomp, bundles, health)"),
+        }
+    }
+}

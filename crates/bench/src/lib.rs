@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod query;
+
 /// The scale at which an experiment binary runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -1,0 +1,56 @@
+//! End-to-end test of the `obs_query` pipeline on the metro scenario —
+//! the PR 9 acceptance criterion: stream a traced metro run to the JSONL
+//! export, reduce it with `bundler_bench::query`, and observe the
+//! bottleneck-queue share of delay *shrinking* once delay control
+//! engages (the paper's queue-shift story, measured from flow spans).
+
+use bundler_bench::query;
+use bundler_obs::stream::StreamSink;
+use bundler_obs::{FlowTrace, ObsLevel};
+use bundler_sim::scenario::metro::MetroScenario;
+use bundler_sim::Simulation;
+use bundler_types::{Duration, Rate};
+
+#[test]
+fn metro_bottleneck_share_shrinks_once_delay_control_engages() {
+    let sc = MetroScenario::builder()
+        .sites(4)
+        .users_per_site(6)
+        .requests_per_site(80)
+        .bottleneck(Rate::from_mbps(64))
+        .drain(Duration::from_secs(2))
+        .seed(21)
+        .obs(ObsLevel::Full)
+        .build();
+    let mut config = sc.sim_config();
+    config.flow_trace = Some(FlowTrace::all(21));
+    let (sink, buf) = StreamSink::to_shared_vec();
+    config.stream = Some(sink);
+    let report = Simulation::new(config, sc.workload()).run();
+    assert!(report.completed > 0, "metro must do foreground work");
+
+    let a = query::analyze(&buf.contents());
+    assert!(
+        a.decomp.len() >= 20,
+        "expected a meaningful sampled-flow population, got {}",
+        a.decomp.len()
+    );
+    assert!(!a.cdf.is_empty(), "the FCT CDF must have points");
+    let shift = a.shift.expect("flows complete in both halves");
+    assert!(
+        shift.late_bottleneck_share < shift.early_bottleneck_share,
+        "delay control must move queueing out of the bottleneck: \
+         early {:.3} -> late {:.3}",
+        shift.early_bottleneck_share,
+        shift.late_bottleneck_share
+    );
+    assert!(
+        !a.bundles.is_empty(),
+        "per-bundle rows must reduce from the stream"
+    );
+    let fairness = a.fairness.expect("bundled throughput present");
+    assert!(
+        fairness > 0.0 && fairness <= 1.0 + 1e-9,
+        "Jain's index out of range: {fairness}"
+    );
+}

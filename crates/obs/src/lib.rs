@@ -21,21 +21,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
+pub mod health;
 pub mod hist;
 pub mod logsink;
 pub mod metrics;
 pub mod perfetto;
 pub mod phase;
+pub mod stream;
 pub mod trace;
 
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use bundler_types::Nanos;
 
+pub use flow::{
+    decompose, BundleObsState, FlowDecomp, FlowSampler, FlowSpan, FlowTrace, DIRECT_BUNDLE,
+};
+pub use health::{HealthKind, HealthState};
 pub use hist::LogLinearHist;
 pub use metrics::{CounterId, GaugeId, HistId, HostMetrics, MetricsShard, SchedObs};
 pub use phase::{NetPhaseProfile, NetWindow, PhaseBreakdown, PhaseProfile, WindowPhase};
+pub use stream::{StreamSink, StreamedRecord};
 pub use trace::{TraceKind, TraceRecord, TraceRing};
 
 /// How much observability a run records. Ordered: each level includes
@@ -121,6 +130,20 @@ pub struct ShardObs {
     pub ring: TraceRing,
     /// Per-window phase timings (sharded runs only).
     pub phases: Vec<WindowPhase>,
+    /// Deterministic flow-span sampler (`None` disables flow tracing).
+    pub sampler: Option<FlowSampler>,
+    /// Streaming JSONL sink shared by every shard of the run (`None`
+    /// keeps everything in memory, PR 6 style).
+    pub stream: Option<StreamSink>,
+    /// Per-shard stream sequence counter (push order within the shard).
+    pub seq: u64,
+    /// Per-bundle flow-span accumulators and health-monitor state, keyed
+    /// by global bundle index ([`flow::DIRECT_BUNDLE`] for direct
+    /// traffic). Entries migrate with their bundle.
+    pub bundle_obs: BTreeMap<usize, BundleObsState>,
+    /// Edge-trigger state for the fluid-collapse monitor (net side only):
+    /// whether each aggregate was at its floor rate at the last check.
+    pub fluid_floor: Vec<bool>,
 }
 
 impl ShardObs {
@@ -133,6 +156,11 @@ impl ShardObs {
             host: HostMetrics::default(),
             ring: TraceRing::default(),
             phases: Vec::new(),
+            sampler: None,
+            stream: None,
+            seq: 0,
+            bundle_obs: BTreeMap::new(),
+            fluid_floor: Vec::new(),
         }
     }
 
@@ -159,6 +187,50 @@ impl ShardObs {
                 shard: self.shard,
                 kind,
             });
+        }
+    }
+
+    /// True if flow tracing is on and the deterministic sampler picks this
+    /// flow. Pure: every shard and the net side agree without coordination.
+    #[inline]
+    pub fn flow_sampled(&self, flow: u64) -> bool {
+        self.level.trace_on() && self.sampler.as_ref().is_some_and(|s| s.picks(flow))
+    }
+
+    /// Mutable access to a bundle's flow-span/health accumulator, creating
+    /// it on first use.
+    pub fn bundle_obs_mut(&mut self, bundle: usize) -> &mut BundleObsState {
+        self.bundle_obs.entry(bundle).or_default()
+    }
+
+    /// Lifts a bundle's accumulator out for migration (into
+    /// `BundleParcel`) or snapshot encoding.
+    pub fn take_bundle_obs(&mut self, bundle: usize) -> Option<BundleObsState> {
+        self.bundle_obs.remove(&bundle)
+    }
+
+    /// Installs a migrated/restored bundle accumulator.
+    pub fn put_bundle_obs(&mut self, bundle: usize, state: BundleObsState) {
+        if !state.is_empty() {
+            self.bundle_obs.insert(bundle, state);
+        }
+    }
+
+    /// Barrier flush. With a stream attached, serializes the ring's
+    /// pending records (assigning per-shard sequence numbers) and a
+    /// cumulative metrics meta line, then clears the ring — memory stays
+    /// ring-capacity sized. Without one, drains the ring into its
+    /// in-memory sink exactly as before.
+    pub fn flush(&mut self, at: Nanos) {
+        if let Some(stream) = &self.stream {
+            if self.level.trace_on() {
+                stream.flush_ring(&mut self.ring, &mut self.seq);
+            }
+            if self.level.metrics_on() {
+                stream.write_metrics(at, self.shard, &self.metrics);
+            }
+        } else if self.level.trace_on() {
+            self.ring.drain_to_sink();
         }
     }
 }
@@ -192,6 +264,28 @@ impl ObsReport {
     /// Busy/stall/net wall-time fractions across the sharded run.
     pub fn phase_breakdown(&self) -> PhaseBreakdown {
         phase::breakdown(&self.worker_phases, &self.net_phase)
+    }
+
+    /// Renders the merged in-memory trace in the streaming line protocol.
+    /// Per-shard sequence numbers are reconstructed in iteration order —
+    /// the merged trace is a stable sort by sim-time over per-shard push
+    /// order, so this is byte-identical to the same run's streamed lines
+    /// after [`stream::sort_canonical`].
+    pub fn to_jsonl(&self) -> String {
+        let mut seqs: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut out = String::with_capacity(self.trace.len() * 96);
+        for rec in &self.trace {
+            let seq = seqs.entry(rec.shard).or_insert(0);
+            out.push_str(&stream::render_line(rec, *seq));
+            *seq += 1;
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-flow delay decompositions reduced from the merged trace.
+    pub fn flow_decompositions(&self) -> Vec<FlowDecomp> {
+        flow::decompose(&self.trace)
     }
 }
 

@@ -39,11 +39,18 @@ pub enum CounterId {
     ModeChanges,
     /// Epoch updates emitted toward the receivebox.
     EpochUpdates,
+    /// Flows picked by the deterministic flow-span sampler.
+    FlowsSampled,
+    /// Portable health-monitor events emitted (host-side kinds like
+    /// mailbox near-spill are excluded — they are partition-dependent).
+    HealthEvents,
+    /// Fluid cross-traffic integration steps executed.
+    FluidUpdates,
 }
 
 impl CounterId {
     /// Number of counter slots.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 12;
 }
 
 /// Portable histogram slots.
@@ -73,11 +80,14 @@ impl HistId {
 pub enum GaugeId {
     /// Peak bytes queued in any single sendbox, observed at enqueue.
     PeakSendboxBacklogBytes,
+    /// Peak total fluid cross-traffic backlog across all paths, observed
+    /// at fluid integration steps.
+    PeakFluidBacklogBytes,
 }
 
 impl GaugeId {
     /// Number of gauge slots.
-    pub const COUNT: usize = 1;
+    pub const COUNT: usize = 2;
 }
 
 /// The portable per-shard metrics registry.
@@ -135,6 +145,11 @@ impl MetricsShard {
         &self.hists[id as usize]
     }
 
+    /// Raw counter slots in [`CounterId`] order (streaming export).
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
     /// Merges another shard's registry into this one. Counter adds,
     /// gauge max, histogram element-wise adds — all commutative and
     /// associative, so any merge order over any partition yields identical
@@ -167,6 +182,12 @@ pub struct HostMetrics {
     pub inbox_messages: u64,
     /// Envelopes drained per inbox visit.
     pub mailbox_depth: LogLinearHist,
+    /// Trace records lost to ring/sink overflow (previously only a
+    /// one-shot `BUNDLER_SHARD_DEBUG` warning).
+    pub trace_ring_dropped: u64,
+    /// Mailbox envelopes that overflowed their ring into the mutex slow
+    /// path (lossless, but a sign the ring is undersized for the bursts).
+    pub mailbox_spills: u64,
 }
 
 impl HostMetrics {
@@ -178,6 +199,8 @@ impl HostMetrics {
         self.windows += other.windows;
         self.inbox_messages += other.inbox_messages;
         self.mailbox_depth.merge_from(&other.mailbox_depth);
+        self.trace_ring_dropped += other.trace_ring_dropped;
+        self.mailbox_spills += other.mailbox_spills;
     }
 }
 

@@ -82,6 +82,62 @@ pub fn to_chrome_trace(report: &ObsReport) -> String {
             // Aggregated in metrics; exporting one event per packet would
             // dwarf everything else in the trace.
             TraceKind::Enqueue { .. } | TraceKind::Dequeue { .. } => continue,
+            // Flow-span lifecycle: an async span per sampled flow (begin at
+            // admission on the owning worker, end at delivery) plus
+            // flow-event arrows ("s"/"t"/"f" sharing the flow id) that
+            // Perfetto draws across the worker → net → worker processes.
+            TraceKind::FlowAdmit {
+                flow,
+                bundle,
+                size_bytes,
+            } => format!(
+                "{{\"ph\":\"b\",\"cat\":\"flow\",\"id\":{flow},\"pid\":{pid},\"tid\":0,\
+                 \"name\":\"flow {flow}\",\"ts\":{ts:.3},\
+                 \"args\":{{\"bundle\":{bundle},\"size_bytes\":{size_bytes}}}}},\
+                 {{\"ph\":\"s\",\"cat\":\"flowarrow\",\"id\":{flow},\"pid\":{pid},\"tid\":0,\
+                 \"name\":\"flow {flow}\",\"ts\":{ts:.3}}}"
+            ),
+            TraceKind::FlowSendbox { flow, sojourn_ns } => format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"name\":\"sendbox f{flow}\",\
+                 \"ts\":{ts:.3},\"s\":\"t\",\"args\":{{\"sojourn_ns\":{sojourn_ns}}}}}"
+            ),
+            TraceKind::FlowBottleneck { flow, sojourn_ns } => format!(
+                "{{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"name\":\"bottleneck f{flow}\",\
+                 \"ts\":{ts:.3},\"s\":\"t\",\"args\":{{\"sojourn_ns\":{sojourn_ns}}}}},\
+                 {{\"ph\":\"t\",\"cat\":\"flowarrow\",\"id\":{flow},\"pid\":0,\"tid\":0,\
+                 \"name\":\"flow {flow}\",\"ts\":{ts:.3}}}"
+            ),
+            TraceKind::FlowEnd {
+                flow,
+                fct_ns,
+                sendbox_ns,
+                slowdown_milli,
+            } => format!(
+                "{{\"ph\":\"e\",\"cat\":\"flow\",\"id\":{flow},\"pid\":{pid},\"tid\":0,\
+                 \"name\":\"flow {flow}\",\"ts\":{ts:.3},\"args\":{{\"fct_ns\":{fct_ns},\
+                 \"sendbox_ns\":{sendbox_ns},\"slowdown_milli\":{slowdown_milli}}}}},\
+                 {{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flowarrow\",\"id\":{flow},\
+                 \"pid\":{pid},\"tid\":0,\"name\":\"flow {flow}\",\"ts\":{ts:.3}}}"
+            ),
+            TraceKind::Health {
+                kind,
+                subject,
+                value,
+            } => format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"name\":\"health {}\",\
+                 \"ts\":{ts:.3},\"s\":\"g\",\"args\":{{\"subject\":{subject},\
+                 \"value\":{value}}}}}",
+                crate::health::HealthKind::from_u8(kind).map_or("unknown", |k| k.name())
+            ),
+            TraceKind::FluidAgg {
+                agg,
+                path,
+                rate_bps,
+            } => format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fluid agg{agg} Mbps\",\
+                 \"ts\":{ts:.3},\"args\":{{\"mbps\":{:.3},\"path\":{path}}}}}",
+                rate_bps as f64 / 1e6
+            ),
             TraceKind::Drop { bundle } => format!(
                 "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"name\":\"drop b{bundle}\",\
                  \"ts\":{ts:.3},\"s\":\"t\",\"args\":{{\"wall_ns\":{}}}}}",
@@ -258,6 +314,64 @@ mod tests {
         assert!(json.contains("\"kb\":45.500"));
         assert!(json.contains("\"drain_mbps\":8.000"));
         assert!(json.contains("\"dur\":12500.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn flow_spans_health_and_fluid_aggregates_are_emitted() {
+        let json = to_chrome_trace(&report(vec![
+            rec(
+                0,
+                1,
+                TraceKind::FlowAdmit {
+                    flow: 42,
+                    bundle: 3,
+                    size_bytes: 14600,
+                },
+            ),
+            rec(
+                5,
+                NET_SHARD,
+                TraceKind::FlowBottleneck {
+                    flow: 42,
+                    sojourn_ns: 1500,
+                },
+            ),
+            rec(
+                9,
+                1,
+                TraceKind::FlowEnd {
+                    flow: 42,
+                    fct_ns: 9000,
+                    sendbox_ns: 2000,
+                    slowdown_milli: 1100,
+                },
+            ),
+            rec(
+                10,
+                1,
+                TraceKind::Health {
+                    kind: 1,
+                    subject: 3,
+                    value: 4096,
+                },
+            ),
+            rec(
+                11,
+                NET_SHARD,
+                TraceKind::FluidAgg {
+                    agg: 2,
+                    path: 0,
+                    rate_bps: 5_000_000,
+                },
+            ),
+        ]));
+        assert!(json.contains("\"ph\":\"b\""), "async flow begin missing");
+        assert!(json.contains("\"ph\":\"e\""), "async flow end missing");
+        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+        assert!(json.contains("bottleneck f42"));
+        assert!(json.contains("health starved_bundle"));
+        assert!(json.contains("fluid agg2 Mbps"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

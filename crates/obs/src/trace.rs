@@ -124,6 +124,66 @@ pub enum TraceKind {
         /// Capacity the tier is draining from the path, bits/sec.
         rate_bps: u64,
     },
+    /// A sampled flow was admitted and classified at the site edge (the
+    /// root span of the flow's lifecycle).
+    FlowAdmit {
+        /// Flow id.
+        flow: u64,
+        /// Bundle the flow was classified to (`u32::MAX` for direct
+        /// traffic that bypasses every bundle).
+        bundle: u32,
+        /// Flow size in bytes, from the workload spec.
+        size_bytes: u64,
+    },
+    /// A sampled flow's packet left the sendbox after queueing
+    /// `sojourn_ns` (the flow's sendbox span, one record per packet).
+    FlowSendbox {
+        /// Flow id.
+        flow: u64,
+        /// Sendbox sojourn of this packet, ns.
+        sojourn_ns: u64,
+    },
+    /// A sampled flow's packet left the shared bottleneck queue after
+    /// `sojourn_ns` (the flow's bottleneck span, recorded by the net side).
+    FlowBottleneck {
+        /// Flow id.
+        flow: u64,
+        /// Bottleneck-queue sojourn of this packet, ns.
+        sojourn_ns: u64,
+    },
+    /// A sampled flow completed: its last byte was acknowledged back at
+    /// the source. Carries the sendbox totals accumulated while the flow
+    /// was in flight, so the delay decomposition survives ring overflow of
+    /// the per-packet records.
+    FlowEnd {
+        /// Flow id.
+        flow: u64,
+        /// Flow completion time, ns.
+        fct_ns: u64,
+        /// Total sendbox sojourn across the flow's packets, ns.
+        sendbox_ns: u64,
+        /// FCT slowdown in milli-units (1000 = 1.0x).
+        slowdown_milli: u64,
+    },
+    /// An online health monitor fired (see [`crate::health::HealthKind`]).
+    Health {
+        /// `HealthKind as u8`.
+        kind: u8,
+        /// What the event is about: bundle index, aggregate index or shard.
+        subject: u32,
+        /// Kind-specific magnitude (backlog bytes, flap count, rate…).
+        value: u64,
+    },
+    /// One fluid cross-traffic aggregate's state at an integration step
+    /// (per-aggregate counter track in the Chrome trace).
+    FluidAgg {
+        /// Aggregate index within the fluid tier.
+        agg: u32,
+        /// Bottleneck sub-path the aggregate loads.
+        path: u32,
+        /// The aggregate's current AIMD rate, bits/sec.
+        rate_bps: u64,
+    },
 }
 
 /// One trace record: sim-time, wall-time, origin shard, payload.
@@ -144,7 +204,7 @@ impl TraceRecord {
     /// The run-portable projection of this record: sim-time plus the
     /// payload fields that are a function of the simulation alone. Wall
     /// times, shard placement and wall-derived span fields are masked out.
-    fn portable_key(&self) -> (u64, u8, u64, u64, u64) {
+    pub fn portable_key(&self) -> (u64, u8, u64, u64, u64) {
         let at = self.at.as_nanos();
         match self.kind {
             TraceKind::Enqueue { bundle } => (at, 0, bundle as u64, 0, 0),
@@ -166,18 +226,46 @@ impl TraceRecord {
                 backlog_bytes,
                 rate_bps,
             } => (at, 9, path as u64, backlog_bytes, rate_bps),
+            TraceKind::FlowAdmit {
+                flow,
+                bundle,
+                size_bytes,
+            } => (at, 10, flow, bundle as u64, size_bytes),
+            TraceKind::FlowSendbox { flow, sojourn_ns } => (at, 11, flow, sojourn_ns, 0),
+            TraceKind::FlowBottleneck { flow, sojourn_ns } => (at, 12, flow, sojourn_ns, 0),
+            TraceKind::FlowEnd {
+                flow,
+                fct_ns,
+                sendbox_ns,
+                ..
+            } => (at, 13, flow, fct_ns, sendbox_ns),
+            TraceKind::Health {
+                kind,
+                subject,
+                value,
+            } => (at, 14, kind as u64, subject as u64, value),
+            TraceKind::FluidAgg {
+                agg,
+                path,
+                rate_bps,
+            } => (at, 15, ((agg as u64) << 32) | path as u64, rate_bps, 0),
         }
     }
 
     /// True for the per-event datapath records that trace simulated
     /// behavior (and can be diffed between runs); false for the host-side
-    /// span records (windows, phases, migrations) that describe execution.
+    /// span records (windows, phases, migrations, mailbox health) that
+    /// describe execution.
     pub fn is_portable(&self) -> bool {
         !matches!(
             self.kind,
             TraceKind::Migration { .. }
                 | TraceKind::WorkerWindow { .. }
                 | TraceKind::NetPhase { .. }
+                | TraceKind::Health {
+                    kind: 3, // HealthKind::MailboxNearSpill: host-side
+                    ..
+                }
         )
     }
 }
@@ -242,6 +330,19 @@ impl TraceRing {
     /// True if the ring holds no undrained records.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Read-only view of the undrained records: the streaming exporter
+    /// serializes these at a barrier, then calls
+    /// [`TraceRing::clear_pending`] instead of draining to the in-memory
+    /// sink — memory stays ring-capacity sized however long the run is.
+    pub fn pending(&self) -> &[TraceRecord] {
+        &self.buf
+    }
+
+    /// Clears the ring after a streaming flush (capacity retained).
+    pub fn clear_pending(&mut self) {
+        self.buf.clear();
     }
 
     /// Drains the ring into the sink, respecting the sink capacity.

@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 
 use bundler_core::FnvHashMap;
-use bundler_obs::{wall_now_ns, NetWindow, TraceKind, WindowPhase};
+use bundler_obs::{wall_now_ns, HealthKind, NetWindow, TraceKind, WindowPhase};
 use bundler_sim::event::{Event, EventKey, EventQueue};
 use bundler_sim::runtime::{
     assemble_report, bundle_lp, origin_lp, BundleParcel, Delivery, NetCore, Partition, ToNet,
@@ -520,6 +520,9 @@ fn run_sharded(
                     events,
                 },
             );
+            // With a streaming sink the window's records leave the process
+            // here; in-memory runs keep accumulating in the sink vec.
+            net.obs.flush(window_end);
         }
     };
 
@@ -594,6 +597,13 @@ fn run_sharded(
                 );
                 if let Some(f) = sink.as_deref_mut() {
                     f(window_start, blob);
+                }
+                // Publish every streamed record below the checkpoint
+                // instant so a crash after this boundary leaves the export
+                // file a complete prefix of the restored continuation.
+                net.obs.flush(window_start);
+                if let Some(stream) = &config.stream {
+                    stream.flush_io();
                 }
             }
             let iv = next_ckpt.map(|(iv, _)| iv).unwrap_or(0);
@@ -705,6 +715,11 @@ fn run_sharded(
         });
     }
     workers.sort_by_key(|w| w.partition().index);
+    if net.obs.metrics_on() {
+        // Driver-side (net→worker) spill counts; the worker-side senders
+        // fold theirs in at the stop check.
+        net.obs.host.mailbox_spills += to_worker_tx.iter().map(Sender::spill_count).sum::<u64>();
+    }
     let mut report = assemble_report(&config, workers, net, recycled);
     if let Some(obs) = report.obs.as_mut() {
         obs.net_phase = bundler_obs::NetPhaseProfile {
@@ -797,6 +812,9 @@ fn worker_loop(
             0
         };
         if ctrl.stop.load(Ordering::Acquire) {
+            if timing {
+                core.obs.host.mailbox_spills += net_tx[0].spill_count() + net_tx[1].spill_count();
+            }
             return if failed { None } else { Some((core, arena)) };
         }
         let migrating = ctrl.migrating.load(Ordering::Acquire);
@@ -905,6 +923,10 @@ fn worker_loop(
                         }
                     }
                     lock(&ctrl.parts)[me] = Some(part);
+                    // Mirror `Simulation::snapshot`: everything recorded
+                    // before the checkpoint instant is on the stream
+                    // before the snapshot is assembled.
+                    core.obs.flush(at);
                 }));
                 if let Err(payload) = phase {
                     failed = true;
@@ -922,6 +944,19 @@ fn worker_loop(
                 if timing {
                     core.obs.host.inbox_messages += drained as u64;
                     core.obs.host.mailbox_depth.record(drained as u64);
+                    // Host-side watchdog (non-portable, like the window
+                    // records): a drain close to the ring capacity means
+                    // the next burst will take the mutex slow path.
+                    if drained > MAILBOX_CAPACITY * 3 / 4 {
+                        core.obs.record(
+                            window_start_sim,
+                            TraceKind::Health {
+                                kind: HealthKind::MailboxNearSpill as u8,
+                                subject: me as u32,
+                                value: drained as u64,
+                            },
+                        );
+                    }
                 }
                 while let Some((t, key)) = queue.peek() {
                     if t >= window_end {
@@ -976,8 +1011,9 @@ fn worker_loop(
                 },
             );
             // One window's records fit the ring by construction; the sink
-            // accumulates the run's trace.
-            core.obs.ring.drain_to_sink();
+            // (or the streaming export, when configured) accumulates the
+            // run's trace window by window.
+            core.obs.flush(window_end);
         }
         window_start_sim = window_end;
         windex += 1;

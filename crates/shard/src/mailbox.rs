@@ -87,6 +87,8 @@ pub struct Sender<T> {
     /// Producer-local lower bound on `head` (refreshed only when the ring
     /// looks full).
     head_cache: usize,
+    /// Messages that overflowed the ring into the mutex slow path.
+    spilled: u64,
 }
 
 /// The consumer half of a mailbox.
@@ -119,6 +121,7 @@ pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
             ring: Arc::clone(&ring),
             tail: 0,
             head_cache: 0,
+            spilled: 0,
         },
         Receiver {
             ring,
@@ -138,6 +141,7 @@ impl<T: Send> Sender<T> {
         }
         if self.tail - self.head_cache == cap {
             note_spill(cap);
+            self.spilled += 1;
             lock_spill(&self.ring.spill).push(value);
             return;
         }
@@ -148,6 +152,12 @@ impl<T: Send> Sender<T> {
         unsafe { (*slot).write(value) };
         self.tail += 1;
         self.ring.tail.store(self.tail, Ordering::Release);
+    }
+
+    /// Number of messages this sender pushed through the mutex slow path
+    /// (ring full). Lossless, but a sign the ring is undersized.
+    pub fn spill_count(&self) -> u64 {
+        self.spilled
     }
 }
 

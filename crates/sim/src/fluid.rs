@@ -299,6 +299,35 @@ impl FluidState {
         self.paths.iter().map(|p| p.dropped).sum::<f64>() as u64
     }
 
+    /// Number of configured aggregates (observability iterates them).
+    pub fn num_aggregates(&self) -> usize {
+        self.agg.len()
+    }
+
+    /// The bottleneck sub-path aggregate `i` is pinned to.
+    pub fn aggregate_path(&self, i: usize) -> u32 {
+        self.config.aggregates[i].path
+    }
+
+    /// Aggregate `i`'s current rate in bits/sec (0 when its activity window
+    /// is closed at `now`).
+    pub fn aggregate_rate_bps(&self, i: usize, now: Nanos) -> u64 {
+        if self.config.aggregates[i].active_at(now) {
+            (self.agg[i].rate * 8.0) as u64
+        } else {
+            0
+        }
+    }
+
+    /// True if aggregate `i` is active at `now` but pinned at (or clamped
+    /// below) its AIMD floor rate — the fluid-collapse health signal: the
+    /// aggregate cannot back off any further, so its share of the buffer
+    /// can only be shed by everyone else.
+    pub fn aggregate_at_floor(&self, i: usize, now: Nanos) -> bool {
+        self.config.aggregates[i].active_at(now)
+            && self.agg[i].rate <= self.config.aggregates[i].floor_rate()
+    }
+
     /// One integration step at `now`: measure each path's packet-tier
     /// arrival rate since the last step, split capacity proportionally
     /// between the tiers, integrate the fluid backlog, write the resulting

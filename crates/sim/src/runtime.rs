@@ -24,7 +24,10 @@
 //! and every result — are identical for any partitioning.
 
 use bundler_core::FnvHashMap;
-use bundler_obs::{CounterId, GaugeId, HistId, ObsReport, PhaseProfile, ShardObs, TraceKind};
+use bundler_obs::{
+    BundleObsState, CounterId, FlowSampler, GaugeId, HealthKind, HistId, ObsReport, PhaseProfile,
+    ShardObs, TraceKind, DIRECT_BUNDLE,
+};
 use bundler_sched::tbf::Release;
 use bundler_sched::Policy;
 use bundler_types::{
@@ -237,6 +240,8 @@ pub struct WorkerCore {
     pkt_buf: Vec<PacketId>,
     /// Reusable scratch for sendbox release bursts.
     release_buf: Vec<PacketId>,
+    /// Reusable scratch for health-monitor verdicts at sample events.
+    health_buf: Vec<(HealthKind, u64)>,
     events_processed: u64,
     /// Packets this core's endhosts created (data, ACKs, pings,
     /// retransmissions) — counted at creation so the total is identical
@@ -297,7 +302,9 @@ impl WorkerCore {
                 (bundles, None)
             }
         };
-        let obs = ShardObs::new(config.obs, part.index as u16);
+        let mut obs = ShardObs::new(config.obs, part.index as u16);
+        obs.sampler = config.flow_trace.map(FlowSampler::new);
+        obs.stream = config.stream.clone();
         if obs.metrics_on() {
             // Turn on the in-scheduler sojourn/drop-state export. The flag
             // lives inside the datapath scheduler, so it migrates with the
@@ -334,6 +341,7 @@ impl WorkerCore {
             cross_throughput_mbps: TimeSeries::new(),
             pkt_buf: Vec::with_capacity(64),
             release_buf: Vec::with_capacity(64),
+            health_buf: Vec::new(),
             events_processed: 0,
             packets_created: 0,
             obs,
@@ -568,6 +576,31 @@ impl WorkerCore {
             self.ping_origin.insert(spec.id, spec.origin);
             self.pings.insert(spec.id, client);
             return;
+        }
+        if self.obs.flow_sampled(spec.id.0) {
+            // Admission anchors the flow's span: record the classification
+            // and open the per-bundle accumulator the lifecycle hooks feed.
+            self.obs.metrics.add(CounterId::FlowsSampled, 1);
+            let (bundle_key, bundle_u32) = match spec.origin {
+                Origin::Bundle(b) => (b, b as u32),
+                Origin::Direct => (DIRECT_BUNDLE, u32::MAX),
+            };
+            self.obs.record(
+                now,
+                TraceKind::FlowAdmit {
+                    flow: spec.id.0,
+                    bundle: bundle_u32,
+                    size_bytes: spec.size_bytes,
+                },
+            );
+            self.obs.bundle_obs_mut(bundle_key).spans.insert(
+                spec.id.0,
+                bundler_obs::FlowSpan {
+                    admitted_at: now,
+                    size_bytes: spec.size_bytes,
+                    ..Default::default()
+                },
+            );
         }
         let sender = TcpSender::new(spec.id, key, spec.size_bytes, spec.alg, spec.class, now);
         let state = FlowState {
@@ -822,6 +855,25 @@ impl WorkerCore {
                 self.obs
                     .metrics
                     .observe(HistId::FctSlowdownMilli, slowdown_milli);
+                if self.obs.flow_sampled(flow_id.0) {
+                    // Close the span: fold the accumulated sendbox sojourn
+                    // into the one FlowEnd record and drop the accumulator.
+                    let span = self
+                        .obs
+                        .bundle_obs_mut(bundle.unwrap_or(DIRECT_BUNDLE))
+                        .spans
+                        .remove(&flow_id.0)
+                        .unwrap_or_default();
+                    self.obs.record(
+                        now,
+                        TraceKind::FlowEnd {
+                            flow: flow_id.0,
+                            fct_ns: fct.as_nanos(),
+                            sendbox_ns: span.sendbox_ns,
+                            slowdown_milli,
+                        },
+                    );
+                }
             }
             // Tag with this LP's next key so per-worker lists merge into
             // the canonical completion order.
@@ -996,6 +1048,23 @@ impl WorkerCore {
                         sojourn_ns: sojourn.as_nanos(),
                     },
                 );
+                let flow = arena[pkt].flow.0;
+                if self.obs.flow_sampled(flow) {
+                    self.obs.record(
+                        now,
+                        TraceKind::FlowSendbox {
+                            flow,
+                            sojourn_ns: sojourn.as_nanos(),
+                        },
+                    );
+                    // Accumulate into the flow's span (kept per bundle so
+                    // it migrates with the bundle complex). A released
+                    // packet's flow was admitted on this same bundle.
+                    if let Some(span) = self.obs.bundle_obs_mut(bundle).spans.get_mut(&flow) {
+                        span.pkts += 1;
+                        span.sendbox_ns += sojourn.as_nanos();
+                    }
+                }
             }
         }
         for pkt in released.drain(..) {
@@ -1076,11 +1145,57 @@ impl WorkerCore {
                 }
             }
         }
-        if self.obs.trace_on() {
+        if self.obs.metrics_on() {
+            if lp != LP_DIRECT {
+                // Bundle health monitors: pure functions of this sample's
+                // readings vs the previous sample's (state migrates with
+                // the bundle), evaluated on the canonical sample stream so
+                // verdicts are identical for any shard count.
+                let b = (lp - LP_BUNDLE0) as usize;
+                let readings = if let Some(multi) = self.multi.as_ref() {
+                    multi.sendbox(b).map(|s| {
+                        (
+                            multi.queue_bytes(b),
+                            s.stats().packets_sent,
+                            multi.mode_timeline_of(b).len().saturating_sub(1) as u64,
+                        )
+                    })
+                } else if let Some(Some(bundle)) = self.bundles.get(b) {
+                    Some((
+                        bundle.queue_bytes(),
+                        bundle.control.stats().packets_sent,
+                        bundle.mode_timeline.len().saturating_sub(1) as u64,
+                    ))
+                } else {
+                    None
+                };
+                if let Some((backlog, sent, mode_changes)) = readings {
+                    let mut verdicts = std::mem::take(&mut self.health_buf);
+                    verdicts.clear();
+                    self.obs.bundle_obs_mut(b).health.check_bundle(
+                        backlog,
+                        sent,
+                        mode_changes,
+                        &mut verdicts,
+                    );
+                    for &(kind, value) in &verdicts {
+                        self.obs.metrics.add(CounterId::HealthEvents, 1);
+                        self.obs.record(
+                            now,
+                            TraceKind::Health {
+                                kind: kind as u8,
+                                subject: b as u32,
+                                value,
+                            },
+                        );
+                    }
+                    self.health_buf = verdicts;
+                }
+            }
             // In the single-threaded host the sample stream doubles as the
-            // ring's drain beat; the sharded driver drains at every window
-            // barrier instead (draining twice is a harmless no-op).
-            self.obs.ring.drain_to_sink();
+            // telemetry flush beat; the sharded driver flushes at every
+            // window barrier instead (flushing twice is a harmless no-op).
+            self.obs.flush(now);
         }
         let k = self.key_for(lp);
         queue.schedule(now + self.config.sample_interval, k, Event::Sample { lp });
@@ -1200,6 +1315,7 @@ impl WorkerCore {
             pacing: std::mem::take(&mut self.bundle_pacing_rate_mbps[bundle]),
             rtt_estimate: std::mem::take(&mut self.bundle_rtt_estimate_ms[bundle]),
             recv_rate: std::mem::take(&mut self.bundle_recv_rate_estimate_mbps[bundle]),
+            obs: self.obs.take_bundle_obs(bundle),
         }
     }
 
@@ -1268,6 +1384,9 @@ impl WorkerCore {
             if let Some(ping) = ping {
                 self.pings.insert(id, ping);
             }
+        }
+        if let Some(state) = parcel.obs {
+            self.obs.put_bundle_obs(bundle, state);
         }
     }
 
@@ -1361,6 +1480,15 @@ impl WorkerCore {
         self.lp_events[LP_DIRECT as usize].encode(out);
         self.cross_delivered.encode(out);
         self.cross_throughput_mbps.encode(out);
+        // Direct flows never migrate, so their in-flight flow spans live
+        // under the synthetic DIRECT_BUNDLE key on this worker.
+        match self.obs.bundle_obs.get(&DIRECT_BUNDLE) {
+            Some(state) if !state.is_empty() => {
+                1u8.encode(out);
+                encode_bundle_obs(state, out);
+            }
+            _ => 0u8.encode(out),
+        }
     }
 
     /// Restores the direct-LP slice written by
@@ -1406,6 +1534,14 @@ impl WorkerCore {
         self.lp_events[LP_DIRECT as usize] = u64::decode(r)?;
         self.cross_delivered = u64::decode(r)?;
         self.cross_throughput_mbps = TimeSeries::decode(r)?;
+        match u8::decode(r)? {
+            0 => {}
+            1 => {
+                let state = decode_bundle_obs(r)?;
+                self.obs.put_bundle_obs(DIRECT_BUNDLE, state);
+            }
+            _ => return Err(r.error("unknown direct-obs presence tag")),
+        }
         Ok(())
     }
 
@@ -1522,6 +1658,10 @@ pub struct BundleParcel {
     pacing: TimeSeries,
     rtt_estimate: TimeSeries,
     recv_rate: TimeSeries,
+    /// Per-bundle observability state (in-flight flow spans, health-monitor
+    /// readings), so traced flows keep their accumulators and monitors keep
+    /// their streaks across migration.
+    obs: Option<BundleObsState>,
 }
 
 impl BundleParcel {
@@ -1592,6 +1732,13 @@ impl BundleParcel {
         self.pacing.encode(out);
         self.rtt_estimate.encode(out);
         self.recv_rate.encode(out);
+        match &self.obs {
+            Some(state) if !state.is_empty() => {
+                1u8.encode(out);
+                encode_bundle_obs(state, out);
+            }
+            _ => 0u8.encode(out),
+        }
         true
     }
 
@@ -1651,6 +1798,15 @@ impl BundleParcel {
             let origin = Origin::decode(r)?;
             pings.push((id, ping, origin));
         }
+        let throughput = TimeSeries::decode(r)?;
+        let pacing = TimeSeries::decode(r)?;
+        let rtt_estimate = TimeSeries::decode(r)?;
+        let recv_rate = TimeSeries::decode(r)?;
+        let obs = match u8::decode(r)? {
+            0 => None,
+            1 => Some(decode_bundle_obs(r)?),
+            _ => return Err(r.error("unknown bundle-obs presence tag")),
+        };
         Ok(BundleParcel {
             bundle,
             seq,
@@ -1662,12 +1818,55 @@ impl BundleParcel {
             edge_pkts,
             flows,
             pings,
-            throughput: TimeSeries::decode(r)?,
-            pacing: TimeSeries::decode(r)?,
-            rtt_estimate: TimeSeries::decode(r)?,
-            recv_rate: TimeSeries::decode(r)?,
+            throughput,
+            pacing,
+            rtt_estimate,
+            recv_rate,
+            obs,
         })
     }
+}
+
+/// Serializes a bundle's observability state (flow-span accumulators in
+/// `BTreeMap` order, then the health-monitor readings). Lives here rather
+/// than in `bundler-obs` so the obs crate stays serde-free.
+fn encode_bundle_obs(state: &BundleObsState, out: &mut Vec<u8>) {
+    (state.spans.len() as u64).encode(out);
+    for (flow, span) in &state.spans {
+        flow.encode(out);
+        span.admitted_at.encode(out);
+        span.size_bytes.encode(out);
+        span.pkts.encode(out);
+        span.sendbox_ns.encode(out);
+    }
+    let h = &state.health;
+    h.last_backlog.encode(out);
+    h.growth_streak.encode(out);
+    h.last_packets_sent.encode(out);
+    h.last_mode_changes.encode(out);
+    h.primed.encode(out);
+}
+
+/// Reverses [`encode_bundle_obs`].
+fn decode_bundle_obs(r: &mut Reader<'_>) -> Result<BundleObsState, DecodeError> {
+    let mut state = BundleObsState::default();
+    let n = u64::decode(r)? as usize;
+    for _ in 0..n {
+        let flow = u64::decode(r)?;
+        let span = bundler_obs::FlowSpan {
+            admitted_at: Nanos::decode(r)?,
+            size_bytes: u64::decode(r)?,
+            pkts: u64::decode(r)?,
+            sendbox_ns: u64::decode(r)?,
+        };
+        state.spans.insert(flow, span);
+    }
+    state.health.last_backlog = u64::decode(r)?;
+    state.health.growth_streak = u32::decode(r)?;
+    state.health.last_packets_sent = u64::decode(r)?;
+    state.health.last_mode_changes = u64::decode(r)?;
+    state.health.primed = bool::decode(r)?;
+    Ok(state)
 }
 
 /// The edge-mode-specific part of a [`BundleParcel`].
@@ -1810,7 +2009,12 @@ impl NetCore {
                 .as_ref()
                 .map(|ct| FluidState::new(ct, config.num_paths.max(1), buffer)),
             fluid_seq: 0,
-            obs: ShardObs::new(config.obs, bundler_obs::NET_SHARD),
+            obs: {
+                let mut obs = ShardObs::new(config.obs, bundler_obs::NET_SHARD);
+                obs.sampler = config.flow_trace.map(FlowSampler::new);
+                obs.stream = config.stream.clone();
+                obs
+            },
         }
     }
 
@@ -1887,6 +2091,10 @@ impl NetCore {
         if let Some(fluid) = &self.fluid {
             self.fluid_seq.encode(out);
             fluid.save_state(out);
+            // The fluid-collapse monitor's edge-trigger flags: restored so
+            // a resumed run does not re-fire (or miss) a collapse event the
+            // crashed run already decided.
+            self.obs.fluid_floor.encode(out);
         }
         let events = queue.extract_if(is_net_event);
         encode_events_canonical(&events, out);
@@ -1940,6 +2148,7 @@ impl NetCore {
             self.fluid_seq = u64::decode(r)?;
             fluid.load_state(r)?;
             fluid.reapply(&mut self.paths);
+            self.obs.fluid_floor = Vec::<bool>::decode(r)?;
         }
         let events = Vec::<(Nanos, EventKey, Event)>::decode(r)?;
         let n = u64::decode(r)? as usize;
@@ -2005,14 +2214,53 @@ impl NetCore {
         };
         fluid.update(now, &mut self.paths);
         let interval = fluid.update_interval();
-        if self.obs.trace_on() {
-            for (i, p) in self.paths.iter().enumerate() {
-                let kind = TraceKind::FluidLevel {
-                    path: i as u32,
-                    backlog_bytes: fluid.backlog_bytes(i),
-                    rate_bps: p.fluid_drain_bps(),
-                };
-                self.obs.record(now, kind);
+        if self.obs.metrics_on() {
+            self.obs.metrics.add(CounterId::FluidUpdates, 1);
+            let total_backlog: u64 = (0..self.paths.len()).map(|i| fluid.backlog_bytes(i)).sum();
+            self.obs
+                .metrics
+                .gauge_max(GaugeId::PeakFluidBacklogBytes, total_backlog);
+            if self.obs.trace_on() {
+                for (i, p) in self.paths.iter().enumerate() {
+                    let kind = TraceKind::FluidLevel {
+                        path: i as u32,
+                        backlog_bytes: fluid.backlog_bytes(i),
+                        rate_bps: p.fluid_drain_bps(),
+                    };
+                    self.obs.record(now, kind);
+                }
+                for i in 0..fluid.num_aggregates() {
+                    self.obs.record(
+                        now,
+                        TraceKind::FluidAgg {
+                            agg: i as u32,
+                            path: fluid.aggregate_path(i),
+                            rate_bps: fluid.aggregate_rate_bps(i, now),
+                        },
+                    );
+                }
+            }
+            // Fluid-collapse monitor: edge-triggered on the transition into
+            // the at-floor state (the vector primes lazily so the opening
+            // sample — aggregates start at their floor — never fires).
+            let primed = !self.obs.fluid_floor.is_empty();
+            if !primed {
+                self.obs.fluid_floor = vec![true; fluid.num_aggregates()];
+            }
+            for i in 0..fluid.num_aggregates() {
+                let at_floor = fluid.aggregate_at_floor(i, now);
+                if primed && at_floor && !self.obs.fluid_floor[i] {
+                    self.obs.metrics.add(CounterId::HealthEvents, 1);
+                    self.obs.record(
+                        now,
+                        TraceKind::Health {
+                            kind: HealthKind::FluidCollapse as u8,
+                            subject: i as u32,
+                            value: fluid.aggregate_rate_bps(i, now),
+                        },
+                    );
+                }
+                self.obs.fluid_floor[i] = at_floor;
             }
         }
         let (at, key) = (now + interval, self.fluid_key());
@@ -2138,6 +2386,21 @@ impl NetCore {
     ) {
         self.paths[path].dequeue_scheduled = false;
         if let Some((pkt, delivered_at, link_free)) = self.paths[path].try_transmit(arena, now) {
+            if self.obs.trace_on() {
+                let flow = arena[pkt].flow.0;
+                if self.obs.flow_sampled(flow) {
+                    // `enqueued_at` was rewritten on bottleneck enqueue, so
+                    // this sojourn is pure bottleneck queueing.
+                    let sojourn = now.saturating_since(arena[pkt].enqueued_at);
+                    self.obs.record(
+                        now,
+                        TraceKind::FlowBottleneck {
+                            flow,
+                            sojourn_ns: sojourn.as_nanos(),
+                        },
+                    );
+                }
+            }
             let key = self.key();
             deliveries.push(Delivery {
                 at: delivered_at,
@@ -2177,9 +2440,7 @@ impl NetCore {
                 HistId::BottleneckQueueDelayUs,
                 (queue_delay_ms * 1000.0) as u64,
             );
-            if self.obs.trace_on() {
-                self.obs.ring.drain_to_sink();
-            }
+            self.obs.flush(now);
         }
         let (at, key) = (now + self.sample_interval, self.key());
         queue.schedule(at, key, Event::Sample { lp: LP_NET });
@@ -2377,7 +2638,12 @@ pub fn assemble_report(
         let mut trace: Vec<bundler_obs::TraceRecord> = Vec::new();
         let mut trace_dropped = 0u64;
         let mut worker_phases = Vec::new();
+        let at_end = Nanos::ZERO + config.duration;
         for w in &mut workers {
+            // When a stream sink is attached, publish the final partial
+            // barrier's records and the end-of-run counter snapshot before
+            // the in-memory merge consumes the rings.
+            w.obs.flush(at_end);
             // Fold each owned bundle's in-scheduler export (sojourns,
             // CoDel drop-state transitions) into the worker's shard
             // metrics. Migrated bundles carried theirs along, so the fold
@@ -2402,6 +2668,7 @@ pub fn assemble_report(
             let (records, dropped) = std::mem::take(&mut w.obs.ring).into_records();
             trace.extend(records);
             trace_dropped += dropped;
+            host.trace_ring_dropped += dropped;
             if !w.obs.phases.is_empty() {
                 worker_phases.push(PhaseProfile {
                     shard: w.obs.shard,
@@ -2409,11 +2676,16 @@ pub fn assemble_report(
                 });
             }
         }
+        net.obs.flush(at_end);
         metrics.merge_from(&net.obs.metrics);
         host.merge_from(&net.obs.host);
         let (records, dropped) = std::mem::take(&mut net.obs.ring).into_records();
         trace.extend(records);
         trace_dropped += dropped;
+        host.trace_ring_dropped += dropped;
+        if let Some(stream) = &config.stream {
+            stream.flush_io();
+        }
         // Stable sort: same-instant records keep worker order, so the
         // merged trace is deterministic for a given shard count.
         trace.sort_by_key(|r| r.at);

@@ -102,6 +102,19 @@ pub struct SimulationConfig {
     /// [`crate::fluid`]). `None` (the default) disables the tier — every
     /// background flow is packet-level, exactly as before the tier existed.
     pub cross_traffic: Option<crate::fluid::FluidCrossTraffic>,
+    /// Flow-span tracing: a seeded, pure sampler picks flows at admission
+    /// and their full lifecycle (classify, sendbox sojourn, bottleneck
+    /// sojourn, FCT) is recorded as linked trace records. Only active at
+    /// [`bundler_obs::ObsLevel::Full`]; `None` (the default) disables flow
+    /// spans entirely. Never affects simulation results.
+    pub flow_trace: Option<bundler_obs::FlowTrace>,
+    /// Streaming telemetry sink: trace rings and metrics flush here
+    /// incrementally at sample/window barriers instead of accumulating in
+    /// memory, so observability memory is ring-capacity sized rather than
+    /// run-length sized. `None` (the default) keeps the in-memory
+    /// [`crate::stats::SimReport::obs`] path. Cloning a config clones the
+    /// handle — every shard of a run shares one sink.
+    pub stream: Option<bundler_obs::StreamSink>,
 }
 
 /// Bundle-to-shard assignment policy for the multi-threaded host.
@@ -158,6 +171,8 @@ impl Default for SimulationConfig {
             checkpoint_every: None,
             faults: None,
             cross_traffic: None,
+            flow_trace: None,
+            stream: None,
         }
     }
 }
@@ -439,6 +454,14 @@ impl Simulation {
         // Extract/adopt below re-inserts migrated packets, so the arena's
         // insert counter stops matching logical packet creation.
         self.arena_exact = false;
+        // Streamed telemetry: publish everything recorded strictly before
+        // the snapshot instant, so a restore resumes from a complete
+        // prefix and (crashed ∪ restored) line sets cover the full run.
+        self.worker.obs.flush(at);
+        self.net.obs.flush(at);
+        if let Some(stream) = &self.config.stream {
+            stream.flush_io();
+        }
         let fp = crate::snapshot::fingerprint(&self.config, &self.workload);
         let mut out = Vec::new();
         crate::snapshot::write_header(&mut out, at, fp);

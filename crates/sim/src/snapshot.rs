@@ -9,14 +9,14 @@
 //! sharded configuration, and a snapshot may be restored into a different
 //! shard count than the one that wrote it.
 //!
-//! # Wire format (version 1)
+//! # Wire format (version 2)
 //!
 //! All integers are little-endian; variable structures use the repo's
 //! vendored `serde::binary` codec (`u64` length prefixes, `u8` enum tags).
 //!
 //! ```text
 //! magic        [u8; 8]   = b"BNDLSNAP"
-//! version      u32       = 1
+//! version      u32       = 2
 //! at           u64       simulated time T in nanoseconds
 //! fingerprint  u64       FNV-1a over the result-affecting config + workload
 //! residue      WorkerResidue   merged run-wide accumulators (fcts, counters)
@@ -26,10 +26,19 @@
 //! ```
 //!
 //! When [`SimulationConfig::cross_traffic`] is set, the net slice carries a
-//! fluid-tier section (LP sequence + [`crate::fluid::FluidState`]) between
-//! the fault state and the pending net events. The section's presence is
-//! keyed by the config — which the fingerprint covers — so packet-only
-//! snapshots keep the exact layout above and version 1 stays version 1.
+//! fluid-tier section (LP sequence + [`crate::fluid::FluidState`] + the
+//! fluid-collapse monitor edge state) between the fault state and the
+//! pending net events. The section's presence is keyed by the config —
+//! which the fingerprint covers — so packet-only snapshots keep the exact
+//! layout above.
+//!
+//! Version 2 (PR 9) appends a one-byte presence flag to the direct slice
+//! and to every `BundleParcel`: `1` is followed by the in-flight
+//! observability state (sampled flow spans mid-lifecycle + health-monitor
+//! readings) so flow tracing and watchdogs survive checkpoint/restore;
+//! `0` means none. The flag is `0` whenever tracing is off, and the whole
+//! section is excluded from the fingerprint — like `obs` itself, it never
+//! affects simulation results.
 //!
 //! The fingerprint covers only fields that change simulation *results*
 //! (durations, rates, topology, workload, fault plan). Observability level,
@@ -54,7 +63,7 @@ pub const MAGIC: [u8; 8] = *b"BNDLSNAP";
 /// Current snapshot format version. Bump this (and the format notes in
 /// `ARCHITECTURE.md`) whenever the byte layout changes; the golden-format
 /// test fails loudly when an accidental layout change sneaks in.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -4,6 +4,8 @@
 //! deterministic; and the replay harness must reproduce the run under full
 //! observability.
 
+use bundler_obs::stream::{self, StreamSink};
+use bundler_obs::{FlowTrace, ObsLevel};
 use bundler_sim::fault::{FaultKind, FaultPlan};
 use bundler_sim::scenario::many_sites::ManySitesScenario;
 use bundler_sim::sim::SimulationConfig;
@@ -152,7 +154,73 @@ fn restore_rejects_mismatched_config_and_garbage() {
     }
 }
 
-/// Golden wire-format test: the exact bytes of a version-1 snapshot for a
+/// The streaming export is resumable across checkpoint/restore, under an
+/// active fault plan and with flow tracing on: because the stream is
+/// flushed before every snapshot is written, the lines a crashed run
+/// exported *below* the checkpoint instant T, concatenated with the lines
+/// the restored continuation exports, reproduce the full run's export
+/// exactly — same records, same canonical order.
+#[test]
+fn streamed_export_resumes_across_checkpoint_restore_under_faults() {
+    let sc = scenario(29);
+    let plan = FaultPlan::generate(29, sc.sim_config().duration, sc.sim_config().num_paths);
+    let (mut config, workload) = setup(29, Some(plan));
+    config.obs = ObsLevel::Full;
+    config.flow_trace = Some(FlowTrace::all(29));
+
+    // Keys in canonical stream order. Seq numbers restart when a restored
+    // run re-opens its stream, so the comparison is on `(at, shard, kind)`
+    // — which still pins the order, because `sort_canonical` is stable and
+    // per-shard push order is deterministic.
+    let keys = |text: &str| -> Vec<(u64, u16, String)> {
+        let mut recs: Vec<stream::StreamedRecord> =
+            text.lines().filter_map(stream::parse_line).collect();
+        stream::sort_canonical(&mut recs);
+        recs.iter()
+            .map(|r| {
+                (
+                    r.rec.at.as_nanos(),
+                    r.rec.shard,
+                    format!("{:?}", r.rec.kind),
+                )
+            })
+            .collect()
+    };
+
+    let (sink, buf) = StreamSink::to_shared_vec();
+    let mut full_cfg = config.clone();
+    full_cfg.stream = Some(sink);
+    let mut ckpts = Vec::new();
+    let baseline =
+        SimStats::of(&Simulation::new(full_cfg, workload.clone()).run_collecting(&mut ckpts));
+    assert!(baseline.completed > 0);
+    assert!(ckpts.len() >= 2);
+    let full = keys(&buf.contents());
+    assert!(!full.is_empty(), "the traced run must stream records");
+
+    let (at, bytes) = &ckpts[ckpts.len() / 2];
+    let t = at.as_nanos();
+    let (sink, resumed_buf) = StreamSink::to_shared_vec();
+    let mut resume_cfg = config.clone();
+    resume_cfg.stream = Some(sink);
+    let sim = Simulation::restore(resume_cfg, workload, bytes).expect("restore");
+    assert_eq!(baseline, SimStats::of(&sim.run()), "restored run diverged");
+
+    // A crash at T would leave exactly the `at < T` prefix on disk (the
+    // checkpoint path flushes before writing the snapshot); the restored
+    // run must re-export the `at >= T` tail verbatim.
+    let prefix: Vec<_> = full.iter().filter(|k| k.0 < t).cloned().collect();
+    let want_tail: Vec<_> = full.iter().filter(|k| k.0 >= t).cloned().collect();
+    let got_tail = keys(&resumed_buf.contents());
+    assert!(!prefix.is_empty() && !want_tail.is_empty());
+    assert_eq!(
+        got_tail, want_tail,
+        "restored continuation must stream exactly the full run's tail"
+    );
+    assert_eq!(prefix.len() + got_tail.len(), full.len());
+}
+
+/// Golden wire-format test: the exact bytes of a version-2 snapshot for a
 /// pinned config and workload, reduced to an FNV-1a hash. If this fails,
 /// the snapshot byte layout changed: bump `snapshot::VERSION`, update the
 /// wire-format notes in `ARCHITECTURE.md` and `crates/sim/src/snapshot.rs`,
@@ -160,11 +228,11 @@ fn restore_rejects_mismatched_config_and_garbage() {
 /// without the version bump — old snapshots would decode as garbage.
 #[test]
 fn snapshot_wire_format_is_stable() {
-    const GOLDEN_HASH: u64 = 0x5496_ffbd_9f6c_7d12;
-    const GOLDEN_LEN: usize = 5572;
+    const GOLDEN_HASH: u64 = 0x0cf2_0208_9ed7_07cd;
+    const GOLDEN_LEN: usize = 5574;
     assert_eq!(
         snapshot::VERSION,
-        1,
+        2,
         "snapshot::VERSION changed — re-pin this test's golden hash for the new format"
     );
     fn fnv1a64(bytes: &[u8]) -> u64 {

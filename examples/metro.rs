@@ -3,8 +3,16 @@
 //!
 //! ```text
 //! cargo run --release --example metro -- \
-//!     [--sites N] [--users N] [--fluid-multiplier X] [--seed S]
+//!     [--sites N] [--users N] [--fluid-multiplier X] [--seed S] \
+//!     [--flow-trace] [--stream-out PATH]
 //! ```
+//!
+//! `--flow-trace` runs one extra traced pass (every flow sampled) and
+//! prints the flow-level queue-shift summary — the share of queueing
+//! delay at the shared bottleneck, early vs. late completions.
+//! `--stream-out PATH` additionally streams the trace to `PATH` as JSONL
+//! (implies `--flow-trace`); read it back with
+//! `cargo run -p bundler-bench --bin obs_query -- PATH`.
 //!
 //! The foreground is the paper's machinery unchanged — one bundle per
 //! site, heavy-tailed request workloads — but the *background* (the metro
@@ -27,6 +35,8 @@ struct Cli {
     users: usize,
     fluid_multiplier: usize,
     seed: u64,
+    flow_trace: bool,
+    stream_out: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -35,6 +45,8 @@ fn parse_cli() -> Cli {
         users: 25,
         fluid_multiplier: 100,
         seed: 1,
+        flow_trace: false,
+        stream_out: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
@@ -51,10 +63,71 @@ fn parse_cli() -> Cli {
                 cli.fluid_multiplier = value(&mut args, "--fluid-multiplier") as usize
             }
             "--seed" => cli.seed = value(&mut args, "--seed"),
+            "--flow-trace" => cli.flow_trace = true,
+            "--stream-out" => {
+                cli.flow_trace = true;
+                cli.stream_out = Some(args.next().expect("--stream-out takes a path"));
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
     cli
+}
+
+/// The `--flow-trace` pass: the packet-tier scenario re-runs at
+/// `ObsLevel::Full` with every flow sampled, either streaming the trace
+/// to `--stream-out` (and reading it back — the full export round trip)
+/// or decomposing the in-memory trace directly.
+fn traced_pass(cli: &Cli) {
+    use bundler::obs::{decompose, stream, FlowTrace, ObsLevel};
+    let scenario = MetroScenario::builder()
+        .sites(cli.sites)
+        .users_per_site(cli.users)
+        .requests_per_site(25)
+        .bottleneck(Rate::from_mbps((16 * cli.sites) as u64))
+        .drain(Duration::from_secs(3))
+        .seed(cli.seed)
+        .obs(ObsLevel::Full)
+        .build();
+    let mut config = scenario.sim_config();
+    config.flow_trace = Some(FlowTrace::all(cli.seed));
+    if let Some(path) = &cli.stream_out {
+        config.stream =
+            Some(stream::StreamSink::to_path(std::path::Path::new(path)).expect("open stream-out"));
+    }
+    let report = bundler::sim::Simulation::new(config, scenario.workload()).run();
+    let obs = report.obs.expect("obs=full carries a report");
+    let decomp = match &cli.stream_out {
+        // Streamed: the in-memory trace stays empty by design; read the
+        // export back through the same parser obs_query uses.
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("read stream-out");
+            let mut recs: Vec<_> = text.lines().filter_map(stream::parse_line).collect();
+            stream::sort_canonical(&mut recs);
+            decompose(&recs.iter().map(|r| r.rec).collect::<Vec<_>>())
+        }
+        None => obs.flow_decompositions(),
+    };
+    assert!(!decomp.is_empty(), "sampled flows must complete");
+    let mut by_end = decomp.clone();
+    by_end.sort_by_key(|d| (d.end_at, d.flow));
+    let share = |half: &[bundler::obs::FlowDecomp]| {
+        half.iter().map(|d| d.bottleneck_share()).sum::<f64>() / half.len().max(1) as f64
+    };
+    let (early, late) = by_end.split_at(by_end.len() / 2);
+    println!(
+        "\nflow trace: {} sampled flows | bottleneck share of queueing delay: \
+         {:.1}% (early half) -> {:.1}% (late half)",
+        decomp.len(),
+        share(early) * 100.0,
+        share(late) * 100.0,
+    );
+    if let Some(path) = &cli.stream_out {
+        println!(
+            "flow trace: streamed to {path} — inspect with \
+             `cargo run -p bundler-bench --bin obs_query -- {path}`"
+        );
+    }
 }
 
 fn run_tier(cli: &Cli, tier: CrossTrafficTier, users_per_site: usize) -> (MetroReport, f64) {
@@ -125,4 +198,8 @@ fn main() {
         load_ratio >= 10.0,
         "fluid tier must carry >=10x the load per wall-second, got {load_ratio:.1}x"
     );
+
+    if cli.flow_trace {
+        traced_pass(&cli);
+    }
 }

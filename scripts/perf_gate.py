@@ -34,11 +34,17 @@ Two checks run per scenario present in both files:
    jitter ~5% run-to-run, so per-cell floors on the rest would gate on
    noise; the geomean still catches a systematic overhead). Absolute
    ev/s only compares within one machine + scale, so when the two
-   reports' scales differ the check is skipped with a note (the
-   committed-vs-committed comparison at paper scale is the
-   authoritative one). The fresh report must also carry the obs axis
+   reports' scales differ — or ``--no-abs-floor`` is given, for
+   committed reports produced on different build hosts — the check is
+   skipped with a note (the committed-vs-committed comparison at paper
+   scale on one host is the authoritative one). The fresh report must also carry the obs axis
    itself: the calendar_wheel_obs_* cells and the obs_phase_breakdown
-   object, with recording ratios > 0.
+   object, with recording ratios > 0. Reports from PR 9 on must
+   additionally carry the `obs_flow_trace` section (the streamed
+   flow-tracing axis): sampled flows and streamed records > 0, the
+   bottleneck-queue share of delay shrinking from the early to the late
+   completion half (the queue-shift acceptance criterion), and zero
+   trace-ring drops (lossless export).
 
 4. *Fluid-speedup floor* (runs with checks 1-2 whenever a report carries
    the PR 8 `metro` section): the metro scenario's fluid cross-traffic
@@ -64,7 +70,7 @@ def by_key(report):
     return {(r["scenario"], r["engine"]): r for r in report["scenarios"]}
 
 
-def obs_gate(fresh, baseline, threshold):
+def obs_gate(fresh, baseline, threshold, no_abs_floor=False):
     """Check 3 of the module docstring: obs-off overhead + axis presence."""
     failures, checks = [], 0
 
@@ -90,8 +96,48 @@ def obs_gate(fresh, baseline, threshold):
         failures.append("obs_phase_breakdown missing or fractions do not "
                         "sum to 1")
 
+    # Flow-tracing axis (PR 9): the streamed trace must exist, be
+    # lossless, and show the paper's queue shift. Older committed
+    # reports predate the section, so it is only required from PR 9 on.
+    ft = fresh.get("obs_flow_trace")
+    if ft:
+        checks += 1
+        problems = []
+        if not ft.get("sampled_flows", 0) > 0:
+            problems.append("no sampled flows")
+        if not ft.get("streamed_records", 0) > 0:
+            problems.append("no streamed records")
+        if not ft.get("late_bottleneck_share", 1.0) \
+                < ft.get("early_bottleneck_share", 0.0):
+            problems.append(
+                f"queue shift missing: late share "
+                f"{ft.get('late_bottleneck_share')} !< early "
+                f"{ft.get('early_bottleneck_share')}")
+        if ft.get("trace_ring_dropped", 1) != 0:
+            problems.append(f"trace ring dropped "
+                            f"{ft.get('trace_ring_dropped')} records")
+        if problems:
+            failures.append("obs_flow_trace: " + "; ".join(problems))
+        else:
+            print(f"[ok] flow tracing: {ft['sampled_flows']} sampled flows, "
+                  f"{ft['streamed_records']:,} streamed records, bottleneck "
+                  f"share {ft['early_bottleneck_share']:.2f} -> "
+                  f"{ft['late_bottleneck_share']:.2f} (queue shift), "
+                  f"0 ring drops")
+    elif fresh.get("pr", 0) >= 9:
+        checks += 1
+        failures.append("report from PR >= 9 is missing the obs_flow_trace "
+                        "section")
+    else:
+        print(f"note: obs_flow_trace absent (pr={fresh.get('pr')}, "
+              f"pre-flow-tracing report) — flow-trace checks skipped")
+
     # Absolute overhead vs the pre-obs baseline: same machine + scale only.
-    if fresh.get("scale") != baseline.get("scale"):
+    if no_abs_floor:
+        print("note: --no-abs-floor — obs-off overhead floor skipped (the "
+              "two reports were produced on different build hosts; only the "
+              "in-run and axis checks apply)")
+    elif fresh.get("scale") != baseline.get("scale"):
         print(f"note: scales differ (fresh={fresh.get('scale')}, "
               f"baseline={baseline.get('scale')}) — obs-off overhead floor "
               f"skipped; the committed paper-scale reports carry this gate")
@@ -173,6 +219,11 @@ def main():
     ap.add_argument("--obs-threshold", type=float, default=0.03,
                     help="allowed obs-off overhead in --obs-only mode "
                          "(default 0.03 = 3%)")
+    ap.add_argument("--no-abs-floor", action="store_true",
+                    help="in --obs-only mode, skip the absolute obs-off "
+                         "overhead floor (for committed reports produced on "
+                         "different build hosts; the axis and in-run checks "
+                         "still apply)")
     ap.add_argument("--fluid-floor", type=float, default=10.0,
                     help="minimum metro fluid-vs-packet background users "
                          "per wall-second ratio (default 10)")
@@ -184,7 +235,8 @@ def main():
         committed = json.load(f)
 
     if args.obs_only:
-        return obs_gate(fresh, committed, args.obs_threshold)
+        return obs_gate(fresh, committed, args.obs_threshold,
+                        args.no_abs_floor)
 
     fresh_runs, committed_runs = by_key(fresh), by_key(committed)
     floor = 1.0 - args.threshold

@@ -42,9 +42,18 @@
 //! late bottleneck-share shift, ring-overflow and mailbox-spill counts).
 //! `perf_gate.py --obs-only` checks the section's invariants.
 //!
+//! Since PR 10 there is a fifth axis, `--net-shards N,M,...`: `many_sites`
+//! mutated to an imbalanced 4-sub-path bottleneck runs on the sharded host
+//! (2 worker shards) with the pipelined net phase split across each net
+//! shard count, every cell digest-asserted against the `net_shards=1`
+//! cell, plus one cell with `wire_envelopes` on — every mailbox envelope
+//! routed through the versioned `NETENV` codec — so the report carries the
+//! codec's measured cost next to the partition speedup.
+//!
 //! Usage: `cargo run --release -p bundler-bench --bin bench_report -- \
 //!     [--out PATH] [--shards N,M,...] [--balance roundrobin,rate] \
-//!     [--obs off,metrics,full] [--tier packet,fluid]`
+//!     [--obs off,metrics,full] [--tier packet,fluid] \
+//!     [--net-shards N,M,...]`
 
 use std::time::Instant;
 
@@ -124,8 +133,9 @@ fn json_number(v: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut out_path = "BENCH_PR9.json".to_string();
+    let mut out_path = "BENCH_PR10.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4];
+    let mut net_shard_counts: Vec<usize> = vec![1, 2, 4];
     let mut balances: Vec<ShardBalance> = vec![ShardBalance::RoundRobin, ShardBalance::Rate];
     let mut obs_levels: Vec<ObsLevel> = vec![ObsLevel::Metrics, ObsLevel::Full];
     let mut tiers: Vec<CrossTrafficTier> = vec![CrossTrafficTier::Packet, CrossTrafficTier::Fluid];
@@ -152,6 +162,19 @@ fn main() {
                     // the denominator of the ..._vs_1 speedups).
                     shard_counts.retain(|&s| s != 1);
                     shard_counts.insert(0, 1);
+                }
+                "--net-shards" => {
+                    net_shard_counts = args
+                        .next()
+                        .expect("--net-shards needs a comma-separated list")
+                        .split(',')
+                        .map(|s| s.parse().expect("--net-shards entries must be integers"))
+                        .collect();
+                    // One net shard is the dedicated-net-thread baseline
+                    // the split counts are asserted bit-identical against
+                    // (and the denominator of the ..._vs_1 speedups).
+                    net_shard_counts.retain(|&s| s != 1);
+                    net_shard_counts.insert(0, 1);
                 }
                 "--balance" => {
                     balances = args
@@ -207,8 +230,9 @@ fn main() {
                 }
                 other => panic!(
                     "unknown argument {other} (supported: --out PATH, --shards N,M, \
-                     --balance roundrobin,rate, --obs off,metrics,full, \
-                     --tier packet,fluid, --seed-wall-secs SECS)"
+                     --net-shards N,M, --balance roundrobin,rate, \
+                     --obs off,metrics,full, --tier packet,fluid, \
+                     --seed-wall-secs SECS)"
                 ),
             }
         }
@@ -418,6 +442,106 @@ fn main() {
         }
     }
     speedups.extend(shard_speedups);
+
+    // Net-shard sweep (PR 10): many_sites mutated to an imbalanced
+    // 4-sub-path bottleneck — the configuration whose net phase actually
+    // has parallel work — on the sharded host at 2 worker shards, the
+    // pipelined net phase split across each `--net-shards` count. The
+    // partition is by path (`gid % net_shards`), so every count must
+    // reproduce the `net_shards=1` digest bit-for-bit before its
+    // throughput is recorded. The closing cell re-runs the largest count
+    // with `wire_envelopes` on — every mailbox envelope routed through
+    // the versioned NETENV codec — and reports the codec's in-run cost
+    // as a ratio against the same cell with the codec off. Rounds are
+    // round-major, as above.
+    {
+        let mut config = many.sim_config();
+        config.num_paths = 4;
+        config.path_delay_spread = Duration::from_millis(5);
+        config.shards = 2;
+        let workload = many.workload();
+        let wire_count = *net_shard_counts.iter().max().expect("at least one count");
+        let cells: Vec<(usize, bool)> = net_shard_counts
+            .iter()
+            .map(|&k| (k, false))
+            .chain(std::iter::once((wire_count, true)))
+            .collect();
+        let mut best: Vec<(f64, Option<SimReport>)> =
+            cells.iter().map(|_| (f64::MAX, None)).collect();
+        for _ in 0..rounds {
+            for (i, &(net_shards, wire)) in cells.iter().enumerate() {
+                let mut cfg = config.clone();
+                cfg.net_shards = net_shards;
+                cfg.wire_envelopes = wire;
+                let sim = ShardedSimulation::new(cfg, workload.clone());
+                let start = Instant::now();
+                let report = sim.run();
+                let wall = start.elapsed().as_secs_f64().max(1e-9);
+                if wall < best[i].0 {
+                    best[i] = (wall, Some(report));
+                }
+            }
+        }
+        let mut baseline: Option<SimStats> = None;
+        let mut cell_ev_s: Vec<((usize, bool), f64)> = Vec::new();
+        for (&(net_shards, wire), (best_wall, report)) in cells.iter().zip(best) {
+            let report = report.expect("at least one round");
+            let stats = SimStats::of(&report);
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(want) => assert_eq!(
+                    want, &stats,
+                    "many_sites multipath net_shards={net_shards} wire={wire} \
+                     diverged from the net_shards=1 cell"
+                ),
+            }
+            let ev_s = report.events_processed as f64 / best_wall;
+            cell_ev_s.push(((net_shards, wire), ev_s));
+            println!(
+                "      many_sites: paths=4 net_shards={net_shards}{} {ev_s:>10.0} ev/s \
+                 ({} events, wall {:.0} ms)",
+                if wire { " wire" } else { "" },
+                report.events_processed,
+                best_wall * 1e3,
+            );
+            runs.push(RunStats {
+                scenario: "many_sites_multipath",
+                engine: if wire {
+                    format!("net_sharded_{net_shards}_wire")
+                } else {
+                    format!("net_sharded_{net_shards}")
+                },
+                wall_ms: best_wall * 1e3,
+                events: report.events_processed,
+                packets: report.packets_created,
+                events_per_sec: ev_s,
+                packets_per_sec: report.packets_created as f64 / best_wall,
+            });
+        }
+        let base_ev_s = cell_ev_s
+            .iter()
+            .find(|&&((k, w), _)| k == 1 && !w)
+            .map(|&(_, e)| e)
+            .expect("net_shards=1 baseline cell");
+        for &((net_shards, wire), ev_s) in &cell_ev_s {
+            if wire || net_shards == 1 {
+                continue;
+            }
+            speedups.push((
+                format!("many_sites_mp_net_shards_{net_shards}_vs_1"),
+                ev_s / base_ev_s,
+            ));
+        }
+        if let (Some(&(_, wire_ev_s)), Some(&(_, plain_ev_s))) = (
+            cell_ev_s.iter().find(|&&((k, w), _)| k == wire_count && w),
+            cell_ev_s.iter().find(|&&((k, w), _)| k == wire_count && !w),
+        ) {
+            speedups.push((
+                "many_sites_mp_wire_envelopes_vs_off".to_string(),
+                wire_ev_s / plain_ev_s,
+            ));
+        }
+    }
 
     // Balance sweep: the skewed hot_bundle scenario on every
     // (shards, balance) pair. This is the workload the rate-aware
@@ -721,7 +845,7 @@ fn main() {
 
     // Hand-rolled JSON: the vendored serde stand-in has no real serializer.
     let mut json = String::from("{\n");
-    json += "  \"pr\": 9,\n";
+    json += "  \"pr\": 10,\n";
     json += &format!("  \"host_parallelism\": {host_parallelism},\n");
     json += &format!(
         "  \"scale\": \"{}\",\n",
@@ -730,7 +854,7 @@ fn main() {
             Scale::Paper => "paper",
         }
     );
-    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler. metro is the PR 8 cross-traffic tier axis: the same metro foreground with its background population once as packet-level TCP flows and once, 100x larger, as fluid rate aggregates — metro_fluid_users_per_wall_sec_vs_packet is the in-run background-users-per-wall-second ratio the fluid tier buys, floored at 10x by perf_gate.py. obs_flow_trace is the PR 9 flow-tracing cell: a traced metro run streams its trace (every flow sampled) and the obs_query reduction reports the sampled population and the early->late bottleneck-share shift — the flow-level queue-shift story.\",\n";
+    json += "  \"metric\": \"simulator throughput (events/sec). calendar_wheel vs binary_heap are the two engines of this binary, A/B'd in the same run over byte-identical simulations. sharded_N is the bundler-shard multi-threaded host on N worker shards (N=1 delegates to the single-threaded engine) with the net phase pipelined behind the next worker window; sharded_N_{roundrobin,rate} on hot_bundle is the PR 5 balance axis (one bundle carries ~50% of flows; rate re-packs bundles across shards by measured event rate at window barriers). Every cell's SimStats digest is asserted bit-identical before throughput is recorded, and speedup scales with physical cores (host_parallelism records what this machine had). calendar_wheel_obs_{metrics,full} is the PR 6 observability axis: the same many_sites simulation with recording on, fingerprint-asserted against the obs-off baseline; obs_phase_breakdown is the sharded host's per-window busy/stall/net wall-time split from the PR 6 phase profiler. metro is the PR 8 cross-traffic tier axis: the same metro foreground with its background population once as packet-level TCP flows and once, 100x larger, as fluid rate aggregates — metro_fluid_users_per_wall_sec_vs_packet is the in-run background-users-per-wall-second ratio the fluid tier buys, floored at 10x by perf_gate.py. obs_flow_trace is the PR 9 flow-tracing cell: a traced metro run streams its trace (every flow sampled) and the obs_query reduction reports the sampled population and the early->late bottleneck-share shift — the flow-level queue-shift story. net_sharded_K on many_sites_multipath is the PR 10 net-shard axis: many_sites with an imbalanced 4-sub-path bottleneck on the sharded host (2 worker shards), the pipelined net phase partitioned by path across K dedicated net threads (K=1 is the single-net-thread baseline every count is digest-asserted against); net_sharded_K_wire re-runs the largest K with every mailbox envelope routed through the versioned NETENV wire codec, and many_sites_mp_wire_envelopes_vs_off is the codec's measured in-run cost.\",\n";
     json += &phase_json;
     json += &flow_trace_json;
     json += "  \"metro\": [\n";

@@ -276,6 +276,84 @@ mod tests {
         assert_eq!(jains_fairness(&[0.0]), None);
     }
 
+    /// Malformed lines — truncated JSON, missing fields, unknown record
+    /// kinds, non-numeric values, raw garbage, blank lines — are skipped
+    /// exactly like the stream contract says, while every well-formed
+    /// line around them is still reduced. A partially synced or
+    /// crash-truncated export must never abort the analysis.
+    #[test]
+    fn malformed_lines_are_skipped_around_valid_ones() {
+        let good = [
+            rec(
+                0,
+                0,
+                TraceKind::FlowAdmit {
+                    flow: 1,
+                    bundle: 0,
+                    size_bytes: 5_000,
+                },
+            ),
+            rec(
+                1_000_000,
+                0,
+                TraceKind::FlowEnd {
+                    flow: 1,
+                    fct_ns: 1_000_000,
+                    sendbox_ns: 6000,
+                    slowdown_milli: 1100,
+                },
+            ),
+        ];
+        let full = good.join("\n");
+        assert_eq!(load_records(&full).len(), 2, "control: both lines parse");
+
+        // A crash mid-write truncates the last line at an arbitrary byte;
+        // every prefix of a valid line must parse or be skipped, never
+        // panic — and the intact line before it always survives.
+        let last = &good[1];
+        for cut in 0..last.len() {
+            let text = format!("{}\n{}", good[0], &last[..cut]);
+            let n = load_records(&text).len();
+            assert!(
+                (1..=2).contains(&n),
+                "truncation at byte {cut} lost the intact line ({n} records)"
+            );
+        }
+
+        let noisy = [
+            "",                                                                    // blank
+            "not json at all",                                                     // raw garbage
+            "{\"at\":12,\"shard\":0,\"seq\":1}",                                   // missing kind
+            "{\"at\":12,\"shard\":0,\"seq\":1,\"k\":\"?\"}",                       // unknown kind
+            "{\"at\":\"soon\",\"shard\":0,\"seq\":1,\"k\":\"drop\",\"bundle\":0}", // non-numeric at
+            "{\"k\":\"drop\",\"bundle\":0}",                                       // missing header
+            "\u{0}\u{1}\u{2}",                                                     // binary noise
+            good[0].as_str(),
+            "{\"meta\":\"metrics\",\"at\":0,\"shard\":0,\"c\":[0]}", // meta: skipped by contract
+            good[1].as_str(),
+        ]
+        .join("\n");
+        let a = analyze(&noisy);
+        assert_eq!(a.records.len(), 2, "only the two well-formed records");
+        assert_eq!(a.decomp.len(), 1, "the flow still decomposes");
+        assert_eq!(a.bundles.len(), 1);
+        assert_eq!(a.bundles[0].bytes, 5_000);
+    }
+
+    /// A stream with no parseable line reduces to the empty analysis —
+    /// every summary degrades to its empty form instead of erroring.
+    #[test]
+    fn analyze_of_pure_garbage_is_empty() {
+        let a = analyze("}{invalid\n\n\u{7f}\u{0}]\n{\"at\":}\n");
+        assert!(a.records.is_empty());
+        assert!(a.decomp.is_empty());
+        assert!(a.cdf.is_empty(), "no flows, no CDF points");
+        assert_eq!(a.shift, None, "fewer than two completions");
+        assert!(a.bundles.is_empty());
+        assert_eq!(a.fairness, None);
+        assert!(a.health.is_empty());
+    }
+
     #[test]
     fn analyze_reduces_a_tiny_stream() {
         let lines = [

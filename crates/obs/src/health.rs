@@ -156,6 +156,90 @@ mod tests {
         assert!(out.is_empty());
     }
 
+    /// Hysteresis at the exact threshold: an *equal* backlog is not
+    /// growth (the comparison is strict), so a plateau right at the
+    /// streak boundary resets the monitor instead of firing it.
+    #[test]
+    fn equal_backlog_resets_the_streak_at_the_threshold() {
+        let mut st = HealthState::default();
+        let mut out = Vec::new();
+        // Prime, then grow QUEUE_GROWTH_STREAK − 1 times.
+        st.check_bundle(10, 1, 0, &mut out);
+        for i in 0..QUEUE_GROWTH_STREAK as u64 - 1 {
+            st.check_bundle(20 + i * 10, 2 + i, 0, &mut out);
+        }
+        assert!(out.is_empty(), "{out:?}");
+        // A plateau on what would have been the firing sample: no event,
+        // streak cleared.
+        let plateau = 20 + (QUEUE_GROWTH_STREAK as u64 - 2) * 10;
+        st.check_bundle(plateau, 9, 0, &mut out);
+        assert!(out.is_empty(), "equal backlog must not extend the streak");
+        // It now takes a full fresh streak to fire again.
+        for i in 0..QUEUE_GROWTH_STREAK as u64 - 1 {
+            st.check_bundle(plateau + (i + 1) * 10, 10 + i, 0, &mut out);
+            assert!(out.is_empty(), "sample {i} fired early: {out:?}");
+        }
+        st.check_bundle(plateau + 100, 20, 0, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, HealthKind::QueueGrowth);
+    }
+
+    /// Under monotone growth the monitor fires exactly every
+    /// [`QUEUE_GROWTH_STREAK`] samples — the post-fire reset is itself a
+    /// hysteresis band, not a one-off.
+    #[test]
+    fn monotone_growth_fires_once_per_streak() {
+        let mut st = HealthState::default();
+        let mut out = Vec::new();
+        let samples = 1 + 3 * QUEUE_GROWTH_STREAK as u64;
+        for i in 0..samples {
+            st.check_bundle(100 + i * 50, i + 1, 0, &mut out);
+        }
+        let fired = out
+            .iter()
+            .filter(|(k, _)| *k == HealthKind::QueueGrowth)
+            .count();
+        assert_eq!(fired, 3, "one event per full streak, got {out:?}");
+    }
+
+    /// The flap monitor's threshold is inclusive: exactly
+    /// [`MODE_FLAP_THRESHOLD`] changes in an interval fires, one fewer
+    /// stays silent, and a counter that runs backwards (impossible for
+    /// the cumulative source, but the monitor must not underflow) is
+    /// treated as zero flaps.
+    #[test]
+    fn mode_flap_threshold_is_exact_and_saturating() {
+        let mut st = HealthState::default();
+        let mut out = Vec::new();
+        st.check_bundle(0, 1, 10, &mut out); // prime
+        st.check_bundle(0, 2, 10 + MODE_FLAP_THRESHOLD - 1, &mut out);
+        assert!(out.is_empty(), "below threshold must not fire: {out:?}");
+        st.check_bundle(0, 3, 10 + 2 * MODE_FLAP_THRESHOLD - 1, &mut out);
+        assert_eq!(
+            out,
+            vec![(HealthKind::ModeFlapping, MODE_FLAP_THRESHOLD)],
+            "exactly the threshold must fire with the flap count"
+        );
+        out.clear();
+        st.check_bundle(0, 4, 0, &mut out); // counter ran backwards
+        assert!(out.is_empty(), "saturating delta must read as 0 flaps");
+    }
+
+    /// Starvation needs *both* edges exactly: a single released packet
+    /// (delta = 1) or a backlog of exactly zero keeps the monitor quiet.
+    #[test]
+    fn starvation_edges_are_exact() {
+        let mut st = HealthState::default();
+        let mut out = Vec::new();
+        st.check_bundle(50, 7, 0, &mut out); // prime
+        st.check_bundle(50, 8, 0, &mut out); // one packet released
+        assert!(out.is_empty(), "any release clears starvation: {out:?}");
+        st.check_bundle(0, 8, 0, &mut out); // no release, but empty queue
+        assert!(out.is_empty(), "an empty queue cannot starve: {out:?}");
+        st.check_bundle(1, 8, 0, &mut out); // one byte held, none released
+        assert_eq!(out, vec![(HealthKind::StarvedBundle, 1)]);
+    }
+
     #[test]
     fn starvation_and_flapping_fire_from_deltas() {
         let mut st = HealthState::default();

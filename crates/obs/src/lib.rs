@@ -104,6 +104,19 @@ impl std::str::FromStr for ObsLevel {
 /// (the bottleneck paths live outside any worker shard).
 pub const NET_SHARD: u16 = u16::MAX;
 
+/// The shard id for net shard `k` when the bottleneck itself is sharded:
+/// ids count *down* from [`NET_SHARD`], so shard 0 — the solo net core —
+/// keeps exactly the historical id and worker shard ids (counting up from
+/// zero) can never collide with net ones.
+pub fn net_shard_id(k: usize) -> u16 {
+    NET_SHARD - k as u16
+}
+
+/// Width of the net-side shard-id range below [`NET_SHARD`]. Any id at or
+/// above `NET_SHARD - MAX_NET_OBS_SHARDS` is a net shard; consumers (e.g.
+/// the Perfetto exporter) use this to tell net records from worker records.
+pub const MAX_NET_OBS_SHARDS: u16 = 4096;
+
 /// Nanoseconds of wall time since the first observability stamp in this
 /// process. Monotonic; used only to annotate trace records and phase
 /// profiles — never read back by simulation code.

@@ -23,13 +23,30 @@ use std::fmt::Write as _;
 use crate::trace::{TraceKind, TraceRecord};
 use crate::{ObsReport, NET_SHARD};
 
-/// pid of the net/driver process in the exported trace.
+/// The net-shard index encoded in a record's shard id, if it is a net-side
+/// id (net shard `k` records as `NET_SHARD - k`; worker ids count up from
+/// zero, far below the net range).
+fn net_index(shard: u16) -> Option<u16> {
+    if shard >= NET_SHARD - crate::MAX_NET_OBS_SHARDS {
+        Some(NET_SHARD - shard)
+    } else {
+        None
+    }
+}
+
+/// pid of the net/driver process in the exported trace. Every net shard
+/// shares pid 0 (one "net/driver" process) and separates as tids.
 fn pid_of(shard: u16) -> u32 {
-    if shard == NET_SHARD {
+    if net_index(shard).is_some() {
         0
     } else {
         shard as u32 + 1
     }
+}
+
+/// tid within a process: net shard `k` maps to tid `k`, workers to tid 0.
+fn tid_of(shard: u16) -> u32 {
+    net_index(shard).unwrap_or(0) as u32
 }
 
 /// Sim-time nanoseconds → trace-event microseconds.
@@ -59,20 +76,34 @@ pub fn to_chrome_trace(report: &ObsReport) -> String {
         shards.push(NET_SHARD);
     }
     for &shard in &shards {
-        let name = if shard == NET_SHARD {
-            "net/driver".to_string()
-        } else {
-            format!("shard {shard}")
-        };
-        push(
-            &mut out,
-            &mut first,
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\
-                 \"args\":{{\"name\":\"{name}\"}}}}",
-                pid_of(shard)
+        match net_index(shard) {
+            // Net shard 0 names the shared pid-0 process; higher net
+            // shards share that process and name their tid instead.
+            Some(0) | None => {
+                let name = if shard == NET_SHARD {
+                    "net/driver".to_string()
+                } else {
+                    format!("shard {shard}")
+                };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\
+                         \"args\":{{\"name\":\"{name}\"}}}}",
+                        pid_of(shard)
+                    ),
+                );
+            }
+            Some(k) => push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"net-{k}\"}}}}"
+                ),
             ),
-        );
+        }
     }
 
     for rec in &report.trace {
@@ -134,8 +165,9 @@ pub fn to_chrome_trace(report: &ObsReport) -> String {
                 path,
                 rate_bps,
             } => format!(
-                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fluid agg{agg} Mbps\",\
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":{},\"name\":\"fluid agg{agg} Mbps\",\
                  \"ts\":{ts:.3},\"args\":{{\"mbps\":{:.3},\"path\":{path}}}}}",
+                tid_of(rec.shard),
                 rate_bps as f64 / 1e6
             ),
             TraceKind::Drop { bundle } => format!(
@@ -162,8 +194,9 @@ pub fn to_chrome_trace(report: &ObsReport) -> String {
                 backlog_bytes,
                 rate_bps,
             } => format!(
-                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fluid p{path} backlog KB\",\
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":{},\"name\":\"fluid p{path} backlog KB\",\
                  \"ts\":{ts:.3},\"args\":{{\"kb\":{:.3},\"drain_mbps\":{:.3}}}}}",
+                tid_of(rec.shard),
                 backlog_bytes as f64 / 1e3,
                 rate_bps as f64 / 1e6
             ),
@@ -197,9 +230,10 @@ pub fn to_chrome_trace(report: &ObsReport) -> String {
                 wall_dur_ns,
                 events,
             } => format!(
-                "{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"net phase\",\
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"net phase\",\
                  \"ts\":{ts:.3},\"dur\":{:.3},\"args\":{{\"windex\":{windex},\
                  \"wall_dur_ns\":{wall_dur_ns},\"events\":{events}}}}}",
+                tid_of(rec.shard),
                 width_ns as f64 / 1e3
             ),
         };

@@ -38,11 +38,14 @@ impl PhaseProfile {
     }
 }
 
-/// One net phase execution on the driver thread.
+/// One net phase execution (on the driver thread, or on a dedicated net
+/// thread when the bottleneck is sharded).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetWindow {
     /// Window index the phase served.
     pub windex: u64,
+    /// Which net shard ran the phase (0 when the bottleneck is unsharded).
+    pub net_shard: u16,
     /// Wall nanoseconds the phase took.
     pub wall_ns: u64,
     /// Net events handled.
@@ -120,6 +123,7 @@ mod tests {
         let net = NetPhaseProfile {
             windows: vec![NetWindow {
                 windex: 0,
+                net_shard: 0,
                 wall_ns: 50,
                 events: 2,
             }],

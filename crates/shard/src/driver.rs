@@ -2,8 +2,8 @@
 //!
 //! See the crate docs for the synchronization argument. The run is a
 //! sequence of *windows* `[T, T+Δ)` delimited by barriers; within each,
-//! every worker drains its inbound mailbox (deliveries produced in earlier
-//! windows, all timestamped ≥ T) and handles its local events with
+//! every worker drains its inbound mailboxes (deliveries produced in
+//! earlier windows, all timestamped ≥ T) and handles its local events with
 //! `t < T+Δ`, moving packets released toward the bottleneck into
 //! `(timestamp, key, packet)` envelopes. The net phase for a window drains
 //! every worker's outbound envelopes into the net event queue — whose
@@ -15,14 +15,34 @@
 //!
 //! * **Pipelined net phase.** With Δ = ½ lookahead, every delivery the net
 //!   phase of window W produces lands ≥ 2 windows ahead (`t + lookahead ≥
-//!   T_W + 2Δ`), so the driver runs net phase W *concurrently* with worker
-//!   window W+1 — the sequential bottleneck fraction hides behind the
-//!   workers instead of idling them at the barrier. Worker→net envelopes
-//!   double-buffer by window parity so the net phase only ever drains a
-//!   quiesced buffer; net→worker deliveries go through a single mailbox
-//!   whose producer (driver) and consumer (worker) are fixed threads, and
-//!   are published strictly before the barrier that opens the window that
-//!   could need them.
+//!   T_W + 2Δ`), so the net phase of window W runs *concurrently* with
+//!   worker window W+1 — the sequential bottleneck fraction hides behind
+//!   the workers instead of idling them at the barrier. Worker→net
+//!   envelopes double-buffer by window parity so a net phase only ever
+//!   drains a quiesced buffer; net→worker deliveries go through mailboxes
+//!   whose producer and consumer are fixed threads, and are published
+//!   strictly before the barrier that opens the window that could need
+//!   them.
+//! * **Net sharding.** `SimulationConfig::net_shards > 1` splits the
+//!   bottleneck across dedicated net threads: net shard k owns the paths
+//!   `{gid : gid mod net_shards == k}`, with its own event queue, arena
+//!   and per-path key streams ([`NetCore::with_partition`]). Workers route
+//!   each outbound packet with a stateless copy of the net side's load
+//!   balancer (`pick(pkt) mod net_shards`), so a packet's path — and
+//!   therefore its owning net shard — is a pure function of the packet,
+//!   identical on both sides of the mailbox. Paths never interact with
+//!   each other (per-path fault cursors, per-path fluid state, per-path
+//!   sampling), so disjoint queues preserve the canonical order and every
+//!   `(shards, net_shards)` combination is bit-identical — proven by the
+//!   differential matrix in `tests/net_shards.rs`. Net threads attend the
+//!   same barriers as workers; each runs its phase for window W during
+//!   worker window W+1. Net sharding requires the pipelined regime: with
+//!   a sub-2 ns lookahead the bottleneck falls back to one driver-inline
+//!   core.
+//! * **Wire-format envelopes.** With `SimulationConfig::wire_envelopes`
+//!   on, every envelope is encoded→decoded through the versioned `NETENV`
+//!   frame ([`crate::wire`]) at its sending edge, exercising the portable
+//!   byte format in live traffic without changing any result.
 //! * **Migration phases.** When the balancer re-packs bundles
 //!   ([`crate::balance`]), the window opens with an extra barrier: owners
 //!   first drain their inboxes (so in-flight deliveries for a migrating
@@ -33,27 +53,30 @@
 //!   (property-tested in `tests/equivalence.rs`).
 //! * **Checkpoint phases.** With `SimulationConfig::checkpoint_every` set
 //!   and a collecting run, the first window boundary at or past each
-//!   interval multiple opens with a checkpoint rendezvous: the driver
-//!   first runs any pending pipelined net phase (so every net event below
-//!   the boundary `T` is processed and its deliveries published), then
-//!   after the window-start barrier (and any migration phase) each worker
-//!   drains its inbox and serializes its partition — residue, the direct
-//!   slice on shard 0, one [`BundleParcel`] per owned bundle. After one
-//!   more barrier the driver assembles the parts, **in canonical order,
-//!   independent of the partitioning**, into the same versioned wire
-//!   format the single-threaded host writes (`bundler_sim::snapshot`) —
-//!   byte-identical to the solo snapshot at the same `T`, restorable into
-//!   any shard count.
+//!   interval multiple opens with a checkpoint rendezvous: pending
+//!   pipelined net phases run early (so every net event below the boundary
+//!   `T` is processed and its deliveries published — inline before the
+//!   window-start barrier, on net threads behind one extra barrier), then
+//!   each worker drains its inboxes and serializes its partition —
+//!   residue, the direct slice on shard 0, one [`BundleParcel`] per owned
+//!   bundle — while each net core serializes one section per owned path.
+//!   After one more barrier the driver assembles the parts, **in canonical
+//!   order, independent of the partitioning** (bundles ascending, then
+//!   path sections ascending by global path id), into the same versioned
+//!   wire format the single-threaded host writes
+//!   (`bundler_sim::snapshot`) — byte-identical to the solo snapshot at
+//!   the same `T`, restorable into any worker or net shard count.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 
 use bundler_core::FnvHashMap;
 use bundler_obs::{wall_now_ns, HealthKind, NetWindow, TraceKind, WindowPhase};
 use bundler_sim::event::{Event, EventKey, EventQueue};
+use bundler_sim::path::LoadBalancer;
 use bundler_sim::runtime::{
-    assemble_report, bundle_lp, origin_lp, BundleParcel, Delivery, NetCore, Partition, ToNet,
-    WorkerCore, WorkerResidue, LP_BUNDLE0,
+    assemble_report, balancer_for, bundle_lp, origin_lp, BundleParcel, Delivery, NetCore,
+    Partition, ToNet, WorkerCore, WorkerResidue, LP_BUNDLE0,
 };
 use bundler_sim::sim::SimulationConfig;
 use bundler_sim::snapshot::{self, SnapshotError};
@@ -65,19 +88,24 @@ use serde::binary::{Decode, Encode, Reader};
 use crate::balance::{Balancer, Move};
 use crate::error::{self, ShardError};
 use crate::mailbox::{self, Receiver, Sender};
+use crate::wire::{self, WireDir};
 
 /// Ring capacity per mailbox (messages); bursts beyond this spill to the
 /// mailbox's lossless slow path.
 const MAILBOX_CAPACITY: usize = 4096;
 
 /// A cross-shard message: a packet in flight between a worker shard and
-/// the net shard, stamped with its arrival time and canonical key.
+/// a net shard, stamped with its arrival time and canonical key.
 #[derive(Debug)]
 struct Envelope {
     at: Nanos,
     key: EventKey,
     pkt: Packet,
 }
+
+/// `(path global id, serialized section)` — one bottleneck path's slice
+/// of a checkpoint, as deposited by the net thread that owns the path.
+type PathSection = (usize, Vec<u8>);
 
 /// One worker's serialized partition of a whole-simulation snapshot,
 /// deposited at the checkpoint rendezvous and assembled by the driver.
@@ -92,6 +120,16 @@ struct CheckpointPart {
     bundles: Vec<(usize, Vec<u8>)>,
 }
 
+/// Delivery routing state shared by the driver (writer, at window ends)
+/// and the net side (reader, during net phases). The window barriers
+/// separate writes from reads; the atomics make the sharing sound.
+struct Routing {
+    /// A flow's LP is static: its workload origin.
+    lp_of_flow: FnvHashMap<FlowId, u16>,
+    /// The LP's owning worker follows the balancer's assignment.
+    worker_of_lp: Vec<AtomicUsize>,
+}
+
 /// Locks a driver mutex, recovering the data from a poisoned lock: a
 /// worker that panicked mid-phase is already flagged via
 /// `Control::panicked` and its diagnostic slot, so the shared structures
@@ -101,8 +139,9 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 struct Control {
-    /// Workers + driver rendezvous here twice per window (plus one more on
-    /// migration windows and one more on checkpoint windows).
+    /// Workers + net threads + driver rendezvous here twice per window
+    /// (plus one more on migration windows, and one or two more on
+    /// checkpoint windows).
     barrier: Barrier,
     /// End of the current window (exclusive), as nanoseconds.
     window_end: AtomicU64,
@@ -122,28 +161,32 @@ struct Control {
     /// The simulated instant the checkpoint is stamped with (the window
     /// start), as nanoseconds.
     checkpoint_at: AtomicU64,
-    /// Checkpoint parts, one slot per shard; deposited before the
+    /// Checkpoint parts, one slot per worker shard; deposited before the
     /// checkpoint barrier, assembled by the driver after it.
     parts: Mutex<Vec<Option<CheckpointPart>>>,
+    /// Per-path checkpoint sections, one slot per net thread; deposited
+    /// before the net-flush barrier on checkpoint windows.
+    net_parts: Mutex<Vec<Option<Vec<PathSection>>>>,
     /// Cumulative handled-event count per bundle, stored by the bundle's
     /// current owner at each window end and read by the driver after the
     /// end barrier — the balancer's load signal.
     counts: Vec<AtomicU64>,
     /// Set before the final barrier release.
     stop: AtomicBool,
-    /// Set by a worker whose window processing panicked. `std::sync::
-    /// Barrier` has no poisoning, so a panicking worker must keep
-    /// attending barriers (idle) or every other thread would block
+    /// Set by a worker or net thread whose window processing panicked.
+    /// `std::sync::Barrier` has no poisoning, so a panicking thread must
+    /// keep attending barriers (idle) or every other thread would block
     /// forever; the driver checks this flag each window, shuts the run
     /// down, and surfaces the diagnostic below.
     panicked: AtomicBool,
-    /// The first panicking worker's diagnostic: which shard, which
-    /// window, the last event it peeked, the panic message.
+    /// The first panicking thread's diagnostic: which shard, which
+    /// window, the last event it peeked, the panic message. Net thread k
+    /// reports as shard `workers + k`.
     diag: Mutex<Option<ShardError>>,
 }
 
 impl Control {
-    /// Records a worker failure: flags the run and fills the diagnostic
+    /// Records a thread failure: flags the run and fills the diagnostic
     /// slot (first failure wins).
     fn note_failure(
         &self,
@@ -171,9 +214,11 @@ impl Control {
 /// the single-threaded [`Simulation`] (today's engine, unchanged); `k > 1`
 /// partitions bundles across `k` worker threads around the shared
 /// bottleneck, statically or adaptively per
-/// [`SimulationConfig::balance`](bundler_sim::sim::ShardBalance). Results
-/// are bit-identical for every shard count and balance mode — see the
-/// crate docs and `tests/equivalence.rs`.
+/// [`SimulationConfig::balance`](bundler_sim::sim::ShardBalance).
+/// `SimulationConfig::net_shards` additionally splits the bottleneck
+/// itself across dedicated net threads by path. Results are bit-identical
+/// for every worker and net shard count and balance mode — see the crate
+/// docs, `tests/equivalence.rs` and `tests/net_shards.rs`.
 pub struct ShardedSimulation {
     config: SimulationConfig,
     workload: Vec<FlowSpec>,
@@ -194,9 +239,9 @@ impl ShardedSimulation {
     /// Builds a sharded simulation that resumes from a snapshot taken at
     /// some earlier instant of a run with an equivalent config and the
     /// same workload — by *any* host: snapshots are partition-invariant,
-    /// so a solo snapshot restores into any shard count and vice versa.
-    /// The header and fingerprint are validated here; payload corruption
-    /// surfaces from the run entry points.
+    /// so a solo snapshot restores into any worker or net shard count and
+    /// vice versa. The header and fingerprint are validated here; payload
+    /// corruption surfaces from the run entry points.
     pub fn restore(
         config: SimulationConfig,
         workload: Vec<FlowSpec>,
@@ -288,6 +333,151 @@ impl ShardedSimulation {
     }
 }
 
+/// One net core plus everything its phases touch: its queue, arena,
+/// inbound receivers (per worker, per parity), outbound senders (per
+/// worker) and scratch buffers. Owned by the driver when the bottleneck
+/// is unsharded, by a dedicated net thread otherwise.
+struct NetSide {
+    net: NetCore,
+    queue: EventQueue,
+    arena: PacketArena,
+    /// Worker→net receivers, indexed by worker, double-buffered by parity.
+    rx: Vec<[Receiver<Envelope>; 2]>,
+    /// Net→worker senders, indexed by worker.
+    to_worker: Vec<Sender<Envelope>>,
+    /// Per-window phase timings for the report's observability section.
+    windows: Vec<NetWindow>,
+    inbound: Vec<Envelope>,
+    deliveries: Vec<Delivery>,
+    wire_buf: Vec<u8>,
+}
+
+impl NetSide {
+    fn new(net: NetCore, config: &SimulationConfig) -> Self {
+        NetSide {
+            net,
+            queue: EventQueue::with_engine(config.event_engine),
+            arena: PacketArena::with_capacity(1024),
+            rx: Vec::new(),
+            to_worker: Vec::new(),
+            windows: Vec::new(),
+            inbound: Vec::with_capacity(256),
+            deliveries: Vec::with_capacity(64),
+            wire_buf: Vec::new(),
+        }
+    }
+}
+
+/// The net phase for one completed worker window: merge that window's
+/// envelopes (by parity), handle net events below its end, route
+/// deliveries to the current owner of each flow's LP.
+fn net_phase(
+    side: &mut NetSide,
+    windex: u64,
+    window_end: Nanos,
+    window: Duration,
+    pipeline: bool,
+    routing: &Routing,
+    wire_on: bool,
+) {
+    let timing = side.net.obs.metrics_on();
+    let phase_start = if timing { wall_now_ns() } else { 0 };
+    let events_before = side.net.events_processed();
+    let parity = (windex % 2) as usize;
+    for rx in side.rx.iter_mut() {
+        rx[parity].drain_into(&mut side.inbound);
+        for m in side.inbound.drain(..) {
+            debug_assert!(m.at < window_end, "envelope beyond its window");
+            let pkt = side.arena.insert(m.pkt);
+            side.queue
+                .schedule(m.at, m.key, Event::ArriveBottleneck { pkt });
+        }
+    }
+    while let Some((t, _)) = side.queue.peek() {
+        if t >= window_end {
+            break;
+        }
+        let (now, event) = side.queue.pop().expect("peeked");
+        side.net.handle(
+            event,
+            now,
+            &mut side.arena,
+            &mut side.queue,
+            &mut side.deliveries,
+        );
+        for d in side.deliveries.drain(..) {
+            // Conservative lookahead: sequential windows need one window
+            // of slack, pipelined windows two (the delivery must clear
+            // the worker window running concurrently with this net
+            // phase).
+            debug_assert!(
+                d.at >= window_end + if pipeline { window } else { Duration::ZERO },
+                "delivery inside a window already running"
+            );
+            let flow = side.arena[d.pkt].flow;
+            let lp = *routing.lp_of_flow.get(&flow).expect("flow has an origin");
+            let worker = routing.worker_of_lp[lp as usize].load(Ordering::Acquire);
+            let mut pkt = side.arena.remove(d.pkt);
+            if wire_on {
+                pkt = wire::roundtrip(WireDir::Delivery, d.at, d.key, pkt, &mut side.wire_buf);
+            }
+            side.to_worker[worker].send(Envelope {
+                at: d.at,
+                key: d.key,
+                pkt,
+            });
+        }
+    }
+    if timing {
+        let wall_dur_ns = wall_now_ns().saturating_sub(phase_start);
+        let events = side.net.events_processed() - events_before;
+        // The served window's start (exact except for a truncated final
+        // window, where the nominal width overstates it).
+        let start = Nanos(window_end.as_nanos().saturating_sub(window.as_nanos()));
+        let width_ns = window_end.saturating_since(start).as_nanos();
+        side.net.obs.host.windows += 1;
+        side.windows.push(NetWindow {
+            windex,
+            net_shard: side.net.shard() as u16,
+            wall_ns: wall_dur_ns,
+            events,
+        });
+        side.net.obs.record(
+            start,
+            TraceKind::NetPhase {
+                windex,
+                width_ns,
+                wall_dur_ns,
+                events,
+            },
+        );
+        // With a streaming sink the window's records leave the process
+        // here; in-memory runs keep accumulating in the sink vec.
+        side.net.obs.flush(window_end);
+    }
+}
+
+/// Serializes one checkpoint section per path this core owns, ascending
+/// by global path id.
+fn net_sections(side: &mut NetSide) -> Vec<(usize, Vec<u8>)> {
+    let owned: Vec<usize> = side.net.owned_paths().to_vec();
+    owned
+        .into_iter()
+        .map(|gid| {
+            let mut buf = Vec::new();
+            let ok = side
+                .net
+                .save_path_section(gid, &mut side.queue, &mut side.arena, &mut buf);
+            assert!(
+                ok,
+                "checkpointing requires a snapshot-capable bottleneck queue \
+                 discipline (path {gid})"
+            );
+            (gid, buf)
+        })
+        .collect()
+}
+
 fn run_sharded(
     config: SimulationConfig,
     workload: Vec<FlowSpec>,
@@ -296,10 +486,12 @@ fn run_sharded(
     mut sink: Option<&mut dyn FnMut(Nanos, Vec<u8>)>,
 ) -> Result<SimReport, ShardError> {
     let mut balancer = Balancer::new(&config, &workload, shards);
-    let mut net = NetCore::new(&config);
-    let lookahead = net.min_one_way_delay();
+    let probe = NetCore::new(&config);
+    let lookahead = probe.min_one_way_delay();
     let end = Nanos::ZERO + config.duration;
     let n_bundles = config.n_bundles();
+    let n_paths = config.num_paths.max(1);
+    let wire_on = config.wire_envelopes;
 
     // Δ = ½ lookahead pipelines the net phase behind the next worker
     // window (its outputs land ≥ 2 windows ahead); a 1 ns lookahead can't
@@ -311,20 +503,38 @@ fn run_sharded(
     } else {
         lookahead
     };
+    // Net sharding rides the pipelined regime (each net thread's phase
+    // hides behind the next worker window); without it the bottleneck
+    // stays one driver-inline core. The clamp to the path count lives in
+    // `effective_net_shards`.
+    let net_shards = if pipeline {
+        config.effective_net_shards()
+    } else {
+        1
+    };
+    let inline_net = net_shards == 1;
+    let net_threads = if inline_net { 0 } else { net_shards };
 
     // Delivery routing: a flow's LP is static (its workload origin); the
-    // LP's owning worker follows the balancer's assignment.
-    let lp_of_flow: FnvHashMap<FlowId, u16> = workload
-        .iter()
-        .map(|s| (s.id, origin_lp(s.origin)))
-        .collect();
-    let mut worker_of_lp: Vec<usize> = vec![0; LP_BUNDLE0 as usize + n_bundles];
+    // LP's owning worker follows the balancer's assignment. Shared with
+    // net threads; the window barriers order the driver's stores against
+    // the net side's loads.
+    let routing = Arc::new(Routing {
+        lp_of_flow: workload
+            .iter()
+            .map(|s| (s.id, origin_lp(s.origin)))
+            .collect(),
+        worker_of_lp: (0..LP_BUNDLE0 as usize + n_bundles)
+            .map(|_| AtomicUsize::new(0))
+            .collect(),
+    });
     for b in 0..n_bundles {
-        worker_of_lp[bundle_lp(b) as usize] = balancer.assignment()[b];
+        routing.worker_of_lp[bundle_lp(b) as usize]
+            .store(balancer.assignment()[b], Ordering::Release);
     }
 
     let ctrl = Arc::new(Control {
-        barrier: Barrier::new(shards + 1),
+        barrier: Barrier::new(shards + net_threads + 1),
         window_end: AtomicU64::new(0),
         migrating: AtomicBool::new(false),
         plan: Mutex::new(Vec::new()),
@@ -332,17 +542,27 @@ fn run_sharded(
         checkpoint: AtomicBool::new(false),
         checkpoint_at: AtomicU64::new(0),
         parts: Mutex::new(Vec::new()),
+        net_parts: Mutex::new(Vec::new()),
         counts: (0..n_bundles).map(|_| AtomicU64::new(0)).collect(),
         stop: AtomicBool::new(false),
         panicked: AtomicBool::new(false),
         diag: Mutex::new(None),
     });
 
-    // Build every shard's core on this thread: a restore pours the
+    // Build every net core on this thread: net shard k owns the paths
+    // `gid % net_shards == k`; every core holds the full path vector so
+    // global path ids index directly.
+    let mut sides: Vec<NetSide> = if inline_net {
+        vec![NetSide::new(probe, &config)]
+    } else {
+        (0..net_shards)
+            .map(|k| NetSide::new(NetCore::with_partition(&config, k, net_shards), &config))
+            .collect()
+    };
+
+    // Build every worker core on this thread: a restore pours the
     // snapshot into them before any thread exists, a fresh run schedules
     // the initial events.
-    let mut net_queue = EventQueue::with_engine(config.event_engine);
-    let mut net_arena = PacketArena::with_capacity(1024);
     let mut cores: Vec<(WorkerCore, EventQueue, PacketArena)> = (0..shards)
         .map(|index| {
             let part = Partition {
@@ -402,8 +622,14 @@ fn run_sharded(
                 let (core, queue, arena) = &mut cores[owner];
                 core.adopt_bundle(parcel, queue, arena, at);
             }
-            net.load_state(&mut net_queue, &mut net_arena, &mut r)
-                .map_err(corrupt)?;
+            // The net slice is path-major: one section per path in
+            // ascending global id, each restored into the owning core.
+            for gid in 0..n_paths {
+                let side = &mut sides[gid % net_shards];
+                side.net
+                    .load_path_section(gid, &mut side.queue, &mut side.arena, &mut r)
+                    .map_err(corrupt)?;
+            }
             if !r.is_empty() {
                 return Err(
                     SnapshotError::Corrupt("trailing bytes after snapshot payload".into()).into(),
@@ -415,115 +641,64 @@ fn run_sharded(
             for (core, queue, _) in cores.iter_mut() {
                 core.schedule_initial(queue);
             }
-            net.schedule_initial(&mut net_queue);
+            for side in sides.iter_mut() {
+                side.net.schedule_initial(&mut side.queue);
+            }
             Nanos::ZERO
         }
     };
 
-    // Worker→net envelopes double-buffer by window parity; net→worker
-    // deliveries use one mailbox per worker (fixed producer/consumer
-    // threads, publication ordered by the barriers).
-    let mut to_net_rx: Vec<[Receiver<Envelope>; 2]> = Vec::with_capacity(shards);
-    let mut to_worker_tx: Vec<Sender<Envelope>> = Vec::with_capacity(shards);
+    // Mailboxes: worker→net envelopes double-buffer by window parity, one
+    // pair per (worker, net shard); net→worker deliveries use one mailbox
+    // per (net shard, worker). Every mailbox has fixed producer and
+    // consumer threads; publication is ordered by the barriers.
     let mut handles = Vec::with_capacity(shards);
     for (index, (core, queue, arena)) in cores.into_iter().enumerate() {
-        let (net_tx_a, net_rx_a) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
-        let (net_tx_b, net_rx_b) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
-        let (worker_tx, worker_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
-        to_net_rx.push([net_rx_a, net_rx_b]);
-        to_worker_tx.push(worker_tx);
+        let mut to_net: Vec<[Sender<Envelope>; 2]> = Vec::with_capacity(net_shards);
+        let mut inboxes: Vec<Receiver<Envelope>> = Vec::with_capacity(net_shards);
+        for side in sides.iter_mut() {
+            let (net_tx_a, net_rx_a) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+            let (net_tx_b, net_rx_b) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+            side.rx.push([net_rx_a, net_rx_b]);
+            to_net.push([net_tx_a, net_tx_b]);
+            let (worker_tx, worker_rx) = mailbox::channel::<Envelope>(MAILBOX_CAPACITY);
+            side.to_worker.push(worker_tx);
+            inboxes.push(worker_rx);
+        }
+        let link = WorkerLink {
+            to_net,
+            inboxes,
+            lb: balancer_for(&config),
+            net_threads,
+            wire_on,
+        };
         let ctrl = Arc::clone(&ctrl);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("bundler-shard-{index}"))
-                .spawn(move || {
-                    worker_loop(core, queue, arena, ctrl, [net_tx_a, net_tx_b], worker_rx)
-                })
+                .spawn(move || worker_loop(core, queue, arena, ctrl, link))
                 .expect("spawn worker shard"),
         );
     }
 
-    let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
-    let mut deliveries: Vec<Delivery> = Vec::with_capacity(64);
-
-    // Per-window net-phase wall timings, attached to the report's
-    // observability section after assembly.
-    let mut net_windows: Vec<NetWindow> = Vec::new();
-
-    // The net phase for one completed worker window: merge that window's
-    // envelopes (by parity), handle net events below its end, route
-    // deliveries to the current owner of each flow's LP.
-    let mut net_phase = |windex: u64,
-                         window_end: Nanos,
-                         net: &mut NetCore,
-                         net_queue: &mut EventQueue,
-                         net_arena: &mut PacketArena,
-                         to_net_rx: &mut Vec<[Receiver<Envelope>; 2]>,
-                         worker_of_lp: &[usize]| {
-        let timing = net.obs.metrics_on();
-        let phase_start = if timing { wall_now_ns() } else { 0 };
-        let events_before = net.events_processed();
-        let parity = (windex % 2) as usize;
-        for rx in to_net_rx.iter_mut() {
-            rx[parity].drain_into(&mut inbound);
-            for m in inbound.drain(..) {
-                debug_assert!(m.at < window_end, "envelope beyond its window");
-                let pkt = net_arena.insert(m.pkt);
-                net_queue.schedule(m.at, m.key, Event::ArriveBottleneck { pkt });
-            }
-        }
-        while let Some((t, _)) = net_queue.peek() {
-            if t >= window_end {
-                break;
-            }
-            let (now, event) = net_queue.pop().expect("peeked");
-            net.handle(event, now, net_arena, net_queue, &mut deliveries);
-            for d in deliveries.drain(..) {
-                // Conservative lookahead: sequential windows need one
-                // window of slack, pipelined windows two (the delivery
-                // must clear the worker window running concurrently with
-                // this net phase).
-                debug_assert!(
-                    d.at >= window_end + if pipeline { window } else { Duration::ZERO },
-                    "delivery inside a window already running"
-                );
-                let flow = net_arena[d.pkt].flow;
-                let lp = *lp_of_flow.get(&flow).expect("flow has an origin");
-                let worker = worker_of_lp[lp as usize];
-                let pkt = net_arena.remove(d.pkt);
-                to_worker_tx[worker].send(Envelope {
-                    at: d.at,
-                    key: d.key,
-                    pkt,
-                });
-            }
-        }
-        if timing {
-            let wall_dur_ns = wall_now_ns().saturating_sub(phase_start);
-            let events = net.events_processed() - events_before;
-            // The served window's start (exact except for a truncated
-            // final window, where the nominal width overstates it).
-            let start = Nanos(window_end.as_nanos().saturating_sub(window.as_nanos()));
-            let width_ns = window_end.saturating_since(start).as_nanos();
-            net.obs.host.windows += 1;
-            net_windows.push(NetWindow {
-                windex,
-                wall_ns: wall_dur_ns,
-                events,
-            });
-            net.obs.record(
-                start,
-                TraceKind::NetPhase {
-                    windex,
-                    width_ns,
-                    wall_dur_ns,
-                    events,
-                },
+    // Dedicated net threads (net_shards > 1): each owns its NetSide and
+    // attends the same barriers as the workers.
+    let mut net_handles = Vec::with_capacity(net_threads);
+    let mut solo = if inline_net {
+        Some(sides.remove(0))
+    } else {
+        for side in sides.drain(..) {
+            let ctrl = Arc::clone(&ctrl);
+            let routing = Arc::clone(&routing);
+            let k = side.net.shard();
+            net_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bundler-net-{k}"))
+                    .spawn(move || net_loop(side, ctrl, routing, window, wire_on, shards))
+                    .expect("spawn net shard"),
             );
-            // With a streaming sink the window's records leave the process
-            // here; in-memory runs keep accumulating in the sink vec.
-            net.obs.flush(window_end);
         }
+        None
     };
 
     // The next checkpoint target: the first interval multiple strictly
@@ -548,27 +723,24 @@ fn run_sharded(
         if take_ckpt {
             // The snapshot is the state at T = window_start: every net
             // event below T must be processed and its deliveries
-            // published *before* the barrier that opens this window, so
-            // the pending pipelined net phase (normally concurrent with
-            // this window) runs early. Its parity buffers quiesced at the
-            // previous end barrier; running it here only shortens the
+            // published *before* the workers serialize their partitions,
+            // so the pending pipelined net phase (normally concurrent
+            // with this window) runs early — here for the inline core
+            // (before the window-start barrier), behind the net-flush
+            // barrier on net threads. Its parity buffers quiesced at the
+            // previous end barrier; running it early only shortens the
             // pipeline overlap for one window.
             if pipeline {
-                if let Some((pidx, pend)) = prev_window.take() {
-                    net_phase(
-                        pidx,
-                        pend,
-                        &mut net,
-                        &mut net_queue,
-                        &mut net_arena,
-                        &mut to_net_rx,
-                        &worker_of_lp,
-                    );
+                if let (Some(side), Some((pidx, pend))) = (solo.as_mut(), prev_window.take()) {
+                    net_phase(side, pidx, pend, window, pipeline, &routing, wire_on);
                 }
             }
             ctrl.checkpoint_at
                 .store(window_start.as_nanos(), Ordering::Release);
             *lock(&ctrl.parts) = (0..shards).map(|_| None).collect();
+            if !inline_net {
+                *lock(&ctrl.net_parts) = (0..net_shards).map(|_| None).collect();
+            }
         }
         ctrl.checkpoint.store(take_ckpt, Ordering::Release);
         ctrl.window_end
@@ -584,16 +756,25 @@ fn run_sharded(
             ctrl.barrier.wait(); // parcels deposited ↔ adopted
         }
         if take_ckpt {
+            if !inline_net {
+                ctrl.barrier.wait(); // net phases flushed, net parts deposited
+            }
             ctrl.barrier.wait(); // checkpoint parts deposited
             if !ctrl.panicked.load(Ordering::Acquire) {
+                let sections = match solo.as_mut() {
+                    Some(side) => net_sections(side),
+                    None => lock(&ctrl.net_parts)
+                        .iter_mut()
+                        .filter_map(Option::take)
+                        .flatten()
+                        .collect(),
+                };
                 let blob = assemble_snapshot(
                     &config,
                     &workload,
                     window_start,
                     std::mem::take(&mut *lock(&ctrl.parts)),
-                    &mut net,
-                    &mut net_queue,
-                    &mut net_arena,
+                    sections,
                 );
                 if let Some(f) = sink.as_deref_mut() {
                     f(window_start, blob);
@@ -601,7 +782,9 @@ fn run_sharded(
                 // Publish every streamed record below the checkpoint
                 // instant so a crash after this boundary leaves the export
                 // file a complete prefix of the restored continuation.
-                net.obs.flush(window_start);
+                if let Some(side) = solo.as_mut() {
+                    side.net.obs.flush(window_start);
+                }
                 if let Some(stream) = &config.stream {
                     stream.flush_io();
                 }
@@ -611,17 +794,10 @@ fn run_sharded(
         }
         if pipeline {
             // Hide the sequential fraction: net phase W runs while the
-            // workers run window W+1.
-            if let Some((pidx, pend)) = prev_window {
-                net_phase(
-                    pidx,
-                    pend,
-                    &mut net,
-                    &mut net_queue,
-                    &mut net_arena,
-                    &mut to_net_rx,
-                    &worker_of_lp,
-                );
+            // workers run window W+1 (on this thread for the inline core;
+            // net threads do the same on their own).
+            if let (Some(side), Some((pidx, pend))) = (solo.as_mut(), prev_window) {
+                net_phase(side, pidx, pend, window, pipeline, &routing, wire_on);
             }
         }
         ctrl.barrier.wait(); // workers done
@@ -629,14 +805,9 @@ fn run_sharded(
             break;
         }
         if !pipeline {
+            let side = solo.as_mut().expect("net sharding requires pipelining");
             net_phase(
-                windex,
-                window_end,
-                &mut net,
-                &mut net_queue,
-                &mut net_arena,
-                &mut to_net_rx,
-                &worker_of_lp,
+                side, windex, window_end, window, pipeline, &routing, wire_on,
             );
         }
         // Decide the plan for the *next* window boundary from the counts
@@ -660,33 +831,26 @@ fn run_sharded(
             ));
         }
         for mv in &plan {
-            worker_of_lp[bundle_lp(mv.bundle) as usize] = mv.to;
+            routing.worker_of_lp[bundle_lp(mv.bundle) as usize].store(mv.to, Ordering::Release);
         }
         prev_window = Some((windex, window_end));
         window_start = window_end;
         windex += 1;
     }
     if pipeline && !ctrl.panicked.load(Ordering::Acquire) {
-        // The final worker window's net phase has not run yet.
-        if let Some((pidx, pend)) = prev_window {
-            net_phase(
-                pidx,
-                pend,
-                &mut net,
-                &mut net_queue,
-                &mut net_arena,
-                &mut to_net_rx,
-                &worker_of_lp,
-            );
+        // The final worker window's net phase has not run yet (net
+        // threads run theirs at the stop barrier).
+        if let (Some(side), Some((pidx, pend))) = (solo.as_mut(), prev_window) {
+            net_phase(side, pidx, pend, window, pipeline, &routing, wire_on);
         }
     }
 
     ctrl.stop.store(true, Ordering::Release);
     ctrl.migrating.store(false, Ordering::Release);
     ctrl.checkpoint.store(false, Ordering::Release);
-    ctrl.barrier.wait(); // release workers into the stop check
+    ctrl.barrier.wait(); // release workers + net threads into the stop check
     let mut workers = Vec::with_capacity(shards);
-    let mut recycled = net_arena.recycled();
+    let mut recycled = 0;
     let mut vanished: Option<(usize, Option<String>)> = None;
     for (shard, h) in handles.into_iter().enumerate() {
         match h.join() {
@@ -698,6 +862,31 @@ fn run_sharded(
             Ok(None) => {}
             // The thread unwound outside the panic net (or was killed).
             Err(payload) => vanished = Some((shard, Some(error::panic_message(payload.as_ref())))),
+        }
+    }
+    let mut nets: Vec<NetCore> = Vec::with_capacity(net_shards);
+    let mut net_windows: Vec<NetWindow> = Vec::new();
+    if let Some(mut side) = solo.take() {
+        if side.net.obs.metrics_on() {
+            // Driver-side (net→worker) spill counts; the worker-side
+            // senders fold theirs in at the stop check.
+            side.net.obs.host.mailbox_spills +=
+                side.to_worker.iter().map(Sender::spill_count).sum::<u64>();
+        }
+        recycled += side.arena.recycled();
+        net_windows = side.windows;
+        nets.push(side.net);
+    }
+    for (k, h) in net_handles.into_iter().enumerate() {
+        match h.join() {
+            Ok((net, arena, windows)) => {
+                recycled += arena.recycled();
+                net_windows.extend(windows);
+                nets.push(net);
+            }
+            Err(payload) => {
+                vanished = Some((shards + k, Some(error::panic_message(payload.as_ref()))))
+            }
         }
     }
     if let Some(err) = lock(&ctrl.diag).take() {
@@ -715,12 +904,9 @@ fn run_sharded(
         });
     }
     workers.sort_by_key(|w| w.partition().index);
-    if net.obs.metrics_on() {
-        // Driver-side (net→worker) spill counts; the worker-side senders
-        // fold theirs in at the stop check.
-        net.obs.host.mailbox_spills += to_worker_tx.iter().map(Sender::spill_count).sum::<u64>();
-    }
-    let mut report = assemble_report(&config, workers, net, recycled);
+    nets.sort_by_key(NetCore::shard);
+    net_windows.sort_by_key(|w| (w.windex, w.net_shard));
+    let mut report = assemble_report(&config, workers, nets, recycled);
     if let Some(obs) = report.obs.as_mut() {
         obs.net_phase = bundler_obs::NetPhaseProfile {
             windows: net_windows,
@@ -729,21 +915,109 @@ fn run_sharded(
     Ok(report)
 }
 
-/// Assembles per-shard checkpoint parts plus the net slice into the
-/// canonical snapshot wire format — the exact bytes the single-threaded
-/// host writes at the same instant, regardless of shard count or
-/// placement: merged residue, the direct slice, bundle parcels in
-/// ascending index order, then the net slice.
+/// The loop a dedicated net thread runs when the bottleneck is sharded.
+/// Mirrors the driver's inline scheduling: the phase for window W runs
+/// during worker window W+1 (pipelined — net sharding requires it), early
+/// on checkpoint windows, and one final time at the stop barrier.
+fn net_loop(
+    mut side: NetSide,
+    ctrl: Arc<Control>,
+    routing: Arc<Routing>,
+    window: Duration,
+    wire_on: bool,
+    workers: usize,
+) -> (NetCore, PacketArena, Vec<NetWindow>) {
+    let k = side.net.shard();
+    let mut windex: u64 = 0;
+    let mut prev: Option<(u64, Nanos)> = None;
+    let mut failed = false;
+    loop {
+        ctrl.barrier.wait(); // window start
+        if ctrl.stop.load(Ordering::Acquire) {
+            if !failed && !ctrl.panicked.load(Ordering::Acquire) {
+                // The final worker window's net phase has not run yet.
+                // Its deliveries land in mailboxes nothing will drain —
+                // exactly as the inline core's final phase does (they
+                // would be timestamped past the end of the run) — but
+                // the events below the end must be processed for the
+                // report's counters.
+                if let Some((pidx, pend)) = prev.take() {
+                    let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        net_phase(&mut side, pidx, pend, window, true, &routing, wire_on);
+                    }));
+                    if let Err(payload) = phase {
+                        ctrl.note_failure(workers + k, windex, None, payload.as_ref());
+                    }
+                }
+            }
+            if side.net.obs.metrics_on() {
+                side.net.obs.host.mailbox_spills +=
+                    side.to_worker.iter().map(Sender::spill_count).sum::<u64>();
+            }
+            return (side.net, side.arena, side.windows);
+        }
+        let window_end = Nanos(ctrl.window_end.load(Ordering::Acquire));
+        if ctrl.migrating.load(Ordering::Acquire) {
+            ctrl.barrier.wait(); // parcels deposited ↔ adopted (idle here)
+        }
+        if ctrl.checkpoint.load(Ordering::Acquire) {
+            if !failed {
+                let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let at = Nanos(ctrl.checkpoint_at.load(Ordering::Acquire));
+                    // Run the pending phase early: every net event below
+                    // the checkpoint instant is processed and its
+                    // deliveries published before the net-flush barrier
+                    // releases the workers into their serialization.
+                    if let Some((pidx, pend)) = prev.take() {
+                        net_phase(&mut side, pidx, pend, window, true, &routing, wire_on);
+                    }
+                    let sections = net_sections(&mut side);
+                    lock(&ctrl.net_parts)[k] = Some(sections);
+                    // Mirror the inline core: everything recorded below
+                    // the checkpoint instant is on the stream before the
+                    // snapshot is assembled.
+                    side.net.obs.flush(at);
+                }));
+                if let Err(payload) = phase {
+                    failed = true;
+                    ctrl.note_failure(workers + k, windex, None, payload.as_ref());
+                }
+            }
+            ctrl.barrier.wait(); // net phases flushed, net parts deposited
+            ctrl.barrier.wait(); // worker checkpoint parts deposited (idle)
+        }
+        if !failed {
+            if let Some((pidx, pend)) = prev.take() {
+                let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    net_phase(&mut side, pidx, pend, window, true, &routing, wire_on);
+                }));
+                if let Err(payload) = phase {
+                    failed = true;
+                    ctrl.note_failure(workers + k, windex, None, payload.as_ref());
+                }
+            }
+        }
+        prev = Some((windex, window_end));
+        windex += 1;
+        ctrl.barrier.wait(); // window end
+    }
+}
+
+/// Assembles per-shard checkpoint parts plus the per-path net sections
+/// into the canonical snapshot wire format — the exact bytes the
+/// single-threaded host writes at the same instant, regardless of worker
+/// or net shard count or placement: merged residue, the direct slice,
+/// bundle parcels in ascending index order, then one net section per path
+/// in ascending global path id.
 fn assemble_snapshot(
     config: &SimulationConfig,
     workload: &[FlowSpec],
     at: Nanos,
     parts: Vec<Option<CheckpointPart>>,
-    net: &mut NetCore,
-    net_queue: &mut EventQueue,
-    net_arena: &mut PacketArena,
+    mut net_sections: Vec<PathSection>,
 ) -> Vec<u8> {
     let n_bundles = config.n_bundles();
+    let n_paths = config.num_paths.max(1);
     let fp = snapshot::fingerprint(config, workload);
     let mut out = Vec::new();
     snapshot::write_header(&mut out, at, fp);
@@ -768,12 +1042,34 @@ fn assemble_snapshot(
         assert_eq!(i, *b, "bundle {b} was checkpointed by no worker, or by two");
         out.extend_from_slice(bytes);
     }
-    let ok = net.save_state(net_queue, net_arena, &mut out);
-    assert!(
-        ok,
-        "checkpointing requires a snapshot-capable bottleneck queue discipline"
+    net_sections.sort_by_key(|&(gid, _)| gid);
+    assert_eq!(
+        net_sections.len(),
+        n_paths,
+        "every bottleneck path deposits exactly one checkpoint section"
     );
+    for (i, (gid, bytes)) in net_sections.iter().enumerate() {
+        assert_eq!(i, *gid, "path {gid} checkpointed by no net core, or by two");
+        out.extend_from_slice(bytes);
+    }
     out
+}
+
+/// A worker thread's connections to the net side.
+struct WorkerLink {
+    /// Worker→net senders, one pair (by window parity) per net shard.
+    to_net: Vec<[Sender<Envelope>; 2]>,
+    /// Net→worker inboxes, one per net shard.
+    inboxes: Vec<Receiver<Envelope>>,
+    /// Stateless copy of the net side's load balancer: a packet's path —
+    /// and therefore its owning net shard — is a pure function of the
+    /// packet, so both sides of the mailbox compute the same route.
+    lb: LoadBalancer,
+    /// Dedicated net threads attending the barriers (0 = driver-inline
+    /// bottleneck), which add one extra rendezvous on checkpoint windows.
+    net_threads: usize,
+    /// Encode→decode every outbound envelope through the NETENV frame.
+    wire_on: bool,
 }
 
 /// `Some((core, arena))` on clean shutdown; `None` when the worker failed
@@ -785,13 +1081,14 @@ fn worker_loop(
     mut queue: EventQueue,
     mut arena: PacketArena,
     ctrl: Arc<Control>,
-    mut net_tx: [Sender<Envelope>; 2],
-    mut inbox: Receiver<Envelope>,
+    mut link: WorkerLink,
 ) -> WorkerResult {
     let me = core.partition().index;
     let n_bundles = ctrl.counts.len();
+    let net_shards = link.to_net.len();
     let mut inbound: Vec<Envelope> = Vec::with_capacity(256);
     let mut to_net: Vec<ToNet> = Vec::with_capacity(64);
+    let mut wire_buf: Vec<u8> = Vec::new();
     let mut parity = 0usize;
     let mut failed = false;
     // The last event this worker peeked before handling — the diagnostic
@@ -813,7 +1110,12 @@ fn worker_loop(
         };
         if ctrl.stop.load(Ordering::Acquire) {
             if timing {
-                core.obs.host.mailbox_spills += net_tx[0].spill_count() + net_tx[1].spill_count();
+                core.obs.host.mailbox_spills += link
+                    .to_net
+                    .iter()
+                    .flat_map(|pair| pair.iter())
+                    .map(Sender::spill_count)
+                    .sum::<u64>();
             }
             return if failed { None } else { Some((core, arena)) };
         }
@@ -825,10 +1127,11 @@ fn worker_loop(
         if migrating {
             if !failed {
                 let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    // Drain the inbox *before* extracting: deliveries for
-                    // an outgoing bundle (routed here under the old
+                    // Drain the inboxes *before* extracting: deliveries
+                    // for an outgoing bundle (routed here under the old
                     // assignment) become queue events and migrate with it.
-                    let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                    let drained =
+                        drain_inbox(&mut link.inboxes, &mut inbound, &mut arena, &mut queue);
                     if timing {
                         core.obs.host.inbox_messages += drained as u64;
                         core.obs.host.mailbox_depth.record(drained as u64);
@@ -887,13 +1190,20 @@ fn worker_loop(
             }
         }
         if ctrl.checkpoint.load(Ordering::Acquire) {
+            if link.net_threads > 0 {
+                // Net threads run their pending phases and deposit their
+                // path sections first; the drain below must see every
+                // delivery published below the checkpoint instant.
+                ctrl.barrier.wait(); // net phases flushed
+            }
             if !failed {
                 let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let at = Nanos(ctrl.checkpoint_at.load(Ordering::Acquire));
                     // Pull every delivery published before this window
                     // into the queue: the snapshot must hold *all*
                     // pending events ≥ T, including in-flight arrivals.
-                    let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                    let drained =
+                        drain_inbox(&mut link.inboxes, &mut inbound, &mut arena, &mut queue);
                     if timing {
                         core.obs.host.inbox_messages += drained as u64;
                         core.obs.host.mailbox_depth.record(drained as u64);
@@ -940,7 +1250,7 @@ fn worker_loop(
         let busy_from = if timing { wall_now_ns() } else { 0 };
         if !failed {
             let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let drained = drain_inbox(&mut inbox, &mut inbound, &mut arena, &mut queue);
+                let drained = drain_inbox(&mut link.inboxes, &mut inbound, &mut arena, &mut queue);
                 if timing {
                     core.obs.host.inbox_messages += drained as u64;
                     core.obs.host.mailbox_depth.record(drained as u64);
@@ -967,8 +1277,15 @@ fn worker_loop(
                     core.handle(event, now, &mut arena, &mut queue, &mut to_net);
                     for m in to_net.drain(..) {
                         debug_assert_eq!(m.at, now, "bottleneck entry is a zero-latency hop");
-                        let pkt = arena.remove(m.pkt);
-                        net_tx[parity].send(Envelope {
+                        let mut pkt = arena.remove(m.pkt);
+                        // The packet's path is a pure function of the
+                        // packet; its owning net shard follows from the
+                        // partition rule `gid % net_shards`.
+                        let net_shard = link.lb.pick(&pkt) % net_shards;
+                        if link.wire_on {
+                            pkt = wire::roundtrip(WireDir::ToNet, m.at, m.key, pkt, &mut wire_buf);
+                        }
+                        link.to_net[net_shard][parity].send(Envelope {
                             at: m.at,
                             key: m.key,
                             pkt,
@@ -1023,19 +1340,25 @@ fn worker_loop(
     }
 }
 
-/// Schedules every available inbound delivery into the local queue and
-/// returns how many messages were waiting (the mailbox-depth signal).
+/// Schedules every available inbound delivery (from every net shard's
+/// mailbox) into the local queue and returns how many messages were
+/// waiting (the mailbox-depth signal). Insertion order across mailboxes
+/// is irrelevant: the queue sorts by the canonical `(timestamp, key)`
+/// order.
 fn drain_inbox(
-    inbox: &mut Receiver<Envelope>,
+    inboxes: &mut [Receiver<Envelope>],
     inbound: &mut Vec<Envelope>,
     arena: &mut PacketArena,
     queue: &mut EventQueue,
 ) -> usize {
-    inbox.drain_into(inbound);
-    let drained = inbound.len();
-    for m in inbound.drain(..) {
-        let pkt = arena.insert(m.pkt);
-        queue.schedule(m.at, m.key, Event::ArriveDestination { pkt });
+    let mut drained = 0;
+    for inbox in inboxes.iter_mut() {
+        inbox.drain_into(inbound);
+        drained += inbound.len();
+        for m in inbound.drain(..) {
+            let pkt = arena.insert(m.pkt);
+            queue.schedule(m.at, m.key, Event::ArriveDestination { pkt });
+        }
     }
     drained
 }

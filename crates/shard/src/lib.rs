@@ -42,6 +42,7 @@ mod driver;
 pub mod error;
 pub mod mailbox;
 pub mod scenario;
+pub mod wire;
 
 pub use driver::ShardedSimulation;
 pub use error::ShardError;

@@ -142,19 +142,33 @@ pub enum Event {
         /// The flow to check.
         flow: FlowId,
     },
-    /// Periodic statistics sample for one logical process: the net LP
-    /// samples the bottleneck paths, each bundle LP samples its own series,
-    /// the direct LP samples cross-traffic throughput. (One global sample
-    /// event would have to read every shard's state at once.)
+    /// Periodic statistics sample for one logical process: each bundle LP
+    /// samples its own series, the direct LP samples cross-traffic
+    /// throughput. (One global sample event would have to read every
+    /// shard's state at once; the bottleneck paths sample per-path via
+    /// [`Event::PathSample`] for the same reason.)
     Sample {
         /// The logical process to sample.
         lp: u16,
     },
-    /// Integration step for the fluid cross-traffic tier (net LP, keyed on
-    /// [`crate::runtime::LP_FLUID`] so fluid steps interleave canonically
-    /// with packet events at the same timestamp). Only scheduled when
+    /// Integration step for the fluid cross-traffic tier of one bottleneck
+    /// path (keyed on [`crate::runtime::LP_FLUID`] with the path's own
+    /// sequence stream, so fluid steps interleave canonically with packet
+    /// events at the same timestamp and touch only that path's state —
+    /// which is what lets a net shard integrate its owned paths without
+    /// seeing the others). Only scheduled when
     /// [`crate::sim::SimulationConfig::cross_traffic`] is set.
-    FluidUpdate,
+    FluidUpdate {
+        /// Global index of the path to integrate.
+        path: u32,
+    },
+    /// Periodic statistics sample for one bottleneck path (net LP, on the
+    /// path's own sequence stream). Per-path rather than one net-wide
+    /// sample so the event touches only state its owning net shard holds.
+    PathSample {
+        /// Global index of the path to sample.
+        path: u32,
+    },
 }
 
 impl Encode for EventKey {
@@ -216,8 +230,13 @@ impl Encode for Event {
                 10u8.encode(out);
                 lp.encode(out);
             }
-            Event::FluidUpdate => {
+            Event::FluidUpdate { path } => {
                 11u8.encode(out);
+                path.encode(out);
+            }
+            Event::PathSample { path } => {
+                12u8.encode(out);
+                path.encode(out);
             }
         }
     }
@@ -259,7 +278,12 @@ impl Decode for Event {
             10 => Event::Sample {
                 lp: u16::decode(r)?,
             },
-            11 => Event::FluidUpdate,
+            11 => Event::FluidUpdate {
+                path: u32::decode(r)?,
+            },
+            12 => Event::PathSample {
+                path: u32::decode(r)?,
+            },
             _ => return Err(r.error("unknown event tag")),
         })
     }

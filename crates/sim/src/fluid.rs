@@ -217,22 +217,30 @@ struct PathFluid {
     service: f64,
     /// Fluid bytes dropped at the full buffer (accounting only).
     dropped: f64,
+    /// Simulated time of this path's last integration step. Per-path
+    /// (rather than one tier-wide stamp) so each path — and therefore
+    /// each net shard, which owns a disjoint set of paths — integrates
+    /// without reading any other path's clock. All paths step at the
+    /// same instants, so the stamps stay equal in lockstep.
+    last_update: Nanos,
 }
 
 /// Runtime state of the fluid tier, owned by the net core and advanced at
-/// `FluidUpdate` events. Snapshots inside the net core's state slice (only
-/// when the tier is configured, so legacy snapshot bytes are unchanged).
+/// per-path `FluidUpdate` events. Snapshots inside the net core's per-path
+/// state sections (only when the tier is configured, so packet-only
+/// snapshot bytes are unchanged).
+///
+/// Every field an integration step reads or writes is keyed by a single
+/// path: the backlog, level and clock live in `PathFluid`, and each
+/// aggregate is pinned to one path. A sharded net core therefore holds a
+/// full-size `FluidState` but only ever touches the entries of the paths
+/// it owns — the untouched entries stay at their initial values.
 pub struct FluidState {
     config: FluidCrossTraffic,
     /// Per-path buffer size in bytes (shared by both tiers).
     buffer_bytes: f64,
     agg: Vec<AggState>,
     paths: Vec<PathFluid>,
-    last_update: Nanos,
-    /// Scratch: per-path sum of active aggregate rates (not snapshotted).
-    scratch_offered: Vec<f64>,
-    /// Scratch: per-path combined queue level after the update.
-    scratch_combined: Vec<f64>,
 }
 
 impl FluidState {
@@ -264,12 +272,10 @@ impl FluidState {
                     last_level: 0.0,
                     service: 0.0,
                     dropped: 0.0,
+                    last_update: Nanos::ZERO,
                 };
                 num_paths
             ],
-            last_update: Nanos::ZERO,
-            scratch_offered: vec![0.0; num_paths],
-            scratch_combined: vec![0.0; num_paths],
         }
     }
 
@@ -328,61 +334,66 @@ impl FluidState {
             && self.agg[i].rate <= self.config.aggregates[i].floor_rate()
     }
 
-    /// One integration step at `now`: measure each path's packet-tier
-    /// arrival rate since the last step, split capacity proportionally
-    /// between the tiers, integrate the fluid backlog, write the resulting
-    /// capacity drain and backlog into the paths, and advance the AIMD
-    /// rate ODEs off the combined queue level.
-    pub fn update(&mut self, now: Nanos, paths: &mut [BottleneckPath]) {
-        let dt = now.saturating_since(self.last_update).as_secs_f64();
-        self.last_update = now;
+    /// One integration step for a single path at `now`: measure the path's
+    /// packet-tier arrival rate since its last step, split capacity
+    /// proportionally between the tiers, integrate the fluid backlog,
+    /// write the resulting capacity drain and backlog into the path, and
+    /// advance the AIMD rate ODEs of the aggregates pinned to it off the
+    /// combined queue level.
+    ///
+    /// Every read and write is scoped to path `gid` and its aggregates, so
+    /// the per-path steps commute: integrating the paths one at a time (in
+    /// any order, on any thread) computes exactly the same f64 values as
+    /// the old tier-wide three-pass sweep.
+    pub fn update_path(&mut self, now: Nanos, gid: usize, path: &mut BottleneckPath) {
+        let pf = &mut self.paths[gid];
+        let dt = now.saturating_since(pf.last_update).as_secs_f64();
+        pf.last_update = now;
         if dt <= 0.0 {
             return;
         }
-        // Pass 1: offered fluid rate per path (O(aggregates)).
-        self.scratch_offered.iter_mut().for_each(|v| *v = 0.0);
+        // Pass 1: offered fluid rate of this path's aggregates.
+        let mut offered = 0.0;
         for (spec, st) in self.config.aggregates.iter().zip(&self.agg) {
-            if spec.active_at(now) {
-                self.scratch_offered[spec.path as usize] += st.rate;
+            if spec.path as usize == gid && spec.active_at(now) {
+                offered += st.rate;
             }
         }
-        // Pass 2: per-path capacity split + backlog integration (O(paths)).
-        for (pi, path) in paths.iter_mut().enumerate() {
-            let pf = &mut self.paths[pi];
-            let capacity = path.rate().as_bytes_per_sec();
-            // The packet tier's arrival rate over the last interval is the
-            // growth of its delivered+queued byte level — both already
-            // canonical path state, so restore needs no extra accumulator.
-            let level = path.bytes_delivered as f64 + path.queue_bytes() as f64;
-            let pkt_rate = ((level - pf.last_level) / dt).max(0.0);
-            pf.last_level = level;
-            let offered = self.scratch_offered[pi];
-            // The tier wants to send its offered rate plus drain its
-            // backlog; capacity is split in proportion to demand, with the
-            // packet tier keeping a floor so foreground packets always
-            // serialize (mirrored by the drain cap in the path).
-            let fluid_demand = offered + pf.backlog / dt;
-            let total = fluid_demand + pkt_rate;
-            let service = if total <= capacity {
-                fluid_demand
-            } else {
-                (capacity * fluid_demand / total).min(capacity * 0.99)
-            };
-            let next = pf.backlog + (offered - service) * dt;
-            if next > self.buffer_bytes {
-                pf.dropped += next - self.buffer_bytes;
-                pf.backlog = self.buffer_bytes;
-            } else {
-                pf.backlog = next.max(0.0);
-            }
-            pf.service = service;
-            path.set_fluid(service, pf.backlog);
-            self.scratch_combined[pi] = pf.backlog + path.queue_bytes() as f64;
+        // Pass 2: capacity split + backlog integration.
+        let capacity = path.rate().as_bytes_per_sec();
+        // The packet tier's arrival rate over the last interval is the
+        // growth of its delivered+queued byte level — both already
+        // canonical path state, so restore needs no extra accumulator.
+        let level = path.bytes_delivered as f64 + path.queue_bytes() as f64;
+        let pkt_rate = ((level - pf.last_level) / dt).max(0.0);
+        pf.last_level = level;
+        // The tier wants to send its offered rate plus drain its
+        // backlog; capacity is split in proportion to demand, with the
+        // packet tier keeping a floor so foreground packets always
+        // serialize (mirrored by the drain cap in the path).
+        let fluid_demand = offered + pf.backlog / dt;
+        let total = fluid_demand + pkt_rate;
+        let service = if total <= capacity {
+            fluid_demand
+        } else {
+            (capacity * fluid_demand / total).min(capacity * 0.99)
+        };
+        let next = pf.backlog + (offered - service) * dt;
+        if next > self.buffer_bytes {
+            pf.dropped += next - self.buffer_bytes;
+            pf.backlog = self.buffer_bytes;
+        } else {
+            pf.backlog = next.max(0.0);
         }
-        // Pass 3: AIMD per aggregate off its path's combined queue level
-        // (O(aggregates)).
+        pf.service = service;
+        path.set_fluid(service, pf.backlog);
+        let combined = pf.backlog + path.queue_bytes() as f64;
+        // Pass 3: AIMD per pinned aggregate off the combined queue level.
         let threshold = self.buffer_bytes * self.config.backoff_threshold_permille as f64 / 1000.0;
         for (spec, st) in self.config.aggregates.iter().zip(self.agg.iter_mut()) {
+            if spec.path as usize != gid {
+                continue;
+            }
             if !spec.active_at(now) {
                 // Parked aggregates wait at their floor so a reopening
                 // window ramps from scratch instead of resuming a stale
@@ -390,8 +401,7 @@ impl FluidState {
                 st.rate = spec.floor_rate();
                 continue;
             }
-            let capacity = paths[spec.path as usize].rate().as_bytes_per_sec();
-            if self.scratch_combined[spec.path as usize] > threshold {
+            if combined > threshold {
                 if now.saturating_since(st.last_decrease) >= spec.rtt {
                     st.rate *= 0.5;
                     st.last_decrease = now;
@@ -402,7 +412,7 @@ impl FluidState {
                 // classic TCP fluid ODEs — so a standing queue slows the
                 // ramp exactly the way ACK clocking slows real senders.
                 let queueing = if capacity > 0.0 {
-                    self.scratch_combined[spec.path as usize] / capacity
+                    combined / capacity
                 } else {
                     0.0
                 };
@@ -416,56 +426,79 @@ impl FluidState {
         }
     }
 
-    /// Re-applies the tier's capacity drain and backlog to freshly
-    /// configured paths after a restore (the paths' fluid fields are
-    /// derived state and are not part of their own snapshot slice).
-    pub fn reapply(&self, paths: &mut [BottleneckPath]) {
-        for (pf, path) in self.paths.iter().zip(paths.iter_mut()) {
-            path.set_fluid(pf.service, pf.backlog);
+    /// Integrates every path at `now` — the single-core convenience over
+    /// [`FluidState::update_path`], used by the fluid-tier unit tests.
+    pub fn update(&mut self, now: Nanos, paths: &mut [BottleneckPath]) {
+        for (gid, path) in paths.iter_mut().enumerate() {
+            self.update_path(now, gid, path);
         }
     }
 
-    /// Appends the tier's dynamic state to a snapshot stream. The
+    /// Re-applies the tier's capacity drain and backlog to a freshly
+    /// configured path after a restore (the path's fluid fields are
+    /// derived state and are not part of its own snapshot slice).
+    pub fn reapply_path(&self, gid: usize, path: &mut BottleneckPath) {
+        let pf = &self.paths[gid];
+        path.set_fluid(pf.service, pf.backlog);
+    }
+
+    /// Appends one path's slice of the tier's dynamic state — its clock,
+    /// the `AggState`s of the aggregates pinned to it (in global
+    /// aggregate order), and its `PathFluid` — to a snapshot stream.
+    /// Per-path (rather than one tier-wide blob) so the snapshot's net
+    /// slice can be laid out path-major: each net shard serializes exactly
+    /// the sections of the paths it owns, and the assembled bytes are
+    /// identical for every `(worker, net)` shard combination. The
     /// aggregate specs, cadence and threshold are configuration and are
     /// covered by the snapshot fingerprint instead.
-    pub fn save_state(&self, out: &mut Vec<u8>) {
-        self.last_update.encode(out);
-        (self.agg.len() as u64).encode(out);
-        for a in &self.agg {
+    pub fn save_path_state(&self, gid: usize, out: &mut Vec<u8>) {
+        let pf = &self.paths[gid];
+        pf.last_update.encode(out);
+        let on_path = self
+            .config
+            .aggregates
+            .iter()
+            .zip(&self.agg)
+            .filter(|(spec, _)| spec.path as usize == gid);
+        (on_path.clone().count() as u64).encode(out);
+        for (_, a) in on_path {
             a.rate.encode(out);
             a.last_decrease.encode(out);
         }
-        (self.paths.len() as u64).encode(out);
-        for p in &self.paths {
-            p.backlog.encode(out);
-            p.last_level.encode(out);
-            p.service.encode(out);
-            p.dropped.encode(out);
-        }
+        pf.backlog.encode(out);
+        pf.last_level.encode(out);
+        pf.service.encode(out);
+        pf.dropped.encode(out);
     }
 
-    /// Restores state written by [`FluidState::save_state`]. Callers must
-    /// follow with [`FluidState::reapply`] on the restored paths.
-    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
-        self.last_update = Nanos::decode(r)?;
+    /// Restores one path's slice written by [`FluidState::save_path_state`].
+    /// Callers must follow with [`FluidState::reapply_path`] on the
+    /// restored path.
+    pub fn load_path_state(&mut self, gid: usize, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        let pf = &mut self.paths[gid];
+        pf.last_update = Nanos::decode(r)?;
         let n = u64::decode(r)? as usize;
-        if n != self.agg.len() {
+        let expected = self
+            .config
+            .aggregates
+            .iter()
+            .filter(|spec| spec.path as usize == gid)
+            .count();
+        if n != expected {
             return Err(r.error("fluid aggregate count mismatch"));
         }
-        for a in &mut self.agg {
+        for (spec, a) in self.config.aggregates.iter().zip(self.agg.iter_mut()) {
+            if spec.path as usize != gid {
+                continue;
+            }
             a.rate = f64::decode(r)?;
             a.last_decrease = Nanos::decode(r)?;
         }
-        let n = u64::decode(r)? as usize;
-        if n != self.paths.len() {
-            return Err(r.error("fluid path count mismatch"));
-        }
-        for p in &mut self.paths {
-            p.backlog = f64::decode(r)?;
-            p.last_level = f64::decode(r)?;
-            p.service = f64::decode(r)?;
-            p.dropped = f64::decode(r)?;
-        }
+        let pf = &mut self.paths[gid];
+        pf.backlog = f64::decode(r)?;
+        pf.last_level = f64::decode(r)?;
+        pf.service = f64::decode(r)?;
+        pf.dropped = f64::decode(r)?;
         Ok(())
     }
 }
@@ -553,16 +586,51 @@ mod tests {
         let mut state = FluidState::new(&cfg, 1, 100);
         step_until(&mut state, &mut paths, 1, 700);
         let mut bytes = Vec::new();
-        state.save_state(&mut bytes);
+        state.save_path_state(0, &mut bytes);
         let mut restored = FluidState::new(&cfg, 1, 100);
         let mut r = Reader::new(&bytes);
-        restored.load_state(&mut r).expect("state decodes");
+        restored.load_path_state(0, &mut r).expect("state decodes");
         assert!(r.is_empty());
         let mut a = Vec::new();
         let mut b = Vec::new();
-        state.save_state(&mut a);
-        restored.save_state(&mut b);
+        state.save_path_state(0, &mut a);
+        restored.save_path_state(0, &mut b);
         assert_eq!(a, b, "round trip must be lossless");
+    }
+
+    #[test]
+    fn per_path_steps_match_the_tier_wide_sweep() {
+        // Two aggregates on two paths: integrating path-by-path (in either
+        // order) must produce exactly the f64 values the combined sweep
+        // does — the property the net-shard partition rests on.
+        let cfg = FluidCrossTraffic::new(vec![
+            FluidAggregate::new(6, Duration::from_millis(40)),
+            FluidAggregate::new(3, Duration::from_millis(80)).on_path(1),
+        ]);
+        let mk_paths = || {
+            vec![
+                BottleneckPath::drop_tail(Rate::from_mbps(24), Duration::from_millis(20), 80),
+                BottleneckPath::drop_tail(Rate::from_mbps(48), Duration::from_millis(30), 80),
+            ]
+        };
+        let mut sweep_paths = mk_paths();
+        let mut sweep = FluidState::new(&cfg, 2, 80);
+        let mut split_paths = mk_paths();
+        let mut split = FluidState::new(&cfg, 2, 80);
+        for ms in 1..=1_000u64 {
+            let now = Nanos::from_millis(ms);
+            sweep.update(now, &mut sweep_paths);
+            // Reverse path order: the steps must commute.
+            split.update_path(now, 1, &mut split_paths[1]);
+            split.update_path(now, 0, &mut split_paths[0]);
+        }
+        for gid in 0..2 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            sweep.save_path_state(gid, &mut a);
+            split.save_path_state(gid, &mut b);
+            assert_eq!(a, b, "path {gid} state diverged between step orders");
+        }
     }
 
     #[test]

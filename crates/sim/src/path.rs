@@ -267,22 +267,40 @@ pub enum Balancing {
 }
 
 /// Load balancer across the bottleneck sub-paths.
-#[derive(Debug)]
+///
+/// Picks are *pure per-packet functions*: the balancer holds no mutable
+/// state, so the path a packet takes depends only on the packet itself,
+/// never on how its arrival interleaves with other flows'. That
+/// per-path determinism is what lets each path's FIFO evolve
+/// independently — a net shard owning a disjoint set of paths sees
+/// exactly the arrivals the single-threaded engine would route to those
+/// paths — and it lets worker shards compute the pick locally when
+/// addressing envelopes to net shards, without consulting shared state.
+/// (The balancer used to thread a global round-robin counter through
+/// every pick, which made the pick sequence depend on the global
+/// arrival interleaving; see `PacketRoundRobin` below for the stateless
+/// replacement.)
+#[derive(Debug, Clone, Copy)]
 pub struct LoadBalancer {
     paths: usize,
     balancing: Balancing,
-    counter: u64,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash for the per-packet
+/// spray. Public only for the pick-locality tests in `bundler-shard`.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl LoadBalancer {
     /// Creates a load balancer over `paths` sub-paths.
     pub fn new(paths: usize, balancing: Balancing) -> Self {
         assert!(paths > 0, "need at least one path");
-        LoadBalancer {
-            paths,
-            balancing,
-            counter: 0,
-        }
+        LoadBalancer { paths, balancing }
     }
 
     /// Number of sub-paths.
@@ -290,28 +308,21 @@ impl LoadBalancer {
         self.paths
     }
 
-    /// Appends the balancer's dynamic state (the round-robin counter) to a
-    /// snapshot stream. The path count and policy are configuration.
-    pub fn save_state(&self, out: &mut Vec<u8>) {
-        self.counter.encode(out);
-    }
-
-    /// Restores state written by [`LoadBalancer::save_state`].
-    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
-        self.counter = u64::decode(r)?;
-        Ok(())
-    }
-
-    /// Picks the sub-path for a packet.
-    pub fn pick(&mut self, pkt: &Packet) -> usize {
+    /// Picks the sub-path for a packet. Pure: the same packet always
+    /// takes the same path, wherever and whenever the pick is computed.
+    pub fn pick(&self, pkt: &Packet) -> usize {
         if self.paths == 1 {
             return 0;
         }
         match self.balancing {
             Balancing::FlowHash => (pkt.key.digest() % self.paths as u64) as usize,
             Balancing::PacketRoundRobin => {
-                self.counter += 1;
-                (self.counter % self.paths as u64) as usize
+                // Per-packet spray: hash the five-tuple *and* the
+                // sequence number so consecutive packets of one flow
+                // spread across paths (the reordering stressor round-
+                // robin existed for), while staying a pure function of
+                // the packet.
+                (splitmix64(pkt.key.digest() ^ pkt.seq) % self.paths as u64) as usize
             }
         }
     }
@@ -414,7 +425,7 @@ mod tests {
 
     #[test]
     fn flow_hash_balancing_is_sticky_per_flow() {
-        let mut lb = LoadBalancer::new(4, Balancing::FlowHash);
+        let lb = LoadBalancer::new(4, Balancing::FlowHash);
         let a = pkt(1, 100);
         let b = pkt(2, 100);
         let pa = lb.pick(&a);
@@ -432,11 +443,49 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_spreads_packets() {
-        let mut lb = LoadBalancer::new(3, Balancing::PacketRoundRobin);
-        let p = pkt(1, 100);
-        let picks: Vec<usize> = (0..6).map(|_| lb.pick(&p)).collect();
-        assert_eq!(picks, vec![1, 2, 0, 1, 2, 0]);
+    fn packet_spray_is_pure_and_spreads_a_flow() {
+        let lb = LoadBalancer::new(3, Balancing::PacketRoundRobin);
+        // Purity: the pick is a function of the packet alone — repeating
+        // the same pick, in any interleaving, returns the same path.
+        let mut p = pkt(1, 100);
+        p.seq = 42;
+        let chosen = lb.pick(&p);
+        for _ in 0..10 {
+            assert_eq!(lb.pick(&p), chosen, "pick must not depend on history");
+        }
+        // Spread: consecutive sequence numbers of one flow use every path
+        // (the reordering stressor the policy exists for).
+        let mut seen = std::collections::HashSet::new();
+        let picks: Vec<usize> = (0..32)
+            .map(|seq| {
+                let mut p = pkt(1, 100);
+                p.seq = seq;
+                let path = lb.pick(&p);
+                seen.insert(path);
+                path
+            })
+            .collect();
+        assert_eq!(seen.len(), 3, "32 sprayed packets must hit all 3 paths");
+        assert!(picks.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn pick_is_independent_of_other_traffic() {
+        // The regression the net-shard split depends on: interleaving
+        // arrivals from other flows must not move a packet's path.
+        for balancing in [Balancing::FlowHash, Balancing::PacketRoundRobin] {
+            let lb = LoadBalancer::new(4, balancing);
+            let mut target = pkt(7, 100);
+            target.seq = 3;
+            let alone = lb.pick(&target);
+            // Interleave arbitrary other picks; the target's path is fixed.
+            for f in 0..16 {
+                let mut other = pkt(f, 100);
+                other.seq = f;
+                let _ = lb.pick(&other);
+                assert_eq!(lb.pick(&target), alone, "{balancing:?}");
+            }
+        }
     }
 
     #[test]

@@ -523,7 +523,10 @@ impl WorkerCore {
                 self.note_event(lp);
                 self.on_sample(lp, now, queue)
             }
-            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::FluidUpdate => {
+            Event::ArriveBottleneck { .. }
+            | Event::PathDequeue { .. }
+            | Event::PathSample { .. }
+            | Event::FluidUpdate { .. } => {
                 unreachable!("net event routed to a worker core")
             }
         }
@@ -1217,7 +1220,10 @@ impl WorkerCore {
             }
             Event::RtoCheck { flow } => self.flow_lp(flow),
             Event::Sample { lp } => lp,
-            Event::ArriveBottleneck { .. } | Event::PathDequeue { .. } | Event::FluidUpdate => {
+            Event::ArriveBottleneck { .. }
+            | Event::PathDequeue { .. }
+            | Event::PathSample { .. }
+            | Event::FluidUpdate { .. } => {
                 unreachable!("net event in a worker queue")
             }
         }
@@ -1907,69 +1913,123 @@ fn drain_release_burst(
 // NetCore
 // ---------------------------------------------------------------------------
 
+/// Bits of a path's private sequence space within an [`EventKey`]'s
+/// 48-bit sequence field; the global path id occupies the bits above, so
+/// the per-path streams can never collide.
+const PATH_SEQ_SHIFT: u32 = 40;
+
+/// The most bottleneck sub-paths a run can configure — the path id must
+/// fit above `PATH_SEQ_SHIFT` in the key packing.
+pub const MAX_NET_PATHS: usize = 256;
+
+/// The load balancer a run's configuration implies. It is pure state-free
+/// data: workers and net shards each hold their own copy and make
+/// identical picks for the same packet.
+pub fn balancer_for(config: &SimulationConfig) -> LoadBalancer {
+    let balancing = if config.packet_spraying {
+        Balancing::PacketRoundRobin
+    } else {
+        Balancing::FlowHash
+    };
+    LoadBalancer::new(config.num_paths.max(1), balancing)
+}
+
 /// The shared-bottleneck logical process: load balancer, paths, and the
 /// bottleneck-side statistics.
+///
+/// One `NetCore` instance hosts a *partition* of the global path set: the
+/// single-threaded engine and the `net_shards = 1` driver own every path;
+/// with `net_shards > 1`, net shard `k` owns `{gid : gid % net_shards ==
+/// k}`. Every per-path accumulator is indexed by the **global** path id
+/// and every event key is drawn from the owning path's private sequence
+/// stream (`(gid << PATH_SEQ_SHIFT) | seq`), so the union of all shards'
+/// outputs is bit-identical to one core owning everything — the invariant
+/// the cross-shard differential matrix in `crates/shard/tests` pins.
 pub struct NetCore {
     paths: Vec<BottleneckPath>,
+    /// Global path ids this core owns, ascending. Paths outside the set
+    /// are still constructed (so global indexing and the lookahead
+    /// computation work unchanged) but never receive events here.
+    owned: Vec<usize>,
+    /// This core's net-shard index and the run's net-shard count.
+    shard: usize,
+    net_shards: usize,
     lb: LoadBalancer,
-    seq: u64,
-    rtt: Duration,
+    /// Per-path schedule-sequence counters (the low half of the key
+    /// packing above).
+    path_seqs: Vec<u64>,
     sample_interval: Duration,
-    actual_rtt_ms: TimeSeries,
-    events_processed: u64,
+    /// Per-path handled-event counts, summed into the report.
+    events_handled: Vec<u64>,
     /// The configured per-path rate, kept so capacity-scale faults can
     /// compute (and restore) absolute rates deterministically.
     base_path_rate: Rate,
-    /// Packets created *by the net core itself* — duplication faults mint
-    /// copies here rather than at an endhost.
-    packets_created: u64,
+    /// Per-path packets created *by the net core itself* — duplication
+    /// faults mint copies here rather than at an endhost.
+    packets_minted: Vec<u64>,
     /// Fault-injection cursor state (which plan entries have fired, what
-    /// is pending). Advanced at the head of every net event, which is one
-    /// canonical stream for any shard count — so fault application is
-    /// shard-invariant by construction.
+    /// is pending), tracked per path so fault application is a pure
+    /// function of the path's own event stream.
     faults: NetFaults,
     /// The fluid cross-traffic tier, when configured. Lives here because
-    /// its integration points are net events: it reads and writes path
-    /// state on the canonical net stream, so capacity faults perturb it
-    /// identically for any shard count.
+    /// its integration points are net events: each path's `FluidUpdate`
+    /// stream reads and writes only that path's fluid state, so capacity
+    /// faults perturb it identically for any partitioning.
     fluid: Option<FluidState>,
-    /// [`LP_FLUID`]'s schedule sequence (separate from the net LP's so the
-    /// packet-event key stream is untouched when the tier is off).
-    fluid_seq: u64,
+    /// Per-path [`LP_FLUID`] sequence counters (separate from the net
+    /// LP's so the packet-event key stream is untouched when the tier is
+    /// off).
+    fluid_seqs: Vec<u64>,
     /// Observability state for the bottleneck side (shard id
-    /// [`bundler_obs::NET_SHARD`]). Public so the sharded driver can stamp
-    /// net-phase spans and drain the ring at barriers.
+    /// [`bundler_obs::NET_SHARD`], or the id below it for net shard `k`).
+    /// Public so the sharded driver can stamp net-phase spans and drain
+    /// the ring at barriers.
     pub obs: ShardObs,
 }
 
-/// The dynamic half of fault injection: the plan is immutable config, this
-/// tracks how far it has been applied. Part of the snapshot.
+/// The dynamic half of fault injection: the plan is immutable config;
+/// each path walks its **own** cursor over it, applying link/capacity
+/// entries addressed to it and folding every packet-level burst into its
+/// own counters. For `num_paths = 1` this is exactly the historical
+/// single-cursor semantics; for multipath it makes fault application
+/// independent of how arrivals interleave across paths, which is what
+/// lets paths live on different net shards. Part of the snapshot.
 struct NetFaults {
     plan: FaultPlan,
-    /// Index of the first plan entry not yet applied.
-    cursor: usize,
+    /// Per-path index of the first plan entry not yet applied.
+    cursor: Vec<usize>,
     /// Per-path "interface down" flags toggled by link flaps.
     link_down: Vec<bool>,
-    /// Remaining arrivals to drop (burst loss).
-    burst_loss: u32,
-    /// Remaining arrivals to duplicate.
-    duplicate: u32,
-    /// Remaining adjacent arrival pairs to swap.
-    reorder: u32,
-    /// The one-slot reorder buffer: the held packet is released behind the
-    /// next arrival.
-    held: Option<PacketId>,
+    /// Per-path remaining arrivals to drop (burst loss).
+    burst_loss: Vec<u32>,
+    /// Per-path remaining arrivals to duplicate.
+    duplicate: Vec<u32>,
+    /// Per-path remaining adjacent arrival pairs to swap.
+    reorder: Vec<u32>,
+    /// Per-path one-slot reorder buffers: a held packet is released
+    /// behind the next arrival on the same path.
+    held: Vec<Option<PacketId>>,
 }
 
 impl NetCore {
-    /// Builds the bottleneck from the simulation configuration.
+    /// Builds the bottleneck from the simulation configuration, owning
+    /// every path (the single-threaded host and the `net_shards = 1`
+    /// driver).
     pub fn new(config: &SimulationConfig) -> Self {
-        let per_path_rate =
-            Rate::from_bps(config.bottleneck_rate.as_bps() / config.num_paths.max(1) as u64);
+        NetCore::with_partition(config, 0, 1)
+    }
+
+    /// Builds net shard `shard` of `net_shards`, owning the global paths
+    /// `{gid : gid % net_shards == shard}`.
+    pub fn with_partition(config: &SimulationConfig, shard: usize, net_shards: usize) -> Self {
+        let n = config.num_paths.max(1);
+        assert!(n <= MAX_NET_PATHS, "at most {MAX_NET_PATHS} paths");
+        assert!(net_shards >= 1 && shard < net_shards, "bad net partition");
+        let per_path_rate = Rate::from_bps(config.bottleneck_rate.as_bps() / n as u64);
         let buffer = config.effective_buffer_pkts();
         let forward_delay = Duration(config.rtt.as_nanos() / 2);
         let mut paths = Vec::new();
-        for i in 0..config.num_paths.max(1) {
+        for i in 0..n {
             let extra = Duration(config.path_delay_spread.as_nanos() * i as u64);
             let delay = forward_delay + extra;
             let path = if config.in_network_fq {
@@ -1979,43 +2039,59 @@ impl NetCore {
             };
             paths.push(path);
         }
-        let balancing = if config.packet_spraying {
-            Balancing::PacketRoundRobin
-        } else {
-            Balancing::FlowHash
-        };
-        let lb = LoadBalancer::new(config.num_paths.max(1), balancing);
+        let fluid = config
+            .cross_traffic
+            .as_ref()
+            .map(|ct| FluidState::new(ct, n, buffer));
+        let mut obs = ShardObs::new(config.obs, bundler_obs::net_shard_id(shard));
+        obs.sampler = config.flow_trace.map(FlowSampler::new);
+        obs.stream = config.stream.clone();
+        // Prime the fluid-collapse monitor eagerly: aggregates open at
+        // their floor, and an edge can only fire on a later *transition*
+        // back down to it.
+        if let Some(fluid) = &fluid {
+            obs.fluid_floor = vec![true; fluid.num_aggregates()];
+        }
         NetCore {
             paths,
-            lb,
-            seq: 0,
-            rtt: config.rtt,
+            owned: (0..n).filter(|gid| gid % net_shards == shard).collect(),
+            shard,
+            net_shards,
+            lb: balancer_for(config),
+            path_seqs: vec![0; n],
             sample_interval: config.sample_interval,
-            actual_rtt_ms: TimeSeries::new(),
-            events_processed: 0,
+            events_handled: vec![0; n],
             base_path_rate: per_path_rate,
-            packets_created: 0,
+            packets_minted: vec![0; n],
             faults: NetFaults {
                 plan: config.faults.clone().unwrap_or_default(),
-                cursor: 0,
-                link_down: vec![false; config.num_paths.max(1)],
-                burst_loss: 0,
-                duplicate: 0,
-                reorder: 0,
-                held: None,
+                cursor: vec![0; n],
+                link_down: vec![false; n],
+                burst_loss: vec![0; n],
+                duplicate: vec![0; n],
+                reorder: vec![0; n],
+                held: vec![None; n],
             },
-            fluid: config
-                .cross_traffic
-                .as_ref()
-                .map(|ct| FluidState::new(ct, config.num_paths.max(1), buffer)),
-            fluid_seq: 0,
-            obs: {
-                let mut obs = ShardObs::new(config.obs, bundler_obs::NET_SHARD);
-                obs.sampler = config.flow_trace.map(FlowSampler::new);
-                obs.stream = config.stream.clone();
-                obs
-            },
+            fluid,
+            fluid_seqs: vec![0; n],
+            obs,
         }
+    }
+
+    /// True if this core owns global path `gid`.
+    #[inline]
+    pub fn owns_path(&self, gid: usize) -> bool {
+        gid % self.net_shards == self.shard
+    }
+
+    /// The global path ids this core owns, ascending.
+    pub fn owned_paths(&self) -> &[usize] {
+        &self.owned
+    }
+
+    /// This core's net-shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
     }
 
     /// The minimum one-way delay across paths: the sharded driver's
@@ -2029,56 +2105,75 @@ impl NetCore {
             .unwrap_or(Duration::ZERO)
     }
 
-    /// Events this core has handled.
+    /// Events this core has handled (across its owned paths).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events_handled.iter().sum()
     }
 
     /// Packets minted by the net core itself (duplication faults).
     pub fn packets_created(&self) -> u64 {
-        self.packets_created
+        self.packets_minted.iter().sum()
     }
 
     #[inline]
-    fn key(&mut self) -> EventKey {
-        self.seq += 1;
-        EventKey::new(LP_NET, self.seq)
+    fn key_for(&mut self, gid: usize) -> EventKey {
+        self.path_seqs[gid] += 1;
+        let seq = self.path_seqs[gid];
+        debug_assert!(seq < 1 << PATH_SEQ_SHIFT, "path sequence space exhausted");
+        EventKey::new(LP_NET, ((gid as u64) << PATH_SEQ_SHIFT) | seq)
     }
 
     #[inline]
-    fn fluid_key(&mut self) -> EventKey {
-        self.fluid_seq += 1;
-        EventKey::new(LP_FLUID, self.fluid_seq)
+    fn fluid_key_for(&mut self, gid: usize) -> EventKey {
+        self.fluid_seqs[gid] += 1;
+        let seq = self.fluid_seqs[gid];
+        debug_assert!(seq < 1 << PATH_SEQ_SHIFT, "fluid sequence space exhausted");
+        EventKey::new(LP_FLUID, ((gid as u64) << PATH_SEQ_SHIFT) | seq)
     }
 
-    /// Appends the bottleneck's complete dynamic state to a snapshot
-    /// stream without disturbing the live run: counters, balancer, per-path
-    /// queues (packets cloned by value), the fault cursor, and the pending
-    /// net events lifted from `queue` and re-scheduled under their original
-    /// ids. Returns `false` if a path's queue discipline does not support
-    /// checkpointing (bytes written so far must be discarded).
-    pub fn save_state(
+    /// The global path a pending net event belongs to. `ArriveBottleneck`
+    /// resolves through the pure load balancer — the same pick `admit`
+    /// will make when the event is eventually handled.
+    pub fn net_event_path(&self, event: &Event, arena: &PacketArena) -> usize {
+        match event {
+            Event::ArriveBottleneck { pkt } => self.lb.pick(&arena[*pkt]),
+            Event::PathDequeue { path }
+            | Event::PathSample { path }
+            | Event::FluidUpdate { path } => *path as usize,
+            _ => unreachable!("worker event in a net queue"),
+        }
+    }
+
+    /// Appends global path `gid`'s complete dynamic slice to a snapshot
+    /// stream without disturbing the live run: the path's sequence
+    /// counters, queue (packets cloned by value), fault cursor, fluid
+    /// state, and its pending net events lifted from `queue` in canonical
+    /// order and re-scheduled under their original ids. Because every
+    /// field is per-path, the concatenation of all paths' sections in
+    /// global id order is byte-identical no matter how paths were
+    /// partitioned across net shards. Returns `false` if the path's queue
+    /// discipline does not support checkpointing (bytes written so far
+    /// must be discarded).
+    pub fn save_path_section(
         &mut self,
+        gid: usize,
         queue: &mut EventQueue,
         arena: &mut PacketArena,
         out: &mut Vec<u8>,
     ) -> bool {
-        self.seq.encode(out);
-        self.events_processed.encode(out);
-        self.packets_created.encode(out);
-        self.actual_rtt_ms.encode(out);
-        self.lb.save_state(out);
-        for p in &mut self.paths {
-            if !p.save_state(arena, out) {
-                return false;
-            }
+        debug_assert!(self.owns_path(gid));
+        self.path_seqs[gid].encode(out);
+        self.events_handled[gid].encode(out);
+        self.packets_minted[gid].encode(out);
+        if !self.paths[gid].save_state(arena, out) {
+            return false;
         }
-        (self.faults.cursor as u64).encode(out);
-        self.faults.link_down.encode(out);
-        self.faults.burst_loss.encode(out);
-        self.faults.duplicate.encode(out);
-        self.faults.reorder.encode(out);
-        match self.faults.held {
+        (self.faults.cursor[gid] as u64).encode(out);
+        self.faults.link_down[gid].encode(out);
+        self.faults.burst_loss[gid].encode(out);
+        self.faults.duplicate[gid].encode(out);
+        self.faults.reorder[gid].encode(out);
+        match self.faults.held[gid] {
             Some(id) => {
                 true.encode(out);
                 arena[id].encode(out);
@@ -2087,16 +2182,20 @@ impl NetCore {
         }
         // The fluid tier's section exists only when the tier is configured
         // (the config fingerprint pins whether it is), so snapshots of
-        // packet-only runs keep their exact pre-fluid byte layout.
+        // packet-only runs keep a pre-fluid byte layout. The collapse
+        // monitor's edge-trigger flags for the aggregates pinned to this
+        // path ride along, so a resumed run does not re-fire (or miss) a
+        // collapse event the interrupted run already decided.
         if let Some(fluid) = &self.fluid {
-            self.fluid_seq.encode(out);
-            fluid.save_state(out);
-            // The fluid-collapse monitor's edge-trigger flags: restored so
-            // a resumed run does not re-fire (or miss) a collapse event the
-            // crashed run already decided.
-            self.obs.fluid_floor.encode(out);
+            self.fluid_seqs[gid].encode(out);
+            fluid.save_path_state(gid, out);
+            for i in 0..fluid.num_aggregates() {
+                if fluid.aggregate_path(i) as usize == gid {
+                    self.obs.fluid_floor[i].encode(out);
+                }
+            }
         }
-        let events = queue.extract_if(is_net_event);
+        let events = queue.extract_if(|e| is_net_event(e) && self.net_event_path(e, arena) == gid);
         encode_events_canonical(&events, out);
         let mut pkts: Vec<&Packet> = Vec::new();
         for (_, _, e) in &events {
@@ -2114,41 +2213,42 @@ impl NetCore {
         true
     }
 
-    /// Restores state written by [`NetCore::save_state`] into a freshly
-    /// configured core, inserting packets into `arena` and scheduling the
-    /// pending net events into `queue`.
-    pub fn load_state(
+    /// Restores the slice written by [`NetCore::save_path_section`] for
+    /// global path `gid` into a freshly configured core, inserting packets
+    /// into `arena` and scheduling the path's pending net events into
+    /// `queue`. The restoring core need not be partitioned the way the
+    /// writing one was — any core owning `gid` can adopt the section.
+    pub fn load_path_section(
         &mut self,
+        gid: usize,
         queue: &mut EventQueue,
         arena: &mut PacketArena,
         r: &mut Reader<'_>,
     ) -> Result<(), DecodeError> {
-        self.seq = u64::decode(r)?;
-        self.events_processed = u64::decode(r)?;
-        self.packets_created = u64::decode(r)?;
-        self.actual_rtt_ms = TimeSeries::decode(r)?;
-        self.lb.load_state(r)?;
-        for i in 0..self.paths.len() {
-            self.paths[i].load_state(arena, r)?;
-        }
-        self.faults.cursor = u64::decode(r)? as usize;
-        self.faults.link_down = Vec::<bool>::decode(r)?;
-        if self.faults.link_down.len() != self.paths.len() {
-            return Err(r.error("link-down vector does not match path count"));
-        }
-        self.faults.burst_loss = u32::decode(r)?;
-        self.faults.duplicate = u32::decode(r)?;
-        self.faults.reorder = u32::decode(r)?;
-        self.faults.held = if bool::decode(r)? {
+        debug_assert!(self.owns_path(gid));
+        self.path_seqs[gid] = u64::decode(r)?;
+        self.events_handled[gid] = u64::decode(r)?;
+        self.packets_minted[gid] = u64::decode(r)?;
+        self.paths[gid].load_state(arena, r)?;
+        self.faults.cursor[gid] = u64::decode(r)? as usize;
+        self.faults.link_down[gid] = bool::decode(r)?;
+        self.faults.burst_loss[gid] = u32::decode(r)?;
+        self.faults.duplicate[gid] = u32::decode(r)?;
+        self.faults.reorder[gid] = u32::decode(r)?;
+        self.faults.held[gid] = if bool::decode(r)? {
             Some(arena.insert(Packet::decode(r)?))
         } else {
             None
         };
         if let Some(fluid) = &mut self.fluid {
-            self.fluid_seq = u64::decode(r)?;
-            fluid.load_state(r)?;
-            fluid.reapply(&mut self.paths);
-            self.obs.fluid_floor = Vec::<bool>::decode(r)?;
+            self.fluid_seqs[gid] = u64::decode(r)?;
+            fluid.load_path_state(gid, r)?;
+            fluid.reapply_path(gid, &mut self.paths[gid]);
+            for i in 0..fluid.num_aggregates() {
+                if fluid.aggregate_path(i) as usize == gid {
+                    self.obs.fluid_floor[i] = bool::decode(r)?;
+                }
+            }
         }
         let events = Vec::<(Nanos, EventKey, Event)>::decode(r)?;
         let n = u64::decode(r)? as usize;
@@ -2170,19 +2270,29 @@ impl NetCore {
         Ok(())
     }
 
-    /// Schedules the net LP's initial events (its sample stream, plus the
-    /// fluid tier's integration stream when the tier is configured).
+    /// Schedules the initial events of every path this core owns: the
+    /// path's sample stream, plus its fluid-integration stream when the
+    /// tier is configured.
     pub fn schedule_initial(&mut self, queue: &mut EventQueue) {
-        let (at, key) = (Nanos::ZERO + self.sample_interval, self.key());
-        queue.schedule(at, key, Event::Sample { lp: LP_NET });
-        if let Some(fluid) = &self.fluid {
-            let at = Nanos::ZERO + fluid.update_interval();
-            let key = self.fluid_key();
-            queue.schedule(at, key, Event::FluidUpdate);
+        let fluid_at = self
+            .fluid
+            .as_ref()
+            .map(|f| Nanos::ZERO + f.update_interval());
+        for i in 0..self.owned.len() {
+            let gid = self.owned[i];
+            let (at, key) = (Nanos::ZERO + self.sample_interval, self.key_for(gid));
+            queue.schedule(at, key, Event::PathSample { path: gid as u32 });
+            if let Some(at) = fluid_at {
+                let key = self.fluid_key_for(gid);
+                queue.schedule(at, key, Event::FluidUpdate { path: gid as u32 });
+            }
         }
     }
 
-    /// Handles one net-LP event.
+    /// Handles one net-LP event. Every event resolves to exactly one
+    /// global path (arrivals through the pure load balancer), and every
+    /// side effect — fault cursor, queue state, sequence counters,
+    /// telemetry — touches only that path's slice.
     pub fn handle(
         &mut self,
         event: Event,
@@ -2191,65 +2301,63 @@ impl NetCore {
         queue: &mut EventQueue,
         deliveries: &mut Vec<Delivery>,
     ) {
-        self.events_processed += 1;
-        self.apply_due_faults(now);
         match event {
             Event::ArriveBottleneck { pkt } => self.on_arrive_bottleneck(pkt, now, arena, queue),
             Event::PathDequeue { path } => {
                 self.on_path_dequeue(path as usize, now, arena, queue, deliveries)
             }
-            Event::Sample { lp } => {
-                debug_assert_eq!(lp, LP_NET);
-                self.on_sample(now, queue);
-            }
-            Event::FluidUpdate => self.on_fluid_update(now, queue),
+            Event::PathSample { path } => self.on_path_sample(path as usize, now, queue),
+            Event::FluidUpdate { path } => self.on_fluid_update(path as usize, now, queue),
             _ => unreachable!("worker event routed to the net core"),
         }
     }
 
-    /// One integration step of the fluid cross-traffic tier.
-    fn on_fluid_update(&mut self, now: Nanos, queue: &mut EventQueue) {
+    /// One integration step of the fluid cross-traffic tier on path `gid`.
+    fn on_fluid_update(&mut self, gid: usize, now: Nanos, queue: &mut EventQueue) {
+        debug_assert!(self.owns_path(gid));
+        self.events_handled[gid] += 1;
+        self.apply_due_faults_for(gid, now);
         let Some(fluid) = &mut self.fluid else {
             unreachable!("FluidUpdate without a configured fluid tier");
         };
-        fluid.update(now, &mut self.paths);
+        fluid.update_path(now, gid, &mut self.paths[gid]);
         let interval = fluid.update_interval();
         if self.obs.metrics_on() {
             self.obs.metrics.add(CounterId::FluidUpdates, 1);
-            let total_backlog: u64 = (0..self.paths.len()).map(|i| fluid.backlog_bytes(i)).sum();
             self.obs
                 .metrics
-                .gauge_max(GaugeId::PeakFluidBacklogBytes, total_backlog);
+                .gauge_max(GaugeId::PeakFluidBacklogBytes, fluid.backlog_bytes(gid));
             if self.obs.trace_on() {
-                for (i, p) in self.paths.iter().enumerate() {
-                    let kind = TraceKind::FluidLevel {
-                        path: i as u32,
-                        backlog_bytes: fluid.backlog_bytes(i),
-                        rate_bps: p.fluid_drain_bps(),
-                    };
-                    self.obs.record(now, kind);
-                }
+                let kind = TraceKind::FluidLevel {
+                    path: gid as u32,
+                    backlog_bytes: fluid.backlog_bytes(gid),
+                    rate_bps: self.paths[gid].fluid_drain_bps(),
+                };
+                self.obs.record(now, kind);
                 for i in 0..fluid.num_aggregates() {
-                    self.obs.record(
-                        now,
-                        TraceKind::FluidAgg {
-                            agg: i as u32,
-                            path: fluid.aggregate_path(i),
-                            rate_bps: fluid.aggregate_rate_bps(i, now),
-                        },
-                    );
+                    if fluid.aggregate_path(i) as usize == gid {
+                        self.obs.record(
+                            now,
+                            TraceKind::FluidAgg {
+                                agg: i as u32,
+                                path: fluid.aggregate_path(i),
+                                rate_bps: fluid.aggregate_rate_bps(i, now),
+                            },
+                        );
+                    }
                 }
             }
-            // Fluid-collapse monitor: edge-triggered on the transition into
-            // the at-floor state (the vector primes lazily so the opening
-            // sample — aggregates start at their floor — never fires).
-            let primed = !self.obs.fluid_floor.is_empty();
-            if !primed {
-                self.obs.fluid_floor = vec![true; fluid.num_aggregates()];
-            }
+            // Fluid-collapse monitor: edge-triggered on the transition
+            // into the at-floor state for the aggregates pinned to this
+            // path (the vector was primed `true` at construction, so the
+            // opening samples — aggregates start at their floor — never
+            // fire).
             for i in 0..fluid.num_aggregates() {
+                if fluid.aggregate_path(i) as usize != gid {
+                    continue;
+                }
                 let at_floor = fluid.aggregate_at_floor(i, now);
-                if primed && at_floor && !self.obs.fluid_floor[i] {
+                if at_floor && !self.obs.fluid_floor[i] {
                     self.obs.metrics.add(CounterId::HealthEvents, 1);
                     self.obs.record(
                         now,
@@ -2263,47 +2371,53 @@ impl NetCore {
                 self.obs.fluid_floor[i] = at_floor;
             }
         }
-        let (at, key) = (now + interval, self.fluid_key());
-        queue.schedule(at, key, Event::FluidUpdate);
+        let (at, key) = (now + interval, self.fluid_key_for(gid));
+        queue.schedule(at, key, Event::FluidUpdate { path: gid as u32 });
     }
 
-    /// Applies every plan entry due at or before `now`. Runs at the head of
-    /// each net event; since the net event stream is canonical, the exact
-    /// event a fault lands before is the same for every partitioning.
-    fn apply_due_faults(&mut self, now: Nanos) {
-        while let Some(e) = self.faults.plan.entries.get(self.faults.cursor) {
+    /// Applies every plan entry due at or before `now` to path `gid`'s
+    /// fault slice. Runs at the head of each of the path's events; since
+    /// a path's event stream is canonical on its own, the exact event a
+    /// fault lands before is the same for every partitioning. Entries
+    /// addressed to other paths advance the cursor without effect;
+    /// packet-level bursts fold into this path's own counters.
+    fn apply_due_faults_for(&mut self, gid: usize, now: Nanos) {
+        while let Some(e) = self.faults.plan.entries.get(self.faults.cursor[gid]) {
             if e.at > now {
                 break;
             }
             let kind = e.kind;
-            self.faults.cursor += 1;
+            self.faults.cursor[gid] += 1;
             match kind {
                 FaultKind::LinkDown { path } => {
-                    if let Some(d) = self.faults.link_down.get_mut(path as usize) {
-                        *d = true;
+                    if path as usize == gid {
+                        self.faults.link_down[gid] = true;
                     }
                 }
                 FaultKind::LinkUp { path } => {
-                    if let Some(d) = self.faults.link_down.get_mut(path as usize) {
-                        *d = false;
+                    if path as usize == gid {
+                        self.faults.link_down[gid] = false;
                     }
                 }
                 FaultKind::CapacityScale { path, permille } => {
-                    if let Some(p) = self.paths.get_mut(path as usize) {
+                    if path as usize == gid {
                         let bps = self.base_path_rate.as_bps() * permille as u64 / 1000;
-                        p.set_rate(Rate::from_bps(bps.max(1)));
+                        self.paths[gid].set_rate(Rate::from_bps(bps.max(1)));
                     }
                 }
-                FaultKind::BurstLoss { count } => self.faults.burst_loss += count,
-                FaultKind::Duplicate { count } => self.faults.duplicate += count,
-                FaultKind::Reorder { count } => self.faults.reorder += count,
+                FaultKind::BurstLoss { count } => self.faults.burst_loss[gid] += count,
+                FaultKind::Duplicate { count } => self.faults.duplicate[gid] += count,
+                FaultKind::Reorder { count } => self.faults.reorder[gid] += count,
             }
         }
     }
 
-    /// One packet arriving at the bottleneck, filtered through the
-    /// packet-level faults. Precedence: burst loss, then reordering, then
-    /// duplication (a packet is subject to at most one).
+    /// One packet arriving at the bottleneck: resolve its path first (the
+    /// pick is pure, so the balancer is untouched by what faults do next),
+    /// then filter through that path's packet-level faults. Precedence:
+    /// burst loss, then reordering, then duplication (a packet is subject
+    /// to at most one). A duplicate's copy shares the original's flow key
+    /// and sequence, so it lands on the same path by construction.
     fn on_arrive_bottleneck(
         &mut self,
         pkt: PacketId,
@@ -2311,57 +2425,61 @@ impl NetCore {
         arena: &mut PacketArena,
         queue: &mut EventQueue,
     ) {
-        if self.faults.burst_loss > 0 {
-            // Injected loss upstream of the bottleneck: the packet vanishes
-            // without touching the load balancer or any queue.
-            self.faults.burst_loss -= 1;
+        let gid = self.lb.pick(&arena[pkt]);
+        debug_assert!(self.owns_path(gid), "packet routed to the wrong net shard");
+        self.events_handled[gid] += 1;
+        self.apply_due_faults_for(gid, now);
+        if self.faults.burst_loss[gid] > 0 {
+            // Injected loss upstream of the bottleneck: the packet
+            // vanishes without touching any queue.
+            self.faults.burst_loss[gid] -= 1;
             arena.free(pkt);
             return;
         }
-        if self.faults.reorder > 0 {
-            match self.faults.held.take() {
+        if self.faults.reorder[gid] > 0 {
+            match self.faults.held[gid].take() {
                 None => {
-                    self.faults.held = Some(pkt);
+                    self.faults.held[gid] = Some(pkt);
                     return;
                 }
                 Some(held) => {
-                    self.faults.reorder -= 1;
-                    self.admit(pkt, now, arena, queue);
-                    self.admit(held, now, arena, queue);
+                    self.faults.reorder[gid] -= 1;
+                    self.admit(pkt, gid, now, arena, queue);
+                    self.admit(held, gid, now, arena, queue);
                     return;
                 }
             }
         }
-        if self.faults.duplicate > 0 {
-            self.faults.duplicate -= 1;
+        if self.faults.duplicate[gid] > 0 {
+            self.faults.duplicate[gid] -= 1;
             let copy = arena[pkt].clone();
             let dup = arena.insert(copy);
-            self.packets_created += 1;
-            self.admit(pkt, now, arena, queue);
-            self.admit(dup, now, arena, queue);
+            self.packets_minted[gid] += 1;
+            self.admit(pkt, gid, now, arena, queue);
+            self.admit(dup, gid, now, arena, queue);
             return;
         }
-        self.admit(pkt, now, arena, queue);
+        self.admit(pkt, gid, now, arena, queue);
     }
 
-    /// Routes a packet onto its sub-path (the pre-fault arrival path). A
-    /// downed link drops arrivals at the interface — packets already queued
-    /// still drain.
+    /// Enqueues a packet onto sub-path `gid` (its pre-fault arrival
+    /// path). A downed link drops arrivals at the interface — packets
+    /// already queued still drain.
     fn admit(
         &mut self,
         pkt: PacketId,
+        gid: usize,
         now: Nanos,
         arena: &mut PacketArena,
         queue: &mut EventQueue,
     ) {
-        let path = self.lb.pick(&arena[pkt]);
-        if self.faults.link_down[path] {
-            self.paths[path].drops += 1;
+        if self.faults.link_down[gid] {
+            self.paths[gid].drops += 1;
             arena.free(pkt);
             return;
         }
-        if self.paths[path].enqueue(pkt, arena, now) {
-            self.kick_path(path, now, queue);
+        if self.paths[gid].enqueue(pkt, arena, now) {
+            self.kick_path(gid, now, queue);
         }
     }
 
@@ -2372,7 +2490,7 @@ impl NetCore {
         }
         let at = now.max(p.busy_until());
         p.dequeue_scheduled = true;
-        let key = self.key();
+        let key = self.key_for(path);
         queue.schedule(at, key, Event::PathDequeue { path: path as u32 });
     }
 
@@ -2384,6 +2502,9 @@ impl NetCore {
         queue: &mut EventQueue,
         deliveries: &mut Vec<Delivery>,
     ) {
+        debug_assert!(self.owns_path(path));
+        self.events_handled[path] += 1;
+        self.apply_due_faults_for(path, now);
         self.paths[path].dequeue_scheduled = false;
         if let Some((pkt, delivered_at, link_free)) = self.paths[path].try_transmit(arena, now) {
             if self.obs.trace_on() {
@@ -2401,7 +2522,7 @@ impl NetCore {
                     );
                 }
             }
-            let key = self.key();
+            let key = self.key_for(path);
             deliveries.push(Delivery {
                 at: delivered_at,
                 key,
@@ -2409,41 +2530,37 @@ impl NetCore {
             });
             if self.paths[path].queue_len() > 0 {
                 self.paths[path].dequeue_scheduled = true;
-                let key = self.key();
+                let key = self.key_for(path);
                 queue.schedule(link_free, key, Event::PathDequeue { path: path as u32 });
             }
         } else if self.paths[path].queue_len() > 0 {
             // Link was still busy: try again when it frees up.
             let at = self.paths[path].busy_until();
             self.paths[path].dequeue_scheduled = true;
-            let key = self.key();
+            let key = self.key_for(path);
             queue.schedule(at, key, Event::PathDequeue { path: path as u32 });
         }
     }
 
-    fn on_sample(&mut self, now: Nanos, queue: &mut EventQueue) {
-        for p in &mut self.paths {
-            p.sample_queue_delay(now);
-        }
-        // Ground-truth RTT: base propagation plus current bottleneck
-        // queueing delay (averaged across sub-paths).
-        let queue_delay_ms: f64 = self
-            .paths
-            .iter()
-            .map(|p| p.queue_delay().as_millis_f64())
-            .sum::<f64>()
-            / self.paths.len().max(1) as f64;
-        self.actual_rtt_ms
-            .push(now, self.rtt.as_millis_f64() + queue_delay_ms);
+    /// One queue-delay sample of path `gid`. The ground-truth RTT series
+    /// the report exposes is *derived* from the per-path samples at
+    /// assembly time (base propagation plus the same-instant average), so
+    /// nothing here needs to see the other paths.
+    fn on_path_sample(&mut self, gid: usize, now: Nanos, queue: &mut EventQueue) {
+        debug_assert!(self.owns_path(gid));
+        self.events_handled[gid] += 1;
+        self.apply_due_faults_for(gid, now);
+        self.paths[gid].sample_queue_delay(now);
         if self.obs.metrics_on() {
+            let queue_delay_ms = self.paths[gid].queue_delay().as_millis_f64();
             self.obs.metrics.observe(
                 HistId::BottleneckQueueDelayUs,
                 (queue_delay_ms * 1000.0) as u64,
             );
             self.obs.flush(now);
         }
-        let (at, key) = (now + self.sample_interval, self.key());
-        queue.schedule(at, key, Event::Sample { lp: LP_NET });
+        let (at, key) = (now + self.sample_interval, self.key_for(gid));
+        queue.schedule(at, key, Event::PathSample { path: gid as u32 });
     }
 
     /// Test/diagnostic dump of path state.
@@ -2465,15 +2582,15 @@ impl NetCore {
     }
 }
 
-/// True if the event is handled by the net core.
+/// True if the event is handled by a net core.
 #[inline]
 pub fn is_net_event(event: &Event) -> bool {
     matches!(
         event,
         Event::ArriveBottleneck { .. }
             | Event::PathDequeue { .. }
-            | Event::Sample { lp: LP_NET }
-            | Event::FluidUpdate
+            | Event::PathSample { .. }
+            | Event::FluidUpdate { .. }
     )
 }
 
@@ -2503,13 +2620,14 @@ fn encode_events_canonical(events: &[(Nanos, EventKey, Event)], out: &mut Vec<u8
 // ---------------------------------------------------------------------------
 
 /// Merges the cores' outputs into one [`SimReport`]. `workers` may be one
-/// core owning everything (single-threaded host) or one per shard; the
-/// result is identical either way because every per-LP output is tagged
-/// with its canonical order.
+/// core owning everything (single-threaded host) or one per shard, and
+/// `nets` one core owning every path or one per net shard; the result is
+/// identical either way because every per-LP output is tagged with its
+/// canonical order and every net-side accumulator is per-path.
 pub fn assemble_report(
     config: &SimulationConfig,
     mut workers: Vec<WorkerCore>,
-    mut net: NetCore,
+    mut nets: Vec<NetCore>,
     packets_recycled: u64,
 ) -> SimReport {
     let n_bundles = config.n_bundles();
@@ -2609,26 +2727,51 @@ pub fn assemble_report(
         report.agent_stats = agent_stats_total;
     }
 
-    report.events_processed += net.events_processed;
-    report.packets_created += net.packets_created;
     report.packets_recycled = packets_recycled;
-    report.bottleneck_drops = net.paths.iter().map(|p| p.drops).sum();
-    report.bytes_delivered = net.paths.iter().map(|p| p.bytes_delivered).sum();
-    // Aggregate bottleneck queue delay: merge per-path series by
-    // averaging samples taken at the same instant.
+    for net in &nets {
+        report.events_processed += net.events_processed();
+        report.packets_created += net.packets_created();
+        for &gid in &net.owned {
+            report.bottleneck_drops += net.paths[gid].drops;
+            report.bytes_delivered += net.paths[gid].bytes_delivered;
+        }
+    }
+    // Aggregate bottleneck queue delay: walk the paths in global id order
+    // (each lives on exactly one net core) and merge the per-path series
+    // by averaging samples taken at the same instant.
+    let num_paths = config.num_paths.max(1);
+    let series: Vec<&TimeSeries> = (0..num_paths)
+        .map(|gid| {
+            let net = nets
+                .iter()
+                .find(|n| n.owns_path(gid))
+                .expect("every path has an owning net core");
+            &net.paths[gid].queue_delay_ms
+        })
+        .collect();
     let mut merged = TimeSeries::new();
-    if let Some(first) = net.paths.first() {
-        for (i, &(t, _)) in first.queue_delay_ms.samples.iter().enumerate() {
+    if let Some(first) = series.first() {
+        for (i, &(t, _)) in first.samples.iter().enumerate() {
             let mut total = 0.0;
             let mut n: f64 = 0.0;
-            for p in &net.paths {
-                if let Some(&(_, v)) = p.queue_delay_ms.samples.get(i) {
+            for s in &series {
+                if let Some(&(_, v)) = s.samples.get(i) {
                     total += v;
                     n += 1.0;
                 }
             }
             merged.push(t, total / n.max(1.0));
         }
+    }
+    drop(series);
+    // Ground-truth RTT, derived from the merged queue delay: base
+    // propagation plus the same-instant bottleneck queueing average.
+    // Bit-identical to sampling it inside the net LP (same summation
+    // order, same division), but independent of how the paths are
+    // partitioned across net shards.
+    let rtt_ms = config.rtt.as_millis_f64();
+    for &(t, qd) in &merged.samples {
+        report.actual_rtt_ms.push(t, rtt_ms + qd);
     }
     report.bottleneck_queue_delay_ms = merged;
 
@@ -2676,13 +2819,15 @@ pub fn assemble_report(
                 });
             }
         }
-        net.obs.flush(at_end);
-        metrics.merge_from(&net.obs.metrics);
-        host.merge_from(&net.obs.host);
-        let (records, dropped) = std::mem::take(&mut net.obs.ring).into_records();
-        trace.extend(records);
-        trace_dropped += dropped;
-        host.trace_ring_dropped += dropped;
+        for net in &mut nets {
+            net.obs.flush(at_end);
+            metrics.merge_from(&net.obs.metrics);
+            host.merge_from(&net.obs.host);
+            let (records, dropped) = std::mem::take(&mut net.obs.ring).into_records();
+            trace.extend(records);
+            trace_dropped += dropped;
+            host.trace_ring_dropped += dropped;
+        }
         if let Some(stream) = &config.stream {
             stream.flush_io();
         }
@@ -2700,6 +2845,5 @@ pub fn assemble_report(
         }));
     }
 
-    report.actual_rtt_ms = net.actual_rtt_ms;
     report
 }

@@ -77,6 +77,21 @@ pub struct SimulationConfig {
     /// construction — so this only trades load balance against migration
     /// work.
     pub balance: ShardBalance,
+    /// How many net shards the bottleneck runs on. `1` (the default) keeps
+    /// today's single net core. Larger values are honoured by the
+    /// multi-threaded host, which partitions the bottleneck sub-paths
+    /// round-robin across that many dedicated net threads (net shard `k`
+    /// owns paths `{gid : gid % net_shards == k}`) and produces
+    /// bit-identical results; values above `num_paths` are clamped. The
+    /// plain [`Simulation`] ignores the field.
+    pub net_shards: usize,
+    /// Route every mailbox envelope through the versioned `NETENV` wire
+    /// format (encode → decode at the sending edge) in the sharded host.
+    /// Purely a transport exercise — results are bit-identical either way
+    /// (property-tested) — kept as a run-time switch so the differential
+    /// matrix proves the codec before shards ever cross a process
+    /// boundary. Ignored by the plain [`Simulation`].
+    pub wire_envelopes: bool,
     /// Observability level. `Off` (the default) reduces every
     /// instrumentation site to a skipped branch on this enum; `Metrics`
     /// records counters/histograms and the sharded phase profile; `Full`
@@ -167,6 +182,8 @@ impl Default for SimulationConfig {
             event_engine: EventEngine::default(),
             shards: 1,
             balance: ShardBalance::default(),
+            net_shards: 1,
+            wire_envelopes: false,
             obs: bundler_obs::ObsLevel::default(),
             checkpoint_every: None,
             faults: None,
@@ -197,6 +214,12 @@ impl SimulationConfig {
         } else {
             ((2 * self.bdp_bytes()) / 1500).max(40) as usize
         }
+    }
+
+    /// The net-shard count the sharded host actually runs: at least one,
+    /// at most one shard per bottleneck sub-path.
+    pub fn effective_net_shards(&self) -> usize {
+        self.net_shards.clamp(1, self.num_paths.max(1))
     }
 }
 
@@ -292,8 +315,10 @@ impl Simulation {
             worker.adopt_bundle(parcel, &mut queue, &mut arena, at);
         }
         let mut net = NetCore::new(&config);
-        net.load_state(&mut queue, &mut arena, &mut r)
-            .map_err(corrupt)?;
+        for gid in 0..config.num_paths.max(1) {
+            net.load_path_section(gid, &mut queue, &mut arena, &mut r)
+                .map_err(corrupt)?;
+        }
         if !r.is_empty() {
             return Err(SnapshotError::Corrupt(
                 "trailing bytes after snapshot payload".into(),
@@ -482,13 +507,15 @@ impl Simulation {
                 "checkpointing requires a snapshot-capable sendbox queue discipline (bundle {b})"
             );
         }
-        let ok = self
-            .net
-            .save_state(&mut self.queue, &mut self.arena, &mut out);
-        assert!(
-            ok,
-            "checkpointing requires a snapshot-capable bottleneck queue discipline"
-        );
+        for gid in 0..self.config.num_paths.max(1) {
+            let ok = self
+                .net
+                .save_path_section(gid, &mut self.queue, &mut self.arena, &mut out);
+            assert!(
+                ok,
+                "checkpointing requires a snapshot-capable bottleneck queue discipline (path {gid})"
+            );
+        }
         out
     }
 
@@ -505,7 +532,7 @@ impl Simulation {
         assemble_report(
             &self.config,
             vec![self.worker],
-            self.net,
+            vec![self.net],
             self.arena.recycled(),
         )
     }

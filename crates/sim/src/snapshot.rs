@@ -9,30 +9,42 @@
 //! sharded configuration, and a snapshot may be restored into a different
 //! shard count than the one that wrote it.
 //!
-//! # Wire format (version 2)
+//! # Wire format (version 3)
 //!
 //! All integers are little-endian; variable structures use the repo's
 //! vendored `serde::binary` codec (`u64` length prefixes, `u8` enum tags).
 //!
 //! ```text
 //! magic        [u8; 8]   = b"BNDLSNAP"
-//! version      u32       = 2
+//! version      u32       = 3
 //! at           u64       simulated time T in nanoseconds
 //! fingerprint  u64       FNV-1a over the result-affecting config + workload
 //! residue      WorkerResidue   merged run-wide accumulators (fcts, counters)
 //! direct       direct-traffic slice (flows, pings, pending LP_DIRECT events)
 //! bundles      u64 count, then one BundleParcel per bundle, ascending index
-//! net          NetCore slice (paths, balancer, fault cursor, net events)
+//! net          one path section per bottleneck path, ascending global id
 //! ```
 //!
-//! When [`SimulationConfig::cross_traffic`] is set, the net slice carries a
-//! fluid-tier section (LP sequence + [`crate::fluid::FluidState`] + the
-//! fluid-collapse monitor edge state) between the fault state and the
-//! pending net events. The section's presence is keyed by the config —
-//! which the fingerprint covers — so packet-only snapshots keep the exact
-//! layout above.
+//! Version 3 (PR 10) makes the net slice *path-major*: instead of one
+//! `NetCore` blob (global event sequence, balancer state, one fault
+//! cursor), the slice is the concatenation of per-path sections — key
+//! stream, queue state, fault cursor/counters and the path's pending net
+//! events — written in ascending global path id. Because each path's
+//! section is produced by whichever net shard owns the path and paths are
+//! written in global order, the bytes are invariant under the net-shard
+//! count, exactly as the worker slices are invariant under the worker
+//! count. The load balancer no longer appears at all: it is stateless
+//! (a pure hash of the packet identity) as of PR 10.
 //!
-//! Version 2 (PR 9) appends a one-byte presence flag to the direct slice
+//! When [`SimulationConfig::cross_traffic`] is set, each path section
+//! carries a fluid sub-section (the path's fluid LP sequence, its
+//! per-aggregate fluid state and the fluid-collapse monitor edge flags for
+//! aggregates pinned to the path) between the fault state and the pending
+//! net events. The section's presence is keyed by the config — which the
+//! fingerprint covers — so packet-only snapshots keep the exact layout
+//! above.
+//!
+//! Version 2 (PR 9) appended a one-byte presence flag to the direct slice
 //! and to every `BundleParcel`: `1` is followed by the in-flight
 //! observability state (sampled flow spans mid-lifecycle + health-monitor
 //! readings) so flow tracing and watchdogs survive checkpoint/restore;
@@ -63,7 +75,7 @@ pub const MAGIC: [u8; 8] = *b"BNDLSNAP";
 /// Current snapshot format version. Bump this (and the format notes in
 /// `ARCHITECTURE.md`) whenever the byte layout changes; the golden-format
 /// test fails loudly when an accidental layout change sneaks in.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -220,7 +220,7 @@ fn streamed_export_resumes_across_checkpoint_restore_under_faults() {
     assert_eq!(prefix.len() + got_tail.len(), full.len());
 }
 
-/// Golden wire-format test: the exact bytes of a version-2 snapshot for a
+/// Golden wire-format test: the exact bytes of a version-3 snapshot for a
 /// pinned config and workload, reduced to an FNV-1a hash. If this fails,
 /// the snapshot byte layout changed: bump `snapshot::VERSION`, update the
 /// wire-format notes in `ARCHITECTURE.md` and `crates/sim/src/snapshot.rs`,
@@ -228,11 +228,11 @@ fn streamed_export_resumes_across_checkpoint_restore_under_faults() {
 /// without the version bump — old snapshots would decode as garbage.
 #[test]
 fn snapshot_wire_format_is_stable() {
-    const GOLDEN_HASH: u64 = 0x0cf2_0208_9ed7_07cd;
-    const GOLDEN_LEN: usize = 5574;
+    const GOLDEN_HASH: u64 = 0x3966_f292_4ecd_72df;
+    const GOLDEN_LEN: usize = 5488;
     assert_eq!(
         snapshot::VERSION,
-        2,
+        3,
         "snapshot::VERSION changed — re-pin this test's golden hash for the new format"
     );
     fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -162,3 +162,37 @@ fn fluid_snapshot_rejects_a_config_without_the_tier() {
         other => panic!("expected fingerprint mismatch, got {:?}", other.err()),
     }
 }
+
+/// Degenerate fluid tier with **zero aggregates**: `FluidUpdate` events
+/// still tick per path and the collapse monitor's primed-floor vector is
+/// empty — the run must complete cleanly, emit no `FluidCollapse` health
+/// records, and checkpoint/restore bit-identically (the empty monitor
+/// state round-trips as a zero-length slice).
+#[test]
+fn zero_aggregate_fluid_tier_is_inert() {
+    use bundler_obs::{HealthKind, ObsLevel, TraceKind};
+
+    let (mut config, workload) = metro_fluid(31, None);
+    config.cross_traffic = Some(FluidCrossTraffic::new(Vec::new()));
+    config.obs = ObsLevel::Full;
+    let mut ckpts = Vec::new();
+    let report = Simulation::new(config.clone(), workload.clone()).run_collecting(&mut ckpts);
+    let want = SimStats::of(&report);
+    assert!(want.completed > 0, "scenario must do real work");
+    let obs = report.obs.as_ref().expect("obs=full");
+    let collapses = obs
+        .trace
+        .iter()
+        .filter(
+            |r| matches!(r.kind, TraceKind::Health { kind, .. } if kind == HealthKind::FluidCollapse as u8),
+        )
+        .count();
+    assert_eq!(collapses, 0, "no aggregates, no collapse events");
+    assert!(!ckpts.is_empty());
+    for (at, bytes) in &ckpts {
+        let resumed = Simulation::restore(config.clone(), workload.clone(), bytes)
+            .unwrap_or_else(|e| panic!("restore at {at:?}: {e}"))
+            .run();
+        assert_eq!(want, SimStats::of(&resumed), "restore at {at:?} diverged");
+    }
+}

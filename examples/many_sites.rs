@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --example many_sites -- \
 //!     [--obs off|metrics|full] [--trace-out PATH] [--shards N] \
+//!     [--net-shards K] [--paths P] \
 //!     [--faults SEED] [--checkpoint-every MS] [--checkpoint-dir DIR] \
 //!     [--crash-at-checkpoint N] [--restore-from FILE]
 //! ```
@@ -25,6 +26,11 @@
 //! one — that equality is checked in CI. `--faults SEED` injects the
 //! deterministic fault plan with that seed (same seed, same digest, any
 //! shard count).
+//!
+//! `--paths P` splits the bottleneck across P imbalanced sub-paths and
+//! `--net-shards K` splits the net phase itself across K dedicated net
+//! threads (paths partitioned `gid % K`) — the final `digest:` line is
+//! bit-identical for every `(--shards, --net-shards)` combination.
 
 use bundler::obs::{CounterId, HistId, ObsLevel};
 use bundler::shard::ShardedSimulation;
@@ -37,6 +43,8 @@ struct Cli {
     obs: ObsLevel,
     trace_out: Option<String>,
     shards: usize,
+    net_shards: usize,
+    paths: Option<usize>,
     faults: Option<u64>,
     checkpoint_every_ms: Option<u64>,
     checkpoint_dir: Option<String>,
@@ -49,6 +57,8 @@ fn parse_cli() -> Cli {
         obs: ObsLevel::Off,
         trace_out: None,
         shards: 1,
+        net_shards: 1,
+        paths: None,
         faults: None,
         checkpoint_every_ms: None,
         checkpoint_dir: None,
@@ -75,6 +85,18 @@ fn parse_cli() -> Cli {
                 cli.shards = value(&mut args, "--shards")
                     .parse()
                     .expect("--shards takes a count")
+            }
+            "--net-shards" => {
+                cli.net_shards = value(&mut args, "--net-shards")
+                    .parse()
+                    .expect("--net-shards takes a count")
+            }
+            "--paths" => {
+                cli.paths = Some(
+                    value(&mut args, "--paths")
+                        .parse()
+                        .expect("--paths takes a count"),
+                )
             }
             "--faults" => {
                 cli.faults = Some(
@@ -130,6 +152,13 @@ fn main() {
     let mut config = scenario.sim_config();
     let workload = scenario.workload();
     config.shards = cli.shards;
+    config.net_shards = cli.net_shards;
+    if let Some(paths) = cli.paths {
+        // Imbalanced sub-paths (delay spread), so every net shard owns
+        // real, distinct work — the matrix tests' configuration.
+        config.num_paths = paths;
+        config.path_delay_spread = bundler::types::Duration::from_millis(5);
+    }
     if let Some(seed) = cli.faults {
         config.faults = Some(FaultPlan::generate(seed, config.duration, config.num_paths));
         println!("faults: plan generated from seed {seed}\n");

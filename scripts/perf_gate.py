@@ -55,6 +55,21 @@ Two checks run per scenario present in both files:
    *and* the committed report. A committed trajectory with the metro
    axis also requires the fresh report to carry it.
 
+5. *Net-shard axis* (runs with checks 1-2 on reports from PR 10 on):
+   the report must carry the `--net-shards` sweep — the
+   `many_sites_multipath` cells `net_sharded_1`, at least one split
+   count, and the `net_sharded_K_wire` cell that routes every mailbox
+   envelope through the versioned NETENV codec — plus the
+   `many_sites_mp_net_shards_K_vs_1` and
+   `many_sites_mp_wire_envelopes_vs_off` ratios, all > 0. The cells are
+   digest-asserted inside the harness (any divergence aborts the run
+   before JSON is written), so the gate's job is rot detection: a
+   report that silently dropped the axis fails here. No throughput
+   floor is applied — net-shard speedup needs physical cores, and the
+   committed trajectory records `host_parallelism` for context. As
+   with metro, a committed trajectory carrying the axis requires the
+   fresh report to carry it too.
+
 Usage: perf_gate.py FRESH.json COMMITTED.json [--threshold 0.2]
                     [--fluid-floor 10]
        perf_gate.py FRESH.json BASELINE.json --obs-only [--obs-threshold 0.03]
@@ -207,6 +222,44 @@ def metro_fluid_check(report, label, floor, failures):
     return 1
 
 
+def net_shard_check(report, label, failures):
+    """Check 5 of the module docstring: the PR 10 net-shard axis must be
+    present on reports that claim it. Returns the number of checks run
+    (0 when the report predates the axis)."""
+    if report.get("pr", 0) < 10 and not any(
+            r.get("scenario") == "many_sites_multipath"
+            for r in report.get("scenarios", [])):
+        return 0
+    problems = []
+    cells = {r["engine"] for r in report.get("scenarios", [])
+             if r.get("scenario") == "many_sites_multipath"}
+    if "net_sharded_1" not in cells:
+        problems.append("no net_sharded_1 baseline cell")
+    split = [c for c in cells
+             if c.startswith("net_sharded_") and not c.endswith("_wire")
+             and c != "net_sharded_1"]
+    if not split:
+        problems.append("no split net-shard cell (net_sharded_K, K>1)")
+    if not any(c.endswith("_wire") for c in cells):
+        problems.append("no wire-envelope cell (net_sharded_K_wire)")
+    ratios = {k: v for k, v in
+              report.get("speedup_events_per_sec", {}).items()
+              if k.startswith("many_sites_mp_")}
+    if not any("net_shards" in k for k in ratios):
+        problems.append("no many_sites_mp_net_shards_K_vs_1 ratio")
+    if "many_sites_mp_wire_envelopes_vs_off" not in ratios:
+        problems.append("no many_sites_mp_wire_envelopes_vs_off ratio")
+    if any(v <= 0 for v in ratios.values()):
+        problems.append(f"non-positive net-shard ratio: {ratios}")
+    if problems:
+        failures.append(f"{label}: net-shard axis: " + "; ".join(problems))
+    else:
+        print(f"[ok] {label}: net-shard axis present: cells "
+              f"{sorted(cells)}; "
+              + ", ".join(f"{k}={v:.3f}" for k, v in sorted(ratios.items())))
+    return 1
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh")
@@ -290,6 +343,17 @@ def main():
                                 failures)
     if committed.get("metro") and not fresh.get("metro"):
         failures.append("committed trajectory has the metro tier axis but "
+                        "the fresh report does not")
+
+    # Net-shard axis (PR 10): presence on both reports that claim it, and
+    # a fresh report may not silently drop an axis the trajectory carries.
+    checks += net_shard_check(fresh, "fresh", failures)
+    committed_has_axis = net_shard_check(committed, "committed", failures)
+    checks += committed_has_axis
+    if committed_has_axis and not any(
+            r.get("scenario") == "many_sites_multipath"
+            for r in fresh.get("scenarios", [])):
+        failures.append("committed trajectory has the net-shard axis but "
                         "the fresh report does not")
 
     if checks == 0:
